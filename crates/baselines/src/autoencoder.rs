@@ -1,0 +1,145 @@
+//! The 1-D convolutional autoencoder + Prox baseline (§VI-A: "four layers
+//! of 1-D convolution with the ReLU activation function").
+
+use crate::prox::fit_prox;
+use crate::{BaselineConfig, BaselineError, FloorClassifier, MatrixEncoder};
+use grafics_cluster::ClusterModel;
+use grafics_nn::{Activation, Conv1d, Dense, Layer, Loss, Matrix, Sequential};
+use grafics_types::{Dataset, FloorId, SignalRecord};
+use rand::Rng;
+
+/// Conv-autoencoder embeddings + proximity clustering.
+#[derive(Debug)]
+pub struct AutoencoderProx {
+    encoder: MatrixEncoder,
+    net: Sequential,
+    /// Number of leading layers that form the encoder (bottleneck output).
+    encoder_layers: usize,
+    clusters: ClusterModel,
+}
+
+impl AutoencoderProx {
+    /// Trains the autoencoder on the matrix representation, then fits Prox
+    /// over the bottleneck embeddings.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::EmptyTrainingSet`] / [`BaselineError::NoLabeledSamples`].
+    pub fn train<R: Rng + ?Sized>(
+        train: &Dataset,
+        config: &BaselineConfig,
+        rng: &mut R,
+    ) -> Result<Self, BaselineError> {
+        if train.is_empty() {
+            return Err(BaselineError::EmptyTrainingSet);
+        }
+        let encoder = MatrixEncoder::fit(train);
+        let rows = encoder.encode_all(train);
+        let width = encoder.width();
+        let (mut net, encoder_layers) = build_net(width, config.dim, rng);
+
+        let x = Matrix::from_rows(&rows);
+        for _ in 0..config.epochs {
+            net.train_epoch(&x, &x, Loss::Mse, config.lr, config.batch, rng);
+        }
+
+        let code = net.forward_partial(&x, encoder_layers);
+        let embeddings: Vec<Vec<f64>> = (0..code.rows())
+            .map(|r| code.row(r).iter().map(|&v| f64::from(v)).collect())
+            .collect();
+        let labels: Vec<Option<FloorId>> = train.samples().iter().map(|s| s.floor).collect();
+        let clusters = fit_prox(&embeddings, &labels)?;
+        Ok(AutoencoderProx { encoder, net, encoder_layers, clusters })
+    }
+}
+
+/// Encoder: four Conv1d+ReLU stages (kernel/stride adapted to the input
+/// width) → Dense bottleneck. Decoder: Dense → ReLU → Dense back to the
+/// input width.
+fn build_net<R: Rng + ?Sized>(
+    width: usize,
+    dim: usize,
+    rng: &mut R,
+) -> (Sequential, usize) {
+    let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+    let channels = [1usize, 4, 8, 8, 4];
+    let mut len = width;
+    for i in 0..4 {
+        let kernel = len.min(if i < 2 { 5 } else { 3 }).max(1);
+        let stride = if len >= 2 * kernel { 2 } else { 1 };
+        let conv = Conv1d::new(channels[i], channels[i + 1], len, kernel, stride, rng);
+        len = conv.out_len();
+        layers.push(Box::new(conv));
+        layers.push(Box::new(Activation::relu()));
+    }
+    let flat = channels[4] * len;
+    layers.push(Box::new(Dense::new(flat, dim, rng)));
+    let encoder_layers = layers.len();
+    layers.push(Box::new(Activation::tanh()));
+    layers.push(Box::new(Dense::new(dim, 64.min(width.max(8)), rng)));
+    layers.push(Box::new(Activation::relu()));
+    layers.push(Box::new(Dense::new(64.min(width.max(8)), width, rng)));
+    (Sequential::new(layers), encoder_layers)
+}
+
+impl FloorClassifier for AutoencoderProx {
+    fn name(&self) -> &'static str {
+        "Autoencoder+Prox"
+    }
+
+    fn predict(&mut self, record: &SignalRecord) -> Option<FloorId> {
+        let row = self.encoder.encode(record)?;
+        let x = Matrix::from_rows(&[row]);
+        let code = self.net.forward_partial(&x, self.encoder_layers);
+        let emb: Vec<f64> = code.row(0).iter().map(|&v| f64::from(v)).collect();
+        self.clusters.predict(&emb).ok().map(|p| p.floor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grafics_data::BuildingModel;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn net_shapes_hold_for_small_and_large_widths() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for width in [10usize, 37, 120, 400] {
+            let (mut net, enc_layers) = build_net(width, 8, &mut rng);
+            let x = Matrix::zeros(2, width);
+            let out = net.forward(&x);
+            assert_eq!(out.cols(), width, "decoder restores width {width}");
+            let code = net.forward_partial(&x, enc_layers);
+            assert_eq!(code.cols(), 8);
+        }
+    }
+
+    #[test]
+    fn autoencoder_prox_end_to_end() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let ds = BuildingModel::office("ae", 2).with_records_per_floor(25).simulate(&mut rng);
+        let split = ds.split(0.7, &mut rng).unwrap();
+        let train = split.train.with_label_budget(4, &mut rng);
+        let cfg = BaselineConfig { epochs: 10, ..Default::default() };
+        let mut model = AutoencoderProx::train(&train, &cfg, &mut rng).unwrap();
+        let scored = split
+            .test
+            .samples()
+            .iter()
+            .filter(|s| model.predict(&s.record).is_some())
+            .count();
+        assert!(scored * 10 >= split.test.len() * 9);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let cfg = BaselineConfig::default();
+        assert_eq!(
+            AutoencoderProx::train(&Dataset::default(), &cfg, &mut rng).unwrap_err(),
+            BaselineError::EmptyTrainingSet
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! The fixed-vocabulary matrix representation (and its missing-value
+//! problem) that all baselines build on.
+
+use grafics_types::{Dataset, MacAddr, SignalRecord};
+use std::collections::HashMap;
+
+/// Sentinel for unobserved MACs, per the paper: −120 dBm.
+pub const MISSING_DBM: f64 = -120.0;
+
+/// Encodes variable-length records into fixed-length rows over the
+/// training MAC vocabulary, missing entries filled with [`MISSING_DBM`]
+/// and values scaled to `[0, 1]` (`(rss + 120) / 120`).
+#[derive(Debug, Clone)]
+pub struct MatrixEncoder {
+    vocab: Vec<MacAddr>,
+    index: HashMap<MacAddr, usize>,
+}
+
+impl MatrixEncoder {
+    /// Builds the vocabulary from every MAC in `dataset`, ascending.
+    #[must_use]
+    pub fn fit(dataset: &Dataset) -> Self {
+        let vocab = dataset.mac_vocabulary();
+        let index = vocab.iter().enumerate().map(|(i, &m)| (m, i)).collect();
+        MatrixEncoder { vocab, index }
+    }
+
+    /// Vocabulary size (row width).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Encodes one record with values scaled to `[0, 1]` and missing
+    /// entries at `0` — the preprocessing the neural baselines use.
+    /// Returns `None` if the record shares no MAC with the vocabulary.
+    #[must_use]
+    pub fn encode(&self, record: &SignalRecord) -> Option<Vec<f32>> {
+        let mut row = vec![((MISSING_DBM + 120.0) / 120.0) as f32; self.vocab.len()];
+        let mut any = false;
+        for r in record.readings() {
+            if let Some(&i) = self.index.get(&r.mac) {
+                row[i] = ((r.rssi.dbm() + 120.0) / 120.0) as f32;
+                any = true;
+            }
+        }
+        any.then_some(row)
+    }
+
+    /// Encodes one record with **raw dBm values** and missing entries at
+    /// −120 dBm — the literal matrix representation of the paper's Fig. 2
+    /// / Fig. 14, where shared missingness dominates any similarity
+    /// measure (the "missing value problem"). Used by [`crate::MatrixProx`]
+    /// and [`crate::MdsProx`], matching §VI-A/§VI-C. Returns `None` if the
+    /// record shares no MAC with the vocabulary.
+    #[must_use]
+    pub fn encode_raw(&self, record: &SignalRecord) -> Option<Vec<f32>> {
+        let mut row = vec![MISSING_DBM as f32; self.vocab.len()];
+        let mut any = false;
+        for r in record.readings() {
+            if let Some(&i) = self.index.get(&r.mac) {
+                row[i] = r.rssi.dbm() as f32;
+                any = true;
+            }
+        }
+        any.then_some(row)
+    }
+
+    /// Raw-dBm variant of [`MatrixEncoder::encode_all`].
+    #[must_use]
+    pub fn encode_all_raw(&self, dataset: &Dataset) -> Vec<Vec<f32>> {
+        dataset
+            .samples()
+            .iter()
+            .map(|s| {
+                self.encode_raw(&s.record)
+                    .unwrap_or_else(|| vec![MISSING_DBM as f32; self.vocab.len()])
+            })
+            .collect()
+    }
+
+    /// Encodes every record of a dataset (rows in dataset order). Records
+    /// with no in-vocabulary MAC become all-missing rows.
+    #[must_use]
+    pub fn encode_all(&self, dataset: &Dataset) -> Vec<Vec<f32>> {
+        dataset
+            .samples()
+            .iter()
+            .map(|s| {
+                self.encode(&s.record)
+                    .unwrap_or_else(|| vec![0.0; self.vocab.len()])
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grafics_types::{FloorId, Reading, Rssi, Sample};
+
+    fn sample(macs: &[(u64, f64)]) -> Sample {
+        Sample::labeled(
+            SignalRecord::new(
+                macs.iter()
+                    .map(|&(m, r)| Reading::new(MacAddr::from_u64(m), Rssi::new(r).unwrap()))
+                    .collect(),
+            )
+            .unwrap(),
+            FloorId(0),
+        )
+    }
+
+    #[test]
+    fn missing_entries_get_sentinel() {
+        let ds = Dataset::from_samples(vec![sample(&[(1, -60.0)]), sample(&[(2, -90.0)])]);
+        let enc = MatrixEncoder::fit(&ds);
+        assert_eq!(enc.width(), 2);
+        let row = enc.encode(&ds.samples()[0].record).unwrap();
+        assert!((row[0] - 0.5).abs() < 1e-6); // (-60+120)/120
+        assert_eq!(row[1], 0.0); // missing → (−120+120)/120
+    }
+
+    #[test]
+    fn out_of_vocab_record_is_none() {
+        let ds = Dataset::from_samples(vec![sample(&[(1, -60.0)])]);
+        let enc = MatrixEncoder::fit(&ds);
+        assert!(enc.encode(&sample(&[(99, -50.0)]).record).is_none());
+    }
+
+    #[test]
+    fn encode_all_is_dataset_ordered() {
+        let ds = Dataset::from_samples(vec![sample(&[(1, -30.0)]), sample(&[(1, -90.0)])]);
+        let enc = MatrixEncoder::fit(&ds);
+        let rows = enc.encode_all(&ds);
+        assert!(rows[0][0] > rows[1][0]);
+    }
+}

@@ -1,0 +1,231 @@
+//! HELM: hierarchical extreme learning machine for floor detection
+//! (Alitaleshi, Jazayeriy & Kazemitabar, §II [16]).
+//!
+//! ELM layers have *random, untrained* hidden weights; only output maps
+//! are learned, each in closed form by ridge regression — no gradient
+//! descent anywhere. HELM stacks ELM *autoencoder* stages for feature
+//! extraction and finishes with an ELM classifier:
+//!
+//! - ELM-AE stage on input `X` (n×d): draw random `W` (d×h) and bias,
+//!   form `H = tanh(X W + b)`, solve `H β ≈ X` by ridge regression, and
+//!   take `F = X βᵀ` (n×h) as the learned features.
+//! - classifier: `H_c = tanh(F W_c + b_c)`, solve `H_c W_out ≈ Y` against
+//!   one-hot floors (pseudo-labelled like every supervised baseline).
+
+use crate::sae::{argmax_floor, one_hot};
+use crate::{pseudo_labels, BaselineConfig, BaselineError, FloorClassifier, MatrixEncoder};
+use grafics_nn::{linalg::ridge_solve, Matrix};
+use grafics_types::{Dataset, FloorId, SignalRecord};
+use rand::Rng;
+
+/// One ELM-AE stage: the learned linear map `x ↦ x βᵀ` (and the random
+/// projection used to learn it, kept for reproducibility/debugging).
+#[derive(Debug)]
+struct ElmAeStage {
+    /// βᵀ, shape (d_in × d_out).
+    transform: Matrix,
+}
+
+impl ElmAeStage {
+    fn fit<R: Rng + ?Sized>(x: &Matrix, out_dim: usize, rng: &mut R) -> Self {
+        let w = Matrix::glorot(x.cols(), out_dim, rng);
+        let b: Vec<f32> = (0..out_dim).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        let mut h = x.matmul(&w);
+        h.add_row_broadcast(&b);
+        for v in h.data_mut() {
+            *v = v.tanh();
+        }
+        // β solves H β ≈ X  (out_dim × d_in); the feature map is X βᵀ.
+        let beta = ridge_solve(&h, x, 1e-2);
+        // transform = βᵀ : (d_in × out_dim)
+        let mut transform = Matrix::zeros(x.cols(), out_dim);
+        for i in 0..out_dim {
+            for j in 0..x.cols() {
+                transform.set(j, i, beta.get(i, j));
+            }
+        }
+        ElmAeStage { transform }
+    }
+
+    fn apply(&self, x: &Matrix) -> Matrix {
+        let mut f = x.matmul(&self.transform);
+        for v in f.data_mut() {
+            *v = v.tanh();
+        }
+        f
+    }
+}
+
+/// Hierarchical extreme learning machine floor classifier.
+#[derive(Debug)]
+pub struct Helm {
+    encoder: MatrixEncoder,
+    stages: Vec<ElmAeStage>,
+    clf_random_w: Matrix,
+    clf_random_b: Vec<f32>,
+    clf_w: Matrix,
+    floors: Vec<FloorId>,
+}
+
+impl Helm {
+    /// Trains the HELM: two stacked ELM-AE stages, pseudo-labelling in
+    /// the feature space, then a closed-form ELM classifier.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::EmptyTrainingSet`] / [`BaselineError::NoLabeledSamples`].
+    pub fn train<R: Rng + ?Sized>(
+        train: &Dataset,
+        config: &BaselineConfig,
+        rng: &mut R,
+    ) -> Result<Self, BaselineError> {
+        if train.is_empty() {
+            return Err(BaselineError::EmptyTrainingSet);
+        }
+        if train.samples().iter().all(|s| s.floor.is_none()) {
+            return Err(BaselineError::NoLabeledSamples);
+        }
+        let encoder = MatrixEncoder::fit(train);
+        let rows = encoder.encode_all(train);
+        let x = Matrix::from_rows(&rows);
+        let width = encoder.width();
+        let h1 = (width / 2).clamp(config.dim.max(16), 256);
+        let h2 = config.dim.max(8);
+
+        // Stacked ELM-AE feature extraction.
+        let stage1 = ElmAeStage::fit(&x, h1, rng);
+        let f1 = stage1.apply(&x);
+        let stage2 = ElmAeStage::fit(&f1, h2, rng);
+        let features = stage2.apply(&f1);
+        let stages = vec![stage1, stage2];
+
+        // Pseudo-labels in the HELM feature space.
+        let embeddings: Vec<Vec<f64>> = (0..features.rows())
+            .map(|r| features.row(r).iter().map(|&v| f64::from(v)).collect())
+            .collect();
+        let labels: Vec<Option<FloorId>> = train.samples().iter().map(|s| s.floor).collect();
+        let pl = pseudo_labels(&embeddings, &labels);
+        let mut floors = pl.clone();
+        floors.sort_unstable();
+        floors.dedup();
+        let y = one_hot(&pl, &floors);
+
+        // ELM classifier head.
+        let clf_hidden = (4 * h2).min(256);
+        let clf_random_w = Matrix::glorot(h2, clf_hidden, rng);
+        let clf_random_b: Vec<f32> = (0..clf_hidden).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        let hc = random_hidden(&features, &clf_random_w, &clf_random_b);
+        let clf_w = ridge_solve(&hc, &y, 1e-1);
+
+        Ok(Helm { encoder, stages, clf_random_w, clf_random_b, clf_w, floors })
+    }
+
+    fn features_of(&self, row: Vec<f32>) -> Matrix {
+        let mut f = Matrix::from_rows(&[row]);
+        for stage in &self.stages {
+            f = stage.apply(&f);
+        }
+        f
+    }
+}
+
+/// `tanh(X W + b)` with row-broadcast bias.
+fn random_hidden(x: &Matrix, w: &Matrix, b: &[f32]) -> Matrix {
+    let mut h = x.matmul(w);
+    h.add_row_broadcast(b);
+    for v in h.data_mut() {
+        *v = v.tanh();
+    }
+    h
+}
+
+impl FloorClassifier for Helm {
+    fn name(&self) -> &'static str {
+        "HELM"
+    }
+
+    fn predict(&mut self, record: &SignalRecord) -> Option<FloorId> {
+        let row = self.encoder.encode(record)?;
+        let features = self.features_of(row);
+        let hc = random_hidden(&features, &self.clf_random_w, &self.clf_random_b);
+        let out = hc.matmul(&self.clf_w);
+        Some(argmax_floor(out.row(0), &self.floors))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grafics_data::BuildingModel;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn accuracy(seed: u64, labels: usize) -> f64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let ds = BuildingModel::office("helm", 2).with_records_per_floor(40).simulate(&mut rng);
+        let split = ds.split(0.7, &mut rng).unwrap();
+        let train = split.train.with_label_budget(labels, &mut rng);
+        let cfg = BaselineConfig::default();
+        let mut model = Helm::train(&train, &cfg, &mut rng).unwrap();
+        let mut hits = 0;
+        let mut total = 0;
+        for s in split.test.samples() {
+            if let Some(f) = model.predict(&s.record) {
+                total += 1;
+                if f == s.ground_truth {
+                    hits += 1;
+                }
+            }
+        }
+        hits as f64 / total.max(1) as f64
+    }
+
+    #[test]
+    fn helm_learns_with_many_labels() {
+        let acc = accuracy(0, 25);
+        assert!(acc >= 0.6, "HELM with many labels: {acc}");
+    }
+
+    #[test]
+    fn elm_ae_stage_preserves_information() {
+        // The stage must reconstruct X decently: features through βᵀ are a
+        // linear view of X, so a k-NN over features should roughly agree
+        // with a k-NN over X on clustered data.
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rows = Vec::new();
+        for i in 0..40 {
+            let c = if i < 20 { 0.0f32 } else { 1.0 };
+            rows.push((0..10).map(|d| c + 0.05 * ((i * d) % 7) as f32).collect::<Vec<f32>>());
+        }
+        let x = Matrix::from_rows(&rows);
+        let stage = ElmAeStage::fit(&x, 4, &mut rng);
+        let f = stage.apply(&x);
+        // Points from the same blob should be nearer in feature space.
+        let dist = |a: usize, b: usize| -> f32 {
+            (0..4).map(|d| (f.get(a, d) - f.get(b, d)).powi(2)).sum()
+        };
+        let intra = dist(0, 5);
+        let inter = dist(0, 25);
+        assert!(inter > intra, "inter {inter} vs intra {intra}");
+    }
+
+    #[test]
+    fn training_is_fast_closed_form() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let ds = BuildingModel::office("helm2", 3).with_records_per_floor(60).simulate(&mut rng);
+        let train = ds.with_label_budget(4, &mut rng);
+        let t0 = std::time::Instant::now();
+        let _ = Helm::train(&train, &BaselineConfig::default(), &mut rng).unwrap();
+        assert!(t0.elapsed().as_secs_f64() < 30.0);
+    }
+
+    #[test]
+    fn rejects_degenerate_input() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let cfg = BaselineConfig::default();
+        assert_eq!(
+            Helm::train(&Dataset::default(), &cfg, &mut rng).unwrap_err(),
+            BaselineError::EmptyTrainingSet
+        );
+    }
+}

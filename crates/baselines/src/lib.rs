@@ -1,0 +1,172 @@
+//! The four state-of-the-art comparison baselines of §VI-A, plus the raw
+//! matrix-representation baseline of Fig. 14.
+//!
+//! All of them start from the *matrix representation* the paper argues
+//! against: a fixed MAC vocabulary defines the columns, each record is a
+//! row, and missing readings are filled with −120 dBm — the "missing value
+//! problem" (§II, Fig. 2). On top of that representation:
+//!
+//! - [`MatrixProx`] — the raw rows used directly as embeddings with the
+//!   proximity clustering (Fig. 14's "Matrix" bars);
+//! - [`MdsProx`] — classical multidimensional scaling on `1 − cosine`
+//!   distances, plus proximity clustering;
+//! - [`AutoencoderProx`] — a 1-D convolutional autoencoder (four conv
+//!   layers with ReLU, matching the paper's description) whose bottleneck
+//!   is clustered with Prox;
+//! - [`Sae`] — stacked autoencoders with layer-wise pretraining and a
+//!   fine-tuned classifier head (Nowicki & Wietrzykowski);
+//! - [`ScalableDnn`] — encoder + feed-forward floor classifier (Kim et
+//!   al.), trained on one-hot floors.
+//!
+//! The supervised models ([`Sae`], [`ScalableDnn`]) receive *pseudo-labels*
+//! for the unlabelled majority — the label of the nearest labelled sample
+//! in their own embedding space — exactly the protocol the paper uses for
+//! a fair comparison.
+//!
+//! Every baseline implements [`FloorClassifier`] so the benchmark harness
+//! treats them interchangeably with GRAFICS.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod autoencoder;
+mod encoder;
+mod helm;
+mod mds;
+mod prox;
+mod sae;
+mod scalable_dnn;
+mod storyteller;
+mod svm;
+mod vifi;
+
+pub use autoencoder::AutoencoderProx;
+pub use encoder::{MatrixEncoder, MISSING_DBM};
+pub use helm::Helm;
+pub use mds::MdsProx;
+pub use prox::MatrixProx;
+pub use sae::Sae;
+pub use scalable_dnn::ScalableDnn;
+pub use storyteller::StoryTeller;
+pub use svm::SvmOvO;
+pub use vifi::ViFi;
+
+use grafics_types::{FloorId, SignalRecord};
+use std::fmt;
+
+/// Common interface: predict the floor of an online RF record.
+pub trait FloorClassifier {
+    /// Short algorithm name for reports.
+    fn name(&self) -> &'static str;
+    /// Predicts a floor; `None` when the record cannot be scored (e.g. it
+    /// shares no MAC with the training vocabulary).
+    fn predict(&mut self, record: &SignalRecord) -> Option<FloorId>;
+}
+
+/// Hyper-parameters shared by the learned baselines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineConfig {
+    /// Embedding / bottleneck dimensionality (paper: 8, same as GRAFICS).
+    pub dim: usize,
+    /// Training epochs for the neural models.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Mini-batch size.
+    pub batch: usize,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig { dim: 8, epochs: 40, lr: 1e-3, batch: 32 }
+    }
+}
+
+/// Errors from baseline training.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BaselineError {
+    /// The training dataset is empty.
+    EmptyTrainingSet,
+    /// No sample carries a floor label.
+    NoLabeledSamples,
+    /// Downstream clustering failure.
+    Cluster(grafics_cluster::ClusterError),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::EmptyTrainingSet => write!(f, "training dataset is empty"),
+            BaselineError::NoLabeledSamples => write!(f, "no labelled samples in training set"),
+            BaselineError::Cluster(e) => write!(f, "clustering: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<grafics_cluster::ClusterError> for BaselineError {
+    fn from(e: grafics_cluster::ClusterError) -> Self {
+        BaselineError::Cluster(e)
+    }
+}
+
+/// Assigns every unlabelled embedding the floor of its nearest labelled
+/// embedding (ℓ2), the paper's pseudo-label protocol for training the
+/// supervised baselines. Returns one label per row.
+///
+/// # Panics
+///
+/// Panics if `embeddings` and `labels` lengths differ or no label is set.
+#[must_use]
+pub fn pseudo_labels(embeddings: &[Vec<f64>], labels: &[Option<FloorId>]) -> Vec<FloorId> {
+    assert_eq!(embeddings.len(), labels.len());
+    let labeled: Vec<(usize, FloorId)> = labels
+        .iter()
+        .enumerate()
+        .filter_map(|(i, l)| l.map(|f| (i, f)))
+        .collect();
+    assert!(!labeled.is_empty(), "pseudo-labelling needs at least one labelled sample");
+    embeddings
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            if let Some(f) = labels[i] {
+                return f;
+            }
+            labeled
+                .iter()
+                .map(|&(j, f)| {
+                    let d: f64 = e
+                        .iter()
+                        .zip(&embeddings[j])
+                        .map(|(&a, &b)| (a - b) * (a - b))
+                        .sum();
+                    (d, f)
+                })
+                .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"))
+                .map(|(_, f)| f)
+                .expect("labeled set non-empty")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pseudo_labels_respect_given_labels() {
+        let emb = vec![vec![0.0], vec![0.1], vec![10.0], vec![10.1]];
+        let labels = vec![Some(FloorId(0)), None, Some(FloorId(1)), None];
+        let pl = pseudo_labels(&emb, &labels);
+        assert_eq!(pl, vec![FloorId(0), FloorId(0), FloorId(1), FloorId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one labelled")]
+    fn pseudo_labels_require_a_label() {
+        let _ = pseudo_labels(&[vec![0.0]], &[None]);
+    }
+}

@@ -1,0 +1,225 @@
+//! Classical multidimensional scaling + Prox (§VI-A baseline).
+//!
+//! The pairwise dissimilarity is `1 − cosine(row_a, row_b)` over the matrix
+//! representation, per the paper. Embeddings come from the classical MDS
+//! eigendecomposition (double-centred squared distances, top-`d`
+//! eigenpairs via power iteration with deflation); new records are mapped
+//! with the standard Gower out-of-sample extension.
+
+use crate::prox::fit_prox;
+use crate::{BaselineError, FloorClassifier, MatrixEncoder};
+use grafics_cluster::ClusterModel;
+use grafics_types::{Dataset, FloorId, SignalRecord};
+use rand::Rng;
+
+/// MDS embeddings + proximity clustering.
+#[derive(Debug)]
+pub struct MdsProx {
+    encoder: MatrixEncoder,
+    /// Training rows (needed for out-of-sample distances).
+    rows: Vec<Vec<f32>>,
+    /// Eigenvectors scaled by λ^{-1/2}, dim × n (for out-of-sample).
+    inv_sqrt_components: Vec<Vec<f64>>,
+    /// Column means of the squared-distance matrix.
+    mean_sq: Vec<f64>,
+    clusters: ClusterModel,
+    dim: usize,
+}
+
+impl MdsProx {
+    /// Fits classical MDS (to `dim` coordinates) and the Prox clustering.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::EmptyTrainingSet`] / [`BaselineError::NoLabeledSamples`].
+    pub fn train<R: Rng + ?Sized>(
+        train: &Dataset,
+        dim: usize,
+        rng: &mut R,
+    ) -> Result<Self, BaselineError> {
+        if train.is_empty() {
+            return Err(BaselineError::EmptyTrainingSet);
+        }
+        let encoder = MatrixEncoder::fit(train);
+        let rows = encoder.encode_all_raw(train);
+        let n = rows.len();
+
+        // Squared dissimilarity matrix d² = (1 − cos)².
+        let mut d2 = vec![0.0f64; n * n];
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let d = 1.0 - cosine(&rows[a], &rows[b]);
+                let v = d * d;
+                d2[a * n + b] = v;
+                d2[b * n + a] = v;
+            }
+        }
+        let mean_sq: Vec<f64> =
+            (0..n).map(|i| d2[i * n..(i + 1) * n].iter().sum::<f64>() / n as f64).collect();
+        let grand = mean_sq.iter().sum::<f64>() / n as f64;
+
+        // Double centring: B = −½ (d² − row̄ − col̄ + grand).
+        let mut b = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                b[i * n + j] = -0.5 * (d2[i * n + j] - mean_sq[i] - mean_sq[j] + grand);
+            }
+        }
+        drop(d2);
+
+        // Top-`dim` eigenpairs by power iteration + deflation.
+        let mut coords = vec![vec![0.0f64; dim]; n];
+        let mut inv_sqrt_components = Vec::with_capacity(dim);
+        for k in 0..dim {
+            let (lambda, v) = power_iteration(&b, n, rng);
+            if lambda <= 1e-10 {
+                inv_sqrt_components.push(vec![0.0; n]);
+                continue;
+            }
+            let s = lambda.sqrt();
+            for i in 0..n {
+                coords[i][k] = v[i] * s;
+            }
+            inv_sqrt_components.push(v.iter().map(|&x| x / s).collect());
+            // Deflate.
+            for i in 0..n {
+                for j in 0..n {
+                    b[i * n + j] -= lambda * v[i] * v[j];
+                }
+            }
+        }
+
+        let labels: Vec<Option<FloorId>> = train.samples().iter().map(|s| s.floor).collect();
+        let clusters = fit_prox(&coords, &labels)?;
+        Ok(MdsProx { encoder, rows, inv_sqrt_components, mean_sq, clusters, dim })
+    }
+
+    /// Gower out-of-sample embedding of one encoded row.
+    fn embed_row(&self, row: &[f32]) -> Vec<f64> {
+        let n = self.rows.len();
+        let delta2: Vec<f64> = (0..n)
+            .map(|i| {
+                let d = 1.0 - cosine(row, &self.rows[i]);
+                d * d
+            })
+            .collect();
+        (0..self.dim)
+            .map(|k| {
+                let comp = &self.inv_sqrt_components[k];
+                0.5 * (0..n).map(|i| comp[i] * (self.mean_sq[i] - delta2[i])).sum::<f64>()
+            })
+            .collect()
+    }
+}
+
+impl FloorClassifier for MdsProx {
+    fn name(&self) -> &'static str {
+        "MDS+Prox"
+    }
+
+    fn predict(&mut self, record: &SignalRecord) -> Option<FloorId> {
+        let row = self.encoder.encode_raw(record)?;
+        let emb = self.embed_row(&row);
+        self.clusters.predict(&emb).ok().map(|p| p.floor)
+    }
+}
+
+fn cosine(a: &[f32], b: &[f32]) -> f64 {
+    let (mut dot, mut na, mut nb) = (0.0f64, 0.0f64, 0.0f64);
+    for (&x, &y) in a.iter().zip(b) {
+        dot += f64::from(x) * f64::from(y);
+        na += f64::from(x) * f64::from(x);
+        nb += f64::from(y) * f64::from(y);
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+/// Power iteration for the dominant eigenpair of symmetric `b` (n×n flat).
+fn power_iteration<R: Rng + ?Sized>(b: &[f64], n: usize, rng: &mut R) -> (f64, Vec<f64>) {
+    let mut v: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    normalize(&mut v);
+    let mut lambda = 0.0;
+    for _ in 0..100 {
+        let mut w = vec![0.0; n];
+        for i in 0..n {
+            let row = &b[i * n..(i + 1) * n];
+            w[i] = row.iter().zip(&v).map(|(&x, &y)| x * y).sum();
+        }
+        let new_lambda: f64 = v.iter().zip(&w).map(|(&x, &y)| x * y).sum();
+        normalize(&mut w);
+        let delta = (new_lambda - lambda).abs();
+        v = w;
+        lambda = new_lambda;
+        if delta < 1e-9 * lambda.abs().max(1.0) {
+            break;
+        }
+    }
+    (lambda, v)
+}
+
+fn normalize(v: &mut [f64]) {
+    let norm: f64 = v.iter().map(|&x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in v {
+            *x /= norm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grafics_data::BuildingModel;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-9);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-9);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn power_iteration_finds_dominant_eigenpair() {
+        // Symmetric matrix with known spectrum: diag(5, 1).
+        let b = vec![5.0, 0.0, 0.0, 1.0];
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let (lambda, v) = power_iteration(&b, 2, &mut rng);
+        assert!((lambda - 5.0).abs() < 1e-6);
+        assert!(v[0].abs() > 0.999);
+    }
+
+    #[test]
+    fn mds_recovers_line_geometry() {
+        // Three collinear "rows" with cosine distances that embed on a line:
+        // the first coordinate should order them consistently.
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let ds = BuildingModel::office("mds", 2).with_records_per_floor(20).simulate(&mut rng);
+        let train = ds.with_label_budget(3, &mut rng);
+        let model = MdsProx::train(&train, 4, &mut rng).unwrap();
+        // Out-of-sample embedding of a training row ≈ its training position.
+        let emb0 = model.embed_row(&model.rows[0]);
+        assert!(emb0.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn mds_end_to_end_predicts() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let ds = BuildingModel::office("mds2", 2).with_records_per_floor(25).simulate(&mut rng);
+        let split = ds.split(0.7, &mut rng).unwrap();
+        let train = split.train.with_label_budget(4, &mut rng);
+        let mut model = MdsProx::train(&train, 8, &mut rng).unwrap();
+        let scored = split
+            .test
+            .samples()
+            .iter()
+            .filter(|s| model.predict(&s.record).is_some())
+            .count();
+        assert!(scored * 10 >= split.test.len() * 9);
+    }
+}

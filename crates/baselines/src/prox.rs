@@ -1,0 +1,105 @@
+//! The raw matrix + Prox baseline (Fig. 14), and the shared helper that
+//! fits the proximity clustering over any baseline's embeddings.
+
+use crate::{BaselineError, FloorClassifier, MatrixEncoder};
+use grafics_cluster::{ClusterModel, ClusteringConfig};
+use grafics_types::{Dataset, FloorId, SignalRecord};
+
+/// Fits the paper's proximity clustering over arbitrary embeddings.
+pub(crate) fn fit_prox(
+    embeddings: &[Vec<f64>],
+    labels: &[Option<FloorId>],
+) -> Result<ClusterModel, BaselineError> {
+    if embeddings.is_empty() {
+        return Err(BaselineError::EmptyTrainingSet);
+    }
+    if labels.iter().all(|l| l.is_none()) {
+        return Err(BaselineError::NoLabeledSamples);
+    }
+    Ok(ClusterModel::fit(embeddings, labels, &ClusteringConfig::default())?)
+}
+
+pub(crate) fn to_f64(row: &[f32]) -> Vec<f64> {
+    row.iter().map(|&x| f64::from(x)).collect()
+}
+
+/// The Fig. 14 "Matrix" baseline: the fixed-vocabulary rows (−120 dBm
+/// fill) are used *directly* as embeddings for the proximity clustering.
+/// Its poor accuracy demonstrates the missing-value problem.
+#[derive(Debug, Clone)]
+pub struct MatrixProx {
+    encoder: MatrixEncoder,
+    clusters: ClusterModel,
+}
+
+impl MatrixProx {
+    /// Trains the baseline (no learning: just encode + cluster).
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::EmptyTrainingSet`] / [`BaselineError::NoLabeledSamples`].
+    pub fn train(train: &Dataset) -> Result<Self, BaselineError> {
+        if train.is_empty() {
+            return Err(BaselineError::EmptyTrainingSet);
+        }
+        let encoder = MatrixEncoder::fit(train);
+        let rows = encoder.encode_all_raw(train);
+        let embeddings: Vec<Vec<f64>> = rows.iter().map(|r| to_f64(r)).collect();
+        let labels: Vec<Option<FloorId>> = train.samples().iter().map(|s| s.floor).collect();
+        let clusters = fit_prox(&embeddings, &labels)?;
+        Ok(MatrixProx { encoder, clusters })
+    }
+}
+
+impl FloorClassifier for MatrixProx {
+    fn name(&self) -> &'static str {
+        "Matrix+Prox"
+    }
+
+    fn predict(&mut self, record: &SignalRecord) -> Option<FloorId> {
+        let row = self.encoder.encode_raw(record)?;
+        self.clusters.predict(&to_f64(&row)).ok().map(|p| p.floor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grafics_data::BuildingModel;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn matrix_prox_runs_end_to_end() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let ds = BuildingModel::office("mp", 2).with_records_per_floor(30).simulate(&mut rng);
+        let split = ds.split(0.7, &mut rng).unwrap();
+        let train = split.train.with_label_budget(4, &mut rng);
+        let mut model = MatrixProx::train(&train).unwrap();
+        let mut scored = 0;
+        for s in split.test.samples() {
+            if model.predict(&s.record).is_some() {
+                scored += 1;
+            }
+        }
+        assert!(scored > 0);
+    }
+
+    #[test]
+    fn matrix_prox_rejects_unlabeled() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let ds = BuildingModel::office("mp", 2)
+            .with_records_per_floor(10)
+            .simulate(&mut rng)
+            .unlabeled();
+        assert_eq!(MatrixProx::train(&ds).unwrap_err(), BaselineError::NoLabeledSamples);
+    }
+
+    #[test]
+    fn matrix_prox_rejects_empty() {
+        assert_eq!(
+            MatrixProx::train(&Dataset::default()).unwrap_err(),
+            BaselineError::EmptyTrainingSet
+        );
+    }
+}

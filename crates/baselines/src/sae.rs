@@ -1,0 +1,187 @@
+//! SAE: stacked autoencoders + classifier (Nowicki & Wietrzykowski,
+//! "Low-effort place recognition with WiFi fingerprints using deep
+//! learning"), trained with the paper's pseudo-label protocol.
+
+use crate::{pseudo_labels, BaselineConfig, BaselineError, FloorClassifier, MatrixEncoder};
+use grafics_nn::{Activation, Dense, Layer, Loss, Matrix, Sequential};
+use grafics_types::{Dataset, FloorId, SignalRecord};
+use rand::Rng;
+
+/// Stacked-autoencoder floor classifier.
+#[derive(Debug)]
+pub struct Sae {
+    encoder: MatrixEncoder,
+    net: Sequential,
+    floors: Vec<FloorId>,
+}
+
+impl Sae {
+    /// Trains the SAE: layer-wise autoencoder pretraining of each dense
+    /// stage, pseudo-labelling in the bottleneck space, then supervised
+    /// fine-tuning of encoder + classifier with softmax cross-entropy.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::EmptyTrainingSet`] / [`BaselineError::NoLabeledSamples`].
+    pub fn train<R: Rng + ?Sized>(
+        train: &Dataset,
+        config: &BaselineConfig,
+        rng: &mut R,
+    ) -> Result<Self, BaselineError> {
+        if train.is_empty() {
+            return Err(BaselineError::EmptyTrainingSet);
+        }
+        if train.samples().iter().all(|s| s.floor.is_none()) {
+            return Err(BaselineError::NoLabeledSamples);
+        }
+        let encoder = MatrixEncoder::fit(train);
+        let rows = encoder.encode_all(train);
+        let x = Matrix::from_rows(&rows);
+        let width = encoder.width();
+
+        // Layer-wise pretraining: width → h1 → h2 → dim.
+        let h1 = (width / 2).clamp(config.dim.max(4), 128);
+        let h2 = (h1 / 2).clamp(config.dim.max(4), 64);
+        let dims = [width, h1, h2, config.dim];
+        let mut pretrained: Vec<Dense> = Vec::new();
+        let mut current = x.clone();
+        for w in dims.windows(2) {
+            let (d_in, d_out) = (w[0], w[1]);
+            let mut mini = Sequential::new(vec![
+                Box::new(Dense::new(d_in, d_out, rng)),
+                Box::new(Activation::tanh()),
+                Box::new(Dense::new(d_out, d_in, rng)),
+            ]);
+            let pre_epochs = (config.epochs / 2).max(1);
+            for _ in 0..pre_epochs {
+                mini.train_epoch(&current, &current, Loss::Mse, config.lr, config.batch, rng);
+            }
+            current = mini.forward_partial(&current, 2);
+            // Keep the mini-AE's first (encoder) layer with its weights.
+            pretrained.push(take_first_dense(mini));
+        }
+
+        // Pseudo-labels in the pretrained bottleneck space.
+        let code = &current;
+        let embeddings: Vec<Vec<f64>> = (0..code.rows())
+            .map(|r| code.row(r).iter().map(|&v| f64::from(v)).collect())
+            .collect();
+        let labels: Vec<Option<FloorId>> = train.samples().iter().map(|s| s.floor).collect();
+        let pl = pseudo_labels(&embeddings, &labels);
+
+        let mut floors: Vec<FloorId> = pl.clone();
+        floors.sort_unstable();
+        floors.dedup();
+        let y = one_hot(&pl, &floors);
+
+        // Stack encoder stages + classifier head, fine-tune end-to-end.
+        let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+        for dense in pretrained {
+            layers.push(Box::new(dense));
+            layers.push(Box::new(Activation::tanh()));
+        }
+        layers.push(Box::new(Dense::new(config.dim, floors.len(), rng)));
+        let mut net = Sequential::new(layers);
+        for _ in 0..config.epochs {
+            net.train_epoch(&x, &y, Loss::SoftmaxCrossEntropy, config.lr, config.batch, rng);
+        }
+
+        Ok(Sae { encoder, net, floors })
+    }
+}
+
+/// Extracts the first `Dense` layer from a consumed mini-autoencoder.
+fn take_first_dense(net: Sequential) -> Dense {
+    net.into_layers()
+        .into_iter()
+        .next()
+        .and_then(|l| l.into_dense())
+        .expect("mini-AE starts with Dense")
+}
+
+pub(crate) fn one_hot(labels: &[FloorId], floors: &[FloorId]) -> Matrix {
+    let mut y = Matrix::zeros(labels.len(), floors.len());
+    for (i, l) in labels.iter().enumerate() {
+        let c = floors.binary_search(l).expect("label in floor set");
+        y.set(i, c, 1.0);
+    }
+    y
+}
+
+pub(crate) fn argmax_floor(row: &[f32], floors: &[FloorId]) -> FloorId {
+    let mut best = 0;
+    for (i, &v) in row.iter().enumerate() {
+        if v > row[best] {
+            best = i;
+        }
+    }
+    floors[best]
+}
+
+impl FloorClassifier for Sae {
+    fn name(&self) -> &'static str {
+        "SAE"
+    }
+
+    fn predict(&mut self, record: &SignalRecord) -> Option<FloorId> {
+        let row = self.encoder.encode(record)?;
+        let out = self.net.forward(&Matrix::from_rows(&[row]));
+        Some(argmax_floor(out.row(0), &self.floors))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grafics_data::BuildingModel;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn one_hot_and_argmax_roundtrip() {
+        let floors = vec![FloorId(0), FloorId(2), FloorId(5)];
+        let labels = vec![FloorId(2), FloorId(0), FloorId(5)];
+        let y = one_hot(&labels, &floors);
+        assert_eq!(y.get(0, 1), 1.0);
+        assert_eq!(argmax_floor(y.row(0), &floors), FloorId(2));
+        assert_eq!(argmax_floor(y.row(2), &floors), FloorId(5));
+    }
+
+    #[test]
+    fn sae_learns_with_many_labels() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let ds = BuildingModel::office("sae", 2).with_records_per_floor(40).simulate(&mut rng);
+        let split = ds.split(0.7, &mut rng).unwrap();
+        // Plenty of labels: the supervised model should do decently.
+        let train = split.train.with_label_budget(30, &mut rng);
+        let cfg = BaselineConfig { epochs: 30, ..Default::default() };
+        let mut model = Sae::train(&train, &cfg, &mut rng).unwrap();
+        let mut hits = 0;
+        let mut total = 0;
+        for s in split.test.samples() {
+            if let Some(f) = model.predict(&s.record) {
+                total += 1;
+                if f == s.ground_truth {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(hits * 10 >= total * 6, "SAE with many labels: {hits}/{total}");
+    }
+
+    #[test]
+    fn sae_rejects_degenerate_input() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let cfg = BaselineConfig::default();
+        assert_eq!(
+            Sae::train(&Dataset::default(), &cfg, &mut rng).unwrap_err(),
+            BaselineError::EmptyTrainingSet
+        );
+        let ds = BuildingModel::office("sx", 2)
+            .with_records_per_floor(5)
+            .simulate(&mut rng)
+            .unlabeled();
+        assert_eq!(Sae::train(&ds, &cfg, &mut rng).unwrap_err(), BaselineError::NoLabeledSamples);
+    }
+}

@@ -1,0 +1,155 @@
+//! Scalable-DNN (Kim, Lee & Huang): an encoding network producing
+//! embeddings, followed by a feed-forward floor classifier emitting
+//! one-hot floor ids — trained with the paper's pseudo-label protocol.
+
+use crate::sae::{argmax_floor, one_hot};
+use crate::{pseudo_labels, BaselineConfig, BaselineError, FloorClassifier, MatrixEncoder};
+use grafics_nn::{Activation, Dense, Layer, Loss, Matrix, Sequential};
+use grafics_types::{Dataset, FloorId, SignalRecord};
+use rand::Rng;
+
+/// Encoder + feed-forward classifier.
+#[derive(Debug)]
+pub struct ScalableDnn {
+    encoder: MatrixEncoder,
+    net: Sequential,
+    floors: Vec<FloorId>,
+}
+
+impl ScalableDnn {
+    /// Trains the model: an autoencoder learns the encoding network
+    /// unsupervised, pseudo-labels are derived in its embedding space, and
+    /// the encoder + classifier are then trained jointly with softmax
+    /// cross-entropy on the (pseudo-)labelled one-hot floors.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::EmptyTrainingSet`] / [`BaselineError::NoLabeledSamples`].
+    pub fn train<R: Rng + ?Sized>(
+        train: &Dataset,
+        config: &BaselineConfig,
+        rng: &mut R,
+    ) -> Result<Self, BaselineError> {
+        if train.is_empty() {
+            return Err(BaselineError::EmptyTrainingSet);
+        }
+        if train.samples().iter().all(|s| s.floor.is_none()) {
+            return Err(BaselineError::NoLabeledSamples);
+        }
+        let encoder = MatrixEncoder::fit(train);
+        let rows = encoder.encode_all(train);
+        let x = Matrix::from_rows(&rows);
+        let width = encoder.width();
+        let hidden = (width / 2).clamp(config.dim.max(8), 128);
+
+        // Stage 1: unsupervised encoding network (autoencoder).
+        let mut ae = Sequential::new(vec![
+            Box::new(Dense::new(width, hidden, rng)),
+            Box::new(Activation::relu()),
+            Box::new(Dense::new(hidden, config.dim, rng)),
+            Box::new(Activation::tanh()),
+            Box::new(Dense::new(config.dim, width, rng)),
+        ]);
+        let pre_epochs = (config.epochs / 2).max(1);
+        for _ in 0..pre_epochs {
+            ae.train_epoch(&x, &x, Loss::Mse, config.lr, config.batch, rng);
+        }
+        let code = ae.forward_partial(&x, 4);
+        let embeddings: Vec<Vec<f64>> = (0..code.rows())
+            .map(|r| code.row(r).iter().map(|&v| f64::from(v)).collect())
+            .collect();
+
+        // Stage 2: pseudo-labels + supervised classifier.
+        let labels: Vec<Option<FloorId>> = train.samples().iter().map(|s| s.floor).collect();
+        let pl = pseudo_labels(&embeddings, &labels);
+        let mut floors = pl.clone();
+        floors.sort_unstable();
+        floors.dedup();
+        let y = one_hot(&pl, &floors);
+
+        // Transplant the pretrained encoder stages, add the classifier.
+        let mut pre = ae.into_layers().into_iter();
+        let enc1 = pre.next().unwrap().into_dense().expect("dense");
+        let _relu = pre.next();
+        let enc2 = pre.next().unwrap().into_dense().expect("dense");
+        let layers: Vec<Box<dyn Layer>> = vec![
+            Box::new(enc1),
+            Box::new(Activation::relu()),
+            Box::new(enc2),
+            Box::new(Activation::tanh()),
+            Box::new(Dense::new(config.dim, 32.min(hidden), rng)),
+            Box::new(Activation::relu()),
+            Box::new(Dense::new(32.min(hidden), floors.len(), rng)),
+        ];
+        let mut net = Sequential::new(layers);
+        for _ in 0..config.epochs {
+            net.train_epoch(&x, &y, Loss::SoftmaxCrossEntropy, config.lr, config.batch, rng);
+        }
+        Ok(ScalableDnn { encoder, net, floors })
+    }
+}
+
+impl FloorClassifier for ScalableDnn {
+    fn name(&self) -> &'static str {
+        "Scalable-DNN"
+    }
+
+    fn predict(&mut self, record: &SignalRecord) -> Option<FloorId> {
+        let row = self.encoder.encode(record)?;
+        let out = self.net.forward(&Matrix::from_rows(&[row]));
+        Some(argmax_floor(out.row(0), &self.floors))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grafics_data::BuildingModel;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn scalable_dnn_learns_with_many_labels() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let ds = BuildingModel::office("sd", 2).with_records_per_floor(40).simulate(&mut rng);
+        let split = ds.split(0.7, &mut rng).unwrap();
+        let train = split.train.with_label_budget(30, &mut rng);
+        let cfg = BaselineConfig { epochs: 30, ..Default::default() };
+        let mut model = ScalableDnn::train(&train, &cfg, &mut rng).unwrap();
+        let mut hits = 0;
+        let mut total = 0;
+        for s in split.test.samples() {
+            if let Some(f) = model.predict(&s.record) {
+                total += 1;
+                if f == s.ground_truth {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(hits * 10 >= total * 6, "Scalable-DNN with many labels: {hits}/{total}");
+    }
+
+    #[test]
+    fn rejects_degenerate_input() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let cfg = BaselineConfig::default();
+        assert_eq!(
+            ScalableDnn::train(&Dataset::default(), &cfg, &mut rng).unwrap_err(),
+            BaselineError::EmptyTrainingSet
+        );
+    }
+
+    #[test]
+    fn predicts_known_floor_ids_only() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let ds = BuildingModel::office("sd2", 3).with_records_per_floor(20).simulate(&mut rng);
+        let train = ds.with_label_budget(5, &mut rng);
+        let cfg = BaselineConfig { epochs: 5, ..Default::default() };
+        let mut model = ScalableDnn::train(&train, &cfg, &mut rng).unwrap();
+        for s in train.samples().iter().take(10) {
+            let f = model.predict(&s.record).unwrap();
+            assert!((0..3).contains(&f.0));
+        }
+    }
+}

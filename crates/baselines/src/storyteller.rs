@@ -1,0 +1,210 @@
+//! StoryTeller-style baseline (Elbakly & Youssef, §II [27]).
+//!
+//! StoryTeller "converts RF signals to images based on APs with strong
+//! signal strengths and then trains a convolutional neural network model
+//! for floor classification". Like ViFi it needs the APs' physical
+//! locations — unavailable in crowdsourced corpora — so, as with
+//! [`crate::ViFi`], we implement it as an **oracle-information
+//! comparator** fed the simulator's true AP map.
+//!
+//! Each scan becomes a single-channel `G × G` image over the floor plate:
+//! pixel intensity is the strongest scaled RSS among the APs located in
+//! that cell (strong APs paint bright pixels near the user). A small CNN
+//! (two Conv2d+ReLU stages and a dense head) classifies the floor,
+//! trained with the usual pseudo-labels.
+
+use crate::sae::{argmax_floor, one_hot};
+use crate::{pseudo_labels, BaselineConfig, BaselineError, FloorClassifier};
+use grafics_data::BuildingLayout;
+use grafics_nn::{Activation, Conv2d, Dense, Loss, Matrix, Sequential};
+use grafics_types::{Dataset, FloorId, MacAddr, SignalRecord};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// CNN over AP-position images, with oracle AP locations.
+#[derive(Debug)]
+pub struct StoryTeller {
+    grid: usize,
+    cell_of: HashMap<MacAddr, usize>,
+    net: Sequential,
+    floors: Vec<FloorId>,
+}
+
+impl StoryTeller {
+    /// Trains the CNN on scan images. `grid` is the image side length
+    /// (the paper uses small fixed-size images; 12–16 works well).
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::EmptyTrainingSet`] / [`BaselineError::NoLabeledSamples`].
+    pub fn train<R: Rng + ?Sized>(
+        train: &Dataset,
+        layout: &BuildingLayout,
+        width_m: f64,
+        depth_m: f64,
+        grid: usize,
+        config: &BaselineConfig,
+        rng: &mut R,
+    ) -> Result<Self, BaselineError> {
+        if train.is_empty() {
+            return Err(BaselineError::EmptyTrainingSet);
+        }
+        if train.samples().iter().all(|s| s.floor.is_none()) {
+            return Err(BaselineError::NoLabeledSamples);
+        }
+        let grid = grid.max(4);
+        // Map each AP to its image cell (position is oracle information).
+        let cell_of: HashMap<MacAddr, usize> = layout
+            .aps
+            .iter()
+            .map(|ap| {
+                let gx = ((ap.x / width_m) * grid as f64).min(grid as f64 - 1.0) as usize;
+                let gy = ((ap.y / depth_m) * grid as f64).min(grid as f64 - 1.0) as usize;
+                (ap.mac, gy * grid + gx)
+            })
+            .collect();
+
+        let images: Vec<Vec<f32>> = train
+            .samples()
+            .iter()
+            .map(|s| render_image(&s.record, &cell_of, grid))
+            .collect();
+        let x = Matrix::from_rows(&images);
+
+        // Pseudo-labels in image space.
+        let embeddings: Vec<Vec<f64>> = images
+            .iter()
+            .map(|img| img.iter().map(|&v| f64::from(v)).collect())
+            .collect();
+        let labels: Vec<Option<FloorId>> = train.samples().iter().map(|s| s.floor).collect();
+        let pl = pseudo_labels(&embeddings, &labels);
+        let mut floors = pl.clone();
+        floors.sort_unstable();
+        floors.dedup();
+        let y = one_hot(&pl, &floors);
+
+        // CNN: Conv(1→8, k3, s2) → ReLU → Conv(8→16, k3, s1|2) → ReLU →
+        // Dense → ReLU → Dense(classes).
+        let conv1 = Conv2d::new(1, 8, grid, grid, 3, 2, rng);
+        let (h1, w1) = conv1.out_dims();
+        let stride2 = if h1.min(w1) >= 6 { 2 } else { 1 };
+        let k2 = 3.min(h1).min(w1);
+        let conv2 = Conv2d::new(8, 16, h1, w1, k2, stride2, rng);
+        let flat = conv2.out_width();
+        let mut net = Sequential::new(vec![
+            Box::new(conv1),
+            Box::new(Activation::relu()),
+            Box::new(conv2),
+            Box::new(Activation::relu()),
+            Box::new(Dense::new(flat, 32, rng)),
+            Box::new(Activation::relu()),
+            Box::new(Dense::new(32, floors.len(), rng)),
+        ]);
+        for _ in 0..config.epochs {
+            net.train_epoch(&x, &y, Loss::SoftmaxCrossEntropy, config.lr, config.batch, rng);
+        }
+        Ok(StoryTeller { grid, cell_of, net, floors })
+    }
+}
+
+/// Rasterises a scan: per cell, the strongest scaled RSS among the cell's
+/// observed APs; weak signals (< −85 dBm) are dropped, per the
+/// "strong-signal APs" rule.
+fn render_image(
+    record: &SignalRecord,
+    cell_of: &HashMap<MacAddr, usize>,
+    grid: usize,
+) -> Vec<f32> {
+    let mut img = vec![0.0f32; grid * grid];
+    for r in record.readings() {
+        if r.rssi.dbm() < -85.0 {
+            continue;
+        }
+        if let Some(&cell) = cell_of.get(&r.mac) {
+            let intensity = ((r.rssi.dbm() + 85.0) / 85.0) as f32;
+            if intensity > img[cell] {
+                img[cell] = intensity;
+            }
+        }
+    }
+    img
+}
+
+impl FloorClassifier for StoryTeller {
+    fn name(&self) -> &'static str {
+        "StoryTeller"
+    }
+
+    fn predict(&mut self, record: &SignalRecord) -> Option<FloorId> {
+        let img = render_image(record, &self.cell_of, self.grid);
+        if img.iter().all(|&v| v == 0.0) {
+            return None; // no strong in-map AP
+        }
+        let out = self.net.forward(&Matrix::from_rows(&[img]));
+        Some(argmax_floor(out.row(0), &self.floors))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grafics_data::BuildingModel;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn image_rendering_places_strong_aps() {
+        let mut cell_of = HashMap::new();
+        cell_of.insert(MacAddr::from_u64(1), 0);
+        cell_of.insert(MacAddr::from_u64(2), 5);
+        let rec = SignalRecord::new(vec![
+            grafics_types::Reading::new(MacAddr::from_u64(1), grafics_types::Rssi::new(-40.0).unwrap()),
+            grafics_types::Reading::new(MacAddr::from_u64(2), grafics_types::Rssi::new(-90.0).unwrap()),
+            grafics_types::Reading::new(MacAddr::from_u64(9), grafics_types::Rssi::new(-40.0).unwrap()),
+        ])
+        .unwrap();
+        let img = render_image(&rec, &cell_of, 4);
+        assert!(img[0] > 0.5, "strong AP paints its cell");
+        assert_eq!(img[5], 0.0, "weak AP dropped");
+        assert_eq!(img.iter().filter(|&&v| v > 0.0).count(), 1, "unknown AP ignored");
+    }
+
+    #[test]
+    fn storyteller_learns_with_oracle_positions() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let b = BuildingModel::office("st", 2).with_records_per_floor(50);
+        let layout = b.layout(&mut rng);
+        let ds = b.simulate_with_layout(&layout, &mut rng);
+        let split = ds.split(0.7, &mut rng).unwrap();
+        let train = split.train.with_label_budget(20, &mut rng);
+        let cfg = BaselineConfig { epochs: 30, ..Default::default() };
+        let mut model =
+            StoryTeller::train(&train, &layout, b.width_m, b.depth_m, 12, &cfg, &mut rng)
+                .unwrap();
+        let mut hits = 0;
+        let mut total = 0;
+        for s in split.test.samples() {
+            if let Some(f) = model.predict(&s.record) {
+                total += 1;
+                if f == s.ground_truth {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(hits * 10 >= total * 6, "StoryTeller: {hits}/{total}");
+    }
+
+    #[test]
+    fn rejects_degenerate_input() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let b = BuildingModel::office("st2", 2).with_records_per_floor(5);
+        let layout = b.layout(&mut rng);
+        let cfg = BaselineConfig::default();
+        assert_eq!(
+            StoryTeller::train(&Dataset::default(), &layout, 10.0, 10.0, 8, &cfg, &mut rng)
+                .unwrap_err(),
+            BaselineError::EmptyTrainingSet
+        );
+    }
+}

@@ -1,0 +1,219 @@
+//! Linear SVM floor classification (Zhang et al., §II [12]).
+//!
+//! The reference approach "needs to train support vectors for the
+//! classification of every pair of floors" — i.e. one-vs-one linear SVMs
+//! with majority voting, which the paper criticises as inconvenient (the
+//! number of classifiers grows quadratically with floors). We train each
+//! pairwise hinge-loss SVM by SGD (Pegasos-style) on the scaled matrix
+//! rows, with the usual pseudo-labels for the unlabelled majority.
+
+use crate::{pseudo_labels, BaselineConfig, BaselineError, FloorClassifier, MatrixEncoder};
+use grafics_types::{Dataset, FloorId, SignalRecord};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// One-vs-one linear SVM committee.
+#[derive(Debug)]
+pub struct SvmOvO {
+    encoder: MatrixEncoder,
+    /// One `(floor_a, floor_b, w, bias)` per unordered pair, `a < b`.
+    machines: Vec<(FloorId, FloorId, Vec<f32>, f32)>,
+    floors: Vec<FloorId>,
+}
+
+impl SvmOvO {
+    /// Trains all `n·(n−1)/2` pairwise SVMs.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::EmptyTrainingSet`] / [`BaselineError::NoLabeledSamples`].
+    pub fn train<R: Rng + ?Sized>(
+        train: &Dataset,
+        config: &BaselineConfig,
+        rng: &mut R,
+    ) -> Result<Self, BaselineError> {
+        if train.is_empty() {
+            return Err(BaselineError::EmptyTrainingSet);
+        }
+        if train.samples().iter().all(|s| s.floor.is_none()) {
+            return Err(BaselineError::NoLabeledSamples);
+        }
+        let encoder = MatrixEncoder::fit(train);
+        let rows = encoder.encode_all(train);
+
+        // Pseudo-labels computed directly in input space (the SVM has no
+        // learned embedding of its own).
+        let embeddings: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| r.iter().map(|&v| f64::from(v)).collect())
+            .collect();
+        let labels: Vec<Option<FloorId>> = train.samples().iter().map(|s| s.floor).collect();
+        let pl = pseudo_labels(&embeddings, &labels);
+        let mut floors = pl.clone();
+        floors.sort_unstable();
+        floors.dedup();
+
+        // Index rows by class.
+        let mut by_floor: HashMap<FloorId, Vec<usize>> = HashMap::new();
+        for (i, &f) in pl.iter().enumerate() {
+            by_floor.entry(f).or_default().push(i);
+        }
+
+        let mut machines = Vec::new();
+        for ai in 0..floors.len() {
+            for bi in (ai + 1)..floors.len() {
+                let (fa, fb) = (floors[ai], floors[bi]);
+                let (w, bias) = train_pair(
+                    &rows,
+                    &by_floor[&fa],
+                    &by_floor[&fb],
+                    config.epochs.max(10),
+                    rng,
+                );
+                machines.push((fa, fb, w, bias));
+            }
+        }
+        Ok(SvmOvO { encoder, machines, floors })
+    }
+
+    /// Number of pairwise machines (the paper's quadratic-growth pain).
+    #[must_use]
+    pub fn machine_count(&self) -> usize {
+        self.machines.len()
+    }
+}
+
+/// Pegasos SGD for one `a (+1)` vs `b (−1)` hinge-loss SVM.
+fn train_pair<R: Rng + ?Sized>(
+    rows: &[Vec<f32>],
+    pos: &[usize],
+    neg: &[usize],
+    epochs: usize,
+    rng: &mut R,
+) -> (Vec<f32>, f32) {
+    let d = rows[0].len();
+    let mut w = vec![0.0f32; d];
+    let mut bias = 0.0f32;
+    let lambda = 1e-3f32;
+    let mut order: Vec<(usize, f32)> = pos
+        .iter()
+        .map(|&i| (i, 1.0))
+        .chain(neg.iter().map(|&i| (i, -1.0)))
+        .collect();
+    let mut t = 1usize;
+    for _ in 0..epochs {
+        order.shuffle(rng);
+        for &(i, y) in &order {
+            let eta = 1.0 / (lambda * t as f32);
+            let margin = y * (dot(&w, &rows[i]) + bias);
+            // w ← (1 − ηλ) w [+ η y x if margin violated]
+            let shrink = 1.0 - eta * lambda;
+            for v in &mut w {
+                *v *= shrink;
+            }
+            if margin < 1.0 {
+                for (wv, &xv) in w.iter_mut().zip(&rows[i]) {
+                    *wv += eta * y * xv;
+                }
+                bias += eta * y;
+            }
+            t += 1;
+        }
+    }
+    (w, bias)
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+impl FloorClassifier for SvmOvO {
+    fn name(&self) -> &'static str {
+        "SVM-OvO"
+    }
+
+    fn predict(&mut self, record: &SignalRecord) -> Option<FloorId> {
+        let row = self.encoder.encode(record)?;
+        let mut votes: HashMap<FloorId, usize> = HashMap::new();
+        for (fa, fb, w, bias) in &self.machines {
+            let winner = if dot(w, &row) + bias >= 0.0 { *fa } else { *fb };
+            *votes.entry(winner).or_default() += 1;
+        }
+        // Majority vote; ties broken by lower floor for determinism.
+        self.floors
+            .iter()
+            .max_by_key(|f| (votes.get(f).copied().unwrap_or(0), std::cmp::Reverse(f.0)))
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grafics_data::BuildingModel;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn machine_count_is_quadratic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let ds = BuildingModel::office("svm", 4).with_records_per_floor(20).simulate(&mut rng);
+        let train = ds.with_label_budget(5, &mut rng);
+        let model = SvmOvO::train(&train, &BaselineConfig::default(), &mut rng).unwrap();
+        assert_eq!(model.machine_count(), 6); // C(4, 2)
+    }
+
+    #[test]
+    fn svm_learns_with_many_labels() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let ds = BuildingModel::office("svm2", 2).with_records_per_floor(40).simulate(&mut rng);
+        let split = ds.split(0.7, &mut rng).unwrap();
+        let train = split.train.with_label_budget(25, &mut rng);
+        let mut model = SvmOvO::train(&train, &BaselineConfig::default(), &mut rng).unwrap();
+        let mut hits = 0;
+        let mut total = 0;
+        for s in split.test.samples() {
+            if let Some(f) = model.predict(&s.record) {
+                total += 1;
+                if f == s.ground_truth {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(hits * 10 >= total * 6, "SVM with many labels: {hits}/{total}");
+    }
+
+    #[test]
+    fn pegasos_separates_linearly_separable_data() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let rows: Vec<Vec<f32>> = (0..40)
+            .map(|i| {
+                let c = if i < 20 { -2.0 } else { 2.0 };
+                vec![c + rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5)]
+            })
+            .collect();
+        let pos: Vec<usize> = (0..20).collect();
+        let neg: Vec<usize> = (20..40).collect();
+        let (w, b) = train_pair(&rows, &pos, &neg, 80, &mut rng);
+        let correct = rows
+            .iter()
+            .enumerate()
+            .filter(|(i, r)| {
+                let y = if *i < 20 { 1.0 } else { -1.0 };
+                y * (dot(&w, r) + b) > 0.0
+            })
+            .count();
+        assert!(correct >= 37, "{correct}/40");
+    }
+
+    #[test]
+    fn rejects_degenerate_input() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert_eq!(
+            SvmOvO::train(&Dataset::default(), &BaselineConfig::default(), &mut rng).unwrap_err(),
+            BaselineError::EmptyTrainingSet
+        );
+    }
+}

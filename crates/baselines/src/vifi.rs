@@ -1,0 +1,309 @@
+//! ViFi-style oracle baseline (Caso et al., §II [29]).
+//!
+//! ViFi fits a multi-wall multi-floor propagation model from RSS
+//! measurements, generates *virtual reference points* on every floor, and
+//! classifies new signals by weighted k-nearest-neighbours against them.
+//! It requires the APs' physical locations — information crowdsourced
+//! corpora do not carry, which is exactly why the paper designs GRAFICS
+//! to work without it.
+//!
+//! Our simulator *does* know the AP locations, so we can implement ViFi
+//! faithfully as an **oracle-information comparator**: it consumes the
+//! true [`grafics_data::BuildingLayout`] plus labelled samples, fits the
+//! path-loss exponent and floor-attenuation factor by least squares, and
+//! predicts floors via virtual fingerprints. GRAFICS matching or beating
+//! an oracle that sees the AP map is a strong result.
+
+use crate::BaselineError;
+use grafics_data::BuildingLayout;
+use grafics_types::{Dataset, FloorId, MacAddr, SignalRecord};
+use std::collections::HashMap;
+
+/// Virtual-fingerprint floor classifier with oracle AP locations.
+#[derive(Debug)]
+pub struct ViFi {
+    /// Fitted path-loss exponent `n`.
+    pub path_loss_exponent: f64,
+    /// Fitted per-floor attenuation in dB.
+    pub floor_attenuation_db: f64,
+    /// Fitted intercept `P₀` (transmit power minus reference loss).
+    pub p0_dbm: f64,
+    ap_index: HashMap<MacAddr, (f64, f64, i16)>,
+    /// Virtual reference points: (floor, virtual fingerprint).
+    references: Vec<(FloorId, Vec<(MacAddr, f64)>)>,
+    k: usize,
+}
+
+impl ViFi {
+    /// Fits the propagation parameters from the labelled samples and
+    /// generates `grid × grid` virtual reference points per floor.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::NoLabeledSamples`] if no sample carries a label.
+    pub fn train(
+        train: &Dataset,
+        layout: &BuildingLayout,
+        width_m: f64,
+        depth_m: f64,
+        floors: i16,
+        floor_height_m: f64,
+        grid: usize,
+    ) -> Result<Self, BaselineError> {
+        let labeled: Vec<_> = train.samples().iter().filter(|s| s.is_labeled()).collect();
+        if labeled.is_empty() {
+            return Err(BaselineError::NoLabeledSamples);
+        }
+        let ap_index: HashMap<MacAddr, (f64, f64, i16)> =
+            layout.aps.iter().map(|a| (a.mac, (a.x, a.y, a.floor))).collect();
+
+        // Least squares over observations: RSS = P0 − 10 n log10(d) − FAF·Δf.
+        // Design matrix columns: [1, −10·log10(d), −Δf]. ViFi does not know
+        // the measurement position, so (like the original) we approximate
+        // each labelled sample's position by the strongest AP's location.
+        let mut rows: Vec<[f64; 3]> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        for s in &labeled {
+            let strongest = s.record.strongest();
+            let Some(&(sx, sy, _)) = ap_index.get(&strongest.mac) else { continue };
+            let sample_floor = f64::from(s.floor.expect("labelled").0);
+            for r in s.record.readings() {
+                let Some(&(ax, ay, af)) = ap_index.get(&r.mac) else { continue };
+                let dz = (f64::from(af) - sample_floor) * floor_height_m;
+                let d = ((ax - sx).powi(2) + (ay - sy).powi(2) + dz * dz).sqrt().max(1.0);
+                rows.push([1.0, -10.0 * d.log10(), -(f64::from(af) - sample_floor).abs()]);
+                ys.push(r.rssi.dbm());
+            }
+        }
+        let [p0, n, faf] = solve_3x3_least_squares(&rows, &ys);
+        // Clamp to physically sane ranges (tiny labelled sets can produce
+        // wild fits).
+        let n = n.clamp(1.5, 4.5);
+        let faf = faf.clamp(5.0, 30.0);
+
+        // Virtual reference points on a grid per floor.
+        let mut references = Vec::new();
+        for floor in 0..floors {
+            for gi in 0..grid {
+                for gj in 0..grid {
+                    let x = width_m * (gi as f64 + 0.5) / grid as f64;
+                    let y = depth_m * (gj as f64 + 0.5) / grid as f64;
+                    let mut fp: Vec<(MacAddr, f64)> = layout
+                        .aps
+                        .iter()
+                        .map(|a| {
+                            let dz = f64::from(a.floor - floor) * floor_height_m;
+                            let d = ((a.x - x).powi(2) + (a.y - y).powi(2) + dz * dz)
+                                .sqrt()
+                                .max(1.0);
+                            let rss = p0 - 10.0 * n * d.log10()
+                                - faf * f64::from((a.floor - floor).abs());
+                            (a.mac, rss)
+                        })
+                        .filter(|&(_, rss)| rss > -95.0)
+                        .collect();
+                    fp.sort_by(|a, b| a.0.cmp(&b.0));
+                    references.push((FloorId(floor), fp));
+                }
+            }
+        }
+        Ok(ViFi {
+            path_loss_exponent: n,
+            floor_attenuation_db: faf,
+            p0_dbm: p0,
+            ap_index,
+            references,
+            k: 5,
+        })
+    }
+
+    /// Weighted k-NN floor prediction against the virtual fingerprints.
+    #[must_use]
+    pub fn predict(&self, record: &SignalRecord) -> Option<FloorId> {
+        if !record.macs().any(|m| self.ap_index.contains_key(&m)) {
+            return None;
+        }
+        let mut scored: Vec<(f64, FloorId)> = self
+            .references
+            .iter()
+            .map(|(floor, fp)| (fingerprint_distance(record, fp), *floor))
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        let mut weights: HashMap<FloorId, f64> = HashMap::new();
+        for &(d, f) in scored.iter().take(self.k) {
+            *weights.entry(f).or_default() += 1.0 / (d + 1e-6);
+        }
+        weights
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .map(|(f, _)| f)
+    }
+}
+
+/// Mean |ΔRSS| over shared MACs, with a miss penalty per MAC present in
+/// only one side (the standard virtual-fingerprint matching rule).
+fn fingerprint_distance(record: &SignalRecord, fp: &[(MacAddr, f64)]) -> f64 {
+    const MISS_PENALTY: f64 = 25.0;
+    let fp_map: HashMap<MacAddr, f64> = fp.iter().copied().collect();
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for r in record.readings() {
+        match fp_map.get(&r.mac) {
+            Some(&expected) => sum += (r.rssi.dbm() - expected).abs(),
+            None => sum += MISS_PENALTY,
+        }
+        n += 1;
+    }
+    if n == 0 {
+        f64::INFINITY
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Ordinary least squares for a 3-parameter linear model via the normal
+/// equations (closed form for the 3×3 system).
+fn solve_3x3_least_squares(rows: &[[f64; 3]], ys: &[f64]) -> [f64; 3] {
+    let mut ata = [[0.0f64; 3]; 3];
+    let mut aty = [0.0f64; 3];
+    for (row, &y) in rows.iter().zip(ys) {
+        for i in 0..3 {
+            aty[i] += row[i] * y;
+            for j in 0..3 {
+                ata[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    for (i, row) in ata.iter_mut().enumerate() {
+        row[i] += 1e-6; // ridge jitter
+    }
+    // Gaussian elimination on the 3×3 system.
+    let mut m = [
+        [ata[0][0], ata[0][1], ata[0][2], aty[0]],
+        [ata[1][0], ata[1][1], ata[1][2], aty[1]],
+        [ata[2][0], ata[2][1], ata[2][2], aty[2]],
+    ];
+    for col in 0..3 {
+        let pivot = (col..3)
+            .max_by(|&a, &b| m[a][col].abs().partial_cmp(&m[b][col].abs()).expect("finite"))
+            .expect("non-empty");
+        m.swap(col, pivot);
+        let p = m[col][col];
+        if p.abs() < 1e-12 {
+            continue;
+        }
+        for r in 0..3 {
+            if r != col {
+                let factor = m[r][col] / p;
+                for c in col..4 {
+                    m[r][c] -= factor * m[col][c];
+                }
+            }
+        }
+    }
+    [m[0][3] / m[0][0], m[1][3] / m[1][1], m[2][3] / m[2][2]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grafics_data::BuildingModel;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn least_squares_recovers_known_parameters() {
+        // y = 5 + 2 a + 3 b exactly.
+        let rows: Vec<[f64; 3]> = (0..30)
+            .map(|i| [1.0, (i % 7) as f64, (i % 5) as f64])
+            .collect();
+        let ys: Vec<f64> = rows.iter().map(|r| 5.0 + 2.0 * r[1] + 3.0 * r[2]).collect();
+        let [c0, c1, c2] = solve_3x3_least_squares(&rows, &ys);
+        assert!((c0 - 5.0).abs() < 1e-6, "{c0}");
+        assert!((c1 - 2.0).abs() < 1e-6, "{c1}");
+        assert!((c2 - 3.0).abs() < 1e-6, "{c2}");
+    }
+
+    #[test]
+    fn fitted_parameters_are_physical() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let b = BuildingModel::office("vifi", 4).with_records_per_floor(60);
+        let layout = b.layout(&mut rng);
+        let ds = b.simulate_with_layout(&layout, &mut rng);
+        let train = ds.with_label_budget(20, &mut rng);
+        let model = ViFi::train(
+            &train,
+            &layout,
+            b.width_m,
+            b.depth_m,
+            b.floors,
+            b.propagation.floor_height_m,
+            6,
+        )
+        .unwrap();
+        // The simulator uses n = 2.8, FAF = 16; the fit should land nearby.
+        assert!((1.5..=4.5).contains(&model.path_loss_exponent), "{}", model.path_loss_exponent);
+        assert!((5.0..=30.0).contains(&model.floor_attenuation_db), "{}", model.floor_attenuation_db);
+    }
+
+    #[test]
+    fn oracle_vifi_classifies_reasonably() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let b = BuildingModel::office("vifi2", 3).with_records_per_floor(60);
+        let layout = b.layout(&mut rng);
+        let ds = b.simulate_with_layout(&layout, &mut rng);
+        let split = ds.split(0.7, &mut rng).unwrap();
+        let train = split.train.with_label_budget(10, &mut rng);
+        let model = ViFi::train(
+            &train,
+            &layout,
+            b.width_m,
+            b.depth_m,
+            b.floors,
+            b.propagation.floor_height_m,
+            6,
+        )
+        .unwrap();
+        let mut hits = 0;
+        let mut total = 0;
+        for s in split.test.samples() {
+            if let Some(f) = model.predict(&s.record) {
+                total += 1;
+                if f == s.ground_truth {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(hits * 10 >= total * 6, "oracle ViFi: {hits}/{total}");
+    }
+
+    #[test]
+    fn requires_labels() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let b = BuildingModel::office("vifi3", 2).with_records_per_floor(10);
+        let layout = b.layout(&mut rng);
+        let ds = b.simulate_with_layout(&layout, &mut rng).unlabeled();
+        assert!(matches!(
+            ViFi::train(&ds, &layout, b.width_m, b.depth_m, b.floors, 3.5, 4),
+            Err(BaselineError::NoLabeledSamples)
+        ));
+    }
+
+    #[test]
+    fn foreign_record_is_none() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let b = BuildingModel::office("vifi4", 2).with_records_per_floor(20);
+        let layout = b.layout(&mut rng);
+        let ds = b.simulate_with_layout(&layout, &mut rng);
+        let train = ds.with_label_budget(5, &mut rng);
+        let model =
+            ViFi::train(&train, &layout, b.width_m, b.depth_m, b.floors, 3.5, 4).unwrap();
+        let foreign = SignalRecord::new(vec![grafics_types::Reading::new(
+            MacAddr::from_u64(0xdeadbeef),
+            grafics_types::Rssi::new(-50.0).unwrap(),
+        )])
+        .unwrap();
+        assert_eq!(model.predict(&foreign), None);
+    }
+}

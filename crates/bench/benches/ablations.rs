@@ -1,0 +1,112 @@
+//! Ablation benches for the design choices DESIGN.md calls out: the
+//! E-LINE mirrored objective vs LINE, the negative-sample count K, the
+//! weight function, and the clustering linkage. These measure *runtime*
+//! cost; the *accuracy* ablations live in the fig13/fig16 binaries and the
+//! `paper_claims` integration tests.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use grafics_cluster::{ClusterModel, ClusteringConfig, Linkage};
+use grafics_data::BuildingModel;
+use grafics_embed::{ElineTrainer, EmbeddingConfig, Objective};
+use grafics_graph::{BipartiteGraph, WeightFunction};
+use grafics_types::FloorId;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn graph() -> BipartiteGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let ds = BuildingModel::office("abl", 3).with_records_per_floor(50).simulate(&mut rng);
+    BipartiteGraph::from_dataset(&ds, WeightFunction::default())
+}
+
+/// E-LINE does two SGD steps per direction where LINE does one; this
+/// quantifies the constant-factor cost of the mirrored objective.
+fn bench_objective(c: &mut Criterion) {
+    let g = graph();
+    let mut group = c.benchmark_group("ablation_objective");
+    group.sample_size(10);
+    for objective in [Objective::LineFirst, Objective::LineSecond, Objective::ELine] {
+        group.bench_with_input(
+            BenchmarkId::new("train", format!("{objective}")),
+            &objective,
+            |b, &objective| {
+                b.iter_batched(
+                    || ChaCha8Rng::seed_from_u64(1),
+                    |mut rng| {
+                        let cfg = EmbeddingConfig { objective, epochs: 10, ..Default::default() };
+                        ElineTrainer::new(cfg).train(black_box(&g), &mut rng).unwrap()
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Cost of the negative-sample count K (Eq. 10).
+fn bench_negatives(c: &mut Criterion) {
+    let g = graph();
+    let mut group = c.benchmark_group("ablation_negatives");
+    group.sample_size(10);
+    for k in [1usize, 5, 15] {
+        group.bench_with_input(BenchmarkId::new("train_k", k), &k, |b, &k| {
+            b.iter_batched(
+                || ChaCha8Rng::seed_from_u64(2),
+                |mut rng| {
+                    let cfg = EmbeddingConfig { negatives: k, epochs: 10, ..Default::default() };
+                    ElineTrainer::new(cfg).train(black_box(&g), &mut rng).unwrap()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Weight functions cost the same to evaluate; this is a sanity bench that
+/// the offset choice (accuracy winner, Fig. 16) is also not slower.
+fn bench_weight_functions(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let ds = BuildingModel::office("wf", 2).with_records_per_floor(50).simulate(&mut rng);
+    let mut group = c.benchmark_group("ablation_weight_fn");
+    for (name, wf) in
+        [("offset", WeightFunction::offset_default()), ("power", WeightFunction::Power)]
+    {
+        group.bench_with_input(BenchmarkId::new("graph_build", name), &wf, |b, &wf| {
+            b.iter(|| BipartiteGraph::from_dataset(black_box(&ds), wf))
+        });
+    }
+    group.finish();
+}
+
+/// Linkage choice: average (the paper's Eq. 11) vs single vs complete.
+fn bench_linkage(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let n = 300;
+    let points: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let f = (i % 3) as f64 * 10.0;
+            (0..8).map(|_| f + rand::Rng::gen_range(&mut rng, -1.0..1.0)).collect()
+        })
+        .collect();
+    let labels: Vec<Option<FloorId>> =
+        (0..n).map(|i| if i < 12 { Some(FloorId((i % 3) as i16)) } else { None }).collect();
+    let mut group = c.benchmark_group("ablation_linkage");
+    group.sample_size(10);
+    for linkage in [Linkage::Average, Linkage::Single, Linkage::Complete] {
+        group.bench_with_input(
+            BenchmarkId::new("fit", format!("{linkage:?}")),
+            &linkage,
+            |b, &linkage| {
+                let cfg = ClusteringConfig { linkage, ..Default::default() };
+                b.iter(|| ClusterModel::fit(black_box(&points), black_box(&labels), &cfg).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_objective, bench_negatives, bench_weight_functions, bench_linkage);
+criterion_main!(benches);

@@ -1,0 +1,158 @@
+//! Criterion micro-benchmarks of every pipeline stage: graph build,
+//! alias sampling, E-LINE training, constrained clustering, and the
+//! online-inference latency the paper claims is "computationally
+//! inexpensive and can be done in real-time" (§V-A).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use grafics_cluster::{ClusterModel, ClusteringConfig};
+use grafics_core::{Grafics, GraficsConfig};
+use grafics_data::BuildingModel;
+use grafics_embed::{ElineTrainer, EmbeddingConfig};
+use grafics_graph::{AliasTable, BipartiteGraph, WeightFunction};
+use grafics_types::{Dataset, FloorId, RecordId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn corpus(records_per_floor: usize) -> Dataset {
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    BuildingModel::office("bench", 3).with_records_per_floor(records_per_floor).simulate(&mut rng)
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    let ds = corpus(100);
+    c.bench_function("graph/build_300_records", |b| {
+        b.iter(|| BipartiteGraph::from_dataset(black_box(&ds), WeightFunction::default()))
+    });
+}
+
+fn bench_alias_sampling(c: &mut Criterion) {
+    let weights: Vec<f64> = (1..=10_000).map(|i| (i % 97 + 1) as f64).collect();
+    let table = AliasTable::new(&weights).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    c.bench_function("alias/sample_10k_outcomes", |b| b.iter(|| table.sample(&mut rng)));
+}
+
+fn bench_embedding_training(c: &mut Criterion) {
+    let ds = corpus(60);
+    let graph = BipartiteGraph::from_dataset(&ds, WeightFunction::default());
+    let mut group = c.benchmark_group("embed");
+    group.sample_size(10);
+    for epochs in [5usize, 20] {
+        group.bench_with_input(BenchmarkId::new("eline_train", epochs), &epochs, |b, &epochs| {
+            b.iter_batched(
+                || ChaCha8Rng::seed_from_u64(7),
+                |mut rng| {
+                    let cfg = EmbeddingConfig { epochs, ..Default::default() };
+                    ElineTrainer::new(cfg).train(black_box(&graph), &mut rng).unwrap()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let mut group = c.benchmark_group("cluster");
+    group.sample_size(10);
+    for n in [200usize, 600] {
+        // n points in 8-D around 3 floor centroids, 4 labels per floor.
+        let points: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let f = (i % 3) as f64 * 10.0;
+                (0..8).map(|_| f + rand::Rng::gen_range(&mut rng, -1.0..1.0)).collect()
+            })
+            .collect();
+        let labels: Vec<Option<FloorId>> = (0..n)
+            .map(|i| if i < 12 { Some(FloorId((i % 3) as i16)) } else { None })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("constrained_average", n), &n, |b, _| {
+            b.iter(|| {
+                ClusterModel::fit(
+                    black_box(&points),
+                    black_box(&labels),
+                    &ClusteringConfig::default(),
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_online_inference(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let ds = corpus(80);
+    let split = ds.split(0.7, &mut rng).unwrap();
+    let train = split.train.with_label_budget(4, &mut rng);
+    let model = Grafics::train(&train, &GraficsConfig::fast(), &mut rng).unwrap();
+    let test_records: Vec<_> =
+        split.test.samples().iter().map(|s| s.record.clone()).collect();
+    let mut group = c.benchmark_group("online");
+    group.sample_size(20);
+    group.bench_function("infer_one_record", |b| {
+        let mut i = 0;
+        b.iter_batched(
+            || (model.clone(), ChaCha8Rng::seed_from_u64(11)),
+            |(mut m, mut rng)| {
+                let rec = &test_records[i % test_records.len()];
+                i += 1;
+                m.infer(black_box(rec), &mut rng).unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_full_offline_training(c: &mut Criterion) {
+    let ds = corpus(60);
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("offline_train_180_records", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = ChaCha8Rng::seed_from_u64(13);
+                (ds.with_label_budget(4, &mut rng), rng)
+            },
+            |(train, mut rng)| Grafics::train(&train, &GraficsConfig::fast(), &mut rng).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_record_ops(c: &mut Criterion) {
+    let ds = corpus(60);
+    let graph = BipartiteGraph::from_dataset(&ds, WeightFunction::default());
+    let extra = ds.samples()[0].record.clone();
+    c.bench_function("graph/add_remove_record", |b| {
+        b.iter_batched(
+            || graph.clone(),
+            |mut g| {
+                let rid = g.add_record(black_box(&extra));
+                g.remove_record(rid).unwrap();
+                g
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let node0 = graph.record_node(RecordId(0)).unwrap();
+    c.bench_function("graph/neighbors_lookup", |b| {
+        b.iter(|| black_box(graph.neighbors(black_box(node0)).len()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_graph_build,
+    bench_alias_sampling,
+    bench_embedding_training,
+    bench_clustering,
+    bench_online_inference,
+    bench_full_offline_training,
+    bench_record_ops,
+);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Accuracy ablation of the clustering stage: the one-label-per-cluster
+//! merge constraint (on/off) and the linkage criterion (average — the
+//! paper's Eq. (11) — vs single vs complete).
+
+use grafics_bench::{fleets, mean_report, run_fleet, write_json, Algo, ExperimentConfig};
+use grafics_cluster::Linkage;
+use grafics_core::GraficsConfig;
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let variants: Vec<(&str, GraficsConfig)> = vec![
+        ("average+constrained", GraficsConfig::default()),
+        (
+            "average+unconstrained",
+            GraficsConfig { constrained_clustering: false, ..Default::default() },
+        ),
+        ("single+constrained", GraficsConfig { linkage: Linkage::Single, ..Default::default() }),
+        (
+            "complete+constrained",
+            GraficsConfig { linkage: Linkage::Complete, ..Default::default() },
+        ),
+    ];
+    let mut all = Vec::new();
+    for (fleet_name, fleet) in fleets(&cfg) {
+        println!("\n== {fleet_name} ==");
+        println!("{:<24} {:>9} {:>9} {:>9}", "variant", "micro-F", "macro-F", "±std");
+        for (name, over) in &variants {
+            let results = run_fleet(&fleet, &[Algo::Grafics], &cfg, Some(*over));
+            let s = &mean_report(&results)[0];
+            println!(
+                "{name:<24} {:>9.3} {:>9.3} {:>9.3}",
+                s.micro.2, s.macro_.2, s.micro_f_std
+            );
+            all.push(serde_json::json!({
+                "fleet": fleet_name,
+                "variant": name,
+                "micro_f": s.micro.2,
+                "macro_f": s.macro_.2,
+                "std": s.micro_f_std,
+            }));
+        }
+    }
+    write_json("ablation_clustering.json", &all);
+}

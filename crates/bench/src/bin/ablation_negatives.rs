@@ -1,0 +1,28 @@
+//! Accuracy ablation of the negative-sample count `K` in Eq. (10). The
+//! paper fixes K implicitly; this sweep shows the accuracy/cost trade-off.
+
+use grafics_bench::{fleets, mean_report, run_fleet, write_json, Algo, ExperimentConfig};
+use grafics_core::GraficsConfig;
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let ks = [1usize, 2, 5, 10, 20];
+    let mut all = Vec::new();
+    for (fleet_name, fleet) in fleets(&cfg) {
+        println!("\n== {fleet_name} ==");
+        println!("{:>4} {:>9} {:>9}", "K", "micro-F", "macro-F");
+        for &negatives in &ks {
+            let over = GraficsConfig { negatives, ..Default::default() };
+            let results = run_fleet(&fleet, &[Algo::Grafics], &cfg, Some(over));
+            let s = &mean_report(&results)[0];
+            println!("{negatives:>4} {:>9.3} {:>9.3}", s.micro.2, s.macro_.2);
+            all.push(serde_json::json!({
+                "fleet": fleet_name,
+                "negatives": negatives,
+                "micro_f": s.micro.2,
+                "macro_f": s.macro_.2,
+            }));
+        }
+    }
+    write_json("ablation_negatives.json", &all);
+}

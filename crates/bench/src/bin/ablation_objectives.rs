@@ -1,0 +1,43 @@
+//! Accuracy ablation of the embedding objective: E-LINE vs LINE-2nd vs
+//! LINE-1st+2nd vs LINE-1st, at 4 labels per floor. Reproduces §IV-B's
+//! observation that on the bipartite graph second-order-only beats
+//! first+second, and E-LINE beats both.
+
+use grafics_bench::{fleets, mean_report, run_fleet, write_json, Algo, ExperimentConfig};
+use grafics_core::GraficsConfig;
+use grafics_embed::Objective;
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let objectives = [
+        Objective::ELine,
+        Objective::LineSecond,
+        Objective::LineBoth,
+        Objective::LineFirst,
+    ];
+    let mut all = Vec::new();
+    for (fleet_name, fleet) in fleets(&cfg) {
+        println!("\n== {fleet_name} ==");
+        println!("{:<14} {:>9} {:>9} {:>9}", "objective", "micro-F", "macro-F", "±std");
+        for objective in objectives {
+            let over = GraficsConfig { objective, ..Default::default() };
+            let results = run_fleet(&fleet, &[Algo::Grafics], &cfg, Some(over));
+            let s = &mean_report(&results)[0];
+            println!(
+                "{:<14} {:>9.3} {:>9.3} {:>9.3}",
+                objective.to_string(),
+                s.micro.2,
+                s.macro_.2,
+                s.micro_f_std
+            );
+            all.push(serde_json::json!({
+                "fleet": fleet_name,
+                "objective": objective.to_string(),
+                "micro_f": s.micro.2,
+                "macro_f": s.macro_.2,
+                "std": s.micro_f_std,
+            }));
+        }
+    }
+    write_json("ablation_objectives.json", &all);
+}

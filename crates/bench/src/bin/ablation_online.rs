@@ -1,0 +1,30 @@
+//! Accuracy ablation of the online-embedding budget: SGD samples per
+//! incident edge when a new record is embedded with all other embeddings
+//! frozen (§V-A). Too few samples leave the new node near its random
+//! init; the default (200) is on the flat part of the curve.
+
+use grafics_bench::{fleets, mean_report, run_fleet, write_json, Algo, ExperimentConfig};
+use grafics_core::GraficsConfig;
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let budgets = [5usize, 25, 50, 100, 200, 400];
+    let mut all = Vec::new();
+    for (fleet_name, fleet) in fleets(&cfg) {
+        println!("\n== {fleet_name} ==");
+        println!("{:>8} {:>9} {:>9}", "samples", "micro-F", "macro-F");
+        for &online_samples_per_edge in &budgets {
+            let over = GraficsConfig { online_samples_per_edge, ..Default::default() };
+            let results = run_fleet(&fleet, &[Algo::Grafics], &cfg, Some(over));
+            let s = &mean_report(&results)[0];
+            println!("{online_samples_per_edge:>8} {:>9.3} {:>9.3}", s.micro.2, s.macro_.2);
+            all.push(serde_json::json!({
+                "fleet": fleet_name,
+                "online_samples_per_edge": online_samples_per_edge,
+                "micro_f": s.micro.2,
+                "macro_f": s.macro_.2,
+            }));
+        }
+    }
+    write_json("ablation_online.json", &all);
+}

@@ -1,0 +1,82 @@
+//! Extension experiment (motivated by §III-A, not quantified in the
+//! paper): robustness to *environment drift* between offline training and
+//! online inference. A model is trained on a building's corpus; the AP
+//! deployment then drifts (a fraction of BSSIDs removed, new APs added,
+//! surviving powers jittered); accuracy is measured on scans from the
+//! drifted deployment. GRAFICS's dynamic graph absorbs new MACs online;
+//! we also report the effect of decommissioning the removed MACs from the
+//! graph (`remove_ap`) versus leaving them stale.
+
+use grafics_bench::{write_json, ExperimentConfig};
+use grafics_core::{Grafics, GraficsConfig};
+use grafics_data::BuildingModel;
+use grafics_metrics::ConfusionMatrix;
+use grafics_types::FloorId;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashSet;
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let severities = [0.0, 0.1, 0.2, 0.3, 0.5];
+    let mut all = Vec::new();
+    println!(
+        "{:>9} {:>14} {:>14}",
+        "drift", "stale-graph F", "pruned-graph F"
+    );
+    for &severity in &severities {
+        let (mut stale_sum, mut pruned_sum, mut n) = (0.0, 0.0, 0);
+        for run in 0..cfg.runs {
+            let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed + run as u64);
+            let building =
+                BuildingModel::office("drift", 5).with_records_per_floor(cfg.records_per_floor);
+            let mut layout = building.layout(&mut rng);
+            let corpus = building
+                .simulate_with_layout(&layout, &mut rng)
+                .filter_rare_macs(2)
+                .with_label_budget(cfg.labels_per_floor, &mut rng);
+            let Ok(model) = Grafics::train(&corpus, &GraficsConfig::default(), &mut rng) else {
+                continue;
+            };
+
+            // Drift the world.
+            let before: HashSet<_> = layout.macs().into_iter().collect();
+            building.drift_layout(&mut layout, severity, severity, 1.0, &mut rng);
+            let after: HashSet<_> = layout.macs().into_iter().collect();
+
+            // Variant A: stale graph (removed APs still present as nodes).
+            let mut stale = model.clone();
+            // Variant B: pruned graph (decommissioned APs removed).
+            let mut pruned = model;
+            for mac in before.difference(&after) {
+                if pruned.graph().mac_node(*mac).is_some() {
+                    pruned.remove_ap(*mac).expect("known MAC");
+                }
+            }
+
+            let mut cm_stale = ConfusionMatrix::new();
+            let mut cm_pruned = ConfusionMatrix::new();
+            for i in 0..200 {
+                let floor = (i % building.floors as usize) as i16;
+                let Some(scan) = building.scan(&layout, floor, &mut rng) else { continue };
+                if let Ok(p) = stale.infer(&scan, &mut rng) {
+                    cm_stale.observe(FloorId(floor), p.floor);
+                }
+                if let Ok(p) = pruned.infer(&scan, &mut rng) {
+                    cm_pruned.observe(FloorId(floor), p.floor);
+                }
+            }
+            stale_sum += cm_stale.report().micro_f;
+            pruned_sum += cm_pruned.report().micro_f;
+            n += 1;
+        }
+        let (stale, pruned) = (stale_sum / n as f64, pruned_sum / n as f64);
+        println!("{severity:>9.2} {stale:>14.3} {pruned:>14.3}");
+        all.push(serde_json::json!({
+            "severity": severity,
+            "stale_micro_f": stale,
+            "pruned_micro_f": pruned,
+        }));
+    }
+    write_json("extension_drift.json", &all);
+}

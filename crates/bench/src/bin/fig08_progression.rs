@@ -1,0 +1,85 @@
+//! Fig. 8 — the proximity clustering progression in a three-storey
+//! building with four labels per floor: snapshots at 20/40/60/80/100 % of
+//! the merges, coloured by the cluster each point currently belongs to.
+//! Writes `results/fig08_{20,40,60,80,100}.svg`.
+
+use grafics_bench::ExperimentConfig;
+use grafics_cluster::{ClusterModel, ClusteringConfig};
+use grafics_data::BuildingModel;
+use grafics_embed::{ElineTrainer, EmbeddingConfig};
+use grafics_graph::{BipartiteGraph, WeightFunction};
+use grafics_types::RecordId;
+use grafics_viz::{ScatterPlot, Series, Tsne, TsneConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let building = BuildingModel::office("fig8", 3).with_records_per_floor(60);
+    let ds = building.simulate(&mut rng).with_label_budget(4, &mut rng);
+
+    let graph = BipartiteGraph::from_dataset(&ds, WeightFunction::default());
+    let model = ElineTrainer::new(EmbeddingConfig::default())
+        .train(&graph, &mut rng)
+        .expect("train");
+    let points: Vec<Vec<f64>> = (0..ds.len())
+        .map(|i| model.ego_vec(graph.record_node(RecordId(i as u32)).expect("live")))
+        .collect();
+    let labels: Vec<_> = ds.samples().iter().map(|s| s.floor).collect();
+
+    let cluster_cfg = ClusteringConfig { record_history: true, ..Default::default() };
+    let fitted = ClusterModel::fit(&points, &labels, &cluster_cfg).expect("cluster");
+    let history = fitted.history();
+    println!("{} merges to {} clusters", history.len(), fitted.clusters().len());
+
+    // 2-D map for drawing.
+    let tsne = Tsne::new(TsneConfig { perplexity: 25.0, iterations: 300, ..Default::default() })
+        .run(&points, &mut rng)
+        .expect("tsne");
+
+    std::fs::create_dir_all("results").ok();
+    for pct in [20usize, 40, 60, 80, 100] {
+        let upto = history.len() * pct / 100;
+        // Union-find replay of the first `upto` merges.
+        let mut parent: Vec<usize> = (0..points.len()).collect();
+        fn root(parent: &mut Vec<usize>, mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]];
+                i = parent[i];
+            }
+            i
+        }
+        for step in &history[..upto] {
+            let (rk, ra) = (root(&mut parent, step.kept), root(&mut parent, step.absorbed));
+            parent[ra] = rk;
+        }
+        // Colour = root's eventual floor if the root's component contains a
+        // labelled point; grey otherwise ("unlabelled" in the paper figure).
+        let mut plot = ScatterPlot::new(&format!("Fig 8: clustering progression {pct}%"));
+        let mut series: Vec<Vec<(f64, f64)>> = vec![Vec::new(); ds.floors().len()];
+        let mut unmerged: Vec<(f64, f64)> = Vec::new();
+        let floors = ds.floors();
+        for i in 0..points.len() {
+            let r = root(&mut parent, i);
+            // Find a labelled member of this component.
+            let label = (0..points.len())
+                .find(|&j| root(&mut parent, j) == r && labels[j].is_some())
+                .and_then(|j| labels[j]);
+            match label {
+                Some(f) => {
+                    let fi = floors.iter().position(|&x| x == f).expect("known floor");
+                    series[fi].push((tsne[i][0], tsne[i][1]));
+                }
+                None => unmerged.push((tsne[i][0], tsne[i][1])),
+            }
+        }
+        for (fi, pts) in series.into_iter().enumerate() {
+            plot.add_series(Series::new(&floors[fi].to_string(), ScatterPlot::palette(fi), pts));
+        }
+        plot.add_series(Series::new("unlabeled", "#bbbbbb", unmerged));
+        let path = format!("results/fig08_{pct}.svg");
+        std::fs::write(&path, plot.render()).expect("write svg");
+        println!("wrote {path}");
+    }
+}

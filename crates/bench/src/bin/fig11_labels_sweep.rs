@@ -1,0 +1,34 @@
+//! Fig. 11 — micro-/macro-F of all five algorithms as the number of
+//! labelled samples per floor grows from 1 to ~10³ (log-scaled in the
+//! paper). The expected shape: GRAFICS is high and flat from ~4 labels;
+//! Scalable-DNN and SAE need orders of magnitude more labels to catch up;
+//! MDS and autoencoder plateau low.
+
+use grafics_bench::{
+    fleets, mean_report, print_summaries, run_fleet, write_json, Algo, ExperimentConfig,
+};
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    // Label budgets; capped by records-per-floor × train ratio.
+    let budgets: Vec<usize> = [1usize, 2, 4, 10, 40, 100, 400, 1000]
+        .into_iter()
+        .filter(|&b| b <= (cfg.records_per_floor as f64 * cfg.train_ratio) as usize)
+        .collect();
+    let algos = Algo::comparison_set();
+    let mut all = Vec::new();
+    for (fleet_name, fleet) in fleets(&cfg) {
+        for &labels in &budgets {
+            let c = ExperimentConfig { labels_per_floor: labels, ..cfg };
+            let results = run_fleet(&fleet, &algos, &c, None);
+            let summaries = mean_report(&results);
+            print_summaries(&format!("{fleet_name}, {labels} labels/floor"), &summaries);
+            all.push(serde_json::json!({
+                "fleet": fleet_name,
+                "labels_per_floor": labels,
+                "summaries": summaries,
+            }));
+        }
+    }
+    write_json("fig11_labels_sweep.json", &all);
+}

@@ -1,0 +1,34 @@
+//! Fig. 12 — F-scores vs. the ratio of data used for training (10–90 %),
+//! with the number of labelled samples fixed at 4 per floor. Every model
+//! improves with more (unlabelled) training data.
+
+use grafics_bench::{
+    fleets, mean_report, print_summaries, run_fleet_custom, write_json, Algo, ExperimentConfig,
+};
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let ratios = [0.1, 0.3, 0.5, 0.7, 0.9];
+    let algos = Algo::comparison_set();
+    let mut all = Vec::new();
+    for (fleet_name, fleet) in fleets(&cfg) {
+        for &ratio in &ratios {
+            let results = run_fleet_custom(&fleet, &algos, &cfg, None, &move |ds, cfg, rng| {
+                let split = ds.split(ratio, rng).ok()?;
+                let train = split.train.with_label_budget(cfg.labels_per_floor, rng);
+                Some((train, split.test))
+            });
+            let summaries = mean_report(&results);
+            print_summaries(
+                &format!("{fleet_name}, training ratio {:.0}%", ratio * 100.0),
+                &summaries,
+            );
+            all.push(serde_json::json!({
+                "fleet": fleet_name,
+                "train_ratio": ratio,
+                "summaries": summaries,
+            }));
+        }
+    }
+    write_json("fig12_training_ratio.json", &all);
+}

@@ -1,0 +1,28 @@
+//! Fig. 13 — GRAFICS with E-LINE vs GRAFICS with LINE (second-order only),
+//! at 4 and 40 labels per floor. Expected shape: at 4 labels LINE is far
+//! worse and high-variance; at 40 it narrows the gap; E-LINE is high and
+//! stable throughout.
+
+use grafics_bench::{
+    fleets, mean_report, print_summaries, run_fleet, write_json, Algo, ExperimentConfig,
+};
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let algos = [Algo::Grafics, Algo::GraficsLine];
+    let mut all = Vec::new();
+    for (fleet_name, fleet) in fleets(&cfg) {
+        for labels in [4usize, 40] {
+            let c = ExperimentConfig { labels_per_floor: labels, ..cfg };
+            let results = run_fleet(&fleet, &algos, &c, None);
+            let summaries = mean_report(&results);
+            print_summaries(&format!("{fleet_name}, #label = {labels}"), &summaries);
+            all.push(serde_json::json!({
+                "fleet": fleet_name,
+                "labels_per_floor": labels,
+                "summaries": summaries,
+            }));
+        }
+    }
+    write_json("fig13_eline_vs_line.json", &all);
+}

@@ -1,0 +1,20 @@
+//! Fig. 14 — bipartite graph + E-LINE vs the raw matrix representation
+//! (−120 dBm fill) used directly with the proximity clustering. The matrix
+//! bars collapse, demonstrating the missing-value problem.
+
+use grafics_bench::{
+    fleets, mean_report, print_summaries, run_fleet, write_json, Algo, ExperimentConfig,
+};
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let algos = [Algo::Grafics, Algo::MatrixProx];
+    let mut all = Vec::new();
+    for (fleet_name, fleet) in fleets(&cfg) {
+        let results = run_fleet(&fleet, &algos, &cfg, None);
+        let summaries = mean_report(&results);
+        print_summaries(&format!("{fleet_name} (graph vs matrix)"), &summaries);
+        all.push(serde_json::json!({ "fleet": fleet_name, "summaries": summaries }));
+    }
+    write_json("fig14_graph_vs_matrix.json", &all);
+}

@@ -1,0 +1,28 @@
+//! Fig. 15 — GRAFICS F-scores as the embedding dimension sweeps 2²…2⁸.
+//! Expected shape: essentially flat (insensitivity to the dimension).
+
+use grafics_bench::{fleets, mean_report, run_fleet, write_json, Algo, ExperimentConfig};
+use grafics_core::GraficsConfig;
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let dims = [4usize, 8, 16, 32, 64, 128, 256];
+    let mut all = Vec::new();
+    for (fleet_name, fleet) in fleets(&cfg) {
+        println!("\n== {fleet_name} ==");
+        println!("{:>5} {:>9} {:>9}", "dim", "micro-F", "macro-F");
+        for &dim in &dims {
+            let over = GraficsConfig { dim, ..Default::default() };
+            let results = run_fleet(&fleet, &[Algo::Grafics], &cfg, Some(over));
+            let s = &mean_report(&results)[0];
+            println!("{:>5} {:>9.3} {:>9.3}", dim, s.micro.2, s.macro_.2);
+            all.push(serde_json::json!({
+                "fleet": fleet_name,
+                "dim": dim,
+                "micro_f": s.micro.2,
+                "macro_f": s.macro_.2,
+            }));
+        }
+    }
+    write_json("fig15_dim_sweep.json", &all);
+}

@@ -1,0 +1,21 @@
+//! Fig. 16 — the offset weight function `f(RSS) = RSS + 120` vs the
+//! power weight `g(RSS) = 10^{RSS/10}`. Expected shape: `f` substantially
+//! better on every metric, because `g` compresses RSS differences into
+//! nearly identical tiny weights.
+
+use grafics_bench::{
+    fleets, mean_report, print_summaries, run_fleet, write_json, Algo, ExperimentConfig,
+};
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let algos = [Algo::Grafics, Algo::GraficsPowerWeight];
+    let mut all = Vec::new();
+    for (fleet_name, fleet) in fleets(&cfg) {
+        let results = run_fleet(&fleet, &algos, &cfg, None);
+        let summaries = mean_report(&results);
+        print_summaries(&format!("{fleet_name} (f offset vs g power)"), &summaries);
+        all.push(serde_json::json!({ "fleet": fleet_name, "summaries": summaries }));
+    }
+    write_json("fig16_weight_fn.json", &all);
+}

@@ -1,0 +1,53 @@
+//! Fig. 17 — robustness to sparse RF environments: GRAFICS F-scores when
+//! only a fraction of the building's MACs remain on-site. Expected shape:
+//! > 0.8 F with only 10 % of MACs, > 0.9 from 30–40 %.
+
+use grafics_bench::{run_fleet_custom, mean_report, fleets, write_json, Algo, ExperimentConfig};
+use grafics_types::{Dataset, MacAddr};
+use rand::seq::SliceRandom;
+use std::collections::HashSet;
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let fractions = [0.1, 0.2, 0.3, 0.4, 0.55, 0.7, 0.85, 1.0];
+    let mut all = Vec::new();
+    for (fleet_name, fleet) in fleets(&cfg) {
+        println!("\n== {fleet_name} ==");
+        println!("{:>6} {:>9} {:>9}", "%MACs", "micro-F", "macro-F");
+        for &frac in &fractions {
+            let results =
+                run_fleet_custom(&fleet, &[Algo::Grafics], &cfg, None, &move |ds, cfg, rng| {
+                    // Keep a random `frac` of the building's MAC vocabulary
+                    // and strip every other reading, dropping records that
+                    // become empty.
+                    let mut vocab = ds.mac_vocabulary();
+                    vocab.shuffle(rng);
+                    vocab.truncate(((vocab.len() as f64) * frac).ceil() as usize);
+                    let keep: HashSet<MacAddr> = vocab.into_iter().collect();
+                    let filtered: Dataset = ds
+                        .samples()
+                        .iter()
+                        .filter_map(|s| {
+                            let record = s.record.filtered(|m| keep.contains(&m))?;
+                            Some(grafics_types::Sample { record, ..s.clone() })
+                        })
+                        .collect();
+                    if filtered.len() < 20 {
+                        return None;
+                    }
+                    let split = filtered.split(cfg.train_ratio, rng).ok()?;
+                    let train = split.train.with_label_budget(cfg.labels_per_floor, rng);
+                    Some((train, split.test))
+                });
+            let s = &mean_report(&results)[0];
+            println!("{:>6.0} {:>9.3} {:>9.3}", frac * 100.0, s.micro.2, s.macro_.2);
+            all.push(serde_json::json!({
+                "fleet": fleet_name,
+                "mac_fraction": frac,
+                "micro_f": s.micro.2,
+                "macro_f": s.macro_.2,
+            }));
+        }
+    }
+    write_json("fig17_mac_fraction.json", &all);
+}

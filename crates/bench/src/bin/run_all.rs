@@ -1,0 +1,62 @@
+//! Runs the complete evaluation suite — every paper figure, every
+//! ablation, every extension — sequentially with shared CLI flags, and
+//! writes a manifest of produced artefacts. This is the one-command
+//! regeneration entry point for EXPERIMENTS.md.
+
+use std::process::Command;
+
+const BINARIES: &[&str] = &[
+    "fig01_stats",
+    "fig09_buildings",
+    "fig06_tsne",
+    "fig08_progression",
+    "fig13_eline_vs_line",
+    "fig14_graph_vs_matrix",
+    "fig16_weight_fn",
+    "fig15_dim_sweep",
+    "fig17_mac_fraction",
+    "fig12_training_ratio",
+    "fig11_labels_sweep",
+    "ablation_objectives",
+    "ablation_clustering",
+    "ablation_negatives",
+    "ablation_online",
+    "extension_drift",
+    "extension_oracle",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let started = std::time::Instant::now();
+    let mut failures = Vec::new();
+    for (i, bin) in BINARIES.iter().enumerate() {
+        println!("\n===== [{}/{}] {bin} =====", i + 1, BINARIES.len());
+        let status = Command::new(exe_dir.join(bin)).args(&args).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{bin} exited with {s}");
+                failures.push(*bin);
+            }
+            Err(e) => {
+                eprintln!("{bin} failed to launch: {e} (build with `cargo build --release -p grafics-bench` first)");
+                failures.push(*bin);
+            }
+        }
+    }
+    println!(
+        "\nsuite finished in {:.1} min; {} of {} binaries succeeded",
+        started.elapsed().as_secs_f64() / 60.0,
+        BINARIES.len() - failures.len(),
+        BINARIES.len()
+    );
+    if !failures.is_empty() {
+        eprintln!("failed: {failures:?}");
+        std::process::exit(1);
+    }
+}

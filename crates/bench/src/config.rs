@@ -1,0 +1,101 @@
+//! CLI configuration shared by all figure binaries.
+
+use serde::{Deserialize, Serialize};
+
+/// Experiment scale knobs. Defaults give laptop-scale runtimes; `--full`
+/// switches to the paper-scale protocol (204 buildings, 1 000 records per
+/// floor, 10 runs), which matches §VI-A but takes hours on a laptop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Number of Microsoft-fleet buildings to simulate.
+    pub buildings: usize,
+    /// Crowdsourced records per floor.
+    pub records_per_floor: usize,
+    /// Independent repetitions (different seeds) averaged per point.
+    pub runs: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Train fraction (paper: 0.7).
+    pub train_ratio: f64,
+    /// Labelled samples per floor in training (paper default: 4).
+    pub labels_per_floor: usize,
+    /// Worker threads for fleet-parallel evaluation.
+    pub threads: usize,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            buildings: 6,
+            records_per_floor: 100,
+            runs: 3,
+            seed: 2022,
+            train_ratio: 0.7,
+            labels_per_floor: 4,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get().min(16)),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Parses CLI arguments: `--full`, `--buildings N`,
+    /// `--records-per-floor N`, `--runs N`, `--seed N`, `--labels N`,
+    /// `--threads N`. Unknown flags abort with a usage message.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut cfg = ExperimentConfig::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        fn parse_usize(args: &[String], i: usize, flag: &str) -> usize {
+            args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage(flag))
+        }
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--full" => {
+                    cfg.buildings = 204;
+                    cfg.records_per_floor = 1000;
+                    cfg.runs = 10;
+                }
+                "--buildings" => {
+                    i += 1;
+                    cfg.buildings = parse_usize(&args, i, "--buildings");
+                }
+                "--records-per-floor" => {
+                    i += 1;
+                    cfg.records_per_floor = parse_usize(&args, i, "--records-per-floor");
+                }
+                "--runs" => {
+                    i += 1;
+                    cfg.runs = parse_usize(&args, i, "--runs");
+                }
+                "--labels" => {
+                    i += 1;
+                    cfg.labels_per_floor = parse_usize(&args, i, "--labels");
+                }
+                "--threads" => {
+                    i += 1;
+                    cfg.threads = parse_usize(&args, i, "--threads");
+                }
+                "--seed" => {
+                    i += 1;
+                    cfg.seed = args
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--seed"));
+                }
+                other => usage(other),
+            }
+            i += 1;
+        }
+        cfg
+    }
+}
+
+fn usage(flag: &str) -> ! {
+    eprintln!(
+        "unrecognised or malformed flag {flag}\n\
+         usage: [--full] [--buildings N] [--records-per-floor N] [--runs N] \
+         [--labels N] [--seed N] [--threads N]"
+    );
+    std::process::exit(2)
+}

@@ -1,0 +1,58 @@
+//! The experiment harness behind the per-figure binaries.
+//!
+//! Every figure of the paper's evaluation (§VI) has a binary in this crate
+//! (`cargo run -p grafics-bench --release --bin fig11_labels_sweep`).
+//! This library holds the shared machinery: CLI parsing, the algorithm
+//! zoo, per-building evaluation, fleet-parallel execution and result
+//! output (console tables + JSON under `results/`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod algo;
+mod config;
+mod runner;
+
+pub use algo::{evaluate, train_and_score, Algo};
+pub use config::ExperimentConfig;
+pub use runner::{
+    mean_report, run_fleet, run_fleet_custom, AlgoSummary, BuildingResult, PrepareFn, write_json,
+};
+
+/// Builds the two evaluation fleets (Microsoft-like sub-fleet + the five
+/// Hong Kong archetypes) at the configured scale.
+#[must_use]
+pub fn fleets(cfg: &ExperimentConfig) -> Vec<(&'static str, Vec<grafics_data::BuildingModel>)> {
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(cfg.seed);
+    vec![
+        (
+            "Microsoft",
+            grafics_data::FleetPreset::Microsoft.generate(
+                cfg.buildings,
+                cfg.records_per_floor,
+                &mut rng,
+            ),
+        ),
+        (
+            "HongKong",
+            grafics_data::FleetPreset::HongKong.generate(5, cfg.records_per_floor, &mut rng),
+        ),
+    ]
+}
+
+/// Prints one summary table row per algorithm.
+pub fn print_summaries(title: &str, summaries: &[AlgoSummary]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "algorithm", "micro-P", "micro-R", "micro-F", "macro-P", "macro-R", "macro-F", "±std"
+    );
+    for s in summaries {
+        println!(
+            "{:<16} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            s.algo, s.micro.0, s.micro.1, s.micro.2, s.macro_.0, s.macro_.1, s.macro_.2,
+            s.micro_f_std
+        );
+    }
+}

@@ -1,0 +1,209 @@
+//! Fleet-parallel experiment execution and result aggregation.
+
+use crate::{train_and_score, Algo, ExperimentConfig};
+use grafics_core::GraficsConfig;
+use grafics_data::BuildingModel;
+use grafics_metrics::ClassificationReport;
+use parking_lot::Mutex;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One (building, run, algorithm) evaluation outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BuildingResult {
+    /// Building name.
+    pub building: String,
+    /// Repetition index.
+    pub run: usize,
+    /// Algorithm name.
+    pub algo: String,
+    /// The classification report.
+    pub report: ClassificationReport,
+}
+
+/// Aggregated metrics for one algorithm across buildings and runs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AlgoSummary {
+    /// Algorithm name.
+    pub algo: String,
+    /// Mean micro precision / recall / F.
+    pub micro: (f64, f64, f64),
+    /// Mean macro precision / recall / F.
+    pub macro_: (f64, f64, f64),
+    /// Standard deviation of micro-F across (building, run) pairs.
+    pub micro_f_std: f64,
+    /// Number of (building, run) points aggregated.
+    pub points: usize,
+}
+
+/// Prepares one evaluation's `(train, test)` pair from a freshly simulated
+/// corpus. Returning `None` skips the evaluation.
+pub type PrepareFn<'a> = &'a (dyn Fn(
+    grafics_types::Dataset,
+    &ExperimentConfig,
+    &mut ChaCha8Rng,
+) -> Option<(grafics_types::Dataset, grafics_types::Dataset)>
+             + Sync);
+
+/// Runs every `(building, run, algo)` combination across a worker pool and
+/// returns the raw per-building results.
+///
+/// Each evaluation: simulate the building corpus, 70/30 split, hide labels
+/// down to `labels_per_floor`, train, score on the held-out 30 %.
+#[must_use]
+pub fn run_fleet(
+    fleet: &[BuildingModel],
+    algos: &[Algo],
+    cfg: &ExperimentConfig,
+    grafics_override: Option<GraficsConfig>,
+) -> Vec<BuildingResult> {
+    run_fleet_custom(fleet, algos, cfg, grafics_override, &|ds, cfg, rng| {
+        // Standard pre-processing: drop ephemeral MACs (min support 2) —
+        // phone hotspots seen by a single record carry no information.
+        let ds = ds.filter_rare_macs(2);
+        let split = ds.split(cfg.train_ratio, rng).ok()?;
+        let train = split.train.with_label_budget(cfg.labels_per_floor, rng);
+        Some((train, split.test))
+    })
+}
+
+/// Like [`run_fleet`] but with a caller-supplied preparation step, used by
+/// experiments that transform the corpus first (training-ratio sweeps,
+/// MAC-removal robustness, …).
+#[must_use]
+pub fn run_fleet_custom(
+    fleet: &[BuildingModel],
+    algos: &[Algo],
+    cfg: &ExperimentConfig,
+    grafics_override: Option<GraficsConfig>,
+    prepare: PrepareFn<'_>,
+) -> Vec<BuildingResult> {
+    // Work items: (building index, run index).
+    let jobs: Vec<(usize, usize)> = (0..fleet.len())
+        .flat_map(|b| (0..cfg.runs).map(move |r| (b, r)))
+        .collect();
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<BuildingResult>> = Mutex::new(Vec::new());
+
+    let workers = cfg.threads.clamp(1, jobs.len().max(1));
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let j = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(b, run)) = jobs.get(j) else { break };
+                let building = &fleet[b];
+                // Deterministic per-(building, run) seed.
+                let seed = cfg
+                    .seed
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add((b as u64) << 32)
+                    .wrapping_add(run as u64);
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                let ds = building.simulate(&mut rng);
+                let Some((train, test)) = prepare(ds, cfg, &mut rng) else { continue };
+                for &algo in algos {
+                    let report =
+                        train_and_score(algo, &train, &test, grafics_override, &mut rng);
+                    results.lock().push(BuildingResult {
+                        building: building.name.clone(),
+                        run,
+                        algo: algo.name().to_owned(),
+                        report,
+                    });
+                }
+            });
+        }
+    })
+    .expect("worker pool");
+    results.into_inner()
+}
+
+/// Aggregates raw results into one summary per algorithm (insertion order
+/// of first appearance).
+#[must_use]
+pub fn mean_report(results: &[BuildingResult]) -> Vec<AlgoSummary> {
+    let mut order: Vec<String> = Vec::new();
+    for r in results {
+        if !order.contains(&r.algo) {
+            order.push(r.algo.clone());
+        }
+    }
+    order
+        .into_iter()
+        .map(|algo| {
+            let points: Vec<&ClassificationReport> =
+                results.iter().filter(|r| r.algo == algo).map(|r| &r.report).collect();
+            let n = points.len().max(1) as f64;
+            let mean = |f: &dyn Fn(&ClassificationReport) -> f64| {
+                points.iter().map(|r| f(r)).sum::<f64>() / n
+            };
+            let micro_f_mean = mean(&|r| r.micro_f);
+            let var = points.iter().map(|r| (r.micro_f - micro_f_mean).powi(2)).sum::<f64>() / n;
+            AlgoSummary {
+                algo,
+                micro: (mean(&|r| r.micro_p), mean(&|r| r.micro_r), micro_f_mean),
+                macro_: (mean(&|r| r.macro_p), mean(&|r| r.macro_r), mean(&|r| r.macro_f)),
+                micro_f_std: var.sqrt(),
+                points: points.len(),
+            }
+        })
+        .collect()
+}
+
+/// Serialises any result payload as pretty JSON under `results/`.
+pub fn write_json<T: Serialize>(name: &str, payload: &T) {
+    let dir = Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        eprintln!("warning: cannot create results/; skipping JSON output");
+        return;
+    }
+    let path = dir.join(name);
+    match serde_json::to_string_pretty(payload) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: serialisation failed: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_run_produces_every_combination() {
+        let fleet =
+            vec![BuildingModel::office("a", 2).with_records_per_floor(25)];
+        let cfg = ExperimentConfig {
+            buildings: 1,
+            records_per_floor: 25,
+            runs: 2,
+            threads: 2,
+            ..Default::default()
+        };
+        let results = run_fleet(&fleet, &[Algo::Grafics, Algo::MatrixProx], &cfg, None);
+        assert_eq!(results.len(), 4); // 1 building × 2 runs × 2 algos
+        let summaries = mean_report(&results);
+        assert_eq!(summaries.len(), 2);
+        for s in &summaries {
+            assert_eq!(s.points, 2);
+            assert!(s.micro.2 >= 0.0 && s.micro.2 <= 1.0);
+        }
+    }
+
+    #[test]
+    fn per_building_seeds_are_deterministic() {
+        let fleet = vec![BuildingModel::office("d", 2).with_records_per_floor(20)];
+        let cfg = ExperimentConfig { runs: 1, threads: 1, ..Default::default() };
+        let r1 = run_fleet(&fleet, &[Algo::MatrixProx], &cfg, None);
+        let r2 = run_fleet(&fleet, &[Algo::MatrixProx], &cfg, None);
+        assert_eq!(r1[0].report.micro_f, r2[0].report.micro_f);
+    }
+}

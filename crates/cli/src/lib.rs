@@ -1,0 +1,278 @@
+//! The `grafics` command-line tool.
+//!
+//! ```text
+//! grafics simulate --preset mall --floors 4 --records-per-floor 100 --out corpus.jsonl
+//! grafics train    --input corpus.jsonl --labels 4 --out model.json
+//! grafics infer    --model model.json --input scans.jsonl [--save-model updated.json]
+//! grafics evaluate --model model.json --input test.jsonl
+//! ```
+//!
+//! All commands are deterministic given `--seed`. Corpora are JSONL (one
+//! [`grafics_types::Sample`] per line); models are the JSON produced by
+//! [`grafics_core::Grafics::save_json`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use grafics_core::{Grafics, GraficsConfig};
+use grafics_data::{io as dio, BuildingModel};
+use grafics_metrics::ConfusionMatrix;
+use grafics_types::Dataset;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt::Write as _;
+
+/// Runs one CLI invocation; returns the text to print on success.
+///
+/// # Errors
+///
+/// Returns a human-readable message on any usage or IO error.
+pub fn run(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        Some("simulate") => simulate(&args[1..]),
+        Some("train") => train(&args[1..]),
+        Some("infer") => infer(&args[1..]),
+        Some("evaluate") => evaluate(&args[1..]),
+        Some("help") | None => Ok(USAGE.to_owned()),
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+const USAGE: &str = "\
+grafics — graph embedding-based floor identification (ICDCS 2022)
+
+commands:
+  simulate --preset office|mall|hospital --floors N [--name S] [--records-per-floor N]
+           [--seed N] [--labels N] --out corpus.jsonl
+  train    --input corpus.jsonl [--labels N] [--dim N] [--epochs N] [--seed N]
+           [--min-support N] --out model.json
+  infer    --model model.json --input scans.jsonl [--seed N] [--save-model out.json]
+  evaluate --model model.json --input test.jsonl [--seed N]
+  help
+";
+
+/// Minimal flag parser: `--key value` pairs.
+struct Flags<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Flags<'a> {
+    fn parse(args: &'a [String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let key = args[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
+            let value =
+                args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?.as_str();
+            pairs.push((key, value));
+            i += 2;
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs.iter().find(|&&(k, _)| k == key).map(|&(_, v)| v)
+    }
+
+    fn required(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required --{key}"))
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse {v:?}")),
+        }
+    }
+}
+
+fn simulate(args: &[String]) -> Result<String, String> {
+    let flags = Flags::parse(args)?;
+    let preset = flags.required("preset")?;
+    let floors: i16 = flags.parse_or("floors", 3)?;
+    let name = flags.get("name").unwrap_or("building").to_owned();
+    let records: usize = flags.parse_or("records-per-floor", 100)?;
+    let seed: u64 = flags.parse_or("seed", 0)?;
+    let labels: usize = flags.parse_or("labels", usize::MAX)?;
+    let out = flags.required("out")?;
+
+    let building = match preset {
+        "office" => BuildingModel::office(&name, floors),
+        "mall" => BuildingModel::mall(&name, floors),
+        "hospital" => BuildingModel::hospital(&name, floors),
+        other => return Err(format!("unknown preset {other:?} (office|mall|hospital)")),
+    }
+    .with_records_per_floor(records);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut ds = building.simulate(&mut rng);
+    if labels != usize::MAX {
+        ds = ds.with_label_budget(labels, &mut rng);
+    }
+    dio::save_jsonl(&ds, out).map_err(|e| e.to_string())?;
+    let st = ds.stats();
+    Ok(format!(
+        "wrote {out}: {} records, {} MACs, {} floors, {} labelled\n",
+        st.records, st.macs, st.floors, st.labeled
+    ))
+}
+
+fn train(args: &[String]) -> Result<String, String> {
+    let flags = Flags::parse(args)?;
+    let input = flags.required("input")?;
+    let out = flags.required("out")?;
+    let labels: usize = flags.parse_or("labels", usize::MAX)?;
+    let seed: u64 = flags.parse_or("seed", 0)?;
+    let min_support: usize = flags.parse_or("min-support", 2)?;
+    let config = GraficsConfig {
+        dim: flags.parse_or("dim", GraficsConfig::default().dim)?,
+        epochs: flags.parse_or("epochs", GraficsConfig::default().epochs)?,
+        ..GraficsConfig::default()
+    };
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut ds: Dataset = dio::load_jsonl(input).map_err(|e| e.to_string())?;
+    ds = ds.filter_rare_macs(min_support);
+    if labels != usize::MAX {
+        ds = ds.with_label_budget(labels, &mut rng);
+    }
+    let model = Grafics::train(&ds, &config, &mut rng).map_err(|e| e.to_string())?;
+    model.save_json(out).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "trained on {} records ({} labelled, {} clusters); model written to {out}\n",
+        ds.len(),
+        ds.stats().labeled,
+        model.clusters().clusters().len()
+    ))
+}
+
+fn infer(args: &[String]) -> Result<String, String> {
+    let flags = Flags::parse(args)?;
+    let model_path = flags.required("model")?;
+    let input = flags.required("input")?;
+    let seed: u64 = flags.parse_or("seed", 0)?;
+
+    let mut model = Grafics::load_json(model_path).map_err(|e| e.to_string())?;
+    let ds: Dataset = dio::load_jsonl(input).map_err(|e| e.to_string())?;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut out = String::from("record,floor,distance\n");
+    for (i, s) in ds.samples().iter().enumerate() {
+        match model.infer(&s.record, &mut rng) {
+            Ok(pred) => {
+                let _ = writeln!(out, "{i},{},{:.6}", pred.floor, pred.distance);
+            }
+            Err(e) => {
+                let _ = writeln!(out, "{i},discarded,{e}");
+            }
+        }
+    }
+    if let Some(save) = flags.get("save-model") {
+        model.save_json(save).map_err(|e| e.to_string())?;
+    }
+    Ok(out)
+}
+
+fn evaluate(args: &[String]) -> Result<String, String> {
+    let flags = Flags::parse(args)?;
+    let model_path = flags.required("model")?;
+    let input = flags.required("input")?;
+    let seed: u64 = flags.parse_or("seed", 0)?;
+
+    let mut model = Grafics::load_json(model_path).map_err(|e| e.to_string())?;
+    let ds: Dataset = dio::load_jsonl(input).map_err(|e| e.to_string())?;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut cm = ConfusionMatrix::new();
+    let mut discarded = 0;
+    for s in ds.samples() {
+        match model.infer(&s.record, &mut rng) {
+            Ok(pred) => cm.observe(s.ground_truth, pred.floor),
+            Err(_) => discarded += 1,
+        }
+    }
+    let report = cm.report();
+    Ok(format!("{cm}\n{}\ndiscarded: {discarded}\n", report.summary_line()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|p| (*p).to_owned()).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("grafics-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_and_unknown_command() {
+        assert!(run(&[]).unwrap().contains("commands:"));
+        assert!(run(&s(&["help"])).unwrap().contains("simulate"));
+        assert!(run(&s(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn flags_parser_validates() {
+        assert!(Flags::parse(&s(&["--a"])).is_err());
+        assert!(Flags::parse(&s(&["a", "b"])).is_err());
+        let args = s(&["--a", "1", "--b", "x"]);
+        let f = Flags::parse(&args).unwrap();
+        assert_eq!(f.get("a"), Some("1"));
+        assert_eq!(f.required("b").unwrap(), "x");
+        assert!(f.required("c").is_err());
+        assert_eq!(f.parse_or("a", 0usize).unwrap(), 1);
+        assert!(f.parse_or("b", 0usize).is_err());
+    }
+
+    #[test]
+    fn simulate_rejects_bad_preset() {
+        let out = tmp("bad.jsonl");
+        let err =
+            run(&s(&["simulate", "--preset", "castle", "--out", &out])).unwrap_err();
+        assert!(err.contains("unknown preset"));
+    }
+
+    #[test]
+    fn full_cli_workflow() {
+        let corpus = tmp("corpus.jsonl");
+        let test_set = tmp("test.jsonl");
+        let model = tmp("model.json");
+
+        // Simulate a labelled training corpus and a test corpus.
+        let msg = run(&s(&[
+            "simulate", "--preset", "office", "--floors", "2", "--records-per-floor", "40",
+            "--seed", "1", "--labels", "4", "--out", &corpus,
+        ]))
+        .unwrap();
+        assert!(msg.contains("2 floors"), "{msg}");
+        run(&s(&[
+            "simulate", "--preset", "office", "--floors", "2", "--records-per-floor", "10",
+            "--seed", "1", "--out", &test_set,
+        ]))
+        .unwrap();
+
+        // Train.
+        let msg = run(&s(&[
+            "train", "--input", &corpus, "--epochs", "30", "--seed", "2", "--out", &model,
+        ]))
+        .unwrap();
+        assert!(msg.contains("8 clusters"), "{msg}");
+
+        // Infer: CSV output with one row per record.
+        let csv = run(&s(&["infer", "--model", &model, "--input", &test_set])).unwrap();
+        assert!(csv.starts_with("record,floor,distance"));
+        assert_eq!(csv.lines().count(), 21);
+
+        // Evaluate: same-building same-layout test set scores highly.
+        let eval = run(&s(&["evaluate", "--model", &model, "--input", &test_set])).unwrap();
+        assert!(eval.contains("micro-F"), "{eval}");
+        for f in std::fs::read_dir(std::env::temp_dir().join("grafics-cli-test")).unwrap() {
+            std::fs::remove_file(f.unwrap().path()).ok();
+        }
+    }
+}

@@ -1,0 +1,10 @@
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match grafics_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! The constrained agglomerative engine.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Linkage criterion used for the cluster-to-cluster distance.
+///
+/// The paper uses group-average linkage (Eq. (11)); single and complete
+/// linkage are provided for ablations. All three are maintained
+/// incrementally via the Lance–Williams recurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Linkage {
+    /// Mean pairwise distance (UPGMA) — the paper's Eq. (11).
+    Average,
+    /// Minimum pairwise distance.
+    Single,
+    /// Maximum pairwise distance.
+    Complete,
+}
+
+impl Default for Linkage {
+    fn default() -> Self {
+        Linkage::Average
+    }
+}
+
+/// Configuration for [`crate::ClusterModel::fit`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusteringConfig {
+    /// Linkage criterion.
+    pub linkage: Linkage,
+    /// If `true` (the paper's algorithm), two clusters that both contain a
+    /// labelled sample may never merge, so the final clustering has exactly
+    /// one labelled sample per cluster. If `false` (ablation), merging is
+    /// unconstrained and stops when the cluster count reaches the number of
+    /// labelled samples; clusters are then labelled by majority vote of
+    /// their labelled members.
+    pub constrained: bool,
+    /// Record the merge history (needed for the Fig. 8 progression plots;
+    /// costs O(n) memory).
+    pub record_history: bool,
+}
+
+impl Default for ClusteringConfig {
+    fn default() -> Self {
+        ClusteringConfig { linkage: Linkage::Average, constrained: true, record_history: false }
+    }
+}
+
+/// One merge event of the agglomeration, for progression visualisation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MergeStep {
+    /// Surviving cluster root (an input point index).
+    pub kept: usize,
+    /// Absorbed cluster root.
+    pub absorbed: usize,
+    /// Linkage distance at which the merge happened.
+    pub distance: f64,
+}
+
+/// Errors from clustering.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// No input points were provided.
+    Empty,
+    /// No point carries a label, so clusters cannot be floor-labelled.
+    NoLabeledSamples,
+    /// Input embeddings have inconsistent dimensions.
+    DimensionMismatch {
+        /// Dimension of the first point.
+        expected: usize,
+        /// Offending dimension encountered.
+        found: usize,
+    },
+    /// A query embedding's dimension does not match the model.
+    QueryDimensionMismatch {
+        /// Model dimension.
+        expected: usize,
+        /// Query dimension.
+        found: usize,
+    },
+    /// An embedding coordinate was NaN or infinite.
+    NonFiniteInput,
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Empty => write!(f, "no points to cluster"),
+            ClusterError::NoLabeledSamples => {
+                write!(f, "at least one labelled sample is required")
+            }
+            ClusterError::DimensionMismatch { expected, found } => {
+                write!(f, "embedding dimension mismatch: expected {expected}, found {found}")
+            }
+            ClusterError::QueryDimensionMismatch { expected, found } => {
+                write!(f, "query dimension mismatch: expected {expected}, found {found}")
+            }
+            ClusterError::NonFiniteInput => write!(f, "embeddings must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Heap entry: candidate merge of clusters rooted at `a` and `b`.
+/// Ordered so the *smallest* distance pops first.
+struct Candidate {
+    dist: f64,
+    a: usize,
+    b: usize,
+    /// Merge-epoch stamps; a candidate is stale if either root has since
+    /// participated in a merge.
+    stamp_a: u32,
+    stamp_b: u32,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: min-heap on distance. Distances are finite by input
+        // validation, so total order is safe.
+        other.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Result of the raw agglomeration: for each input point, the root index of
+/// the cluster it ended in, plus the merge history.
+pub(crate) struct Agglomeration {
+    pub roots: Vec<usize>,
+    pub history: Vec<MergeStep>,
+}
+
+/// Runs constrained agglomerative clustering over a dense distance matrix.
+///
+/// `labeled[i]` marks points that carry a floor label. Returns the root
+/// assignment once no further merge is allowed (constrained mode) or the
+/// cluster count reaches `stop_at` (unconstrained mode).
+pub(crate) fn agglomerate(
+    dist: &mut DistanceMatrix,
+    labeled: &[bool],
+    config: &ClusteringConfig,
+    stop_at: usize,
+) -> Agglomeration {
+    let n = labeled.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    let mut size: Vec<f64> = vec![1.0; n];
+    let mut has_label: Vec<bool> = labeled.to_vec();
+    let mut active: Vec<bool> = vec![true; n];
+    let mut stamp: Vec<u32> = vec![0; n];
+    let mut n_active = n;
+    let mut history = Vec::new();
+
+    let mut heap = BinaryHeap::with_capacity(n * (n - 1) / 2);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            heap.push(Candidate { dist: dist.get(a, b), a, b, stamp_a: 0, stamp_b: 0 });
+        }
+    }
+
+    while n_active > stop_at {
+        let Some(c) = heap.pop() else { break };
+        if !active[c.a] || !active[c.b] || stamp[c.a] != c.stamp_a || stamp[c.b] != c.stamp_b {
+            continue; // stale
+        }
+        if config.constrained && has_label[c.a] && has_label[c.b] {
+            // Blocked pair: both sides already own a labelled sample. The
+            // candidate is simply discarded; since stamps still match, it
+            // would be re-pushed identical, so dropping it is permanent
+            // until one side merges with something else.
+            continue;
+        }
+        // Merge b into a.
+        let (a, b) = (c.a, c.b);
+        active[b] = false;
+        parent[b] = a;
+        has_label[a] = has_label[a] || has_label[b];
+        stamp[a] += 1;
+        n_active -= 1;
+        if config.record_history {
+            history.push(MergeStep { kept: a, absorbed: b, distance: c.dist });
+        }
+
+        // Lance–Williams update of row a against every other active root.
+        for k in 0..n {
+            if k == a || k == b || !active[k] {
+                continue;
+            }
+            let dka = dist.get(k, a);
+            let dkb = dist.get(k, b);
+            let new = match config.linkage {
+                Linkage::Average => (size[a] * dka + size[b] * dkb) / (size[a] + size[b]),
+                Linkage::Single => dka.min(dkb),
+                Linkage::Complete => dka.max(dkb),
+            };
+            dist.set(k, a, new);
+            heap.push(Candidate {
+                dist: new,
+                a: a.min(k),
+                b: a.max(k),
+                stamp_a: stamp[a.min(k)],
+                stamp_b: stamp[a.max(k)],
+            });
+        }
+        size[a] += size[b];
+    }
+
+    // Path-compress roots.
+    let mut roots = vec![0usize; n];
+    for i in 0..n {
+        let mut r = i;
+        while parent[r] != r {
+            r = parent[r];
+        }
+        // compress
+        let mut cur = i;
+        while parent[cur] != r {
+            let next = parent[cur];
+            parent[cur] = r;
+            cur = next;
+        }
+        roots[i] = r;
+    }
+    Agglomeration { roots, history }
+}
+
+/// Lower-triangular dense distance matrix over `n` points, `f64`.
+pub(crate) struct DistanceMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Computes all pairwise Euclidean distances.
+    pub(crate) fn from_points(points: &[Vec<f64>]) -> Self {
+        let n = points.len();
+        let mut data = vec![0.0; n * (n - 1) / 2];
+        let mut idx = 0;
+        for a in 1..n {
+            for b in 0..a {
+                let d: f64 = points[a]
+                    .iter()
+                    .zip(&points[b])
+                    .map(|(&x, &y)| (x - y) * (x - y))
+                    .sum::<f64>()
+                    .sqrt();
+                data[idx] = d;
+                idx += 1;
+            }
+        }
+        DistanceMatrix { n, data }
+    }
+
+    #[inline]
+    fn offset(&self, a: usize, b: usize) -> usize {
+        debug_assert!(a != b && a < self.n && b < self.n);
+        let (hi, lo) = if a > b { (a, b) } else { (b, a) };
+        hi * (hi - 1) / 2 + lo
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, a: usize, b: usize) -> f64 {
+        self.data[self.offset(a, b)]
+    }
+
+    #[inline]
+    pub(crate) fn set(&mut self, a: usize, b: usize, v: f64) {
+        let o = self.offset(a, b);
+        self.data[o] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<Vec<f64>> {
+        coords.iter().map(|&(x, y)| vec![x, y]).collect()
+    }
+
+    #[test]
+    fn distance_matrix_symmetric_access() {
+        let p = pts(&[(0.0, 0.0), (3.0, 4.0), (6.0, 8.0)]);
+        let m = DistanceMatrix::from_points(&p);
+        assert!((m.get(0, 1) - 5.0).abs() < 1e-12);
+        assert!((m.get(1, 0) - 5.0).abs() < 1e-12);
+        assert!((m.get(0, 2) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constrained_two_blobs() {
+        let p = pts(&[(0.0, 0.0), (0.1, 0.0), (10.0, 0.0), (10.1, 0.0)]);
+        let labeled = vec![true, false, true, false];
+        let mut dist = DistanceMatrix::from_points(&p);
+        let agg = agglomerate(&mut dist, &labeled, &ClusteringConfig::default(), 0);
+        assert_eq!(agg.roots[0], agg.roots[1]);
+        assert_eq!(agg.roots[2], agg.roots[3]);
+        assert_ne!(agg.roots[0], agg.roots[2]);
+    }
+
+    #[test]
+    fn labeled_pair_never_merges_even_when_close() {
+        let p = pts(&[(0.0, 0.0), (0.001, 0.0)]);
+        let labeled = vec![true, true];
+        let mut dist = DistanceMatrix::from_points(&p);
+        let agg = agglomerate(&mut dist, &labeled, &ClusteringConfig::default(), 0);
+        assert_ne!(agg.roots[0], agg.roots[1]);
+    }
+
+    #[test]
+    fn unconstrained_stops_at_target_count() {
+        let p = pts(&[(0.0, 0.0), (0.1, 0.0), (5.0, 0.0), (5.1, 0.0), (10.0, 0.0)]);
+        let labeled = vec![true, true, false, false, false];
+        let cfg = ClusteringConfig { constrained: false, ..Default::default() };
+        let mut dist = DistanceMatrix::from_points(&p);
+        let agg = agglomerate(&mut dist, &labeled, &cfg, 2);
+        let mut roots: Vec<usize> = agg.roots.clone();
+        roots.sort_unstable();
+        roots.dedup();
+        assert_eq!(roots.len(), 2);
+    }
+
+    #[test]
+    fn history_recorded_in_merge_order() {
+        let p = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (50.0, 0.0)]);
+        let labeled = vec![true, false, false, true];
+        let cfg = ClusteringConfig { record_history: true, ..Default::default() };
+        let mut dist = DistanceMatrix::from_points(&p);
+        let agg = agglomerate(&mut dist, &labeled, &cfg, 0);
+        assert_eq!(agg.history.len(), 2);
+        assert!(agg.history[0].distance <= agg.history[1].distance);
+    }
+
+    #[test]
+    fn average_linkage_lance_williams_matches_naive() {
+        // Irregular points; verify the incrementally maintained average
+        // linkage equals the brute-force mean pairwise distance at the
+        // first non-trivial merge.
+        let p = pts(&[(0.0, 0.0), (1.0, 0.0), (4.0, 0.0), (9.0, 3.0)]);
+        let labeled = vec![false; 4];
+        let cfg = ClusteringConfig { record_history: true, constrained: false, ..Default::default() };
+        let mut dist = DistanceMatrix::from_points(&p);
+        let agg = agglomerate(&mut dist, &labeled, &cfg, 2);
+        // First merge: {0},{1} at distance 1. Second merge candidates:
+        // d({0,1},{2}) = (4+3)/2 = 3.5 ; d({0,1},{3}) = (sqrt(90)+sqrt(73))/2 ≈ 9.02
+        // d({2},{3}) = sqrt(25+9) ≈ 5.83 → expect {0,1}+{2} at 3.5.
+        assert_eq!(agg.history[0].distance, 1.0);
+        assert!((agg.history[1].distance - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_and_complete_linkage() {
+        let p = pts(&[(0.0, 0.0), (1.0, 0.0), (3.0, 0.0)]);
+        let labeled = vec![false; 3];
+        for (linkage, expected_second) in [(Linkage::Single, 2.0), (Linkage::Complete, 3.0)] {
+            let cfg = ClusteringConfig {
+                linkage,
+                constrained: false,
+                record_history: true,
+            };
+            let mut dist = DistanceMatrix::from_points(&p);
+            let agg = agglomerate(&mut dist, &labeled, &cfg, 1);
+            assert_eq!(agg.history[0].distance, 1.0);
+            assert!(
+                (agg.history[1].distance - expected_second).abs() < 1e-9,
+                "{linkage:?}: got {}",
+                agg.history[1].distance
+            );
+        }
+    }
+}

@@ -1,0 +1,504 @@
+//! The fitted cluster model and nearest-centroid prediction.
+
+use crate::agglomerative::{agglomerate, Agglomeration, ClusterError, ClusteringConfig, DistanceMatrix, MergeStep};
+use grafics_types::FloorId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One floor-labelled cluster of embeddings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// The floor label inherited from the cluster's labelled sample.
+    pub floor: FloorId,
+    /// Centroid `ψ_i` of the member ego embeddings (§V-B).
+    pub centroid: Vec<f64>,
+    /// Indices (into the input point slice) of the cluster's members.
+    pub members: Vec<usize>,
+}
+
+/// The outcome of a nearest-centroid floor prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Predicted floor `l_{i*}`.
+    pub floor: FloorId,
+    /// Index of the winning cluster in [`ClusterModel::clusters`].
+    pub cluster: usize,
+    /// ℓ2 distance to the winning centroid.
+    pub distance: f64,
+}
+
+/// A fitted proximity-based hierarchical clustering (§IV-C).
+///
+/// See the [crate docs](crate) for the algorithm and an example.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterModel {
+    dim: usize,
+    clusters: Vec<Cluster>,
+    assignment: Vec<usize>,
+    history: Vec<MergeStep>,
+}
+
+impl ClusterModel {
+    /// Fits the clustering to `points` (one embedding per sample) with
+    /// `labels[i]` carrying the floor of the few labelled samples.
+    ///
+    /// # Errors
+    ///
+    /// - [`ClusterError::Empty`] if `points` is empty;
+    /// - [`ClusterError::DimensionMismatch`] on ragged input;
+    /// - [`ClusterError::NonFiniteInput`] on NaN/∞ coordinates;
+    /// - [`ClusterError::NoLabeledSamples`] if every label is `None`.
+    pub fn fit(
+        points: &[Vec<f64>],
+        labels: &[Option<FloorId>],
+        config: &ClusteringConfig,
+    ) -> Result<Self, ClusterError> {
+        if points.is_empty() {
+            return Err(ClusterError::Empty);
+        }
+        assert_eq!(points.len(), labels.len(), "points and labels must be parallel");
+        let dim = points[0].len();
+        for p in points {
+            if p.len() != dim {
+                return Err(ClusterError::DimensionMismatch { expected: dim, found: p.len() });
+            }
+            if p.iter().any(|x| !x.is_finite()) {
+                return Err(ClusterError::NonFiniteInput);
+            }
+        }
+        let n_labeled = labels.iter().filter(|l| l.is_some()).count();
+        if n_labeled == 0 {
+            return Err(ClusterError::NoLabeledSamples);
+        }
+
+        let labeled_mask: Vec<bool> = labels.iter().map(|l| l.is_some()).collect();
+        let mut dist = DistanceMatrix::from_points(points);
+        let agg: Agglomeration = if points.len() == 1 {
+            Agglomeration { roots: vec![0], history: Vec::new() }
+        } else {
+            agglomerate(&mut dist, &labeled_mask, config, n_labeled)
+        };
+
+        // Group points by final root.
+        let mut by_root: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (i, &r) in agg.roots.iter().enumerate() {
+            by_root.entry(r).or_default().push(i);
+        }
+        let mut roots: Vec<usize> = by_root.keys().copied().collect();
+        roots.sort_unstable();
+
+        // Label each cluster.
+        let mut clusters = Vec::with_capacity(roots.len());
+        let mut assignment = vec![usize::MAX; points.len()];
+        let mut unlabeled_clusters: Vec<(usize, Vec<usize>)> = Vec::new();
+        for &root in &roots {
+            let members = by_root.remove(&root).expect("root exists");
+            let floor = cluster_floor(&members, labels, config.constrained);
+            match floor {
+                Some(floor) => {
+                    let centroid = centroid_of(points, &members, dim);
+                    let idx = clusters.len();
+                    for &m in &members {
+                        assignment[m] = idx;
+                    }
+                    clusters.push(Cluster { floor, centroid, members });
+                }
+                None => unlabeled_clusters.push((root, members)),
+            }
+        }
+        // Unconstrained ablation can leave label-free clusters; adopt the
+        // floor of the nearest labelled centroid.
+        for (_, members) in unlabeled_clusters {
+            let centroid = centroid_of(points, &members, dim);
+            let (best, _) = nearest_centroid(&clusters, &centroid)
+                .ok_or(ClusterError::NoLabeledSamples)?;
+            let floor = clusters[best].floor;
+            let idx = clusters.len();
+            for &m in &members {
+                assignment[m] = idx;
+            }
+            clusters.push(Cluster { floor, centroid, members });
+        }
+
+        Ok(ClusterModel { dim, clusters, assignment, history: agg.history })
+    }
+
+    /// Embedding dimensionality the model was fitted on.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The fitted clusters.
+    #[must_use]
+    pub fn clusters(&self) -> &[Cluster] {
+        &self.clusters
+    }
+
+    /// The cluster index assigned to each input point.
+    #[must_use]
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Merge history (only populated when
+    /// [`ClusteringConfig::record_history`] was set).
+    #[must_use]
+    pub fn history(&self) -> &[MergeStep] {
+        &self.history
+    }
+
+    /// Exports the recorded merge history as a Newick-like nested-group
+    /// string with merge distances as branch annotations, for external
+    /// dendrogram tooling. Leaves are input point indices. Clusters that
+    /// never merged appear as top-level leaves.
+    ///
+    /// Returns `None` unless the model was fitted with
+    /// [`ClusteringConfig::record_history`].
+    #[must_use]
+    pub fn dendrogram_newick(&self) -> Option<String> {
+        if self.history.is_empty() && self.assignment.len() > self.clusters.len() {
+            return None;
+        }
+        let n = self.assignment.len();
+        // Build up subtree strings via union-find replay.
+        let mut repr: Vec<Option<String>> = (0..n).map(|i| Some(i.to_string())).collect();
+        let mut root: Vec<usize> = (0..n).collect();
+        fn find(root: &mut Vec<usize>, mut i: usize) -> usize {
+            while root[i] != i {
+                root[i] = root[root[i]];
+                i = root[i];
+            }
+            i
+        }
+        for step in &self.history {
+            let (rk, ra) = (find(&mut root, step.kept), find(&mut root, step.absorbed));
+            let a = repr[rk].take().expect("live subtree");
+            let b = repr[ra].take().expect("live subtree");
+            root[ra] = rk;
+            repr[rk] = Some(format!("({a},{b}):{:.6}", step.distance));
+        }
+        let tops: Vec<String> = repr.into_iter().flatten().collect();
+        Some(format!("({});", tops.join(",")))
+    }
+
+    /// The *virtual label* of every input point: the floor of the cluster
+    /// it was merged into. The paper uses these as pseudo-labels when
+    /// training the supervised baselines (§VI-A).
+    #[must_use]
+    pub fn virtual_labels(&self) -> Vec<FloorId> {
+        self.assignment.iter().map(|&c| self.clusters[c].floor).collect()
+    }
+
+    /// Predicts the floor of a new ego embedding as the label of the
+    /// nearest cluster centroid (§V-B).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::QueryDimensionMismatch`] if `query` has the wrong
+    /// dimension, [`ClusterError::NonFiniteInput`] if it is not finite.
+    pub fn predict(&self, query: &[f64]) -> Result<Prediction, ClusterError> {
+        if query.len() != self.dim {
+            return Err(ClusterError::QueryDimensionMismatch {
+                expected: self.dim,
+                found: query.len(),
+            });
+        }
+        if query.iter().any(|x| !x.is_finite()) {
+            return Err(ClusterError::NonFiniteInput);
+        }
+        let (cluster, distance) =
+            nearest_centroid(&self.clusters, query).expect("model has >= 1 cluster");
+        Ok(Prediction { floor: self.clusters[cluster].floor, cluster, distance })
+    }
+
+    /// The `k` nearest clusters, ascending by centroid distance — useful
+    /// for confidence estimation (a small gap between the best two
+    /// *different-floor* candidates signals an uncertain prediction, e.g.
+    /// near a staircase).
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`ClusterModel::predict`].
+    pub fn predict_topk(&self, query: &[f64], k: usize) -> Result<Vec<Prediction>, ClusterError> {
+        // Validate via the single-prediction path.
+        self.predict(query)?;
+        let mut all: Vec<Prediction> = self
+            .clusters
+            .iter()
+            .enumerate()
+            .map(|(cluster, c)| {
+                let distance: f64 = c
+                    .centroid
+                    .iter()
+                    .zip(query)
+                    .map(|(&x, &y)| (x - y) * (x - y))
+                    .sum::<f64>()
+                    .sqrt();
+                Prediction { floor: c.floor, cluster, distance }
+            })
+            .collect();
+        all.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite"));
+        all.truncate(k);
+        Ok(all)
+    }
+}
+
+fn cluster_floor(
+    members: &[usize],
+    labels: &[Option<FloorId>],
+    constrained: bool,
+) -> Option<FloorId> {
+    if constrained {
+        // Exactly one labelled member by the merge constraint.
+        members.iter().find_map(|&m| labels[m])
+    } else {
+        // Majority vote among labelled members; ties broken by lower floor.
+        let mut counts: HashMap<FloorId, usize> = HashMap::new();
+        for &m in members {
+            if let Some(f) = labels[m] {
+                *counts.entry(f).or_default() += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|(f, _)| f)
+    }
+}
+
+fn centroid_of(points: &[Vec<f64>], members: &[usize], dim: usize) -> Vec<f64> {
+    let mut c = vec![0.0; dim];
+    for &m in members {
+        for (d, &x) in points[m].iter().enumerate() {
+            c[d] += x;
+        }
+    }
+    for x in &mut c {
+        *x /= members.len() as f64;
+    }
+    c
+}
+
+fn nearest_centroid(clusters: &[Cluster], query: &[f64]) -> Option<(usize, f64)> {
+    clusters
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let d: f64 = c
+                .centroid
+                .iter()
+                .zip(query)
+                .map(|(&x, &y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt();
+            (i, d)
+        })
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(cx: f64, cy: f64, n: usize, spread: f64) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| vec![cx + spread * (i as f64 / n as f64 - 0.5), cy + spread * ((i * 7 % n) as f64 / n as f64 - 0.5)])
+            .collect()
+    }
+
+    fn three_floor_setup() -> (Vec<Vec<f64>>, Vec<Option<FloorId>>) {
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        for (f, (cx, cy)) in [(0, (0.0, 0.0)), (1, (10.0, 0.0)), (2, (0.0, 10.0))] {
+            let pts = blob(cx, cy, 16, 1.0);
+            for (i, p) in pts.into_iter().enumerate() {
+                points.push(p);
+                labels.push(if i < 2 { Some(FloorId(f)) } else { None });
+            }
+        }
+        (points, labels)
+    }
+
+    #[test]
+    fn one_cluster_per_labeled_sample() {
+        let (points, labels) = three_floor_setup();
+        let model = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
+        assert_eq!(model.clusters().len(), 6); // 2 labels × 3 floors
+        // every cluster has exactly one labelled member
+        for c in model.clusters() {
+            let n_labeled = c.members.iter().filter(|&&m| labels[m].is_some()).count();
+            assert_eq!(n_labeled, 1);
+        }
+    }
+
+    #[test]
+    fn partition_covers_all_points_exactly_once() {
+        let (points, labels) = three_floor_setup();
+        let model = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
+        let mut seen = vec![false; points.len()];
+        for c in model.clusters() {
+            for &m in &c.members {
+                assert!(!seen[m], "point {m} in two clusters");
+                seen[m] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert!(model.assignment().iter().all(|&a| a < model.clusters().len()));
+    }
+
+    #[test]
+    fn virtual_labels_match_ground_truth_on_separated_blobs() {
+        let (points, labels) = three_floor_setup();
+        let model = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
+        let virt = model.virtual_labels();
+        for (i, v) in virt.iter().enumerate() {
+            let truth = FloorId((i / 16) as i16);
+            assert_eq!(*v, truth, "point {i}");
+        }
+    }
+
+    #[test]
+    fn predict_nearest_centroid() {
+        let (points, labels) = three_floor_setup();
+        let model = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
+        assert_eq!(model.predict(&[0.2, -0.1]).unwrap().floor, FloorId(0));
+        assert_eq!(model.predict(&[9.5, 0.4]).unwrap().floor, FloorId(1));
+        assert_eq!(model.predict(&[-0.3, 10.2]).unwrap().floor, FloorId(2));
+    }
+
+    #[test]
+    fn predict_validates_query() {
+        let (points, labels) = three_floor_setup();
+        let model = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
+        assert!(matches!(
+            model.predict(&[1.0]),
+            Err(ClusterError::QueryDimensionMismatch { expected: 2, found: 1 })
+        ));
+        assert!(matches!(model.predict(&[f64::NAN, 0.0]), Err(ClusterError::NonFiniteInput)));
+    }
+
+    #[test]
+    fn fit_validates_input() {
+        assert!(matches!(
+            ClusterModel::fit(&[], &[], &ClusteringConfig::default()),
+            Err(ClusterError::Empty)
+        ));
+        let ragged = vec![vec![0.0, 0.0], vec![1.0]];
+        assert!(matches!(
+            ClusterModel::fit(&ragged, &[Some(FloorId(0)), None], &ClusteringConfig::default()),
+            Err(ClusterError::DimensionMismatch { .. })
+        ));
+        let nan = vec![vec![f64::NAN, 0.0]];
+        assert!(matches!(
+            ClusterModel::fit(&nan, &[Some(FloorId(0))], &ClusteringConfig::default()),
+            Err(ClusterError::NonFiniteInput)
+        ));
+        let unlabeled = vec![vec![0.0], vec![1.0]];
+        assert!(matches!(
+            ClusterModel::fit(&unlabeled, &[None, None], &ClusteringConfig::default()),
+            Err(ClusterError::NoLabeledSamples)
+        ));
+    }
+
+    #[test]
+    fn single_point_dataset() {
+        let model = ClusterModel::fit(
+            &[vec![1.0, 2.0]],
+            &[Some(FloorId(5))],
+            &ClusteringConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(model.clusters().len(), 1);
+        assert_eq!(model.predict(&[0.0, 0.0]).unwrap().floor, FloorId(5));
+    }
+
+    #[test]
+    fn multiple_clusters_per_floor_allowed() {
+        // Two labelled samples of the SAME floor in distant blobs: the
+        // constraint still keeps them separate — two clusters, same floor.
+        let mut points = blob(0.0, 0.0, 8, 1.0);
+        points.extend(blob(20.0, 0.0, 8, 1.0));
+        let mut labels = vec![None; 16];
+        labels[0] = Some(FloorId(3));
+        labels[8] = Some(FloorId(3));
+        let model = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
+        assert_eq!(model.clusters().len(), 2);
+        assert!(model.clusters().iter().all(|c| c.floor == FloorId(3)));
+    }
+
+    #[test]
+    fn unconstrained_ablation_labels_by_majority() {
+        let (points, labels) = three_floor_setup();
+        let cfg = ClusteringConfig { constrained: false, ..Default::default() };
+        let model = ClusterModel::fit(&points, &labels, &cfg).unwrap();
+        // 6 labelled samples → stops at 6 clusters; every cluster gets a
+        // floor from vote or nearest-centroid adoption.
+        assert_eq!(model.clusters().len(), 6);
+        let virt = model.virtual_labels();
+        let correct = virt
+            .iter()
+            .enumerate()
+            .filter(|&(i, v)| *v == FloorId((i / 16) as i16))
+            .count();
+        assert!(correct >= 40, "unconstrained should still be mostly right, got {correct}/48");
+    }
+
+    #[test]
+    fn centroid_is_member_mean() {
+        let points = vec![vec![0.0, 0.0], vec![2.0, 4.0]];
+        let labels = vec![Some(FloorId(0)), None];
+        let model = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
+        assert_eq!(model.clusters().len(), 1);
+        assert_eq!(model.clusters()[0].centroid, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn topk_sorted_and_consistent_with_predict() {
+        let (points, labels) = three_floor_setup();
+        let model = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
+        let query = [0.3, 0.1];
+        let top = model.predict_topk(&query, 3).unwrap();
+        assert_eq!(top.len(), 3);
+        assert!(top.windows(2).all(|w| w[0].distance <= w[1].distance));
+        assert_eq!(top[0], model.predict(&query).unwrap());
+        // Asking for more than exists returns all clusters.
+        let all = model.predict_topk(&query, 99).unwrap();
+        assert_eq!(all.len(), model.clusters().len());
+        assert!(model.predict_topk(&[0.0], 2).is_err());
+    }
+
+    #[test]
+    fn history_exposed_when_requested() {
+        let (points, labels) = three_floor_setup();
+        let cfg = ClusteringConfig { record_history: true, ..Default::default() };
+        let model = ClusterModel::fit(&points, &labels, &cfg).unwrap();
+        assert_eq!(model.history().len(), points.len() - model.clusters().len());
+    }
+
+    #[test]
+    fn newick_export_is_balanced_and_complete() {
+        let (points, labels) = three_floor_setup();
+        let cfg = ClusteringConfig { record_history: true, ..Default::default() };
+        let model = ClusterModel::fit(&points, &labels, &cfg).unwrap();
+        let newick = model.dendrogram_newick().unwrap();
+        assert!(newick.ends_with(");"));
+        let open = newick.matches('(').count();
+        let close = newick.matches(')').count();
+        assert_eq!(open, close);
+        // Every leaf index appears.
+        for i in 0..points.len() {
+            assert!(
+                newick.contains(&i.to_string()),
+                "leaf {i} missing from {newick}"
+            );
+        }
+    }
+
+    #[test]
+    fn newick_requires_history() {
+        let (points, labels) = three_floor_setup();
+        let model = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
+        assert_eq!(model.dendrogram_newick(), None);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests of the clustering invariants the paper's
+//! algorithm guarantees (§IV-C).
+
+use grafics_cluster::{ClusterModel, ClusteringConfig};
+use grafics_types::FloorId;
+use proptest::prelude::*;
+
+/// Points in 3-D with a handful of labels sprinkled in.
+fn arb_problem() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<Option<FloorId>>)> {
+    (3usize..40).prop_flat_map(|n| {
+        let points = prop::collection::vec(
+            prop::collection::vec(-100.0f64..100.0, 3),
+            n..=n,
+        );
+        let labels = prop::collection::vec(
+            prop::option::weighted(0.2, 0i16..4),
+            n..=n,
+        );
+        (points, labels).prop_map(|(points, labels)| {
+            let mut labels: Vec<Option<FloorId>> =
+                labels.into_iter().map(|l| l.map(FloorId)).collect();
+            // Guarantee at least one label.
+            if labels.iter().all(|l| l.is_none()) {
+                labels[0] = Some(FloorId(0));
+            }
+            (points, labels)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The result is a partition: every point in exactly one cluster.
+    #[test]
+    fn clustering_is_a_partition((points, labels) in arb_problem()) {
+        let model = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
+        let mut seen = vec![false; points.len()];
+        for c in model.clusters() {
+            for &m in &c.members {
+                prop_assert!(!seen[m]);
+                seen[m] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Exactly one labelled sample per cluster; cluster count equals the
+    /// number of labelled samples; each cluster carries its sample's floor.
+    #[test]
+    fn one_label_per_cluster((points, labels) in arb_problem()) {
+        let model = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
+        let n_labeled = labels.iter().filter(|l| l.is_some()).count();
+        prop_assert_eq!(model.clusters().len(), n_labeled);
+        for c in model.clusters() {
+            let labeled: Vec<usize> =
+                c.members.iter().copied().filter(|&m| labels[m].is_some()).collect();
+            prop_assert_eq!(labeled.len(), 1);
+            prop_assert_eq!(labels[labeled[0]].unwrap(), c.floor);
+        }
+    }
+
+    /// Centroids are member means and live in the convex hull's bounding
+    /// box.
+    #[test]
+    fn centroids_are_means((points, labels) in arb_problem()) {
+        let model = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
+        for c in model.clusters() {
+            for d in 0..3 {
+                let mean: f64 =
+                    c.members.iter().map(|&m| points[m][d]).sum::<f64>() / c.members.len() as f64;
+                prop_assert!((c.centroid[d] - mean).abs() < 1e-9);
+                let lo = c.members.iter().map(|&m| points[m][d]).fold(f64::INFINITY, f64::min);
+                let hi = c.members.iter().map(|&m| points[m][d]).fold(f64::NEG_INFINITY, f64::max);
+                prop_assert!(c.centroid[d] >= lo - 1e-9 && c.centroid[d] <= hi + 1e-9);
+            }
+        }
+    }
+
+    /// Prediction always returns a floor that exists among the labels, and
+    /// the reported distance is non-negative.
+    #[test]
+    fn predictions_are_well_formed(
+        (points, labels) in arb_problem(),
+        query in prop::collection::vec(-100.0f64..100.0, 3),
+    ) {
+        let model = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
+        let pred = model.predict(&query).unwrap();
+        prop_assert!(labels.iter().flatten().any(|&f| f == pred.floor));
+        prop_assert!(pred.distance >= 0.0 && pred.distance.is_finite());
+        prop_assert!(pred.cluster < model.clusters().len());
+    }
+
+    /// Virtual labels agree with cluster floors.
+    #[test]
+    fn virtual_labels_consistent((points, labels) in arb_problem()) {
+        let model = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
+        let virt = model.virtual_labels();
+        for (i, &cluster_idx) in model.assignment().iter().enumerate() {
+            prop_assert_eq!(virt[i], model.clusters()[cluster_idx].floor);
+        }
+    }
+}

@@ -1,0 +1,612 @@
+//! The GRAFICS pipeline: offline training (§IV) and online inference (§V).
+//!
+//! [`Grafics::train`] wires the three stages together —
+//!
+//! 1. build the weighted bipartite record/MAC graph from the crowdsourced
+//!    corpus ([`grafics_graph`]),
+//! 2. learn E-LINE node embeddings ([`grafics_embed`]),
+//! 3. fit the constrained proximity hierarchical clustering over the
+//!    record ego-embeddings, seeded by the few labelled samples
+//!    ([`grafics_cluster`]) —
+//!
+//! and [`Grafics::infer`] performs the online path: insert the new record
+//! into the graph, embed it with all other embeddings frozen, and return
+//! the floor of the nearest cluster centroid.
+//!
+//! # Examples
+//!
+//! ```
+//! use grafics_core::{Grafics, GraficsConfig};
+//! use grafics_data::BuildingModel;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+//! let ds = BuildingModel::office("demo", 2).with_records_per_floor(40).simulate(&mut rng);
+//! let split = ds.split(0.7, &mut rng).unwrap();
+//! let train = split.train.with_label_budget(4, &mut rng);
+//!
+//! let mut model = Grafics::train(&train, &GraficsConfig::fast(), &mut rng).unwrap();
+//! let mut hits = 0;
+//! for s in split.test.samples() {
+//!     if model.infer(&s.record, &mut rng).unwrap().floor == s.ground_truth {
+//!         hits += 1;
+//!     }
+//! }
+//! assert!(hits * 10 >= split.test.len() * 7);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use grafics_cluster::{ClusterModel, ClusteringConfig, Linkage};
+use grafics_embed::{ElineTrainer, EmbedError, EmbeddingConfig, EmbeddingModel, Objective};
+use grafics_graph::{BipartiteGraph, NodeIdx, WeightFunction};
+use grafics_types::{Dataset, FloorId, RecordId, SignalRecord};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+pub use grafics_cluster::ClusterError;
+pub use grafics_cluster::Prediction;
+
+/// Flat hyper-parameter set for the whole pipeline. Defaults follow §VI-A
+/// of the paper: dimension 8, four labels per floor (a dataset-side
+/// concern), dropout 0.1, offset weight function with α = 120.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GraficsConfig {
+    /// Embedding dimensionality (paper default 8; Fig. 15 shows
+    /// insensitivity across 4–256).
+    pub dim: usize,
+    /// Embedding training passes over the edge set.
+    pub epochs: usize,
+    /// Negative samples per positive edge.
+    pub negatives: usize,
+    /// Initial SGD learning rate (decays linearly).
+    pub initial_lr: f64,
+    /// Gradient dropout rate.
+    pub dropout: f64,
+    /// Embedding objective; [`Objective::ELine`] is the paper's system,
+    /// [`Objective::LineSecond`] reproduces the Fig. 13 ablation.
+    pub objective: Objective,
+    /// Edge-weight function (Fig. 16 ablation).
+    pub weight_function: WeightFunction,
+    /// Clustering linkage (the paper uses average linkage, Eq. (11)).
+    pub linkage: Linkage,
+    /// Enforce the one-labelled-sample-per-cluster merge constraint.
+    pub constrained_clustering: bool,
+    /// SGD samples per incident edge when embedding a new record online.
+    pub online_samples_per_edge: usize,
+}
+
+impl Default for GraficsConfig {
+    fn default() -> Self {
+        GraficsConfig {
+            dim: 8,
+            epochs: 60,
+            negatives: 5,
+            initial_lr: 0.025,
+            dropout: 0.1,
+            objective: Objective::ELine,
+            weight_function: WeightFunction::default(),
+            linkage: Linkage::Average,
+            constrained_clustering: true,
+            online_samples_per_edge: 200,
+        }
+    }
+}
+
+impl GraficsConfig {
+    /// A budget configuration for tests/examples: fewer epochs, smaller
+    /// online refinement. Accuracy on small simulated buildings is within
+    /// a point or two of the default.
+    #[must_use]
+    pub fn fast() -> Self {
+        GraficsConfig { epochs: 30, online_samples_per_edge: 120, ..Default::default() }
+    }
+
+    /// The embedding-stage view of this configuration.
+    #[must_use]
+    pub fn embedding(&self) -> EmbeddingConfig {
+        EmbeddingConfig {
+            dim: self.dim,
+            objective: self.objective,
+            epochs: self.epochs,
+            negatives: self.negatives,
+            initial_lr: self.initial_lr,
+            lr_decay: true,
+            dropout: self.dropout,
+            negative_exponent: 0.75,
+            online_samples_per_edge: self.online_samples_per_edge,
+        }
+    }
+
+    /// The clustering-stage view of this configuration.
+    #[must_use]
+    pub fn clustering(&self) -> ClusteringConfig {
+        ClusteringConfig {
+            linkage: self.linkage,
+            constrained: self.constrained_clustering,
+            record_history: false,
+        }
+    }
+}
+
+/// Errors from the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GraficsError {
+    /// The training dataset is empty.
+    EmptyTrainingSet,
+    /// Embedding-stage failure.
+    Embed(EmbedError),
+    /// Clustering-stage failure (e.g. no labelled samples in training).
+    Cluster(ClusterError),
+    /// The record to infer shares no MAC with the training graph; per §V
+    /// footnote 1 it was likely collected outside the building.
+    OutsideBuilding,
+}
+
+impl fmt::Display for GraficsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraficsError::EmptyTrainingSet => write!(f, "training dataset is empty"),
+            GraficsError::Embed(e) => write!(f, "embedding stage: {e}"),
+            GraficsError::Cluster(e) => write!(f, "clustering stage: {e}"),
+            GraficsError::OutsideBuilding => {
+                write!(f, "record shares no MAC with the building graph; discarded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraficsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraficsError::Embed(e) => Some(e),
+            GraficsError::Cluster(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EmbedError> for GraficsError {
+    fn from(e: EmbedError) -> Self {
+        GraficsError::Embed(e)
+    }
+}
+
+impl From<ClusterError> for GraficsError {
+    fn from(e: ClusterError) -> Self {
+        GraficsError::Cluster(e)
+    }
+}
+
+/// A trained GRAFICS model: graph + embeddings + labelled clusters.
+///
+/// Inference is `&mut self` because the paper's online path *extends the
+/// graph* with each new record (and any new MACs it carries) before
+/// embedding it — the model keeps learning the building's signal map.
+///
+/// The model is `serde`-serialisable; see [`Grafics::save_json`] /
+/// [`Grafics::load_json`] for file persistence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Grafics {
+    config: GraficsConfig,
+    trainer: ElineTrainer,
+    graph: BipartiteGraph,
+    embeddings: EmbeddingModel,
+    clusters: ClusterModel,
+    train_records: usize,
+}
+
+impl Grafics {
+    /// Offline training over a crowdsourced corpus in which only a few
+    /// samples carry floor labels (`sample.floor`).
+    ///
+    /// # Errors
+    ///
+    /// - [`GraficsError::EmptyTrainingSet`];
+    /// - [`GraficsError::Embed`] on invalid embedding config or edgeless
+    ///   graph;
+    /// - [`GraficsError::Cluster`] when no sample carries a label.
+    pub fn train<R: Rng + ?Sized>(
+        train: &Dataset,
+        config: &GraficsConfig,
+        rng: &mut R,
+    ) -> Result<Self, GraficsError> {
+        if train.is_empty() {
+            return Err(GraficsError::EmptyTrainingSet);
+        }
+        let graph = BipartiteGraph::from_dataset(train, config.weight_function);
+        let trainer = ElineTrainer::new(config.embedding());
+        let embeddings = trainer.train(&graph, rng)?;
+
+        let mut points = Vec::with_capacity(train.len());
+        let mut labels = Vec::with_capacity(train.len());
+        for (i, sample) in train.samples().iter().enumerate() {
+            let node = graph
+                .record_node(RecordId(i as u32))
+                .expect("training records are live");
+            points.push(embeddings.ego_vec(node));
+            labels.push(sample.floor);
+        }
+        let clusters = ClusterModel::fit(&points, &labels, &config.clustering())?;
+        Ok(Grafics {
+            config: *config,
+            trainer,
+            graph,
+            embeddings,
+            clusters,
+            train_records: train.len(),
+        })
+    }
+
+    /// Online inference for one new RF record (§V): extends the graph,
+    /// embeds the new node with everything else frozen, and returns the
+    /// floor of the nearest cluster centroid.
+    ///
+    /// # Errors
+    ///
+    /// - [`GraficsError::OutsideBuilding`] if the record shares no MAC with
+    ///   the graph (the record is *not* added);
+    /// - [`GraficsError::Embed`] on embedding failure.
+    pub fn infer<R: Rng + ?Sized>(
+        &mut self,
+        record: &SignalRecord,
+        rng: &mut R,
+    ) -> Result<Prediction, GraficsError> {
+        let node = self.insert_record(record, rng)?;
+        let query = self.embeddings.ego_vec(node);
+        Ok(self.clusters.predict(&query)?)
+    }
+
+    /// Batch inference: predicts every record in order, mapping
+    /// per-record failures (outside-building, isolated) to `None` rather
+    /// than aborting the batch.
+    pub fn infer_batch<R: Rng + ?Sized>(
+        &mut self,
+        records: &[SignalRecord],
+        rng: &mut R,
+    ) -> Vec<Option<Prediction>> {
+        records.iter().map(|r| self.infer(r, rng).ok()).collect()
+    }
+
+    /// Like [`Grafics::infer`], but returns the `k` nearest clusters
+    /// (ascending by centroid distance). The gap between the best
+    /// prediction and the nearest *different-floor* candidate is a natural
+    /// confidence signal — small near stairwells, large mid-floor.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Grafics::infer`].
+    pub fn infer_topk<R: Rng + ?Sized>(
+        &mut self,
+        record: &SignalRecord,
+        k: usize,
+        rng: &mut R,
+    ) -> Result<Vec<Prediction>, GraficsError> {
+        let node = self.insert_record(record, rng)?;
+        let query = self.embeddings.ego_vec(node);
+        Ok(self.clusters.predict_topk(&query, k)?)
+    }
+
+    /// Like [`Grafics::infer`], but also returns the new record's id and
+    /// graph node so callers can track it (e.g. for later removal).
+    pub fn infer_tracked<R: Rng + ?Sized>(
+        &mut self,
+        record: &SignalRecord,
+        rng: &mut R,
+    ) -> Result<(RecordId, Prediction), GraficsError> {
+        let node = self.insert_record(record, rng)?;
+        let query = self.embeddings.ego_vec(node);
+        let rid = match self.graph.kind(node) {
+            grafics_graph::NodeKind::Record(rid) => rid,
+            grafics_graph::NodeKind::Mac(_) => unreachable!("inserted node is a record"),
+        };
+        Ok((rid, self.clusters.predict(&query)?))
+    }
+
+    fn insert_record<R: Rng + ?Sized>(
+        &mut self,
+        record: &SignalRecord,
+        rng: &mut R,
+    ) -> Result<NodeIdx, GraficsError> {
+        if !self.graph.overlaps(record) {
+            return Err(GraficsError::OutsideBuilding);
+        }
+        let rid = self.graph.add_record(record);
+        let node = self.graph.record_node(rid).expect("just inserted");
+        self.trainer.embed_new_node(&self.graph, &mut self.embeddings, node, rng)?;
+        Ok(node)
+    }
+
+    /// The pipeline configuration.
+    #[must_use]
+    pub fn config(&self) -> &GraficsConfig {
+        &self.config
+    }
+
+    /// The (growing) bipartite graph.
+    #[must_use]
+    pub fn graph(&self) -> &BipartiteGraph {
+        &self.graph
+    }
+
+    /// The learned embeddings.
+    #[must_use]
+    pub fn embeddings(&self) -> &EmbeddingModel {
+        &self.embeddings
+    }
+
+    /// The fitted clusters.
+    #[must_use]
+    pub fn clusters(&self) -> &ClusterModel {
+        &self.clusters
+    }
+
+    /// Number of records in the offline training corpus.
+    #[must_use]
+    pub fn train_record_count(&self) -> usize {
+        self.train_records
+    }
+
+    /// The *virtual labels* the clustering assigned to every training
+    /// record (§IV-C: unlabeled samples inherit the label of the labelled
+    /// sample in their cluster). Used as pseudo-labels by the supervised
+    /// baselines and for the Fig. 8 progression.
+    #[must_use]
+    pub fn virtual_labels(&self) -> Vec<FloorId> {
+        self.clusters.virtual_labels()
+    }
+
+    /// Removes a previously inserted record from the graph (e.g. expiring
+    /// inference-time records to bound memory).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the graph's unknown-record error.
+    pub fn forget_record(&mut self, rid: RecordId) -> Result<(), grafics_graph::GraphError> {
+        self.graph.remove_record(rid)
+    }
+
+    /// Decommissions an access point: its MAC node and edges leave the
+    /// graph (§III-A "installation and removal of APs"). Existing clusters
+    /// are unaffected — record embeddings stay put — but future online
+    /// inferences no longer connect through the removed AP.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the graph's unknown-MAC error.
+    pub fn remove_ap(&mut self, mac: grafics_types::MacAddr) -> Result<(), grafics_graph::GraphError> {
+        self.graph.remove_mac(mac)
+    }
+
+    /// Serialises the whole model (graph, embeddings, clusters, config)
+    /// to a JSON file, so a deployment can train once and serve many
+    /// processes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying IO/serde error as `std::io::Error`.
+    pub fn save_json<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
+        let json = serde_json::to_string(self).map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Loads a model previously written by [`Grafics::save_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying IO/serde error as `std::io::Error`.
+    pub fn load_json<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(std::io::Error::other)
+    }
+
+    /// Batch refresh (§V-A discusses keeping online inference cheap by
+    /// freezing old embeddings; over time, drift accumulates): re-trains
+    /// the embeddings over the *current* graph — which includes every
+    /// record absorbed during online inference — and refits the clusters
+    /// using the original labelled samples' virtual positions.
+    ///
+    /// Labels are taken from the first `train_record_count()` records
+    /// (the offline corpus); records added online stay unlabelled.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Grafics::train`].
+    pub fn refresh<R: Rng + ?Sized>(
+        &mut self,
+        labels: &[Option<FloorId>],
+        rng: &mut R,
+    ) -> Result<(), GraficsError> {
+        self.embeddings = self.trainer.train(&self.graph, rng)?;
+        let mut points = Vec::new();
+        let mut point_labels = Vec::new();
+        for (rid, node) in self.graph.record_ids() {
+            points.push(self.embeddings.ego_vec(node));
+            point_labels.push(labels.get(rid.index()).copied().flatten());
+        }
+        self.clusters = ClusterModel::fit(&points, &point_labels, &self.config.clustering())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grafics_data::BuildingModel;
+    use grafics_types::{MacAddr, Reading, Rssi};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn trained(seed: u64) -> (Grafics, grafics_types::Dataset) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let ds = BuildingModel::office("core-test", 3)
+            .with_records_per_floor(60)
+            .simulate(&mut rng);
+        let split = ds.split(0.7, &mut rng).unwrap();
+        let train = split.train.with_label_budget(4, &mut rng);
+        let model = Grafics::train(&train, &GraficsConfig::fast(), &mut rng).unwrap();
+        (model, split.test)
+    }
+
+    #[test]
+    fn end_to_end_accuracy_three_floors() {
+        let (mut model, test) = trained(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let mut hits = 0;
+        let mut total = 0;
+        for s in test.samples() {
+            if let Ok(pred) = model.infer(&s.record, &mut rng) {
+                total += 1;
+                if pred.floor == s.ground_truth {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            hits * 10 >= total * 8,
+            "expected >= 80% floor accuracy with 4 labels/floor, got {hits}/{total}"
+        );
+    }
+
+    #[test]
+    fn outside_building_rejected_and_not_added() {
+        let (mut model, _) = trained(2);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let foreign = SignalRecord::new(vec![Reading::new(
+            MacAddr::from_u64(0xdead_beef),
+            Rssi::new(-50.0).unwrap(),
+        )])
+        .unwrap();
+        let records_before = model.graph().record_count();
+        assert_eq!(model.infer(&foreign, &mut rng), Err(GraficsError::OutsideBuilding));
+        assert_eq!(model.graph().record_count(), records_before);
+    }
+
+    #[test]
+    fn inference_extends_graph() {
+        let (mut model, test) = trained(3);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let before = model.graph().record_count();
+        model.infer(&test.samples()[0].record, &mut rng).unwrap();
+        assert_eq!(model.graph().record_count(), before + 1);
+    }
+
+    #[test]
+    fn infer_tracked_allows_forgetting() {
+        let (mut model, test) = trained(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let before = model.graph().record_count();
+        let (rid, _) = model.infer_tracked(&test.samples()[0].record, &mut rng).unwrap();
+        model.forget_record(rid).unwrap();
+        assert_eq!(model.graph().record_count(), before);
+        assert!(model.forget_record(rid).is_err());
+    }
+
+    #[test]
+    fn empty_training_set_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let err = Grafics::train(&Dataset::default(), &GraficsConfig::fast(), &mut rng);
+        assert_eq!(err.unwrap_err(), GraficsError::EmptyTrainingSet);
+    }
+
+    #[test]
+    fn unlabeled_training_set_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let ds = BuildingModel::office("x", 2)
+            .with_records_per_floor(10)
+            .simulate(&mut rng)
+            .unlabeled();
+        let err = Grafics::train(&ds, &GraficsConfig::fast(), &mut rng);
+        assert!(matches!(err, Err(GraficsError::Cluster(ClusterError::NoLabeledSamples))));
+    }
+
+    #[test]
+    fn virtual_labels_cover_training_set() {
+        let (model, _) = trained(5);
+        let virt = model.virtual_labels();
+        assert_eq!(virt.len(), model.train_record_count());
+    }
+
+    #[test]
+    fn cluster_count_equals_label_count() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let ds = BuildingModel::office("c", 3).with_records_per_floor(40).simulate(&mut rng);
+        let train = ds.with_label_budget(4, &mut rng);
+        let model = Grafics::train(&train, &GraficsConfig::fast(), &mut rng).unwrap();
+        assert_eq!(model.clusters().clusters().len(), 12); // 4 labels × 3 floors
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_predictions() {
+        let (mut model, test) = trained(20);
+        let dir = std::env::temp_dir().join("grafics-core-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        model.save_json(&path).unwrap();
+        let mut loaded = Grafics::load_json(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        let mut rng_a = ChaCha8Rng::seed_from_u64(55);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(55);
+        for s in test.samples().iter().take(10) {
+            let a = model.infer(&s.record, &mut rng_a).unwrap();
+            let b = loaded.infer(&s.record, &mut rng_b).unwrap();
+            assert_eq!(a.floor, b.floor);
+        }
+    }
+
+    #[test]
+    fn refresh_after_online_growth() {
+        let (mut model, test) = trained(21);
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        // Absorb a batch of online records.
+        for s in test.samples().iter().take(20) {
+            let _ = model.infer(&s.record, &mut rng);
+        }
+        // Labels of the original offline corpus (online ones unlabelled).
+        let labels: Vec<Option<FloorId>> = (0..model.train_record_count())
+            .map(|_| None)
+            .collect();
+        // Without any labels the refit must fail loudly …
+        assert!(matches!(
+            model.refresh(&labels, &mut rng),
+            Err(GraficsError::Cluster(ClusterError::NoLabeledSamples))
+        ));
+        // … and with a few labels it succeeds and stays accurate.
+        let mut rng2 = ChaCha8Rng::seed_from_u64(21);
+        let ds = BuildingModel::office("core-test", 3)
+            .with_records_per_floor(60)
+            .simulate(&mut rng2);
+        let split = ds.split(0.7, &mut rng2).unwrap();
+        let train = split.train.with_label_budget(4, &mut rng2);
+        let labels: Vec<Option<FloorId>> = train.samples().iter().map(|s| s.floor).collect();
+        model.refresh(&labels, &mut rng).unwrap();
+        let mut hits = 0;
+        let mut total = 0;
+        for s in test.samples().iter().skip(20) {
+            if let Ok(p) = model.infer(&s.record, &mut rng) {
+                total += 1;
+                if p.floor == s.ground_truth {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(total > 0 && hits * 10 >= total * 7, "after refresh: {hits}/{total}");
+    }
+
+    #[test]
+    fn single_floor_building_works() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let ds = BuildingModel::office("one", 1).with_records_per_floor(30).simulate(&mut rng);
+        let split = ds.split(0.7, &mut rng).unwrap();
+        let train = split.train.with_label_budget(2, &mut rng);
+        let mut model = Grafics::train(&train, &GraficsConfig::fast(), &mut rng).unwrap();
+        for s in split.test.samples() {
+            assert_eq!(model.infer(&s.record, &mut rng).unwrap().floor, FloorId(0));
+        }
+    }
+}

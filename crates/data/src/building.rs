@@ -1,0 +1,528 @@
+//! Building geometry, AP layout and the crowdsourced measurement process.
+
+use crate::{standard_normal, PropagationModel};
+use grafics_types::{Dataset, FloorId, MacAddr, Reading, Sample, SignalRecord};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One deployed access point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ApNode {
+    /// The AP's BSSID.
+    pub mac: MacAddr,
+    /// Position, metres from the building's south-west corner.
+    pub x: f64,
+    /// Position, metres.
+    pub y: f64,
+    /// Floor the AP is mounted on.
+    pub floor: i16,
+    /// Transmit power (EIRP) in dBm.
+    pub tx_power_dbm: f64,
+}
+
+/// A concrete AP deployment sampled from a [`BuildingModel`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BuildingLayout {
+    /// Building name (copied from the model).
+    pub name: String,
+    /// The deployed APs.
+    pub aps: Vec<ApNode>,
+}
+
+impl BuildingLayout {
+    /// All MACs deployed in this layout.
+    #[must_use]
+    pub fn macs(&self) -> Vec<MacAddr> {
+        self.aps.iter().map(|a| a.mac).collect()
+    }
+}
+
+/// A parametric multi-floor building and its crowdsourcing process.
+///
+/// `simulate` produces a fully ground-truth-labelled [`Dataset`] — callers
+/// hide labels afterwards with [`Dataset::with_label_budget`], matching the
+/// paper's protocol. The crowdsourcing artefacts modelled:
+///
+/// - measurement positions scattered uniformly over each floor plate;
+/// - per-record *device offset* (cheap radios read RSS lower/higher);
+/// - per-record *scan limit*: low-end devices report only their strongest
+///   N MACs, the source of the "most records contain < 40 MACs" statistic
+///   of paper Fig. 1(a);
+/// - APs heard through the slab from adjacent floors (the confusable part
+///   of the problem).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BuildingModel {
+    /// Building name, used in reports.
+    pub name: String,
+    /// Number of floors (ground floor is 0).
+    pub floors: i16,
+    /// Floor-plate width in metres.
+    pub width_m: f64,
+    /// Floor-plate depth in metres.
+    pub depth_m: f64,
+    /// Physical access points deployed per floor.
+    pub aps_per_floor: usize,
+    /// Virtual BSSIDs broadcast per physical AP (real deployments expose
+    /// several SSIDs per radio, which is why the paper observes 805
+    /// distinct MACs on a single mall floor).
+    pub bssids_per_ap: usize,
+    /// Crowdsourced records collected per floor.
+    pub records_per_floor: usize,
+    /// Scan-size cap: a device reports at most this many strongest MACs.
+    pub max_macs_per_record: usize,
+    /// Minimum scan size for the per-device scan-limit draw.
+    pub min_macs_per_record: usize,
+    /// Standard deviation of the per-device RSS offset, dB.
+    pub device_sigma_db: f64,
+    /// Probability that a scan additionally picks up 1–2 *ephemeral* MACs
+    /// (phone hotspots, passing devices) that are not part of the
+    /// building's AP deployment — a pollution source real crowdsourced
+    /// corpora always contain. Ephemeral MACs essentially never repeat
+    /// across records.
+    pub noise_mac_rate: f64,
+    /// Mean AP transmit power, dBm.
+    pub tx_power_dbm: f64,
+    /// Spread of AP transmit powers, dB.
+    pub tx_power_sigma_db: f64,
+    /// The propagation physics.
+    pub propagation: PropagationModel,
+    /// Seed namespace so two buildings never share MACs.
+    pub mac_namespace: u64,
+}
+
+impl BuildingModel {
+    /// A mid-size office tower: 40 × 30 m plate, 16 physical APs per floor
+    /// each broadcasting 4 BSSIDs (64 MACs/floor).
+    #[must_use]
+    pub fn office(name: &str, floors: i16) -> Self {
+        BuildingModel {
+            name: name.to_owned(),
+            floors,
+            width_m: 40.0,
+            depth_m: 30.0,
+            aps_per_floor: 16,
+            bssids_per_ap: 4,
+            records_per_floor: 200,
+            max_macs_per_record: 35,
+            min_macs_per_record: 6,
+            device_sigma_db: 3.0,
+            noise_mac_rate: 0.1,
+            tx_power_dbm: 16.0,
+            tx_power_sigma_db: 2.0,
+            propagation: PropagationModel::default(),
+            mac_namespace: fnv1a(name),
+        }
+    }
+
+    /// A shopping mall: large 90 × 60 m plate, dense APs (45 physical per
+    /// floor × 5 BSSIDs = 225 MACs/floor), matching the order of magnitude
+    /// of the paper's Fig. 1 mall floor.
+    #[must_use]
+    pub fn mall(name: &str, floors: i16) -> Self {
+        BuildingModel {
+            width_m: 90.0,
+            depth_m: 60.0,
+            aps_per_floor: 45,
+            bssids_per_ap: 5,
+            ..BuildingModel::office(name, floors)
+        }
+    }
+
+    /// A hospital: 70 × 50 m plate, 30 physical APs per floor, slightly
+    /// lossier walls (more partitions).
+    #[must_use]
+    pub fn hospital(name: &str, floors: i16) -> Self {
+        BuildingModel {
+            width_m: 70.0,
+            depth_m: 50.0,
+            aps_per_floor: 30,
+            propagation: PropagationModel {
+                path_loss_exponent: 3.1,
+                ..PropagationModel::default()
+            },
+            ..BuildingModel::office(name, floors)
+        }
+    }
+
+    /// Sets the number of crowdsourced records per floor.
+    #[must_use]
+    pub fn with_records_per_floor(mut self, n: usize) -> Self {
+        self.records_per_floor = n;
+        self
+    }
+
+    /// Sets the AP count per floor.
+    #[must_use]
+    pub fn with_aps_per_floor(mut self, n: usize) -> Self {
+        self.aps_per_floor = n;
+        self
+    }
+
+    /// Sets the propagation model.
+    #[must_use]
+    pub fn with_propagation(mut self, p: PropagationModel) -> Self {
+        self.propagation = p;
+        self
+    }
+
+    /// Floor-plate area in m².
+    #[must_use]
+    pub fn area_m2(&self) -> f64 {
+        self.width_m * self.depth_m
+    }
+
+    /// Samples a concrete AP deployment: physical APs uniformly scattered
+    /// over each floor plate with jittered transmit powers, each radio
+    /// broadcasting [`BuildingModel::bssids_per_ap`] virtual BSSIDs from
+    /// the same location (with sub-dB power spread between BSSIDs).
+    pub fn layout<R: Rng + ?Sized>(&self, rng: &mut R) -> BuildingLayout {
+        let per_floor = self.aps_per_floor * self.bssids_per_ap.max(1);
+        let mut aps = Vec::with_capacity(self.floors as usize * per_floor);
+        let mut serial: u64 = 0;
+        for floor in 0..self.floors {
+            for _ in 0..self.aps_per_floor {
+                let x = rng.gen_range(0.0..self.width_m);
+                let y = rng.gen_range(0.0..self.depth_m);
+                let radio_power =
+                    self.tx_power_dbm + self.tx_power_sigma_db * standard_normal(rng);
+                for _ in 0..self.bssids_per_ap.max(1) {
+                    // Namespaced MAC: high bits building, low bits serial.
+                    let mac = MacAddr::from_u64((self.mac_namespace << 20) | serial);
+                    serial += 1;
+                    aps.push(ApNode {
+                        mac,
+                        x,
+                        y,
+                        floor,
+                        tx_power_dbm: radio_power + rng.gen_range(-0.5..0.5),
+                    });
+                }
+            }
+        }
+        BuildingLayout { name: self.name.clone(), aps }
+    }
+
+    /// Applies *environment drift* to a deployment (§III-A: "APs could be
+    /// added and removed over time"): removes a random `remove_frac` of
+    /// the BSSIDs, deploys `add_frac` (of the original count) fresh
+    /// physical APs, and jitters surviving transmit powers by
+    /// `power_jitter_db` — modelling maintenance, upgrades and seasonal
+    /// changes between training and inference time.
+    pub fn drift_layout<R: Rng + ?Sized>(
+        &self,
+        layout: &mut BuildingLayout,
+        remove_frac: f64,
+        add_frac: f64,
+        power_jitter_db: f64,
+        rng: &mut R,
+    ) {
+        use rand::seq::SliceRandom;
+        let original = layout.aps.len();
+        // Remove.
+        let keep = ((original as f64) * (1.0 - remove_frac)).round() as usize;
+        layout.aps.shuffle(rng);
+        layout.aps.truncate(keep);
+        // Jitter survivors.
+        for ap in &mut layout.aps {
+            ap.tx_power_dbm += power_jitter_db * standard_normal(rng);
+        }
+        // Add new radios with fresh MACs (disjoint high-serial namespace).
+        let add_radios =
+            ((original as f64) * add_frac / self.bssids_per_ap.max(1) as f64).round() as usize;
+        let mut serial: u64 = (1 << 19) | rng.gen_range(0..(1 << 16));
+        for _ in 0..add_radios {
+            let x = rng.gen_range(0.0..self.width_m);
+            let y = rng.gen_range(0.0..self.depth_m);
+            let floor = rng.gen_range(0..self.floors);
+            let radio_power = self.tx_power_dbm + self.tx_power_sigma_db * standard_normal(rng);
+            for _ in 0..self.bssids_per_ap.max(1) {
+                let mac = MacAddr::from_u64((self.mac_namespace << 20) | serial);
+                serial += 1;
+                layout.aps.push(ApNode {
+                    mac,
+                    x,
+                    y,
+                    floor,
+                    tx_power_dbm: radio_power + rng.gen_range(-0.5..0.5),
+                });
+            }
+        }
+    }
+
+    /// Simulates the full crowdsourced corpus: a fresh layout plus
+    /// `records_per_floor` scans on every floor. All samples carry their
+    /// ground-truth label.
+    pub fn simulate<R: Rng + ?Sized>(&self, rng: &mut R) -> Dataset {
+        let layout = self.layout(rng);
+        self.simulate_with_layout(&layout, rng)
+    }
+
+    /// Simulates scans against an existing deployment (e.g. after
+    /// [`BuildingLayout`] mutation in AP-churn experiments).
+    pub fn simulate_with_layout<R: Rng + ?Sized>(
+        &self,
+        layout: &BuildingLayout,
+        rng: &mut R,
+    ) -> Dataset {
+        let mut ds = Dataset::default();
+        for floor in 0..self.floors {
+            for _ in 0..self.records_per_floor {
+                if let Some(record) = self.scan(layout, floor, rng) {
+                    ds.push(Sample::labeled(record, FloorId(floor)));
+                }
+            }
+        }
+        ds
+    }
+
+    /// One crowdsourced scan at a random position on `floor`. Returns
+    /// `None` in the (vanishingly rare) case no AP is audible.
+    pub fn scan<R: Rng + ?Sized>(
+        &self,
+        layout: &BuildingLayout,
+        floor: i16,
+        rng: &mut R,
+    ) -> Option<SignalRecord> {
+        let x = rng.gen_range(0.0..self.width_m);
+        let y = rng.gen_range(0.0..self.depth_m);
+        self.scan_at(layout, x, y, floor, rng)
+    }
+
+    /// One scan at a fixed position (used by trajectory-style examples).
+    pub fn scan_at<R: Rng + ?Sized>(
+        &self,
+        layout: &BuildingLayout,
+        x: f64,
+        y: f64,
+        floor: i16,
+        rng: &mut R,
+    ) -> Option<SignalRecord> {
+        let device_offset = self.device_sigma_db * standard_normal(rng);
+        let scan_limit = rng.gen_range(self.min_macs_per_record..=self.max_macs_per_record.max(self.min_macs_per_record));
+        let mut readings: Vec<Reading> = layout
+            .aps
+            .iter()
+            .filter_map(|ap| {
+                self.propagation
+                    .receive(ap.tx_power_dbm, ap.x, ap.y, ap.floor, x, y, floor, device_offset, rng)
+                    .map(|rssi| Reading::new(ap.mac, rssi))
+            })
+            .collect();
+        // Crowdsourcing pollution: ephemeral hotspot MACs nearby.
+        if rng.gen::<f64>() < self.noise_mac_rate {
+            let n_noise = rng.gen_range(1..=2);
+            for _ in 0..n_noise {
+                // A random MAC in a namespace disjoint from deployed APs
+                // (bit 44 set); collisions across records are negligible.
+                let mac = MacAddr::from_u64((1 << 44) | rng.gen_range(0u64..(1 << 40)));
+                // Hotspots travel with people, so they are close and loud —
+                // which is exactly why they survive the strongest-N scan
+                // cap and pollute real corpora.
+                let rssi = grafics_types::Rssi::saturating(rng.gen_range(-60.0..-35.0));
+                readings.push(Reading::new(mac, rssi));
+            }
+        }
+        // Low-end devices keep only their strongest `scan_limit` readings.
+        readings.sort_by(|a, b| b.rssi.cmp(&a.rssi));
+        readings.truncate(scan_limit);
+        SignalRecord::new(readings).ok()
+    }
+}
+
+/// Tiny FNV-1a over the name for a stable MAC namespace per building.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h & 0xff_ffff // 24 bits of namespace, leaving 20+ bits for serials
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn layout_places_aps_within_plate() {
+        let b = BuildingModel::office("t", 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let layout = b.layout(&mut rng);
+        assert_eq!(layout.aps.len(), 4 * 16 * 4); // floors × APs × BSSIDs
+        for ap in &layout.aps {
+            assert!((0.0..b.width_m).contains(&ap.x));
+            assert!((0.0..b.depth_m).contains(&ap.y));
+            assert!((0..4).contains(&ap.floor));
+        }
+    }
+
+    #[test]
+    fn macs_unique_within_and_across_buildings() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let a = BuildingModel::office("alpha", 3).layout(&mut rng);
+        let b = BuildingModel::office("beta", 3).layout(&mut rng);
+        let mut all: Vec<MacAddr> = a.macs();
+        all.extend(b.macs());
+        let before = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), before, "MAC collision between buildings");
+    }
+
+    #[test]
+    fn simulate_covers_every_floor() {
+        let b = BuildingModel::office("t", 5).with_records_per_floor(30);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let ds = b.simulate(&mut rng);
+        let counts = ds.per_floor_counts();
+        assert_eq!(counts.len(), 5);
+        for (_, &c) in counts.iter() {
+            assert_eq!(c, 30);
+        }
+    }
+
+    #[test]
+    fn scan_respects_size_cap() {
+        let b = BuildingModel::mall("m", 2).with_records_per_floor(20);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let ds = b.simulate(&mut rng);
+        for s in ds.samples() {
+            assert!(s.record.len() <= b.max_macs_per_record);
+            assert!(!s.record.readings().is_empty());
+        }
+    }
+
+    #[test]
+    fn same_floor_aps_dominate_record() {
+        // With 16 dB slab attenuation, the strongest reading of a scan
+        // should usually come from an AP on the scanner's own floor.
+        let b = BuildingModel::office("t", 3).with_records_per_floor(50);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let layout = b.layout(&mut rng);
+        let ds = b.simulate_with_layout(&layout, &mut rng);
+        let floor_of =
+            |mac: MacAddr| layout.aps.iter().find(|a| a.mac == mac).map(|a| a.floor);
+        let own_floor_strongest = ds
+            .samples()
+            .iter()
+            .filter(|s| floor_of(s.record.strongest().mac).map(FloorId) == Some(s.ground_truth))
+            .count();
+        assert!(
+            own_floor_strongest * 10 >= ds.len() * 8,
+            "{own_floor_strongest}/{} strongest-reading-on-own-floor",
+            ds.len()
+        );
+    }
+
+    #[test]
+    fn records_hear_some_other_floor_aps() {
+        // The problem must stay non-trivial: adjacent-floor APs do appear.
+        let b = BuildingModel::office("t", 3).with_records_per_floor(50);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let layout = b.layout(&mut rng);
+        let ds = b.simulate_with_layout(&layout, &mut rng);
+        let floor_of =
+            |mac: MacAddr| layout.aps.iter().find(|a| a.mac == mac).map(|a| a.floor);
+        let cross = ds
+            .samples()
+            .iter()
+            .filter(|s| {
+                s.record
+                    .macs()
+                    .any(|m| matches!(floor_of(m), Some(f) if FloorId(f) != s.ground_truth))
+            })
+            .count();
+        assert!(cross * 10 >= ds.len() * 3, "expect ≥30% records with cross-floor MACs, got {cross}/{}", ds.len());
+    }
+
+    #[test]
+    fn noise_macs_pollute_the_vocabulary() {
+        let clean = BuildingModel { noise_mac_rate: 0.0, ..BuildingModel::office("n", 2) }
+            .with_records_per_floor(100);
+        let noisy = BuildingModel { noise_mac_rate: 0.5, ..BuildingModel::office("n", 2) }
+            .with_records_per_floor(100);
+        let vocab_clean = clean.simulate(&mut ChaCha8Rng::seed_from_u64(6)).stats().macs;
+        let vocab_noisy = noisy.simulate(&mut ChaCha8Rng::seed_from_u64(6)).stats().macs;
+        assert!(
+            vocab_noisy > vocab_clean + 30,
+            "hotspot MACs should bloat the vocabulary: {vocab_clean} vs {vocab_noisy}"
+        );
+    }
+
+    #[test]
+    fn noise_macs_live_in_disjoint_namespace() {
+        let b = BuildingModel { noise_mac_rate: 1.0, ..BuildingModel::office("n2", 1) }
+            .with_records_per_floor(30);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let layout = b.layout(&mut rng);
+        let deployed: std::collections::HashSet<MacAddr> = layout.macs().into_iter().collect();
+        let ds = b.simulate_with_layout(&layout, &mut rng);
+        let noise_count: usize = ds
+            .samples()
+            .iter()
+            .flat_map(|s| s.record.macs())
+            .filter(|m| !deployed.contains(m))
+            .count();
+        assert!(noise_count > 0);
+        for s in ds.samples() {
+            for m in s.record.macs() {
+                if !deployed.contains(&m) {
+                    assert_eq!(m.as_u64() >> 44, 1, "noise namespace bit");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drift_removes_adds_and_jitters() {
+        let b = BuildingModel::office("drift", 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let mut layout = b.layout(&mut rng);
+        let before: std::collections::HashSet<MacAddr> = layout.macs().into_iter().collect();
+        let n_before = layout.aps.len();
+        b.drift_layout(&mut layout, 0.3, 0.2, 1.0, &mut rng);
+        let after: std::collections::HashSet<MacAddr> = layout.macs().into_iter().collect();
+        let survivors = before.intersection(&after).count();
+        let added = after.difference(&before).count();
+        assert!(survivors <= (n_before as f64 * 0.7).round() as usize + 1);
+        assert!(added >= b.bssids_per_ap, "fresh APs deployed: {added}");
+        // New MACs never collide with removed ones.
+        for m in after.difference(&before) {
+            assert!(!before.contains(m));
+        }
+    }
+
+    #[test]
+    fn drift_zero_is_identity_modulo_power() {
+        let b = BuildingModel::office("drift0", 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut layout = b.layout(&mut rng);
+        let macs_before = layout.macs();
+        b.drift_layout(&mut layout, 0.0, 0.0, 0.0, &mut rng);
+        let mut macs_after = layout.macs();
+        let mut sorted_before = macs_before;
+        sorted_before.sort_unstable();
+        macs_after.sort_unstable();
+        assert_eq!(sorted_before, macs_after);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let b = BuildingModel::office("t", 2).with_records_per_floor(10);
+        let d1 = b.simulate(&mut ChaCha8Rng::seed_from_u64(9));
+        let d2 = b.simulate(&mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn presets_differ_in_geometry() {
+        let office = BuildingModel::office("o", 3);
+        let mall = BuildingModel::mall("m", 3);
+        let hospital = BuildingModel::hospital("h", 3);
+        assert!(mall.area_m2() > hospital.area_m2());
+        assert!(hospital.area_m2() > office.area_m2());
+        assert!(mall.aps_per_floor > office.aps_per_floor);
+    }
+}

@@ -1,0 +1,127 @@
+//! Building fleets mimicking the paper's two evaluation datasets (Fig. 9).
+
+use crate::BuildingModel;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which dataset population to mimic.
+///
+/// The paper evaluates over 204 Hangzhou buildings (Microsoft's Kaggle
+/// dataset; 2–12 floors, ~1 000 records per floor) and five Hong Kong
+/// facilities (two office towers, a hospital, two malls). These presets
+/// generate building fleets with those population statistics; see DESIGN.md
+/// for the substitution argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum FleetPreset {
+    /// Microsoft/Hangzhou-like population: mixed building types, floor
+    /// counts concentrated in 2–8 with a tail to 12.
+    Microsoft,
+    /// Hong Kong-like population: exactly five facilities — two office
+    /// towers, one hospital, two malls.
+    HongKong,
+}
+
+impl FleetPreset {
+    /// Generates the fleet, scaled to `buildings` buildings (ignored for
+    /// [`FleetPreset::HongKong`], which always has five) and
+    /// `records_per_floor` crowdsourced records per floor.
+    ///
+    /// The paper-scale values are `buildings = 204` and
+    /// `records_per_floor = 1000`; the experiment harness defaults to a
+    /// representative sub-fleet for laptop runtimes.
+    pub fn generate<R: Rng + ?Sized>(
+        self,
+        buildings: usize,
+        records_per_floor: usize,
+        rng: &mut R,
+    ) -> Vec<BuildingModel> {
+        match self {
+            FleetPreset::Microsoft => (0..buildings)
+                .map(|i| {
+                    let name = format!("hz-{i:03}");
+                    // Floor-count distribution: mostly low-rise, tail to 12
+                    // (paper Fig. 9: 2–12 floors).
+                    let floors = sample_floor_count(rng);
+                    let archetype = rng.gen_range(0..3);
+                    let b = match archetype {
+                        0 => BuildingModel::office(&name, floors),
+                        1 => BuildingModel::mall(&name, floors.min(6)),
+                        _ => BuildingModel::hospital(&name, floors.min(8)),
+                    };
+                    jitter(b, rng).with_records_per_floor(records_per_floor)
+                })
+                .collect(),
+            FleetPreset::HongKong => vec![
+                BuildingModel::office("hk-tower-1", 10).with_records_per_floor(records_per_floor),
+                BuildingModel::office("hk-tower-2", 12).with_records_per_floor(records_per_floor),
+                BuildingModel::hospital("hk-hospital", 8).with_records_per_floor(records_per_floor),
+                BuildingModel::mall("hk-mall-1", 5).with_records_per_floor(records_per_floor),
+                BuildingModel::mall("hk-mall-2", 4).with_records_per_floor(records_per_floor),
+            ],
+        }
+    }
+}
+
+/// 2–12 floors, weighted towards low-rise like the Kaggle population.
+fn sample_floor_count<R: Rng + ?Sized>(rng: &mut R) -> i16 {
+    let u: f64 = rng.gen();
+    match u {
+        u if u < 0.25 => rng.gen_range(2..=3),
+        u if u < 0.65 => rng.gen_range(4..=6),
+        u if u < 0.90 => rng.gen_range(7..=9),
+        _ => rng.gen_range(10..=12),
+    }
+}
+
+/// Randomises plate size and AP density ±30 % so buildings differ.
+fn jitter<R: Rng + ?Sized>(mut b: BuildingModel, rng: &mut R) -> BuildingModel {
+    let scale = rng.gen_range(0.7..1.3);
+    b.width_m *= scale;
+    b.depth_m *= scale;
+    let ap_scale = rng.gen_range(0.7..1.3);
+    b.aps_per_floor = ((b.aps_per_floor as f64 * ap_scale).round() as usize).max(4);
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn microsoft_fleet_size_and_floor_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let fleet = FleetPreset::Microsoft.generate(50, 100, &mut rng);
+        assert_eq!(fleet.len(), 50);
+        for b in &fleet {
+            assert!((2..=12).contains(&b.floors), "{} has {} floors", b.name, b.floors);
+            assert_eq!(b.records_per_floor, 100);
+        }
+        // Population must be heterogeneous.
+        let distinct_floor_counts: std::collections::BTreeSet<i16> =
+            fleet.iter().map(|b| b.floors).collect();
+        assert!(distinct_floor_counts.len() >= 5);
+    }
+
+    #[test]
+    fn hong_kong_fleet_is_five_archetypes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let fleet = FleetPreset::HongKong.generate(999, 100, &mut rng);
+        assert_eq!(fleet.len(), 5);
+        assert!(fleet.iter().any(|b| b.name.contains("hospital")));
+        assert_eq!(fleet.iter().filter(|b| b.name.contains("mall")).count(), 2);
+        assert_eq!(fleet.iter().filter(|b| b.name.contains("tower")).count(), 2);
+    }
+
+    #[test]
+    fn fleet_names_unique() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let fleet = FleetPreset::Microsoft.generate(30, 10, &mut rng);
+        let mut names: Vec<&str> = fleet.iter().map(|b| b.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 30);
+    }
+}

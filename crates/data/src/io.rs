@@ -1,0 +1,236 @@
+//! Dataset snapshots: JSON-lines (one sample per line) and a simple CSV
+//! fingerprint format (`floor,mac,rssi` triples grouped by record).
+
+use grafics_types::{Dataset, FloorId, MacAddr, Reading, Rssi, Sample, SignalRecord};
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors from dataset IO.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// A JSONL line failed to parse.
+    Json {
+        /// 1-based line number.
+        line: usize,
+        /// Parser message.
+        message: String,
+    },
+    /// A CSV row failed to parse.
+    Csv {
+        /// 1-based line number.
+        line: usize,
+        /// Parser message.
+        message: String,
+    },
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Json { line, message } => write!(f, "jsonl parse error at line {line}: {message}"),
+            IoError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Writes a dataset as JSON lines, one [`Sample`] per line.
+pub fn write_jsonl<W: Write>(dataset: &Dataset, mut w: W) -> Result<(), IoError> {
+    for sample in dataset.samples() {
+        let line = serde_json::to_string(sample)
+            .map_err(|e| IoError::Json { line: 0, message: e.to_string() })?;
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Reads a dataset from JSON lines.
+pub fn read_jsonl<R: Read>(r: R) -> Result<Dataset, IoError> {
+    let mut ds = Dataset::default();
+    for (i, line) in BufReader::new(r).lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let sample: Sample = serde_json::from_str(&line)
+            .map_err(|e| IoError::Json { line: i + 1, message: e.to_string() })?;
+        ds.push(sample);
+    }
+    Ok(ds)
+}
+
+/// Writes a dataset to a JSONL file.
+pub fn save_jsonl<P: AsRef<Path>>(dataset: &Dataset, path: P) -> Result<(), IoError> {
+    let f = std::fs::File::create(path)?;
+    write_jsonl(dataset, std::io::BufWriter::new(f))
+}
+
+/// Reads a dataset from a JSONL file.
+pub fn load_jsonl<P: AsRef<Path>>(path: P) -> Result<Dataset, IoError> {
+    read_jsonl(std::fs::File::open(path)?)
+}
+
+/// Writes the CSV fingerprint format:
+/// `record_id,floor_or_empty,ground_truth,mac,rssi` one reading per row.
+pub fn write_csv<W: Write>(dataset: &Dataset, mut w: W) -> Result<(), IoError> {
+    writeln!(w, "record,label,truth,mac,rssi")?;
+    for (i, s) in dataset.samples().iter().enumerate() {
+        let label = s.floor.map(|f| f.0.to_string()).unwrap_or_default();
+        for r in s.record.readings() {
+            writeln!(w, "{i},{label},{},{},{}", s.ground_truth.0, r.mac, r.rssi.dbm())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads the CSV fingerprint format written by [`write_csv`].
+pub fn read_csv<R: Read>(r: R) -> Result<Dataset, IoError> {
+    let mut rows: Vec<(usize, Option<i16>, i16, MacAddr, f64)> = Vec::new();
+    for (i, line) in BufReader::new(r).lines().enumerate() {
+        let line = line?;
+        if i == 0 || line.trim().is_empty() {
+            continue; // header
+        }
+        let err = |m: &str| IoError::Csv { line: i + 1, message: m.to_owned() };
+        let parts: Vec<&str> = line.split(',').collect();
+        if parts.len() != 5 {
+            return Err(err("expected 5 columns"));
+        }
+        let record: usize = parts[0].parse().map_err(|_| err("bad record id"))?;
+        let label: Option<i16> = if parts[1].is_empty() {
+            None
+        } else {
+            Some(parts[1].parse().map_err(|_| err("bad label"))?)
+        };
+        let truth: i16 = parts[2].parse().map_err(|_| err("bad ground truth"))?;
+        let mac: MacAddr = parts[3].parse().map_err(|_| err("bad mac"))?;
+        let rssi: f64 = parts[4].parse().map_err(|_| err("bad rssi"))?;
+        rows.push((record, label, truth, mac, rssi));
+    }
+    let mut ds = Dataset::default();
+    let mut current: Option<(usize, Option<i16>, i16, Vec<Reading>)> = None;
+    for (rec, label, truth, mac, rssi) in rows {
+        let rssi = Rssi::new(rssi).map_err(|e| IoError::Csv { line: 0, message: e.to_string() })?;
+        match &mut current {
+            Some((cur, _, _, readings)) if *cur == rec => readings.push(Reading::new(mac, rssi)),
+            _ => {
+                flush(&mut ds, current.take())?;
+                current = Some((rec, label, truth, vec![Reading::new(mac, rssi)]));
+            }
+        }
+    }
+    flush(&mut ds, current.take())?;
+    Ok(ds)
+}
+
+fn flush(
+    ds: &mut Dataset,
+    group: Option<(usize, Option<i16>, i16, Vec<Reading>)>,
+) -> Result<(), IoError> {
+    if let Some((_, label, truth, readings)) = group {
+        let record = SignalRecord::new(readings)
+            .map_err(|e| IoError::Csv { line: 0, message: e.to_string() })?;
+        let sample = match label {
+            Some(f) => Sample::labeled(record, FloorId(f)),
+            None => Sample { record, floor: None, ground_truth: FloorId(truth) },
+        };
+        ds.push(sample);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BuildingModel;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn toy() -> Dataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let ds = BuildingModel::office("io", 2).with_records_per_floor(5).simulate(&mut rng);
+        ds.with_label_budget(2, &mut rng)
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let ds = toy();
+        let mut buf = Vec::new();
+        write_jsonl(&ds, &mut buf).unwrap();
+        let back = read_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn jsonl_skips_blank_lines() {
+        let ds = toy();
+        let mut buf = Vec::new();
+        write_jsonl(&ds, &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push_str("\n\n");
+        let back = read_jsonl(text.as_bytes()).unwrap();
+        assert_eq!(back.len(), ds.len());
+    }
+
+    #[test]
+    fn jsonl_reports_line_of_bad_record() {
+        let text = "{\"bad\": true}\n";
+        match read_jsonl(text.as_bytes()) {
+            Err(IoError::Json { line, .. }) => assert_eq!(line, 1),
+            other => panic!("expected Json error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_labels_and_truth() {
+        let ds = toy();
+        let mut buf = Vec::new();
+        write_csv(&ds, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), ds.len());
+        for (a, b) in back.samples().iter().zip(ds.samples()) {
+            assert_eq!(a.floor, b.floor);
+            assert_eq!(a.ground_truth, b.ground_truth);
+            assert_eq!(a.record, b.record);
+        }
+    }
+
+    #[test]
+    fn csv_rejects_malformed_rows() {
+        let text = "record,label,truth,mac,rssi\n0,,0,zz:zz,-60\n";
+        assert!(matches!(read_csv(text.as_bytes()), Err(IoError::Csv { line: 2, .. })));
+        let text = "record,label,truth,mac,rssi\n0,,0\n";
+        assert!(matches!(read_csv(text.as_bytes()), Err(IoError::Csv { line: 2, .. })));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let ds = toy();
+        let dir = std::env::temp_dir().join("grafics-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.jsonl");
+        save_jsonl(&ds, &path).unwrap();
+        let back = load_jsonl(&path).unwrap();
+        assert_eq!(back, ds);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,74 @@
+//! Synthetic crowdsourced RF datasets for GRAFICS.
+//!
+//! The paper evaluates on Microsoft's Kaggle indoor-location dataset (204
+//! buildings in Hangzhou) and a 5-building Hong Kong dataset, neither of
+//! which is redistributable. This crate substitutes a physically grounded
+//! simulator (see DESIGN.md for the substitution argument):
+//!
+//! - [`PropagationModel`] — log-distance path loss with a floor-attenuation
+//!   factor, log-normal shadowing and a receiver sensitivity cut-off: the
+//!   standard multi-floor indoor model (Seidel & Rappaport).
+//! - [`BuildingModel`] — building geometry, AP placement, and the
+//!   *crowdsourcing* artefacts that make floor identification hard:
+//!   device RSS offsets, limited scan size, and uniformly scattered
+//!   measurement positions.
+//! - [`FleetPreset`] — building populations mimicking the two datasets'
+//!   summary statistics (paper Fig. 9).
+//! - [`stats`] — the Fig. 1 statistics (MACs-per-record CDF, pairwise
+//!   overlap-ratio CDF) used to validate the simulation.
+//! - [`io`] — JSONL snapshots of datasets.
+//!
+//! # Examples
+//!
+//! ```
+//! use grafics_data::BuildingModel;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let ds = BuildingModel::office("hq", 3).with_records_per_floor(50).simulate(&mut rng);
+//! assert_eq!(ds.stats().floors, 3);
+//! assert_eq!(ds.len(), 150);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod building;
+mod fleet;
+pub mod io;
+mod propagation;
+pub mod stats;
+pub mod trajectory;
+
+pub use building::{ApNode, BuildingLayout, BuildingModel};
+pub use fleet::FleetPreset;
+pub use propagation::PropagationModel;
+pub use trajectory::{simulate_trajectory, trajectory_samples, TrajectoryConfig, TrajectoryPoint};
+
+use rand::Rng;
+
+/// Draws from a standard normal via Box–Muller (the `rand_distr` crate is
+/// intentionally avoided to keep the dependency set to the approved list).
+pub(crate) fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+}

@@ -1,0 +1,164 @@
+//! Multi-floor indoor RF propagation.
+
+use crate::standard_normal;
+use grafics_types::Rssi;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Log-distance path-loss model with floor attenuation (Seidel–Rappaport):
+///
+/// ```text
+/// RSS = P_tx − PL₀ − 10·n·log₁₀(d/d₀) − FAF·|Δfloor| + X_σ
+/// ```
+///
+/// where `n` is the path-loss exponent, `FAF` the per-floor attenuation
+/// factor in dB, and `X_σ` log-normal shadowing. Readings below the
+/// receiver sensitivity are not reported — which is precisely what makes
+/// crowdsourced records variable-length and floor-discriminative: APs one
+/// or more floors away usually fall below the cut-off.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PropagationModel {
+    /// Path-loss exponent `n` (2.0 free space; 2.5–3.5 indoors).
+    pub path_loss_exponent: f64,
+    /// Reference path loss at 1 m, in dB (~40 dB at 2.4 GHz).
+    pub reference_loss_db: f64,
+    /// Attenuation per floor crossed, in dB (13–25 dB for concrete slabs).
+    pub floor_attenuation_db: f64,
+    /// Log-normal shadowing standard deviation, in dB.
+    pub shadowing_sigma_db: f64,
+    /// Receiver sensitivity in dBm; weaker signals are not observed.
+    pub sensitivity_dbm: f64,
+    /// Floor-to-floor height in metres (for 3-D distance).
+    pub floor_height_m: f64,
+}
+
+impl Default for PropagationModel {
+    fn default() -> Self {
+        PropagationModel {
+            path_loss_exponent: 2.8,
+            reference_loss_db: 40.0,
+            floor_attenuation_db: 16.0,
+            shadowing_sigma_db: 4.0,
+            sensitivity_dbm: -93.0,
+            floor_height_m: 3.5,
+        }
+    }
+}
+
+impl PropagationModel {
+    /// Computes the received signal strength at `(x, y, floor)` from a
+    /// transmitter at `(ap_x, ap_y, ap_floor)` with transmit power
+    /// `tx_power_dbm`, adding shadowing noise and the caller-supplied
+    /// per-device offset. Returns `None` when the signal falls below the
+    /// receiver sensitivity (the AP is simply not scanned).
+    #[allow(clippy::too_many_arguments)]
+    pub fn receive<R: Rng + ?Sized>(
+        &self,
+        tx_power_dbm: f64,
+        ap_x: f64,
+        ap_y: f64,
+        ap_floor: i16,
+        x: f64,
+        y: f64,
+        floor: i16,
+        device_offset_db: f64,
+        rng: &mut R,
+    ) -> Option<Rssi> {
+        let dz = f64::from(ap_floor - floor) * self.floor_height_m;
+        let d = ((ap_x - x).powi(2) + (ap_y - y).powi(2) + dz * dz).sqrt().max(1.0);
+        let floors_crossed = f64::from((ap_floor - floor).abs());
+        let shadowing = self.shadowing_sigma_db * standard_normal(rng);
+        let rss = tx_power_dbm
+            - self.reference_loss_db
+            - 10.0 * self.path_loss_exponent * d.log10()
+            - self.floor_attenuation_db * floors_crossed
+            + shadowing
+            + device_offset_db;
+        if rss < self.sensitivity_dbm {
+            None
+        } else {
+            Some(Rssi::saturating(rss))
+        }
+    }
+
+    /// Deterministic mean RSS (no shadowing, no device offset); handy for
+    /// tests and analytical checks.
+    #[must_use]
+    pub fn mean_rss(
+        &self,
+        tx_power_dbm: f64,
+        distance_m: f64,
+        floors_crossed: u16,
+    ) -> f64 {
+        tx_power_dbm
+            - self.reference_loss_db
+            - 10.0 * self.path_loss_exponent * distance_m.max(1.0).log10()
+            - self.floor_attenuation_db * f64::from(floors_crossed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn rss_decreases_with_distance() {
+        let m = PropagationModel::default();
+        let near = m.mean_rss(0.0, 2.0, 0);
+        let far = m.mean_rss(0.0, 50.0, 0);
+        assert!(near > far, "near {near} should beat far {far}");
+    }
+
+    #[test]
+    fn each_floor_costs_attenuation() {
+        let m = PropagationModel::default();
+        let same = m.mean_rss(0.0, 10.0, 0);
+        let one = m.mean_rss(0.0, 10.0, 1);
+        let two = m.mean_rss(0.0, 10.0, 2);
+        assert!((same - one - m.floor_attenuation_db).abs() < 1e-9);
+        assert!((one - two - m.floor_attenuation_db).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sub_metre_distances_clamped() {
+        let m = PropagationModel::default();
+        assert_eq!(m.mean_rss(0.0, 0.01, 0), m.mean_rss(0.0, 1.0, 0));
+    }
+
+    #[test]
+    fn weak_signals_unobserved() {
+        let m = PropagationModel { shadowing_sigma_db: 0.0, ..Default::default() };
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        // Two floors away and 80 m horizontal: far below sensitivity.
+        let r = m.receive(-10.0, 0.0, 0.0, 2, 80.0, 0.0, 0, 0.0, &mut rng);
+        assert!(r.is_none());
+        // Same floor, 3 m away: comfortably observed.
+        let r = m.receive(-10.0, 0.0, 0.0, 0, 3.0, 0.0, 0, 0.0, &mut rng);
+        assert!(r.is_some());
+    }
+
+    #[test]
+    fn device_offset_shifts_rss() {
+        let m = PropagationModel { shadowing_sigma_db: 0.0, ..Default::default() };
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let base = m.receive(-10.0, 0.0, 0.0, 0, 5.0, 0.0, 0, 0.0, &mut rng).unwrap();
+        let boosted = m.receive(-10.0, 0.0, 0.0, 0, 5.0, 0.0, 0, 6.0, &mut rng).unwrap();
+        assert!((boosted.dbm() - base.dbm() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shadowing_produces_spread() {
+        let m = PropagationModel::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let vals: Vec<f64> = (0..200)
+            .filter_map(|_| {
+                m.receive(-10.0, 0.0, 0.0, 0, 5.0, 0.0, 0, 0.0, &mut rng).map(|r| r.dbm())
+            })
+            .collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
+        assert!(var > 4.0, "shadowing variance {var} should be visible");
+    }
+}

@@ -1,0 +1,158 @@
+//! Dataset statistics matching the paper's Fig. 1: the CDF of the number
+//! of MACs per record and the CDF of pairwise overlap ratios.
+
+use grafics_types::Dataset;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF as `(value, F(value))` points, ascending in value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    /// `(x, F(x))` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Cdf {
+    /// Builds the empirical CDF of `values`.
+    #[must_use]
+    pub fn from_values(mut values: Vec<f64>) -> Self {
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let n = values.len();
+        let points = values
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (v, (i + 1) as f64 / n as f64))
+            .collect();
+        Cdf { points }
+    }
+
+    /// `F(x)`: fraction of mass at or below `x` (0 for empty CDFs).
+    #[must_use]
+    pub fn at(&self, x: f64) -> f64 {
+        match self.points.binary_search_by(|&(v, _)| v.partial_cmp(&x).expect("finite")) {
+            Ok(mut i) => {
+                // Step to the last equal value.
+                while i + 1 < self.points.len() && self.points[i + 1].0 <= x {
+                    i += 1;
+                }
+                self.points[i].1
+            }
+            Err(0) => 0.0,
+            Err(i) => self.points[i - 1].1,
+        }
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.points.is_empty() {
+            return f64::NAN;
+        }
+        let idx = ((q * self.points.len() as f64).ceil() as usize)
+            .clamp(1, self.points.len())
+            - 1;
+        self.points[idx].0
+    }
+}
+
+/// CDF of the number of MACs per record — paper Fig. 1(a).
+#[must_use]
+pub fn macs_per_record_cdf(dataset: &Dataset) -> Cdf {
+    Cdf::from_values(dataset.samples().iter().map(|s| s.record.len() as f64).collect())
+}
+
+/// CDF of the pairwise overlap ratio (|∩| / |∪| of MAC sets) over up to
+/// `max_pairs` random record pairs — paper Fig. 1(b).
+pub fn overlap_ratio_cdf<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    max_pairs: usize,
+    rng: &mut R,
+) -> Cdf {
+    let n = dataset.len();
+    if n < 2 {
+        return Cdf { points: Vec::new() };
+    }
+    let all_pairs = n * (n - 1) / 2;
+    let mut ratios = Vec::with_capacity(max_pairs.min(all_pairs));
+    if all_pairs <= max_pairs {
+        for a in 0..n {
+            for b in (a + 1)..n {
+                ratios.push(
+                    dataset.samples()[a].record.overlap_ratio(&dataset.samples()[b].record),
+                );
+            }
+        }
+    } else {
+        let idx: Vec<usize> = (0..n).collect();
+        for _ in 0..max_pairs {
+            let pick: Vec<usize> = idx.choose_multiple(rng, 2).copied().collect();
+            ratios.push(
+                dataset.samples()[pick[0]]
+                    .record
+                    .overlap_ratio(&dataset.samples()[pick[1]].record),
+            );
+        }
+    }
+    Cdf::from_values(ratios)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BuildingModel;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn cdf_basic_properties() {
+        let cdf = Cdf::from_values(vec![3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(cdf.at(0.5), 0.0);
+        assert_eq!(cdf.at(1.0), 0.25);
+        assert_eq!(cdf.at(2.0), 0.75);
+        assert_eq!(cdf.at(10.0), 1.0);
+        assert_eq!(cdf.quantile(0.5), 2.0);
+    }
+
+    #[test]
+    fn fig1a_shape_most_records_under_40_macs() {
+        // Validates the simulator against the paper's Fig. 1(a): the
+        // majority of records on a dense mall floor carry < 40 MACs.
+        let b = BuildingModel::mall("m", 1).with_records_per_floor(300);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let ds = b.simulate(&mut rng);
+        let cdf = macs_per_record_cdf(&ds);
+        assert!(cdf.at(40.0) > 0.8, "F(40) = {}", cdf.at(40.0));
+        assert!(cdf.at(5.0) < 0.3, "records should usually hear >5 APs");
+    }
+
+    #[test]
+    fn fig1b_shape_most_pairs_overlap_under_half() {
+        // Paper Fig. 1(b): ~78 % of same-floor record pairs share fewer
+        // than half their MACs. The simulator reproduces heavy partial
+        // overlap (limited coverage + scan caps).
+        let b = BuildingModel::mall("m", 1).with_records_per_floor(200);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let ds = b.simulate(&mut rng);
+        let cdf = overlap_ratio_cdf(&ds, 5_000, &mut rng);
+        let under_half = cdf.at(0.5);
+        assert!(under_half > 0.5, "F(0.5) = {under_half}, want mostly-partial overlap");
+        assert!(cdf.at(0.999) > 0.99, "identical MAC sets should be rare");
+    }
+
+    #[test]
+    fn overlap_cdf_small_dataset_exhaustive() {
+        let b = BuildingModel::office("o", 1).with_records_per_floor(10);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let ds = b.simulate(&mut rng);
+        let cdf = overlap_ratio_cdf(&ds, 1_000, &mut rng);
+        assert_eq!(cdf.points.len(), 45); // C(10, 2)
+    }
+
+    #[test]
+    fn overlap_cdf_degenerate() {
+        let ds = Dataset::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert!(overlap_ratio_cdf(&ds, 10, &mut rng).points.is_empty());
+    }
+}

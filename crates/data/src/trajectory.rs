@@ -1,0 +1,193 @@
+//! User trajectories through a building: correlated sequences of scans, as
+//! produced by a person walking (with occasional floor changes via a
+//! stairwell/lift). The paper notes RNN baselines need trajectory data
+//! (§II); crowdsourced corpora are sporadic, but *inference-time* queries
+//! often arrive along a walk — geofencing and navigation examples use
+//! this module.
+
+use crate::{standard_normal, BuildingLayout, BuildingModel};
+use grafics_types::{FloorId, Sample, SignalRecord};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a random-walk trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryConfig {
+    /// Number of scan points along the walk.
+    pub steps: usize,
+    /// Mean step length in metres (pedestrian stride between scans).
+    pub step_length_m: f64,
+    /// Probability per step of taking the stairwell/lift one floor up or
+    /// down (when possible).
+    pub floor_change_prob: f64,
+}
+
+impl Default for TrajectoryConfig {
+    fn default() -> Self {
+        TrajectoryConfig { steps: 30, step_length_m: 4.0, floor_change_prob: 0.05 }
+    }
+}
+
+/// One scan point of a trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryPoint {
+    /// Position in metres.
+    pub x: f64,
+    /// Position in metres.
+    pub y: f64,
+    /// Ground-truth floor.
+    pub floor: FloorId,
+    /// The WiFi scan at this point (absent when no AP was audible).
+    pub scan: Option<SignalRecord>,
+}
+
+/// Simulates a pedestrian random walk with WiFi scans.
+///
+/// The walk reflects off the floor-plate walls; floor changes happen at
+/// the plate centre (where the stairwell is assumed to be) with
+/// probability [`TrajectoryConfig::floor_change_prob`].
+pub fn simulate_trajectory<R: Rng + ?Sized>(
+    building: &BuildingModel,
+    layout: &BuildingLayout,
+    config: &TrajectoryConfig,
+    rng: &mut R,
+) -> Vec<TrajectoryPoint> {
+    let mut x = rng.gen_range(0.0..building.width_m);
+    let mut y = rng.gen_range(0.0..building.depth_m);
+    let mut floor: i16 = rng.gen_range(0..building.floors);
+    let mut heading: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+
+    let mut points = Vec::with_capacity(config.steps);
+    for _ in 0..config.steps {
+        // Wander: small heading noise, reflect off walls.
+        heading += 0.4 * standard_normal(rng);
+        let step = config.step_length_m * (0.7 + 0.6 * rng.gen::<f64>());
+        x += step * heading.cos();
+        y += step * heading.sin();
+        if x < 0.0 || x > building.width_m {
+            x = x.clamp(0.0, building.width_m);
+            heading = std::f64::consts::PI - heading;
+        }
+        if y < 0.0 || y > building.depth_m {
+            y = y.clamp(0.0, building.depth_m);
+            heading = -heading;
+        }
+        // Floor change near the stairwell (plate centre).
+        if rng.gen::<f64>() < config.floor_change_prob {
+            let delta = if rng.gen::<bool>() { 1 } else { -1 };
+            let next = floor + delta;
+            if (0..building.floors).contains(&next) {
+                floor = next;
+                // The stairwell pins the position to the core.
+                x = building.width_m / 2.0;
+                y = building.depth_m / 2.0;
+            }
+        }
+        let scan = building.scan_at(layout, x, y, floor, rng);
+        points.push(TrajectoryPoint { x, y, floor: FloorId(floor), scan });
+    }
+    points
+}
+
+/// Converts trajectory points into labelled [`Sample`]s (dropping scanless
+/// points), e.g. to augment a training corpus with trajectory data.
+#[must_use]
+pub fn trajectory_samples(points: &[TrajectoryPoint]) -> Vec<Sample> {
+    points
+        .iter()
+        .filter_map(|p| p.scan.clone().map(|scan| Sample::labeled(scan, p.floor)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn trajectory_stays_in_building() {
+        let b = BuildingModel::office("traj", 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let layout = b.layout(&mut rng);
+        let cfg = TrajectoryConfig { steps: 200, ..Default::default() };
+        let pts = simulate_trajectory(&b, &layout, &cfg, &mut rng);
+        assert_eq!(pts.len(), 200);
+        for p in &pts {
+            assert!((0.0..=b.width_m).contains(&p.x));
+            assert!((0.0..=b.depth_m).contains(&p.y));
+            assert!((0..b.floors).contains(&p.floor.0));
+        }
+    }
+
+    #[test]
+    fn floor_changes_are_single_steps() {
+        let b = BuildingModel::office("traj2", 6);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let layout = b.layout(&mut rng);
+        let cfg = TrajectoryConfig { steps: 300, floor_change_prob: 0.3, ..Default::default() };
+        let pts = simulate_trajectory(&b, &layout, &cfg, &mut rng);
+        let mut changes = 0;
+        for w in pts.windows(2) {
+            let d = (w[1].floor.0 - w[0].floor.0).abs();
+            assert!(d <= 1, "floor jumps must be single steps");
+            changes += usize::from(d == 1);
+        }
+        assert!(changes > 10, "with prob 0.3 over 300 steps, changes should happen");
+    }
+
+    #[test]
+    fn zero_change_prob_stays_on_one_floor() {
+        let b = BuildingModel::office("traj3", 5);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let layout = b.layout(&mut rng);
+        let cfg = TrajectoryConfig { steps: 100, floor_change_prob: 0.0, ..Default::default() };
+        let pts = simulate_trajectory(&b, &layout, &cfg, &mut rng);
+        let f0 = pts[0].floor;
+        assert!(pts.iter().all(|p| p.floor == f0));
+    }
+
+    #[test]
+    fn samples_carry_the_walk_floor() {
+        let b = BuildingModel::office("traj4", 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let layout = b.layout(&mut rng);
+        let pts = simulate_trajectory(&b, &layout, &TrajectoryConfig::default(), &mut rng);
+        let samples = trajectory_samples(&pts);
+        assert!(!samples.is_empty());
+        for s in &samples {
+            assert!(s.is_labeled());
+        }
+    }
+
+    #[test]
+    fn consecutive_scans_overlap_more_than_random_pairs() {
+        // Walking scans are spatially correlated: adjacent points should
+        // share more MACs than far-apart points, on average.
+        let b = BuildingModel::mall("traj5", 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let layout = b.layout(&mut rng);
+        let cfg = TrajectoryConfig { steps: 120, floor_change_prob: 0.0, ..Default::default() };
+        let pts = simulate_trajectory(&b, &layout, &cfg, &mut rng);
+        let scans: Vec<&SignalRecord> = pts.iter().filter_map(|p| p.scan.as_ref()).collect();
+        let mut adjacent = 0.0;
+        let mut adj_n = 0;
+        for w in scans.windows(2) {
+            adjacent += w[0].overlap_ratio(w[1]);
+            adj_n += 1;
+        }
+        let mut distant = 0.0;
+        let mut dist_n = 0;
+        for i in 0..scans.len() {
+            let j = (i + scans.len() / 2) % scans.len();
+            distant += scans[i].overlap_ratio(scans[j]);
+            dist_n += 1;
+        }
+        assert!(
+            adjacent / adj_n as f64 > distant / dist_n as f64,
+            "adjacent overlap {} should exceed distant {}",
+            adjacent / adj_n as f64,
+            distant / dist_n as f64
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Configuration and errors for the embedding trainers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which proximity objective drives training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Objective {
+    /// LINE first-order proximity: `log σ(u_j · u_i)`. Connected nodes
+    /// attract. On a bipartite graph this only relates nodes of *different*
+    /// types, which the paper shows is unhelpful for floor identification.
+    LineFirst,
+    /// LINE second-order proximity: `log σ(u'_j · u_i)` (Eq. (5)).
+    LineSecond,
+    /// LINE with *both* proximities trained jointly on the same vectors.
+    /// §IV-B reports that on the bipartite graph "LINE performs better
+    /// with the second-order proximity only than the one using both
+    /// proximities" — this variant reproduces that comparison. (The
+    /// original LINE paper trains the orders separately and concatenates;
+    /// we train jointly, which exhibits the same qualitative degradation:
+    /// the first-order term drags record and MAC nodes together.)
+    LineBoth,
+    /// E-LINE (Eq. (10)): second-order plus the mirrored term
+    /// `log σ(u_j · u'_i)` (Eq. (8)), capturing multi-hop local
+    /// neighbourhoods. The paper's recommended objective and our default.
+    ELine,
+}
+
+impl Default for Objective {
+    fn default() -> Self {
+        Objective::ELine
+    }
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Objective::LineFirst => write!(f, "LINE-1st"),
+            Objective::LineSecond => write!(f, "LINE-2nd"),
+            Objective::LineBoth => write!(f, "LINE-1st+2nd"),
+            Objective::ELine => write!(f, "E-LINE"),
+        }
+    }
+}
+
+/// Hyper-parameters for offline training and online node embedding.
+///
+/// Defaults follow §VI-A of the paper where stated (embedding dimension 8,
+/// dropout 0.1, `Pr(z) ∝ d^{3/4}`); the initial learning rate defaults to
+/// 0.025 with the standard LINE linear decay, which converges to the same
+/// embeddings as the paper's fixed small rate but in far fewer samples —
+/// set `initial_lr: 0.001, lr_decay: false` to match the paper exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EmbeddingConfig {
+    /// Embedding dimensionality for both ego and context vectors.
+    pub dim: usize,
+    /// Training objective.
+    pub objective: Objective,
+    /// Number of passes; total SGD samples = `epochs × edge_count`.
+    pub epochs: usize,
+    /// Number of negative samples `K` per positive edge (Eq. (10)).
+    pub negatives: usize,
+    /// Initial SGD learning rate.
+    pub initial_lr: f64,
+    /// If `true`, the learning rate decays linearly to 1e-4 × initial.
+    pub lr_decay: bool,
+    /// Probability of dropping each gradient coordinate (the paper trains
+    /// E-LINE with dropout 0.1 for regularisation).
+    pub dropout: f64,
+    /// Exponent of the negative-sampling distribution `Pr(z) ∝ d_z^e`.
+    pub negative_exponent: f64,
+    /// SGD samples used when embedding a *new* node online, per incident
+    /// edge of the new node.
+    pub online_samples_per_edge: usize,
+}
+
+impl Default for EmbeddingConfig {
+    fn default() -> Self {
+        EmbeddingConfig {
+            dim: 8,
+            objective: Objective::ELine,
+            epochs: 60,
+            negatives: 5,
+            initial_lr: 0.025,
+            lr_decay: true,
+            dropout: 0.1,
+            negative_exponent: 0.75,
+            online_samples_per_edge: 200,
+        }
+    }
+}
+
+impl EmbeddingConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbedError::InvalidConfig`] if any field is out of range.
+    pub fn validate(&self) -> Result<(), EmbedError> {
+        let bad = |what: &str| Err(EmbedError::InvalidConfig { what: what.to_owned() });
+        if self.dim == 0 {
+            return bad("dim must be >= 1");
+        }
+        if self.epochs == 0 {
+            return bad("epochs must be >= 1");
+        }
+        if !(self.initial_lr > 0.0 && self.initial_lr.is_finite()) {
+            return bad("initial_lr must be positive and finite");
+        }
+        if !(0.0..1.0).contains(&self.dropout) {
+            return bad("dropout must lie in [0, 1)");
+        }
+        if !(self.negative_exponent >= 0.0 && self.negative_exponent.is_finite()) {
+            return bad("negative_exponent must be non-negative");
+        }
+        if self.online_samples_per_edge == 0 {
+            return bad("online_samples_per_edge must be >= 1");
+        }
+        Ok(())
+    }
+}
+
+/// Errors from embedding training.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EmbedError {
+    /// A configuration field was out of range.
+    InvalidConfig {
+        /// Human-readable description of the violated constraint.
+        what: String,
+    },
+    /// The graph has no edges, so nothing can be trained.
+    EmptyGraph,
+    /// The node passed to online embedding has no edges into the graph
+    /// (§V footnote 1: likely collected outside the building).
+    IsolatedNode,
+}
+
+impl fmt::Display for EmbedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmbedError::InvalidConfig { what } => write!(f, "invalid embedding config: {what}"),
+            EmbedError::EmptyGraph => write!(f, "cannot train embeddings on a graph with no edges"),
+            EmbedError::IsolatedNode => {
+                write!(f, "node has no edges into the graph (likely outside the building)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EmbedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = EmbeddingConfig::default();
+        assert_eq!(c.dim, 8);
+        assert_eq!(c.negatives, 5);
+        assert_eq!(c.objective, Objective::ELine);
+        assert!((c.dropout - 0.1).abs() < 1e-12);
+        assert!((c.negative_exponent - 0.75).abs() < 1e-12);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        for (patch, _desc) in [
+            (EmbeddingConfig { dim: 0, ..Default::default() }, "dim"),
+            (EmbeddingConfig { epochs: 0, ..Default::default() }, "epochs"),
+            (EmbeddingConfig { initial_lr: 0.0, ..Default::default() }, "lr"),
+            (EmbeddingConfig { initial_lr: f64::NAN, ..Default::default() }, "lr nan"),
+            (EmbeddingConfig { dropout: 1.0, ..Default::default() }, "dropout"),
+            (EmbeddingConfig { dropout: -0.1, ..Default::default() }, "dropout neg"),
+            (EmbeddingConfig { negative_exponent: -1.0, ..Default::default() }, "exp"),
+            (EmbeddingConfig { online_samples_per_edge: 0, ..Default::default() }, "online"),
+        ] {
+            assert!(patch.validate().is_err());
+        }
+    }
+
+    #[test]
+    fn objective_display() {
+        assert_eq!(Objective::ELine.to_string(), "E-LINE");
+        assert_eq!(Objective::LineSecond.to_string(), "LINE-2nd");
+        assert_eq!(Objective::LineFirst.to_string(), "LINE-1st");
+    }
+}

@@ -1,0 +1,57 @@
+//! LINE and E-LINE graph embedding (§IV-B of the GRAFICS paper).
+//!
+//! Given the weighted bipartite record/MAC graph, this crate learns an
+//! *ego* embedding `u_i` and a *context* embedding `u'_i` for every node by
+//! stochastic gradient descent over sampled edges with negative sampling
+//! (Eq. (10) of the paper).
+//!
+//! Three objectives are provided (see [`Objective`]):
+//!
+//! - **LINE, first-order** — `log σ(u_j · u_i)`: connected nodes embed
+//!   closely. Of little use on a bipartite graph (edges only cross sides),
+//!   included as a baseline.
+//! - **LINE, second-order** — `log σ(u'_j · u_i)`: nodes sharing one-hop
+//!   neighbours embed closely.
+//! - **E-LINE** — the paper's contribution: the second-order term *plus*
+//!   its mirror `log σ(u_j · u'_i)`, which propagates similarity through
+//!   multi-hop local neighbourhoods. Two records on the same floor that
+//!   share few MACs directly, but whose MACs co-occur in other records,
+//!   still end up close in the ego space.
+//!
+//! Online inference (§V-A) is supported by [`ElineTrainer::embed_new_node`],
+//! which optimises only the new node's two vectors while every previously
+//! learned embedding stays frozen.
+//!
+//! # Examples
+//!
+//! ```
+//! use grafics_embed::{ElineTrainer, EmbeddingConfig, Objective};
+//! use grafics_graph::{BipartiteGraph, WeightFunction};
+//! use grafics_types::{MacAddr, Reading, Rssi, SignalRecord};
+//! use rand::SeedableRng;
+//!
+//! let mut g = BipartiteGraph::new(WeightFunction::default());
+//! for macs in [[1u64, 2], [2, 3], [1, 3]] {
+//!     let rec = SignalRecord::new(macs.iter().map(|&m| {
+//!         Reading::new(MacAddr::from_u64(m), Rssi::new(-60.0).unwrap())
+//!     }).collect()).unwrap();
+//!     g.add_record(&rec);
+//! }
+//! let cfg = EmbeddingConfig { dim: 4, epochs: 20, ..EmbeddingConfig::default() };
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let model = ElineTrainer::new(cfg).train(&g, &mut rng).unwrap();
+//! assert_eq!(model.dim(), 4);
+//! assert_eq!(model.rows(), g.node_capacity());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod model;
+mod sgd;
+mod trainer;
+
+pub use config::{EmbedError, EmbeddingConfig, Objective};
+pub use model::EmbeddingModel;
+pub use trainer::{ElineTrainer, TrainingStats};

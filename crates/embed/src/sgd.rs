@@ -1,0 +1,244 @@
+//! Low-level SGD primitives shared by offline training and online
+//! embedding: one skip-gram-with-negative-sampling step over a directed
+//! (source → target) pair.
+
+use crate::model::{EmbeddingModel, Space};
+use grafics_graph::NodeIdx;
+use rand::Rng;
+
+/// Numerically safe logistic function.
+#[inline]
+pub(crate) fn sigmoid(x: f32) -> f32 {
+    // Clamp to the range where the gradient is meaningfully non-zero; this
+    // mirrors LINE's sigmoid lookup-table bounds and prevents exp overflow.
+    let x = x.clamp(-8.0, 8.0);
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// A row selector: which matrix, which node.
+pub(crate) type RowSel = (Space, NodeIdx);
+
+/// Reusable scratch buffers for pair updates (avoids per-step allocation).
+pub(crate) struct Sgd {
+    dim: usize,
+    src_copy: Vec<f32>,
+    src_grad: Vec<f32>,
+}
+
+impl Sgd {
+    pub(crate) fn new(dim: usize) -> Self {
+        Sgd { dim, src_copy: vec![0.0; dim], src_grad: vec![0.0; dim] }
+    }
+
+    /// One directed step: positive pair `src → tgt` plus `negatives` in
+    /// `neg_space`, with learning rate `lr`.
+    ///
+    /// `update_source` / `update_targets` control which side's vectors are
+    /// written — online inference freezes everything except the new node
+    /// (§V-A). `dropout` zeroes each *source-gradient* coordinate with the
+    /// given probability (the paper trains E-LINE with dropout 0.1).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn step<R: Rng + ?Sized>(
+        &mut self,
+        model: &mut EmbeddingModel,
+        src: RowSel,
+        tgt: RowSel,
+        neg_space: Space,
+        negatives: &[NodeIdx],
+        lr: f32,
+        update_source: bool,
+        update_targets: bool,
+        dropout: f32,
+        rng: &mut R,
+    ) {
+        debug_assert_eq!(model.dim(), self.dim);
+        self.src_copy.copy_from_slice(model.row(src.0, src.1));
+        self.src_grad.fill(0.0);
+
+        self.one_target(model, tgt, 1.0, lr, update_targets);
+        for &z in negatives {
+            self.one_target(model, (neg_space, z), 0.0, lr, update_targets);
+        }
+
+        if update_source {
+            let srow = model.row_mut(src.0, src.1);
+            if dropout > 0.0 {
+                for d in 0..self.dim {
+                    if rng.gen::<f32>() >= dropout {
+                        srow[d] += self.src_grad[d];
+                    }
+                }
+            } else {
+                for d in 0..self.dim {
+                    srow[d] += self.src_grad[d];
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn one_target(
+        &mut self,
+        model: &mut EmbeddingModel,
+        tgt: RowSel,
+        label: f32,
+        lr: f32,
+        update_target: bool,
+    ) {
+        let trow = model.row_mut(tgt.0, tgt.1);
+        let mut dot = 0.0f32;
+        for d in 0..self.dim {
+            dot += self.src_copy[d] * trow[d];
+        }
+        let g = lr * (label - sigmoid(dot));
+        if update_target {
+            for d in 0..self.dim {
+                self.src_grad[d] += g * trow[d];
+                trow[d] += g * self.src_copy[d];
+            }
+        } else {
+            for d in 0..self.dim {
+                self.src_grad[d] += g * trow[d];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn sigmoid_bounds_and_midpoint() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!(sigmoid(100.0) <= 1.0 && sigmoid(100.0) > 0.999);
+        assert!(sigmoid(-100.0) >= 0.0 && sigmoid(-100.0) < 0.001);
+        assert!(sigmoid(f32::MAX).is_finite());
+    }
+
+    #[test]
+    fn positive_pair_increases_dot() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut model = EmbeddingModel::init(3, 4, &mut rng);
+        let (i, j) = (NodeIdx(0), NodeIdx(1));
+        let dot_before: f32 = model
+            .ego(i)
+            .iter()
+            .zip(model.context(j))
+            .map(|(&a, &b)| a * b)
+            .sum();
+        let mut sgd = Sgd::new(4);
+        for _ in 0..200 {
+            sgd.step(
+                &mut model,
+                (Space::Ego, i),
+                (Space::Context, j),
+                Space::Context,
+                &[],
+                0.1,
+                true,
+                true,
+                0.0,
+                &mut rng,
+            );
+        }
+        let dot_after: f32 = model
+            .ego(i)
+            .iter()
+            .zip(model.context(j))
+            .map(|(&a, &b)| a * b)
+            .sum();
+        assert!(dot_after > dot_before, "{dot_after} should exceed {dot_before}");
+        assert!(model.all_finite());
+    }
+
+    #[test]
+    fn negative_pair_decreases_dot() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut model = EmbeddingModel::init(3, 4, &mut rng);
+        let (i, z) = (NodeIdx(0), NodeIdx(2));
+        let mut sgd = Sgd::new(4);
+        for _ in 0..200 {
+            sgd.step(
+                &mut model,
+                (Space::Ego, i),
+                (Space::Context, NodeIdx(1)),
+                Space::Context,
+                &[z],
+                0.1,
+                true,
+                true,
+                0.0,
+                &mut rng,
+            );
+        }
+        let dot_neg: f32 =
+            model.ego(i).iter().zip(model.context(z)).map(|(&a, &b)| a * b).sum();
+        assert!(dot_neg < 0.0, "negative dot should be pushed below zero, got {dot_neg}");
+    }
+
+    #[test]
+    fn frozen_target_is_not_written() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut model = EmbeddingModel::init(2, 4, &mut rng);
+        let before: Vec<f32> = model.context(NodeIdx(1)).to_vec();
+        let mut sgd = Sgd::new(4);
+        sgd.step(
+            &mut model,
+            (Space::Ego, NodeIdx(0)),
+            (Space::Context, NodeIdx(1)),
+            Space::Context,
+            &[],
+            0.5,
+            true,
+            false, // targets frozen
+            0.0,
+            &mut rng,
+        );
+        assert_eq!(model.context(NodeIdx(1)), before.as_slice());
+    }
+
+    #[test]
+    fn frozen_source_is_not_written() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut model = EmbeddingModel::init(2, 4, &mut rng);
+        let before: Vec<f32> = model.ego(NodeIdx(0)).to_vec();
+        let mut sgd = Sgd::new(4);
+        sgd.step(
+            &mut model,
+            (Space::Ego, NodeIdx(0)),
+            (Space::Context, NodeIdx(1)),
+            Space::Context,
+            &[],
+            0.5,
+            false, // source frozen
+            true,
+            0.0,
+            &mut rng,
+        );
+        assert_eq!(model.ego(NodeIdx(0)), before.as_slice());
+    }
+
+    #[test]
+    fn full_dropout_blocks_source_update() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut model = EmbeddingModel::init(2, 4, &mut rng);
+        let before: Vec<f32> = model.ego(NodeIdx(0)).to_vec();
+        let mut sgd = Sgd::new(4);
+        sgd.step(
+            &mut model,
+            (Space::Ego, NodeIdx(0)),
+            (Space::Context, NodeIdx(1)),
+            Space::Context,
+            &[],
+            0.5,
+            true,
+            true,
+            0.999_999, // effectively drop every coordinate
+            &mut rng,
+        );
+        assert_eq!(model.ego(NodeIdx(0)), before.as_slice());
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the embedding layer: training never produces
+//! non-finite embeddings, online embedding never touches frozen rows, and
+//! configs validate consistently.
+
+use grafics_embed::{ElineTrainer, EmbeddingConfig, Objective};
+use grafics_graph::{BipartiteGraph, NodeIdx, WeightFunction};
+use grafics_types::{MacAddr, Reading, Rssi, SignalRecord};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn arb_record() -> impl Strategy<Value = SignalRecord> {
+    prop::collection::vec((0u64..25, -95.0f64..-35.0), 1..10).prop_map(|pairs| {
+        SignalRecord::new(
+            pairs
+                .into_iter()
+                .map(|(m, r)| Reading::new(MacAddr::from_u64(m), Rssi::new(r).unwrap()))
+                .collect(),
+        )
+        .expect("non-empty")
+    })
+}
+
+fn graph_from(records: &[SignalRecord]) -> BipartiteGraph {
+    let mut g = BipartiteGraph::new(WeightFunction::default());
+    for r in records {
+        g.add_record(r);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Whatever the record stream and objective, training yields finite
+    /// embeddings of the right shape.
+    #[test]
+    fn training_always_finite(
+        records in prop::collection::vec(arb_record(), 2..15),
+        seed in 0u64..500,
+        objective_idx in 0usize..3,
+    ) {
+        let g = graph_from(&records);
+        let objective = [Objective::LineFirst, Objective::LineSecond, Objective::ELine][objective_idx];
+        let cfg = EmbeddingConfig { epochs: 3, dim: 4, objective, ..Default::default() };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let model = ElineTrainer::new(cfg).train(&g, &mut rng).unwrap();
+        prop_assert!(model.all_finite());
+        prop_assert_eq!(model.rows(), g.node_capacity());
+        prop_assert_eq!(model.dim(), 4);
+    }
+
+    /// Online embedding of a new node changes ONLY that node's rows.
+    #[test]
+    fn online_embedding_touches_only_new_node(
+        records in prop::collection::vec(arb_record(), 3..12),
+        new_record in arb_record(),
+        seed in 0u64..500,
+    ) {
+        let mut g = graph_from(&records);
+        let cfg = EmbeddingConfig { epochs: 3, dim: 4, online_samples_per_edge: 20, ..Default::default() };
+        let trainer = ElineTrainer::new(cfg);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut model = trainer.train(&g, &mut rng).unwrap();
+
+        let before: Vec<Vec<f32>> =
+            (0..model.rows()).map(|i| model.ego(NodeIdx(i as u32)).to_vec()).collect();
+        let rid = g.add_record(&new_record);
+        let node = g.record_node(rid).unwrap();
+        trainer.embed_new_node(&g, &mut model, node, &mut rng).unwrap();
+
+        for (i, row) in before.iter().enumerate() {
+            let idx = NodeIdx(i as u32);
+            if idx != node {
+                // Pre-existing MAC rows and record rows are frozen; only
+                // *new* MAC nodes (appended after `before` was captured)
+                // and the new record node may differ.
+                prop_assert_eq!(model.ego(idx), row.as_slice(), "row {} moved", i);
+            }
+        }
+        prop_assert!(model.all_finite());
+    }
+
+    /// Ego distances form a pseudometric: symmetric, zero to self,
+    /// triangle inequality (within float tolerance).
+    #[test]
+    fn ego_distance_is_pseudometric(
+        records in prop::collection::vec(arb_record(), 3..10),
+        seed in 0u64..100,
+    ) {
+        let g = graph_from(&records);
+        let cfg = EmbeddingConfig { epochs: 2, dim: 4, ..Default::default() };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let model = ElineTrainer::new(cfg).train(&g, &mut rng).unwrap();
+        let n = model.rows().min(6);
+        for a in 0..n {
+            let (na, ) = (NodeIdx(a as u32),);
+            prop_assert_eq!(model.ego_distance(na, na), 0.0);
+            for b in 0..n {
+                let nb = NodeIdx(b as u32);
+                let ab = model.ego_distance(na, nb);
+                prop_assert!((ab - model.ego_distance(nb, na)).abs() < 1e-9);
+                for c0 in 0..n {
+                    let nc = NodeIdx(c0 as u32);
+                    prop_assert!(
+                        ab <= model.ego_distance(na, nc) + model.ego_distance(nc, nb) + 1e-6
+                    );
+                }
+            }
+        }
+    }
+}

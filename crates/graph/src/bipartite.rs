@@ -1,0 +1,550 @@
+//! The dynamic weighted bipartite graph `G = (M, V, E)` of §IV-A.
+
+use crate::WeightFunction;
+use grafics_types::{Dataset, MacAddr, RecordId, SignalRecord};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Unified index of a node in `M ∪ V`.
+///
+/// MAC nodes and record nodes share one dense index space, which is what
+/// the embedding layer wants: one embedding row per node. Indices are
+/// assigned on insertion and never reused; removed nodes become tombstones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct NodeIdx(pub u32);
+
+impl NodeIdx {
+    /// Returns the index as a `usize`.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What a node represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// An access-point MAC address (the `M` side).
+    Mac(MacAddr),
+    /// An RF signal record (the `V` side).
+    Record(RecordId),
+}
+
+/// One undirected edge `(mac, record)` with its weight `c_mv`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeRef {
+    /// The MAC-side endpoint.
+    pub mac: NodeIdx,
+    /// The record-side endpoint.
+    pub record: NodeIdx,
+    /// Edge weight `c_mv = f(RSS_mv) > 0`.
+    pub weight: f64,
+}
+
+/// Errors from graph mutations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// The referenced record does not exist or was removed.
+    UnknownRecord(RecordId),
+    /// The referenced MAC does not exist or was removed.
+    UnknownMac(MacAddr),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownRecord(r) => write!(f, "unknown or removed record {r}"),
+            GraphError::UnknownMac(m) => write!(f, "unknown or removed MAC {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// The dynamic weighted bipartite graph of records and MACs.
+///
+/// See the [crate docs](crate) for the model. All mutation operations are
+/// O(degree) of the touched nodes. Node indices are stable for the lifetime
+/// of the graph (tombstoned on removal, never reused), so embedding
+/// matrices indexed by [`NodeIdx`] stay valid as the graph grows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BipartiteGraph {
+    weight_fn: WeightFunction,
+    kinds: Vec<NodeKind>,
+    adj: Vec<Vec<(NodeIdx, f64)>>,
+    weighted_degree: Vec<f64>,
+    removed: Vec<bool>,
+    mac_lookup: HashMap<MacAddr, NodeIdx>,
+    record_nodes: Vec<Option<NodeIdx>>,
+    edge_count: usize,
+}
+
+impl BipartiteGraph {
+    /// Creates an empty graph using `weight_fn` for edge weights.
+    #[must_use]
+    pub fn new(weight_fn: WeightFunction) -> Self {
+        BipartiteGraph {
+            weight_fn,
+            kinds: Vec::new(),
+            adj: Vec::new(),
+            weighted_degree: Vec::new(),
+            removed: Vec::new(),
+            mac_lookup: HashMap::new(),
+            record_nodes: Vec::new(),
+            edge_count: 0,
+        }
+    }
+
+    /// Builds a graph from every sample in `dataset`, in order. The `i`-th
+    /// sample becomes record id `i`.
+    #[must_use]
+    pub fn from_dataset(dataset: &Dataset, weight_fn: WeightFunction) -> Self {
+        let mut g = BipartiteGraph::new(weight_fn);
+        for sample in dataset.samples() {
+            g.add_record(&sample.record);
+        }
+        g
+    }
+
+    /// The weight function in force.
+    #[must_use]
+    pub fn weight_function(&self) -> WeightFunction {
+        self.weight_fn
+    }
+
+    fn alloc_node(&mut self, kind: NodeKind) -> NodeIdx {
+        let idx = NodeIdx(u32::try_from(self.kinds.len()).expect("node count exceeds u32"));
+        self.kinds.push(kind);
+        self.adj.push(Vec::new());
+        self.weighted_degree.push(0.0);
+        self.removed.push(false);
+        idx
+    }
+
+    /// Inserts a record as a new `V`-side node, creating `M`-side nodes for
+    /// any MACs not seen before (§V-A: the graph is extended online).
+    /// Returns the new record's id.
+    pub fn add_record(&mut self, record: &SignalRecord) -> RecordId {
+        let rid = RecordId(u32::try_from(self.record_nodes.len()).expect("record count exceeds u32"));
+        let v = self.alloc_node(NodeKind::Record(rid));
+        self.record_nodes.push(Some(v));
+        for reading in record.readings() {
+            let m = match self.mac_lookup.get(&reading.mac) {
+                Some(&m) if !self.removed[m.index()] => m,
+                _ => {
+                    let m = self.alloc_node(NodeKind::Mac(reading.mac));
+                    self.mac_lookup.insert(reading.mac, m);
+                    m
+                }
+            };
+            let w = self.weight_fn.weight(reading.rssi);
+            self.adj[v.index()].push((m, w));
+            self.adj[m.index()].push((v, w));
+            self.weighted_degree[v.index()] += w;
+            self.weighted_degree[m.index()] += w;
+            self.edge_count += 1;
+        }
+        rid
+    }
+
+    /// Removes a record node and all its edges (e.g. expiring stale
+    /// crowdsourced data). The node index is tombstoned, never reused.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::UnknownRecord`] if the record does not exist or was
+    /// already removed.
+    pub fn remove_record(&mut self, rid: RecordId) -> Result<(), GraphError> {
+        let v = self
+            .record_nodes
+            .get(rid.index())
+            .copied()
+            .flatten()
+            .ok_or(GraphError::UnknownRecord(rid))?;
+        self.record_nodes[rid.index()] = None;
+        self.tombstone(v);
+        Ok(())
+    }
+
+    /// Removes a MAC node and all its edges (AP decommissioned, §III-A).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::UnknownMac`] if the MAC is not in the graph.
+    pub fn remove_mac(&mut self, mac: MacAddr) -> Result<(), GraphError> {
+        let m = self.mac_lookup.remove(&mac).ok_or(GraphError::UnknownMac(mac))?;
+        self.tombstone(m);
+        Ok(())
+    }
+
+    fn tombstone(&mut self, node: NodeIdx) {
+        let neighbors = std::mem::take(&mut self.adj[node.index()]);
+        self.edge_count -= neighbors.len();
+        self.weighted_degree[node.index()] = 0.0;
+        for (nbr, w) in neighbors {
+            let list = &mut self.adj[nbr.index()];
+            if let Some(pos) = list.iter().position(|&(n, _)| n == node) {
+                list.swap_remove(pos);
+                self.weighted_degree[nbr.index()] -= w;
+            }
+        }
+        self.removed[node.index()] = true;
+    }
+
+    /// Total number of node slots, including tombstones. Embedding matrices
+    /// should have this many rows.
+    #[must_use]
+    pub fn node_capacity(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of live (non-removed) nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.removed.iter().filter(|&&r| !r).count()
+    }
+
+    /// Number of live record nodes.
+    #[must_use]
+    pub fn record_count(&self) -> usize {
+        self.record_nodes.iter().filter(|n| n.is_some()).count()
+    }
+
+    /// Number of live MAC nodes.
+    #[must_use]
+    pub fn mac_count(&self) -> usize {
+        self.mac_lookup.len()
+    }
+
+    /// Number of live edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// What node `idx` represents. Tombstoned nodes still report their
+    /// original kind.
+    #[must_use]
+    pub fn kind(&self, idx: NodeIdx) -> NodeKind {
+        self.kinds[idx.index()]
+    }
+
+    /// `true` if `idx` has been removed.
+    #[must_use]
+    pub fn is_removed(&self, idx: NodeIdx) -> bool {
+        self.removed[idx.index()]
+    }
+
+    /// The node for a MAC, if present.
+    #[must_use]
+    pub fn mac_node(&self, mac: MacAddr) -> Option<NodeIdx> {
+        self.mac_lookup.get(&mac).copied()
+    }
+
+    /// The node for a record, if present.
+    #[must_use]
+    pub fn record_node(&self, rid: RecordId) -> Option<NodeIdx> {
+        self.record_nodes.get(rid.index()).copied().flatten()
+    }
+
+    /// Neighbors of `idx` with edge weights. Empty for tombstones.
+    #[must_use]
+    pub fn neighbors(&self, idx: NodeIdx) -> &[(NodeIdx, f64)] {
+        &self.adj[idx.index()]
+    }
+
+    /// Unweighted degree of `idx`.
+    #[must_use]
+    pub fn degree(&self, idx: NodeIdx) -> usize {
+        self.adj[idx.index()].len()
+    }
+
+    /// Weighted degree `λ_i = Σ_l c_il` of `idx` (Eq. (5)).
+    #[must_use]
+    pub fn weighted_degree(&self, idx: NodeIdx) -> f64 {
+        self.weighted_degree[idx.index()]
+    }
+
+    /// Iterates over the live records in id order, with their nodes.
+    pub fn record_ids(&self) -> impl Iterator<Item = (RecordId, NodeIdx)> + '_ {
+        self.record_nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.map(|node| (RecordId(i as u32), node)))
+    }
+
+    /// Iterates over every live undirected edge exactly once
+    /// (record side → MAC side).
+    pub fn edges(&self) -> impl Iterator<Item = EdgeRef> + '_ {
+        self.record_nodes.iter().flatten().flat_map(move |&v| {
+            self.adj[v.index()]
+                .iter()
+                .map(move |&(m, weight)| EdgeRef { mac: m, record: v, weight })
+        })
+    }
+
+    /// `true` if at least one MAC of `record` is already in the graph.
+    /// Per §V (footnote 1), a new sample containing only never-seen MACs
+    /// was likely collected outside the building and should be discarded.
+    #[must_use]
+    pub fn overlaps(&self, record: &SignalRecord) -> bool {
+        record.macs().any(|m| self.mac_node(m).is_some())
+    }
+
+    /// Unnormalised negative-sampling weights `d_z^{exponent}` over the full
+    /// node index space (Eq. (10); the paper uses `exponent = 3/4`).
+    /// Tombstones and isolated nodes get zero mass.
+    #[must_use]
+    pub fn negative_sampling_weights(&self, exponent: f64) -> Vec<f64> {
+        self.adj
+            .iter()
+            .enumerate()
+            .map(|(i, nbrs)| {
+                if self.removed[i] || nbrs.is_empty() {
+                    0.0
+                } else {
+                    (nbrs.len() as f64).powf(exponent)
+                }
+            })
+            .collect()
+    }
+
+    /// Collects live edges and their weights, for building an edge-sampling
+    /// alias table. Each undirected edge appears once.
+    #[must_use]
+    pub fn edge_list(&self) -> (Vec<EdgeRef>, Vec<f64>) {
+        let edges: Vec<EdgeRef> = self.edges().collect();
+        let weights = edges.iter().map(|e| e.weight).collect();
+        (edges, weights)
+    }
+
+    /// Structural statistics, for diagnostics and capacity planning.
+    #[must_use]
+    pub fn stats(&self) -> GraphStats {
+        let mut mac_degrees: Vec<usize> = Vec::new();
+        let mut record_degrees: Vec<usize> = Vec::new();
+        for (i, kind) in self.kinds.iter().enumerate() {
+            if self.removed[i] {
+                continue;
+            }
+            match kind {
+                NodeKind::Mac(_) => mac_degrees.push(self.adj[i].len()),
+                NodeKind::Record(_) => record_degrees.push(self.adj[i].len()),
+            }
+        }
+        let mean = |v: &[usize]| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<usize>() as f64 / v.len() as f64
+            }
+        };
+        let max = |v: &[usize]| v.iter().copied().max().unwrap_or(0);
+        GraphStats {
+            records: record_degrees.len(),
+            macs: mac_degrees.len(),
+            edges: self.edge_count,
+            tombstones: self.removed.iter().filter(|&&r| r).count(),
+            mean_record_degree: mean(&record_degrees),
+            mean_mac_degree: mean(&mac_degrees),
+            max_record_degree: max(&record_degrees),
+            max_mac_degree: max(&mac_degrees),
+            singleton_macs: mac_degrees.iter().filter(|&&d| d <= 1).count(),
+        }
+    }
+}
+
+/// Structural statistics of a bipartite graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Live record nodes.
+    pub records: usize,
+    /// Live MAC nodes.
+    pub macs: usize,
+    /// Live edges.
+    pub edges: usize,
+    /// Tombstoned node slots (removed records/MACs).
+    pub tombstones: usize,
+    /// Mean record degree (MACs per record).
+    pub mean_record_degree: f64,
+    /// Mean MAC degree (records per MAC).
+    pub mean_mac_degree: f64,
+    /// Maximum record degree.
+    pub max_record_degree: usize,
+    /// Maximum MAC degree.
+    pub max_mac_degree: usize,
+    /// MACs connected to at most one record (ephemeral/hotspot suspects).
+    pub singleton_macs: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grafics_types::{Reading, Rssi};
+
+    fn rec(macs: &[(u64, f64)]) -> SignalRecord {
+        SignalRecord::new(
+            macs.iter()
+                .map(|&(m, r)| Reading::new(MacAddr::from_u64(m), Rssi::new(r).unwrap()))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn paper_example() -> BipartiteGraph {
+        // Fig. 4 of the paper: v1 -> {MAC1:-66, MAC2:-60}, v2 -> {MAC2:-70, MAC3:-70}.
+        let mut g = BipartiteGraph::new(WeightFunction::default());
+        g.add_record(&rec(&[(1, -66.0), (2, -60.0)]));
+        g.add_record(&rec(&[(2, -70.0), (3, -70.0)]));
+        g
+    }
+
+    #[test]
+    fn fig4_structure() {
+        let g = paper_example();
+        assert_eq!(g.record_count(), 2);
+        assert_eq!(g.mac_count(), 3);
+        assert_eq!(g.edge_count(), 4);
+        let mac2 = g.mac_node(MacAddr::from_u64(2)).unwrap();
+        assert_eq!(g.degree(mac2), 2);
+        // weights: f(-60) = 60 from v1, f(-70) = 50 from v2
+        assert!((g.weighted_degree(mac2) - 110.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_mac_not_duplicated() {
+        let g = paper_example();
+        assert_eq!(g.node_count(), 5); // 2 records + 3 macs
+    }
+
+    #[test]
+    fn edges_iterate_once_each() {
+        let g = paper_example();
+        let edges: Vec<EdgeRef> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        for e in &edges {
+            assert!(matches!(g.kind(e.mac), NodeKind::Mac(_)));
+            assert!(matches!(g.kind(e.record), NodeKind::Record(_)));
+            assert!(e.weight > 0.0);
+        }
+    }
+
+    #[test]
+    fn remove_mac_cleans_adjacency() {
+        let mut g = paper_example();
+        let mac2 = MacAddr::from_u64(2);
+        g.remove_mac(mac2).unwrap();
+        assert_eq!(g.mac_count(), 2);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.mac_node(mac2), None);
+        let v0 = g.record_node(RecordId(0)).unwrap();
+        assert_eq!(g.degree(v0), 1);
+        // weighted degrees stay consistent
+        assert!((g.weighted_degree(v0) - 54.0).abs() < 1e-12); // f(-66)=54
+        assert!(g.remove_mac(mac2).is_err());
+    }
+
+    #[test]
+    fn remove_record_cleans_adjacency() {
+        let mut g = paper_example();
+        g.remove_record(RecordId(0)).unwrap();
+        assert_eq!(g.record_count(), 1);
+        assert_eq!(g.edge_count(), 2);
+        let mac1 = g.mac_node(MacAddr::from_u64(1)).unwrap();
+        assert_eq!(g.degree(mac1), 0);
+        assert!(g.remove_record(RecordId(0)).is_err());
+        assert!(g.remove_record(RecordId(9)).is_err());
+    }
+
+    #[test]
+    fn readding_removed_mac_creates_fresh_node() {
+        let mut g = paper_example();
+        let old = g.mac_node(MacAddr::from_u64(2)).unwrap();
+        g.remove_mac(MacAddr::from_u64(2)).unwrap();
+        g.add_record(&rec(&[(2, -50.0)]));
+        let new = g.mac_node(MacAddr::from_u64(2)).unwrap();
+        assert_ne!(old, new);
+        assert!(g.is_removed(old));
+        assert!(!g.is_removed(new));
+    }
+
+    #[test]
+    fn overlaps_rule() {
+        let g = paper_example();
+        assert!(g.overlaps(&rec(&[(3, -80.0), (99, -50.0)])));
+        assert!(!g.overlaps(&rec(&[(98, -80.0), (99, -50.0)])));
+    }
+
+    #[test]
+    fn negative_sampling_weights_shape() {
+        let mut g = paper_example();
+        g.remove_mac(MacAddr::from_u64(1)).unwrap();
+        let w = g.negative_sampling_weights(0.75);
+        assert_eq!(w.len(), g.node_capacity());
+        let mac1_idx = 1; // insertion order: v0, mac1, mac2, v1, mac3
+        assert_eq!(w[mac1_idx], 0.0);
+        let mac2 = g.mac_node(MacAddr::from_u64(2)).unwrap();
+        assert!((w[mac2.index()] - 2f64.powf(0.75)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_dataset_ids_follow_sample_order() {
+        use grafics_types::{Dataset, FloorId, Sample};
+        let ds = Dataset::from_samples(vec![
+            Sample::labeled(rec(&[(1, -60.0)]), FloorId(0)),
+            Sample::labeled(rec(&[(2, -70.0)]), FloorId(1)),
+        ]);
+        let g = BipartiteGraph::from_dataset(&ds, WeightFunction::default());
+        assert_eq!(g.record_count(), 2);
+        assert!(g.record_node(RecordId(0)).is_some());
+        assert!(g.record_node(RecordId(1)).is_some());
+    }
+
+    #[test]
+    fn weighted_degree_is_sum_of_incident_weights() {
+        let g = paper_example();
+        for idx in 0..g.node_capacity() {
+            let node = NodeIdx(idx as u32);
+            let sum: f64 = g.neighbors(node).iter().map(|&(_, w)| w).sum();
+            assert!((g.weighted_degree(node) - sum).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stats_reflect_structure() {
+        let mut g = paper_example();
+        let st = g.stats();
+        assert_eq!(st.records, 2);
+        assert_eq!(st.macs, 3);
+        assert_eq!(st.edges, 4);
+        assert_eq!(st.tombstones, 0);
+        assert!((st.mean_record_degree - 2.0).abs() < 1e-12);
+        assert_eq!(st.max_mac_degree, 2);
+        assert_eq!(st.singleton_macs, 2); // MAC1 and MAC3 touch one record
+
+        g.remove_record(RecordId(0)).unwrap();
+        let st = g.stats();
+        assert_eq!(st.records, 1);
+        assert_eq!(st.tombstones, 1);
+        assert_eq!(st.edges, 2);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = paper_example();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: BipartiteGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.record_count(), 2);
+        assert_eq!(back.edge_count(), 4);
+        assert_eq!(back.mac_node(MacAddr::from_u64(2)), g.mac_node(MacAddr::from_u64(2)));
+    }
+}

@@ -1,0 +1,114 @@
+//! Edge-weight functions mapping RSS values to positive edge weights
+//! (Eq. (2) and the Fig. 16 ablation of the paper).
+
+use grafics_types::Rssi;
+use serde::{Deserialize, Serialize};
+
+/// Maps an RSS reading to a strictly positive bipartite-graph edge weight.
+///
+/// The paper evaluates two choices (Fig. 16):
+///
+/// - [`WeightFunction::Offset`] — `f(RSS) = RSS + α`, with
+///   `α > max |RSS|` so weights stay positive. This *preserves the
+///   differences* between RSS values and is the paper's recommended (and
+///   our default) choice, with `α = 120`.
+/// - [`WeightFunction::Power`] — `g(RSS) = 10^(RSS/10)` (dBm → mW). This
+///   compresses weak signals so strongly that most edges end up with nearly
+///   identical tiny weights, which the paper shows degrades embeddings.
+///
+/// # Examples
+///
+/// ```
+/// use grafics_graph::WeightFunction;
+/// use grafics_types::Rssi;
+///
+/// let f = WeightFunction::default();
+/// assert_eq!(f.weight(Rssi::new(-66.0).unwrap()), 54.0);
+///
+/// let g = WeightFunction::Power;
+/// assert!((g.weight(Rssi::new(-30.0).unwrap()) - 1e-3).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum WeightFunction {
+    /// `f(RSS) = RSS + alpha` (paper default, `alpha = 120`).
+    Offset {
+        /// Constant offset added to the RSS value in dBm. Must exceed the
+        /// magnitude of the weakest possible reading (120 dBm) for the
+        /// weight to stay positive.
+        alpha: f64,
+    },
+    /// `g(RSS) = 10^(RSS / 10)` — dBm converted to linear milliwatts.
+    Power,
+}
+
+impl WeightFunction {
+    /// The paper's default: `f(RSS) = RSS + 120`.
+    #[must_use]
+    pub const fn offset_default() -> Self {
+        WeightFunction::Offset { alpha: 120.0 }
+    }
+
+    /// Evaluates the weight function. The result is strictly positive for
+    /// every valid [`Rssi`] (which is bounded below by −120 dBm) provided
+    /// `alpha >= 120`; weights are clamped to a tiny positive epsilon
+    /// otherwise so downstream samplers never see zero or negative mass.
+    #[must_use]
+    pub fn weight(self, rssi: Rssi) -> f64 {
+        const EPS: f64 = 1e-9;
+        let w = match self {
+            WeightFunction::Offset { alpha } => rssi.dbm() + alpha,
+            WeightFunction::Power => rssi.milliwatts(),
+        };
+        if w > EPS {
+            w
+        } else {
+            EPS
+        }
+    }
+}
+
+impl Default for WeightFunction {
+    fn default() -> Self {
+        WeightFunction::offset_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offset_preserves_differences() {
+        let f = WeightFunction::default();
+        let a = f.weight(Rssi::new(-40.0).unwrap());
+        let b = f.weight(Rssi::new(-90.0).unwrap());
+        assert_eq!(a - b, 50.0);
+    }
+
+    #[test]
+    fn power_compresses_differences() {
+        let g = WeightFunction::Power;
+        let a = g.weight(Rssi::new(-40.0).unwrap());
+        let b = g.weight(Rssi::new(-90.0).unwrap());
+        // Both are tiny; their absolute difference is < 1e-4 mW even though
+        // the dBm gap is 50 — exactly why the paper finds g(·) inferior.
+        assert!(a - b < 1e-4);
+    }
+
+    #[test]
+    fn always_positive_over_valid_range() {
+        for func in [WeightFunction::default(), WeightFunction::Power] {
+            for dbm in (-120..=20).step_by(5) {
+                let w = func.weight(Rssi::new(dbm as f64).unwrap());
+                assert!(w > 0.0, "{func:?} produced non-positive weight at {dbm}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_alpha_clamps_to_epsilon() {
+        let f = WeightFunction::Offset { alpha: 50.0 };
+        assert!(f.weight(Rssi::new(-120.0).unwrap()) > 0.0);
+    }
+}

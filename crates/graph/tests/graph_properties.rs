@@ -1,0 +1,137 @@
+//! Property-based tests for the bipartite graph and alias sampler.
+
+use grafics_graph::{AliasTable, BipartiteGraph, NodeIdx, WeightFunction};
+use grafics_types::{MacAddr, Reading, RecordId, Rssi, SignalRecord};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Strategy: a record over a small MAC universe with valid RSS values.
+fn arb_record() -> impl Strategy<Value = SignalRecord> {
+    prop::collection::vec((0u64..30, -100.0f64..-30.0), 1..15).prop_map(|pairs| {
+        SignalRecord::new(
+            pairs
+                .into_iter()
+                .map(|(m, r)| Reading::new(MacAddr::from_u64(m), Rssi::new(r).unwrap()))
+                .collect(),
+        )
+        .expect("non-empty by strategy")
+    })
+}
+
+proptest! {
+    /// Handshake: the sum of record-side degrees equals the edge count,
+    /// as does the sum of MAC-side degrees, for any record stream.
+    #[test]
+    fn degree_handshake(records in prop::collection::vec(arb_record(), 1..40)) {
+        let mut g = BipartiteGraph::new(WeightFunction::default());
+        for r in &records {
+            g.add_record(r);
+        }
+        let mut rec_deg = 0usize;
+        let mut mac_deg = 0usize;
+        for i in 0..g.node_capacity() {
+            let idx = NodeIdx(i as u32);
+            match g.kind(idx) {
+                grafics_graph::NodeKind::Record(_) => rec_deg += g.degree(idx),
+                grafics_graph::NodeKind::Mac(_) => mac_deg += g.degree(idx),
+            }
+        }
+        prop_assert_eq!(rec_deg, g.edge_count());
+        prop_assert_eq!(mac_deg, g.edge_count());
+    }
+
+    /// Every edge connects a record node to a MAC node (bipartiteness).
+    #[test]
+    fn graph_is_bipartite(records in prop::collection::vec(arb_record(), 1..30)) {
+        let mut g = BipartiteGraph::new(WeightFunction::default());
+        for r in &records {
+            g.add_record(r);
+        }
+        for e in g.edges() {
+            prop_assert!(matches!(g.kind(e.mac), grafics_graph::NodeKind::Mac(_)));
+            prop_assert!(matches!(g.kind(e.record), grafics_graph::NodeKind::Record(_)));
+            prop_assert!(e.weight > 0.0 && e.weight.is_finite());
+        }
+    }
+
+    /// A record node's degree equals the number of distinct MACs in the
+    /// record it was built from.
+    #[test]
+    fn record_degree_matches_record_len(records in prop::collection::vec(arb_record(), 1..30)) {
+        let mut g = BipartiteGraph::new(WeightFunction::default());
+        for (i, r) in records.iter().enumerate() {
+            let rid = g.add_record(r);
+            prop_assert_eq!(rid, RecordId(i as u32));
+            let node = g.record_node(rid).unwrap();
+            prop_assert_eq!(g.degree(node), r.len());
+        }
+    }
+
+    /// Removing every record empties the edge set and zeroes all weighted
+    /// degrees, regardless of insertion order.
+    #[test]
+    fn remove_all_records_empties_graph(records in prop::collection::vec(arb_record(), 1..25)) {
+        let mut g = BipartiteGraph::new(WeightFunction::default());
+        let ids: Vec<RecordId> = records.iter().map(|r| g.add_record(r)).collect();
+        for rid in ids {
+            g.remove_record(rid).unwrap();
+        }
+        prop_assert_eq!(g.edge_count(), 0);
+        prop_assert_eq!(g.record_count(), 0);
+        for i in 0..g.node_capacity() {
+            prop_assert!(g.weighted_degree(NodeIdx(i as u32)).abs() < 1e-9);
+        }
+    }
+
+    /// Tombstoned nodes never appear in live adjacency lists.
+    #[test]
+    fn tombstones_unreachable(
+        records in prop::collection::vec(arb_record(), 2..25),
+        kill_mac in 0u64..30,
+    ) {
+        let mut g = BipartiteGraph::new(WeightFunction::default());
+        for r in &records {
+            g.add_record(r);
+        }
+        let mac = MacAddr::from_u64(kill_mac);
+        if let Some(dead) = g.mac_node(mac) {
+            g.remove_mac(mac).unwrap();
+            for i in 0..g.node_capacity() {
+                for &(nbr, _) in g.neighbors(NodeIdx(i as u32)) {
+                    prop_assert_ne!(nbr, dead);
+                }
+            }
+        }
+    }
+
+    /// Alias-table sampling over random weights only ever returns indices
+    /// with positive weight.
+    #[test]
+    fn alias_sampler_support(weights in prop::collection::vec(0.0f64..10.0, 1..50), seed in 0u64..1000) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let t = AliasTable::new(&weights).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let s = t.sample(&mut rng);
+            prop_assert!(weights[s] > 0.0, "sampled zero-weight index {}", s);
+        }
+    }
+
+    /// Negative-sampling weights are zero exactly for isolated/removed
+    /// nodes and positive otherwise.
+    #[test]
+    fn negative_weights_support(records in prop::collection::vec(arb_record(), 1..25)) {
+        let mut g = BipartiteGraph::new(WeightFunction::default());
+        for r in &records {
+            g.add_record(r);
+        }
+        g.remove_record(RecordId(0)).unwrap();
+        let w = g.negative_sampling_weights(0.75);
+        for i in 0..g.node_capacity() {
+            let idx = NodeIdx(i as u32);
+            let live = !g.is_removed(idx) && g.degree(idx) > 0;
+            prop_assert_eq!(w[i] > 0.0, live, "node {} weight {}", i, w[i]);
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Micro- and macro-averaged precision, recall and F-score, exactly as
+//! defined in §VI-A of the GRAFICS paper.
+//!
+//! For floor `i` with true positives `TP_i`, false positives `FP_i`
+//! (samples of other floors predicted as `i`) and false negatives `FN_i`
+//! (samples of floor `i` predicted elsewhere):
+//!
+//! - `P_i = TP_i / (TP_i + FP_i)`, `R_i = TP_i / (TP_i + FN_i)`,
+//!   `F_i = 2 P_i R_i / (P_i + R_i)`;
+//! - **micro** metrics pool the counts over floors before dividing;
+//! - **macro** metrics average the per-floor `P_i` / `R_i`, then combine.
+//!
+//! # Examples
+//!
+//! ```
+//! use grafics_metrics::ConfusionMatrix;
+//! use grafics_types::FloorId;
+//!
+//! let mut cm = ConfusionMatrix::new();
+//! cm.observe(FloorId(0), FloorId(0));
+//! cm.observe(FloorId(0), FloorId(1)); // floor 0 misread as floor 1
+//! cm.observe(FloorId(1), FloorId(1));
+//! cm.observe(FloorId(1), FloorId(1));
+//! let report = cm.report();
+//! assert!((report.micro_f - 0.75).abs() < 1e-12);
+//! assert!(report.macro_f > 0.7 && report.macro_f < 0.8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use grafics_types::FloorId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A confusion matrix over floors, accumulated one prediction at a time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// `counts[(truth, predicted)]` = number of observations.
+    counts: BTreeMap<(FloorId, FloorId), usize>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one `(ground truth, predicted)` observation.
+    pub fn observe(&mut self, truth: FloorId, predicted: FloorId) {
+        *self.counts.entry((truth, predicted)).or_insert(0) += 1;
+    }
+
+    /// Builds a matrix from parallel slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    #[must_use]
+    pub fn from_pairs(truth: &[FloorId], predicted: &[FloorId]) -> Self {
+        assert_eq!(truth.len(), predicted.len(), "parallel slices required");
+        let mut cm = Self::new();
+        for (&t, &p) in truth.iter().zip(predicted) {
+            cm.observe(t, p);
+        }
+        cm
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// All floors appearing as truth or prediction, ascending.
+    #[must_use]
+    pub fn floors(&self) -> Vec<FloorId> {
+        let mut floors: Vec<FloorId> =
+            self.counts.keys().flat_map(|&(t, p)| [t, p]).collect();
+        floors.sort_unstable();
+        floors.dedup();
+        floors
+    }
+
+    /// Count of observations with `truth` and `predicted`.
+    #[must_use]
+    pub fn count(&self, truth: FloorId, predicted: FloorId) -> usize {
+        self.counts.get(&(truth, predicted)).copied().unwrap_or(0)
+    }
+
+    /// Computes the full report. Returns all-zero metrics on an empty
+    /// matrix.
+    #[must_use]
+    pub fn report(&self) -> ClassificationReport {
+        let floors = self.floors();
+        let n = floors.len();
+        let mut per_floor = Vec::with_capacity(n);
+        let (mut tp_sum, mut fp_sum, mut fn_sum) = (0usize, 0usize, 0usize);
+        let (mut p_sum, mut r_sum) = (0.0f64, 0.0f64);
+
+        for &f in &floors {
+            let tp = self.count(f, f);
+            let fp: usize =
+                floors.iter().filter(|&&t| t != f).map(|&t| self.count(t, f)).sum();
+            let fn_: usize =
+                floors.iter().filter(|&&p| p != f).map(|&p| self.count(f, p)).sum();
+            let precision = ratio(tp, tp + fp);
+            let recall = ratio(tp, tp + fn_);
+            per_floor.push(FloorMetrics {
+                floor: f,
+                tp,
+                fp,
+                fn_,
+                precision,
+                recall,
+                f_score: harmonic(precision, recall),
+            });
+            tp_sum += tp;
+            fp_sum += fp;
+            fn_sum += fn_;
+            p_sum += precision;
+            r_sum += recall;
+        }
+
+        let micro_p = ratio(tp_sum, tp_sum + fp_sum);
+        let micro_r = ratio(tp_sum, tp_sum + fn_sum);
+        let (macro_p, macro_r) = if n == 0 {
+            (0.0, 0.0)
+        } else {
+            (p_sum / n as f64, r_sum / n as f64)
+        };
+        ClassificationReport {
+            micro_p,
+            micro_r,
+            micro_f: harmonic(micro_p, micro_r),
+            macro_p,
+            macro_r,
+            macro_f: harmonic(macro_p, macro_r),
+            accuracy: ratio(tp_sum, self.total()),
+            per_floor,
+        }
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+fn harmonic(p: f64, r: f64) -> f64 {
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Per-floor counts and metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FloorMetrics {
+    /// The floor.
+    pub floor: FloorId,
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+    /// `P_i`.
+    pub precision: f64,
+    /// `R_i`.
+    pub recall: f64,
+    /// `F_i`.
+    pub f_score: f64,
+}
+
+impl std::fmt::Display for ConfusionMatrix {
+    /// Renders the matrix as a table, truth in rows, prediction in columns.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let floors = self.floors();
+        write!(f, "{:>8}", "truth\\pred")?;
+        for p in &floors {
+            write!(f, " {:>6}", p.to_string())?;
+        }
+        writeln!(f)?;
+        for t in &floors {
+            write!(f, "{:>8}", t.to_string())?;
+            for p in &floors {
+                write!(f, " {:>6}", self.count(*t, *p))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl ClassificationReport {
+    /// One-line summary, handy for logs:
+    /// `micro-F 0.943 macro-F 0.951 acc 0.943 (n=123)`.
+    #[must_use]
+    pub fn summary_line(&self) -> String {
+        let n: usize = self.per_floor.iter().map(|m| m.tp + m.fn_).sum();
+        format!(
+            "micro-F {:.3} macro-F {:.3} acc {:.3} (n={n})",
+            self.micro_f, self.macro_f, self.accuracy
+        )
+    }
+}
+
+/// The micro/macro summary the paper reports in every figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassificationReport {
+    /// Micro-averaged precision.
+    pub micro_p: f64,
+    /// Micro-averaged recall.
+    pub micro_r: f64,
+    /// Micro-averaged F-score.
+    pub micro_f: f64,
+    /// Macro-averaged precision.
+    pub macro_p: f64,
+    /// Macro-averaged recall.
+    pub macro_r: f64,
+    /// Macro-averaged F-score.
+    pub macro_f: f64,
+    /// Plain accuracy (= micro recall when every sample is predicted).
+    pub accuracy: f64,
+    /// Per-floor breakdown, ascending by floor.
+    pub per_floor: Vec<FloorMetrics>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let t = [FloorId(0), FloorId(1), FloorId(2)];
+        let cm = ConfusionMatrix::from_pairs(&t, &t);
+        let r = cm.report();
+        assert_eq!(r.micro_f, 1.0);
+        assert_eq!(r.macro_f, 1.0);
+        assert_eq!(r.accuracy, 1.0);
+    }
+
+    #[test]
+    fn all_wrong_scores_zero() {
+        let t = [FloorId(0), FloorId(1)];
+        let p = [FloorId(1), FloorId(0)];
+        let r = ConfusionMatrix::from_pairs(&t, &p).report();
+        assert_eq!(r.micro_f, 0.0);
+        assert_eq!(r.macro_f, 0.0);
+    }
+
+    #[test]
+    fn micro_equals_accuracy_in_single_label_classification() {
+        // When every sample gets exactly one prediction, ΣFP = ΣFN so
+        // micro-P = micro-R = micro-F = accuracy.
+        let t = [FloorId(0), FloorId(0), FloorId(1), FloorId(2), FloorId(2)];
+        let p = [FloorId(0), FloorId(1), FloorId(1), FloorId(2), FloorId(0)];
+        let r = ConfusionMatrix::from_pairs(&t, &p).report();
+        assert!((r.micro_p - r.micro_r).abs() < 1e-12);
+        assert!((r.micro_f - r.accuracy).abs() < 1e-12);
+        assert!((r.micro_f - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_punishes_minority_class_errors_harder() {
+        // 9 correct on floor 0, 1 sample on floor 1 always wrong.
+        let mut cm = ConfusionMatrix::new();
+        for _ in 0..9 {
+            cm.observe(FloorId(0), FloorId(0));
+        }
+        cm.observe(FloorId(1), FloorId(0));
+        let r = cm.report();
+        assert!(r.micro_f > r.macro_f, "micro {} vs macro {}", r.micro_f, r.macro_f);
+        assert!((r.micro_f - 0.9).abs() < 1e-12);
+        // floor 1: P=R=F=0; floor 0: P=0.9, R=1.0
+        assert!((r.macro_p - 0.45).abs() < 1e-12);
+        assert!((r.macro_r - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_floor_counts() {
+        let t = [FloorId(0), FloorId(0), FloorId(1)];
+        let p = [FloorId(0), FloorId(1), FloorId(1)];
+        let cm = ConfusionMatrix::from_pairs(&t, &p);
+        let r = cm.report();
+        let f0 = &r.per_floor[0];
+        assert_eq!((f0.tp, f0.fp, f0.fn_), (1, 0, 1));
+        let f1 = &r.per_floor[1];
+        assert_eq!((f1.tp, f1.fp, f1.fn_), (1, 1, 0));
+    }
+
+    #[test]
+    fn empty_matrix_reports_zeros() {
+        let r = ConfusionMatrix::new().report();
+        assert_eq!(r.micro_f, 0.0);
+        assert_eq!(r.macro_f, 0.0);
+        assert!(r.per_floor.is_empty());
+    }
+
+    #[test]
+    fn floors_union_of_truth_and_prediction() {
+        let mut cm = ConfusionMatrix::new();
+        cm.observe(FloorId(0), FloorId(7));
+        assert_eq!(cm.floors(), vec![FloorId(0), FloorId(7)]);
+    }
+
+    #[test]
+    fn display_renders_counts() {
+        let t = [FloorId(0), FloorId(0), FloorId(1)];
+        let p = [FloorId(0), FloorId(1), FloorId(1)];
+        let cm = ConfusionMatrix::from_pairs(&t, &p);
+        let s = cm.to_string();
+        assert!(s.contains("GF"), "{s}");
+        assert!(s.contains("1F"), "{s}");
+        assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    fn summary_line_counts_samples() {
+        let t = [FloorId(0), FloorId(1), FloorId(1)];
+        let r = ConfusionMatrix::from_pairs(&t, &t).report();
+        assert!(r.summary_line().contains("(n=3)"), "{}", r.summary_line());
+        assert!(r.summary_line().starts_with("micro-F 1.000"));
+    }
+
+    #[test]
+    fn f_scores_bounded() {
+        let t = [FloorId(0), FloorId(1), FloorId(1), FloorId(2)];
+        let p = [FloorId(1), FloorId(1), FloorId(2), FloorId(2)];
+        let r = ConfusionMatrix::from_pairs(&t, &p).report();
+        for v in [r.micro_p, r.micro_r, r.micro_f, r.macro_p, r.macro_r, r.macro_f] {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}

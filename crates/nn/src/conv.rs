@@ -1,0 +1,250 @@
+//! 1-D convolution, as used by the paper's autoencoder baseline ("four
+//! layers of 1-D convolution with the ReLU activation function").
+
+use crate::{Layer, Matrix};
+use rand::Rng;
+
+/// A 1-D convolution over rows laid out as `[channel 0 | channel 1 | …]`.
+///
+/// Input rows have length `in_channels × len`; output rows have length
+/// `out_channels × out_len` with `out_len = (len − kernel) / stride + 1`
+/// (valid padding). Weights are Glorot-initialised.
+pub struct Conv1d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    len: usize,
+    out_len: usize,
+    /// `w[o][c][k]` flattened as `o * (in_channels*kernel) + c * kernel + k`.
+    w: Vec<f32>,
+    b: Vec<f32>,
+    grad_w: Vec<f32>,
+    grad_b: Vec<f32>,
+    input: Option<Matrix>,
+}
+
+impl Conv1d {
+    /// Creates a valid-padding 1-D convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel > len`, `stride == 0`, or any size is zero.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        len: usize,
+        kernel: usize,
+        stride: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(in_channels > 0 && out_channels > 0 && len > 0 && kernel > 0 && stride > 0);
+        assert!(kernel <= len, "kernel {kernel} exceeds input length {len}");
+        let out_len = (len - kernel) / stride + 1;
+        let fan_in = in_channels * kernel;
+        let fan_out = out_channels * kernel;
+        let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        let n_w = out_channels * in_channels * kernel;
+        Conv1d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            len,
+            out_len,
+            w: (0..n_w).map(|_| rng.gen_range(-bound..=bound)).collect(),
+            b: vec![0.0; out_channels],
+            grad_w: vec![0.0; n_w],
+            grad_b: vec![0.0; out_channels],
+            input: None,
+        }
+    }
+
+    /// Spatial output length per channel.
+    #[must_use]
+    pub fn out_len(&self) -> usize {
+        self.out_len
+    }
+
+    /// Total output row width (`out_channels × out_len`).
+    #[must_use]
+    pub fn out_width(&self) -> usize {
+        self.out_channels * self.out_len
+    }
+
+    /// Total input row width (`in_channels × len`).
+    #[must_use]
+    pub fn in_width(&self) -> usize {
+        self.in_channels * self.len
+    }
+
+    #[inline]
+    fn w_at(&self, o: usize, c: usize, k: usize) -> f32 {
+        self.w[o * self.in_channels * self.kernel + c * self.kernel + k]
+    }
+}
+
+impl Layer for Conv1d {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        assert_eq!(input.cols(), self.in_width(), "Conv1d input width");
+        let mut out = Matrix::zeros(input.rows(), self.out_width());
+        for r in 0..input.rows() {
+            let x = input.row(r);
+            for o in 0..self.out_channels {
+                for t in 0..self.out_len {
+                    let start = t * self.stride;
+                    let mut acc = self.b[o];
+                    for c in 0..self.in_channels {
+                        let base = c * self.len + start;
+                        for k in 0..self.kernel {
+                            acc += self.w_at(o, c, k) * x[base + k];
+                        }
+                    }
+                    out.set(r, o * self.out_len + t, acc);
+                }
+            }
+        }
+        self.input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let input = self.input.as_ref().expect("forward before backward");
+        assert_eq!(grad_output.cols(), self.out_width());
+        let mut grad_in = Matrix::zeros(input.rows(), self.in_width());
+        for r in 0..input.rows() {
+            let x = input.row(r);
+            let g = grad_output.row(r);
+            for o in 0..self.out_channels {
+                for t in 0..self.out_len {
+                    let go = g[o * self.out_len + t];
+                    if go == 0.0 {
+                        continue;
+                    }
+                    self.grad_b[o] += go;
+                    let start = t * self.stride;
+                    for c in 0..self.in_channels {
+                        let base = c * self.len + start;
+                        let wbase = o * self.in_channels * self.kernel + c * self.kernel;
+                        for k in 0..self.kernel {
+                            self.grad_w[wbase + k] += go * x[base + k];
+                            grad_in.row_mut(r)[base + k] += go * self.w[wbase + k];
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn apply_grads(&mut self, f: &mut dyn FnMut(&mut [f32], &[f32])) {
+        f(&mut self.w, &self.grad_w);
+        f(&mut self.b, &self.grad_b);
+        self.grad_w.fill(0.0);
+        self.grad_b.fill(0.0);
+    }
+
+    fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn forward_known_values_single_channel() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut conv = Conv1d::new(1, 1, 4, 2, 1, &mut rng);
+        conv.w = vec![1.0, -1.0];
+        conv.b = vec![0.5];
+        let x = Matrix::from_rows(&[vec![1.0, 2.0, 3.0, 5.0]]);
+        let y = conv.forward(&x);
+        // windows: (1-2), (2-3), (3-5) plus bias
+        assert_eq!(y.row(0), &[-0.5, -0.5, -1.5]);
+    }
+
+    #[test]
+    fn stride_and_out_len() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let conv = Conv1d::new(2, 3, 10, 3, 2, &mut rng);
+        assert_eq!(conv.out_len(), 4);
+        assert_eq!(conv.out_width(), 12);
+        assert_eq!(conv.in_width(), 20);
+    }
+
+    #[test]
+    fn multi_channel_forward_sums_channels() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut conv = Conv1d::new(2, 1, 3, 1, 1, &mut rng);
+        conv.w = vec![2.0, 10.0]; // o0c0k0 = 2, o0c1k0 = 10
+        conv.b = vec![0.0];
+        let x = Matrix::from_rows(&[vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]]);
+        let y = conv.forward(&x);
+        assert_eq!(y.row(0), &[2.0 + 40.0, 4.0 + 50.0, 6.0 + 60.0]);
+    }
+
+    #[test]
+    fn gradient_check_conv1d() {
+        // Finite-difference check of dL/dw and dL/dx for L = Σ y².
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut conv = Conv1d::new(2, 2, 5, 3, 1, &mut rng);
+        let x = Matrix::glorot(2, 10, &mut rng);
+
+        let loss = |conv: &mut Conv1d, x: &Matrix| -> f32 {
+            let y = conv.forward(x);
+            y.data().iter().map(|v| v * v).sum()
+        };
+
+        let y = conv.forward(&x);
+        let mut grad_out = y.clone();
+        for v in grad_out.data_mut() {
+            *v *= 2.0;
+        }
+        let grad_in = conv.backward(&grad_out);
+
+        // Check a handful of weight coordinates.
+        let mut analytic_w = vec![0.0; conv.w.len()];
+        conv.apply_grads(&mut |params, grads| {
+            if params.len() == analytic_w.len() {
+                analytic_w.copy_from_slice(grads);
+            }
+        });
+        let eps = 1e-3;
+        for wi in [0usize, 3, 7, conv.w.len() - 1] {
+            let orig = conv.w[wi];
+            conv.w[wi] = orig + eps;
+            let lp = loss(&mut conv, &x);
+            conv.w[wi] = orig - eps;
+            let lm = loss(&mut conv, &x);
+            conv.w[wi] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic_w[wi]).abs() < 0.02 * analytic_w[wi].abs().max(1.0),
+                "w[{wi}]: numeric {numeric} vs analytic {}",
+                analytic_w[wi]
+            );
+        }
+
+        // Check a few input coordinates.
+        let mut x2 = x.clone();
+        for xi in [0usize, 5, 13, 19] {
+            let orig = x2.data()[xi];
+            x2.data_mut()[xi] = orig + eps;
+            let lp = loss(&mut conv, &x2);
+            x2.data_mut()[xi] = orig - eps;
+            let lm = loss(&mut conv, &x2);
+            x2.data_mut()[xi] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grad_in.data()[xi];
+            assert!(
+                (numeric - analytic).abs() < 0.02 * analytic.abs().max(1.0),
+                "x[{xi}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! 2-D convolution, used by the StoryTeller baseline (CNN over images of
+//! strong-signal AP positions).
+
+use crate::{Layer, Matrix};
+use rand::Rng;
+
+/// A valid-padding 2-D convolution over rows laid out channel-major:
+/// `[c0 row-major HxW | c1 HxW | …]`.
+///
+/// Output rows are `out_channels × out_h × out_w` with
+/// `out_h = (h − kernel) / stride + 1` (likewise `out_w`).
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    h: usize,
+    w: usize,
+    kernel: usize,
+    stride: usize,
+    out_h: usize,
+    out_w: usize,
+    /// `weights[o][c][ky][kx]` flattened.
+    weights: Vec<f32>,
+    b: Vec<f32>,
+    grad_w: Vec<f32>,
+    grad_b: Vec<f32>,
+    input: Option<Matrix>,
+}
+
+impl Conv2d {
+    /// Creates the layer with Glorot-uniform kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel exceeds either spatial dimension, or any size
+    /// is zero.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        h: usize,
+        w: usize,
+        kernel: usize,
+        stride: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(in_channels > 0 && out_channels > 0 && h > 0 && w > 0 && kernel > 0 && stride > 0);
+        assert!(kernel <= h && kernel <= w, "kernel {kernel} exceeds {h}x{w}");
+        let out_h = (h - kernel) / stride + 1;
+        let out_w = (w - kernel) / stride + 1;
+        let fan_in = in_channels * kernel * kernel;
+        let fan_out = out_channels * kernel * kernel;
+        let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        let n_w = out_channels * in_channels * kernel * kernel;
+        Conv2d {
+            in_channels,
+            out_channels,
+            h,
+            w,
+            kernel,
+            stride,
+            out_h,
+            out_w,
+            weights: (0..n_w).map(|_| rng.gen_range(-bound..=bound)).collect(),
+            b: vec![0.0; out_channels],
+            grad_w: vec![0.0; n_w],
+            grad_b: vec![0.0; out_channels],
+            input: None,
+        }
+    }
+
+    /// Output row width (`out_channels × out_h × out_w`).
+    #[must_use]
+    pub fn out_width(&self) -> usize {
+        self.out_channels * self.out_h * self.out_w
+    }
+
+    /// Input row width (`in_channels × h × w`).
+    #[must_use]
+    pub fn in_width(&self) -> usize {
+        self.in_channels * self.h * self.w
+    }
+
+    /// Output spatial dimensions `(out_h, out_w)`.
+    #[must_use]
+    pub fn out_dims(&self) -> (usize, usize) {
+        (self.out_h, self.out_w)
+    }
+
+    #[inline]
+    fn w_idx(&self, o: usize, c: usize, ky: usize, kx: usize) -> usize {
+        ((o * self.in_channels + c) * self.kernel + ky) * self.kernel + kx
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        assert_eq!(input.cols(), self.in_width(), "Conv2d input width");
+        let mut out = Matrix::zeros(input.rows(), self.out_width());
+        let plane = self.h * self.w;
+        let out_plane = self.out_h * self.out_w;
+        for r in 0..input.rows() {
+            let x = input.row(r);
+            for o in 0..self.out_channels {
+                for ty in 0..self.out_h {
+                    for tx in 0..self.out_w {
+                        let (sy, sx) = (ty * self.stride, tx * self.stride);
+                        let mut acc = self.b[o];
+                        for c in 0..self.in_channels {
+                            for ky in 0..self.kernel {
+                                let row_base = c * plane + (sy + ky) * self.w + sx;
+                                for kx in 0..self.kernel {
+                                    acc += self.weights[self.w_idx(o, c, ky, kx)]
+                                        * x[row_base + kx];
+                                }
+                            }
+                        }
+                        out.set(r, o * out_plane + ty * self.out_w + tx, acc);
+                    }
+                }
+            }
+        }
+        self.input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let input = self.input.as_ref().expect("forward before backward");
+        assert_eq!(grad_output.cols(), self.out_width());
+        let mut grad_in = Matrix::zeros(input.rows(), self.in_width());
+        let plane = self.h * self.w;
+        let out_plane = self.out_h * self.out_w;
+        for r in 0..input.rows() {
+            let x = input.row(r).to_vec();
+            let g = grad_output.row(r).to_vec();
+            let gin = grad_in.row_mut(r);
+            for o in 0..self.out_channels {
+                for ty in 0..self.out_h {
+                    for tx in 0..self.out_w {
+                        let go = g[o * out_plane + ty * self.out_w + tx];
+                        if go == 0.0 {
+                            continue;
+                        }
+                        self.grad_b[o] += go;
+                        let (sy, sx) = (ty * self.stride, tx * self.stride);
+                        for c in 0..self.in_channels {
+                            for ky in 0..self.kernel {
+                                let row_base = c * plane + (sy + ky) * self.w + sx;
+                                for kx in 0..self.kernel {
+                                    let wi = self.w_idx(o, c, ky, kx);
+                                    self.grad_w[wi] += go * x[row_base + kx];
+                                    gin[row_base + kx] += go * self.weights[wi];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn apply_grads(&mut self, f: &mut dyn FnMut(&mut [f32], &[f32])) {
+        f(&mut self.weights, &self.grad_w);
+        f(&mut self.b, &self.grad_b);
+        self.grad_w.fill(0.0);
+        self.grad_b.fill(0.0);
+    }
+
+    fn param_count(&self) -> usize {
+        self.weights.len() + self.b.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn forward_known_values_identity_kernel() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 1, 3, 3, 2, 1, &mut rng);
+        // Kernel picks the top-left value only.
+        conv.weights = vec![1.0, 0.0, 0.0, 0.0];
+        conv.b = vec![0.0];
+        let x = Matrix::from_rows(&[vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]]);
+        let y = conv.forward(&x);
+        assert_eq!(y.row(0), &[1.0, 2.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn shapes_with_stride() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let conv = Conv2d::new(2, 3, 8, 10, 3, 2, &mut rng);
+        assert_eq!(conv.out_dims(), (3, 4));
+        assert_eq!(conv.out_width(), 36);
+        assert_eq!(conv.in_width(), 160);
+    }
+
+    #[test]
+    fn gradient_check_conv2d() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut conv = Conv2d::new(2, 2, 5, 5, 3, 1, &mut rng);
+        let x = Matrix::glorot(2, 50, &mut rng);
+
+        let loss = |conv: &mut Conv2d, x: &Matrix| -> f32 {
+            let y = conv.forward(x);
+            y.data().iter().map(|v| v * v).sum()
+        };
+
+        let y = conv.forward(&x);
+        let mut grad_out = y.clone();
+        for v in grad_out.data_mut() {
+            *v *= 2.0;
+        }
+        let grad_in = conv.backward(&grad_out);
+        let mut analytic_w = vec![0.0; conv.weights.len()];
+        conv.apply_grads(&mut |params, grads| {
+            if params.len() == analytic_w.len() {
+                analytic_w.copy_from_slice(grads);
+            }
+        });
+        let eps = 1e-3;
+        for wi in [0usize, 7, 17, conv.weights.len() - 1] {
+            let orig = conv.weights[wi];
+            conv.weights[wi] = orig + eps;
+            let lp = loss(&mut conv, &x);
+            conv.weights[wi] = orig - eps;
+            let lm = loss(&mut conv, &x);
+            conv.weights[wi] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic_w[wi]).abs() < 0.02 * analytic_w[wi].abs().max(1.0),
+                "w[{wi}]: numeric {numeric} vs analytic {}",
+                analytic_w[wi]
+            );
+        }
+        let mut x2 = x.clone();
+        for xi in [0usize, 13, 31, 49] {
+            let orig = x2.data()[xi];
+            x2.data_mut()[xi] = orig + eps;
+            let lp = loss(&mut conv, &x2);
+            x2.data_mut()[xi] = orig - eps;
+            let lm = loss(&mut conv, &x2);
+            x2.data_mut()[xi] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grad_in.data()[xi];
+            assert!(
+                (numeric - analytic).abs() < 0.02 * analytic.abs().max(1.0),
+                "x[{xi}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn trains_to_detect_a_corner_feature() {
+        // A 2-layer net learns to separate images with bright top-left
+        // quadrant from bright bottom-right quadrant.
+        use crate::{Activation, Dense, Loss, Sequential};
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..40 {
+            let mut img = vec![0.0f32; 36]; // 6x6
+            let bright = if i % 2 == 0 { (0, 0) } else { (3, 3) };
+            for dy in 0..3 {
+                for dx in 0..3 {
+                    img[(bright.0 + dy) * 6 + bright.1 + dx] =
+                        1.0 + rng.gen_range(-0.1..0.1);
+                }
+            }
+            xs.push(img);
+            ys.push(if i % 2 == 0 { vec![1.0, 0.0] } else { vec![0.0, 1.0] });
+        }
+        let x = Matrix::from_rows(&xs);
+        let y = Matrix::from_rows(&ys);
+        let conv = Conv2d::new(1, 4, 6, 6, 3, 3, &mut rng);
+        let flat = conv.out_width();
+        let mut net = Sequential::new(vec![
+            Box::new(conv),
+            Box::new(Activation::relu()),
+            Box::new(Dense::new(flat, 2, &mut rng)),
+        ]);
+        for _ in 0..120 {
+            net.train_batch(&x, &y, Loss::SoftmaxCrossEntropy, 0.01);
+        }
+        let out = net.forward(&x);
+        let correct = (0..40)
+            .filter(|&i| {
+                let pred = if out.get(i, 0) > out.get(i, 1) { 0 } else { 1 };
+                pred == i % 2
+            })
+            .count();
+        assert!(correct >= 38, "{correct}/40");
+    }
+}

@@ -1,0 +1,237 @@
+//! The layer abstraction, dense layers and activations.
+
+use crate::Matrix;
+use rand::Rng;
+
+/// A differentiable layer.
+///
+/// `forward` caches whatever `backward` needs; `backward` consumes the
+/// gradient w.r.t. the layer's output and returns the gradient w.r.t. its
+/// input, accumulating parameter gradients internally. `apply_grads` lets
+/// the optimiser visit `(param, grad)` pairs and must clear the gradient
+/// accumulators.
+pub trait Layer {
+    /// Forward pass over a batch (rows = samples).
+    fn forward(&mut self, input: &Matrix) -> Matrix;
+    /// Backward pass; returns gradient w.r.t. the input.
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix;
+    /// Visits each `(parameter, gradient)` buffer pair, then zeroes grads.
+    fn apply_grads(&mut self, f: &mut dyn FnMut(&mut [f32], &[f32]));
+    /// Number of trainable scalars (for reporting).
+    fn param_count(&self) -> usize;
+    /// Downcast support: consumes the boxed layer, returning the inner
+    /// [`Dense`] if that is what it is. Used to transplant pretrained
+    /// layers between networks (stacked-autoencoder pretraining).
+    fn into_dense(self: Box<Self>) -> Option<Dense> {
+        None
+    }
+}
+
+/// A fully connected layer `y = x W + b`.
+pub struct Dense {
+    w: Matrix,
+    b: Vec<f32>,
+    grad_w: Matrix,
+    grad_b: Vec<f32>,
+    input: Option<Matrix>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Glorot-uniform weights.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        Dense {
+            w: Matrix::glorot(in_dim, out_dim, rng),
+            b: vec![0.0; out_dim],
+            grad_w: Matrix::zeros(in_dim, out_dim),
+            grad_b: vec![0.0; out_dim],
+            input: None,
+        }
+    }
+
+    /// Input dimensionality.
+    #[must_use]
+    pub fn in_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output dimensionality.
+    #[must_use]
+    pub fn out_dim(&self) -> usize {
+        self.w.cols()
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        let mut out = input.matmul(&self.w);
+        out.add_row_broadcast(&self.b);
+        self.input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let input = self.input.as_ref().expect("forward before backward");
+        // dW = xᵀ g ; db = Σ_rows g ; dx = g Wᵀ
+        let gw = input.t_matmul(grad_output);
+        for (acc, &g) in self.grad_w.data_mut().iter_mut().zip(gw.data()) {
+            *acc += g;
+        }
+        for (acc, g) in self.grad_b.iter_mut().zip(grad_output.col_sums()) {
+            *acc += g;
+        }
+        grad_output.matmul_t(&self.w)
+    }
+
+    fn apply_grads(&mut self, f: &mut dyn FnMut(&mut [f32], &[f32])) {
+        f(self.w.data_mut(), self.grad_w.data());
+        f(&mut self.b, &self.grad_b);
+        self.grad_w.data_mut().fill(0.0);
+        self.grad_b.fill(0.0);
+    }
+
+    fn param_count(&self) -> usize {
+        self.w.rows() * self.w.cols() + self.b.len()
+    }
+
+    fn into_dense(self: Box<Self>) -> Option<Dense> {
+        Some(*self)
+    }
+}
+
+/// Which element-wise non-linearity an [`Activation`] layer applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ActKind {
+    /// `max(0, x)`.
+    Relu,
+    /// `1 / (1 + e^{-x})`.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl ActKind {
+    fn apply(self, x: f32) -> f32 {
+        match self {
+            ActKind::Relu => x.max(0.0),
+            ActKind::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            ActKind::Tanh => x.tanh(),
+        }
+    }
+
+    /// Derivative expressed in terms of the *output* value `y = f(x)`.
+    fn derivative_from_output(self, y: f32) -> f32 {
+        match self {
+            ActKind::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            ActKind::Sigmoid => y * (1.0 - y),
+            ActKind::Tanh => 1.0 - y * y,
+        }
+    }
+}
+
+/// An element-wise activation layer (caches its output for backward).
+pub struct Activation {
+    kind: ActKind,
+    output: Option<Matrix>,
+}
+
+impl Activation {
+    /// Creates an activation layer of the given kind.
+    #[must_use]
+    pub fn new(kind: ActKind) -> Self {
+        Activation { kind, output: None }
+    }
+
+    /// Rectified linear unit.
+    #[must_use]
+    pub fn relu() -> Self {
+        Self::new(ActKind::Relu)
+    }
+
+    /// Logistic sigmoid.
+    #[must_use]
+    pub fn sigmoid() -> Self {
+        Self::new(ActKind::Sigmoid)
+    }
+
+    /// Hyperbolic tangent.
+    #[must_use]
+    pub fn tanh() -> Self {
+        Self::new(ActKind::Tanh)
+    }
+}
+
+impl Layer for Activation {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        let mut out = input.clone();
+        for v in out.data_mut() {
+            *v = self.kind.apply(*v);
+        }
+        self.output = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let y = self.output.as_ref().expect("forward before backward");
+        let mut grad = grad_output.clone();
+        for (g, &yv) in grad.data_mut().iter_mut().zip(y.data()) {
+            *g *= self.kind.derivative_from_output(yv);
+        }
+        grad
+    }
+
+    fn apply_grads(&mut self, _f: &mut dyn FnMut(&mut [f32], &[f32])) {}
+
+    fn param_count(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn dense_forward_known_values() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut d = Dense::new(2, 1, &mut rng);
+        d.w.set(0, 0, 2.0);
+        d.w.set(1, 0, -1.0);
+        d.b[0] = 0.5;
+        let out = d.forward(&Matrix::from_rows(&[vec![3.0, 4.0]]));
+        assert!((out.get(0, 0) - (6.0 - 4.0 + 0.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn activation_values() {
+        assert_eq!(ActKind::Relu.apply(-2.0), 0.0);
+        assert_eq!(ActKind::Relu.apply(3.0), 3.0);
+        assert!((ActKind::Sigmoid.apply(0.0) - 0.5).abs() < 1e-6);
+        assert!((ActKind::Tanh.apply(0.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn activation_backward_masks_relu() {
+        let mut a = Activation::relu();
+        let x = Matrix::from_rows(&[vec![-1.0, 2.0]]);
+        let _ = a.forward(&x);
+        let g = a.backward(&Matrix::from_rows(&[vec![1.0, 1.0]]));
+        assert_eq!(g.row(0), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn dense_param_count() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let d = Dense::new(10, 4, &mut rng);
+        assert_eq!(d.param_count(), 44);
+    }
+}

@@ -1,0 +1,56 @@
+//! A minimal from-scratch CPU neural-network substrate.
+//!
+//! The GRAFICS paper compares against four learned baselines — a stacked
+//! autoencoder (SAE), a 1-D convolutional autoencoder, Scalable-DNN, and
+//! MDS. The first three need dense layers, 1-D convolutions, standard
+//! activations, softmax cross-entropy and an optimiser. This crate provides
+//! exactly that, small enough to audit:
+//!
+//! - [`Matrix`] — row-major `f32` matrix with the handful of ops needed;
+//! - [`Dense`], [`Conv1d`], [`Activation`] — layers implementing [`Layer`]
+//!   with explicit forward/backward;
+//! - [`Sequential`] — a layer stack with [`Adam`] parameter updates;
+//! - [`Loss`] — mean-squared error and softmax cross-entropy.
+//!
+//! Backpropagation correctness is enforced by finite-difference gradient
+//! checks in the test suite.
+//!
+//! # Examples
+//!
+//! ```
+//! use grafics_nn::{Activation, Dense, Loss, Matrix, Sequential};
+//! use rand::SeedableRng;
+//!
+//! // Learn XOR.
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! let mut net = Sequential::new(vec![
+//!     Box::new(Dense::new(2, 8, &mut rng)),
+//!     Box::new(Activation::tanh()),
+//!     Box::new(Dense::new(8, 1, &mut rng)),
+//!     Box::new(Activation::sigmoid()),
+//! ]);
+//! let x = Matrix::from_rows(&[vec![0.,0.], vec![0.,1.], vec![1.,0.], vec![1.,1.]]);
+//! let y = Matrix::from_rows(&[vec![0.], vec![1.], vec![1.], vec![0.]]);
+//! for _ in 0..800 {
+//!     net.train_batch(&x, &y, Loss::Mse, 0.05);
+//! }
+//! let out = net.forward(&x);
+//! assert!(out.get(0, 0) < 0.2 && out.get(1, 0) > 0.8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conv;
+mod conv2d;
+mod layer;
+pub mod linalg;
+mod matrix;
+mod net;
+
+pub use conv::Conv1d;
+pub use conv2d::Conv2d;
+pub use layer::{ActKind, Activation, Dense, Layer};
+pub use linalg::ridge_solve;
+pub use matrix::Matrix;
+pub use net::{Adam, Loss, Sequential};

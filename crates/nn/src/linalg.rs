@@ -1,0 +1,186 @@
+//! Dense linear algebra for closed-form learners: Cholesky decomposition
+//! and ridge regression. Extreme learning machines (the HELM baseline)
+//! train their output layer with a single regularised least-squares solve
+//! instead of gradient descent.
+
+use crate::Matrix;
+
+/// Solves the ridge-regression problem `min ‖A X − B‖² + λ‖X‖²` in closed
+/// form via the normal equations `(AᵀA + λI) X = AᵀB` and a Cholesky
+/// factorisation. Returns `X` with shape `(A.cols, B.cols)`.
+///
+/// Computation is done in `f64` for numerical robustness even though the
+/// public matrices are `f32`.
+///
+/// # Panics
+///
+/// Panics if `A.rows != B.rows` or `lambda < 0`.
+#[must_use]
+pub fn ridge_solve(a: &Matrix, b: &Matrix, lambda: f32) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "A and B need matching row counts");
+    assert!(lambda >= 0.0, "ridge penalty must be non-negative");
+    let (n, d, m) = (a.rows(), a.cols(), b.cols());
+
+    // G = AᵀA + λI  (d×d, f64)
+    let mut g = vec![0.0f64; d * d];
+    for r in 0..n {
+        let row = a.row(r);
+        for i in 0..d {
+            let ai = f64::from(row[i]);
+            if ai == 0.0 {
+                continue;
+            }
+            for j in i..d {
+                g[i * d + j] += ai * f64::from(row[j]);
+            }
+        }
+    }
+    for i in 0..d {
+        g[i * d + i] += f64::from(lambda).max(1e-8);
+        for j in 0..i {
+            g[i * d + j] = g[j * d + i];
+        }
+    }
+
+    // C = AᵀB  (d×m, f64)
+    let mut c = vec![0.0f64; d * m];
+    for r in 0..n {
+        let arow = a.row(r);
+        let brow = b.row(r);
+        for i in 0..d {
+            let ai = f64::from(arow[i]);
+            if ai == 0.0 {
+                continue;
+            }
+            for k in 0..m {
+                c[i * m + k] += ai * f64::from(brow[k]);
+            }
+        }
+    }
+
+    let l = cholesky(&g, d);
+    // Solve L Lᵀ X = C column-block-wise.
+    let mut x = vec![0.0f64; d * m];
+    for k in 0..m {
+        // forward: L y = c_k
+        let mut y = vec![0.0f64; d];
+        for i in 0..d {
+            let mut s = c[i * m + k];
+            for j in 0..i {
+                s -= l[i * d + j] * y[j];
+            }
+            y[i] = s / l[i * d + i];
+        }
+        // backward: Lᵀ x = y
+        for i in (0..d).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..d {
+                s -= l[j * d + i] * x[j * m + k];
+            }
+            x[i * m + k] = s / l[i * d + i];
+        }
+    }
+    Matrix::from_flat(d, m, x.into_iter().map(|v| v as f32).collect())
+}
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite
+/// matrix (flat row-major, f64). Adds a tiny jitter on near-singular
+/// pivots rather than failing, which is the right behaviour for ridge
+/// systems that are SPD by construction.
+fn cholesky(g: &[f64], d: usize) -> Vec<f64> {
+    let mut l = vec![0.0f64; d * d];
+    for i in 0..d {
+        for j in 0..=i {
+            let mut s = g[i * d + j];
+            for k in 0..j {
+                s -= l[i * d + k] * l[j * d + k];
+            }
+            if i == j {
+                l[i * d + j] = s.max(1e-12).sqrt();
+            } else {
+                l[i * d + j] = s / l[j * d + j];
+            }
+        }
+    }
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn recovers_exact_solution_of_well_posed_system() {
+        // A is 4x2 full rank; B = A * W_true; ridge with tiny lambda
+        // should recover W_true.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![2.0, -1.0],
+        ]);
+        let w_true = Matrix::from_rows(&[vec![3.0, -1.0], vec![0.5, 2.0]]);
+        let b = a.matmul(&w_true);
+        let w = ridge_solve(&a, &b, 1e-6);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(
+                    (w.get(i, j) - w_true.get(i, j)).abs() < 1e-3,
+                    "w[{i}{j}] = {} vs {}",
+                    w.get(i, j),
+                    w_true.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lambda_shrinks_weights() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let a = Matrix::glorot(30, 5, &mut rng);
+        let b = Matrix::glorot(30, 2, &mut rng);
+        let norm = |m: &Matrix| m.data().iter().map(|v| v * v).sum::<f32>();
+        let small = ridge_solve(&a, &b, 1e-4);
+        let large = ridge_solve(&a, &b, 100.0);
+        assert!(norm(&large) < norm(&small));
+    }
+
+    #[test]
+    fn handles_rank_deficient_input() {
+        // Duplicate column makes AᵀA singular without the ridge term.
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]);
+        let b = Matrix::from_rows(&[vec![2.0], vec![4.0], vec![6.0]]);
+        let w = ridge_solve(&a, &b, 1e-3);
+        assert!(w.all_finite());
+        // Prediction should still fit: A w ≈ b.
+        let pred = a.matmul(&w);
+        for r in 0..3 {
+            assert!((pred.get(r, 0) - b.get(r, 0)).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn residual_is_orthogonalish_to_columns() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let a = Matrix::glorot(40, 6, &mut rng);
+        let b = Matrix::glorot(40, 1, &mut rng);
+        let w = ridge_solve(&a, &b, 1e-6);
+        let pred = a.matmul(&w);
+        // AᵀR ≈ 0 at the least-squares optimum.
+        for j in 0..6 {
+            let dot: f32 =
+                (0..40).map(|r| a.get(r, j) * (b.get(r, 0) - pred.get(r, 0))).sum();
+            assert!(dot.abs() < 1e-2, "column {j} residual dot {dot}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matching row counts")]
+    fn mismatched_rows_panic() {
+        let a = Matrix::zeros(3, 2);
+        let b = Matrix::zeros(4, 1);
+        let _ = ridge_solve(&a, &b, 0.1);
+    }
+}

@@ -1,0 +1,352 @@
+//! Layer stacks, losses and the Adam optimiser.
+
+use crate::{Layer, Matrix};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Training loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Loss {
+    /// Mean squared error, averaged over all entries.
+    Mse,
+    /// Row-wise softmax followed by cross-entropy against one-hot targets.
+    SoftmaxCrossEntropy,
+}
+
+impl Loss {
+    /// Returns `(loss value, gradient w.r.t. the network output)`.
+    #[must_use]
+    pub fn evaluate(self, output: &Matrix, target: &Matrix) -> (f32, Matrix) {
+        assert_eq!(output.rows(), target.rows());
+        assert_eq!(output.cols(), target.cols());
+        let n = (output.rows() * output.cols()) as f32;
+        match self {
+            Loss::Mse => {
+                let mut grad = Matrix::zeros(output.rows(), output.cols());
+                let mut loss = 0.0;
+                for i in 0..output.data().len() {
+                    let d = output.data()[i] - target.data()[i];
+                    loss += d * d;
+                    grad.data_mut()[i] = 2.0 * d / n;
+                }
+                (loss / n, grad)
+            }
+            Loss::SoftmaxCrossEntropy => {
+                let rows = output.rows() as f32;
+                let mut grad = Matrix::zeros(output.rows(), output.cols());
+                let mut loss = 0.0;
+                for r in 0..output.rows() {
+                    let row = output.row(r);
+                    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                    let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+                    let z: f32 = exps.iter().sum();
+                    for c in 0..output.cols() {
+                        let p = exps[c] / z;
+                        let t = target.get(r, c);
+                        if t > 0.0 {
+                            loss -= t * p.max(1e-12).ln();
+                        }
+                        // d(softmax-CE)/d(logit) = p − t
+                        grad.set(r, c, (p - t) / rows);
+                    }
+                }
+                (loss / rows, grad)
+            }
+        }
+    }
+}
+
+/// Adam optimiser state over a flat list of parameter buffers.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: i32,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Creates Adam with the usual defaults (β₁ = 0.9, β₂ = 0.999).
+    #[must_use]
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Sets the learning rate.
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn begin_step(&mut self) {
+        self.t += 1;
+    }
+
+    fn update(&mut self, slot: usize, params: &mut [f32], grads: &[f32]) {
+        while self.m.len() <= slot {
+            self.m.push(Vec::new());
+            self.v.push(Vec::new());
+        }
+        if self.m[slot].len() != params.len() {
+            self.m[slot] = vec![0.0; params.len()];
+            self.v[slot] = vec![0.0; params.len()];
+        }
+        let bias1 = 1.0 - self.beta1.powi(self.t);
+        let bias2 = 1.0 - self.beta2.powi(self.t);
+        for i in 0..params.len() {
+            let g = grads[i];
+            self.m[slot][i] = self.beta1 * self.m[slot][i] + (1.0 - self.beta1) * g;
+            self.v[slot][i] = self.beta2 * self.v[slot][i] + (1.0 - self.beta2) * g * g;
+            let mhat = self.m[slot][i] / bias1;
+            let vhat = self.v[slot][i] / bias2;
+            params[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+}
+
+/// A stack of layers trained end-to-end with Adam.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+    optimizer: Adam,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sequential")
+            .field("layers", &self.layers.len())
+            .field("params", &self.param_count())
+            .finish()
+    }
+}
+
+impl Sequential {
+    /// Builds a network from layers, with Adam(lr = 1e-3).
+    #[must_use]
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Sequential { layers, optimizer: Adam::new(1e-3) }
+    }
+
+    /// Number of trainable scalars.
+    #[must_use]
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Consumes the network, returning its layers (e.g. to transplant
+    /// pretrained stages into another network).
+    #[must_use]
+    pub fn into_layers(self) -> Vec<Box<dyn Layer>> {
+        self.layers
+    }
+
+    /// Forward pass (caches activations for a subsequent backward).
+    pub fn forward(&mut self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// Forward through the first `n` layers only — used to read encoder
+    /// activations (embeddings) out of an autoencoder.
+    pub fn forward_partial(&mut self, input: &Matrix, n: usize) -> Matrix {
+        let mut x = input.clone();
+        for layer in self.layers.iter_mut().take(n) {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// One full-batch training step; returns the loss before the update.
+    pub fn train_batch(&mut self, x: &Matrix, y: &Matrix, loss: Loss, lr: f32) -> f32 {
+        let out = self.forward(x);
+        let (value, mut grad) = loss.evaluate(&out, y);
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        self.optimizer.set_lr(lr);
+        self.optimizer.begin_step();
+        let mut slot = 0;
+        let opt = &mut self.optimizer;
+        for layer in &mut self.layers {
+            layer.apply_grads(&mut |params, grads| {
+                opt.update(slot, params, grads);
+                slot += 1;
+            });
+        }
+        value
+    }
+
+    /// One epoch of mini-batch SGD over shuffled rows; returns mean loss.
+    pub fn train_epoch<R: Rng + ?Sized>(
+        &mut self,
+        x: &Matrix,
+        y: &Matrix,
+        loss: Loss,
+        lr: f32,
+        batch: usize,
+        rng: &mut R,
+    ) -> f32 {
+        assert_eq!(x.rows(), y.rows());
+        let mut order: Vec<usize> = (0..x.rows()).collect();
+        order.shuffle(rng);
+        let mut total = 0.0;
+        let mut batches = 0;
+        for chunk in order.chunks(batch.max(1)) {
+            let bx = Matrix::from_rows(&chunk.iter().map(|&i| x.row(i).to_vec()).collect::<Vec<_>>());
+            let by = Matrix::from_rows(&chunk.iter().map(|&i| y.row(i).to_vec()).collect::<Vec<_>>());
+            total += self.train_batch(&bx, &by, loss, lr);
+            batches += 1;
+        }
+        total / batches as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activation, Dense};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn mse_loss_and_grad() {
+        let out = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        let tgt = Matrix::from_rows(&[vec![0.0, 2.0]]);
+        let (l, g) = Loss::Mse.evaluate(&out, &tgt);
+        assert!((l - 0.5).abs() < 1e-6);
+        assert_eq!(g.row(0), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn softmax_ce_prefers_correct_class() {
+        let out = Matrix::from_rows(&[vec![3.0, 0.0]]);
+        let tgt = Matrix::from_rows(&[vec![1.0, 0.0]]);
+        let (l_good, _) = Loss::SoftmaxCrossEntropy.evaluate(&out, &tgt);
+        let tgt_bad = Matrix::from_rows(&[vec![0.0, 1.0]]);
+        let (l_bad, _) = Loss::SoftmaxCrossEntropy.evaluate(&out, &tgt_bad);
+        assert!(l_good < l_bad);
+    }
+
+    #[test]
+    fn softmax_grad_sums_to_zero_per_row() {
+        let out = Matrix::from_rows(&[vec![1.0, -2.0, 0.5]]);
+        let tgt = Matrix::from_rows(&[vec![0.0, 1.0, 0.0]]);
+        let (_, g) = Loss::SoftmaxCrossEntropy.evaluate(&out, &tgt);
+        let s: f32 = g.row(0).iter().sum();
+        assert!(s.abs() < 1e-6);
+    }
+
+    #[test]
+    fn dense_gradient_check_through_loss() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut net = Sequential::new(vec![
+            Box::new(Dense::new(3, 4, &mut rng)),
+            Box::new(Activation::tanh()),
+            Box::new(Dense::new(4, 2, &mut rng)),
+        ]);
+        let x = Matrix::glorot(5, 3, &mut rng);
+        let y = Matrix::glorot(5, 2, &mut rng);
+
+        // Analytic input gradient.
+        let out = net.forward(&x);
+        let (_, mut grad) = Loss::Mse.evaluate(&out, &y);
+        for layer in net.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        // Finite differences on x.
+        let eps = 1e-2f32;
+        for xi in [0usize, 4, 9, 14] {
+            let mut xp = x.clone();
+            xp.data_mut()[xi] += eps;
+            let (lp, _) = Loss::Mse.evaluate(&net.forward(&xp), &y);
+            let mut xm = x.clone();
+            xm.data_mut()[xi] -= eps;
+            let (lm, _) = Loss::Mse.evaluate(&net.forward(&xm), &y);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grad.data()[xi];
+            assert!(
+                (numeric - analytic).abs() < 0.05 * analytic.abs().max(0.05),
+                "x[{xi}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn classifier_learns_blobs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        // Two Gaussian-ish blobs, 2 classes.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..60 {
+            let c = i % 2;
+            let cx = if c == 0 { -2.0 } else { 2.0 };
+            xs.push(vec![cx + rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5)]);
+            ys.push(if c == 0 { vec![1.0, 0.0] } else { vec![0.0, 1.0] });
+        }
+        let x = Matrix::from_rows(&xs);
+        let y = Matrix::from_rows(&ys);
+        let mut net = Sequential::new(vec![
+            Box::new(Dense::new(2, 8, &mut rng)),
+            Box::new(Activation::relu()),
+            Box::new(Dense::new(8, 2, &mut rng)),
+        ]);
+        for _ in 0..60 {
+            net.train_epoch(&x, &y, Loss::SoftmaxCrossEntropy, 0.01, 16, &mut rng);
+        }
+        let out = net.forward(&x);
+        let correct = (0..60)
+            .filter(|&i| {
+                let pred = if out.get(i, 0) > out.get(i, 1) { 0 } else { 1 };
+                pred == i % 2
+            })
+            .count();
+        assert!(correct >= 57, "classifier got {correct}/60");
+    }
+
+    #[test]
+    fn autoencoder_reduces_reconstruction_error() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let x = Matrix::glorot(20, 6, &mut rng);
+        let mut net = Sequential::new(vec![
+            Box::new(Dense::new(6, 3, &mut rng)),
+            Box::new(Activation::tanh()),
+            Box::new(Dense::new(3, 6, &mut rng)),
+        ]);
+        let (first, _) = Loss::Mse.evaluate(&net.forward(&x), &x);
+        for _ in 0..300 {
+            net.train_batch(&x, &x, Loss::Mse, 0.01);
+        }
+        let (last, _) = Loss::Mse.evaluate(&net.forward(&x), &x);
+        assert!(last < first * 0.5, "MSE {first} -> {last}");
+    }
+
+    #[test]
+    fn forward_partial_reads_encoder() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut net = Sequential::new(vec![
+            Box::new(Dense::new(4, 2, &mut rng)),
+            Box::new(Activation::tanh()),
+            Box::new(Dense::new(2, 4, &mut rng)),
+        ]);
+        let x = Matrix::glorot(3, 4, &mut rng);
+        let code = net.forward_partial(&x, 2);
+        assert_eq!(code.rows(), 3);
+        assert_eq!(code.cols(), 2);
+    }
+
+    #[test]
+    fn param_count_sums_layers() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let net = Sequential::new(vec![
+            Box::new(Dense::new(3, 4, &mut rng)),
+            Box::new(Activation::relu()),
+            Box::new(Dense::new(4, 2, &mut rng)),
+        ]);
+        assert_eq!(net.param_count(), (3 * 4 + 4) + (4 * 2 + 2));
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests of the NN substrate's algebraic invariants.
+
+use grafics_nn::{Conv1d, Conv2d, Layer, Matrix};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |data| Matrix::from_flat(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Matrix multiplication distributes over addition:
+    /// (A + B) C = AC + BC.
+    #[test]
+    fn matmul_distributes(
+        a in arb_matrix(3, 4),
+        b in arb_matrix(3, 4),
+        c in arb_matrix(4, 2),
+    ) {
+        let mut ab = a.clone();
+        for (x, &y) in ab.data_mut().iter_mut().zip(b.data()) {
+            *x += y;
+        }
+        let left = ab.matmul(&c);
+        let ac = a.matmul(&c);
+        let bc = b.matmul(&c);
+        for i in 0..left.data().len() {
+            let rhs = ac.data()[i] + bc.data()[i];
+            prop_assert!((left.data()[i] - rhs).abs() < 1e-4);
+        }
+    }
+
+    /// `t_matmul` equals transposing then multiplying.
+    #[test]
+    fn t_matmul_is_transpose_then_matmul(a in arb_matrix(4, 3), b in arb_matrix(4, 2)) {
+        let t = a.t_matmul(&b);
+        for i in 0..3 {
+            for j in 0..2 {
+                let naive: f32 = (0..4).map(|k| a.get(k, i) * b.get(k, j)).sum();
+                prop_assert!((t.get(i, j) - naive).abs() < 1e-4);
+            }
+        }
+    }
+
+    /// Conv1d (with zero bias) is a linear operator: scaling the input
+    /// scales the output.
+    #[test]
+    fn conv1d_is_linear_in_input(x in arb_matrix(2, 12), scale in -3.0f32..3.0) {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut conv = Conv1d::new(1, 2, 12, 3, 2, &mut rng);
+        let y1 = conv.forward(&x);
+        let mut xs = x.clone();
+        for v in xs.data_mut() {
+            *v *= scale;
+        }
+        let y2 = conv.forward(&xs);
+        for i in 0..y1.data().len() {
+            prop_assert!(
+                (y2.data()[i] - scale * y1.data()[i]).abs() < 1e-3,
+                "index {}: {} vs {}", i, y2.data()[i], scale * y1.data()[i]
+            );
+        }
+    }
+
+    /// Conv2d additivity: f(x + y) = f(x) + f(y) − f(0) (bias counted once).
+    #[test]
+    fn conv2d_additivity(x in arb_matrix(1, 25), y in arb_matrix(1, 25)) {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut conv = Conv2d::new(1, 2, 5, 5, 3, 1, &mut rng);
+        let fx = conv.forward(&x);
+        let fy = conv.forward(&y);
+        let f0 = conv.forward(&Matrix::zeros(1, 25));
+        let mut xy = x.clone();
+        for (v, &w) in xy.data_mut().iter_mut().zip(y.data()) {
+            *v += w;
+        }
+        let fxy = conv.forward(&xy);
+        for i in 0..fxy.data().len() {
+            let rhs = fx.data()[i] + fy.data()[i] - f0.data()[i];
+            prop_assert!((fxy.data()[i] - rhs).abs() < 1e-3);
+        }
+    }
+
+    /// Ridge solutions are finite for any well-shaped input.
+    #[test]
+    fn ridge_solve_always_finite(a in arb_matrix(6, 3), b in arb_matrix(6, 2)) {
+        let w = grafics_nn::ridge_solve(&a, &b, 0.1);
+        prop_assert_eq!(w.rows(), 3);
+        prop_assert_eq!(w.cols(), 2);
+        prop_assert!(w.all_finite());
+    }
+}

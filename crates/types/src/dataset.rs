@@ -1,0 +1,377 @@
+//! Owned collections of samples with the split / label-budget helpers used
+//! by every experiment in the paper (§VI-A).
+
+use crate::{FloorId, MacAddr, Sample, TypesError};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A train/test partition of a [`Dataset`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Split {
+    /// Samples used for offline training (labels may be present or hidden).
+    pub train: Dataset,
+    /// Samples used for online-inference evaluation (labels hidden).
+    pub test: Dataset,
+}
+
+/// Aggregate statistics of a dataset (the quantities plotted in the paper's
+/// Figs. 1 and 9).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of samples.
+    pub records: usize,
+    /// Number of distinct MACs across all samples.
+    pub macs: usize,
+    /// Number of distinct floors (by ground truth).
+    pub floors: usize,
+    /// Number of labelled samples.
+    pub labeled: usize,
+    /// Mean number of MACs per record.
+    pub mean_macs_per_record: f64,
+}
+
+/// An owned collection of [`Sample`]s from one building.
+///
+/// # Examples
+///
+/// ```
+/// use grafics_types::{Dataset, Sample, SignalRecord, Reading, MacAddr, Rssi, FloorId};
+///
+/// let rec = SignalRecord::new(vec![Reading::new(
+///     MacAddr::from_u64(1), Rssi::new(-60.0).unwrap(),
+/// )]).unwrap();
+/// let ds = Dataset::from_samples(vec![Sample::labeled(rec, FloorId(0))]);
+/// assert_eq!(ds.len(), 1);
+/// assert_eq!(ds.stats().floors, 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Creates a dataset from samples.
+    #[must_use]
+    pub fn from_samples(samples: Vec<Sample>) -> Self {
+        Dataset { samples }
+    }
+
+    /// The samples, in insertion order.
+    #[must_use]
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, sample: Sample) {
+        self.samples.push(sample);
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if there are no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The set of distinct MACs observed anywhere in the dataset, ascending.
+    #[must_use]
+    pub fn mac_vocabulary(&self) -> Vec<MacAddr> {
+        let set: BTreeSet<MacAddr> =
+            self.samples.iter().flat_map(|s| s.record.macs()).collect();
+        set.into_iter().collect()
+    }
+
+    /// The distinct ground-truth floors, ascending.
+    #[must_use]
+    pub fn floors(&self) -> Vec<FloorId> {
+        let set: BTreeSet<FloorId> = self.samples.iter().map(|s| s.ground_truth).collect();
+        set.into_iter().collect()
+    }
+
+    /// Number of samples per ground-truth floor.
+    #[must_use]
+    pub fn per_floor_counts(&self) -> BTreeMap<FloorId, usize> {
+        let mut map = BTreeMap::new();
+        for s in &self.samples {
+            *map.entry(s.ground_truth).or_insert(0) += 1;
+        }
+        map
+    }
+
+    /// Aggregate statistics.
+    #[must_use]
+    pub fn stats(&self) -> DatasetStats {
+        let total_macs: usize = self.samples.iter().map(|s| s.record.len()).sum();
+        DatasetStats {
+            records: self.len(),
+            macs: self.mac_vocabulary().len(),
+            floors: self.floors().len(),
+            labeled: self.samples.iter().filter(|s| s.is_labeled()).count(),
+            mean_macs_per_record: if self.is_empty() {
+                0.0
+            } else {
+                total_macs as f64 / self.len() as f64
+            },
+        }
+    }
+
+    /// Randomly partitions into `train_ratio` training samples and the rest
+    /// for testing (the paper uses 70/30).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypesError::InvalidSplitRatio`] unless `0 < train_ratio < 1`.
+    pub fn split<R: Rng>(&self, train_ratio: f64, rng: &mut R) -> Result<Split, TypesError> {
+        if !(train_ratio > 0.0 && train_ratio < 1.0) {
+            return Err(TypesError::InvalidSplitRatio { ratio: train_ratio });
+        }
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(rng);
+        let n_train = ((self.len() as f64) * train_ratio).round() as usize;
+        let n_train = n_train.clamp(1, self.len().saturating_sub(1).max(1));
+        let train = idx[..n_train].iter().map(|&i| self.samples[i].clone()).collect();
+        let test = idx[n_train..].iter().map(|&i| self.samples[i].clone()).collect();
+        Ok(Split { train: Dataset::from_samples(train), test: Dataset::from_samples(test) })
+    }
+
+    /// Returns a copy in which exactly `labels_per_floor` randomly chosen
+    /// samples on each floor keep their label and every other sample's label
+    /// is hidden (set to `None`). This is the paper's label-budget protocol:
+    /// "only four floor-labelled samples (randomly chosen) on each floor".
+    ///
+    /// If a floor has fewer than `labels_per_floor` samples, all of that
+    /// floor's samples stay labelled.
+    #[must_use]
+    pub fn with_label_budget<R: Rng>(&self, labels_per_floor: usize, rng: &mut R) -> Dataset {
+        let mut by_floor: BTreeMap<FloorId, Vec<usize>> = BTreeMap::new();
+        for (i, s) in self.samples.iter().enumerate() {
+            by_floor.entry(s.ground_truth).or_default().push(i);
+        }
+        let mut keep: BTreeSet<usize> = BTreeSet::new();
+        for idxs in by_floor.values() {
+            let mut idxs = idxs.clone();
+            idxs.shuffle(rng);
+            keep.extend(idxs.into_iter().take(labels_per_floor));
+        }
+        let samples = self
+            .samples
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                if keep.contains(&i) {
+                    Sample::labeled(s.record.clone(), s.ground_truth)
+                } else {
+                    Sample::unlabeled(s.record.clone(), s.ground_truth)
+                }
+            })
+            .collect();
+        Dataset::from_samples(samples)
+    }
+
+    /// Returns a copy with every label hidden.
+    #[must_use]
+    pub fn unlabeled(&self) -> Dataset {
+        Dataset::from_samples(
+            self.samples
+                .iter()
+                .map(|s| Sample::unlabeled(s.record.clone(), s.ground_truth))
+                .collect(),
+        )
+    }
+
+    /// Returns a copy with every reading whose MAC appears in fewer than
+    /// `min_support` records removed; samples left with no readings are
+    /// dropped entirely.
+    ///
+    /// This is the standard fingerprinting pre-processing step against
+    /// *ephemeral* MACs (phone hotspots, passing devices): a MAC observed
+    /// by a single record carries no relational information and only
+    /// injects noise into any model.
+    #[must_use]
+    pub fn filter_rare_macs(&self, min_support: usize) -> Dataset {
+        let mut support: BTreeMap<MacAddr, usize> = BTreeMap::new();
+        for s in &self.samples {
+            for m in s.record.macs() {
+                *support.entry(m).or_insert(0) += 1;
+            }
+        }
+        self.samples
+            .iter()
+            .filter_map(|s| {
+                let record = s.record.filtered(|m| support[&m] >= min_support)?;
+                Some(Sample { record, ..s.clone() })
+            })
+            .collect()
+    }
+
+    /// Returns a random subsample of `n` samples (all if `n >= len`).
+    #[must_use]
+    pub fn subsample<R: Rng>(&self, n: usize, rng: &mut R) -> Dataset {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(rng);
+        idx.truncate(n);
+        Dataset::from_samples(idx.into_iter().map(|i| self.samples[i].clone()).collect())
+    }
+}
+
+impl FromIterator<Sample> for Dataset {
+    fn from_iter<T: IntoIterator<Item = Sample>>(iter: T) -> Self {
+        Dataset { samples: iter.into_iter().collect() }
+    }
+}
+
+impl IntoIterator for Dataset {
+    type Item = Sample;
+    type IntoIter = std::vec::IntoIter<Sample>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Reading, Rssi, SignalRecord};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rec(macs: &[u64]) -> SignalRecord {
+        SignalRecord::new(
+            macs.iter()
+                .map(|&m| Reading::new(MacAddr::from_u64(m), Rssi::new(-60.0).unwrap()))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn toy(n_per_floor: usize, floors: i16) -> Dataset {
+        let mut ds = Dataset::default();
+        for f in 0..floors {
+            for i in 0..n_per_floor {
+                ds.push(Sample::labeled(rec(&[f as u64 * 100 + i as u64, 7]), FloorId(f)));
+            }
+        }
+        ds
+    }
+
+    #[test]
+    fn vocabulary_and_floors() {
+        let ds = toy(3, 2);
+        assert_eq!(ds.floors(), vec![FloorId(0), FloorId(1)]);
+        // 3 unique per floor * 2 floors + shared mac 7
+        assert_eq!(ds.mac_vocabulary().len(), 7);
+    }
+
+    #[test]
+    fn stats_counts() {
+        let ds = toy(4, 3);
+        let st = ds.stats();
+        assert_eq!(st.records, 12);
+        assert_eq!(st.floors, 3);
+        assert_eq!(st.labeled, 12);
+        assert!((st.mean_macs_per_record - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_sizes_and_disjoint() {
+        let ds = toy(10, 3);
+        let mut rng = StdRng::seed_from_u64(7);
+        let split = ds.split(0.7, &mut rng).unwrap();
+        assert_eq!(split.train.len(), 21);
+        assert_eq!(split.test.len(), 9);
+    }
+
+    #[test]
+    fn split_rejects_bad_ratio() {
+        let ds = toy(2, 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(ds.split(0.0, &mut rng).is_err());
+        assert!(ds.split(1.0, &mut rng).is_err());
+        assert!(ds.split(-0.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn label_budget_exact() {
+        let ds = toy(50, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let budgeted = ds.with_label_budget(4, &mut rng);
+        let labeled = budgeted.samples().iter().filter(|s| s.is_labeled()).count();
+        assert_eq!(labeled, 16);
+        // Labels are evenly spread: exactly 4 per floor.
+        for (_, c) in budgeted
+            .samples()
+            .iter()
+            .filter(|s| s.is_labeled())
+            .map(|s| (s.ground_truth, 1))
+            .fold(BTreeMap::<FloorId, usize>::new(), |mut m, (f, c)| {
+                *m.entry(f).or_default() += c;
+                m
+            })
+        {
+            assert_eq!(c, 4);
+        }
+    }
+
+    #[test]
+    fn label_budget_small_floor_keeps_all() {
+        let ds = toy(2, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let budgeted = ds.with_label_budget(10, &mut rng);
+        assert_eq!(budgeted.stats().labeled, 2);
+    }
+
+    #[test]
+    fn ground_truth_survives_label_hiding() {
+        let ds = toy(5, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let b = ds.with_label_budget(1, &mut rng);
+        for s in b.samples() {
+            assert!(ds
+                .samples()
+                .iter()
+                .any(|orig| orig.record == s.record && orig.ground_truth == s.ground_truth));
+        }
+    }
+
+    #[test]
+    fn unlabeled_hides_everything() {
+        let ds = toy(3, 2).unlabeled();
+        assert_eq!(ds.stats().labeled, 0);
+    }
+
+    #[test]
+    fn filter_rare_macs_drops_singletons() {
+        let ds = Dataset::from_samples(vec![
+            Sample::labeled(rec(&[1, 2]), FloorId(0)),
+            Sample::labeled(rec(&[1, 3]), FloorId(0)),
+            Sample::labeled(rec(&[99]), FloorId(1)), // singleton-only record
+        ]);
+        let filtered = ds.filter_rare_macs(2);
+        // MAC 1 appears twice and survives; 2, 3, 99 are singletons.
+        assert_eq!(filtered.len(), 2);
+        assert_eq!(filtered.mac_vocabulary(), vec![MacAddr::from_u64(1)]);
+    }
+
+    #[test]
+    fn filter_rare_macs_support_one_is_identity() {
+        let ds = toy(4, 2);
+        assert_eq!(ds.filter_rare_macs(1), ds);
+        assert_eq!(ds.filter_rare_macs(0), ds);
+    }
+
+    #[test]
+    fn subsample_bounds() {
+        let ds = toy(5, 2);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(ds.subsample(3, &mut rng).len(), 3);
+        assert_eq!(ds.subsample(100, &mut rng).len(), 10);
+    }
+}

@@ -1,0 +1,45 @@
+//! Error type for the `grafics-types` crate.
+
+use std::fmt;
+
+/// Errors produced while constructing or parsing the core types.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TypesError {
+    /// A MAC address string could not be parsed.
+    InvalidMac {
+        /// The offending input string.
+        input: String,
+    },
+    /// An RSSI value was outside the physically plausible range or not finite.
+    InvalidRssi {
+        /// The offending value in dBm.
+        value: f64,
+    },
+    /// A signal record was constructed with no readings.
+    EmptyRecord,
+    /// A dataset split ratio was outside `(0, 1)`.
+    InvalidSplitRatio {
+        /// The offending ratio.
+        ratio: f64,
+    },
+}
+
+impl fmt::Display for TypesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypesError::InvalidMac { input } => {
+                write!(f, "invalid MAC address: {input:?}")
+            }
+            TypesError::InvalidRssi { value } => {
+                write!(f, "invalid RSSI value: {value} dBm (must be finite and within [-120, 20])")
+            }
+            TypesError::EmptyRecord => write!(f, "signal record must contain at least one reading"),
+            TypesError::InvalidSplitRatio { ratio } => {
+                write!(f, "split ratio {ratio} must lie strictly between 0 and 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypesError {}

@@ -1,0 +1,32 @@
+//! Core data types shared by every crate in the GRAFICS workspace.
+//!
+//! GRAFICS ("GRAph embedding-based Floor Identification using Crowdsourced
+//! RF Signals", ICDCS 2022) consumes *crowdsourced RF signal records*: each
+//! record is the result of one WiFi scan and holds the set of observed
+//! access-point MAC addresses together with their received signal strength
+//! (RSS) values. Only a small minority of records carry a floor label.
+//!
+//! This crate defines the vocabulary types for that domain:
+//!
+//! - [`MacAddr`] — a 48-bit IEEE 802 MAC address.
+//! - [`Rssi`] — a received-signal-strength value in dBm.
+//! - [`Reading`] — one `(MacAddr, Rssi)` observation inside a scan.
+//! - [`SignalRecord`] — a full scan: a variable-length list of readings.
+//! - [`FloorId`] — a floor number (basements are negative).
+//! - [`Sample`] — a record plus an *optional* floor label.
+//! - [`Dataset`] — an owned collection of samples with split/label helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataset;
+mod error;
+mod mac;
+mod record;
+mod rssi;
+
+pub use dataset::{Dataset, DatasetStats, Split};
+pub use error::TypesError;
+pub use mac::MacAddr;
+pub use record::{FloorId, Reading, RecordId, Sample, SignalRecord};
+pub use rssi::Rssi;

@@ -1,0 +1,172 @@
+//! 48-bit IEEE 802 MAC addresses.
+
+use crate::TypesError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A 48-bit MAC address identifying one access point (more precisely, one
+/// BSSID — a physical AP may broadcast several).
+///
+/// Stored as the low 48 bits of a `u64`, which makes it `Copy`, hashable and
+/// cheap to use as a graph-node key.
+///
+/// # Examples
+///
+/// ```
+/// use grafics_types::MacAddr;
+///
+/// let mac: MacAddr = "a4:56:02:00:12:0f".parse().unwrap();
+/// assert_eq!(mac.to_string(), "a4:56:02:00:12:0f");
+/// assert_eq!(MacAddr::from_u64(0xa45602_00120f), mac);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct MacAddr(u64);
+
+impl MacAddr {
+    /// The maximum representable address, `ff:ff:ff:ff:ff:ff`.
+    pub const MAX: MacAddr = MacAddr(0xffff_ffff_ffff);
+
+    /// Creates a MAC address from the low 48 bits of `raw`.
+    ///
+    /// Bits above the 48th are masked off so the invariant
+    /// `mac.as_u64() <= MacAddr::MAX.as_u64()` always holds.
+    #[must_use]
+    pub const fn from_u64(raw: u64) -> Self {
+        MacAddr(raw & 0xffff_ffff_ffff)
+    }
+
+    /// Creates a MAC address from six octets in transmission order.
+    #[must_use]
+    pub const fn from_octets(o: [u8; 6]) -> Self {
+        MacAddr(
+            ((o[0] as u64) << 40)
+                | ((o[1] as u64) << 32)
+                | ((o[2] as u64) << 24)
+                | ((o[3] as u64) << 16)
+                | ((o[4] as u64) << 8)
+                | (o[5] as u64),
+        )
+    }
+
+    /// Returns the address as a `u64` whose high 16 bits are zero.
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the six octets in transmission order.
+    #[must_use]
+    pub const fn octets(self) -> [u8; 6] {
+        [
+            (self.0 >> 40) as u8,
+            (self.0 >> 32) as u8,
+            (self.0 >> 24) as u8,
+            (self.0 >> 16) as u8,
+            (self.0 >> 8) as u8,
+            self.0 as u8,
+        ]
+    }
+
+    /// Returns `true` if this is the locally-administered bit pattern
+    /// (second-least-significant bit of the first octet set). Crowdsourced
+    /// datasets often contain randomised locally-administered MACs from
+    /// phones; callers may wish to filter them.
+    #[must_use]
+    pub const fn is_locally_administered(self) -> bool {
+        (self.octets()[0] & 0b0000_0010) != 0
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.octets();
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            o[0], o[1], o[2], o[3], o[4], o[5]
+        )
+    }
+}
+
+impl FromStr for MacAddr {
+    type Err = TypesError;
+
+    /// Parses `aa:bb:cc:dd:ee:ff` or `aa-bb-cc-dd-ee-ff` (case-insensitive).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || TypesError::InvalidMac { input: s.to_owned() };
+        let sep = if s.contains(':') { ':' } else { '-' };
+        let mut octets = [0u8; 6];
+        let mut n = 0;
+        for part in s.split(sep) {
+            if n == 6 || part.len() != 2 {
+                return Err(err());
+            }
+            octets[n] = u8::from_str_radix(part, 16).map_err(|_| err())?;
+            n += 1;
+        }
+        if n != 6 {
+            return Err(err());
+        }
+        Ok(MacAddr::from_octets(octets))
+    }
+}
+
+impl From<u64> for MacAddr {
+    fn from(raw: u64) -> Self {
+        MacAddr::from_u64(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let mac = MacAddr::from_octets([0xa4, 0x56, 0x02, 0x00, 0x12, 0x0f]);
+        let s = mac.to_string();
+        assert_eq!(s, "a4:56:02:00:12:0f");
+        assert_eq!(s.parse::<MacAddr>().unwrap(), mac);
+    }
+
+    #[test]
+    fn parses_dash_and_uppercase() {
+        let mac: MacAddr = "A4-56-02-00-12-0F".parse().unwrap();
+        assert_eq!(mac.as_u64(), 0xa456_0200_120f);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in ["", "a4:56", "a4:56:02:00:12:0f:aa", "zz:56:02:00:12:0f", "a456:02:00:12:0f:1"] {
+            assert!(bad.parse::<MacAddr>().is_err(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    fn masks_high_bits() {
+        assert_eq!(MacAddr::from_u64(u64::MAX), MacAddr::MAX);
+    }
+
+    #[test]
+    fn locally_administered_bit() {
+        assert!(MacAddr::from_octets([0x02, 0, 0, 0, 0, 1]).is_locally_administered());
+        assert!(!MacAddr::from_octets([0x04, 0, 0, 0, 0, 1]).is_locally_administered());
+    }
+
+    #[test]
+    fn ordering_matches_u64() {
+        let a = MacAddr::from_u64(1);
+        let b = MacAddr::from_u64(2);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn serde_transparent() {
+        let mac = MacAddr::from_u64(42);
+        let json = serde_json::to_string(&mac).unwrap();
+        assert_eq!(json, "42");
+        assert_eq!(serde_json::from_str::<MacAddr>(&json).unwrap(), mac);
+    }
+}

@@ -1,0 +1,323 @@
+//! Signal records, floor labels and samples.
+
+use crate::{MacAddr, Rssi, TypesError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Opaque identifier of one signal record within a dataset.
+///
+/// Record ids are dense indices assigned by [`crate::Dataset`] /
+/// the graph layer; they are *not* stable across datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct RecordId(pub u32);
+
+impl RecordId {
+    /// Returns the id as a `usize` index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RecordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A floor number. Ground floor is `0`; basements are negative.
+///
+/// # Examples
+///
+/// ```
+/// use grafics_types::FloorId;
+///
+/// assert!(FloorId(2) > FloorId(0));
+/// assert_eq!(FloorId(-1).to_string(), "B1");
+/// assert_eq!(FloorId(0).to_string(), "GF");
+/// assert_eq!(FloorId(3).to_string(), "3F");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct FloorId(pub i16);
+
+impl fmt::Display for FloorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            0 => write!(f, "GF"),
+            n if n < 0 => write!(f, "B{}", -n),
+            n => write!(f, "{n}F"),
+        }
+    }
+}
+
+/// One `(MAC, RSS)` observation inside a scan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Reading {
+    /// The observed BSSID.
+    pub mac: MacAddr,
+    /// Its received signal strength.
+    pub rssi: Rssi,
+}
+
+impl Reading {
+    /// Convenience constructor.
+    #[must_use]
+    pub const fn new(mac: MacAddr, rssi: Rssi) -> Self {
+        Reading { mac, rssi }
+    }
+}
+
+/// One crowdsourced RF scan: a variable-length list of MAC/RSS readings.
+///
+/// Invariants enforced at construction:
+///
+/// - at least one reading (the paper discards empty scans);
+/// - readings are sorted by MAC and deduplicated — if a scan reports the
+///   same BSSID twice, the **strongest** reading is kept (commodity scan
+///   APIs occasionally emit duplicates).
+///
+/// # Examples
+///
+/// ```
+/// use grafics_types::{MacAddr, Rssi, Reading, SignalRecord};
+///
+/// let rec = SignalRecord::new(vec![
+///     Reading::new(MacAddr::from_u64(2), Rssi::new(-70.0).unwrap()),
+///     Reading::new(MacAddr::from_u64(1), Rssi::new(-66.0).unwrap()),
+///     Reading::new(MacAddr::from_u64(2), Rssi::new(-60.0).unwrap()),
+/// ]).unwrap();
+/// assert_eq!(rec.len(), 2);
+/// assert_eq!(rec.readings()[1].rssi.dbm(), -60.0); // strongest duplicate kept
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SignalRecord {
+    readings: Vec<Reading>,
+}
+
+impl SignalRecord {
+    /// Builds a record from raw readings, sorting by MAC and collapsing
+    /// duplicates to the strongest RSS.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypesError::EmptyRecord`] if `readings` is empty.
+    pub fn new(mut readings: Vec<Reading>) -> Result<Self, TypesError> {
+        if readings.is_empty() {
+            return Err(TypesError::EmptyRecord);
+        }
+        readings.sort_by(|a, b| a.mac.cmp(&b.mac).then(a.rssi.cmp(&b.rssi)));
+        readings.dedup_by(|next, prev| {
+            if next.mac == prev.mac {
+                // `readings` is sorted ascending by (mac, rssi); `next`
+                // follows `prev`, so `next.rssi >= prev.rssi`. Keep `next`.
+                prev.rssi = next.rssi;
+                true
+            } else {
+                false
+            }
+        });
+        Ok(SignalRecord { readings })
+    }
+
+    /// The readings, sorted ascending by MAC, one per MAC.
+    #[must_use]
+    pub fn readings(&self) -> &[Reading] {
+        &self.readings
+    }
+
+    /// Number of distinct MACs observed.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.readings.len()
+    }
+
+    /// Always `false`: records are non-empty by construction.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Returns the RSS for `mac`, if observed.
+    #[must_use]
+    pub fn rssi_of(&self, mac: MacAddr) -> Option<Rssi> {
+        self.readings
+            .binary_search_by(|r| r.mac.cmp(&mac))
+            .ok()
+            .map(|i| self.readings[i].rssi)
+    }
+
+    /// Iterator over the observed MACs (ascending).
+    pub fn macs(&self) -> impl Iterator<Item = MacAddr> + '_ {
+        self.readings.iter().map(|r| r.mac)
+    }
+
+    /// The strongest reading in the record.
+    #[must_use]
+    pub fn strongest(&self) -> Reading {
+        *self
+            .readings
+            .iter()
+            .max_by(|a, b| a.rssi.cmp(&b.rssi))
+            .expect("record is non-empty by construction")
+    }
+
+    /// Overlap ratio between two records: `|A ∩ B| / |A ∪ B|` over their
+    /// MAC sets (the statistic of the paper's Fig. 1(b)).
+    #[must_use]
+    pub fn overlap_ratio(&self, other: &SignalRecord) -> f64 {
+        let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+        let (a, b) = (&self.readings, &other.readings);
+        while i < a.len() && j < b.len() {
+            match a[i].mac.cmp(&b[j].mac) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    inter += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let union = a.len() + b.len() - inter;
+        inter as f64 / union as f64
+    }
+
+    /// Returns a copy keeping only readings whose MAC satisfies `keep`.
+    /// Returns `None` if no reading survives (used by the Fig. 17
+    /// MAC-removal experiment and the outside-building rule of §V).
+    #[must_use]
+    pub fn filtered<F: FnMut(MacAddr) -> bool>(&self, mut keep: F) -> Option<SignalRecord> {
+        let readings: Vec<Reading> = self.readings.iter().copied().filter(|r| keep(r.mac)).collect();
+        if readings.is_empty() {
+            None
+        } else {
+            Some(SignalRecord { readings })
+        }
+    }
+}
+
+/// A signal record together with its (optional) floor label.
+///
+/// In a crowdsourced corpus only a small minority of samples are labelled
+/// (e.g. via QR-code check-ins); GRAFICS is designed around that scarcity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// The RF scan itself.
+    pub record: SignalRecord,
+    /// The floor on which the scan was taken, if known.
+    pub floor: Option<FloorId>,
+    /// Ground-truth floor, carried for *evaluation only*. Training code
+    /// must never read this; it is what test harnesses score against.
+    pub ground_truth: FloorId,
+}
+
+impl Sample {
+    /// Creates a labelled sample (label == ground truth).
+    #[must_use]
+    pub fn labeled(record: SignalRecord, floor: FloorId) -> Self {
+        Sample { record, floor: Some(floor), ground_truth: floor }
+    }
+
+    /// Creates an unlabelled sample whose true floor is `ground_truth`.
+    #[must_use]
+    pub fn unlabeled(record: SignalRecord, ground_truth: FloorId) -> Self {
+        Sample { record, floor: None, ground_truth }
+    }
+
+    /// `true` if the sample carries a floor label visible to training.
+    #[must_use]
+    pub fn is_labeled(&self) -> bool {
+        self.floor.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(macs: &[(u64, f64)]) -> SignalRecord {
+        SignalRecord::new(
+            macs.iter()
+                .map(|&(m, r)| Reading::new(MacAddr::from_u64(m), Rssi::new(r).unwrap()))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_record_rejected() {
+        assert_eq!(SignalRecord::new(vec![]), Err(TypesError::EmptyRecord));
+    }
+
+    #[test]
+    fn readings_sorted_and_deduped_strongest() {
+        let rec = mk(&[(5, -80.0), (1, -60.0), (5, -40.0), (5, -90.0)]);
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.readings()[0].mac, MacAddr::from_u64(1));
+        assert_eq!(rec.rssi_of(MacAddr::from_u64(5)).unwrap().dbm(), -40.0);
+    }
+
+    #[test]
+    fn rssi_of_missing_mac() {
+        let rec = mk(&[(1, -60.0)]);
+        assert_eq!(rec.rssi_of(MacAddr::from_u64(2)), None);
+    }
+
+    #[test]
+    fn strongest_reading() {
+        let rec = mk(&[(1, -90.0), (2, -30.0), (3, -60.0)]);
+        assert_eq!(rec.strongest().mac, MacAddr::from_u64(2));
+    }
+
+    #[test]
+    fn overlap_ratio_identical_and_disjoint() {
+        let a = mk(&[(1, -60.0), (2, -70.0)]);
+        let b = mk(&[(3, -60.0), (4, -70.0)]);
+        assert_eq!(a.overlap_ratio(&a), 1.0);
+        assert_eq!(a.overlap_ratio(&b), 0.0);
+    }
+
+    #[test]
+    fn overlap_ratio_partial() {
+        let a = mk(&[(1, -60.0), (2, -70.0), (3, -80.0)]);
+        let b = mk(&[(2, -65.0), (3, -72.0), (4, -90.0)]);
+        // intersection {2,3} = 2, union {1,2,3,4} = 4
+        assert!((a.overlap_ratio(&b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filtered_keeps_subset_or_none() {
+        let rec = mk(&[(1, -60.0), (2, -70.0)]);
+        let only1 = rec.filtered(|m| m == MacAddr::from_u64(1)).unwrap();
+        assert_eq!(only1.len(), 1);
+        assert!(rec.filtered(|_| false).is_none());
+    }
+
+    #[test]
+    fn floor_display() {
+        assert_eq!(FloorId(-2).to_string(), "B2");
+        assert_eq!(FloorId(0).to_string(), "GF");
+        assert_eq!(FloorId(11).to_string(), "11F");
+    }
+
+    #[test]
+    fn sample_label_visibility() {
+        let rec = mk(&[(1, -60.0)]);
+        let lab = Sample::labeled(rec.clone(), FloorId(3));
+        let unl = Sample::unlabeled(rec, FloorId(3));
+        assert!(lab.is_labeled());
+        assert!(!unl.is_labeled());
+        assert_eq!(unl.ground_truth, FloorId(3));
+        assert_eq!(unl.floor, None);
+    }
+
+    #[test]
+    fn serde_roundtrip_sample() {
+        let s = Sample::labeled(mk(&[(1, -60.0), (9, -80.5)]), FloorId(2));
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Sample = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,163 @@
+//! Received signal strength values.
+
+use crate::TypesError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A received-signal-strength (RSS) value in dBm.
+///
+/// WiFi RSS values observed by commodity hardware fall in roughly
+/// `[-100, -20]` dBm. We accept the wider range `[-120, 20]` to accommodate
+/// sentinel conventions (e.g. the paper fills missing matrix entries with
+/// −120 dBm) and unusually strong readings, and reject NaN/infinities so
+/// downstream arithmetic (edge weights, gradients) is always finite.
+///
+/// # Examples
+///
+/// ```
+/// use grafics_types::Rssi;
+///
+/// let rssi = Rssi::new(-66.0).unwrap();
+/// assert_eq!(rssi.dbm(), -66.0);
+/// assert!(Rssi::new(f64::NAN).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct Rssi(f64);
+
+impl Rssi {
+    /// Weakest representable reading, −120 dBm (also the paper's
+    /// missing-value sentinel for matrix baselines).
+    pub const FLOOR: Rssi = Rssi(-120.0);
+
+    /// Strongest representable reading, +20 dBm.
+    pub const CEIL: Rssi = Rssi(20.0);
+
+    /// Creates an RSSI, validating that the value is finite and within
+    /// `[-120, 20]` dBm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypesError::InvalidRssi`] for NaN, infinities, or
+    /// out-of-range values.
+    pub fn new(dbm: f64) -> Result<Self, TypesError> {
+        if dbm.is_finite() && (Self::FLOOR.0..=Self::CEIL.0).contains(&dbm) {
+            Ok(Rssi(dbm))
+        } else {
+            Err(TypesError::InvalidRssi { value: dbm })
+        }
+    }
+
+    /// Creates an RSSI, clamping out-of-range finite values into
+    /// `[-120, 20]` dBm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dbm` is NaN.
+    #[must_use]
+    pub fn saturating(dbm: f64) -> Self {
+        assert!(!dbm.is_nan(), "RSSI must not be NaN");
+        Rssi(dbm.clamp(Self::FLOOR.0, Self::CEIL.0))
+    }
+
+    /// Returns the value in dBm.
+    #[must_use]
+    pub const fn dbm(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the value converted from dBm to milliwatts,
+    /// `10^(dBm / 10)`. Used by the paper's alternative weight function
+    /// `g(RSS)` (Fig. 16).
+    #[must_use]
+    pub fn milliwatts(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+}
+
+impl fmt::Display for Rssi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} dBm", self.0)
+    }
+}
+
+impl TryFrom<f64> for Rssi {
+    type Error = TypesError;
+    fn try_from(v: f64) -> Result<Self, Self::Error> {
+        Rssi::new(v)
+    }
+}
+
+impl From<Rssi> for f64 {
+    fn from(r: Rssi) -> f64 {
+        r.0
+    }
+}
+
+impl Eq for Rssi {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Rssi {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Valid RSSI values are always finite, so total order exists.
+        self.0.partial_cmp(&other.0).expect("RSSI is finite by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_typical_wifi_values() {
+        for v in [-100.0, -66.0, -30.0, 0.0, -120.0, 20.0] {
+            assert!(Rssi::new(v).is_ok(), "{v} should be valid");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -121.0, 20.5] {
+            assert!(Rssi::new(v).is_err(), "{v} should be invalid");
+        }
+    }
+
+    #[test]
+    fn saturating_clamps() {
+        assert_eq!(Rssi::saturating(-500.0), Rssi::FLOOR);
+        assert_eq!(Rssi::saturating(99.0), Rssi::CEIL);
+        assert_eq!(Rssi::saturating(-60.0).dbm(), -60.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn saturating_panics_on_nan() {
+        let _ = Rssi::saturating(f64::NAN);
+    }
+
+    #[test]
+    fn milliwatt_conversion() {
+        let r = Rssi::new(-30.0).unwrap();
+        assert!((r.milliwatts() - 1e-3).abs() < 1e-12);
+        let zero = Rssi::new(0.0).unwrap();
+        assert!((zero.milliwatts() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![
+            Rssi::new(-50.0).unwrap(),
+            Rssi::new(-90.0).unwrap(),
+            Rssi::new(-70.0).unwrap(),
+        ];
+        v.sort();
+        assert_eq!(v[0].dbm(), -90.0);
+        assert_eq!(v[2].dbm(), -50.0);
+    }
+
+    #[test]
+    fn serde_rejects_out_of_range() {
+        assert!(serde_json::from_str::<Rssi>("-121.0").is_err());
+        assert_eq!(serde_json::from_str::<Rssi>("-66.0").unwrap().dbm(), -66.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the core types.
+
+use grafics_types::{Dataset, FloorId, MacAddr, Reading, Rssi, Sample, SignalRecord};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    any::<u64>().prop_map(MacAddr::from_u64)
+}
+
+fn arb_record() -> impl Strategy<Value = SignalRecord> {
+    prop::collection::vec((any::<u64>(), -120.0f64..=20.0), 1..20).prop_map(|pairs| {
+        SignalRecord::new(
+            pairs
+                .into_iter()
+                .map(|(m, r)| Reading::new(MacAddr::from_u64(m), Rssi::new(r).unwrap()))
+                .collect(),
+        )
+        .expect("non-empty")
+    })
+}
+
+proptest! {
+    /// MAC display/parse round-trips for any 48-bit value.
+    #[test]
+    fn mac_display_parse_roundtrip(mac in arb_mac()) {
+        let s = mac.to_string();
+        prop_assert_eq!(s.parse::<MacAddr>().unwrap(), mac);
+    }
+
+    /// Octet conversion round-trips.
+    #[test]
+    fn mac_octets_roundtrip(mac in arb_mac()) {
+        prop_assert_eq!(MacAddr::from_octets(mac.octets()), mac);
+    }
+
+    /// Records are sorted, deduplicated, and never empty.
+    #[test]
+    fn record_invariants(rec in arb_record()) {
+        let readings = rec.readings();
+        prop_assert!(!readings.is_empty());
+        for w in readings.windows(2) {
+            prop_assert!(w[0].mac < w[1].mac, "sorted strictly ascending (deduped)");
+        }
+    }
+
+    /// Overlap ratio is symmetric, in [0, 1], and 1 against itself.
+    #[test]
+    fn overlap_ratio_properties(a in arb_record(), b in arb_record()) {
+        let ab = a.overlap_ratio(&b);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert_eq!(ab, b.overlap_ratio(&a));
+        prop_assert_eq!(a.overlap_ratio(&a), 1.0);
+    }
+
+    /// Label budgeting: at most `k` labels per floor survive, ground truth
+    /// is untouched, and the record contents are preserved.
+    #[test]
+    fn label_budget_invariants(
+        floors in 1i16..5,
+        per_floor in 1usize..12,
+        k in 0usize..6,
+        seed in 0u64..1000,
+    ) {
+        let mut samples = Vec::new();
+        for f in 0..floors {
+            for i in 0..per_floor {
+                let rec = SignalRecord::new(vec![Reading::new(
+                    MacAddr::from_u64((f as u64) * 100 + i as u64),
+                    Rssi::new(-60.0).unwrap(),
+                )]).unwrap();
+                samples.push(Sample::labeled(rec, FloorId(f)));
+            }
+        }
+        let ds = Dataset::from_samples(samples);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let budgeted = ds.with_label_budget(k, &mut rng);
+        prop_assert_eq!(budgeted.len(), ds.len());
+        let mut per_floor_labels = std::collections::BTreeMap::new();
+        for s in budgeted.samples() {
+            if s.is_labeled() {
+                *per_floor_labels.entry(s.ground_truth).or_insert(0usize) += 1;
+                prop_assert_eq!(s.floor.unwrap(), s.ground_truth);
+            }
+        }
+        for (_, &c) in &per_floor_labels {
+            prop_assert!(c <= k.max(per_floor));
+            prop_assert!(c == k.min(per_floor));
+        }
+    }
+
+    /// Splits partition the dataset: sizes add up, and the union of
+    /// records (as multisets) equals the original.
+    #[test]
+    fn split_partitions(
+        n in 4usize..40,
+        ratio in 0.2f64..0.8,
+        seed in 0u64..1000,
+    ) {
+        let samples: Vec<Sample> = (0..n)
+            .map(|i| {
+                let rec = SignalRecord::new(vec![Reading::new(
+                    MacAddr::from_u64(i as u64),
+                    Rssi::new(-60.0).unwrap(),
+                )]).unwrap();
+                Sample::labeled(rec, FloorId(0))
+            })
+            .collect();
+        let ds = Dataset::from_samples(samples);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let split = ds.split(ratio, &mut rng).unwrap();
+        prop_assert_eq!(split.train.len() + split.test.len(), n);
+        prop_assert!(split.train.len() >= 1);
+        prop_assert!(split.test.len() >= 1);
+        let mut all_macs: Vec<u64> = split
+            .train
+            .samples()
+            .iter()
+            .chain(split.test.samples())
+            .map(|s| s.record.readings()[0].mac.as_u64())
+            .collect();
+        all_macs.sort_unstable();
+        let expected: Vec<u64> = (0..n as u64).collect();
+        prop_assert_eq!(all_macs, expected);
+    }
+
+    /// Rssi serde round-trips through JSON for any valid value.
+    #[test]
+    fn rssi_serde_roundtrip(v in -120.0f64..=20.0) {
+        let r = Rssi::new(v).unwrap();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Rssi = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, r);
+    }
+}

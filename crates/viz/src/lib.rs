@@ -1,0 +1,30 @@
+//! Visualisation support for the paper's qualitative figures: an exact
+//! t-SNE implementation (Fig. 6, Fig. 8) and a small SVG scatter-plot
+//! writer.
+//!
+//! # Examples
+//!
+//! ```
+//! use grafics_viz::{Tsne, TsneConfig};
+//! use rand::SeedableRng;
+//!
+//! // Two tight clusters stay separated after projection to 2-D.
+//! let mut points = Vec::new();
+//! for i in 0..20 {
+//!     let off = if i < 10 { 0.0 } else { 50.0 };
+//!     points.push(vec![off + (i % 5) as f64 * 0.1, off, off]);
+//! }
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! let config = TsneConfig { iterations: 150, ..TsneConfig::default() };
+//! let projected = Tsne::new(config).run(&points, &mut rng).unwrap();
+//! assert_eq!(projected.len(), 20);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod svg;
+mod tsne;
+
+pub use svg::{ScatterPlot, Series};
+pub use tsne::{Tsne, TsneConfig, TsneError};

@@ -1,0 +1,157 @@
+//! A dependency-free SVG scatter-plot writer for the figure binaries.
+
+use std::fmt::Write as _;
+
+/// One named, coloured point series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// CSS colour (e.g. `"#e41a1c"`).
+    pub color: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(label: &str, color: &str, points: Vec<(f64, f64)>) -> Self {
+        Series { label: label.to_owned(), color: color.to_owned(), points }
+    }
+}
+
+/// A scatter plot rendered to a standalone SVG string.
+#[derive(Debug, Clone)]
+pub struct ScatterPlot {
+    title: String,
+    series: Vec<Series>,
+    width: f64,
+    height: f64,
+}
+
+impl ScatterPlot {
+    /// Creates an 800×600 plot.
+    #[must_use]
+    pub fn new(title: &str) -> Self {
+        ScatterPlot { title: title.to_owned(), series: Vec::new(), width: 800.0, height: 600.0 }
+    }
+
+    /// Adds a series.
+    pub fn add_series(&mut self, series: Series) -> &mut Self {
+        self.series.push(series);
+        self
+    }
+
+    /// A qualitative palette matching typical paper figures.
+    #[must_use]
+    pub fn palette(i: usize) -> &'static str {
+        const COLORS: [&str; 8] = [
+            "#e41a1c", "#377eb8", "#4daf4a", "#984ea3", "#ff7f00", "#a65628", "#f781bf",
+            "#999999",
+        ];
+        COLORS[i % COLORS.len()]
+    }
+
+    /// Renders the SVG document.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let (w, h) = (self.width, self.height);
+        let margin = 50.0;
+        let all: Vec<(f64, f64)> =
+            self.series.iter().flat_map(|s| s.points.iter().copied()).collect();
+        let (xmin, xmax, ymin, ymax) = bounds(&all);
+        let sx = |x: f64| margin + (x - xmin) / (xmax - xmin).max(1e-12) * (w - 2.0 * margin);
+        let sy = |y: f64| h - margin - (y - ymin) / (ymax - ymin).max(1e-12) * (h - 2.0 * margin);
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#
+        );
+        let _ = writeln!(out, r#"<rect width="{w}" height="{h}" fill="white"/>"#);
+        let _ = writeln!(
+            out,
+            r#"<text x="{}" y="24" font-family="sans-serif" font-size="18" text-anchor="middle">{}</text>"#,
+            w / 2.0,
+            xml_escape(&self.title)
+        );
+        for (si, s) in self.series.iter().enumerate() {
+            for &(x, y) in &s.points {
+                let _ = writeln!(
+                    out,
+                    r#"<circle cx="{:.2}" cy="{:.2}" r="3" fill="{}" fill-opacity="0.7"/>"#,
+                    sx(x),
+                    sy(y),
+                    s.color
+                );
+            }
+            // Legend entry.
+            let ly = 40.0 + 20.0 * si as f64;
+            let _ = writeln!(out, r#"<circle cx="{}" cy="{}" r="5" fill="{}"/>"#, w - 160.0, ly, s.color);
+            let _ = writeln!(
+                out,
+                r#"<text x="{}" y="{}" font-family="sans-serif" font-size="13">{}</text>"#,
+                w - 148.0,
+                ly + 4.0,
+                xml_escape(&s.label)
+            );
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+fn bounds(points: &[(f64, f64)]) -> (f64, f64, f64, f64) {
+    if points.is_empty() {
+        return (0.0, 1.0, 0.0, 1.0);
+    }
+    let mut b = (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in points {
+        b.0 = b.0.min(x);
+        b.1 = b.1.max(x);
+        b.2 = b.2.min(y);
+        b.3 = b.3.max(y);
+    }
+    (b.0, b.1, b.2, b.3)
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let mut plot = ScatterPlot::new("Fig & test");
+        plot.add_series(Series::new("floor <0>", ScatterPlot::palette(0), vec![(0.0, 0.0), (1.0, 1.0)]));
+        plot.add_series(Series::new("floor 1", ScatterPlot::palette(1), vec![(2.0, -1.0)]));
+        let svg = plot.render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), 3 + 2); // points + legend dots
+        assert!(svg.contains("Fig &amp; test"));
+        assert!(svg.contains("floor &lt;0&gt;"));
+    }
+
+    #[test]
+    fn empty_plot_is_valid() {
+        let svg = ScatterPlot::new("empty").render();
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn palette_cycles() {
+        assert_eq!(ScatterPlot::palette(0), ScatterPlot::palette(8));
+    }
+
+    #[test]
+    fn bounds_degenerate_input() {
+        assert_eq!(bounds(&[]), (0.0, 1.0, 0.0, 1.0));
+        let b = bounds(&[(2.0, 3.0)]);
+        assert_eq!((b.0, b.1), (2.0, 2.0));
+    }
+}

@@ -1,0 +1,284 @@
+//! Exact t-SNE (van der Maaten & Hinton, 2008) for small point sets.
+//!
+//! O(n²) per iteration — fine for the few-thousand-point figures the paper
+//! draws. Includes perplexity calibration by bisection, early exaggeration
+//! and momentum, following the reference implementation.
+
+use rand::Rng;
+use std::fmt;
+
+/// t-SNE hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TsneConfig {
+    /// Output dimensionality (2 for the paper's figures).
+    pub out_dim: usize,
+    /// Target perplexity of the conditional distributions.
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Early-exaggeration factor applied for the first quarter of the run.
+    pub exaggeration: f64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        TsneConfig {
+            out_dim: 2,
+            perplexity: 20.0,
+            iterations: 400,
+            learning_rate: 100.0,
+            exaggeration: 4.0,
+        }
+    }
+}
+
+/// Errors from t-SNE.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TsneError {
+    /// Fewer than two input points.
+    TooFewPoints,
+    /// Ragged or empty input rows.
+    DimensionMismatch,
+    /// Non-finite input coordinate.
+    NonFiniteInput,
+}
+
+impl fmt::Display for TsneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TsneError::TooFewPoints => write!(f, "t-SNE needs at least two points"),
+            TsneError::DimensionMismatch => write!(f, "input points must share one dimension"),
+            TsneError::NonFiniteInput => write!(f, "input points must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for TsneError {}
+
+/// The t-SNE projector.
+#[derive(Debug, Clone)]
+pub struct Tsne {
+    config: TsneConfig,
+}
+
+impl Tsne {
+    /// Creates a projector.
+    #[must_use]
+    pub fn new(config: TsneConfig) -> Self {
+        Tsne { config }
+    }
+
+    /// Projects `points` to `config.out_dim` dimensions.
+    ///
+    /// # Errors
+    ///
+    /// See [`TsneError`].
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        points: &[Vec<f64>],
+        rng: &mut R,
+    ) -> Result<Vec<Vec<f64>>, TsneError> {
+        let n = points.len();
+        if n < 2 {
+            return Err(TsneError::TooFewPoints);
+        }
+        let dim = points[0].len();
+        if dim == 0 || points.iter().any(|p| p.len() != dim) {
+            return Err(TsneError::DimensionMismatch);
+        }
+        if points.iter().flatten().any(|x| !x.is_finite()) {
+            return Err(TsneError::NonFiniteInput);
+        }
+        let cfg = &self.config;
+
+        // Pairwise squared distances.
+        let mut d2 = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d: f64 = points[i]
+                    .iter()
+                    .zip(&points[j])
+                    .map(|(&a, &b)| (a - b) * (a - b))
+                    .sum();
+                d2[i * n + j] = d;
+                d2[j * n + i] = d;
+            }
+        }
+
+        // Conditional probabilities with per-point bandwidth calibrated to
+        // the target perplexity, then symmetrised.
+        let target_entropy = cfg.perplexity.max(2.0).ln();
+        let mut p = vec![0.0f64; n * n];
+        for i in 0..n {
+            let (mut lo, mut hi) = (1e-20f64, 1e20f64);
+            let mut beta = 1.0f64;
+            for _ in 0..50 {
+                let mut sum = 0.0;
+                let mut dot = 0.0;
+                for j in 0..n {
+                    if j == i {
+                        continue;
+                    }
+                    let w = (-beta * d2[i * n + j]).exp();
+                    sum += w;
+                    dot += w * d2[i * n + j];
+                }
+                if sum <= 0.0 {
+                    beta /= 2.0;
+                    continue;
+                }
+                // Shannon entropy of the conditional distribution.
+                let entropy = beta * dot / sum + sum.ln();
+                if (entropy - target_entropy).abs() < 1e-5 {
+                    break;
+                }
+                if entropy > target_entropy {
+                    lo = beta;
+                    beta = if hi >= 1e20 { beta * 2.0 } else { (beta + hi) / 2.0 };
+                } else {
+                    hi = beta;
+                    beta = (beta + lo) / 2.0;
+                }
+            }
+            let mut sum = 0.0;
+            for j in 0..n {
+                if j != i {
+                    let w = (-beta * d2[i * n + j]).exp();
+                    p[i * n + j] = w;
+                    sum += w;
+                }
+            }
+            if sum > 0.0 {
+                for j in 0..n {
+                    p[i * n + j] /= sum;
+                }
+            }
+        }
+        // Symmetrise: p_ij = (p_{j|i} + p_{i|j}) / 2n, floored for stability.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f64)).max(1e-12);
+                p[i * n + j] = v;
+                p[j * n + i] = v;
+            }
+        }
+
+        // Gradient descent on the output coordinates.
+        let od = cfg.out_dim;
+        let mut y: Vec<f64> = (0..n * od).map(|_| rng.gen_range(-1e-2..1e-2)).collect();
+        let mut velocity = vec![0.0f64; n * od];
+        let mut q = vec![0.0f64; n * n];
+        let exag_until = cfg.iterations / 4;
+
+        for iter in 0..cfg.iterations {
+            let exag = if iter < exag_until { cfg.exaggeration } else { 1.0 };
+            // Student-t affinities.
+            let mut qsum = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let mut d = 0.0;
+                    for k in 0..od {
+                        let diff = y[i * od + k] - y[j * od + k];
+                        d += diff * diff;
+                    }
+                    let w = 1.0 / (1.0 + d);
+                    q[i * n + j] = w;
+                    q[j * n + i] = w;
+                    qsum += 2.0 * w;
+                }
+            }
+            let momentum = if iter < 100 { 0.5 } else { 0.8 };
+            for i in 0..n {
+                let mut grad = vec![0.0f64; od];
+                for j in 0..n {
+                    if j == i {
+                        continue;
+                    }
+                    let w = q[i * n + j];
+                    let coeff = 4.0 * (exag * p[i * n + j] - w / qsum) * w;
+                    for k in 0..od {
+                        grad[k] += coeff * (y[i * od + k] - y[j * od + k]);
+                    }
+                }
+                for k in 0..od {
+                    velocity[i * od + k] =
+                        momentum * velocity[i * od + k] - cfg.learning_rate * grad[k];
+                    y[i * od + k] += velocity[i * od + k];
+                }
+            }
+        }
+
+        Ok((0..n).map(|i| y[i * od..(i + 1) * od].to_vec()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn blobs(n_per: usize, centers: &[f64]) -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for &c in centers {
+            for i in 0..n_per {
+                pts.push(vec![c + (i as f64) * 0.01, c - (i as f64) * 0.02, c]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn separated_blobs_stay_separated() {
+        let pts = blobs(12, &[0.0, 100.0]);
+        let cfg = TsneConfig { iterations: 250, perplexity: 5.0, ..Default::default() };
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let y = Tsne::new(cfg).run(&pts, &mut rng).unwrap();
+        let centroid = |range: std::ops::Range<usize>| -> (f64, f64) {
+            let m = range.len() as f64;
+            let sx: f64 = range.clone().map(|i| y[i][0]).sum();
+            let sy: f64 = range.map(|i| y[i][1]).sum();
+            (sx / m, sy / m)
+        };
+        let (ax, ay) = centroid(0..12);
+        let (bx, by) = centroid(12..24);
+        let inter = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
+        // mean intra-cluster spread
+        let spread: f64 = (0..12)
+            .map(|i| ((y[i][0] - ax).powi(2) + (y[i][1] - ay).powi(2)).sqrt())
+            .sum::<f64>()
+            / 12.0;
+        assert!(inter > 3.0 * spread, "inter {inter} vs spread {spread}");
+    }
+
+    #[test]
+    fn output_shape_and_finiteness() {
+        let pts = blobs(5, &[0.0, 10.0, 20.0]);
+        let cfg = TsneConfig { iterations: 60, perplexity: 4.0, ..Default::default() };
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let y = Tsne::new(cfg).run(&pts, &mut rng).unwrap();
+        assert_eq!(y.len(), 15);
+        for row in &y {
+            assert_eq!(row.len(), 2);
+            assert!(row.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn input_validation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let t = Tsne::new(TsneConfig::default());
+        assert_eq!(t.run(&[vec![0.0]], &mut rng), Err(TsneError::TooFewPoints));
+        assert_eq!(
+            t.run(&[vec![0.0], vec![0.0, 1.0]], &mut rng),
+            Err(TsneError::DimensionMismatch)
+        );
+        assert_eq!(
+            t.run(&[vec![f64::NAN], vec![0.0]], &mut rng),
+            Err(TsneError::NonFiniteInput)
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Dynamic RF environments (paper §III-A): access points get installed
+//! and decommissioned over a deployment's lifetime. The bipartite graph
+//! absorbs both without retraining from scratch — removed APs drop out of
+//! the graph, new records (with never-seen MACs) extend it online.
+//!
+//! This example trains on a mall, then (1) decommissions 20 % of the APs
+//! from the *graph*, (2) keeps inferring scans from the physically changed
+//! mall, showing accuracy degrades gracefully rather than collapsing.
+//!
+//! ```sh
+//! cargo run --release --example ap_churn
+//! ```
+
+use grafics::prelude::*;
+use grafics_metrics::ConfusionMatrix;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(23);
+    let mall = BuildingModel::mall("harbour-city", 4).with_records_per_floor(120);
+    let mut layout = mall.layout(&mut rng);
+    let corpus = mall.simulate_with_layout(&layout, &mut rng);
+    let train = corpus.with_label_budget(4, &mut rng);
+    let mut model = Grafics::train(&train, &GraficsConfig::default(), &mut rng).expect("train");
+
+    // Baseline accuracy before any churn.
+    let acc_before = accuracy(&mall, &layout, &mut model, &mut rng, 200);
+    println!("accuracy before churn: {acc_before:.3}");
+
+    // Decommission 20% of the BSSIDs: remove them from the physical world
+    // and from the graph, in place — no retraining.
+    let mut macs = layout.macs();
+    macs.shuffle(&mut rng);
+    let removed = macs.len() / 5;
+    let graph_macs_before = model.graph().mac_count();
+    let kept: std::collections::HashSet<MacAddr> = macs[removed..].iter().copied().collect();
+    layout.aps.retain(|ap| kept.contains(&ap.mac));
+    for &mac in &macs[..removed] {
+        if model.graph().mac_node(mac).is_some() {
+            model.remove_ap(mac).expect("MAC is in the graph");
+        }
+    }
+    println!(
+        "decommissioned {} BSSIDs ({} -> {} MAC nodes in graph)",
+        removed,
+        graph_macs_before,
+        model.graph().mac_count()
+    );
+
+    let acc_after = accuracy(&mall, &layout, &mut model, &mut rng, 200);
+    println!("accuracy after churn:  {acc_after:.3}");
+    assert!(
+        acc_after > 0.6,
+        "floor identification should degrade gracefully, got {acc_after:.3}"
+    );
+}
+
+fn accuracy(
+    building: &BuildingModel,
+    layout: &grafics_data::BuildingLayout,
+    model: &mut Grafics,
+    rng: &mut ChaCha8Rng,
+    scans: usize,
+) -> f64 {
+    let mut cm = ConfusionMatrix::new();
+    for i in 0..scans {
+        let floor = (i % building.floors as usize) as i16;
+        let Some(scan) = building.scan(layout, floor, rng) else { continue };
+        if let Ok(pred) = model.infer(&scan, rng) {
+            cm.observe(FloorId(floor), pred.floor);
+        }
+    }
+    cm.report().accuracy
+}

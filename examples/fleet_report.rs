@@ -1,0 +1,76 @@
+//! Multi-building deployment report: run GRAFICS and every baseline over
+//! the five Hong Kong-archetype facilities, save the corpus snapshots as
+//! JSONL, and print the comparison table — a miniature of the paper's
+//! evaluation (§VI-B).
+//!
+//! ```sh
+//! cargo run --release --example fleet_report
+//! ```
+
+use grafics::baselines::{
+    AutoencoderProx, BaselineConfig, FloorClassifier, MatrixProx, MdsProx, Sae, ScalableDnn,
+};
+use grafics::prelude::*;
+use grafics_metrics::ConfusionMatrix;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let fleet = FleetPreset::HongKong.generate(5, 80, &mut rng);
+    let out_dir = std::path::Path::new("results");
+    std::fs::create_dir_all(out_dir).ok();
+
+    println!(
+        "{:<14} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "building", "GRAFICS", "ScalDNN", "SAE", "MDS", "AutoEnc", "Matrix"
+    );
+    for building in &fleet {
+        let ds = building.simulate(&mut rng);
+        // Persist the corpus for reproducibility.
+        let snapshot = out_dir.join(format!("{}.jsonl", building.name));
+        grafics::data::io::save_jsonl(&ds, &snapshot).expect("snapshot");
+
+        let split = ds.split(0.7, &mut rng).expect("split");
+        let train = split.train.with_label_budget(4, &mut rng);
+        let test = &split.test;
+
+        let mut scores: Vec<f64> = Vec::new();
+        // GRAFICS.
+        let mut g = Grafics::train(&train, &GraficsConfig::default(), &mut rng).expect("train");
+        let mut cm = ConfusionMatrix::new();
+        for s in test.samples() {
+            if let Ok(p) = g.infer(&s.record, &mut rng) {
+                cm.observe(s.ground_truth, p.floor);
+            }
+        }
+        scores.push(cm.report().micro_f);
+        // Baselines.
+        let bl_cfg = BaselineConfig::default();
+        scores.push(score(&mut ScalableDnn::train(&train, &bl_cfg, &mut rng).expect("sdnn"), test));
+        scores.push(score(&mut Sae::train(&train, &bl_cfg, &mut rng).expect("sae"), test));
+        scores.push(score(&mut MdsProx::train(&train, 8, &mut rng).expect("mds"), test));
+        scores.push(score(
+            &mut AutoencoderProx::train(&train, &bl_cfg, &mut rng).expect("ae"),
+            test,
+        ));
+        scores.push(score(&mut MatrixProx::train(&train).expect("matrix"), test));
+
+        print!("{:<14}", building.name);
+        for s in scores {
+            print!(" {s:>8.3}");
+        }
+        println!();
+    }
+    println!("\ncorpus snapshots saved under results/*.jsonl");
+}
+
+fn score<C: FloorClassifier>(model: &mut C, test: &Dataset) -> f64 {
+    let mut cm = ConfusionMatrix::new();
+    for s in test.samples() {
+        if let Some(f) = model.predict(&s.record) {
+            cm.observe(s.ground_truth, f);
+        }
+    }
+    cm.report().micro_f
+}

@@ -1,0 +1,75 @@
+//! Geofencing (paper §I): enforce that a person stays on an assigned
+//! floor — e.g. home-quarantine or elderly-care monitoring — using nothing
+//! but ambient WiFi scans.
+//!
+//! A monitored person walks a trajectory through a five-storey hospital;
+//! every few steps their phone scans WiFi and GRAFICS infers the floor.
+//! Leaving the assigned floor raises an alert.
+//!
+//! ```sh
+//! cargo run --release --example geofencing
+//! ```
+
+use grafics::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let hospital = BuildingModel::hospital("st-marys", 5).with_records_per_floor(120);
+    let layout = hospital.layout(&mut rng);
+    let corpus = hospital.simulate_with_layout(&layout, &mut rng);
+
+    // Train from the crowdsourced corpus with 4 labelled scans per floor.
+    let train = corpus.with_label_budget(4, &mut rng);
+    let mut model = Grafics::train(&train, &GraficsConfig::default(), &mut rng).expect("train");
+    println!("geofence armed: patient assigned to floor 2F");
+
+    // The patient's day: mostly ward (floor 2), one excursion to the
+    // ground-floor lobby, then back.
+    let assigned = FloorId(2);
+    let trajectory: Vec<(f64, f64, i16)> = vec![
+        (10.0, 10.0, 2),
+        (14.0, 12.0, 2),
+        (20.0, 15.0, 2),
+        (30.0, 20.0, 2),
+        (30.0, 20.0, 0), // takes the lift down
+        (25.0, 18.0, 0),
+        (18.0, 12.0, 0),
+        (30.0, 20.0, 2), // returns
+        (12.0, 11.0, 2),
+    ];
+
+    let mut alerts = 0;
+    let mut correct = 0;
+    for (step, &(x, y, floor)) in trajectory.iter().enumerate() {
+        let Some(scan) = hospital.scan_at(&layout, x, y, floor, &mut rng) else {
+            println!("step {step}: no APs audible, skipping");
+            continue;
+        };
+        match model.infer(&scan, &mut rng) {
+            Ok(pred) => {
+                let truth = FloorId(floor);
+                let status = if pred.floor == assigned { "ok   " } else { "ALERT" };
+                if pred.floor != assigned {
+                    alerts += 1;
+                }
+                if pred.floor == truth {
+                    correct += 1;
+                }
+                println!(
+                    "step {step}: at {truth} -> predicted {} [{status}] (distance to cluster {:.3})",
+                    pred.floor, pred.distance
+                );
+            }
+            Err(e) => println!("step {step}: {e}"),
+        }
+    }
+    println!(
+        "\n{} alerts raised during the ground-floor excursion; {}/{} floor predictions correct",
+        alerts,
+        correct,
+        trajectory.len()
+    );
+    assert!(alerts >= 2, "the excursion should trip the geofence");
+}

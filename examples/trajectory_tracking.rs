@@ -1,0 +1,71 @@
+//! Pedestrian-navigation support (paper §I): track a walker's floor along
+//! a trajectory, with a confidence signal from the margin between the
+//! nearest cluster and the nearest *different-floor* cluster. Predictions
+//! near the stairwell are legitimately uncertain — the margin flags them
+//! instead of silently guessing.
+//!
+//! ```sh
+//! cargo run --release --example trajectory_tracking
+//! ```
+
+use grafics::prelude::*;
+use grafics_data::{simulate_trajectory, TrajectoryConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(31);
+    let tower = BuildingModel::office("ifc-tower", 6).with_records_per_floor(120);
+    let layout = tower.layout(&mut rng);
+    let corpus = tower.simulate_with_layout(&layout, &mut rng).filter_rare_macs(2);
+    let train = corpus.with_label_budget(4, &mut rng);
+    let mut model = Grafics::train(&train, &GraficsConfig::default(), &mut rng).expect("train");
+
+    let walk = simulate_trajectory(
+        &tower,
+        &layout,
+        &TrajectoryConfig { steps: 40, floor_change_prob: 0.12, ..Default::default() },
+        &mut rng,
+    );
+
+    let mut correct = 0;
+    let mut scored = 0;
+    let mut uncertain = 0;
+    println!("{:>4} {:>6} {:>10} {:>8} {:>10}", "step", "truth", "predicted", "margin", "status");
+    for (i, point) in walk.iter().enumerate() {
+        let Some(scan) = &point.scan else {
+            println!("{i:>4} {:>6} {:>10} {:>8} {:>10}", point.floor, "-", "-", "no scan");
+            continue;
+        };
+        let Ok(ranked) = model.infer_topk(scan, usize::MAX, &mut rng) else {
+            continue;
+        };
+        let best = ranked[0];
+        // Margin to the nearest candidate on a DIFFERENT floor.
+        let rival = ranked.iter().find(|p| p.floor != best.floor);
+        let margin = rival.map_or(f64::INFINITY, |r| r.distance - best.distance);
+        let confident = margin > 0.3;
+        if !confident {
+            uncertain += 1;
+        }
+        scored += 1;
+        if best.floor == point.floor {
+            correct += 1;
+        }
+        let status = match (best.floor == point.floor, confident) {
+            (true, true) => "ok",
+            (true, false) => "ok (low)",
+            (false, false) => "MISS (low)",
+            (false, true) => "MISS",
+        };
+        println!(
+            "{i:>4} {:>6} {:>10} {:>8.3} {:>10}",
+            point.floor, best.floor, margin, status
+        );
+    }
+    println!(
+        "\n{correct}/{scored} floor predictions correct along the walk; \
+         {uncertain} flagged low-confidence"
+    );
+    assert!(correct * 10 >= scored * 7, "tracking accuracy too low");
+}

@@ -1,0 +1,164 @@
+//! Failure-injection tests: the degenerate and adversarial inputs a
+//! crowdsourced deployment will eventually see must produce errors or
+//! graceful degradation, never panics or silent corruption.
+
+use grafics::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn trained_model(seed: u64) -> (Grafics, BuildingModel, grafics_data::BuildingLayout) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let b = BuildingModel::office("fi", 2).with_records_per_floor(40);
+    let layout = b.layout(&mut rng);
+    let ds = b.simulate_with_layout(&layout, &mut rng).with_label_budget(4, &mut rng);
+    let model = Grafics::train(&ds, &GraficsConfig::fast(), &mut rng).unwrap();
+    (model, b, layout)
+}
+
+#[test]
+fn record_with_single_known_mac_is_classified() {
+    let (mut model, _, layout) = trained_model(1);
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let mac = layout.aps[0].mac;
+    let rec = SignalRecord::new(vec![Reading::new(mac, Rssi::new(-70.0).unwrap())]).unwrap();
+    let pred = model.infer(&rec, &mut rng).unwrap();
+    assert!(pred.distance.is_finite());
+}
+
+#[test]
+fn record_with_extreme_rssi_values() {
+    let (mut model, _, layout) = trained_model(2);
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let rec = SignalRecord::new(vec![
+        Reading::new(layout.aps[0].mac, Rssi::FLOOR),
+        Reading::new(layout.aps[1].mac, Rssi::CEIL),
+    ])
+    .unwrap();
+    let pred = model.infer(&rec, &mut rng).unwrap();
+    assert!(pred.distance.is_finite());
+}
+
+#[test]
+fn record_with_thousands_of_unknown_macs_and_one_known() {
+    // A hostile or broken scanner reporting a giant record: the one known
+    // MAC keeps it in-building; the unknown MACs become fresh nodes; no
+    // panic, finite result.
+    let (mut model, _, layout) = trained_model(3);
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let mut readings = vec![Reading::new(layout.aps[0].mac, Rssi::new(-60.0).unwrap())];
+    for i in 0..2000u64 {
+        readings.push(Reading::new(
+            MacAddr::from_u64(0xFFFF_0000 + i),
+            Rssi::new(-80.0).unwrap(),
+        ));
+    }
+    let rec = SignalRecord::new(readings).unwrap();
+    let macs_before = model.graph().mac_count();
+    let pred = model.infer(&rec, &mut rng).unwrap();
+    assert!(pred.distance.is_finite());
+    assert_eq!(model.graph().mac_count(), macs_before + 2000);
+}
+
+#[test]
+fn duplicate_macs_collapse_to_strongest() {
+    let (mut model, _, layout) = trained_model(4);
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let mac = layout.aps[0].mac;
+    let rec = SignalRecord::new(vec![
+        Reading::new(mac, Rssi::new(-90.0).unwrap()),
+        Reading::new(mac, Rssi::new(-50.0).unwrap()),
+        Reading::new(mac, Rssi::new(-70.0).unwrap()),
+    ])
+    .unwrap();
+    assert_eq!(rec.len(), 1);
+    assert_eq!(rec.readings()[0].rssi.dbm(), -50.0);
+    assert!(model.infer(&rec, &mut rng).is_ok());
+}
+
+#[test]
+fn training_with_all_samples_on_one_floor_and_querying_other() {
+    // Degenerate corpus: single-floor training. Any query maps to that
+    // floor; no panic, no phantom floors.
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let b = BuildingModel::office("fi-one", 1).with_records_per_floor(30);
+    let layout = b.layout(&mut rng);
+    let ds = b.simulate_with_layout(&layout, &mut rng).with_label_budget(2, &mut rng);
+    let mut model = Grafics::train(&ds, &GraficsConfig::fast(), &mut rng).unwrap();
+    let scan = b.scan(&layout, 0, &mut rng).unwrap();
+    assert_eq!(model.infer(&scan, &mut rng).unwrap().floor, FloorId(0));
+}
+
+#[test]
+fn batch_inference_mixes_failures_and_successes() {
+    let (mut model, b, layout) = trained_model(6);
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let good = b.scan(&layout, 0, &mut rng).unwrap();
+    let foreign = SignalRecord::new(vec![Reading::new(
+        MacAddr::from_u64(0xABCD_EF01_2345),
+        Rssi::new(-50.0).unwrap(),
+    )])
+    .unwrap();
+    let out = model.infer_batch(&[good.clone(), foreign, good], &mut rng);
+    assert_eq!(out.len(), 3);
+    assert!(out[0].is_some());
+    assert!(out[1].is_none());
+    assert!(out[2].is_some());
+}
+
+#[test]
+fn forgetting_every_online_record_restores_graph_size() {
+    let (mut model, b, layout) = trained_model(7);
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let before_records = model.graph().record_count();
+    let before_edges = model.graph().edge_count();
+    let mut rids = Vec::new();
+    for i in 0..10 {
+        let scan = b.scan(&layout, (i % 2) as i16, &mut rng).unwrap();
+        let (rid, _) = model.infer_tracked(&scan, &mut rng).unwrap();
+        rids.push(rid);
+    }
+    for rid in rids {
+        model.forget_record(rid).unwrap();
+    }
+    assert_eq!(model.graph().record_count(), before_records);
+    assert_eq!(model.graph().edge_count(), before_edges);
+}
+
+#[test]
+fn removing_every_ap_then_inferring_fails_cleanly() {
+    let (mut model, b, layout) = trained_model(8);
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    for mac in layout.macs() {
+        if model.graph().mac_node(mac).is_some() {
+            model.remove_ap(mac).unwrap();
+        }
+    }
+    // Hotspot MACs may survive, but a scan of deployed APs now has no
+    // overlap -> OutsideBuilding, not a panic.
+    let scan_of_deployed = {
+        let readings: Vec<Reading> = layout
+            .aps
+            .iter()
+            .take(5)
+            .map(|ap| Reading::new(ap.mac, Rssi::new(-60.0).unwrap()))
+            .collect();
+        SignalRecord::new(readings).unwrap()
+    };
+    assert!(matches!(
+        model.infer(&scan_of_deployed, &mut rng),
+        Err(grafics::core::GraficsError::OutsideBuilding)
+    ));
+}
+
+#[test]
+fn zero_width_building_rejected_by_types_not_panic() {
+    // A building model with pathological record count still yields a
+    // well-formed (possibly small) dataset.
+    let mut rng = ChaCha8Rng::seed_from_u64(10);
+    let ds = BuildingModel::office("fi-empty", 2).with_records_per_floor(0).simulate(&mut rng);
+    assert!(ds.is_empty());
+    assert!(matches!(
+        Grafics::train(&ds, &GraficsConfig::fast(), &mut rng),
+        Err(grafics::core::GraficsError::EmptyTrainingSet)
+    ));
+}

@@ -1,0 +1,104 @@
+//! Tests that pin the paper's qualitative claims (the "expected shapes" of
+//! DESIGN.md) at small scale, so regressions in any crate surface as
+//! claim violations rather than silent accuracy drift.
+
+use grafics::prelude::*;
+use grafics_metrics::ConfusionMatrix;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn run_with_config(
+    config: &GraficsConfig,
+    labels: usize,
+    seed: u64,
+) -> f64 {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let ds = BuildingModel::mall("claims", 4).with_records_per_floor(70).simulate(&mut rng);
+    let split = ds.split(0.7, &mut rng).unwrap();
+    let train = split.train.with_label_budget(labels, &mut rng);
+    let Ok(mut model) = Grafics::train(&train, config, &mut rng) else {
+        return 0.0;
+    };
+    let mut cm = ConfusionMatrix::new();
+    for s in split.test.samples() {
+        if let Ok(pred) = model.infer(&s.record, &mut rng) {
+            cm.observe(s.ground_truth, pred.floor);
+        }
+    }
+    cm.report().micro_f
+}
+
+/// §VI-C / Fig. 13: E-LINE beats LINE second-order at 4 labels per floor.
+#[test]
+fn claim_eline_beats_line_at_four_labels() {
+    let eline: f64 = (0..3)
+        .map(|s| run_with_config(&GraficsConfig::default(), 4, 100 + s))
+        .sum::<f64>()
+        / 3.0;
+    let line_cfg = GraficsConfig {
+        objective: grafics::embed::Objective::LineSecond,
+        ..GraficsConfig::default()
+    };
+    let line: f64 = (0..3).map(|s| run_with_config(&line_cfg, 4, 100 + s)).sum::<f64>() / 3.0;
+    assert!(
+        eline > line,
+        "E-LINE ({eline:.3}) should beat LINE-2nd ({line:.3}) at 4 labels/floor"
+    );
+}
+
+/// §VI-D / Fig. 16: the offset weight function beats the power weight.
+#[test]
+fn claim_offset_weight_beats_power_weight() {
+    let offset = run_with_config(&GraficsConfig::default(), 4, 200);
+    let power_cfg = GraficsConfig {
+        weight_function: grafics::graph::WeightFunction::Power,
+        ..GraficsConfig::default()
+    };
+    let power = run_with_config(&power_cfg, 4, 200);
+    assert!(
+        offset > power + 0.1,
+        "offset f ({offset:.3}) should clearly beat power g ({power:.3})"
+    );
+}
+
+/// §VI-D / Fig. 15: accuracy is insensitive to the embedding dimension.
+#[test]
+fn claim_dimension_insensitivity() {
+    let mut scores = Vec::new();
+    for dim in [8usize, 32, 128] {
+        let cfg = GraficsConfig { dim, ..GraficsConfig::default() };
+        let mean: f64 =
+            (0..3).map(|s| run_with_config(&cfg, 4, 300 + s)).sum::<f64>() / 3.0;
+        scores.push(mean);
+    }
+    let min = scores.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = scores.iter().cloned().fold(0.0f64, f64::max);
+    assert!(min > 0.8, "all dims should stay accurate: {scores:?}");
+    assert!(max - min < 0.15, "spread across dims should be small: {scores:?}");
+}
+
+/// §VI-B / Fig. 11: labels help, but GRAFICS is already near its ceiling
+/// at 4 labels per floor.
+#[test]
+fn claim_four_labels_near_ceiling() {
+    let mean = |labels: usize| -> f64 {
+        (0..3).map(|s| run_with_config(&GraficsConfig::default(), labels, 400 + s)).sum::<f64>()
+            / 3.0
+    };
+    let at_4 = mean(4);
+    let at_40 = mean(40);
+    assert!(at_4 > 0.82, "4 labels: {at_4:.3}");
+    assert!(at_40 - at_4 < 0.15, "40 labels ({at_40:.3}) adds little over 4 ({at_4:.3})");
+}
+
+/// The constrained merge rule matters: without it, accuracy drops.
+#[test]
+fn claim_constraint_helps() {
+    let constrained = run_with_config(&GraficsConfig::default(), 4, 500);
+    let uncon_cfg = GraficsConfig { constrained_clustering: false, ..GraficsConfig::default() };
+    let unconstrained = run_with_config(&uncon_cfg, 4, 500);
+    assert!(
+        constrained >= unconstrained - 0.02,
+        "constrained ({constrained:.3}) should not lose to unconstrained ({unconstrained:.3})"
+    );
+}

@@ -1,0 +1,169 @@
+//! Cross-crate integration tests: the full offline-train → online-infer
+//! pipeline against simulated buildings, exercised through the umbrella
+//! `grafics` crate exactly as a downstream user would.
+
+use grafics::prelude::*;
+use grafics_metrics::ConfusionMatrix;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn evaluate(building: BuildingModel, labels: usize, seed: u64) -> f64 {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let ds = building.simulate(&mut rng);
+    let split = ds.split(0.7, &mut rng).unwrap();
+    let train = split.train.with_label_budget(labels, &mut rng);
+    let mut model = Grafics::train(&train, &GraficsConfig::default(), &mut rng).unwrap();
+    let mut cm = ConfusionMatrix::new();
+    for s in split.test.samples() {
+        if let Ok(pred) = model.infer(&s.record, &mut rng) {
+            cm.observe(s.ground_truth, pred.floor);
+        }
+    }
+    cm.report().micro_f
+}
+
+#[test]
+fn office_three_floors_four_labels() {
+    let f = evaluate(BuildingModel::office("it-office", 3).with_records_per_floor(80), 4, 1);
+    assert!(f > 0.9, "micro-F {f}");
+}
+
+#[test]
+fn mall_four_floors_four_labels() {
+    let f = evaluate(BuildingModel::mall("it-mall", 4).with_records_per_floor(80), 4, 2);
+    assert!(f > 0.8, "micro-F {f}");
+}
+
+#[test]
+fn hospital_eight_floors_four_labels() {
+    let f = evaluate(BuildingModel::hospital("it-hosp", 8).with_records_per_floor(80), 4, 3);
+    assert!(f > 0.8, "micro-F {f}");
+}
+
+#[test]
+fn single_label_per_floor_still_works() {
+    let f = evaluate(BuildingModel::office("it-one", 3).with_records_per_floor(80), 1, 4);
+    assert!(f > 0.6, "even one label per floor should be usable, micro-F {f}");
+}
+
+#[test]
+fn more_labels_never_needed_for_high_accuracy() {
+    // The paper's headline: ~4 labels/floor already saturates.
+    let f4 = evaluate(BuildingModel::office("it-sat", 4).with_records_per_floor(80), 4, 5);
+    assert!(f4 > 0.9, "4 labels: {f4}");
+}
+
+#[test]
+fn online_inference_keeps_extending_the_graph() {
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    let ds = BuildingModel::office("it-grow", 2).with_records_per_floor(60).simulate(&mut rng);
+    let split = ds.split(0.7, &mut rng).unwrap();
+    let train = split.train.with_label_budget(4, &mut rng);
+    let mut model = Grafics::train(&train, &GraficsConfig::fast(), &mut rng).unwrap();
+    let before = model.graph().record_count();
+    let n = split.test.len().min(10);
+    for s in split.test.samples().iter().take(n) {
+        model.infer(&s.record, &mut rng).unwrap();
+    }
+    assert_eq!(model.graph().record_count(), before + n);
+}
+
+#[test]
+fn dataset_roundtrip_through_jsonl_preserves_pipeline_results() {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let ds = BuildingModel::office("it-io", 2).with_records_per_floor(40).simulate(&mut rng);
+    let mut buf = Vec::new();
+    grafics::data::io::write_jsonl(&ds, &mut buf).unwrap();
+    let back = grafics::data::io::read_jsonl(buf.as_slice()).unwrap();
+    assert_eq!(back, ds);
+
+    // Same seed ⇒ identical trained behaviour on either copy.
+    let mut rng_a = ChaCha8Rng::seed_from_u64(8);
+    let mut rng_b = ChaCha8Rng::seed_from_u64(8);
+    let train_a = ds.with_label_budget(4, &mut rng_a);
+    let train_b = back.with_label_budget(4, &mut rng_b);
+    let model_a = Grafics::train(&train_a, &GraficsConfig::fast(), &mut rng_a).unwrap();
+    let model_b = Grafics::train(&train_b, &GraficsConfig::fast(), &mut rng_b).unwrap();
+    assert_eq!(model_a.virtual_labels(), model_b.virtual_labels());
+}
+
+#[test]
+fn virtual_labels_mostly_match_ground_truth() {
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let ds = BuildingModel::office("it-virt", 3).with_records_per_floor(60).simulate(&mut rng);
+    let train = ds.with_label_budget(4, &mut rng);
+    let model = Grafics::train(&train, &GraficsConfig::default(), &mut rng).unwrap();
+    let virt = model.virtual_labels();
+    let correct = virt
+        .iter()
+        .zip(train.samples())
+        .filter(|(v, s)| **v == s.ground_truth)
+        .count();
+    assert!(
+        correct * 10 >= train.len() * 9,
+        "virtual labels {correct}/{} should be ≥90% correct",
+        train.len()
+    );
+}
+
+#[test]
+fn outside_building_records_rejected_not_learned() {
+    let mut rng = ChaCha8Rng::seed_from_u64(10);
+    let ds = BuildingModel::office("it-a", 2).with_records_per_floor(40).simulate(&mut rng);
+    let other = BuildingModel::office("it-b", 2).with_records_per_floor(5).simulate(&mut rng);
+    let train = ds.with_label_budget(4, &mut rng);
+    let mut model = Grafics::train(&train, &GraficsConfig::fast(), &mut rng).unwrap();
+    let before = model.graph().record_count();
+    let mut rejected = 0;
+    for s in other.samples() {
+        if model.infer(&s.record, &mut rng).is_err() {
+            rejected += 1;
+        }
+    }
+    assert_eq!(rejected, other.len(), "foreign-building scans share no MACs");
+    assert_eq!(model.graph().record_count(), before);
+}
+
+#[test]
+fn grafics_beats_every_baseline_on_a_mall() {
+    use grafics::baselines::{
+        AutoencoderProx, BaselineConfig, FloorClassifier, MatrixProx, MdsProx, Sae, ScalableDnn,
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let ds = BuildingModel::mall("it-cmp", 4).with_records_per_floor(60).simulate(&mut rng);
+    let split = ds.split(0.7, &mut rng).unwrap();
+    let train = split.train.with_label_budget(4, &mut rng);
+
+    let mut g = Grafics::train(&train, &GraficsConfig::default(), &mut rng).unwrap();
+    let mut cm = ConfusionMatrix::new();
+    for s in split.test.samples() {
+        if let Ok(p) = g.infer(&s.record, &mut rng) {
+            cm.observe(s.ground_truth, p.floor);
+        }
+    }
+    let grafics_f = cm.report().micro_f;
+
+    let score = |model: &mut dyn FloorClassifier| {
+        let mut cm = ConfusionMatrix::new();
+        for s in split.test.samples() {
+            if let Some(f) = model.predict(&s.record) {
+                cm.observe(s.ground_truth, f);
+            }
+        }
+        cm.report().micro_f
+    };
+    let cfg = BaselineConfig { epochs: 20, ..Default::default() };
+    let baselines: Vec<(&str, f64)> = vec![
+        ("scalable-dnn", score(&mut ScalableDnn::train(&train, &cfg, &mut rng).unwrap())),
+        ("sae", score(&mut Sae::train(&train, &cfg, &mut rng).unwrap())),
+        ("mds", score(&mut MdsProx::train(&train, 8, &mut rng).unwrap())),
+        ("autoencoder", score(&mut AutoencoderProx::train(&train, &cfg, &mut rng).unwrap())),
+        ("matrix", score(&mut MatrixProx::train(&train).unwrap())),
+    ];
+    for (name, f) in &baselines {
+        assert!(
+            grafics_f > *f,
+            "GRAFICS ({grafics_f:.3}) should beat {name} ({f:.3}) at 4 labels/floor"
+        );
+    }
+}
