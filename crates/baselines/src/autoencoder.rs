@@ -49,18 +49,19 @@ impl AutoencoderProx {
             .collect();
         let labels: Vec<Option<FloorId>> = train.samples().iter().map(|s| s.floor).collect();
         let clusters = fit_prox(&embeddings, &labels)?;
-        Ok(AutoencoderProx { encoder, net, encoder_layers, clusters })
+        Ok(AutoencoderProx {
+            encoder,
+            net,
+            encoder_layers,
+            clusters,
+        })
     }
 }
 
 /// Encoder: four Conv1d+ReLU stages (kernel/stride adapted to the input
 /// width) → Dense bottleneck. Decoder: Dense → ReLU → Dense back to the
 /// input width.
-fn build_net<R: Rng + ?Sized>(
-    width: usize,
-    dim: usize,
-    rng: &mut R,
-) -> (Sequential, usize) {
+fn build_net<R: Rng + ?Sized>(width: usize, dim: usize, rng: &mut R) -> (Sequential, usize) {
     let mut layers: Vec<Box<dyn Layer>> = Vec::new();
     let channels = [1usize, 4, 8, 8, 4];
     let mut len = width;
@@ -119,10 +120,15 @@ mod tests {
     #[test]
     fn autoencoder_prox_end_to_end() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let ds = BuildingModel::office("ae", 2).with_records_per_floor(25).simulate(&mut rng);
+        let ds = BuildingModel::office("ae", 2)
+            .with_records_per_floor(25)
+            .simulate(&mut rng);
         let split = ds.split(0.7, &mut rng).unwrap();
         let train = split.train.with_label_budget(4, &mut rng);
-        let cfg = BaselineConfig { epochs: 10, ..Default::default() };
+        let cfg = BaselineConfig {
+            epochs: 10,
+            ..Default::default()
+        };
         let mut model = AutoencoderProx::train(&train, &cfg, &mut rng).unwrap();
         let scored = split
             .test

@@ -117,7 +117,14 @@ impl Helm {
         let hc = random_hidden(&features, &clf_random_w, &clf_random_b);
         let clf_w = ridge_solve(&hc, &y, 1e-1);
 
-        Ok(Helm { encoder, stages, clf_random_w, clf_random_b, clf_w, floors })
+        Ok(Helm {
+            encoder,
+            stages,
+            clf_random_w,
+            clf_random_b,
+            clf_w,
+            floors,
+        })
     }
 
     fn features_of(&self, row: Vec<f32>) -> Matrix {
@@ -162,7 +169,9 @@ mod tests {
 
     fn accuracy(seed: u64, labels: usize) -> f64 {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let ds = BuildingModel::office("helm", 2).with_records_per_floor(40).simulate(&mut rng);
+        let ds = BuildingModel::office("helm", 2)
+            .with_records_per_floor(40)
+            .simulate(&mut rng);
         let split = ds.split(0.7, &mut rng).unwrap();
         let train = split.train.with_label_budget(labels, &mut rng);
         let cfg = BaselineConfig::default();
@@ -195,7 +204,11 @@ mod tests {
         let mut rows = Vec::new();
         for i in 0..40 {
             let c = if i < 20 { 0.0f32 } else { 1.0 };
-            rows.push((0..10).map(|d| c + 0.05 * ((i * d) % 7) as f32).collect::<Vec<f32>>());
+            rows.push(
+                (0..10)
+                    .map(|d| c + 0.05 * ((i * d) % 7) as f32)
+                    .collect::<Vec<f32>>(),
+            );
         }
         let x = Matrix::from_rows(&rows);
         let stage = ElmAeStage::fit(&x, 4, &mut rng);
@@ -212,7 +225,9 @@ mod tests {
     #[test]
     fn training_is_fast_closed_form() {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let ds = BuildingModel::office("helm2", 3).with_records_per_floor(60).simulate(&mut rng);
+        let ds = BuildingModel::office("helm2", 3)
+            .with_records_per_floor(60)
+            .simulate(&mut rng);
         let train = ds.with_label_budget(4, &mut rng);
         let t0 = std::time::Instant::now();
         let _ = Helm::train(&train, &BaselineConfig::default(), &mut rng).unwrap();

@@ -78,7 +78,12 @@ pub struct BaselineConfig {
 
 impl Default for BaselineConfig {
     fn default() -> Self {
-        BaselineConfig { dim: 8, epochs: 40, lr: 1e-3, batch: 32 }
+        BaselineConfig {
+            dim: 8,
+            epochs: 40,
+            lr: 1e-3,
+            batch: 32,
+        }
     }
 }
 
@@ -127,7 +132,10 @@ pub fn pseudo_labels(embeddings: &[Vec<f64>], labels: &[Option<FloorId>]) -> Vec
         .enumerate()
         .filter_map(|(i, l)| l.map(|f| (i, f)))
         .collect();
-    assert!(!labeled.is_empty(), "pseudo-labelling needs at least one labelled sample");
+    assert!(
+        !labeled.is_empty(),
+        "pseudo-labelling needs at least one labelled sample"
+    );
     embeddings
         .iter()
         .enumerate()

@@ -54,8 +54,9 @@ impl MdsProx {
                 d2[b * n + a] = v;
             }
         }
-        let mean_sq: Vec<f64> =
-            (0..n).map(|i| d2[i * n..(i + 1) * n].iter().sum::<f64>() / n as f64).collect();
+        let mean_sq: Vec<f64> = (0..n)
+            .map(|i| d2[i * n..(i + 1) * n].iter().sum::<f64>() / n as f64)
+            .collect();
         let grand = mean_sq.iter().sum::<f64>() / n as f64;
 
         // Double centring: B = −½ (d² − row̄ − col̄ + grand).
@@ -70,6 +71,7 @@ impl MdsProx {
         // Top-`dim` eigenpairs by power iteration + deflation.
         let mut coords = vec![vec![0.0f64; dim]; n];
         let mut inv_sqrt_components = Vec::with_capacity(dim);
+        #[allow(clippy::needless_range_loop)]
         for k in 0..dim {
             let (lambda, v) = power_iteration(&b, n, rng);
             if lambda <= 1e-10 {
@@ -91,7 +93,14 @@ impl MdsProx {
 
         let labels: Vec<Option<FloorId>> = train.samples().iter().map(|s| s.floor).collect();
         let clusters = fit_prox(&coords, &labels)?;
-        Ok(MdsProx { encoder, rows, inv_sqrt_components, mean_sq, clusters, dim })
+        Ok(MdsProx {
+            encoder,
+            rows,
+            inv_sqrt_components,
+            mean_sq,
+            clusters,
+            dim,
+        })
     }
 
     /// Gower out-of-sample embedding of one encoded row.
@@ -106,7 +115,9 @@ impl MdsProx {
         (0..self.dim)
             .map(|k| {
                 let comp = &self.inv_sqrt_components[k];
-                0.5 * (0..n).map(|i| comp[i] * (self.mean_sq[i] - delta2[i])).sum::<f64>()
+                0.5 * (0..n)
+                    .map(|i| comp[i] * (self.mean_sq[i] - delta2[i]))
+                    .sum::<f64>()
             })
             .collect()
     }
@@ -199,7 +210,9 @@ mod tests {
         // Three collinear "rows" with cosine distances that embed on a line:
         // the first coordinate should order them consistently.
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let ds = BuildingModel::office("mds", 2).with_records_per_floor(20).simulate(&mut rng);
+        let ds = BuildingModel::office("mds", 2)
+            .with_records_per_floor(20)
+            .simulate(&mut rng);
         let train = ds.with_label_budget(3, &mut rng);
         let model = MdsProx::train(&train, 4, &mut rng).unwrap();
         // Out-of-sample embedding of a training row ≈ its training position.
@@ -210,7 +223,9 @@ mod tests {
     #[test]
     fn mds_end_to_end_predicts() {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let ds = BuildingModel::office("mds2", 2).with_records_per_floor(25).simulate(&mut rng);
+        let ds = BuildingModel::office("mds2", 2)
+            .with_records_per_floor(25)
+            .simulate(&mut rng);
         let split = ds.split(0.7, &mut rng).unwrap();
         let train = split.train.with_label_budget(4, &mut rng);
         let mut model = MdsProx::train(&train, 8, &mut rng).unwrap();

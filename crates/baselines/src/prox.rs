@@ -16,7 +16,11 @@ pub(crate) fn fit_prox(
     if labels.iter().all(|l| l.is_none()) {
         return Err(BaselineError::NoLabeledSamples);
     }
-    Ok(ClusterModel::fit(embeddings, labels, &ClusteringConfig::default())?)
+    Ok(ClusterModel::fit(
+        embeddings,
+        labels,
+        &ClusteringConfig::default(),
+    )?)
 }
 
 pub(crate) fn to_f64(row: &[f32]) -> Vec<f64> {
@@ -72,7 +76,9 @@ mod tests {
     #[test]
     fn matrix_prox_runs_end_to_end() {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let ds = BuildingModel::office("mp", 2).with_records_per_floor(30).simulate(&mut rng);
+        let ds = BuildingModel::office("mp", 2)
+            .with_records_per_floor(30)
+            .simulate(&mut rng);
         let split = ds.split(0.7, &mut rng).unwrap();
         let train = split.train.with_label_budget(4, &mut rng);
         let mut model = MatrixProx::train(&train).unwrap();
@@ -92,7 +98,10 @@ mod tests {
             .with_records_per_floor(10)
             .simulate(&mut rng)
             .unlabeled();
-        assert_eq!(MatrixProx::train(&ds).unwrap_err(), BaselineError::NoLabeledSamples);
+        assert_eq!(
+            MatrixProx::train(&ds).unwrap_err(),
+            BaselineError::NoLabeledSamples
+        );
     }
 
     #[test]

@@ -83,10 +83,21 @@ impl Sae {
         layers.push(Box::new(Dense::new(config.dim, floors.len(), rng)));
         let mut net = Sequential::new(layers);
         for _ in 0..config.epochs {
-            net.train_epoch(&x, &y, Loss::SoftmaxCrossEntropy, config.lr, config.batch, rng);
+            net.train_epoch(
+                &x,
+                &y,
+                Loss::SoftmaxCrossEntropy,
+                config.lr,
+                config.batch,
+                rng,
+            );
         }
 
-        Ok(Sae { encoder, net, floors })
+        Ok(Sae {
+            encoder,
+            net,
+            floors,
+        })
     }
 }
 
@@ -150,11 +161,16 @@ mod tests {
     #[test]
     fn sae_learns_with_many_labels() {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let ds = BuildingModel::office("sae", 2).with_records_per_floor(40).simulate(&mut rng);
+        let ds = BuildingModel::office("sae", 2)
+            .with_records_per_floor(40)
+            .simulate(&mut rng);
         let split = ds.split(0.7, &mut rng).unwrap();
         // Plenty of labels: the supervised model should do decently.
         let train = split.train.with_label_budget(30, &mut rng);
-        let cfg = BaselineConfig { epochs: 30, ..Default::default() };
+        let cfg = BaselineConfig {
+            epochs: 30,
+            ..Default::default()
+        };
         let mut model = Sae::train(&train, &cfg, &mut rng).unwrap();
         let mut hits = 0;
         let mut total = 0;
@@ -167,7 +183,10 @@ mod tests {
             }
         }
         assert!(total > 0);
-        assert!(hits * 10 >= total * 6, "SAE with many labels: {hits}/{total}");
+        assert!(
+            hits * 10 >= total * 6,
+            "SAE with many labels: {hits}/{total}"
+        );
     }
 
     #[test]
@@ -182,6 +201,9 @@ mod tests {
             .with_records_per_floor(5)
             .simulate(&mut rng)
             .unlabeled();
-        assert_eq!(Sae::train(&ds, &cfg, &mut rng).unwrap_err(), BaselineError::NoLabeledSamples);
+        assert_eq!(
+            Sae::train(&ds, &cfg, &mut rng).unwrap_err(),
+            BaselineError::NoLabeledSamples
+        );
     }
 }

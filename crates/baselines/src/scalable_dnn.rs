@@ -83,9 +83,20 @@ impl ScalableDnn {
         ];
         let mut net = Sequential::new(layers);
         for _ in 0..config.epochs {
-            net.train_epoch(&x, &y, Loss::SoftmaxCrossEntropy, config.lr, config.batch, rng);
+            net.train_epoch(
+                &x,
+                &y,
+                Loss::SoftmaxCrossEntropy,
+                config.lr,
+                config.batch,
+                rng,
+            );
         }
-        Ok(ScalableDnn { encoder, net, floors })
+        Ok(ScalableDnn {
+            encoder,
+            net,
+            floors,
+        })
     }
 }
 
@@ -111,10 +122,15 @@ mod tests {
     #[test]
     fn scalable_dnn_learns_with_many_labels() {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let ds = BuildingModel::office("sd", 2).with_records_per_floor(40).simulate(&mut rng);
+        let ds = BuildingModel::office("sd", 2)
+            .with_records_per_floor(40)
+            .simulate(&mut rng);
         let split = ds.split(0.7, &mut rng).unwrap();
         let train = split.train.with_label_budget(30, &mut rng);
-        let cfg = BaselineConfig { epochs: 30, ..Default::default() };
+        let cfg = BaselineConfig {
+            epochs: 30,
+            ..Default::default()
+        };
         let mut model = ScalableDnn::train(&train, &cfg, &mut rng).unwrap();
         let mut hits = 0;
         let mut total = 0;
@@ -127,7 +143,10 @@ mod tests {
             }
         }
         assert!(total > 0);
-        assert!(hits * 10 >= total * 6, "Scalable-DNN with many labels: {hits}/{total}");
+        assert!(
+            hits * 10 >= total * 6,
+            "Scalable-DNN with many labels: {hits}/{total}"
+        );
     }
 
     #[test]
@@ -143,9 +162,14 @@ mod tests {
     #[test]
     fn predicts_known_floor_ids_only() {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let ds = BuildingModel::office("sd2", 3).with_records_per_floor(20).simulate(&mut rng);
+        let ds = BuildingModel::office("sd2", 3)
+            .with_records_per_floor(20)
+            .simulate(&mut rng);
         let train = ds.with_label_budget(5, &mut rng);
-        let cfg = BaselineConfig { epochs: 5, ..Default::default() };
+        let cfg = BaselineConfig {
+            epochs: 5,
+            ..Default::default()
+        };
         let mut model = ScalableDnn::train(&train, &cfg, &mut rng).unwrap();
         for s in train.samples().iter().take(10) {
             let f = model.predict(&s.record).unwrap();

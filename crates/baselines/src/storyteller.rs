@@ -101,20 +101,28 @@ impl StoryTeller {
             Box::new(Dense::new(32, floors.len(), rng)),
         ]);
         for _ in 0..config.epochs {
-            net.train_epoch(&x, &y, Loss::SoftmaxCrossEntropy, config.lr, config.batch, rng);
+            net.train_epoch(
+                &x,
+                &y,
+                Loss::SoftmaxCrossEntropy,
+                config.lr,
+                config.batch,
+                rng,
+            );
         }
-        Ok(StoryTeller { grid, cell_of, net, floors })
+        Ok(StoryTeller {
+            grid,
+            cell_of,
+            net,
+            floors,
+        })
     }
 }
 
 /// Rasterises a scan: per cell, the strongest scaled RSS among the cell's
 /// observed APs; weak signals (< −85 dBm) are dropped, per the
 /// "strong-signal APs" rule.
-fn render_image(
-    record: &SignalRecord,
-    cell_of: &HashMap<MacAddr, usize>,
-    grid: usize,
-) -> Vec<f32> {
+fn render_image(record: &SignalRecord, cell_of: &HashMap<MacAddr, usize>, grid: usize) -> Vec<f32> {
     let mut img = vec![0.0f32; grid * grid];
     for r in record.readings() {
         if r.rssi.dbm() < -85.0 {
@@ -158,15 +166,28 @@ mod tests {
         cell_of.insert(MacAddr::from_u64(1), 0);
         cell_of.insert(MacAddr::from_u64(2), 5);
         let rec = SignalRecord::new(vec![
-            grafics_types::Reading::new(MacAddr::from_u64(1), grafics_types::Rssi::new(-40.0).unwrap()),
-            grafics_types::Reading::new(MacAddr::from_u64(2), grafics_types::Rssi::new(-90.0).unwrap()),
-            grafics_types::Reading::new(MacAddr::from_u64(9), grafics_types::Rssi::new(-40.0).unwrap()),
+            grafics_types::Reading::new(
+                MacAddr::from_u64(1),
+                grafics_types::Rssi::new(-40.0).unwrap(),
+            ),
+            grafics_types::Reading::new(
+                MacAddr::from_u64(2),
+                grafics_types::Rssi::new(-90.0).unwrap(),
+            ),
+            grafics_types::Reading::new(
+                MacAddr::from_u64(9),
+                grafics_types::Rssi::new(-40.0).unwrap(),
+            ),
         ])
         .unwrap();
         let img = render_image(&rec, &cell_of, 4);
         assert!(img[0] > 0.5, "strong AP paints its cell");
         assert_eq!(img[5], 0.0, "weak AP dropped");
-        assert_eq!(img.iter().filter(|&&v| v > 0.0).count(), 1, "unknown AP ignored");
+        assert_eq!(
+            img.iter().filter(|&&v| v > 0.0).count(),
+            1,
+            "unknown AP ignored"
+        );
     }
 
     #[test]
@@ -177,10 +198,12 @@ mod tests {
         let ds = b.simulate_with_layout(&layout, &mut rng);
         let split = ds.split(0.7, &mut rng).unwrap();
         let train = split.train.with_label_budget(20, &mut rng);
-        let cfg = BaselineConfig { epochs: 30, ..Default::default() };
+        let cfg = BaselineConfig {
+            epochs: 30,
+            ..Default::default()
+        };
         let mut model =
-            StoryTeller::train(&train, &layout, b.width_m, b.depth_m, 12, &cfg, &mut rng)
-                .unwrap();
+            StoryTeller::train(&train, &layout, b.width_m, b.depth_m, 12, &cfg, &mut rng).unwrap();
         let mut hits = 0;
         let mut total = 0;
         for s in split.test.samples() {

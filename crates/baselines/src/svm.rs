@@ -74,7 +74,11 @@ impl SvmOvO {
                 machines.push((fa, fb, w, bias));
             }
         }
-        Ok(SvmOvO { encoder, machines, floors })
+        Ok(SvmOvO {
+            encoder,
+            machines,
+            floors,
+        })
     }
 
     /// Number of pairwise machines (the paper's quadratic-growth pain).
@@ -158,7 +162,9 @@ mod tests {
     #[test]
     fn machine_count_is_quadratic() {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let ds = BuildingModel::office("svm", 4).with_records_per_floor(20).simulate(&mut rng);
+        let ds = BuildingModel::office("svm", 4)
+            .with_records_per_floor(20)
+            .simulate(&mut rng);
         let train = ds.with_label_budget(5, &mut rng);
         let model = SvmOvO::train(&train, &BaselineConfig::default(), &mut rng).unwrap();
         assert_eq!(model.machine_count(), 6); // C(4, 2)
@@ -167,7 +173,9 @@ mod tests {
     #[test]
     fn svm_learns_with_many_labels() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let ds = BuildingModel::office("svm2", 2).with_records_per_floor(40).simulate(&mut rng);
+        let ds = BuildingModel::office("svm2", 2)
+            .with_records_per_floor(40)
+            .simulate(&mut rng);
         let split = ds.split(0.7, &mut rng).unwrap();
         let train = split.train.with_label_budget(25, &mut rng);
         let mut model = SvmOvO::train(&train, &BaselineConfig::default(), &mut rng).unwrap();
@@ -182,7 +190,10 @@ mod tests {
             }
         }
         assert!(total > 0);
-        assert!(hits * 10 >= total * 6, "SVM with many labels: {hits}/{total}");
+        assert!(
+            hits * 10 >= total * 6,
+            "SVM with many labels: {hits}/{total}"
+        );
     }
 
     #[test]

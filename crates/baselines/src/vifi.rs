@@ -54,8 +54,11 @@ impl ViFi {
         if labeled.is_empty() {
             return Err(BaselineError::NoLabeledSamples);
         }
-        let ap_index: HashMap<MacAddr, (f64, f64, i16)> =
-            layout.aps.iter().map(|a| (a.mac, (a.x, a.y, a.floor))).collect();
+        let ap_index: HashMap<MacAddr, (f64, f64, i16)> = layout
+            .aps
+            .iter()
+            .map(|a| (a.mac, (a.x, a.y, a.floor)))
+            .collect();
 
         // Least squares over observations: RSS = P0 − 10 n log10(d) − FAF·Δf.
         // Design matrix columns: [1, −10·log10(d), −Δf]. ViFi does not know
@@ -65,13 +68,23 @@ impl ViFi {
         let mut ys: Vec<f64> = Vec::new();
         for s in &labeled {
             let strongest = s.record.strongest();
-            let Some(&(sx, sy, _)) = ap_index.get(&strongest.mac) else { continue };
+            let Some(&(sx, sy, _)) = ap_index.get(&strongest.mac) else {
+                continue;
+            };
             let sample_floor = f64::from(s.floor.expect("labelled").0);
             for r in s.record.readings() {
-                let Some(&(ax, ay, af)) = ap_index.get(&r.mac) else { continue };
+                let Some(&(ax, ay, af)) = ap_index.get(&r.mac) else {
+                    continue;
+                };
                 let dz = (f64::from(af) - sample_floor) * floor_height_m;
-                let d = ((ax - sx).powi(2) + (ay - sy).powi(2) + dz * dz).sqrt().max(1.0);
-                rows.push([1.0, -10.0 * d.log10(), -(f64::from(af) - sample_floor).abs()]);
+                let d = ((ax - sx).powi(2) + (ay - sy).powi(2) + dz * dz)
+                    .sqrt()
+                    .max(1.0);
+                rows.push([
+                    1.0,
+                    -10.0 * d.log10(),
+                    -(f64::from(af) - sample_floor).abs(),
+                ]);
                 ys.push(r.rssi.dbm());
             }
         }
@@ -96,13 +109,14 @@ impl ViFi {
                             let d = ((a.x - x).powi(2) + (a.y - y).powi(2) + dz * dz)
                                 .sqrt()
                                 .max(1.0);
-                            let rss = p0 - 10.0 * n * d.log10()
+                            let rss = p0
+                                - 10.0 * n * d.log10()
                                 - faf * f64::from((a.floor - floor).abs());
                             (a.mac, rss)
                         })
                         .filter(|&(_, rss)| rss > -95.0)
                         .collect();
-                    fp.sort_by(|a, b| a.0.cmp(&b.0));
+                    fp.sort_by_key(|&(mac, _)| mac);
                     references.push((FloorId(floor), fp));
                 }
             }
@@ -163,6 +177,7 @@ fn fingerprint_distance(record: &SignalRecord, fp: &[(MacAddr, f64)]) -> f64 {
 
 /// Ordinary least squares for a 3-parameter linear model via the normal
 /// equations (closed form for the 3×3 system).
+#[allow(clippy::needless_range_loop)] // Gaussian elimination over two rows of `m` at once
 fn solve_3x3_least_squares(rows: &[[f64; 3]], ys: &[f64]) -> [f64; 3] {
     let mut ata = [[0.0f64; 3]; 3];
     let mut aty = [0.0f64; 3];
@@ -185,7 +200,12 @@ fn solve_3x3_least_squares(rows: &[[f64; 3]], ys: &[f64]) -> [f64; 3] {
     ];
     for col in 0..3 {
         let pivot = (col..3)
-            .max_by(|&a, &b| m[a][col].abs().partial_cmp(&m[b][col].abs()).expect("finite"))
+            .max_by(|&a, &b| {
+                m[a][col]
+                    .abs()
+                    .partial_cmp(&m[b][col].abs())
+                    .expect("finite")
+            })
             .expect("non-empty");
         m.swap(col, pivot);
         let p = m[col][col];
@@ -242,8 +262,16 @@ mod tests {
         )
         .unwrap();
         // The simulator uses n = 2.8, FAF = 16; the fit should land nearby.
-        assert!((1.5..=4.5).contains(&model.path_loss_exponent), "{}", model.path_loss_exponent);
-        assert!((5.0..=30.0).contains(&model.floor_attenuation_db), "{}", model.floor_attenuation_db);
+        assert!(
+            (1.5..=4.5).contains(&model.path_loss_exponent),
+            "{}",
+            model.path_loss_exponent
+        );
+        assert!(
+            (5.0..=30.0).contains(&model.floor_attenuation_db),
+            "{}",
+            model.floor_attenuation_db
+        );
     }
 
     #[test]
@@ -297,8 +325,7 @@ mod tests {
         let layout = b.layout(&mut rng);
         let ds = b.simulate_with_layout(&layout, &mut rng);
         let train = ds.with_label_budget(5, &mut rng);
-        let model =
-            ViFi::train(&train, &layout, b.width_m, b.depth_m, b.floors, 3.5, 4).unwrap();
+        let model = ViFi::train(&train, &layout, b.width_m, b.depth_m, b.floors, 3.5, 4).unwrap();
         let foreign = SignalRecord::new(vec![grafics_types::Reading::new(
             MacAddr::from_u64(0xdeadbeef),
             grafics_types::Rssi::new(-50.0).unwrap(),

@@ -16,7 +16,9 @@ use std::hint::black_box;
 
 fn graph() -> BipartiteGraph {
     let mut rng = ChaCha8Rng::seed_from_u64(42);
-    let ds = BuildingModel::office("abl", 3).with_records_per_floor(50).simulate(&mut rng);
+    let ds = BuildingModel::office("abl", 3)
+        .with_records_per_floor(50)
+        .simulate(&mut rng);
     BipartiteGraph::from_dataset(&ds, WeightFunction::default())
 }
 
@@ -26,7 +28,11 @@ fn bench_objective(c: &mut Criterion) {
     let g = graph();
     let mut group = c.benchmark_group("ablation_objective");
     group.sample_size(10);
-    for objective in [Objective::LineFirst, Objective::LineSecond, Objective::ELine] {
+    for objective in [
+        Objective::LineFirst,
+        Objective::LineSecond,
+        Objective::ELine,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("train", format!("{objective}")),
             &objective,
@@ -34,8 +40,14 @@ fn bench_objective(c: &mut Criterion) {
                 b.iter_batched(
                     || ChaCha8Rng::seed_from_u64(1),
                     |mut rng| {
-                        let cfg = EmbeddingConfig { objective, epochs: 10, ..Default::default() };
-                        ElineTrainer::new(cfg).train(black_box(&g), &mut rng).unwrap()
+                        let cfg = EmbeddingConfig {
+                            objective,
+                            epochs: 10,
+                            ..Default::default()
+                        };
+                        ElineTrainer::new(cfg)
+                            .train(black_box(&g), &mut rng)
+                            .unwrap()
                     },
                     BatchSize::SmallInput,
                 )
@@ -55,8 +67,14 @@ fn bench_negatives(c: &mut Criterion) {
             b.iter_batched(
                 || ChaCha8Rng::seed_from_u64(2),
                 |mut rng| {
-                    let cfg = EmbeddingConfig { negatives: k, epochs: 10, ..Default::default() };
-                    ElineTrainer::new(cfg).train(black_box(&g), &mut rng).unwrap()
+                    let cfg = EmbeddingConfig {
+                        negatives: k,
+                        epochs: 10,
+                        ..Default::default()
+                    };
+                    ElineTrainer::new(cfg)
+                        .train(black_box(&g), &mut rng)
+                        .unwrap()
                 },
                 BatchSize::SmallInput,
             )
@@ -69,11 +87,14 @@ fn bench_negatives(c: &mut Criterion) {
 /// the offset choice (accuracy winner, Fig. 16) is also not slower.
 fn bench_weight_functions(c: &mut Criterion) {
     let mut rng = ChaCha8Rng::seed_from_u64(3);
-    let ds = BuildingModel::office("wf", 2).with_records_per_floor(50).simulate(&mut rng);
+    let ds = BuildingModel::office("wf", 2)
+        .with_records_per_floor(50)
+        .simulate(&mut rng);
     let mut group = c.benchmark_group("ablation_weight_fn");
-    for (name, wf) in
-        [("offset", WeightFunction::offset_default()), ("power", WeightFunction::Power)]
-    {
+    for (name, wf) in [
+        ("offset", WeightFunction::offset_default()),
+        ("power", WeightFunction::Power),
+    ] {
         group.bench_with_input(BenchmarkId::new("graph_build", name), &wf, |b, &wf| {
             b.iter(|| BipartiteGraph::from_dataset(black_box(&ds), wf))
         });
@@ -88,11 +109,20 @@ fn bench_linkage(c: &mut Criterion) {
     let points: Vec<Vec<f64>> = (0..n)
         .map(|i| {
             let f = (i % 3) as f64 * 10.0;
-            (0..8).map(|_| f + rand::Rng::gen_range(&mut rng, -1.0..1.0)).collect()
+            (0..8)
+                .map(|_| f + rand::Rng::gen_range(&mut rng, -1.0..1.0))
+                .collect()
         })
         .collect();
-    let labels: Vec<Option<FloorId>> =
-        (0..n).map(|i| if i < 12 { Some(FloorId((i % 3) as i16)) } else { None }).collect();
+    let labels: Vec<Option<FloorId>> = (0..n)
+        .map(|i| {
+            if i < 12 {
+                Some(FloorId((i % 3) as i16))
+            } else {
+                None
+            }
+        })
+        .collect();
     let mut group = c.benchmark_group("ablation_linkage");
     group.sample_size(10);
     for linkage in [Linkage::Average, Linkage::Single, Linkage::Complete] {
@@ -100,7 +130,10 @@ fn bench_linkage(c: &mut Criterion) {
             BenchmarkId::new("fit", format!("{linkage:?}")),
             &linkage,
             |b, &linkage| {
-                let cfg = ClusteringConfig { linkage, ..Default::default() };
+                let cfg = ClusteringConfig {
+                    linkage,
+                    ..Default::default()
+                };
                 b.iter(|| ClusterModel::fit(black_box(&points), black_box(&labels), &cfg).unwrap())
             },
         );
@@ -108,5 +141,11 @@ fn bench_linkage(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_objective, bench_negatives, bench_weight_functions, bench_linkage);
+criterion_group!(
+    benches,
+    bench_objective,
+    bench_negatives,
+    bench_weight_functions,
+    bench_linkage
+);
 criterion_main!(benches);

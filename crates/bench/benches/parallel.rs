@@ -1,0 +1,77 @@
+//! Serial-vs-parallel Criterion benchmarks for the offline hot path:
+//! E-LINE training (`embed/train_parallel`) and the O(n²) dissimilarity
+//! matrix seeding the constrained clustering
+//! (`cluster/dissimilarity_parallel`). Each group benchmarks the serial
+//! baseline next to the multi-threaded variant so the speedup can be read
+//! directly off adjacent lines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grafics_cluster::dissimilarity_matrix;
+use grafics_data::BuildingModel;
+use grafics_embed::{ElineTrainer, EmbeddingConfig};
+use grafics_graph::{BipartiteGraph, NodeIdx, WeightFunction};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn office_graph(records_per_floor: usize) -> BipartiteGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let ds = BuildingModel::office("bench-par", 3)
+        .with_records_per_floor(records_per_floor)
+        .simulate(&mut rng);
+    BipartiteGraph::from_dataset(&ds, WeightFunction::default())
+}
+
+fn bench_train_parallel(c: &mut Criterion) {
+    let graph = office_graph(60);
+    let mut group = c.benchmark_group("embed/train_parallel");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let cfg = EmbeddingConfig {
+            epochs: 15,
+            threads,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("eline_threads", threads),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    let mut rng = ChaCha8Rng::seed_from_u64(7);
+                    ElineTrainer::new(*cfg)
+                        .train(black_box(&graph), &mut rng)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_dissimilarity_parallel(c: &mut Criterion) {
+    // Embedding-shaped points: dim 8, a few hundred records.
+    let graph = office_graph(100);
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let cfg = EmbeddingConfig {
+        epochs: 5,
+        ..Default::default()
+    };
+    let model = ElineTrainer::new(cfg).train(&graph, &mut rng).unwrap();
+    let points: Vec<Vec<f64>> = (0..graph.node_capacity())
+        .map(|i| model.ego_vec(NodeIdx(i as u32)))
+        .collect();
+
+    let mut group = c.benchmark_group("cluster/dissimilarity_parallel");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("pairwise_l2", threads),
+            &threads,
+            |b, &t| b.iter(|| dissimilarity_matrix(black_box(&points), t)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_parallel, bench_dissimilarity_parallel);
+criterion_main!(benches);

@@ -16,7 +16,9 @@ use std::hint::black_box;
 
 fn corpus(records_per_floor: usize) -> Dataset {
     let mut rng = ChaCha8Rng::seed_from_u64(99);
-    BuildingModel::office("bench", 3).with_records_per_floor(records_per_floor).simulate(&mut rng)
+    BuildingModel::office("bench", 3)
+        .with_records_per_floor(records_per_floor)
+        .simulate(&mut rng)
 }
 
 fn bench_graph_build(c: &mut Criterion) {
@@ -30,7 +32,9 @@ fn bench_alias_sampling(c: &mut Criterion) {
     let weights: Vec<f64> = (1..=10_000).map(|i| (i % 97 + 1) as f64).collect();
     let table = AliasTable::new(&weights).unwrap();
     let mut rng = ChaCha8Rng::seed_from_u64(1);
-    c.bench_function("alias/sample_10k_outcomes", |b| b.iter(|| table.sample(&mut rng)));
+    c.bench_function("alias/sample_10k_outcomes", |b| {
+        b.iter(|| table.sample(&mut rng))
+    });
 }
 
 fn bench_embedding_training(c: &mut Criterion) {
@@ -39,16 +43,25 @@ fn bench_embedding_training(c: &mut Criterion) {
     let mut group = c.benchmark_group("embed");
     group.sample_size(10);
     for epochs in [5usize, 20] {
-        group.bench_with_input(BenchmarkId::new("eline_train", epochs), &epochs, |b, &epochs| {
-            b.iter_batched(
-                || ChaCha8Rng::seed_from_u64(7),
-                |mut rng| {
-                    let cfg = EmbeddingConfig { epochs, ..Default::default() };
-                    ElineTrainer::new(cfg).train(black_box(&graph), &mut rng).unwrap()
-                },
-                BatchSize::SmallInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("eline_train", epochs),
+            &epochs,
+            |b, &epochs| {
+                b.iter_batched(
+                    || ChaCha8Rng::seed_from_u64(7),
+                    |mut rng| {
+                        let cfg = EmbeddingConfig {
+                            epochs,
+                            ..Default::default()
+                        };
+                        ElineTrainer::new(cfg)
+                            .train(black_box(&graph), &mut rng)
+                            .unwrap()
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
     }
     group.finish();
 }
@@ -62,11 +75,19 @@ fn bench_clustering(c: &mut Criterion) {
         let points: Vec<Vec<f64>> = (0..n)
             .map(|i| {
                 let f = (i % 3) as f64 * 10.0;
-                (0..8).map(|_| f + rand::Rng::gen_range(&mut rng, -1.0..1.0)).collect()
+                (0..8)
+                    .map(|_| f + rand::Rng::gen_range(&mut rng, -1.0..1.0))
+                    .collect()
             })
             .collect();
         let labels: Vec<Option<FloorId>> = (0..n)
-            .map(|i| if i < 12 { Some(FloorId((i % 3) as i16)) } else { None })
+            .map(|i| {
+                if i < 12 {
+                    Some(FloorId((i % 3) as i16))
+                } else {
+                    None
+                }
+            })
             .collect();
         group.bench_with_input(BenchmarkId::new("constrained_average", n), &n, |b, _| {
             b.iter(|| {
@@ -88,8 +109,12 @@ fn bench_online_inference(c: &mut Criterion) {
     let split = ds.split(0.7, &mut rng).unwrap();
     let train = split.train.with_label_budget(4, &mut rng);
     let model = Grafics::train(&train, &GraficsConfig::fast(), &mut rng).unwrap();
-    let test_records: Vec<_> =
-        split.test.samples().iter().map(|s| s.record.clone()).collect();
+    let test_records: Vec<_> = split
+        .test
+        .samples()
+        .iter()
+        .map(|s| s.record.clone())
+        .collect();
     let mut group = c.benchmark_group("online");
     group.sample_size(20);
     group.bench_function("infer_one_record", |b| {

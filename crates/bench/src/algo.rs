@@ -56,7 +56,13 @@ impl Algo {
     /// The five-algorithm comparison set of Figs. 11–12.
     #[must_use]
     pub fn comparison_set() -> Vec<Algo> {
-        vec![Algo::Grafics, Algo::ScalableDnn, Algo::Sae, Algo::MdsProx, Algo::AutoencoderProx]
+        vec![
+            Algo::Grafics,
+            Algo::ScalableDnn,
+            Algo::Sae,
+            Algo::MdsProx,
+            Algo::AutoencoderProx,
+        ]
     }
 }
 
@@ -75,15 +81,23 @@ pub fn train_and_score(
     let mut cm = ConfusionMatrix::new();
     let base = grafics_override.unwrap_or_default();
     match algo {
-        Algo::Grafics | Algo::GraficsLine | Algo::GraficsPowerWeight | Algo::GraficsUnconstrained => {
+        Algo::Grafics
+        | Algo::GraficsLine
+        | Algo::GraficsPowerWeight
+        | Algo::GraficsUnconstrained => {
             let config = match algo {
-                Algo::GraficsLine => GraficsConfig { objective: Objective::LineSecond, ..base },
-                Algo::GraficsPowerWeight => {
-                    GraficsConfig { weight_function: WeightFunction::Power, ..base }
-                }
-                Algo::GraficsUnconstrained => {
-                    GraficsConfig { constrained_clustering: false, ..base }
-                }
+                Algo::GraficsLine => GraficsConfig {
+                    objective: Objective::LineSecond,
+                    ..base
+                },
+                Algo::GraficsPowerWeight => GraficsConfig {
+                    weight_function: WeightFunction::Power,
+                    ..base
+                },
+                Algo::GraficsUnconstrained => GraficsConfig {
+                    constrained_clustering: false,
+                    ..base
+                },
                 _ => base,
             };
             let Ok(mut model) = Grafics::train(train, &config, rng) else {
@@ -96,19 +110,29 @@ pub fn train_and_score(
             }
         }
         Algo::ScalableDnn => {
-            let cfg = BaselineConfig { dim: base.dim, ..Default::default() };
+            let cfg = BaselineConfig {
+                dim: base.dim,
+                ..Default::default()
+            };
             if let Ok(mut model) = ScalableDnn::train(train, &cfg, rng) {
                 score_classifier(&mut model, test, &mut cm);
             }
         }
         Algo::Sae => {
-            let cfg = BaselineConfig { dim: base.dim, ..Default::default() };
+            let cfg = BaselineConfig {
+                dim: base.dim,
+                ..Default::default()
+            };
             if let Ok(mut model) = Sae::train(train, &cfg, rng) {
                 score_classifier(&mut model, test, &mut cm);
             }
         }
         Algo::AutoencoderProx => {
-            let cfg = BaselineConfig { dim: base.dim, epochs: 20, ..Default::default() };
+            let cfg = BaselineConfig {
+                dim: base.dim,
+                epochs: 20,
+                ..Default::default()
+            };
             if let Ok(mut model) = AutoencoderProx::train(train, &cfg, rng) {
                 score_classifier(&mut model, test, &mut cm);
             }
@@ -155,7 +179,10 @@ mod tests {
     #[test]
     fn comparison_set_matches_paper_legend() {
         let names: Vec<&str> = Algo::comparison_set().iter().map(|a| a.name()).collect();
-        assert_eq!(names, vec!["GRAFICS", "Scalable-DNN", "SAE", "MDS", "Autoencoder"]);
+        assert_eq!(
+            names,
+            vec!["GRAFICS", "Scalable-DNN", "SAE", "MDS", "Autoencoder"]
+        );
     }
 
     #[test]
@@ -174,11 +201,13 @@ mod tests {
             let split = ds.split(0.7, &mut rng).unwrap();
             let train = split.train.with_label_budget(4, &mut rng);
             g_sum += train_and_score(Algo::Grafics, &train, &split.test, None, &mut rng).micro_f;
-            m_sum +=
-                train_and_score(Algo::MatrixProx, &train, &split.test, None, &mut rng).micro_f;
+            m_sum += train_and_score(Algo::MatrixProx, &train, &split.test, None, &mut rng).micro_f;
         }
         let (g, m) = (g_sum / 3.0, m_sum / 3.0);
-        assert!(g > m + 0.1, "GRAFICS {g:.3} should clearly beat Matrix+Prox {m:.3}");
+        assert!(
+            g > m + 0.1,
+            "GRAFICS {g:.3} should clearly beat Matrix+Prox {m:.3}"
+        );
         assert!(g > 0.8, "GRAFICS micro-F {g:.3}");
     }
 }

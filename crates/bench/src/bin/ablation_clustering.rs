@@ -12,18 +12,33 @@ fn main() {
         ("average+constrained", GraficsConfig::default()),
         (
             "average+unconstrained",
-            GraficsConfig { constrained_clustering: false, ..Default::default() },
+            GraficsConfig {
+                constrained_clustering: false,
+                ..Default::default()
+            },
         ),
-        ("single+constrained", GraficsConfig { linkage: Linkage::Single, ..Default::default() }),
+        (
+            "single+constrained",
+            GraficsConfig {
+                linkage: Linkage::Single,
+                ..Default::default()
+            },
+        ),
         (
             "complete+constrained",
-            GraficsConfig { linkage: Linkage::Complete, ..Default::default() },
+            GraficsConfig {
+                linkage: Linkage::Complete,
+                ..Default::default()
+            },
         ),
     ];
     let mut all = Vec::new();
     for (fleet_name, fleet) in fleets(&cfg) {
         println!("\n== {fleet_name} ==");
-        println!("{:<24} {:>9} {:>9} {:>9}", "variant", "micro-F", "macro-F", "±std");
+        println!(
+            "{:<24} {:>9} {:>9} {:>9}",
+            "variant", "micro-F", "macro-F", "±std"
+        );
         for (name, over) in &variants {
             let results = run_fleet(&fleet, &[Algo::Grafics], &cfg, Some(*over));
             let s = &mean_report(&results)[0];

@@ -12,7 +12,10 @@ fn main() {
         println!("\n== {fleet_name} ==");
         println!("{:>4} {:>9} {:>9}", "K", "micro-F", "macro-F");
         for &negatives in &ks {
-            let over = GraficsConfig { negatives, ..Default::default() };
+            let over = GraficsConfig {
+                negatives,
+                ..Default::default()
+            };
             let results = run_fleet(&fleet, &[Algo::Grafics], &cfg, Some(over));
             let s = &mean_report(&results)[0];
             println!("{negatives:>4} {:>9.3} {:>9.3}", s.micro.2, s.macro_.2);

@@ -18,9 +18,15 @@ fn main() {
     let mut all = Vec::new();
     for (fleet_name, fleet) in fleets(&cfg) {
         println!("\n== {fleet_name} ==");
-        println!("{:<14} {:>9} {:>9} {:>9}", "objective", "micro-F", "macro-F", "±std");
+        println!(
+            "{:<14} {:>9} {:>9} {:>9}",
+            "objective", "micro-F", "macro-F", "±std"
+        );
         for objective in objectives {
-            let over = GraficsConfig { objective, ..Default::default() };
+            let over = GraficsConfig {
+                objective,
+                ..Default::default()
+            };
             let results = run_fleet(&fleet, &[Algo::Grafics], &cfg, Some(over));
             let s = &mean_report(&results)[0];
             println!(

@@ -14,10 +14,16 @@ fn main() {
         println!("\n== {fleet_name} ==");
         println!("{:>8} {:>9} {:>9}", "samples", "micro-F", "macro-F");
         for &online_samples_per_edge in &budgets {
-            let over = GraficsConfig { online_samples_per_edge, ..Default::default() };
+            let over = GraficsConfig {
+                online_samples_per_edge,
+                ..Default::default()
+            };
             let results = run_fleet(&fleet, &[Algo::Grafics], &cfg, Some(over));
             let s = &mean_report(&results)[0];
-            println!("{online_samples_per_edge:>8} {:>9.3} {:>9.3}", s.micro.2, s.macro_.2);
+            println!(
+                "{online_samples_per_edge:>8} {:>9.3} {:>9.3}",
+                s.micro.2, s.macro_.2
+            );
             all.push(serde_json::json!({
                 "fleet": fleet_name,
                 "online_samples_per_edge": online_samples_per_edge,

@@ -58,7 +58,9 @@ fn main() {
             let mut cm_pruned = ConfusionMatrix::new();
             for i in 0..200 {
                 let floor = (i % building.floors as usize) as i16;
-                let Some(scan) = building.scan(&layout, floor, &mut rng) else { continue };
+                let Some(scan) = building.scan(&layout, floor, &mut rng) else {
+                    continue;
+                };
                 if let Ok(p) = stale.infer(&scan, &mut rng) {
                     cm_stale.observe(FloorId(floor), p.floor);
                 }

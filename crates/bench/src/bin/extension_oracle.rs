@@ -33,9 +33,15 @@ fn main() {
         for run in 0..cfg.runs {
             let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed + run as u64);
             let layout = b.layout(&mut rng);
-            let ds = b.simulate_with_layout(&layout, &mut rng).filter_rare_macs(2);
-            let Ok(split) = ds.split(cfg.train_ratio, &mut rng) else { continue };
-            let train = split.train.with_label_budget(cfg.labels_per_floor, &mut rng);
+            let ds = b
+                .simulate_with_layout(&layout, &mut rng)
+                .filter_rare_macs(2);
+            let Ok(split) = ds.split(cfg.train_ratio, &mut rng) else {
+                continue;
+            };
+            let train = split
+                .train
+                .with_label_budget(cfg.labels_per_floor, &mut rng);
 
             // GRAFICS (crowdsourced info only).
             let mut cm = ConfusionMatrix::new();

@@ -16,7 +16,10 @@ fn main() {
     let floor = BuildingModel::mall("fig1-mall", 1).with_records_per_floor(records);
     let ds = floor.simulate(&mut rng);
     let st = ds.stats();
-    println!("mall floor: {} records, {} distinct MACs", st.records, st.macs);
+    println!(
+        "mall floor: {} records, {} distinct MACs",
+        st.records, st.macs
+    );
 
     let macs_cdf = stats::macs_per_record_cdf(&ds);
     println!("\n(a) CDF of #MACs in a signal record");

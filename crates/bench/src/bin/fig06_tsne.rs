@@ -48,16 +48,24 @@ fn main() {
     let auto = autoencoder_coords(&encoder, &ds, 8, &mut rng);
 
     let mut scores = Vec::new();
-    for (tag, name, coords) in
-        [("a", "E-LINE", &eline), ("b", "MDS", &mds), ("c", "Autoencoder", &auto)]
-    {
-        let tsne_cfg = TsneConfig { perplexity: 30.0, iterations: 300, ..Default::default() };
+    for (tag, name, coords) in [
+        ("a", "E-LINE", &eline),
+        ("b", "MDS", &mds),
+        ("c", "Autoencoder", &auto),
+    ] {
+        let tsne_cfg = TsneConfig {
+            perplexity: 30.0,
+            iterations: 300,
+            ..Default::default()
+        };
         let projected = Tsne::new(tsne_cfg).run(coords, &mut rng).expect("tsne");
         let sep = knn_purity(coords, &ds, 10);
         scores.push(serde_json::json!({ "method": name, "knn_purity": sep }));
         println!("{name}: 10-NN floor purity {sep:.3} (higher = cleaner clusters)");
 
-        let mut plot = ScatterPlot::new(&format!("Fig 6({tag}): {name} embeddings, 3-storey building"));
+        let mut plot = ScatterPlot::new(&format!(
+            "Fig 6({tag}): {name} embeddings, 3-storey building"
+        ));
         for (fi, floor) in ds.floors().iter().enumerate() {
             let pts: Vec<(f64, f64)> = ds
                 .samples()
@@ -66,7 +74,11 @@ fn main() {
                 .filter(|(_, s)| s.ground_truth == *floor)
                 .map(|(i, _)| (projected[i][0], projected[i][1]))
                 .collect();
-            plot.add_series(Series::new(&floor.to_string(), ScatterPlot::palette(fi), pts));
+            plot.add_series(Series::new(
+                &floor.to_string(),
+                ScatterPlot::palette(fi),
+                pts,
+            ));
         }
         std::fs::create_dir_all("results").ok();
         let path = format!("results/fig06_{tag}.svg");
@@ -82,14 +94,15 @@ fn main() {
 /// floor, which are harmless for the clustering stage.)
 fn knn_purity(coords: &[Vec<f64>], ds: &Dataset, k: usize) -> f64 {
     let n = coords.len();
-    let dist2 = |a: &[f64], b: &[f64]| -> f64 {
-        a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
-    };
+    let dist2 =
+        |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum() };
     let mut agree = 0usize;
     let mut total = 0usize;
     for i in 0..n {
-        let mut d: Vec<(f64, usize)> =
-            (0..n).filter(|&j| j != i).map(|j| (dist2(&coords[i], &coords[j]), j)).collect();
+        let mut d: Vec<(f64, usize)> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| (dist2(&coords[i], &coords[j]), j))
+            .collect();
         d.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
         for &(_, j) in d.iter().take(k) {
             total += 1;
@@ -131,7 +144,9 @@ fn mds_coords(
             d2[b * n + a] = d * d;
         }
     }
-    let mean: Vec<f64> = (0..n).map(|i| d2[i * n..(i + 1) * n].iter().sum::<f64>() / n as f64).collect();
+    let mean: Vec<f64> = (0..n)
+        .map(|i| d2[i * n..(i + 1) * n].iter().sum::<f64>() / n as f64)
+        .collect();
     let grand = mean.iter().sum::<f64>() / n as f64;
     let mut b = vec![0.0f64; n * n];
     for i in 0..n {
@@ -140,9 +155,12 @@ fn mds_coords(
         }
     }
     let mut coords = vec![vec![0.0f64; dim]; n];
+    #[allow(clippy::needless_range_loop)]
     for k in 0..dim {
         // Power iteration.
-        let mut v: Vec<f64> = (0..n).map(|_| rand::Rng::gen_range(rng, -1.0..1.0)).collect();
+        let mut v: Vec<f64> = (0..n)
+            .map(|_| rand::Rng::gen_range(rng, -1.0..1.0))
+            .collect();
         let norm = |v: &mut Vec<f64>| {
             let s = v.iter().map(|x| x * x).sum::<f64>().sqrt();
             if s > 0.0 {
@@ -154,7 +172,11 @@ fn mds_coords(
         for _ in 0..60 {
             let mut w = vec![0.0; n];
             for i in 0..n {
-                w[i] = b[i * n..(i + 1) * n].iter().zip(&v).map(|(&x, &y)| x * y).sum();
+                w[i] = b[i * n..(i + 1) * n]
+                    .iter()
+                    .zip(&v)
+                    .map(|(&x, &y)| x * y)
+                    .sum();
             }
             lambda = v.iter().zip(&w).map(|(&x, &y)| x * y).sum();
             norm(&mut w);

@@ -28,22 +28,33 @@ fn main() {
         .collect();
     let labels: Vec<_> = ds.samples().iter().map(|s| s.floor).collect();
 
-    let cluster_cfg = ClusteringConfig { record_history: true, ..Default::default() };
+    let cluster_cfg = ClusteringConfig {
+        record_history: true,
+        ..Default::default()
+    };
     let fitted = ClusterModel::fit(&points, &labels, &cluster_cfg).expect("cluster");
     let history = fitted.history();
-    println!("{} merges to {} clusters", history.len(), fitted.clusters().len());
+    println!(
+        "{} merges to {} clusters",
+        history.len(),
+        fitted.clusters().len()
+    );
 
     // 2-D map for drawing.
-    let tsne = Tsne::new(TsneConfig { perplexity: 25.0, iterations: 300, ..Default::default() })
-        .run(&points, &mut rng)
-        .expect("tsne");
+    let tsne = Tsne::new(TsneConfig {
+        perplexity: 25.0,
+        iterations: 300,
+        ..Default::default()
+    })
+    .run(&points, &mut rng)
+    .expect("tsne");
 
     std::fs::create_dir_all("results").ok();
     for pct in [20usize, 40, 60, 80, 100] {
         let upto = history.len() * pct / 100;
         // Union-find replay of the first `upto` merges.
         let mut parent: Vec<usize> = (0..points.len()).collect();
-        fn root(parent: &mut Vec<usize>, mut i: usize) -> usize {
+        fn root(parent: &mut [usize], mut i: usize) -> usize {
             while parent[i] != i {
                 parent[i] = parent[parent[i]];
                 i = parent[i];
@@ -51,7 +62,10 @@ fn main() {
             i
         }
         for step in &history[..upto] {
-            let (rk, ra) = (root(&mut parent, step.kept), root(&mut parent, step.absorbed));
+            let (rk, ra) = (
+                root(&mut parent, step.kept),
+                root(&mut parent, step.absorbed),
+            );
             parent[ra] = rk;
         }
         // Colour = root's eventual floor if the root's component contains a
@@ -60,6 +74,7 @@ fn main() {
         let mut series: Vec<Vec<(f64, f64)>> = vec![Vec::new(); ds.floors().len()];
         let mut unmerged: Vec<(f64, f64)> = Vec::new();
         let floors = ds.floors();
+        #[allow(clippy::needless_range_loop)]
         for i in 0..points.len() {
             let r = root(&mut parent, i);
             // Find a labelled member of this component.
@@ -75,7 +90,11 @@ fn main() {
             }
         }
         for (fi, pts) in series.into_iter().enumerate() {
-            plot.add_series(Series::new(&floors[fi].to_string(), ScatterPlot::palette(fi), pts));
+            plot.add_series(Series::new(
+                &floors[fi].to_string(),
+                ScatterPlot::palette(fi),
+                pts,
+            ));
         }
         plot.add_series(Series::new("unlabeled", "#bbbbbb", unmerged));
         let path = format!("results/fig08_{pct}.svg");

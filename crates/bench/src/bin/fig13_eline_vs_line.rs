@@ -13,7 +13,10 @@ fn main() {
     let mut all = Vec::new();
     for (fleet_name, fleet) in fleets(&cfg) {
         for labels in [4usize, 40] {
-            let c = ExperimentConfig { labels_per_floor: labels, ..cfg };
+            let c = ExperimentConfig {
+                labels_per_floor: labels,
+                ..cfg
+            };
             let results = run_fleet(&fleet, &algos, &c, None);
             let summaries = mean_report(&results);
             print_summaries(&format!("{fleet_name}, #label = {labels}"), &summaries);

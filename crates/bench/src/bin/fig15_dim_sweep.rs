@@ -12,7 +12,10 @@ fn main() {
         println!("\n== {fleet_name} ==");
         println!("{:>5} {:>9} {:>9}", "dim", "micro-F", "macro-F");
         for &dim in &dims {
-            let over = GraficsConfig { dim, ..Default::default() };
+            let over = GraficsConfig {
+                dim,
+                ..Default::default()
+            };
             let results = run_fleet(&fleet, &[Algo::Grafics], &cfg, Some(over));
             let s = &mean_report(&results)[0];
             println!("{:>5} {:>9.3} {:>9.3}", dim, s.micro.2, s.macro_.2);

@@ -2,7 +2,7 @@
 //! only a fraction of the building's MACs remain on-site. Expected shape:
 //! > 0.8 F with only 10 % of MACs, > 0.9 from 30–40 %.
 
-use grafics_bench::{run_fleet_custom, mean_report, fleets, write_json, Algo, ExperimentConfig};
+use grafics_bench::{fleets, mean_report, run_fleet_custom, write_json, Algo, ExperimentConfig};
 use grafics_types::{Dataset, MacAddr};
 use rand::seq::SliceRandom;
 use std::collections::HashSet;
@@ -15,8 +15,12 @@ fn main() {
         println!("\n== {fleet_name} ==");
         println!("{:>6} {:>9} {:>9}", "%MACs", "micro-F", "macro-F");
         for &frac in &fractions {
-            let results =
-                run_fleet_custom(&fleet, &[Algo::Grafics], &cfg, None, &move |ds, cfg, rng| {
+            let results = run_fleet_custom(
+                &fleet,
+                &[Algo::Grafics],
+                &cfg,
+                None,
+                &move |ds, cfg, rng| {
                     // Keep a random `frac` of the building's MAC vocabulary
                     // and strip every other reading, dropping records that
                     // become empty.
@@ -29,7 +33,10 @@ fn main() {
                         .iter()
                         .filter_map(|s| {
                             let record = s.record.filtered(|m| keep.contains(&m))?;
-                            Some(grafics_types::Sample { record, ..s.clone() })
+                            Some(grafics_types::Sample {
+                                record,
+                                ..s.clone()
+                            })
                         })
                         .collect();
                     if filtered.len() < 20 {
@@ -38,9 +45,15 @@ fn main() {
                     let split = filtered.split(cfg.train_ratio, rng).ok()?;
                     let train = split.train.with_label_budget(cfg.labels_per_floor, rng);
                     Some((train, split.test))
-                });
+                },
+            );
             let s = &mean_report(&results)[0];
-            println!("{:>6.0} {:>9.3} {:>9.3}", frac * 100.0, s.micro.2, s.macro_.2);
+            println!(
+                "{:>6.0} {:>9.3} {:>9.3}",
+                frac * 100.0,
+                s.micro.2,
+                s.macro_.2
+            );
             all.push(serde_json::json!({
                 "fleet": fleet_name,
                 "mac_fraction": frac,

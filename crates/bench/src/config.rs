@@ -46,7 +46,9 @@ impl ExperimentConfig {
         let mut cfg = ExperimentConfig::default();
         let args: Vec<String> = std::env::args().skip(1).collect();
         fn parse_usize(args: &[String], i: usize, flag: &str) -> usize {
-            args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage(flag))
+            args.get(i)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage(flag))
         }
         let mut i = 0;
         while i < args.len() {

@@ -16,7 +16,7 @@ mod runner;
 pub use algo::{evaluate, train_and_score, Algo};
 pub use config::ExperimentConfig;
 pub use runner::{
-    mean_report, run_fleet, run_fleet_custom, AlgoSummary, BuildingResult, PrepareFn, write_json,
+    mean_report, run_fleet, run_fleet_custom, write_json, AlgoSummary, BuildingResult, PrepareFn,
 };
 
 /// Builds the two evaluation fleets (Microsoft-like sub-fleet + the five
@@ -51,7 +51,13 @@ pub fn print_summaries(title: &str, summaries: &[AlgoSummary]) {
     for s in summaries {
         println!(
             "{:<16} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
-            s.algo, s.micro.0, s.micro.1, s.micro.2, s.macro_.0, s.macro_.1, s.macro_.2,
+            s.algo,
+            s.micro.0,
+            s.micro.1,
+            s.micro.2,
+            s.macro_.0,
+            s.macro_.1,
+            s.macro_.2,
             s.micro_f_std
         );
     }

@@ -46,7 +46,7 @@ pub type PrepareFn<'a> = &'a (dyn Fn(
     &ExperimentConfig,
     &mut ChaCha8Rng,
 ) -> Option<(grafics_types::Dataset, grafics_types::Dataset)>
-             + Sync);
+         + Sync);
 
 /// Runs every `(building, run, algo)` combination across a worker pool and
 /// returns the raw per-building results.
@@ -103,10 +103,11 @@ pub fn run_fleet_custom(
                     .wrapping_add(run as u64);
                 let mut rng = ChaCha8Rng::seed_from_u64(seed);
                 let ds = building.simulate(&mut rng);
-                let Some((train, test)) = prepare(ds, cfg, &mut rng) else { continue };
+                let Some((train, test)) = prepare(ds, cfg, &mut rng) else {
+                    continue;
+                };
                 for &algo in algos {
-                    let report =
-                        train_and_score(algo, &train, &test, grafics_override, &mut rng);
+                    let report = train_and_score(algo, &train, &test, grafics_override, &mut rng);
                     results.lock().push(BuildingResult {
                         building: building.name.clone(),
                         run,
@@ -134,18 +135,29 @@ pub fn mean_report(results: &[BuildingResult]) -> Vec<AlgoSummary> {
     order
         .into_iter()
         .map(|algo| {
-            let points: Vec<&ClassificationReport> =
-                results.iter().filter(|r| r.algo == algo).map(|r| &r.report).collect();
+            let points: Vec<&ClassificationReport> = results
+                .iter()
+                .filter(|r| r.algo == algo)
+                .map(|r| &r.report)
+                .collect();
             let n = points.len().max(1) as f64;
             let mean = |f: &dyn Fn(&ClassificationReport) -> f64| {
                 points.iter().map(|r| f(r)).sum::<f64>() / n
             };
             let micro_f_mean = mean(&|r| r.micro_f);
-            let var = points.iter().map(|r| (r.micro_f - micro_f_mean).powi(2)).sum::<f64>() / n;
+            let var = points
+                .iter()
+                .map(|r| (r.micro_f - micro_f_mean).powi(2))
+                .sum::<f64>()
+                / n;
             AlgoSummary {
                 algo,
                 micro: (mean(&|r| r.micro_p), mean(&|r| r.micro_r), micro_f_mean),
-                macro_: (mean(&|r| r.macro_p), mean(&|r| r.macro_r), mean(&|r| r.macro_f)),
+                macro_: (
+                    mean(&|r| r.macro_p),
+                    mean(&|r| r.macro_r),
+                    mean(&|r| r.macro_f),
+                ),
                 micro_f_std: var.sqrt(),
                 points: points.len(),
             }
@@ -179,8 +191,7 @@ mod tests {
 
     #[test]
     fn fleet_run_produces_every_combination() {
-        let fleet =
-            vec![BuildingModel::office("a", 2).with_records_per_floor(25)];
+        let fleet = vec![BuildingModel::office("a", 2).with_records_per_floor(25)];
         let cfg = ExperimentConfig {
             buildings: 1,
             records_per_floor: 25,
@@ -201,7 +212,11 @@ mod tests {
     #[test]
     fn per_building_seeds_are_deterministic() {
         let fleet = vec![BuildingModel::office("d", 2).with_records_per_floor(20)];
-        let cfg = ExperimentConfig { runs: 1, threads: 1, ..Default::default() };
+        let cfg = ExperimentConfig {
+            runs: 1,
+            threads: 1,
+            ..Default::default()
+        };
         let r1 = run_fleet(&fleet, &[Algo::MatrixProx], &cfg, None);
         let r2 = run_fleet(&fleet, &[Algo::MatrixProx], &cfg, None);
         assert_eq!(r1[0].report.micro_f, r2[0].report.micro_f);

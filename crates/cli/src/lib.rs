@@ -45,7 +45,7 @@ commands:
   simulate --preset office|mall|hospital --floors N [--name S] [--records-per-floor N]
            [--seed N] [--labels N] --out corpus.jsonl
   train    --input corpus.jsonl [--labels N] [--dim N] [--epochs N] [--seed N]
-           [--min-support N] --out model.json
+           [--min-support N] [--threads N] --out model.json
   infer    --model model.json --input scans.jsonl [--seed N] [--save-model out.json]
   evaluate --model model.json --input test.jsonl [--seed N]
   help
@@ -64,8 +64,10 @@ impl<'a> Flags<'a> {
             let key = args[i]
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
-            let value =
-                args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?.as_str();
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--{key} needs a value"))?
+                .as_str();
             pairs.push((key, value));
             i += 2;
         }
@@ -77,13 +79,16 @@ impl<'a> Flags<'a> {
     }
 
     fn required(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required --{key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required --{key}"))
     }
 
     fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse {v:?}")),
         }
     }
 }
@@ -126,9 +131,17 @@ fn train(args: &[String]) -> Result<String, String> {
     let labels: usize = flags.parse_or("labels", usize::MAX)?;
     let seed: u64 = flags.parse_or("seed", 0)?;
     let min_support: usize = flags.parse_or("min-support", 2)?;
+    // `--threads 0` means "use every hardware thread"; with >= 2 the
+    // offline stages run the Hogwild trainer + parallel dissimilarity
+    // matrix, trading bit-reproducibility of training for wall-clock.
+    let mut threads: usize = flags.parse_or("threads", 1)?;
+    if threads == 0 {
+        threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    }
     let config = GraficsConfig {
         dim: flags.parse_or("dim", GraficsConfig::default().dim)?,
         epochs: flags.parse_or("epochs", GraficsConfig::default().epochs)?,
+        threads,
         ..GraficsConfig::default()
     };
 
@@ -192,7 +205,10 @@ fn evaluate(args: &[String]) -> Result<String, String> {
         }
     }
     let report = cm.report();
-    Ok(format!("{cm}\n{}\ndiscarded: {discarded}\n", report.summary_line()))
+    Ok(format!(
+        "{cm}\n{}\ndiscarded: {discarded}\n",
+        report.summary_line()
+    ))
 }
 
 #[cfg(test)]
@@ -232,9 +248,48 @@ mod tests {
     #[test]
     fn simulate_rejects_bad_preset() {
         let out = tmp("bad.jsonl");
-        let err =
-            run(&s(&["simulate", "--preset", "castle", "--out", &out])).unwrap_err();
+        let err = run(&s(&["simulate", "--preset", "castle", "--out", &out])).unwrap_err();
         assert!(err.contains("unknown preset"));
+    }
+
+    #[test]
+    fn train_accepts_threads_flag() {
+        let corpus = tmp("threads-corpus.jsonl");
+        let model = tmp("threads-model.json");
+        run(&s(&[
+            "simulate",
+            "--preset",
+            "office",
+            "--floors",
+            "2",
+            "--records-per-floor",
+            "30",
+            "--seed",
+            "3",
+            "--labels",
+            "4",
+            "--out",
+            &corpus,
+        ]))
+        .unwrap();
+        let msg = run(&s(&[
+            "train",
+            "--input",
+            &corpus,
+            "--epochs",
+            "20",
+            "--threads",
+            "4",
+            "--out",
+            &model,
+        ]))
+        .unwrap();
+        assert!(msg.contains("trained on"), "{msg}");
+        // The trained model must serve predictions like any serial model.
+        let eval = run(&s(&["evaluate", "--model", &model, "--input", &corpus])).unwrap();
+        assert!(eval.contains("micro-F"), "{eval}");
+        std::fs::remove_file(&corpus).ok();
+        std::fs::remove_file(&model).ok();
     }
 
     #[test]
@@ -245,14 +300,34 @@ mod tests {
 
         // Simulate a labelled training corpus and a test corpus.
         let msg = run(&s(&[
-            "simulate", "--preset", "office", "--floors", "2", "--records-per-floor", "40",
-            "--seed", "1", "--labels", "4", "--out", &corpus,
+            "simulate",
+            "--preset",
+            "office",
+            "--floors",
+            "2",
+            "--records-per-floor",
+            "40",
+            "--seed",
+            "1",
+            "--labels",
+            "4",
+            "--out",
+            &corpus,
         ]))
         .unwrap();
         assert!(msg.contains("2 floors"), "{msg}");
         run(&s(&[
-            "simulate", "--preset", "office", "--floors", "2", "--records-per-floor", "10",
-            "--seed", "1", "--out", &test_set,
+            "simulate",
+            "--preset",
+            "office",
+            "--floors",
+            "2",
+            "--records-per-floor",
+            "10",
+            "--seed",
+            "1",
+            "--out",
+            &test_set,
         ]))
         .unwrap();
 

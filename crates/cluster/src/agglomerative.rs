@@ -10,21 +10,16 @@ use std::fmt;
 /// The paper uses group-average linkage (Eq. (11)); single and complete
 /// linkage are provided for ablations. All three are maintained
 /// incrementally via the Lance–Williams recurrence.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum Linkage {
     /// Mean pairwise distance (UPGMA) — the paper's Eq. (11).
+    #[default]
     Average,
     /// Minimum pairwise distance.
     Single,
     /// Maximum pairwise distance.
     Complete,
-}
-
-impl Default for Linkage {
-    fn default() -> Self {
-        Linkage::Average
-    }
 }
 
 /// Configuration for [`crate::ClusterModel::fit`].
@@ -42,11 +37,22 @@ pub struct ClusteringConfig {
     /// Record the merge history (needed for the Fig. 8 progression plots;
     /// costs O(n) memory).
     pub record_history: bool,
+    /// Worker threads for the O(n²·d) initial dissimilarity matrix
+    /// (Eq. (11) seeds every merge with all pairwise ℓ2 distances). The
+    /// agglomeration itself is inherently sequential and always serial, so
+    /// the fitted model is **identical for any thread count** — entries
+    /// are pure functions of their two points.
+    pub threads: usize,
 }
 
 impl Default for ClusteringConfig {
     fn default() -> Self {
-        ClusteringConfig { linkage: Linkage::Average, constrained: true, record_history: false }
+        ClusteringConfig {
+            linkage: Linkage::Average,
+            constrained: true,
+            record_history: false,
+            threads: 1,
+        }
     }
 }
 
@@ -95,10 +101,16 @@ impl fmt::Display for ClusterError {
                 write!(f, "at least one labelled sample is required")
             }
             ClusterError::DimensionMismatch { expected, found } => {
-                write!(f, "embedding dimension mismatch: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "embedding dimension mismatch: expected {expected}, found {found}"
+                )
             }
             ClusterError::QueryDimensionMismatch { expected, found } => {
-                write!(f, "query dimension mismatch: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "query dimension mismatch: expected {expected}, found {found}"
+                )
             }
             ClusterError::NonFiniteInput => write!(f, "embeddings must be finite"),
         }
@@ -134,7 +146,10 @@ impl Ord for Candidate {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: min-heap on distance. Distances are finite by input
         // validation, so total order is safe.
-        other.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal)
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
     }
 }
 
@@ -168,7 +183,13 @@ pub(crate) fn agglomerate(
     let mut heap = BinaryHeap::with_capacity(n * (n - 1) / 2);
     for a in 0..n {
         for b in (a + 1)..n {
-            heap.push(Candidate { dist: dist.get(a, b), a, b, stamp_a: 0, stamp_b: 0 });
+            heap.push(Candidate {
+                dist: dist.get(a, b),
+                a,
+                b,
+                stamp_a: 0,
+                stamp_b: 0,
+            });
         }
     }
 
@@ -192,7 +213,11 @@ pub(crate) fn agglomerate(
         stamp[a] += 1;
         n_active -= 1;
         if config.record_history {
-            history.push(MergeStep { kept: a, absorbed: b, distance: c.dist });
+            history.push(MergeStep {
+                kept: a,
+                absorbed: b,
+                distance: c.dist,
+            });
         }
 
         // Lance–Williams update of row a against every other active root.
@@ -221,7 +246,7 @@ pub(crate) fn agglomerate(
 
     // Path-compress roots.
     let mut roots = vec![0usize; n];
-    for i in 0..n {
+    for (i, root) in roots.iter_mut().enumerate() {
         let mut r = i;
         while parent[r] != r {
             r = parent[r];
@@ -233,9 +258,91 @@ pub(crate) fn agglomerate(
             parent[cur] = r;
             cur = next;
         }
-        roots[i] = r;
+        *root = r;
     }
     Agglomeration { roots, history }
+}
+
+#[inline]
+fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Fills rows `row_range` of the condensed lower-triangular matrix.
+/// `chunk` must start at the condensed offset of `row_range.start`.
+fn fill_rows(points: &[Vec<f64>], row_range: std::ops::Range<usize>, chunk: &mut [f64]) {
+    let mut idx = 0;
+    for a in row_range {
+        for b in 0..a {
+            chunk[idx] = euclidean(&points[a], &points[b]);
+            idx += 1;
+        }
+    }
+}
+
+/// The condensed (lower-triangular, row-major) pairwise ℓ2 dissimilarity
+/// matrix of Eq. (11): entry `a*(a-1)/2 + b` holds `‖points[a] −
+/// points[b]‖₂` for `b < a`.
+///
+/// With `threads >= 2` the rows are partitioned into contiguous bands of
+/// roughly equal entry counts and computed on a scoped worker pool. Every
+/// entry is a pure function of its two points, so the output is identical
+/// for any thread count.
+///
+/// # Panics
+///
+/// Panics on ragged input (all points must share one dimension).
+#[must_use]
+pub fn dissimilarity_matrix(points: &[Vec<f64>], threads: usize) -> Vec<f64> {
+    let n = points.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let mut data = vec![0.0; n * (n - 1) / 2];
+    // Below ~128 points the matrix is a few thousand entries and thread
+    // spawn overhead dominates; keep it serial.
+    if threads <= 1 || n < 128 {
+        fill_rows(points, 1..n, &mut data);
+        return data;
+    }
+
+    // Partition rows so every band has ~equal entries. Row `a` contributes
+    // `a` entries, so band boundaries follow sqrt-spaced row indices.
+    let workers = threads.min(n - 1);
+    let total = data.len();
+    let mut bands: Vec<(std::ops::Range<usize>, &mut [f64])> = Vec::with_capacity(workers);
+    let mut rest = data.as_mut_slice();
+    let mut row = 1usize;
+    for w in 0..workers {
+        let target = total * (w + 1) / workers;
+        let mut end_row = row;
+        // First row of band w starts at offset row*(row-1)/2; advance until
+        // the cumulative entry count reaches this band's share.
+        while end_row < n && end_row * (end_row + 1) / 2 <= target {
+            end_row += 1;
+        }
+        let end_row = if w == workers - 1 {
+            n
+        } else {
+            end_row.max(row)
+        };
+        let band_len = end_row * (end_row - 1) / 2 - row * (row - 1) / 2;
+        let (chunk, tail) = rest.split_at_mut(band_len);
+        rest = tail;
+        bands.push((row..end_row, chunk));
+        row = end_row;
+    }
+
+    rayon::scope(|scope| {
+        for (rows, chunk) in bands {
+            scope.spawn(move |_| fill_rows(points, rows, chunk));
+        }
+    });
+    data
 }
 
 /// Lower-triangular dense distance matrix over `n` points, `f64`.
@@ -245,24 +352,12 @@ pub(crate) struct DistanceMatrix {
 }
 
 impl DistanceMatrix {
-    /// Computes all pairwise Euclidean distances.
-    pub(crate) fn from_points(points: &[Vec<f64>]) -> Self {
-        let n = points.len();
-        let mut data = vec![0.0; n * (n - 1) / 2];
-        let mut idx = 0;
-        for a in 1..n {
-            for b in 0..a {
-                let d: f64 = points[a]
-                    .iter()
-                    .zip(&points[b])
-                    .map(|(&x, &y)| (x - y) * (x - y))
-                    .sum::<f64>()
-                    .sqrt();
-                data[idx] = d;
-                idx += 1;
-            }
+    /// Computes all pairwise Euclidean distances on `threads` workers.
+    pub(crate) fn from_points(points: &[Vec<f64>], threads: usize) -> Self {
+        DistanceMatrix {
+            n: points.len(),
+            data: dissimilarity_matrix(points, threads),
         }
-        DistanceMatrix { n, data }
     }
 
     #[inline]
@@ -295,7 +390,7 @@ mod tests {
     #[test]
     fn distance_matrix_symmetric_access() {
         let p = pts(&[(0.0, 0.0), (3.0, 4.0), (6.0, 8.0)]);
-        let m = DistanceMatrix::from_points(&p);
+        let m = DistanceMatrix::from_points(&p, 1);
         assert!((m.get(0, 1) - 5.0).abs() < 1e-12);
         assert!((m.get(1, 0) - 5.0).abs() < 1e-12);
         assert!((m.get(0, 2) - 10.0).abs() < 1e-12);
@@ -305,7 +400,7 @@ mod tests {
     fn constrained_two_blobs() {
         let p = pts(&[(0.0, 0.0), (0.1, 0.0), (10.0, 0.0), (10.1, 0.0)]);
         let labeled = vec![true, false, true, false];
-        let mut dist = DistanceMatrix::from_points(&p);
+        let mut dist = DistanceMatrix::from_points(&p, 1);
         let agg = agglomerate(&mut dist, &labeled, &ClusteringConfig::default(), 0);
         assert_eq!(agg.roots[0], agg.roots[1]);
         assert_eq!(agg.roots[2], agg.roots[3]);
@@ -316,7 +411,7 @@ mod tests {
     fn labeled_pair_never_merges_even_when_close() {
         let p = pts(&[(0.0, 0.0), (0.001, 0.0)]);
         let labeled = vec![true, true];
-        let mut dist = DistanceMatrix::from_points(&p);
+        let mut dist = DistanceMatrix::from_points(&p, 1);
         let agg = agglomerate(&mut dist, &labeled, &ClusteringConfig::default(), 0);
         assert_ne!(agg.roots[0], agg.roots[1]);
     }
@@ -325,8 +420,11 @@ mod tests {
     fn unconstrained_stops_at_target_count() {
         let p = pts(&[(0.0, 0.0), (0.1, 0.0), (5.0, 0.0), (5.1, 0.0), (10.0, 0.0)]);
         let labeled = vec![true, true, false, false, false];
-        let cfg = ClusteringConfig { constrained: false, ..Default::default() };
-        let mut dist = DistanceMatrix::from_points(&p);
+        let cfg = ClusteringConfig {
+            constrained: false,
+            ..Default::default()
+        };
+        let mut dist = DistanceMatrix::from_points(&p, 1);
         let agg = agglomerate(&mut dist, &labeled, &cfg, 2);
         let mut roots: Vec<usize> = agg.roots.clone();
         roots.sort_unstable();
@@ -338,8 +436,11 @@ mod tests {
     fn history_recorded_in_merge_order() {
         let p = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (50.0, 0.0)]);
         let labeled = vec![true, false, false, true];
-        let cfg = ClusteringConfig { record_history: true, ..Default::default() };
-        let mut dist = DistanceMatrix::from_points(&p);
+        let cfg = ClusteringConfig {
+            record_history: true,
+            ..Default::default()
+        };
+        let mut dist = DistanceMatrix::from_points(&p, 1);
         let agg = agglomerate(&mut dist, &labeled, &cfg, 0);
         assert_eq!(agg.history.len(), 2);
         assert!(agg.history[0].distance <= agg.history[1].distance);
@@ -352,14 +453,45 @@ mod tests {
         // first non-trivial merge.
         let p = pts(&[(0.0, 0.0), (1.0, 0.0), (4.0, 0.0), (9.0, 3.0)]);
         let labeled = vec![false; 4];
-        let cfg = ClusteringConfig { record_history: true, constrained: false, ..Default::default() };
-        let mut dist = DistanceMatrix::from_points(&p);
+        let cfg = ClusteringConfig {
+            record_history: true,
+            constrained: false,
+            ..Default::default()
+        };
+        let mut dist = DistanceMatrix::from_points(&p, 1);
         let agg = agglomerate(&mut dist, &labeled, &cfg, 2);
         // First merge: {0},{1} at distance 1. Second merge candidates:
         // d({0,1},{2}) = (4+3)/2 = 3.5 ; d({0,1},{3}) = (sqrt(90)+sqrt(73))/2 ≈ 9.02
         // d({2},{3}) = sqrt(25+9) ≈ 5.83 → expect {0,1}+{2} at 3.5.
         assert_eq!(agg.history[0].distance, 1.0);
         assert!((agg.history[1].distance - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_dissimilarity_matches_serial_exactly() {
+        // Deterministic pseudo-random points, enough to cross the n >= 128
+        // parallel threshold.
+        let points: Vec<Vec<f64>> = (0..200)
+            .map(|i| {
+                (0..8)
+                    .map(|d| (((i * 31 + d * 17) % 97) as f64).sin() * 10.0)
+                    .collect()
+            })
+            .collect();
+        let serial = dissimilarity_matrix(&points, 1);
+        for threads in [2, 3, 4, 7] {
+            let parallel = dissimilarity_matrix(&points, threads);
+            assert_eq!(serial, parallel, "threads={threads} diverged from serial");
+        }
+        assert_eq!(serial.len(), 200 * 199 / 2);
+    }
+
+    #[test]
+    fn dissimilarity_degenerate_inputs() {
+        assert!(dissimilarity_matrix(&[], 4).is_empty());
+        assert!(dissimilarity_matrix(&[vec![1.0, 2.0]], 4).is_empty());
+        let two = dissimilarity_matrix(&[vec![0.0, 0.0], vec![3.0, 4.0]], 4);
+        assert_eq!(two, vec![5.0]);
     }
 
     #[test]
@@ -371,8 +503,9 @@ mod tests {
                 linkage,
                 constrained: false,
                 record_history: true,
+                ..Default::default()
             };
-            let mut dist = DistanceMatrix::from_points(&p);
+            let mut dist = DistanceMatrix::from_points(&p, 1);
             let agg = agglomerate(&mut dist, &labeled, &cfg, 1);
             assert_eq!(agg.history[0].distance, 1.0);
             assert!(

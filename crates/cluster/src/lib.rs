@@ -10,6 +10,12 @@
 //! ℓ2 distance (Eq. (11)), maintained incrementally via the Lance–Williams
 //! recurrence, giving O(n² log n) total time.
 //!
+//! The O(n²·d) *initial* dissimilarity matrix — the dominant cost at the
+//! embedding dimensions the paper uses — can be built on a worker pool via
+//! [`ClusteringConfig::threads`] (or directly through
+//! [`dissimilarity_matrix`]); the fitted model is bit-identical for any
+//! thread count.
+//!
 //! # Examples
 //!
 //! ```
@@ -37,5 +43,5 @@
 mod agglomerative;
 mod model;
 
-pub use agglomerative::{ClusterError, ClusteringConfig, Linkage, MergeStep};
+pub use agglomerative::{dissimilarity_matrix, ClusterError, ClusteringConfig, Linkage, MergeStep};
 pub use model::{Cluster, ClusterModel, Prediction};

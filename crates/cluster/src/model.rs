@@ -1,6 +1,8 @@
 //! The fitted cluster model and nearest-centroid prediction.
 
-use crate::agglomerative::{agglomerate, Agglomeration, ClusterError, ClusteringConfig, DistanceMatrix, MergeStep};
+use crate::agglomerative::{
+    agglomerate, Agglomeration, ClusterError, ClusteringConfig, DistanceMatrix, MergeStep,
+};
 use grafics_types::FloorId;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -56,11 +58,18 @@ impl ClusterModel {
         if points.is_empty() {
             return Err(ClusterError::Empty);
         }
-        assert_eq!(points.len(), labels.len(), "points and labels must be parallel");
+        assert_eq!(
+            points.len(),
+            labels.len(),
+            "points and labels must be parallel"
+        );
         let dim = points[0].len();
         for p in points {
             if p.len() != dim {
-                return Err(ClusterError::DimensionMismatch { expected: dim, found: p.len() });
+                return Err(ClusterError::DimensionMismatch {
+                    expected: dim,
+                    found: p.len(),
+                });
             }
             if p.iter().any(|x| !x.is_finite()) {
                 return Err(ClusterError::NonFiniteInput);
@@ -72,9 +81,12 @@ impl ClusterModel {
         }
 
         let labeled_mask: Vec<bool> = labels.iter().map(|l| l.is_some()).collect();
-        let mut dist = DistanceMatrix::from_points(points);
+        let mut dist = DistanceMatrix::from_points(points, config.threads);
         let agg: Agglomeration = if points.len() == 1 {
-            Agglomeration { roots: vec![0], history: Vec::new() }
+            Agglomeration {
+                roots: vec![0],
+                history: Vec::new(),
+            }
         } else {
             agglomerate(&mut dist, &labeled_mask, config, n_labeled)
         };
@@ -101,7 +113,11 @@ impl ClusterModel {
                     for &m in &members {
                         assignment[m] = idx;
                     }
-                    clusters.push(Cluster { floor, centroid, members });
+                    clusters.push(Cluster {
+                        floor,
+                        centroid,
+                        members,
+                    });
                 }
                 None => unlabeled_clusters.push((root, members)),
             }
@@ -110,17 +126,26 @@ impl ClusterModel {
         // floor of the nearest labelled centroid.
         for (_, members) in unlabeled_clusters {
             let centroid = centroid_of(points, &members, dim);
-            let (best, _) = nearest_centroid(&clusters, &centroid)
-                .ok_or(ClusterError::NoLabeledSamples)?;
+            let (best, _) =
+                nearest_centroid(&clusters, &centroid).ok_or(ClusterError::NoLabeledSamples)?;
             let floor = clusters[best].floor;
             let idx = clusters.len();
             for &m in &members {
                 assignment[m] = idx;
             }
-            clusters.push(Cluster { floor, centroid, members });
+            clusters.push(Cluster {
+                floor,
+                centroid,
+                members,
+            });
         }
 
-        Ok(ClusterModel { dim, clusters, assignment, history: agg.history })
+        Ok(ClusterModel {
+            dim,
+            clusters,
+            assignment,
+            history: agg.history,
+        })
     }
 
     /// Embedding dimensionality the model was fitted on.
@@ -164,7 +189,7 @@ impl ClusterModel {
         // Build up subtree strings via union-find replay.
         let mut repr: Vec<Option<String>> = (0..n).map(|i| Some(i.to_string())).collect();
         let mut root: Vec<usize> = (0..n).collect();
-        fn find(root: &mut Vec<usize>, mut i: usize) -> usize {
+        fn find(root: &mut [usize], mut i: usize) -> usize {
             while root[i] != i {
                 root[i] = root[root[i]];
                 i = root[i];
@@ -187,7 +212,10 @@ impl ClusterModel {
     /// training the supervised baselines (§VI-A).
     #[must_use]
     pub fn virtual_labels(&self) -> Vec<FloorId> {
-        self.assignment.iter().map(|&c| self.clusters[c].floor).collect()
+        self.assignment
+            .iter()
+            .map(|&c| self.clusters[c].floor)
+            .collect()
     }
 
     /// Predicts the floor of a new ego embedding as the label of the
@@ -209,7 +237,11 @@ impl ClusterModel {
         }
         let (cluster, distance) =
             nearest_centroid(&self.clusters, query).expect("model has >= 1 cluster");
-        Ok(Prediction { floor: self.clusters[cluster].floor, cluster, distance })
+        Ok(Prediction {
+            floor: self.clusters[cluster].floor,
+            cluster,
+            distance,
+        })
     }
 
     /// The `k` nearest clusters, ascending by centroid distance — useful
@@ -235,7 +267,11 @@ impl ClusterModel {
                     .map(|(&x, &y)| (x - y) * (x - y))
                     .sum::<f64>()
                     .sqrt();
-                Prediction { floor: c.floor, cluster, distance }
+                Prediction {
+                    floor: c.floor,
+                    cluster,
+                    distance,
+                }
             })
             .collect();
         all.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite"));
@@ -303,7 +339,12 @@ mod tests {
 
     fn blob(cx: f64, cy: f64, n: usize, spread: f64) -> Vec<Vec<f64>> {
         (0..n)
-            .map(|i| vec![cx + spread * (i as f64 / n as f64 - 0.5), cy + spread * ((i * 7 % n) as f64 / n as f64 - 0.5)])
+            .map(|i| {
+                vec![
+                    cx + spread * (i as f64 / n as f64 - 0.5),
+                    cy + spread * ((i * 7 % n) as f64 / n as f64 - 0.5),
+                ]
+            })
             .collect()
     }
 
@@ -325,7 +366,7 @@ mod tests {
         let (points, labels) = three_floor_setup();
         let model = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
         assert_eq!(model.clusters().len(), 6); // 2 labels × 3 floors
-        // every cluster has exactly one labelled member
+                                               // every cluster has exactly one labelled member
         for c in model.clusters() {
             let n_labeled = c.members.iter().filter(|&&m| labels[m].is_some()).count();
             assert_eq!(n_labeled, 1);
@@ -344,7 +385,10 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&s| s));
-        assert!(model.assignment().iter().all(|&a| a < model.clusters().len()));
+        assert!(model
+            .assignment()
+            .iter()
+            .all(|&a| a < model.clusters().len()));
     }
 
     #[test]
@@ -373,9 +417,15 @@ mod tests {
         let model = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
         assert!(matches!(
             model.predict(&[1.0]),
-            Err(ClusterError::QueryDimensionMismatch { expected: 2, found: 1 })
+            Err(ClusterError::QueryDimensionMismatch {
+                expected: 2,
+                found: 1
+            })
         ));
-        assert!(matches!(model.predict(&[f64::NAN, 0.0]), Err(ClusterError::NonFiniteInput)));
+        assert!(matches!(
+            model.predict(&[f64::NAN, 0.0]),
+            Err(ClusterError::NonFiniteInput)
+        ));
     }
 
     #[test]
@@ -386,7 +436,11 @@ mod tests {
         ));
         let ragged = vec![vec![0.0, 0.0], vec![1.0]];
         assert!(matches!(
-            ClusterModel::fit(&ragged, &[Some(FloorId(0)), None], &ClusteringConfig::default()),
+            ClusterModel::fit(
+                &ragged,
+                &[Some(FloorId(0)), None],
+                &ClusteringConfig::default()
+            ),
             Err(ClusterError::DimensionMismatch { .. })
         ));
         let nan = vec![vec![f64::NAN, 0.0]];
@@ -430,7 +484,10 @@ mod tests {
     #[test]
     fn unconstrained_ablation_labels_by_majority() {
         let (points, labels) = three_floor_setup();
-        let cfg = ClusteringConfig { constrained: false, ..Default::default() };
+        let cfg = ClusteringConfig {
+            constrained: false,
+            ..Default::default()
+        };
         let model = ClusterModel::fit(&points, &labels, &cfg).unwrap();
         // 6 labelled samples → stops at 6 clusters; every cluster gets a
         // floor from vote or nearest-centroid adoption.
@@ -441,7 +498,10 @@ mod tests {
             .enumerate()
             .filter(|&(i, v)| *v == FloorId((i / 16) as i16))
             .count();
-        assert!(correct >= 40, "unconstrained should still be mostly right, got {correct}/48");
+        assert!(
+            correct >= 40,
+            "unconstrained should still be mostly right, got {correct}/48"
+        );
     }
 
     #[test]
@@ -469,9 +529,25 @@ mod tests {
     }
 
     #[test]
+    fn parallel_fit_is_identical_to_serial() {
+        let (points, labels) = three_floor_setup();
+        let serial = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
+        let cfg = ClusteringConfig {
+            threads: 4,
+            ..Default::default()
+        };
+        let parallel = ClusterModel::fit(&points, &labels, &cfg).unwrap();
+        assert_eq!(serial.clusters(), parallel.clusters());
+        assert_eq!(serial.assignment(), parallel.assignment());
+    }
+
+    #[test]
     fn history_exposed_when_requested() {
         let (points, labels) = three_floor_setup();
-        let cfg = ClusteringConfig { record_history: true, ..Default::default() };
+        let cfg = ClusteringConfig {
+            record_history: true,
+            ..Default::default()
+        };
         let model = ClusterModel::fit(&points, &labels, &cfg).unwrap();
         assert_eq!(model.history().len(), points.len() - model.clusters().len());
     }
@@ -479,7 +555,10 @@ mod tests {
     #[test]
     fn newick_export_is_balanced_and_complete() {
         let (points, labels) = three_floor_setup();
-        let cfg = ClusteringConfig { record_history: true, ..Default::default() };
+        let cfg = ClusteringConfig {
+            record_history: true,
+            ..Default::default()
+        };
         let model = ClusterModel::fit(&points, &labels, &cfg).unwrap();
         let newick = model.dendrogram_newick().unwrap();
         assert!(newick.ends_with(");"));

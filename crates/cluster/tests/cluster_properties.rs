@@ -8,14 +8,8 @@ use proptest::prelude::*;
 /// Points in 3-D with a handful of labels sprinkled in.
 fn arb_problem() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<Option<FloorId>>)> {
     (3usize..40).prop_flat_map(|n| {
-        let points = prop::collection::vec(
-            prop::collection::vec(-100.0f64..100.0, 3),
-            n..=n,
-        );
-        let labels = prop::collection::vec(
-            prop::option::weighted(0.2, 0i16..4),
-            n..=n,
-        );
+        let points = prop::collection::vec(prop::collection::vec(-100.0f64..100.0, 3), n..=n);
+        let labels = prop::collection::vec(prop::option::weighted(0.2, 0i16..4), n..=n);
         (points, labels).prop_map(|(points, labels)| {
             let mut labels: Vec<Option<FloorId>> =
                 labels.into_iter().map(|l| l.map(FloorId)).collect();
@@ -66,6 +60,7 @@ proptest! {
     fn centroids_are_means((points, labels) in arb_problem()) {
         let model = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
         for c in model.clusters() {
+            #[allow(clippy::needless_range_loop)]
             for d in 0..3 {
                 let mean: f64 =
                     c.members.iter().map(|&m| points[m][d]).sum::<f64>() / c.members.len() as f64;

@@ -76,6 +76,11 @@ pub struct GraficsConfig {
     pub constrained_clustering: bool,
     /// SGD samples per incident edge when embedding a new record online.
     pub online_samples_per_edge: usize,
+    /// Worker threads for the offline stages: `>= 2` enables the Hogwild
+    /// embedding trainer and the parallel dissimilarity matrix. `1` (the
+    /// default) keeps offline training fully deterministic. Online
+    /// inference is unaffected — it is already microseconds per record.
+    pub threads: usize,
 }
 
 impl Default for GraficsConfig {
@@ -91,6 +96,7 @@ impl Default for GraficsConfig {
             linkage: Linkage::Average,
             constrained_clustering: true,
             online_samples_per_edge: 200,
+            threads: 1,
         }
     }
 }
@@ -101,7 +107,11 @@ impl GraficsConfig {
     /// a point or two of the default.
     #[must_use]
     pub fn fast() -> Self {
-        GraficsConfig { epochs: 30, online_samples_per_edge: 120, ..Default::default() }
+        GraficsConfig {
+            epochs: 30,
+            online_samples_per_edge: 120,
+            ..Default::default()
+        }
     }
 
     /// The embedding-stage view of this configuration.
@@ -117,6 +127,7 @@ impl GraficsConfig {
             dropout: self.dropout,
             negative_exponent: 0.75,
             online_samples_per_edge: self.online_samples_per_edge,
+            threads: self.threads,
         }
     }
 
@@ -127,6 +138,7 @@ impl GraficsConfig {
             linkage: self.linkage,
             constrained: self.constrained_clustering,
             record_history: false,
+            threads: self.threads,
         }
     }
 }
@@ -316,7 +328,8 @@ impl Grafics {
         }
         let rid = self.graph.add_record(record);
         let node = self.graph.record_node(rid).expect("just inserted");
-        self.trainer.embed_new_node(&self.graph, &mut self.embeddings, node, rng)?;
+        self.trainer
+            .embed_new_node(&self.graph, &mut self.embeddings, node, rng)?;
         Ok(node)
     }
 
@@ -377,7 +390,10 @@ impl Grafics {
     /// # Errors
     ///
     /// Propagates the graph's unknown-MAC error.
-    pub fn remove_ap(&mut self, mac: grafics_types::MacAddr) -> Result<(), grafics_graph::GraphError> {
+    pub fn remove_ap(
+        &mut self,
+        mac: grafics_types::MacAddr,
+    ) -> Result<(), grafics_graph::GraphError> {
         self.graph.remove_mac(mac)
     }
 
@@ -473,6 +489,36 @@ mod tests {
     }
 
     #[test]
+    fn parallel_training_stays_accurate() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let ds = BuildingModel::office("par", 3)
+            .with_records_per_floor(60)
+            .simulate(&mut rng);
+        let split = ds.split(0.7, &mut rng).unwrap();
+        let train = split.train.with_label_budget(4, &mut rng);
+        let cfg = GraficsConfig {
+            threads: 4,
+            ..GraficsConfig::fast()
+        };
+        let mut model = Grafics::train(&train, &cfg, &mut rng).unwrap();
+        let mut hits = 0;
+        let mut total = 0;
+        for s in split.test.samples() {
+            if let Ok(pred) = model.infer(&s.record, &mut rng) {
+                total += 1;
+                if pred.floor == s.ground_truth {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            hits * 10 >= total * 7,
+            "Hogwild-trained pipeline should stay accurate, got {hits}/{total}"
+        );
+    }
+
+    #[test]
     fn outside_building_rejected_and_not_added() {
         let (mut model, _) = trained(2);
         let mut rng = ChaCha8Rng::seed_from_u64(0);
@@ -482,7 +528,10 @@ mod tests {
         )])
         .unwrap();
         let records_before = model.graph().record_count();
-        assert_eq!(model.infer(&foreign, &mut rng), Err(GraficsError::OutsideBuilding));
+        assert_eq!(
+            model.infer(&foreign, &mut rng),
+            Err(GraficsError::OutsideBuilding)
+        );
         assert_eq!(model.graph().record_count(), records_before);
     }
 
@@ -500,7 +549,9 @@ mod tests {
         let (mut model, test) = trained(4);
         let mut rng = ChaCha8Rng::seed_from_u64(6);
         let before = model.graph().record_count();
-        let (rid, _) = model.infer_tracked(&test.samples()[0].record, &mut rng).unwrap();
+        let (rid, _) = model
+            .infer_tracked(&test.samples()[0].record, &mut rng)
+            .unwrap();
         model.forget_record(rid).unwrap();
         assert_eq!(model.graph().record_count(), before);
         assert!(model.forget_record(rid).is_err());
@@ -521,7 +572,10 @@ mod tests {
             .simulate(&mut rng)
             .unlabeled();
         let err = Grafics::train(&ds, &GraficsConfig::fast(), &mut rng);
-        assert!(matches!(err, Err(GraficsError::Cluster(ClusterError::NoLabeledSamples))));
+        assert!(matches!(
+            err,
+            Err(GraficsError::Cluster(ClusterError::NoLabeledSamples))
+        ));
     }
 
     #[test]
@@ -534,7 +588,9 @@ mod tests {
     #[test]
     fn cluster_count_equals_label_count() {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
-        let ds = BuildingModel::office("c", 3).with_records_per_floor(40).simulate(&mut rng);
+        let ds = BuildingModel::office("c", 3)
+            .with_records_per_floor(40)
+            .simulate(&mut rng);
         let train = ds.with_label_budget(4, &mut rng);
         let model = Grafics::train(&train, &GraficsConfig::fast(), &mut rng).unwrap();
         assert_eq!(model.clusters().clusters().len(), 12); // 4 labels × 3 floors
@@ -568,9 +624,7 @@ mod tests {
             let _ = model.infer(&s.record, &mut rng);
         }
         // Labels of the original offline corpus (online ones unlabelled).
-        let labels: Vec<Option<FloorId>> = (0..model.train_record_count())
-            .map(|_| None)
-            .collect();
+        let labels: Vec<Option<FloorId>> = (0..model.train_record_count()).map(|_| None).collect();
         // Without any labels the refit must fail loudly …
         assert!(matches!(
             model.refresh(&labels, &mut rng),
@@ -595,13 +649,18 @@ mod tests {
                 }
             }
         }
-        assert!(total > 0 && hits * 10 >= total * 7, "after refresh: {hits}/{total}");
+        assert!(
+            total > 0 && hits * 10 >= total * 7,
+            "after refresh: {hits}/{total}"
+        );
     }
 
     #[test]
     fn single_floor_building_works() {
         let mut rng = ChaCha8Rng::seed_from_u64(8);
-        let ds = BuildingModel::office("one", 1).with_records_per_floor(30).simulate(&mut rng);
+        let ds = BuildingModel::office("one", 1)
+            .with_records_per_floor(30)
+            .simulate(&mut rng);
         let split = ds.split(0.7, &mut rng).unwrap();
         let train = split.train.with_label_budget(2, &mut rng);
         let mut model = Grafics::train(&train, &GraficsConfig::fast(), &mut rng).unwrap();

@@ -183,8 +183,7 @@ impl BuildingModel {
             for _ in 0..self.aps_per_floor {
                 let x = rng.gen_range(0.0..self.width_m);
                 let y = rng.gen_range(0.0..self.depth_m);
-                let radio_power =
-                    self.tx_power_dbm + self.tx_power_sigma_db * standard_normal(rng);
+                let radio_power = self.tx_power_dbm + self.tx_power_sigma_db * standard_normal(rng);
                 for _ in 0..self.bssids_per_ap.max(1) {
                     // Namespaced MAC: high bits building, low bits serial.
                     let mac = MacAddr::from_u64((self.mac_namespace << 20) | serial);
@@ -199,7 +198,10 @@ impl BuildingModel {
                 }
             }
         }
-        BuildingLayout { name: self.name.clone(), aps }
+        BuildingLayout {
+            name: self.name.clone(),
+            aps,
+        }
     }
 
     /// Applies *environment drift* to a deployment (§III-A: "APs could be
@@ -298,13 +300,25 @@ impl BuildingModel {
         rng: &mut R,
     ) -> Option<SignalRecord> {
         let device_offset = self.device_sigma_db * standard_normal(rng);
-        let scan_limit = rng.gen_range(self.min_macs_per_record..=self.max_macs_per_record.max(self.min_macs_per_record));
+        let scan_limit = rng.gen_range(
+            self.min_macs_per_record..=self.max_macs_per_record.max(self.min_macs_per_record),
+        );
         let mut readings: Vec<Reading> = layout
             .aps
             .iter()
             .filter_map(|ap| {
                 self.propagation
-                    .receive(ap.tx_power_dbm, ap.x, ap.y, ap.floor, x, y, floor, device_offset, rng)
+                    .receive(
+                        ap.tx_power_dbm,
+                        ap.x,
+                        ap.y,
+                        ap.floor,
+                        x,
+                        y,
+                        floor,
+                        device_offset,
+                        rng,
+                    )
                     .map(|rssi| Reading::new(ap.mac, rssi))
             })
             .collect();
@@ -323,7 +337,7 @@ impl BuildingModel {
             }
         }
         // Low-end devices keep only their strongest `scan_limit` readings.
-        readings.sort_by(|a, b| b.rssi.cmp(&a.rssi));
+        readings.sort_by_key(|r| std::cmp::Reverse(r.rssi));
         readings.truncate(scan_limit);
         SignalRecord::new(readings).ok()
     }
@@ -402,8 +416,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let layout = b.layout(&mut rng);
         let ds = b.simulate_with_layout(&layout, &mut rng);
-        let floor_of =
-            |mac: MacAddr| layout.aps.iter().find(|a| a.mac == mac).map(|a| a.floor);
+        let floor_of = |mac: MacAddr| layout.aps.iter().find(|a| a.mac == mac).map(|a| a.floor);
         let own_floor_strongest = ds
             .samples()
             .iter()
@@ -423,8 +436,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let layout = b.layout(&mut rng);
         let ds = b.simulate_with_layout(&layout, &mut rng);
-        let floor_of =
-            |mac: MacAddr| layout.aps.iter().find(|a| a.mac == mac).map(|a| a.floor);
+        let floor_of = |mac: MacAddr| layout.aps.iter().find(|a| a.mac == mac).map(|a| a.floor);
         let cross = ds
             .samples()
             .iter()
@@ -434,17 +446,33 @@ mod tests {
                     .any(|m| matches!(floor_of(m), Some(f) if FloorId(f) != s.ground_truth))
             })
             .count();
-        assert!(cross * 10 >= ds.len() * 3, "expect ≥30% records with cross-floor MACs, got {cross}/{}", ds.len());
+        assert!(
+            cross * 10 >= ds.len() * 3,
+            "expect ≥30% records with cross-floor MACs, got {cross}/{}",
+            ds.len()
+        );
     }
 
     #[test]
     fn noise_macs_pollute_the_vocabulary() {
-        let clean = BuildingModel { noise_mac_rate: 0.0, ..BuildingModel::office("n", 2) }
-            .with_records_per_floor(100);
-        let noisy = BuildingModel { noise_mac_rate: 0.5, ..BuildingModel::office("n", 2) }
-            .with_records_per_floor(100);
-        let vocab_clean = clean.simulate(&mut ChaCha8Rng::seed_from_u64(6)).stats().macs;
-        let vocab_noisy = noisy.simulate(&mut ChaCha8Rng::seed_from_u64(6)).stats().macs;
+        let clean = BuildingModel {
+            noise_mac_rate: 0.0,
+            ..BuildingModel::office("n", 2)
+        }
+        .with_records_per_floor(100);
+        let noisy = BuildingModel {
+            noise_mac_rate: 0.5,
+            ..BuildingModel::office("n", 2)
+        }
+        .with_records_per_floor(100);
+        let vocab_clean = clean
+            .simulate(&mut ChaCha8Rng::seed_from_u64(6))
+            .stats()
+            .macs;
+        let vocab_noisy = noisy
+            .simulate(&mut ChaCha8Rng::seed_from_u64(6))
+            .stats()
+            .macs;
         assert!(
             vocab_noisy > vocab_clean + 30,
             "hotspot MACs should bloat the vocabulary: {vocab_clean} vs {vocab_noisy}"
@@ -453,8 +481,11 @@ mod tests {
 
     #[test]
     fn noise_macs_live_in_disjoint_namespace() {
-        let b = BuildingModel { noise_mac_rate: 1.0, ..BuildingModel::office("n2", 1) }
-            .with_records_per_floor(30);
+        let b = BuildingModel {
+            noise_mac_rate: 1.0,
+            ..BuildingModel::office("n2", 1)
+        }
+        .with_records_per_floor(30);
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let layout = b.layout(&mut rng);
         let deployed: std::collections::HashSet<MacAddr> = layout.macs().into_iter().collect();

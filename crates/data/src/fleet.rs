@@ -96,7 +96,12 @@ mod tests {
         let fleet = FleetPreset::Microsoft.generate(50, 100, &mut rng);
         assert_eq!(fleet.len(), 50);
         for b in &fleet {
-            assert!((2..=12).contains(&b.floors), "{} has {} floors", b.name, b.floors);
+            assert!(
+                (2..=12).contains(&b.floors),
+                "{} has {} floors",
+                b.name,
+                b.floors
+            );
             assert_eq!(b.records_per_floor, 100);
         }
         // Population must be heterogeneous.

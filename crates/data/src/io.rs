@@ -32,8 +32,12 @@ impl fmt::Display for IoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IoError::Io(e) => write!(f, "io error: {e}"),
-            IoError::Json { line, message } => write!(f, "jsonl parse error at line {line}: {message}"),
-            IoError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            IoError::Json { line, message } => {
+                write!(f, "jsonl parse error at line {line}: {message}")
+            }
+            IoError::Csv { line, message } => {
+                write!(f, "csv parse error at line {line}: {message}")
+            }
         }
     }
 }
@@ -56,8 +60,10 @@ impl From<std::io::Error> for IoError {
 /// Writes a dataset as JSON lines, one [`Sample`] per line.
 pub fn write_jsonl<W: Write>(dataset: &Dataset, mut w: W) -> Result<(), IoError> {
     for sample in dataset.samples() {
-        let line = serde_json::to_string(sample)
-            .map_err(|e| IoError::Json { line: 0, message: e.to_string() })?;
+        let line = serde_json::to_string(sample).map_err(|e| IoError::Json {
+            line: 0,
+            message: e.to_string(),
+        })?;
         writeln!(w, "{line}")?;
     }
     Ok(())
@@ -71,8 +77,10 @@ pub fn read_jsonl<R: Read>(r: R) -> Result<Dataset, IoError> {
         if line.trim().is_empty() {
             continue;
         }
-        let sample: Sample = serde_json::from_str(&line)
-            .map_err(|e| IoError::Json { line: i + 1, message: e.to_string() })?;
+        let sample: Sample = serde_json::from_str(&line).map_err(|e| IoError::Json {
+            line: i + 1,
+            message: e.to_string(),
+        })?;
         ds.push(sample);
     }
     Ok(ds)
@@ -96,7 +104,13 @@ pub fn write_csv<W: Write>(dataset: &Dataset, mut w: W) -> Result<(), IoError> {
     for (i, s) in dataset.samples().iter().enumerate() {
         let label = s.floor.map(|f| f.0.to_string()).unwrap_or_default();
         for r in s.record.readings() {
-            writeln!(w, "{i},{label},{},{},{}", s.ground_truth.0, r.mac, r.rssi.dbm())?;
+            writeln!(
+                w,
+                "{i},{label},{},{},{}",
+                s.ground_truth.0,
+                r.mac,
+                r.rssi.dbm()
+            )?;
         }
     }
     Ok(())
@@ -110,7 +124,10 @@ pub fn read_csv<R: Read>(r: R) -> Result<Dataset, IoError> {
         if i == 0 || line.trim().is_empty() {
             continue; // header
         }
-        let err = |m: &str| IoError::Csv { line: i + 1, message: m.to_owned() };
+        let err = |m: &str| IoError::Csv {
+            line: i + 1,
+            message: m.to_owned(),
+        };
         let parts: Vec<&str> = line.split(',').collect();
         if parts.len() != 5 {
             return Err(err("expected 5 columns"));
@@ -129,7 +146,10 @@ pub fn read_csv<R: Read>(r: R) -> Result<Dataset, IoError> {
     let mut ds = Dataset::default();
     let mut current: Option<(usize, Option<i16>, i16, Vec<Reading>)> = None;
     for (rec, label, truth, mac, rssi) in rows {
-        let rssi = Rssi::new(rssi).map_err(|e| IoError::Csv { line: 0, message: e.to_string() })?;
+        let rssi = Rssi::new(rssi).map_err(|e| IoError::Csv {
+            line: 0,
+            message: e.to_string(),
+        })?;
         match &mut current {
             Some((cur, _, _, readings)) if *cur == rec => readings.push(Reading::new(mac, rssi)),
             _ => {
@@ -147,11 +167,17 @@ fn flush(
     group: Option<(usize, Option<i16>, i16, Vec<Reading>)>,
 ) -> Result<(), IoError> {
     if let Some((_, label, truth, readings)) = group {
-        let record = SignalRecord::new(readings)
-            .map_err(|e| IoError::Csv { line: 0, message: e.to_string() })?;
+        let record = SignalRecord::new(readings).map_err(|e| IoError::Csv {
+            line: 0,
+            message: e.to_string(),
+        })?;
         let sample = match label {
             Some(f) => Sample::labeled(record, FloorId(f)),
-            None => Sample { record, floor: None, ground_truth: FloorId(truth) },
+            None => Sample {
+                record,
+                floor: None,
+                ground_truth: FloorId(truth),
+            },
         };
         ds.push(sample);
     }
@@ -167,7 +193,9 @@ mod tests {
 
     fn toy() -> Dataset {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let ds = BuildingModel::office("io", 2).with_records_per_floor(5).simulate(&mut rng);
+        let ds = BuildingModel::office("io", 2)
+            .with_records_per_floor(5)
+            .simulate(&mut rng);
         ds.with_label_budget(2, &mut rng)
     }
 
@@ -217,9 +245,15 @@ mod tests {
     #[test]
     fn csv_rejects_malformed_rows() {
         let text = "record,label,truth,mac,rssi\n0,,0,zz:zz,-60\n";
-        assert!(matches!(read_csv(text.as_bytes()), Err(IoError::Csv { line: 2, .. })));
+        assert!(matches!(
+            read_csv(text.as_bytes()),
+            Err(IoError::Csv { line: 2, .. })
+        ));
         let text = "record,label,truth,mac,rssi\n0,,0\n";
-        assert!(matches!(read_csv(text.as_bytes()), Err(IoError::Csv { line: 2, .. })));
+        assert!(matches!(
+            read_csv(text.as_bytes()),
+            Err(IoError::Csv { line: 2, .. })
+        ));
     }
 
     #[test]

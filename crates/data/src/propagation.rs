@@ -65,7 +65,9 @@ impl PropagationModel {
         rng: &mut R,
     ) -> Option<Rssi> {
         let dz = f64::from(ap_floor - floor) * self.floor_height_m;
-        let d = ((ap_x - x).powi(2) + (ap_y - y).powi(2) + dz * dz).sqrt().max(1.0);
+        let d = ((ap_x - x).powi(2) + (ap_y - y).powi(2) + dz * dz)
+            .sqrt()
+            .max(1.0);
         let floors_crossed = f64::from((ap_floor - floor).abs());
         let shadowing = self.shadowing_sigma_db * standard_normal(rng);
         let rss = tx_power_dbm
@@ -84,12 +86,7 @@ impl PropagationModel {
     /// Deterministic mean RSS (no shadowing, no device offset); handy for
     /// tests and analytical checks.
     #[must_use]
-    pub fn mean_rss(
-        &self,
-        tx_power_dbm: f64,
-        distance_m: f64,
-        floors_crossed: u16,
-    ) -> f64 {
+    pub fn mean_rss(&self, tx_power_dbm: f64, distance_m: f64, floors_crossed: u16) -> f64 {
         tx_power_dbm
             - self.reference_loss_db
             - 10.0 * self.path_loss_exponent * distance_m.max(1.0).log10()
@@ -129,7 +126,10 @@ mod tests {
 
     #[test]
     fn weak_signals_unobserved() {
-        let m = PropagationModel { shadowing_sigma_db: 0.0, ..Default::default() };
+        let m = PropagationModel {
+            shadowing_sigma_db: 0.0,
+            ..Default::default()
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         // Two floors away and 80 m horizontal: far below sensitivity.
         let r = m.receive(-10.0, 0.0, 0.0, 2, 80.0, 0.0, 0, 0.0, &mut rng);
@@ -141,10 +141,17 @@ mod tests {
 
     #[test]
     fn device_offset_shifts_rss() {
-        let m = PropagationModel { shadowing_sigma_db: 0.0, ..Default::default() };
+        let m = PropagationModel {
+            shadowing_sigma_db: 0.0,
+            ..Default::default()
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let base = m.receive(-10.0, 0.0, 0.0, 0, 5.0, 0.0, 0, 0.0, &mut rng).unwrap();
-        let boosted = m.receive(-10.0, 0.0, 0.0, 0, 5.0, 0.0, 0, 6.0, &mut rng).unwrap();
+        let base = m
+            .receive(-10.0, 0.0, 0.0, 0, 5.0, 0.0, 0, 0.0, &mut rng)
+            .unwrap();
+        let boosted = m
+            .receive(-10.0, 0.0, 0.0, 0, 5.0, 0.0, 0, 6.0, &mut rng)
+            .unwrap();
         assert!((boosted.dbm() - base.dbm() - 6.0).abs() < 1e-9);
     }
 
@@ -154,7 +161,8 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let vals: Vec<f64> = (0..200)
             .filter_map(|_| {
-                m.receive(-10.0, 0.0, 0.0, 0, 5.0, 0.0, 0, 0.0, &mut rng).map(|r| r.dbm())
+                m.receive(-10.0, 0.0, 0.0, 0, 5.0, 0.0, 0, 0.0, &mut rng)
+                    .map(|r| r.dbm())
             })
             .collect();
         let mean = vals.iter().sum::<f64>() / vals.len() as f64;

@@ -30,7 +30,10 @@ impl Cdf {
     /// `F(x)`: fraction of mass at or below `x` (0 for empty CDFs).
     #[must_use]
     pub fn at(&self, x: f64) -> f64 {
-        match self.points.binary_search_by(|&(v, _)| v.partial_cmp(&x).expect("finite")) {
+        match self
+            .points
+            .binary_search_by(|&(v, _)| v.partial_cmp(&x).expect("finite"))
+        {
             Ok(mut i) => {
                 // Step to the last equal value.
                 while i + 1 < self.points.len() && self.points[i + 1].0 <= x {
@@ -49,9 +52,7 @@ impl Cdf {
         if self.points.is_empty() {
             return f64::NAN;
         }
-        let idx = ((q * self.points.len() as f64).ceil() as usize)
-            .clamp(1, self.points.len())
-            - 1;
+        let idx = ((q * self.points.len() as f64).ceil() as usize).clamp(1, self.points.len()) - 1;
         self.points[idx].0
     }
 }
@@ -59,16 +60,18 @@ impl Cdf {
 /// CDF of the number of MACs per record — paper Fig. 1(a).
 #[must_use]
 pub fn macs_per_record_cdf(dataset: &Dataset) -> Cdf {
-    Cdf::from_values(dataset.samples().iter().map(|s| s.record.len() as f64).collect())
+    Cdf::from_values(
+        dataset
+            .samples()
+            .iter()
+            .map(|s| s.record.len() as f64)
+            .collect(),
+    )
 }
 
 /// CDF of the pairwise overlap ratio (|∩| / |∪| of MAC sets) over up to
 /// `max_pairs` random record pairs — paper Fig. 1(b).
-pub fn overlap_ratio_cdf<R: Rng + ?Sized>(
-    dataset: &Dataset,
-    max_pairs: usize,
-    rng: &mut R,
-) -> Cdf {
+pub fn overlap_ratio_cdf<R: Rng + ?Sized>(dataset: &Dataset, max_pairs: usize, rng: &mut R) -> Cdf {
     let n = dataset.len();
     if n < 2 {
         return Cdf { points: Vec::new() };
@@ -79,7 +82,9 @@ pub fn overlap_ratio_cdf<R: Rng + ?Sized>(
         for a in 0..n {
             for b in (a + 1)..n {
                 ratios.push(
-                    dataset.samples()[a].record.overlap_ratio(&dataset.samples()[b].record),
+                    dataset.samples()[a]
+                        .record
+                        .overlap_ratio(&dataset.samples()[b].record),
                 );
             }
         }
@@ -136,7 +141,10 @@ mod tests {
         let ds = b.simulate(&mut rng);
         let cdf = overlap_ratio_cdf(&ds, 5_000, &mut rng);
         let under_half = cdf.at(0.5);
-        assert!(under_half > 0.5, "F(0.5) = {under_half}, want mostly-partial overlap");
+        assert!(
+            under_half > 0.5,
+            "F(0.5) = {under_half}, want mostly-partial overlap"
+        );
         assert!(cdf.at(0.999) > 0.99, "identical MAC sets should be rare");
     }
 

@@ -24,7 +24,11 @@ pub struct TrajectoryConfig {
 
 impl Default for TrajectoryConfig {
     fn default() -> Self {
-        TrajectoryConfig { steps: 30, step_length_m: 4.0, floor_change_prob: 0.05 }
+        TrajectoryConfig {
+            steps: 30,
+            step_length_m: 4.0,
+            floor_change_prob: 0.05,
+        }
     }
 }
 
@@ -84,7 +88,12 @@ pub fn simulate_trajectory<R: Rng + ?Sized>(
             }
         }
         let scan = building.scan_at(layout, x, y, floor, rng);
-        points.push(TrajectoryPoint { x, y, floor: FloorId(floor), scan });
+        points.push(TrajectoryPoint {
+            x,
+            y,
+            floor: FloorId(floor),
+            scan,
+        });
     }
     points
 }
@@ -110,7 +119,10 @@ mod tests {
         let b = BuildingModel::office("traj", 4);
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let layout = b.layout(&mut rng);
-        let cfg = TrajectoryConfig { steps: 200, ..Default::default() };
+        let cfg = TrajectoryConfig {
+            steps: 200,
+            ..Default::default()
+        };
         let pts = simulate_trajectory(&b, &layout, &cfg, &mut rng);
         assert_eq!(pts.len(), 200);
         for p in &pts {
@@ -125,7 +137,11 @@ mod tests {
         let b = BuildingModel::office("traj2", 6);
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let layout = b.layout(&mut rng);
-        let cfg = TrajectoryConfig { steps: 300, floor_change_prob: 0.3, ..Default::default() };
+        let cfg = TrajectoryConfig {
+            steps: 300,
+            floor_change_prob: 0.3,
+            ..Default::default()
+        };
         let pts = simulate_trajectory(&b, &layout, &cfg, &mut rng);
         let mut changes = 0;
         for w in pts.windows(2) {
@@ -133,7 +149,10 @@ mod tests {
             assert!(d <= 1, "floor jumps must be single steps");
             changes += usize::from(d == 1);
         }
-        assert!(changes > 10, "with prob 0.3 over 300 steps, changes should happen");
+        assert!(
+            changes > 10,
+            "with prob 0.3 over 300 steps, changes should happen"
+        );
     }
 
     #[test]
@@ -141,7 +160,11 @@ mod tests {
         let b = BuildingModel::office("traj3", 5);
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let layout = b.layout(&mut rng);
-        let cfg = TrajectoryConfig { steps: 100, floor_change_prob: 0.0, ..Default::default() };
+        let cfg = TrajectoryConfig {
+            steps: 100,
+            floor_change_prob: 0.0,
+            ..Default::default()
+        };
         let pts = simulate_trajectory(&b, &layout, &cfg, &mut rng);
         let f0 = pts[0].floor;
         assert!(pts.iter().all(|p| p.floor == f0));
@@ -167,7 +190,11 @@ mod tests {
         let b = BuildingModel::mall("traj5", 1);
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let layout = b.layout(&mut rng);
-        let cfg = TrajectoryConfig { steps: 120, floor_change_prob: 0.0, ..Default::default() };
+        let cfg = TrajectoryConfig {
+            steps: 120,
+            floor_change_prob: 0.0,
+            ..Default::default()
+        };
         let pts = simulate_trajectory(&b, &layout, &cfg, &mut rng);
         let scans: Vec<&SignalRecord> = pts.iter().filter_map(|p| p.scan.as_ref()).collect();
         let mut adjacent = 0.0;

@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which proximity objective drives training.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum Objective {
     /// LINE first-order proximity: `log σ(u_j · u_i)`. Connected nodes
@@ -24,13 +24,8 @@ pub enum Objective {
     /// E-LINE (Eq. (10)): second-order plus the mirrored term
     /// `log σ(u_j · u'_i)` (Eq. (8)), capturing multi-hop local
     /// neighbourhoods. The paper's recommended objective and our default.
+    #[default]
     ELine,
-}
-
-impl Default for Objective {
-    fn default() -> Self {
-        Objective::ELine
-    }
 }
 
 impl fmt::Display for Objective {
@@ -73,6 +68,14 @@ pub struct EmbeddingConfig {
     /// SGD samples used when embedding a *new* node online, per incident
     /// edge of the new node.
     pub online_samples_per_edge: usize,
+    /// Worker threads for offline training. `1` (the default) runs the
+    /// exact serial trainer; `>= 2` switches [`crate::ElineTrainer::train`]
+    /// to the lock-free Hogwild path, whose floating-point results are
+    /// non-deterministic across runs (update interleaving) but whose
+    /// converged quality matches the serial trainer. Online embedding of a
+    /// single node is always serial — it touches two rows and finishes in
+    /// microseconds.
+    pub threads: usize,
 }
 
 impl Default for EmbeddingConfig {
@@ -87,6 +90,7 @@ impl Default for EmbeddingConfig {
             dropout: 0.1,
             negative_exponent: 0.75,
             online_samples_per_edge: 200,
+            threads: 1,
         }
     }
 }
@@ -98,7 +102,11 @@ impl EmbeddingConfig {
     ///
     /// Returns [`EmbedError::InvalidConfig`] if any field is out of range.
     pub fn validate(&self) -> Result<(), EmbedError> {
-        let bad = |what: &str| Err(EmbedError::InvalidConfig { what: what.to_owned() });
+        let bad = |what: &str| {
+            Err(EmbedError::InvalidConfig {
+                what: what.to_owned(),
+            })
+        };
         if self.dim == 0 {
             return bad("dim must be >= 1");
         }
@@ -116,6 +124,9 @@ impl EmbeddingConfig {
         }
         if self.online_samples_per_edge == 0 {
             return bad("online_samples_per_edge must be >= 1");
+        }
+        if self.threads == 0 {
+            return bad("threads must be >= 1");
         }
         Ok(())
     }
@@ -143,7 +154,10 @@ impl fmt::Display for EmbedError {
             EmbedError::InvalidConfig { what } => write!(f, "invalid embedding config: {what}"),
             EmbedError::EmptyGraph => write!(f, "cannot train embeddings on a graph with no edges"),
             EmbedError::IsolatedNode => {
-                write!(f, "node has no edges into the graph (likely outside the building)")
+                write!(
+                    f,
+                    "node has no edges into the graph (likely outside the building)"
+                )
             }
         }
     }
@@ -169,14 +183,69 @@ mod tests {
     #[test]
     fn validation_catches_bad_fields() {
         for (patch, _desc) in [
-            (EmbeddingConfig { dim: 0, ..Default::default() }, "dim"),
-            (EmbeddingConfig { epochs: 0, ..Default::default() }, "epochs"),
-            (EmbeddingConfig { initial_lr: 0.0, ..Default::default() }, "lr"),
-            (EmbeddingConfig { initial_lr: f64::NAN, ..Default::default() }, "lr nan"),
-            (EmbeddingConfig { dropout: 1.0, ..Default::default() }, "dropout"),
-            (EmbeddingConfig { dropout: -0.1, ..Default::default() }, "dropout neg"),
-            (EmbeddingConfig { negative_exponent: -1.0, ..Default::default() }, "exp"),
-            (EmbeddingConfig { online_samples_per_edge: 0, ..Default::default() }, "online"),
+            (
+                EmbeddingConfig {
+                    dim: 0,
+                    ..Default::default()
+                },
+                "dim",
+            ),
+            (
+                EmbeddingConfig {
+                    epochs: 0,
+                    ..Default::default()
+                },
+                "epochs",
+            ),
+            (
+                EmbeddingConfig {
+                    initial_lr: 0.0,
+                    ..Default::default()
+                },
+                "lr",
+            ),
+            (
+                EmbeddingConfig {
+                    initial_lr: f64::NAN,
+                    ..Default::default()
+                },
+                "lr nan",
+            ),
+            (
+                EmbeddingConfig {
+                    dropout: 1.0,
+                    ..Default::default()
+                },
+                "dropout",
+            ),
+            (
+                EmbeddingConfig {
+                    dropout: -0.1,
+                    ..Default::default()
+                },
+                "dropout neg",
+            ),
+            (
+                EmbeddingConfig {
+                    negative_exponent: -1.0,
+                    ..Default::default()
+                },
+                "exp",
+            ),
+            (
+                EmbeddingConfig {
+                    online_samples_per_edge: 0,
+                    ..Default::default()
+                },
+                "online",
+            ),
+            (
+                EmbeddingConfig {
+                    threads: 0,
+                    ..Default::default()
+                },
+                "threads",
+            ),
         ] {
             assert!(patch.validate().is_err());
         }

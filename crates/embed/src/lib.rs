@@ -22,6 +22,19 @@
 //! which optimises only the new node's two vectors while every previously
 //! learned embedding stays frozen.
 //!
+//! # Parallel training
+//!
+//! Setting [`EmbeddingConfig::threads`] `>= 2` switches
+//! [`ElineTrainer::train`] to a lock-free *Hogwild* trainer: workers share
+//! the embedding matrices through relaxed atomic loads/stores and update
+//! them without synchronisation, each drawing edges and negatives from its
+//! own deterministically seeded `ChaCha8Rng` via batched single-word alias
+//! sampling, with a shared sigmoid lookup table on the hot path. Row
+//! collisions are rare for realistic graphs, so staleness behaves as extra
+//! SGD noise; converged quality matches the serial trainer, but results
+//! are not bit-reproducible across runs. `threads == 1` preserves the
+//! serial trainer exactly.
+//!
 //! # Examples
 //!
 //! ```
@@ -44,11 +57,15 @@
 //! assert_eq!(model.rows(), g.node_capacity());
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the Hogwild trainer's `SharedModel` opts
+// back in for one documented pointer cast (see `parallel.rs`); everything
+// else in the crate stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod config;
 mod model;
+mod parallel;
 mod sgd;
 mod trainer;
 

@@ -75,7 +75,10 @@ impl EmbeddingModel {
     /// Mutable ego and context rows of the *same* node, borrowed together.
     pub fn rows_mut(&mut self, node: NodeIdx) -> (&mut [f32], &mut [f32]) {
         let i = node.index() * self.dim;
-        (&mut self.ego[i..i + self.dim], &mut self.context[i..i + self.dim])
+        (
+            &mut self.ego[i..i + self.dim],
+            &mut self.context[i..i + self.dim],
+        )
     }
 
     /// Grows the matrices to `rows` rows (no-op if already large enough),
@@ -83,10 +86,23 @@ impl EmbeddingModel {
     /// records/MACs are appended to the graph online (§V-A).
     pub fn grow<R: Rng + ?Sized>(&mut self, rows: usize, rng: &mut R) {
         let bound = 0.5 / self.dim as f32;
-        while self.ego.len() < rows * self.dim {
-            self.ego.push(rng.gen_range(-bound..=bound));
-            self.context.push(rng.gen_range(-bound..=bound));
+        let target = rows * self.dim;
+        if self.ego.len() >= target {
+            return;
         }
+        // One sized allocation per matrix instead of per-element `push`es
+        // (which re-check capacity on every coordinate and can reallocate
+        // repeatedly while a long online session grows the model). The
+        // draws land in a single interleaved scratch first because the
+        // historical element order was (ego, context) per coordinate —
+        // keeping it preserves every seeded online-inference stream.
+        let add = target - self.ego.len();
+        let mut draws: Vec<f32> = Vec::new();
+        draws.resize_with(2 * add, || rng.gen_range(-bound..=bound));
+        self.ego.reserve(add);
+        self.context.reserve(add);
+        self.ego.extend(draws.iter().step_by(2));
+        self.context.extend(draws.iter().skip(1).step_by(2));
     }
 
     /// Squared Euclidean distance between two ego embeddings.
@@ -117,7 +133,10 @@ impl EmbeddingModel {
     /// `true` if every coordinate of every row is finite.
     #[must_use]
     pub fn all_finite(&self) -> bool {
-        self.ego.iter().chain(self.context.iter()).all(|x| x.is_finite())
+        self.ego
+            .iter()
+            .chain(self.context.iter())
+            .all(|x| x.is_finite())
     }
 
     pub(crate) fn row(&self, space: Space, node: NodeIdx) -> &[f32] {
@@ -132,6 +151,12 @@ impl EmbeddingModel {
             Space::Ego => self.ego_mut(node),
             Space::Context => self.context_mut(node),
         }
+    }
+
+    /// Both full matrices, mutably — the Hogwild trainer's entry point for
+    /// building its shared atomic view over the storage.
+    pub(crate) fn matrices_mut(&mut self) -> (&mut [f32], &mut [f32]) {
+        (&mut self.ego, &mut self.context)
     }
 }
 

@@ -1,10 +1,13 @@
 //! Low-level SGD primitives shared by offline training and online
 //! embedding: one skip-gram-with-negative-sampling step over a directed
-//! (source → target) pair.
+//! (source → target) pair, plus the math kernels (dot product, axpy,
+//! sigmoid lookup table) reused by both the serial and the Hogwild
+//! trainers.
 
 use crate::model::{EmbeddingModel, Space};
 use grafics_graph::NodeIdx;
 use rand::Rng;
+use std::sync::OnceLock;
 
 /// Numerically safe logistic function.
 #[inline]
@@ -13,6 +16,84 @@ pub(crate) fn sigmoid(x: f32) -> f32 {
     // mirrors LINE's sigmoid lookup-table bounds and prevents exp overflow.
     let x = x.clamp(-8.0, 8.0);
     1.0 / (1.0 + (-x).exp())
+}
+
+/// Entries in the precomputed sigmoid table over `[-SIGMOID_BOUND, +SIGMOID_BOUND)`.
+pub(crate) const SIGMOID_TABLE_SIZE: usize = 1024;
+/// Clamp bound shared by [`sigmoid`] and the table.
+pub(crate) const SIGMOID_BOUND: f32 = 8.0;
+
+static SIGMOID_TABLE: OnceLock<[f32; SIGMOID_TABLE_SIZE]> = OnceLock::new();
+
+/// The shared 1024-entry sigmoid lookup table (built once per process).
+/// Each entry holds `σ(midpoint)` of its cell, so the absolute error is
+/// bounded by `σ'max · cellwidth / 2 = 0.25 · (16/1024) / 2 ≈ 2e-3` —
+/// LINE trains with the same table and converges identically, because SGD
+/// noise dwarfs the quantisation.
+pub(crate) fn sigmoid_table() -> &'static [f32; SIGMOID_TABLE_SIZE] {
+    SIGMOID_TABLE.get_or_init(|| {
+        let mut table = [0.0f32; SIGMOID_TABLE_SIZE];
+        let cell = 2.0 * SIGMOID_BOUND / SIGMOID_TABLE_SIZE as f32;
+        for (i, slot) in table.iter_mut().enumerate() {
+            let x = -SIGMOID_BOUND + (i as f32 + 0.5) * cell;
+            *slot = sigmoid(x);
+        }
+        table
+    })
+}
+
+/// Table-based sigmoid used on the Hogwild hot path.
+#[inline(always)]
+pub(crate) fn fast_sigmoid(table: &[f32; SIGMOID_TABLE_SIZE], x: f32) -> f32 {
+    let scaled = (x + SIGMOID_BOUND) * (SIGMOID_TABLE_SIZE as f32 / (2.0 * SIGMOID_BOUND));
+    // Saturated values behave like the clamp in `sigmoid`.
+    let idx = (scaled as i32).clamp(0, SIGMOID_TABLE_SIZE as i32 - 1) as usize;
+    table[idx]
+}
+
+/// Sequential dot product — accumulation order matches the historical
+/// per-coordinate loop exactly, keeping the serial trainer bit-for-bit
+/// stable.
+#[inline(always)]
+pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for d in 0..a.len() {
+        acc += a[d] * b[d];
+    }
+    acc
+}
+
+/// Four-accumulator unrolled dot product for the Hogwild path, where
+/// bit-stability against the serial trainer is not required and breaking
+/// the dependency chain lets the core issue independent FMAs.
+#[inline(always)]
+pub(crate) fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for c in 0..chunks {
+        let base = c * 4;
+        acc[0] += a[base] * b[base];
+        acc[1] += a[base + 1] * b[base + 1];
+        acc[2] += a[base + 2] * b[base + 2];
+        acc[3] += a[base + 3] * b[base + 3];
+    }
+    let mut tail = (acc[0] + acc[2]) + (acc[1] + acc[3]);
+    for d in chunks * 4..a.len() {
+        tail += a[d] * b[d];
+    }
+    tail
+}
+
+/// `acc[d] += scale * v[d]` — the shared update kernel. Element order is
+/// sequential, so substituting it for the historical loops is exact.
+#[inline(always)]
+pub(crate) fn axpy(acc: &mut [f32], scale: f32, v: &[f32]) {
+    debug_assert_eq!(acc.len(), v.len());
+    for d in 0..acc.len() {
+        acc[d] += scale * v[d];
+    }
 }
 
 /// A row selector: which matrix, which node.
@@ -27,7 +108,11 @@ pub(crate) struct Sgd {
 
 impl Sgd {
     pub(crate) fn new(dim: usize) -> Self {
-        Sgd { dim, src_copy: vec![0.0; dim], src_grad: vec![0.0; dim] }
+        Sgd {
+            dim,
+            src_copy: vec![0.0; dim],
+            src_grad: vec![0.0; dim],
+        }
     }
 
     /// One directed step: positive pair `src → tgt` plus `negatives` in
@@ -63,14 +148,14 @@ impl Sgd {
         if update_source {
             let srow = model.row_mut(src.0, src.1);
             if dropout > 0.0 {
-                for d in 0..self.dim {
+                for (slot, &g) in srow.iter_mut().zip(&self.src_grad) {
                     if rng.gen::<f32>() >= dropout {
-                        srow[d] += self.src_grad[d];
+                        *slot += g;
                     }
                 }
             } else {
-                for d in 0..self.dim {
-                    srow[d] += self.src_grad[d];
+                for (slot, &g) in srow.iter_mut().zip(&self.src_grad) {
+                    *slot += g;
                 }
             }
         }
@@ -86,20 +171,13 @@ impl Sgd {
         update_target: bool,
     ) {
         let trow = model.row_mut(tgt.0, tgt.1);
-        let mut dot = 0.0f32;
-        for d in 0..self.dim {
-            dot += self.src_copy[d] * trow[d];
-        }
-        let g = lr * (label - sigmoid(dot));
+        let g = lr * (label - sigmoid(dot(&self.src_copy, trow)));
+        // Gradient read precedes the in-place target update per coordinate
+        // in the historical loop; two sequential axpy passes preserve that
+        // order exactly (each coordinate's read happens before its write).
+        axpy(&mut self.src_grad, g, trow);
         if update_target {
-            for d in 0..self.dim {
-                self.src_grad[d] += g * trow[d];
-                trow[d] += g * self.src_copy[d];
-            }
-        } else {
-            for d in 0..self.dim {
-                self.src_grad[d] += g * trow[d];
-            }
+            axpy(trow, g, &self.src_copy);
         }
     }
 }
@@ -109,6 +187,42 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn fast_sigmoid_tracks_exact_sigmoid() {
+        let table = sigmoid_table();
+        let mut x = -12.0f32;
+        while x < 12.0 {
+            let exact = sigmoid(x);
+            let approx = fast_sigmoid(table, x);
+            assert!(
+                (exact - approx).abs() < 3e-3,
+                "x={x}: exact {exact} vs table {approx}"
+            );
+            x += 0.013;
+        }
+        assert!((fast_sigmoid(table, 0.0) - 0.5).abs() < 3e-3);
+        assert!(fast_sigmoid(table, 1e30) > 0.999);
+        assert!(fast_sigmoid(table, -1e30) < 0.001);
+    }
+
+    #[test]
+    fn dot_kernels_agree() {
+        let a: Vec<f32> = (0..13).map(|i| (i as f32).sin()).collect();
+        let b: Vec<f32> = (0..13).map(|i| (i as f32 * 0.7).cos()).collect();
+        let seq = dot(&a, &b);
+        let unrolled = dot_unrolled(&a, &b);
+        assert!((seq - unrolled).abs() < 1e-5, "{seq} vs {unrolled}");
+        assert_eq!(dot(&[], &[]), 0.0);
+        assert_eq!(dot_unrolled(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates_in_place() {
+        let mut acc = vec![1.0f32, 2.0, 3.0];
+        axpy(&mut acc, 2.0, &[10.0, 20.0, 30.0]);
+        assert_eq!(acc, vec![21.0, 42.0, 63.0]);
+    }
 
     #[test]
     fn sigmoid_bounds_and_midpoint() {
@@ -150,7 +264,10 @@ mod tests {
             .zip(model.context(j))
             .map(|(&a, &b)| a * b)
             .sum();
-        assert!(dot_after > dot_before, "{dot_after} should exceed {dot_before}");
+        assert!(
+            dot_after > dot_before,
+            "{dot_after} should exceed {dot_before}"
+        );
         assert!(model.all_finite());
     }
 
@@ -174,9 +291,16 @@ mod tests {
                 &mut rng,
             );
         }
-        let dot_neg: f32 =
-            model.ego(i).iter().zip(model.context(z)).map(|(&a, &b)| a * b).sum();
-        assert!(dot_neg < 0.0, "negative dot should be pushed below zero, got {dot_neg}");
+        let dot_neg: f32 = model
+            .ego(i)
+            .iter()
+            .zip(model.context(z))
+            .map(|(&a, &b)| a * b)
+            .sum();
+        assert!(
+            dot_neg < 0.0,
+            "negative dot should be pushed below zero, got {dot_neg}"
+        );
     }
 
     #[test]

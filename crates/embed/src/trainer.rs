@@ -32,6 +32,12 @@ impl ElineTrainer {
 
     /// Learns embeddings for every node of `graph` from scratch.
     ///
+    /// With [`EmbeddingConfig::threads`] `== 1` (the default) this runs the
+    /// exact serial trainer; with `threads >= 2` it runs the lock-free
+    /// Hogwild trainer (see [`crate`] docs), which reaches the same
+    /// converged quality but is not bit-reproducible across runs because
+    /// worker updates interleave nondeterministically.
+    ///
     /// # Errors
     ///
     /// - [`EmbedError::InvalidConfig`] if the configuration is out of range.
@@ -41,13 +47,22 @@ impl ElineTrainer {
         graph: &BipartiteGraph,
         rng: &mut R,
     ) -> Result<EmbeddingModel, EmbedError> {
-        self.train_with_stats(graph, rng).map(|(model, _)| model)
+        if self.config.threads > 1 {
+            self.config.validate()?;
+            crate::parallel::train_hogwild(&self.config, graph, rng)
+        } else {
+            self.train_with_stats(graph, rng).map(|(model, _)| model)
+        }
     }
 
     /// Like [`ElineTrainer::train`], additionally recording a convergence
     /// trace: ten checkpoints of the estimated positive-pair loss
     /// `−log σ(u'_j · u_i)` over a fixed probe set of edges. Useful for
     /// tuning `epochs` on a new corpus.
+    ///
+    /// Always runs the *serial* trainer regardless of
+    /// [`EmbeddingConfig::threads`]: the probe trace is only meaningful
+    /// over a deterministic sample order.
     ///
     /// # Errors
     ///
@@ -60,8 +75,9 @@ impl ElineTrainer {
         self.config.validate()?;
         let (edges, weights) = graph.edge_list();
         let edge_alias = AliasTable::new(&weights).ok_or(EmbedError::EmptyGraph)?;
-        let neg_alias = AliasTable::new(&graph.negative_sampling_weights(self.config.negative_exponent))
-            .ok_or(EmbedError::EmptyGraph)?;
+        let neg_alias =
+            AliasTable::new(&graph.negative_sampling_weights(self.config.negative_exponent))
+                .ok_or(EmbedError::EmptyGraph)?;
 
         let cfg = &self.config;
         let mut model = EmbeddingModel::init(graph.node_capacity(), cfg.dim, rng);
@@ -86,12 +102,16 @@ impl ElineTrainer {
                 (e, negs)
             })
             .collect();
-        let mut stats = TrainingStats { checkpoints: Vec::with_capacity(11) };
+        let mut stats = TrainingStats {
+            checkpoints: Vec::with_capacity(11),
+        };
         let total = cfg.epochs.saturating_mul(edges.len()).max(1);
         let checkpoint_every = (total / 10).max(1);
         for t in 0..total {
             if t % checkpoint_every == 0 {
-                stats.checkpoints.push((t, probe_loss(&model, &edges, &probe)));
+                stats
+                    .checkpoints
+                    .push((t, probe_loss(&model, &edges, &probe)));
             }
             let lr = self.lr_at(t, total);
             let e = edges[edge_alias.sample(rng)];
@@ -186,7 +206,9 @@ impl ElineTrainer {
             }
         }
         debug_assert!(model.all_finite());
-        stats.checkpoints.push((total, probe_loss(&model, &edges, &probe)));
+        stats
+            .checkpoints
+            .push((total, probe_loss(&model, &edges, &probe)));
         Ok((model, stats))
     }
 
@@ -235,25 +257,119 @@ impl ElineTrainer {
             // Direction j → node: only the node's target vector may move.
             match cfg.objective {
                 Objective::LineFirst => {
-                    sgd.step(model, (Space::Ego, node), (Space::Ego, j), Space::Ego, &negatives, lr, true, false, 0.0, rng);
+                    sgd.step(
+                        model,
+                        (Space::Ego, node),
+                        (Space::Ego, j),
+                        Space::Ego,
+                        &negatives,
+                        lr,
+                        true,
+                        false,
+                        0.0,
+                        rng,
+                    );
                 }
                 Objective::LineSecond => {
-                    sgd.step(model, (Space::Ego, node), (Space::Context, j), Space::Context, &negatives, lr, true, false, 0.0, rng);
-                    update_target_only(&mut sgd, model, (Space::Ego, j), (Space::Context, node), lr, rng);
+                    sgd.step(
+                        model,
+                        (Space::Ego, node),
+                        (Space::Context, j),
+                        Space::Context,
+                        &negatives,
+                        lr,
+                        true,
+                        false,
+                        0.0,
+                        rng,
+                    );
+                    update_target_only(
+                        &mut sgd,
+                        model,
+                        (Space::Ego, j),
+                        (Space::Context, node),
+                        lr,
+                        rng,
+                    );
                 }
                 Objective::LineBoth => {
-                    sgd.step(model, (Space::Ego, node), (Space::Ego, j), Space::Ego, &negatives, lr, true, false, 0.0, rng);
-                    sgd.step(model, (Space::Ego, node), (Space::Context, j), Space::Context, &negatives, lr, true, false, 0.0, rng);
-                    update_target_only(&mut sgd, model, (Space::Ego, j), (Space::Context, node), lr, rng);
+                    sgd.step(
+                        model,
+                        (Space::Ego, node),
+                        (Space::Ego, j),
+                        Space::Ego,
+                        &negatives,
+                        lr,
+                        true,
+                        false,
+                        0.0,
+                        rng,
+                    );
+                    sgd.step(
+                        model,
+                        (Space::Ego, node),
+                        (Space::Context, j),
+                        Space::Context,
+                        &negatives,
+                        lr,
+                        true,
+                        false,
+                        0.0,
+                        rng,
+                    );
+                    update_target_only(
+                        &mut sgd,
+                        model,
+                        (Space::Ego, j),
+                        (Space::Context, node),
+                        lr,
+                        rng,
+                    );
                 }
                 Objective::ELine => {
                     // node as source of both objective terms.
-                    sgd.step(model, (Space::Ego, node), (Space::Context, j), Space::Context, &negatives, lr, true, false, 0.0, rng);
-                    sgd.step(model, (Space::Context, node), (Space::Ego, j), Space::Ego, &negatives, lr, true, false, 0.0, rng);
+                    sgd.step(
+                        model,
+                        (Space::Ego, node),
+                        (Space::Context, j),
+                        Space::Context,
+                        &negatives,
+                        lr,
+                        true,
+                        false,
+                        0.0,
+                        rng,
+                    );
+                    sgd.step(
+                        model,
+                        (Space::Context, node),
+                        (Space::Ego, j),
+                        Space::Ego,
+                        &negatives,
+                        lr,
+                        true,
+                        false,
+                        0.0,
+                        rng,
+                    );
                     // node as target: update u'_node from frozen u_j and
                     // u_node from frozen u'_j.
-                    update_target_only(&mut sgd, model, (Space::Ego, j), (Space::Context, node), lr, rng);
-                    update_target_only(&mut sgd, model, (Space::Context, j), (Space::Ego, node), lr, rng);
+                    update_target_only(
+                        &mut sgd,
+                        model,
+                        (Space::Ego, j),
+                        (Space::Context, node),
+                        lr,
+                        rng,
+                    );
+                    update_target_only(
+                        &mut sgd,
+                        model,
+                        (Space::Context, j),
+                        (Space::Ego, node),
+                        lr,
+                        rng,
+                    );
                 }
             }
         }
@@ -417,7 +533,11 @@ mod tests {
     fn eline_separates_communities() {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let (g, a, b) = two_floor_graph(&mut rng);
-        let cfg = EmbeddingConfig { dim: 8, epochs: 80, ..Default::default() };
+        let cfg = EmbeddingConfig {
+            dim: 8,
+            epochs: 80,
+            ..Default::default()
+        };
         let model = ElineTrainer::new(cfg).train(&g, &mut rng).unwrap();
         assert!(model.all_finite());
         let intra = (mean_dist(&model, &a, &a) + mean_dist(&model, &b, &b)) / 2.0;
@@ -441,7 +561,10 @@ mod tests {
         let model = ElineTrainer::new(cfg).train(&g, &mut rng).unwrap();
         let intra = (mean_dist(&model, &a, &a) + mean_dist(&model, &b, &b)) / 2.0;
         let inter = mean_dist(&model, &a, &b);
-        assert!(inter > intra, "LINE-2nd should still separate: inter {inter} vs intra {intra}");
+        assert!(
+            inter > intra,
+            "LINE-2nd should still separate: inter {inter} vs intra {intra}"
+        );
     }
 
     #[test]
@@ -459,7 +582,9 @@ mod tests {
         assert!(model.all_finite());
         let rid = g.add_record(&rec(&[0, 1, 2, 3]));
         let node = g.record_node(rid).unwrap();
-        trainer.embed_new_node(&g, &mut model, node, &mut rng).unwrap();
+        trainer
+            .embed_new_node(&g, &mut model, node, &mut rng)
+            .unwrap();
         assert!(model.all_finite());
         let _ = a;
     }
@@ -490,7 +615,10 @@ mod tests {
     fn invalid_config_is_an_error() {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let (g, _, _) = two_floor_graph(&mut rng);
-        let cfg = EmbeddingConfig { dim: 0, ..Default::default() };
+        let cfg = EmbeddingConfig {
+            dim: 0,
+            ..Default::default()
+        };
         assert!(matches!(
             ElineTrainer::new(cfg).train(&g, &mut rng),
             Err(EmbedError::InvalidConfig { .. })
@@ -501,14 +629,23 @@ mod tests {
     fn online_embedding_freezes_existing_rows() {
         let mut rng = ChaCha8Rng::seed_from_u64(10);
         let (mut g, a, _) = two_floor_graph(&mut rng);
-        let trainer = ElineTrainer::new(EmbeddingConfig { epochs: 40, ..Default::default() });
+        let trainer = ElineTrainer::new(EmbeddingConfig {
+            epochs: 40,
+            ..Default::default()
+        });
         let mut model = trainer.train(&g, &mut rng).unwrap();
         let frozen_before: Vec<f32> = model.ego(a[0]).to_vec();
 
         let rid = g.add_record(&rec(&[0, 1, 2, 3]));
         let node = g.record_node(rid).unwrap();
-        trainer.embed_new_node(&g, &mut model, node, &mut rng).unwrap();
-        assert_eq!(model.ego(a[0]), frozen_before.as_slice(), "existing rows must not move");
+        trainer
+            .embed_new_node(&g, &mut model, node, &mut rng)
+            .unwrap();
+        assert_eq!(
+            model.ego(a[0]),
+            frozen_before.as_slice(),
+            "existing rows must not move"
+        );
         assert!(model.all_finite());
     }
 
@@ -516,17 +653,25 @@ mod tests {
     fn online_embedding_lands_near_own_floor() {
         let mut rng = ChaCha8Rng::seed_from_u64(11);
         let (mut g, a, b) = two_floor_graph(&mut rng);
-        let trainer = ElineTrainer::new(EmbeddingConfig { epochs: 80, ..Default::default() });
+        let trainer = ElineTrainer::new(EmbeddingConfig {
+            epochs: 80,
+            ..Default::default()
+        });
         let mut model = trainer.train(&g, &mut rng).unwrap();
 
         // New record from floor A's MAC pool.
         let rid = g.add_record(&rec(&[0, 2, 4, 6]));
         let node = g.record_node(rid).unwrap();
-        trainer.embed_new_node(&g, &mut model, node, &mut rng).unwrap();
+        trainer
+            .embed_new_node(&g, &mut model, node, &mut rng)
+            .unwrap();
 
         let to_a = mean_dist(&model, &[node], &a);
         let to_b = mean_dist(&model, &[node], &b);
-        assert!(to_a < to_b, "new floor-A record is nearer A ({to_a}) than B ({to_b})");
+        assert!(
+            to_a < to_b,
+            "new floor-A record is nearer A ({to_a}) than B ({to_b})"
+        );
     }
 
     #[test]
@@ -548,8 +693,13 @@ mod tests {
     fn training_stats_show_convergence() {
         let mut rng = ChaCha8Rng::seed_from_u64(33);
         let (g, _, _) = two_floor_graph(&mut rng);
-        let cfg = EmbeddingConfig { epochs: 80, ..Default::default() };
-        let (_, stats) = ElineTrainer::new(cfg).train_with_stats(&g, &mut rng).unwrap();
+        let cfg = EmbeddingConfig {
+            epochs: 80,
+            ..Default::default()
+        };
+        let (_, stats) = ElineTrainer::new(cfg)
+            .train_with_stats(&g, &mut rng)
+            .unwrap();
         assert!(stats.checkpoints.len() >= 10);
         assert!(
             stats.final_loss() < stats.initial_loss(),
@@ -566,7 +716,10 @@ mod tests {
     fn training_is_deterministic_per_seed() {
         let mut rng1 = ChaCha8Rng::seed_from_u64(42);
         let (g1, a, _) = two_floor_graph(&mut rng1);
-        let cfg = EmbeddingConfig { epochs: 10, ..Default::default() };
+        let cfg = EmbeddingConfig {
+            epochs: 10,
+            ..Default::default()
+        };
         let m1 = ElineTrainer::new(cfg).train(&g1, &mut rng1).unwrap();
 
         let mut rng2 = ChaCha8Rng::seed_from_u64(42);

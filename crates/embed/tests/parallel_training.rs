@@ -1,0 +1,202 @@
+//! Tests pinning the Hogwild trainer's contract: `threads = 1` is
+//! bit-for-bit the serial trainer, and `threads = 4` converges to the
+//! same quality on a seeded synthetic building.
+
+use grafics_embed::{ElineTrainer, EmbeddingConfig, EmbeddingModel, Objective};
+use grafics_graph::{BipartiteGraph, NodeIdx, WeightFunction};
+use grafics_types::{MacAddr, Reading, Rssi, SignalRecord};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn rec(macs: &[u64]) -> SignalRecord {
+    SignalRecord::new(
+        macs.iter()
+            .map(|&m| Reading::new(MacAddr::from_u64(m), Rssi::new(-60.0).unwrap()))
+            .collect(),
+    )
+    .unwrap()
+}
+
+/// A 3-community graph: records in community `c` draw MACs from pool `c`.
+fn three_floor_graph(rng: &mut ChaCha8Rng) -> (BipartiteGraph, Vec<Vec<NodeIdx>>) {
+    use rand::seq::SliceRandom;
+    let mut g = BipartiteGraph::new(WeightFunction::default());
+    let mut communities = vec![Vec::new(), Vec::new(), Vec::new()];
+    let pools: [Vec<u64>; 3] = [
+        (0..12).collect(),
+        (100..112).collect(),
+        (200..212).collect(),
+    ];
+    for k in 0..36 {
+        let c = k % 3;
+        let macs: Vec<u64> = pools[c].choose_multiple(rng, 5).copied().collect();
+        let rid = g.add_record(&rec(&macs));
+        communities[c].push(g.record_node(rid).unwrap());
+    }
+    (g, communities)
+}
+
+/// Mean positive-pair loss `-log σ(u'_mac · u_record)` over every edge —
+/// an externally computable version of the trainer's probe loss.
+fn edge_loss(model: &EmbeddingModel, g: &BipartiteGraph) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for e in g.edges() {
+        let dot: f32 = model
+            .ego(e.record)
+            .iter()
+            .zip(model.context(e.mac))
+            .map(|(&a, &b)| a * b)
+            .sum();
+        let sig = 1.0 / (1.0 + f64::from(-dot.clamp(-30.0, 30.0)).exp());
+        sum += -sig.max(1e-12).ln();
+        n += 1;
+    }
+    sum / n as f64
+}
+
+fn mean_dist(model: &EmbeddingModel, xs: &[NodeIdx], ys: &[NodeIdx]) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for &x in xs {
+        for &y in ys {
+            if x != y {
+                sum += model.ego_distance(x, y);
+                n += 1;
+            }
+        }
+    }
+    sum / n as f64
+}
+
+/// `train()` with `threads = 1` must take the exact serial code path:
+/// bit-for-bit the model `train_with_stats` (which *is* the serial
+/// implementation, unconditionally) produces, for every objective. If a
+/// future change routed `threads = 1` through the Hogwild path, the
+/// float streams would diverge and this comparison would fail.
+#[test]
+fn single_thread_is_bit_identical_to_serial() {
+    for objective in [
+        Objective::ELine,
+        Objective::LineSecond,
+        Objective::LineFirst,
+        Objective::LineBoth,
+    ] {
+        let mut rng_graph = ChaCha8Rng::seed_from_u64(11);
+        let (g, _) = three_floor_graph(&mut rng_graph);
+
+        let cfg = EmbeddingConfig {
+            dim: 8,
+            epochs: 12,
+            threads: 1,
+            objective,
+            ..Default::default()
+        };
+
+        let mut rng_a = ChaCha8Rng::seed_from_u64(77);
+        let (a, _) = ElineTrainer::new(cfg)
+            .train_with_stats(&g, &mut rng_a)
+            .unwrap();
+        let mut rng_b = ChaCha8Rng::seed_from_u64(77);
+        let b = ElineTrainer::new(cfg).train(&g, &mut rng_b).unwrap();
+
+        assert_eq!(a.rows(), b.rows());
+        for node in 0..a.rows() {
+            let n = NodeIdx(node as u32);
+            assert_eq!(a.ego(n), b.ego(n), "{objective}: ego row {node} diverged");
+            assert_eq!(
+                a.context(n),
+                b.context(n),
+                "{objective}: context row {node} diverged"
+            );
+        }
+    }
+}
+
+/// The Hogwild path at `threads = 4` must converge: final edge loss within
+/// tolerance of the serial trainer on the same seeded graph, communities
+/// separated, all coordinates finite.
+#[test]
+fn hogwild_four_threads_converges_like_serial() {
+    let mut rng_graph = ChaCha8Rng::seed_from_u64(21);
+    let (g, communities) = three_floor_graph(&mut rng_graph);
+
+    let cfg = EmbeddingConfig {
+        dim: 8,
+        epochs: 60,
+        ..Default::default()
+    };
+    let mut rng_serial = ChaCha8Rng::seed_from_u64(5);
+    let serial = ElineTrainer::new(cfg).train(&g, &mut rng_serial).unwrap();
+
+    let par_cfg = EmbeddingConfig { threads: 4, ..cfg };
+    let mut rng_par = ChaCha8Rng::seed_from_u64(5);
+    let parallel = ElineTrainer::new(par_cfg).train(&g, &mut rng_par).unwrap();
+
+    assert!(parallel.all_finite());
+    assert_eq!(parallel.rows(), serial.rows());
+
+    let serial_loss = edge_loss(&serial, &g);
+    let parallel_loss = edge_loss(&parallel, &g);
+    assert!(
+        parallel_loss < serial_loss * 1.25 + 0.05,
+        "Hogwild loss {parallel_loss:.4} should match serial {serial_loss:.4}"
+    );
+
+    // And the embedding must actually be useful: communities separate.
+    let intra = (mean_dist(&parallel, &communities[0], &communities[0])
+        + mean_dist(&parallel, &communities[1], &communities[1])
+        + mean_dist(&parallel, &communities[2], &communities[2]))
+        / 3.0;
+    let inter = (mean_dist(&parallel, &communities[0], &communities[1])
+        + mean_dist(&parallel, &communities[0], &communities[2])
+        + mean_dist(&parallel, &communities[1], &communities[2]))
+        / 3.0;
+    assert!(
+        inter > 1.5 * intra,
+        "Hogwild embedding should separate communities: inter {inter:.4} vs intra {intra:.4}"
+    );
+}
+
+/// More workers than samples must not hang or panic (degenerate split).
+#[test]
+fn more_threads_than_work_is_safe() {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let mut g = BipartiteGraph::new(WeightFunction::default());
+    g.add_record(&rec(&[1, 2]));
+    let cfg = EmbeddingConfig {
+        dim: 4,
+        epochs: 1,
+        threads: 16,
+        ..Default::default()
+    };
+    let model = ElineTrainer::new(cfg).train(&g, &mut rng).unwrap();
+    assert!(model.all_finite());
+}
+
+/// Hogwild across every objective stays finite (mirror of the serial
+/// property test at a smaller scale).
+#[test]
+fn hogwild_all_objectives_finite() {
+    for objective in [
+        Objective::ELine,
+        Objective::LineSecond,
+        Objective::LineFirst,
+        Objective::LineBoth,
+    ] {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let (g, _) = three_floor_graph(&mut rng);
+        let cfg = EmbeddingConfig {
+            dim: 8,
+            epochs: 8,
+            threads: 3,
+            objective,
+            ..Default::default()
+        };
+        let model = ElineTrainer::new(cfg).train(&g, &mut rng).unwrap();
+        assert!(
+            model.all_finite(),
+            "{objective} produced non-finite embeddings"
+        );
+    }
+}

@@ -134,7 +134,8 @@ impl BipartiteGraph {
     /// any MACs not seen before (§V-A: the graph is extended online).
     /// Returns the new record's id.
     pub fn add_record(&mut self, record: &SignalRecord) -> RecordId {
-        let rid = RecordId(u32::try_from(self.record_nodes.len()).expect("record count exceeds u32"));
+        let rid =
+            RecordId(u32::try_from(self.record_nodes.len()).expect("record count exceeds u32"));
         let v = self.alloc_node(NodeKind::Record(rid));
         self.record_nodes.push(Some(v));
         for reading in record.readings() {
@@ -181,7 +182,10 @@ impl BipartiteGraph {
     ///
     /// [`GraphError::UnknownMac`] if the MAC is not in the graph.
     pub fn remove_mac(&mut self, mac: MacAddr) -> Result<(), GraphError> {
-        let m = self.mac_lookup.remove(&mac).ok_or(GraphError::UnknownMac(mac))?;
+        let m = self
+            .mac_lookup
+            .remove(&mac)
+            .ok_or(GraphError::UnknownMac(mac))?;
         self.tombstone(m);
         Ok(())
     }
@@ -286,9 +290,11 @@ impl BipartiteGraph {
     /// (record side → MAC side).
     pub fn edges(&self) -> impl Iterator<Item = EdgeRef> + '_ {
         self.record_nodes.iter().flatten().flat_map(move |&v| {
-            self.adj[v.index()]
-                .iter()
-                .map(move |&(m, weight)| EdgeRef { mac: m, record: v, weight })
+            self.adj[v.index()].iter().map(move |&(m, weight)| EdgeRef {
+                mac: m,
+                record: v,
+                weight,
+            })
         })
     }
 
@@ -545,6 +551,9 @@ mod tests {
         let back: BipartiteGraph = serde_json::from_str(&json).unwrap();
         assert_eq!(back.record_count(), 2);
         assert_eq!(back.edge_count(), 4);
-        assert_eq!(back.mac_node(MacAddr::from_u64(2)), g.mac_node(MacAddr::from_u64(2)));
+        assert_eq!(
+            back.mac_node(MacAddr::from_u64(2)),
+            g.mac_node(MacAddr::from_u64(2))
+        );
     }
 }

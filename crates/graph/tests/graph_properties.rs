@@ -128,10 +128,10 @@ proptest! {
         }
         g.remove_record(RecordId(0)).unwrap();
         let w = g.negative_sampling_weights(0.75);
-        for i in 0..g.node_capacity() {
+        for (i, &weight) in w.iter().enumerate().take(g.node_capacity()) {
             let idx = NodeIdx(i as u32);
             let live = !g.is_removed(idx) && g.degree(idx) > 0;
-            prop_assert_eq!(w[i] > 0.0, live, "node {} weight {}", i, w[i]);
+            prop_assert_eq!(weight > 0.0, live, "node {} weight {}", i, weight);
         }
     }
 }

@@ -76,8 +76,7 @@ impl ConfusionMatrix {
     /// All floors appearing as truth or prediction, ascending.
     #[must_use]
     pub fn floors(&self) -> Vec<FloorId> {
-        let mut floors: Vec<FloorId> =
-            self.counts.keys().flat_map(|&(t, p)| [t, p]).collect();
+        let mut floors: Vec<FloorId> = self.counts.keys().flat_map(|&(t, p)| [t, p]).collect();
         floors.sort_unstable();
         floors.dedup();
         floors
@@ -101,10 +100,16 @@ impl ConfusionMatrix {
 
         for &f in &floors {
             let tp = self.count(f, f);
-            let fp: usize =
-                floors.iter().filter(|&&t| t != f).map(|&t| self.count(t, f)).sum();
-            let fn_: usize =
-                floors.iter().filter(|&&p| p != f).map(|&p| self.count(f, p)).sum();
+            let fp: usize = floors
+                .iter()
+                .filter(|&&t| t != f)
+                .map(|&t| self.count(t, f))
+                .sum();
+            let fn_: usize = floors
+                .iter()
+                .filter(|&&p| p != f)
+                .map(|&p| self.count(f, p))
+                .sum();
             let precision = ratio(tp, tp + fp);
             let recall = ratio(tp, tp + fn_);
             per_floor.push(FloorMetrics {
@@ -276,7 +281,12 @@ mod tests {
         }
         cm.observe(FloorId(1), FloorId(0));
         let r = cm.report();
-        assert!(r.micro_f > r.macro_f, "micro {} vs macro {}", r.micro_f, r.macro_f);
+        assert!(
+            r.micro_f > r.macro_f,
+            "micro {} vs macro {}",
+            r.micro_f,
+            r.macro_f
+        );
         assert!((r.micro_f - 0.9).abs() < 1e-12);
         // floor 1: P=R=F=0; floor 0: P=0.9, R=1.0
         assert!((r.macro_p - 0.45).abs() < 1e-12);
@@ -334,7 +344,9 @@ mod tests {
         let t = [FloorId(0), FloorId(1), FloorId(1), FloorId(2)];
         let p = [FloorId(1), FloorId(1), FloorId(2), FloorId(2)];
         let r = ConfusionMatrix::from_pairs(&t, &p).report();
-        for v in [r.micro_p, r.micro_r, r.micro_f, r.macro_p, r.macro_r, r.macro_f] {
+        for v in [
+            r.micro_p, r.micro_r, r.micro_f, r.macro_p, r.macro_r, r.macro_f,
+        ] {
             assert!((0.0..=1.0).contains(&v));
         }
     }

@@ -44,7 +44,10 @@ impl Conv2d {
         rng: &mut R,
     ) -> Self {
         assert!(in_channels > 0 && out_channels > 0 && h > 0 && w > 0 && kernel > 0 && stride > 0);
-        assert!(kernel <= h && kernel <= w, "kernel {kernel} exceeds {h}x{w}");
+        assert!(
+            kernel <= h && kernel <= w,
+            "kernel {kernel} exceeds {h}x{w}"
+        );
         let out_h = (h - kernel) / stride + 1;
         let out_w = (w - kernel) / stride + 1;
         let fan_in = in_channels * kernel * kernel;
@@ -109,8 +112,8 @@ impl Layer for Conv2d {
                             for ky in 0..self.kernel {
                                 let row_base = c * plane + (sy + ky) * self.w + sx;
                                 for kx in 0..self.kernel {
-                                    acc += self.weights[self.w_idx(o, c, ky, kx)]
-                                        * x[row_base + kx];
+                                    acc +=
+                                        self.weights[self.w_idx(o, c, ky, kx)] * x[row_base + kx];
                                 }
                             }
                         }
@@ -266,12 +269,15 @@ mod tests {
             let bright = if i % 2 == 0 { (0, 0) } else { (3, 3) };
             for dy in 0..3 {
                 for dx in 0..3 {
-                    img[(bright.0 + dy) * 6 + bright.1 + dx] =
-                        1.0 + rng.gen_range(-0.1..0.1);
+                    img[(bright.0 + dy) * 6 + bright.1 + dx] = 1.0 + rng.gen_range(-0.1..0.1);
                 }
             }
             xs.push(img);
-            ys.push(if i % 2 == 0 { vec![1.0, 0.0] } else { vec![0.0, 1.0] });
+            ys.push(if i % 2 == 0 {
+                vec![1.0, 0.0]
+            } else {
+                vec![0.0, 1.0]
+            });
         }
         let x = Matrix::from_rows(&xs);
         let y = Matrix::from_rows(&ys);

@@ -170,8 +170,9 @@ mod tests {
         let pred = a.matmul(&w);
         // AᵀR ≈ 0 at the least-squares optimum.
         for j in 0..6 {
-            let dot: f32 =
-                (0..40).map(|r| a.get(r, j) * (b.get(r, 0) - pred.get(r, 0))).sum();
+            let dot: f32 = (0..40)
+                .map(|r| a.get(r, j) * (b.get(r, 0) - pred.get(r, 0)))
+                .sum();
             assert!(dot.abs() < 1e-2, "column {j} residual dot {dot}");
         }
     }

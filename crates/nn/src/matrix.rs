@@ -15,7 +15,11 @@ impl Matrix {
     /// All-zero matrix.
     #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// He/Xavier-style uniform init in `±sqrt(6/(fan_in+fan_out))`.
@@ -25,7 +29,9 @@ impl Matrix {
         Matrix {
             rows,
             cols,
-            data: (0..rows * cols).map(|_| rng.gen_range(-bound..=bound)).collect(),
+            data: (0..rows * cols)
+                .map(|_| rng.gen_range(-bound..=bound))
+                .collect(),
         }
     }
 
@@ -43,7 +49,11 @@ impl Matrix {
             assert_eq!(r.len(), cols, "ragged rows");
             data.extend_from_slice(r);
         }
-        Matrix { rows: rows.len(), cols, data }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Builds from a flat row-major buffer.

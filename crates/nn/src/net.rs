@@ -41,8 +41,8 @@ impl Loss {
                     let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
                     let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
                     let z: f32 = exps.iter().sum();
-                    for c in 0..output.cols() {
-                        let p = exps[c] / z;
+                    for (c, &e) in exps.iter().enumerate() {
+                        let p = e / z;
                         let t = target.get(r, c);
                         if t > 0.0 {
                             loss -= t * p.max(1e-12).ln();
@@ -73,7 +73,15 @@ impl Adam {
     /// Creates Adam with the usual defaults (β₁ = 0.9, β₂ = 0.999).
     #[must_use]
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Sets the learning rate.
@@ -126,7 +134,10 @@ impl Sequential {
     /// Builds a network from layers, with Adam(lr = 1e-3).
     #[must_use]
     pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
-        Sequential { layers, optimizer: Adam::new(1e-3) }
+        Sequential {
+            layers,
+            optimizer: Adam::new(1e-3),
+        }
     }
 
     /// Number of trainable scalars.
@@ -197,8 +208,10 @@ impl Sequential {
         let mut total = 0.0;
         let mut batches = 0;
         for chunk in order.chunks(batch.max(1)) {
-            let bx = Matrix::from_rows(&chunk.iter().map(|&i| x.row(i).to_vec()).collect::<Vec<_>>());
-            let by = Matrix::from_rows(&chunk.iter().map(|&i| y.row(i).to_vec()).collect::<Vec<_>>());
+            let bx =
+                Matrix::from_rows(&chunk.iter().map(|&i| x.row(i).to_vec()).collect::<Vec<_>>());
+            let by =
+                Matrix::from_rows(&chunk.iter().map(|&i| y.row(i).to_vec()).collect::<Vec<_>>());
             total += self.train_batch(&bx, &by, loss, lr);
             batches += 1;
         }
@@ -285,8 +298,15 @@ mod tests {
         for i in 0..60 {
             let c = i % 2;
             let cx = if c == 0 { -2.0 } else { 2.0 };
-            xs.push(vec![cx + rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5)]);
-            ys.push(if c == 0 { vec![1.0, 0.0] } else { vec![0.0, 1.0] });
+            xs.push(vec![
+                cx + rng.gen_range(-0.5..0.5),
+                rng.gen_range(-0.5..0.5),
+            ]);
+            ys.push(if c == 0 {
+                vec![1.0, 0.0]
+            } else {
+                vec![0.0, 1.0]
+            });
         }
         let x = Matrix::from_rows(&xs);
         let y = Matrix::from_rows(&ys);

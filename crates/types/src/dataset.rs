@@ -84,8 +84,7 @@ impl Dataset {
     /// The set of distinct MACs observed anywhere in the dataset, ascending.
     #[must_use]
     pub fn mac_vocabulary(&self) -> Vec<MacAddr> {
-        let set: BTreeSet<MacAddr> =
-            self.samples.iter().flat_map(|s| s.record.macs()).collect();
+        let set: BTreeSet<MacAddr> = self.samples.iter().flat_map(|s| s.record.macs()).collect();
         set.into_iter().collect()
     }
 
@@ -137,9 +136,18 @@ impl Dataset {
         idx.shuffle(rng);
         let n_train = ((self.len() as f64) * train_ratio).round() as usize;
         let n_train = n_train.clamp(1, self.len().saturating_sub(1).max(1));
-        let train = idx[..n_train].iter().map(|&i| self.samples[i].clone()).collect();
-        let test = idx[n_train..].iter().map(|&i| self.samples[i].clone()).collect();
-        Ok(Split { train: Dataset::from_samples(train), test: Dataset::from_samples(test) })
+        let train = idx[..n_train]
+            .iter()
+            .map(|&i| self.samples[i].clone())
+            .collect();
+        let test = idx[n_train..]
+            .iter()
+            .map(|&i| self.samples[i].clone())
+            .collect();
+        Ok(Split {
+            train: Dataset::from_samples(train),
+            test: Dataset::from_samples(test),
+        })
     }
 
     /// Returns a copy in which exactly `labels_per_floor` randomly chosen
@@ -207,7 +215,10 @@ impl Dataset {
             .iter()
             .filter_map(|s| {
                 let record = s.record.filtered(|m| support[&m] >= min_support)?;
-                Some(Sample { record, ..s.clone() })
+                Some(Sample {
+                    record,
+                    ..s.clone()
+                })
             })
             .collect()
     }
@@ -224,7 +235,9 @@ impl Dataset {
 
 impl FromIterator<Sample> for Dataset {
     fn from_iter<T: IntoIterator<Item = Sample>>(iter: T) -> Self {
-        Dataset { samples: iter.into_iter().collect() }
+        Dataset {
+            samples: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -256,7 +269,10 @@ mod tests {
         let mut ds = Dataset::default();
         for f in 0..floors {
             for i in 0..n_per_floor {
-                ds.push(Sample::labeled(rec(&[f as u64 * 100 + i as u64, 7]), FloorId(f)));
+                ds.push(Sample::labeled(
+                    rec(&[f as u64 * 100 + i as u64, 7]),
+                    FloorId(f),
+                ));
             }
         }
         ds

@@ -32,7 +32,10 @@ impl fmt::Display for TypesError {
                 write!(f, "invalid MAC address: {input:?}")
             }
             TypesError::InvalidRssi { value } => {
-                write!(f, "invalid RSSI value: {value} dBm (must be finite and within [-120, 20])")
+                write!(
+                    f,
+                    "invalid RSSI value: {value} dBm (must be finite and within [-120, 20])"
+                )
             }
             TypesError::EmptyRecord => write!(f, "signal record must contain at least one reading"),
             TypesError::InvalidSplitRatio { ratio } => {

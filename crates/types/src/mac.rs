@@ -95,7 +95,9 @@ impl FromStr for MacAddr {
 
     /// Parses `aa:bb:cc:dd:ee:ff` or `aa-bb-cc-dd-ee-ff` (case-insensitive).
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let err = || TypesError::InvalidMac { input: s.to_owned() };
+        let err = || TypesError::InvalidMac {
+            input: s.to_owned(),
+        };
         let sep = if s.contains(':') { ':' } else { '-' };
         let mut octets = [0u8; 6];
         let mut n = 0;
@@ -139,7 +141,13 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        for bad in ["", "a4:56", "a4:56:02:00:12:0f:aa", "zz:56:02:00:12:0f", "a456:02:00:12:0f:1"] {
+        for bad in [
+            "",
+            "a4:56",
+            "a4:56:02:00:12:0f:aa",
+            "zz:56:02:00:12:0f",
+            "a456:02:00:12:0f:1",
+        ] {
             assert!(bad.parse::<MacAddr>().is_err(), "{bad} should not parse");
         }
     }

@@ -189,7 +189,12 @@ impl SignalRecord {
     /// MAC-removal experiment and the outside-building rule of §V).
     #[must_use]
     pub fn filtered<F: FnMut(MacAddr) -> bool>(&self, mut keep: F) -> Option<SignalRecord> {
-        let readings: Vec<Reading> = self.readings.iter().copied().filter(|r| keep(r.mac)).collect();
+        let readings: Vec<Reading> = self
+            .readings
+            .iter()
+            .copied()
+            .filter(|r| keep(r.mac))
+            .collect();
         if readings.is_empty() {
             None
         } else {
@@ -217,13 +222,21 @@ impl Sample {
     /// Creates a labelled sample (label == ground truth).
     #[must_use]
     pub fn labeled(record: SignalRecord, floor: FloorId) -> Self {
-        Sample { record, floor: Some(floor), ground_truth: floor }
+        Sample {
+            record,
+            floor: Some(floor),
+            ground_truth: floor,
+        }
     }
 
     /// Creates an unlabelled sample whose true floor is `ground_truth`.
     #[must_use]
     pub fn unlabeled(record: SignalRecord, ground_truth: FloorId) -> Self {
-        Sample { record, floor: None, ground_truth }
+        Sample {
+            record,
+            floor: None,
+            ground_truth,
+        }
     }
 
     /// `true` if the sample carries a floor label visible to training.

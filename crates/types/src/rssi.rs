@@ -100,7 +100,9 @@ impl Eq for Rssi {}
 impl Ord for Rssi {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Valid RSSI values are always finite, so total order exists.
-        self.0.partial_cmp(&other.0).expect("RSSI is finite by construction")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("RSSI is finite by construction")
     }
 }
 
@@ -145,7 +147,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![
+        let mut v = [
             Rssi::new(-50.0).unwrap(),
             Rssi::new(-90.0).unwrap(),
             Rssi::new(-70.0).unwrap(),

@@ -84,7 +84,7 @@ proptest! {
                 prop_assert_eq!(s.floor.unwrap(), s.ground_truth);
             }
         }
-        for (_, &c) in &per_floor_labels {
+        for &c in per_floor_labels.values() {
             prop_assert!(c <= k.max(per_floor));
             prop_assert!(c == k.min(per_floor));
         }
@@ -111,8 +111,8 @@ proptest! {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let split = ds.split(ratio, &mut rng).unwrap();
         prop_assert_eq!(split.train.len() + split.test.len(), n);
-        prop_assert!(split.train.len() >= 1);
-        prop_assert!(split.test.len() >= 1);
+        prop_assert!(!split.train.is_empty());
+        prop_assert!(!split.test.is_empty());
         let mut all_macs: Vec<u64> = split
             .train
             .samples()

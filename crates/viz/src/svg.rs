@@ -17,7 +17,11 @@ impl Series {
     /// Convenience constructor.
     #[must_use]
     pub fn new(label: &str, color: &str, points: Vec<(f64, f64)>) -> Self {
-        Series { label: label.to_owned(), color: color.to_owned(), points }
+        Series {
+            label: label.to_owned(),
+            color: color.to_owned(),
+            points,
+        }
     }
 }
 
@@ -34,7 +38,12 @@ impl ScatterPlot {
     /// Creates an 800×600 plot.
     #[must_use]
     pub fn new(title: &str) -> Self {
-        ScatterPlot { title: title.to_owned(), series: Vec::new(), width: 800.0, height: 600.0 }
+        ScatterPlot {
+            title: title.to_owned(),
+            series: Vec::new(),
+            width: 800.0,
+            height: 600.0,
+        }
     }
 
     /// Adds a series.
@@ -47,8 +56,7 @@ impl ScatterPlot {
     #[must_use]
     pub fn palette(i: usize) -> &'static str {
         const COLORS: [&str; 8] = [
-            "#e41a1c", "#377eb8", "#4daf4a", "#984ea3", "#ff7f00", "#a65628", "#f781bf",
-            "#999999",
+            "#e41a1c", "#377eb8", "#4daf4a", "#984ea3", "#ff7f00", "#a65628", "#f781bf", "#999999",
         ];
         COLORS[i % COLORS.len()]
     }
@@ -58,8 +66,11 @@ impl ScatterPlot {
     pub fn render(&self) -> String {
         let (w, h) = (self.width, self.height);
         let margin = 50.0;
-        let all: Vec<(f64, f64)> =
-            self.series.iter().flat_map(|s| s.points.iter().copied()).collect();
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .collect();
         let (xmin, xmax, ymin, ymax) = bounds(&all);
         let sx = |x: f64| margin + (x - xmin) / (xmax - xmin).max(1e-12) * (w - 2.0 * margin);
         let sy = |y: f64| h - margin - (y - ymin) / (ymax - ymin).max(1e-12) * (h - 2.0 * margin);
@@ -88,7 +99,13 @@ impl ScatterPlot {
             }
             // Legend entry.
             let ly = 40.0 + 20.0 * si as f64;
-            let _ = writeln!(out, r#"<circle cx="{}" cy="{}" r="5" fill="{}"/>"#, w - 160.0, ly, s.color);
+            let _ = writeln!(
+                out,
+                r#"<circle cx="{}" cy="{}" r="5" fill="{}"/>"#,
+                w - 160.0,
+                ly,
+                s.color
+            );
             let _ = writeln!(
                 out,
                 r#"<text x="{}" y="{}" font-family="sans-serif" font-size="13">{}</text>"#,
@@ -106,7 +123,12 @@ fn bounds(points: &[(f64, f64)]) -> (f64, f64, f64, f64) {
     if points.is_empty() {
         return (0.0, 1.0, 0.0, 1.0);
     }
-    let mut b = (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+    let mut b = (
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    );
     for &(x, y) in points {
         b.0 = b.0.min(x);
         b.1 = b.1.max(x);
@@ -117,7 +139,9 @@ fn bounds(points: &[(f64, f64)]) -> (f64, f64, f64, f64) {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -127,8 +151,16 @@ mod tests {
     #[test]
     fn renders_well_formed_svg() {
         let mut plot = ScatterPlot::new("Fig & test");
-        plot.add_series(Series::new("floor <0>", ScatterPlot::palette(0), vec![(0.0, 0.0), (1.0, 1.0)]));
-        plot.add_series(Series::new("floor 1", ScatterPlot::palette(1), vec![(2.0, -1.0)]));
+        plot.add_series(Series::new(
+            "floor <0>",
+            ScatterPlot::palette(0),
+            vec![(0.0, 0.0), (1.0, 1.0)],
+        ));
+        plot.add_series(Series::new(
+            "floor 1",
+            ScatterPlot::palette(1),
+            vec![(2.0, -1.0)],
+        ));
         let svg = plot.render();
         assert!(svg.starts_with("<svg"));
         assert!(svg.trim_end().ends_with("</svg>"));

@@ -137,7 +137,11 @@ impl Tsne {
                 }
                 if entropy > target_entropy {
                     lo = beta;
-                    beta = if hi >= 1e20 { beta * 2.0 } else { (beta + hi) / 2.0 };
+                    beta = if hi >= 1e20 {
+                        beta * 2.0
+                    } else {
+                        (beta + hi) / 2.0
+                    };
                 } else {
                     hi = beta;
                     beta = (beta + lo) / 2.0;
@@ -174,7 +178,11 @@ impl Tsne {
         let exag_until = cfg.iterations / 4;
 
         for iter in 0..cfg.iterations {
-            let exag = if iter < exag_until { cfg.exaggeration } else { 1.0 };
+            let exag = if iter < exag_until {
+                cfg.exaggeration
+            } else {
+                1.0
+            };
             // Student-t affinities.
             let mut qsum = 0.0;
             for i in 0..n {
@@ -234,7 +242,11 @@ mod tests {
     #[test]
     fn separated_blobs_stay_separated() {
         let pts = blobs(12, &[0.0, 100.0]);
-        let cfg = TsneConfig { iterations: 250, perplexity: 5.0, ..Default::default() };
+        let cfg = TsneConfig {
+            iterations: 250,
+            perplexity: 5.0,
+            ..Default::default()
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let y = Tsne::new(cfg).run(&pts, &mut rng).unwrap();
         let centroid = |range: std::ops::Range<usize>| -> (f64, f64) {
@@ -257,7 +269,11 @@ mod tests {
     #[test]
     fn output_shape_and_finiteness() {
         let pts = blobs(5, &[0.0, 10.0, 20.0]);
-        let cfg = TsneConfig { iterations: 60, perplexity: 4.0, ..Default::default() };
+        let cfg = TsneConfig {
+            iterations: 60,
+            perplexity: 4.0,
+            ..Default::default()
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let y = Tsne::new(cfg).run(&pts, &mut rng).unwrap();
         assert_eq!(y.len(), 15);

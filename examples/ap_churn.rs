@@ -67,7 +67,9 @@ fn accuracy(
     let mut cm = ConfusionMatrix::new();
     for i in 0..scans {
         let floor = (i % building.floors as usize) as i16;
-        let Some(scan) = building.scan(layout, floor, rng) else { continue };
+        let Some(scan) = building.scan(layout, floor, rng) else {
+            continue;
+        };
         if let Ok(pred) = model.infer(&scan, rng) {
             cm.observe(FloorId(floor), pred.floor);
         }

@@ -47,9 +47,18 @@ fn main() {
         scores.push(cm.report().micro_f);
         // Baselines.
         let bl_cfg = BaselineConfig::default();
-        scores.push(score(&mut ScalableDnn::train(&train, &bl_cfg, &mut rng).expect("sdnn"), test));
-        scores.push(score(&mut Sae::train(&train, &bl_cfg, &mut rng).expect("sae"), test));
-        scores.push(score(&mut MdsProx::train(&train, 8, &mut rng).expect("mds"), test));
+        scores.push(score(
+            &mut ScalableDnn::train(&train, &bl_cfg, &mut rng).expect("sdnn"),
+            test,
+        ));
+        scores.push(score(
+            &mut Sae::train(&train, &bl_cfg, &mut rng).expect("sae"),
+            test,
+        ));
+        scores.push(score(
+            &mut MdsProx::train(&train, 8, &mut rng).expect("mds"),
+            test,
+        ));
         scores.push(score(
             &mut AutoencoderProx::train(&train, &bl_cfg, &mut rng).expect("ae"),
             test,

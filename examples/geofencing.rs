@@ -50,7 +50,11 @@ fn main() {
         match model.infer(&scan, &mut rng) {
             Ok(pred) => {
                 let truth = FloorId(floor);
-                let status = if pred.floor == assigned { "ok   " } else { "ALERT" };
+                let status = if pred.floor == assigned {
+                    "ok   "
+                } else {
+                    "ALERT"
+                };
                 if pred.floor != assigned {
                     alerts += 1;
                 }

@@ -17,24 +17,36 @@ fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(31);
     let tower = BuildingModel::office("ifc-tower", 6).with_records_per_floor(120);
     let layout = tower.layout(&mut rng);
-    let corpus = tower.simulate_with_layout(&layout, &mut rng).filter_rare_macs(2);
+    let corpus = tower
+        .simulate_with_layout(&layout, &mut rng)
+        .filter_rare_macs(2);
     let train = corpus.with_label_budget(4, &mut rng);
     let mut model = Grafics::train(&train, &GraficsConfig::default(), &mut rng).expect("train");
 
     let walk = simulate_trajectory(
         &tower,
         &layout,
-        &TrajectoryConfig { steps: 40, floor_change_prob: 0.12, ..Default::default() },
+        &TrajectoryConfig {
+            steps: 40,
+            floor_change_prob: 0.12,
+            ..Default::default()
+        },
         &mut rng,
     );
 
     let mut correct = 0;
     let mut scored = 0;
     let mut uncertain = 0;
-    println!("{:>4} {:>6} {:>10} {:>8} {:>10}", "step", "truth", "predicted", "margin", "status");
+    println!(
+        "{:>4} {:>6} {:>10} {:>8} {:>10}",
+        "step", "truth", "predicted", "margin", "status"
+    );
     for (i, point) in walk.iter().enumerate() {
         let Some(scan) = &point.scan else {
-            println!("{i:>4} {:>6} {:>10} {:>8} {:>10}", point.floor, "-", "-", "no scan");
+            println!(
+                "{i:>4} {:>6} {:>10} {:>8} {:>10}",
+                point.floor, "-", "-", "no scan"
+            );
             continue;
         };
         let Ok(ranked) = model.infer_topk(scan, usize::MAX, &mut rng) else {

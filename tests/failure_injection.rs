@@ -10,7 +10,9 @@ fn trained_model(seed: u64) -> (Grafics, BuildingModel, grafics_data::BuildingLa
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let b = BuildingModel::office("fi", 2).with_records_per_floor(40);
     let layout = b.layout(&mut rng);
-    let ds = b.simulate_with_layout(&layout, &mut rng).with_label_budget(4, &mut rng);
+    let ds = b
+        .simulate_with_layout(&layout, &mut rng)
+        .with_label_budget(4, &mut rng);
     let model = Grafics::train(&ds, &GraficsConfig::fast(), &mut rng).unwrap();
     (model, b, layout)
 }
@@ -82,7 +84,9 @@ fn training_with_all_samples_on_one_floor_and_querying_other() {
     let mut rng = ChaCha8Rng::seed_from_u64(5);
     let b = BuildingModel::office("fi-one", 1).with_records_per_floor(30);
     let layout = b.layout(&mut rng);
-    let ds = b.simulate_with_layout(&layout, &mut rng).with_label_budget(2, &mut rng);
+    let ds = b
+        .simulate_with_layout(&layout, &mut rng)
+        .with_label_budget(2, &mut rng);
     let mut model = Grafics::train(&ds, &GraficsConfig::fast(), &mut rng).unwrap();
     let scan = b.scan(&layout, 0, &mut rng).unwrap();
     assert_eq!(model.infer(&scan, &mut rng).unwrap().floor, FloorId(0));
@@ -126,7 +130,7 @@ fn forgetting_every_online_record_restores_graph_size() {
 
 #[test]
 fn removing_every_ap_then_inferring_fails_cleanly() {
-    let (mut model, b, layout) = trained_model(8);
+    let (mut model, _b, layout) = trained_model(8);
     let mut rng = ChaCha8Rng::seed_from_u64(9);
     for mac in layout.macs() {
         if model.graph().mac_node(mac).is_some() {
@@ -155,7 +159,9 @@ fn zero_width_building_rejected_by_types_not_panic() {
     // A building model with pathological record count still yields a
     // well-formed (possibly small) dataset.
     let mut rng = ChaCha8Rng::seed_from_u64(10);
-    let ds = BuildingModel::office("fi-empty", 2).with_records_per_floor(0).simulate(&mut rng);
+    let ds = BuildingModel::office("fi-empty", 2)
+        .with_records_per_floor(0)
+        .simulate(&mut rng);
     assert!(ds.is_empty());
     assert!(matches!(
         Grafics::train(&ds, &GraficsConfig::fast(), &mut rng),

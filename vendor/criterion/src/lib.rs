@@ -1,0 +1,260 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API shape the workspace's benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `iter`,
+//! `iter_batched`, `BatchSize`, `BenchmarkId`, `criterion_group!`,
+//! `criterion_main!`). Instead of full statistical analysis it runs a
+//! fixed warm-up plus a measured batch and prints mean wall-clock time
+//! per iteration — enough for relative comparisons in this offline
+//! environment.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How a batched setup's cost relates to the routine (accepted for API
+/// parity; the stand-in treats all sizes the same).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Identifier carrying only a parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Accepted wherever a benchmark is named (mirrors criterion's
+/// `IntoBenchmarkId`): plain strings or structured [`BenchmarkId`]s.
+pub trait IntoBenchmarkId {
+    /// Converts into the canonical identifier.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            name: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self }
+    }
+}
+
+/// Measures closures passed to [`Bencher::iter`] / [`Bencher::iter_batched`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (setup excluded
+    /// from the measurement).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+
+    /// Like [`Bencher::iter_batched`] with a mutable-reference routine.
+    pub fn iter_batched_ref<I, O, S: FnMut() -> I, R: FnMut(&mut I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut warm = setup();
+        black_box(routine(&mut warm));
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_one(label: &str, iters: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.as_secs_f64() / bencher.iters.max(1) as f64;
+    println!("bench {label:<48} {:>12.3} µs/iter", per_iter * 1e6);
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // A handful of measured iterations keeps `cargo bench` fast while
+        // remaining comparable across invocations on the same machine.
+        Criterion { iters: 5 }
+    }
+}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.iters, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            iters: self.iters,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iters: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Lowers or raises the per-benchmark iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = (n as u64).clamp(2, 20);
+        self
+    }
+
+    /// Accepted for API parity; the stand-in ignores target times.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<ID: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: ID,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into_benchmark_id();
+        run_one(&format!("{}/{}", self.name, id.name), self.iters, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<ID: IntoBenchmarkId, I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: ID,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into_benchmark_id();
+        run_one(
+            &format!("{}/{}", self.name, id.name),
+            self.iters,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench harness entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_surface_runs() {
+        let mut c = Criterion::default();
+        c.bench_function("smoke/iter", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("group");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("param", 7), &7, |b, &x| {
+            b.iter_batched(|| x, |v| v * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,66 @@
+//! Offline stand-in for `crossbeam`: the `scope` API over
+//! `std::thread::scope`. Worker panics propagate when the scope joins
+//! (instead of surfacing through the returned `Result` as upstream does),
+//! which is equivalent for this workspace's `.expect(...)` call sites.
+
+use std::any::Any;
+
+/// Scoped-thread handle able to spawn borrowing workers.
+pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a worker; the closure receives the scope (crossbeam's shape).
+    pub fn spawn<F, T>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.0;
+        inner.spawn(move || {
+            let scope = Scope(inner);
+            f(&scope)
+        });
+    }
+}
+
+/// Creates a scope for spawning borrowing threads; all are joined before
+/// this returns.
+///
+/// # Errors
+///
+/// The `Err` variant exists for API parity and is never produced: a
+/// panicking worker re-raises its panic at join instead.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| {
+        let scope = Scope(s);
+        f(&scope)
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_drain_shared_queue() {
+        let next = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|_| loop {
+                    let j = next.fetch_add(1, Ordering::Relaxed);
+                    if j >= 10 {
+                        break;
+                    }
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("scope");
+        assert_eq!(done.load(Ordering::Relaxed), 10);
+    }
+}

@@ -1,0 +1,445 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! Implements the subset of the API this workspace uses — [`RngCore`],
+//! [`Rng`] (`gen`, `gen_range`, `gen_bool`, `fill`), [`SeedableRng`] with
+//! the PCG-based `seed_from_u64` expansion, and
+//! [`seq::SliceRandom`] (`shuffle`, `choose`, `choose_multiple`) — over
+//! any deterministic generator (the vendored `rand_chacha` provides
+//! `ChaCha8Rng`). Sampling algorithms are faithful in spirit (Lemire
+//! bounded integers, 53-bit floats) but make no bit-for-bit stream
+//! compatibility promise with upstream `rand`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random-number source: 32/64-bit words and byte fill.
+pub trait RngCore {
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Values drawable from the "standard" distribution (`rng.gen()`).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u8 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+impl Standard for u16 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u16
+    }
+}
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+impl Standard for i32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i32
+    }
+}
+impl Standard for i64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 explicit mantissa bits -> uniform in [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 explicit mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Lemire's nearly-divisionless bounded sampling over `[0, n)`, `n >= 1`.
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n >= 1);
+    let mut x = rng.next_u64();
+    let mut m = u128::from(x) * u128::from(n);
+    let mut low = m as u64;
+    if low < n {
+        let threshold = n.wrapping_neg() % n;
+        while low < threshold {
+            x = rng.next_u64();
+            m = u128::from(x) * u128::from(n);
+            low = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// Types uniformly samplable over a half-open or closed interval.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Draws from `[low, high)` (`inclusive = false`) or `[low, high]`.
+    fn sample_interval<R: RngCore + ?Sized>(
+        low: Self,
+        high: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_interval<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                let span = (high as i128 - low as i128) as u64;
+                if inclusive {
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (low as i128 + bounded_u64(rng, span + 1) as i128) as $t
+                } else {
+                    (low as i128 + bounded_u64(rng, span) as i128) as $t
+                }
+            }
+        }
+    )*};
+}
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_interval<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                let unit: $t = Standard::sample(rng);
+                let v = low + unit * (high - low);
+                if inclusive {
+                    if v > high { high } else { v }
+                } else if v >= high {
+                    // Guard against rounding up to the excluded endpoint.
+                    <$t>::midpoint(low, high)
+                } else {
+                    v
+                }
+            }
+        }
+    )*};
+}
+uniform_float!(f32, f64);
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_interval(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "gen_range: empty range");
+        T::sample_interval(start, end, true, rng)
+    }
+}
+
+/// Convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value from the standard distribution (`[0, 1)` for floats,
+    /// uniform over all values for integers/bool).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from `range` (`a..b` or `a..=b`).
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let unit: f64 = Standard::sample(self);
+        unit < p
+    }
+
+    /// Fills an integer/byte slice with random data.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable deterministic generators.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (e.g. `[u8; 32]` for ChaCha).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Constructs the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with the PCG-XSH-RR step (the same
+    /// scheme rand_core 0.6 uses), then seeds the generator.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6_364_136_223_846_793_005;
+        const INC: u64 = 11_634_580_027_462_260_723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let word = xorshifted.rotate_right(rot);
+            let bytes = word.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Built-in generators (subset of `rand::rngs`).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The crate's default seedable generator. Upstream backs this with
+    /// ChaCha12; the stand-in uses SplitMix64 — statistically fine for
+    /// tests, with the usual caveat that no cross-version stream
+    /// stability is promised (upstream makes the same caveat).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut state = 0u64;
+            for chunk in seed.chunks(8) {
+                let mut bytes = [0u8; 8];
+                bytes[..chunk.len()].copy_from_slice(chunk);
+                state ^= u64::from_le_bytes(bytes).rotate_left(17);
+                state = state.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+            }
+            StdRng { state }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 step.
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&bytes[..n]);
+            }
+        }
+    }
+}
+
+/// Slice shuffling and sampling helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Random helpers on slices (subset of `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Uniform Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// One uniformly chosen element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// `amount` distinct elements in random order (all of them if the
+        /// slice is shorter).
+        fn choose_multiple<R: Rng + ?Sized>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+
+        fn choose_multiple<R: Rng + ?Sized>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&T> {
+            let amount = amount.min(self.len());
+            let mut indices: Vec<usize> = (0..self.len()).collect();
+            // Partial Fisher–Yates: the first `amount` entries are a
+            // uniform sample without replacement.
+            for i in 0..amount {
+                let j = rng.gen_range(i..indices.len());
+                indices.swap(i, j);
+            }
+            indices[..amount]
+                .iter()
+                .map(|&i| &self[i])
+                .collect::<Vec<&T>>()
+                .into_iter()
+        }
+    }
+
+    const _OBJECT_SAFE: fn(&mut dyn RngCore) = |_| {};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// SplitMix64 — small test generator.
+    struct Sm(u64);
+    impl RngCore for Sm {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&bytes[..n]);
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Sm(1);
+        for _ in 0..10_000 {
+            let a: usize = rng.gen_range(0..7);
+            assert!(a < 7);
+            let b: i16 = rng.gen_range(-3..=3);
+            assert!((-3..=3).contains(&b));
+            let f: f64 = rng.gen_range(-0.5..0.5);
+            assert!((-0.5..0.5).contains(&f));
+            let g: f32 = rng.gen_range(-1.0f32..=1.0);
+            assert!((-1.0..=1.0).contains(&g));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn bounded_is_roughly_uniform() {
+        let mut rng = Sm(7);
+        let mut counts = [0usize; 5];
+        for _ in 0..50_000 {
+            counts[rng.gen_range(0..5usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as i64 - 10_000).abs() < 800, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        use seq::SliceRandom;
+        let mut rng = Sm(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn choose_multiple_distinct() {
+        use seq::SliceRandom;
+        let mut rng = Sm(4);
+        let pool: Vec<u64> = (0..10).collect();
+        let picked: Vec<u64> = pool.choose_multiple(&mut rng, 4).copied().collect();
+        assert_eq!(picked.len(), 4);
+        let mut d = picked.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 4);
+        // Larger than the pool: everything, once.
+        assert_eq!(pool.choose_multiple(&mut rng, 99).count(), 10);
+    }
+}

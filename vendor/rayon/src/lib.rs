@@ -1,0 +1,104 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Provides the scoped-worker-pool surface this workspace uses —
+//! [`scope`], [`Scope::spawn`], [`join`], and [`current_num_threads`] —
+//! implemented directly over `std::thread::scope`. There is no global
+//! pool or work stealing: each `spawn` is an OS thread, which is the
+//! right trade-off for the coarse-grained worker-per-core fan-out the
+//! GRAFICS trainers perform.
+
+/// Number of hardware threads available to the process.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// A scope in which borrowed-data threads can be spawned; all threads are
+/// joined before [`scope`] returns.
+pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a worker inside the scope. The closure receives the scope so
+    /// it can spawn further work, mirroring rayon's API.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.0;
+        inner.spawn(move || {
+            let scope = Scope(inner);
+            f(&scope);
+        });
+    }
+}
+
+/// Runs `f` with a [`Scope`]; returns once every spawned worker finished.
+/// A panicking worker propagates its panic to the caller.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    std::thread::scope(|s| {
+        let scope = Scope(s);
+        f(&scope)
+    })
+}
+
+/// Runs both closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join worker panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_workers() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn nested_spawn() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn at_least_one_thread() {
+        assert!(current_num_threads() >= 1);
+    }
+}

@@ -1,0 +1,487 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crates.io dependencies are unavailable in this build
+//! environment, so this proc-macro derives the *vendored* `serde`'s
+//! value-based `Serialize` / `Deserialize` traits (see `vendor/serde`).
+//! It hand-parses the item token stream (no `syn`/`quote`) and supports
+//! exactly the shapes this workspace uses:
+//!
+//! - structs with named fields,
+//! - tuple structs (single-field ones serialize as their inner value,
+//!   like serde newtypes),
+//! - enums with unit, tuple, and struct variants (externally tagged),
+//! - `#[serde(transparent)]` and `#[serde(try_from = "T", into = "T")]`.
+//!
+//! Generics are intentionally unsupported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default)]
+struct ContainerAttrs {
+    transparent: bool,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+enum Data {
+    Named(Vec<String>),
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    attrs: ContainerAttrs,
+    data: Data,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .expect("generated Serialize impl parses"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated Deserialize impl parses"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut attrs = ContainerAttrs::default();
+
+    // Outer attributes (doc comments, #[serde(...)], #[non_exhaustive], …).
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    parse_container_attr(&g.stream(), &mut attrs);
+                    i += 2;
+                } else {
+                    return Err("malformed attribute".into());
+                }
+            }
+            _ => break,
+        }
+    }
+    // Visibility.
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stub derive: generic type `{name}` is unsupported"
+        ));
+    }
+
+    let data = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Named(parse_named_fields(&g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Tuple(count_tuple_fields(&g.stream()))
+            }
+            _ => return Err("unsupported struct body".into()),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(&g.stream())?)
+            }
+            _ => return Err("expected enum body".into()),
+        },
+        other => return Err(format!("cannot derive serde traits for `{other}`")),
+    };
+    Ok(Item { name, attrs, data })
+}
+
+fn parse_container_attr(stream: &TokenStream, attrs: &mut ContainerAttrs) {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    // Looking for: serde ( ... )
+    if tokens.len() != 2 {
+        return;
+    }
+    if !matches!(&tokens[0], TokenTree::Ident(id) if id.to_string() == "serde") {
+        return;
+    }
+    let TokenTree::Group(g) = &tokens[1] else {
+        return;
+    };
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut j = 0;
+    while j < inner.len() {
+        if let TokenTree::Ident(id) = &inner[j] {
+            match id.to_string().as_str() {
+                "transparent" => attrs.transparent = true,
+                key @ ("try_from" | "into") => {
+                    // key = "Type"
+                    if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                        (inner.get(j + 1), inner.get(j + 2))
+                    {
+                        if eq.as_char() == '=' {
+                            let ty = lit.to_string().trim_matches('"').to_string();
+                            if key == "try_from" {
+                                attrs.try_from = Some(ty);
+                            } else {
+                                attrs.into = Some(ty);
+                            }
+                            j += 2;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+}
+
+/// Skips attributes and visibility at `*i`, returns `false` at end of input.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> bool {
+    loop {
+        match tokens.get(*i) {
+            None => return false,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            Some(_) => return true,
+        }
+    }
+}
+
+/// Advances past a type, tracking `<`/`>` nesting, stopping at a top-level
+/// comma (consumed) or end of input.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: &TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while skip_attrs_and_vis(&tokens, &mut i) {
+        let TokenTree::Ident(id) = &tokens[i] else {
+            return Err("expected field name".into());
+        };
+        fields.push(id.to_string());
+        i += 1; // name
+        i += 1; // ':'
+        skip_type(&tokens, &mut i);
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while skip_attrs_and_vis(&tokens, &mut i) {
+        count += 1;
+        skip_type(&tokens, &mut i);
+    }
+    count
+}
+
+fn parse_variants(stream: &TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while skip_attrs_and_vis(&tokens, &mut i) {
+        let TokenTree::Ident(id) = &tokens[i] else {
+            return Err("expected variant name".into());
+        };
+        let name = id.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(&g.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(variants)
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(into_ty) = &item.attrs.into {
+        format!(
+            "let __conv: {into_ty} = ::core::convert::From::from(::core::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_value(&__conv)"
+        )
+    } else {
+        match &item.data {
+            Data::Named(fields) if item.attrs.transparent && fields.len() == 1 => {
+                format!("::serde::Serialize::to_value(&self.{})", fields[0])
+            }
+            Data::Named(fields) => {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                        )
+                    })
+                    .collect();
+                format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+            }
+            Data::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Data::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                    .collect();
+                format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+            }
+            Data::Enum(variants) => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|v| {
+                        let vn = &v.name;
+                        match &v.kind {
+                            VariantKind::Unit => format!(
+                                "{name}::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?}))"
+                            ),
+                            VariantKind::Tuple(1) => format!(
+                                "{name}::{vn}(__f0) => ::serde::Value::Map(::std::vec![(::std::string::String::from({vn:?}), ::serde::Serialize::to_value(__f0))])"
+                            ),
+                            VariantKind::Tuple(n) => {
+                                let binds: Vec<String> =
+                                    (0..*n).map(|k| format!("__f{k}")).collect();
+                                let elems: Vec<String> = (0..*n)
+                                    .map(|k| format!("::serde::Serialize::to_value(__f{k})"))
+                                    .collect();
+                                format!(
+                                    "{name}::{vn}({}) => ::serde::Value::Map(::std::vec![(::std::string::String::from({vn:?}), ::serde::Value::Seq(::std::vec![{}]))])",
+                                    binds.join(", "),
+                                    elems.join(", ")
+                                )
+                            }
+                            VariantKind::Named(fields) => {
+                                let binds = fields.join(", ");
+                                let entries: Vec<String> = fields
+                                    .iter()
+                                    .map(|f| {
+                                        format!(
+                                            "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                                        )
+                                    })
+                                    .collect();
+                                format!(
+                                    "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from({vn:?}), ::serde::Value::Map(::std::vec![{}]))])",
+                                    entries.join(", ")
+                                )
+                            }
+                        }
+                    })
+                    .collect();
+                format!("match self {{ {} }}", arms.join(",\n"))
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(from_ty) = &item.attrs.try_from {
+        format!(
+            "let __raw: {from_ty} = ::serde::Deserialize::from_value(__v)?;\n\
+             ::core::convert::TryFrom::try_from(__raw)\n\
+                 .map_err(|__e| ::serde::DeError::custom(&__e))"
+        )
+    } else {
+        match &item.data {
+            Data::Named(fields) if item.attrs.transparent && fields.len() == 1 => format!(
+                "::core::result::Result::Ok({name} {{ {}: ::serde::Deserialize::from_value(__v)? }})",
+                fields[0]
+            ),
+            Data::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(::serde::map_get(__m, {f:?}))?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let __m = __v.as_map().ok_or_else(|| ::serde::DeError::expected(\"map\", {name:?}))?;\n\
+                     ::core::result::Result::Ok({name} {{ {} }})",
+                    inits.join(", ")
+                )
+            }
+            Data::Tuple(1) => format!(
+                "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+            ),
+            Data::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_value(&__s[{k}])?"))
+                    .collect();
+                format!(
+                    "let __s = __v.as_seq().ok_or_else(|| ::serde::DeError::expected(\"seq\", {name:?}))?;\n\
+                     if __s.len() != {n} {{ return ::core::result::Result::Err(::serde::DeError::expected(\"{n}-tuple\", {name:?})); }}\n\
+                     ::core::result::Result::Ok({name}({}))",
+                    inits.join(", ")
+                )
+            }
+            Data::Enum(variants) => {
+                let unit_arms: Vec<String> = variants
+                    .iter()
+                    .filter(|v| matches!(v.kind, VariantKind::Unit))
+                    .map(|v| format!("{:?} => ::core::result::Result::Ok({name}::{}),", v.name, v.name))
+                    .collect();
+                let data_arms: Vec<String> = variants
+                    .iter()
+                    .filter_map(|v| {
+                        let vn = &v.name;
+                        match &v.kind {
+                            VariantKind::Unit => None,
+                            VariantKind::Tuple(1) => Some(format!(
+                                "{vn:?} => ::core::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(__payload)?)),"
+                            )),
+                            VariantKind::Tuple(n) => {
+                                let inits: Vec<String> = (0..*n)
+                                    .map(|k| format!("::serde::Deserialize::from_value(&__s[{k}])?"))
+                                    .collect();
+                                Some(format!(
+                                    "{vn:?} => {{\n\
+                                         let __s = __payload.as_seq().ok_or_else(|| ::serde::DeError::expected(\"seq\", {name:?}))?;\n\
+                                         if __s.len() != {n} {{ return ::core::result::Result::Err(::serde::DeError::expected(\"{n}-tuple\", {name:?})); }}\n\
+                                         ::core::result::Result::Ok({name}::{vn}({}))\n\
+                                     }}",
+                                    inits.join(", ")
+                                ))
+                            }
+                            VariantKind::Named(fields) => {
+                                let inits: Vec<String> = fields
+                                    .iter()
+                                    .map(|f| {
+                                        format!(
+                                            "{f}: ::serde::Deserialize::from_value(::serde::map_get(__m, {f:?}))?"
+                                        )
+                                    })
+                                    .collect();
+                                Some(format!(
+                                    "{vn:?} => {{\n\
+                                         let __m = __payload.as_map().ok_or_else(|| ::serde::DeError::expected(\"map\", {name:?}))?;\n\
+                                         ::core::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                                     }}",
+                                    inits.join(", ")
+                                ))
+                            }
+                        }
+                    })
+                    .collect();
+                format!(
+                    "match __v {{\n\
+                         ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                             {}\n\
+                             __other => ::core::result::Result::Err(::serde::DeError::custom(&::std::format!(\"unknown variant {{__other}} of {name}\"))),\n\
+                         }},\n\
+                         ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                             let (__tag, __payload) = &__entries[0];\n\
+                             match __tag.as_str() {{\n\
+                                 {}\n\
+                                 __other => ::core::result::Result::Err(::serde::DeError::custom(&::std::format!(\"unknown variant {{__other}} of {name}\"))),\n\
+                             }}\n\
+                         }}\n\
+                         _ => ::core::result::Result::Err(::serde::DeError::expected(\"enum value\", {name:?})),\n\
+                     }}",
+                    unit_arms.join("\n"),
+                    data_arms.join("\n")
+                )
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
