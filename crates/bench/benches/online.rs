@@ -1,0 +1,103 @@
+//! Criterion benchmarks for the online serving path: per-query `infer`
+//! latency vs graph size (incremental sampler vs the historical
+//! rebuild-per-query behaviour), and batch serving serial vs
+//! server-parallel on the worker pool.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grafics_core::{Grafics, GraficsConfig};
+use grafics_data::BuildingModel;
+use grafics_embed::{ElineTrainer, NegativeSampler, OnlineScratch};
+use grafics_types::SignalRecord;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn trained(records_per_floor: usize) -> (Grafics, Vec<SignalRecord>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    let ds = BuildingModel::office("bench-online", 3)
+        .with_records_per_floor(records_per_floor)
+        .simulate(&mut rng);
+    let split = ds.split(0.7, &mut rng).unwrap();
+    let train = split.train.with_label_budget(4, &mut rng);
+    let cfg = GraficsConfig {
+        epochs: 15,
+        ..GraficsConfig::serving()
+    };
+    let model = Grafics::train(&train, &cfg, &mut rng).unwrap();
+    let queries: Vec<SignalRecord> = split
+        .test
+        .samples()
+        .iter()
+        .take(64)
+        .map(|s| s.record.clone())
+        .collect();
+    (model, queries)
+}
+
+/// Per-query latency against graph size: the shared incremental sampler
+/// vs paying the O(n) negative-distribution rebuild every query.
+fn bench_per_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online/per_query");
+    group.sample_size(10);
+    for records_per_floor in [60usize, 240] {
+        let (model, queries) = trained(records_per_floor);
+        let nodes = model.graph().node_capacity();
+
+        group.bench_with_input(BenchmarkId::new("incremental", nodes), &nodes, |b, _| {
+            let mut server = model.server();
+            let mut i = 0usize;
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(i as u64);
+                i += 1;
+                black_box(server.infer(black_box(&queries[i % queries.len()]), &mut rng))
+            })
+        });
+
+        let exponent = model.negative_sampler().exponent();
+        let trainer = ElineTrainer::new(model.config().embedding());
+        group.bench_with_input(
+            BenchmarkId::new("rebuild_per_query", nodes),
+            &nodes,
+            |b, _| {
+                let mut scratch = OnlineScratch::new();
+                let mut i = 0usize;
+                b.iter(|| {
+                    let mut rng = ChaCha8Rng::seed_from_u64(i as u64);
+                    i += 1;
+                    let rebuilt = NegativeSampler::from_graph(model.graph(), exponent);
+                    black_box(
+                        trainer
+                            .embed_query(
+                                model.graph(),
+                                model.embeddings(),
+                                black_box(&queries[i % queries.len()]),
+                                &rebuilt,
+                                &mut scratch,
+                                &mut rng,
+                            )
+                            .is_ok(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// A 64-record batch served sequentially vs on the worker pool.
+fn bench_serve_batch(c: &mut Criterion) {
+    let (model, queries) = trained(120);
+    let mut group = c.benchmark_group("online/serve_batch");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("batch64_threads", threads),
+            &threads,
+            |b, &t| b.iter(|| black_box(model.serve_batch(black_box(&queries), 5, t))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_per_query, bench_serve_batch);
+criterion_main!(benches);

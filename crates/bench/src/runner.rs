@@ -89,7 +89,9 @@ pub fn run_fleet_custom(
     let results: Mutex<Vec<BuildingResult>> = Mutex::new(Vec::new());
 
     let workers = cfg.threads.clamp(1, jobs.len().max(1));
-    crossbeam::scope(|scope| {
+    // The same rayon scoped pool the Hogwild trainer and `serve_batch`
+    // fan out on — one worker-pool substrate across the workspace.
+    rayon::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|_| loop {
                 let j = next.fetch_add(1, Ordering::Relaxed);
@@ -117,8 +119,7 @@ pub fn run_fleet_custom(
                 }
             });
         }
-    })
-    .expect("worker pool");
+    });
     results.into_inner()
 }
 

@@ -3,13 +3,19 @@
 //! ```text
 //! grafics simulate --preset mall --floors 4 --records-per-floor 100 --out corpus.jsonl
 //! grafics train    --input corpus.jsonl --labels 4 --out model.json
-//! grafics infer    --model model.json --input scans.jsonl [--save-model updated.json]
-//! grafics evaluate --model model.json --input test.jsonl
+//! grafics infer    --model model.json --input scans.jsonl [--threads N] [--save-model updated.json]
+//! grafics evaluate --model model.json --input test.jsonl [--threads N]
 //! ```
 //!
 //! All commands are deterministic given `--seed`. Corpora are JSONL (one
 //! [`grafics_types::Sample`] per line); models are the JSON produced by
 //! [`grafics_core::Grafics::save_json`].
+//!
+//! `infer` and `evaluate` run through the read-only serving engine
+//! ([`grafics_core::GraficsServer`]) with one deterministic RNG stream
+//! per record, so `--threads` changes wall-clock but never the output.
+//! Passing `--save-model` to `infer` switches to the graph-absorbing path
+//! (§V-A): each scan extends the model, which is then written back out.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,10 +52,24 @@ commands:
            [--seed N] [--labels N] --out corpus.jsonl
   train    --input corpus.jsonl [--labels N] [--dim N] [--epochs N] [--seed N]
            [--min-support N] [--threads N] --out model.json
-  infer    --model model.json --input scans.jsonl [--seed N] [--save-model out.json]
-  evaluate --model model.json --input test.jsonl [--seed N]
+  infer    --model model.json --input scans.jsonl [--seed N] [--threads N]
+           [--save-model out.json]
+  evaluate --model model.json --input test.jsonl [--seed N] [--threads N]
   help
+
+infer/evaluate serve read-only on --threads workers (0 = all cores) with
+per-record RNG streams; --save-model switches infer to the model-absorbing
+path (scans extend the graph) and writes the grown model back out.
 ";
+
+/// `--threads 0` means "use every hardware thread".
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    }
+}
 
 /// Minimal flag parser: `--key value` pairs.
 struct Flags<'a> {
@@ -134,10 +154,7 @@ fn train(args: &[String]) -> Result<String, String> {
     // `--threads 0` means "use every hardware thread"; with >= 2 the
     // offline stages run the Hogwild trainer + parallel dissimilarity
     // matrix, trading bit-reproducibility of training for wall-clock.
-    let mut threads: usize = flags.parse_or("threads", 1)?;
-    if threads == 0 {
-        threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    }
+    let threads = resolve_threads(flags.parse_or("threads", 1)?);
     let config = GraficsConfig {
         dim: flags.parse_or("dim", GraficsConfig::default().dim)?,
         epochs: flags.parse_or("epochs", GraficsConfig::default().epochs)?,
@@ -166,23 +183,50 @@ fn infer(args: &[String]) -> Result<String, String> {
     let model_path = flags.required("model")?;
     let input = flags.required("input")?;
     let seed: u64 = flags.parse_or("seed", 0)?;
+    let threads = resolve_threads(flags.parse_or("threads", 1)?);
 
     let mut model = Grafics::load_json(model_path).map_err(|e| e.to_string())?;
     let ds: Dataset = dio::load_jsonl(input).map_err(|e| e.to_string())?;
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut out = String::from("record,floor,distance\n");
-    for (i, s) in ds.samples().iter().enumerate() {
-        match model.infer(&s.record, &mut rng) {
-            Ok(pred) => {
-                let _ = writeln!(out, "{i},{},{:.6}", pred.floor, pred.distance);
-            }
-            Err(e) => {
-                let _ = writeln!(out, "{i},discarded,{e}");
+    if let Some(save) = flags.get("save-model") {
+        // Absorbing path: every scan extends the graph; the grown model is
+        // written back out for the next serving generation.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for (i, s) in ds.samples().iter().enumerate() {
+            match model.infer(&s.record, &mut rng) {
+                Ok(pred) => {
+                    let _ = writeln!(out, "{i},{},{:.6}", pred.floor, pred.distance);
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "{i},discarded,{e}");
+                }
             }
         }
-    }
-    if let Some(save) = flags.get("save-model") {
         model.save_json(save).map_err(|e| e.to_string())?;
+    } else {
+        // Read-only serving path: thread-parallel, model untouched.
+        let records: Vec<_> = ds.samples().iter().map(|s| s.record.clone()).collect();
+        for (i, pred) in model
+            .serve_batch(&records, seed, threads)
+            .iter()
+            .enumerate()
+        {
+            match pred {
+                Some(pred) => {
+                    let _ = writeln!(out, "{i},{},{:.6}", pred.floor, pred.distance);
+                }
+                None => {
+                    // Recover the concrete reason for the operator (cheap:
+                    // discards are rare and the check is O(readings)).
+                    let reason = if model.graph().overlaps(&records[i]) {
+                        "could not be embedded"
+                    } else {
+                        "record shares no MAC with the building graph; discarded"
+                    };
+                    let _ = writeln!(out, "{i},discarded,{reason}");
+                }
+            }
+        }
     }
     Ok(out)
 }
@@ -192,16 +236,18 @@ fn evaluate(args: &[String]) -> Result<String, String> {
     let model_path = flags.required("model")?;
     let input = flags.required("input")?;
     let seed: u64 = flags.parse_or("seed", 0)?;
+    let threads = resolve_threads(flags.parse_or("threads", 1)?);
 
-    let mut model = Grafics::load_json(model_path).map_err(|e| e.to_string())?;
+    let model = Grafics::load_json(model_path).map_err(|e| e.to_string())?;
     let ds: Dataset = dio::load_jsonl(input).map_err(|e| e.to_string())?;
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let records: Vec<_> = ds.samples().iter().map(|s| s.record.clone()).collect();
+    let predictions = model.serve_batch(&records, seed, threads);
     let mut cm = ConfusionMatrix::new();
     let mut discarded = 0;
-    for s in ds.samples() {
-        match model.infer(&s.record, &mut rng) {
-            Ok(pred) => cm.observe(s.ground_truth, pred.floor),
-            Err(_) => discarded += 1,
+    for (s, pred) in ds.samples().iter().zip(&predictions) {
+        match pred {
+            Some(pred) => cm.observe(s.ground_truth, pred.floor),
+            None => discarded += 1,
         }
     }
     let report = cm.report();
@@ -288,6 +334,46 @@ mod tests {
         // The trained model must serve predictions like any serial model.
         let eval = run(&s(&["evaluate", "--model", &model, "--input", &corpus])).unwrap();
         assert!(eval.contains("micro-F"), "{eval}");
+        std::fs::remove_file(&corpus).ok();
+        std::fs::remove_file(&model).ok();
+    }
+
+    #[test]
+    fn infer_is_thread_count_invariant() {
+        let corpus = tmp("serve-corpus.jsonl");
+        let model = tmp("serve-model.json");
+        run(&s(&[
+            "simulate",
+            "--preset",
+            "office",
+            "--floors",
+            "2",
+            "--records-per-floor",
+            "30",
+            "--seed",
+            "8",
+            "--labels",
+            "4",
+            "--out",
+            &corpus,
+        ]))
+        .unwrap();
+        run(&s(&[
+            "train", "--input", &corpus, "--epochs", "20", "--out", &model,
+        ]))
+        .unwrap();
+        let serial = run(&s(&["infer", "--model", &model, "--input", &corpus])).unwrap();
+        let parallel = run(&s(&[
+            "infer",
+            "--model",
+            &model,
+            "--input",
+            &corpus,
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(serial, parallel, "--threads must not change predictions");
         std::fs::remove_file(&corpus).ok();
         std::fs::remove_file(&model).ok();
     }

@@ -226,15 +226,7 @@ impl ClusterModel {
     /// [`ClusterError::QueryDimensionMismatch`] if `query` has the wrong
     /// dimension, [`ClusterError::NonFiniteInput`] if it is not finite.
     pub fn predict(&self, query: &[f64]) -> Result<Prediction, ClusterError> {
-        if query.len() != self.dim {
-            return Err(ClusterError::QueryDimensionMismatch {
-                expected: self.dim,
-                found: query.len(),
-            });
-        }
-        if query.iter().any(|x| !x.is_finite()) {
-            return Err(ClusterError::NonFiniteInput);
-        }
+        self.validate_query(query)?;
         let (cluster, distance) =
             nearest_centroid(&self.clusters, query).expect("model has >= 1 cluster");
         Ok(Prediction {
@@ -253,8 +245,14 @@ impl ClusterModel {
     ///
     /// Same validation as [`ClusterModel::predict`].
     pub fn predict_topk(&self, query: &[f64], k: usize) -> Result<Vec<Prediction>, ClusterError> {
-        // Validate via the single-prediction path.
-        self.predict(query)?;
+        self.validate_query(query)?;
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        // Compute every distance exactly once, then partially select the k
+        // nearest in O(n) and sort only that prefix — O(n + k log k)
+        // instead of the historical validate-via-predict pass (a second
+        // full distance sweep) plus an O(n log n) sort of all clusters.
         let mut all: Vec<Prediction> = self
             .clusters
             .iter()
@@ -274,9 +272,33 @@ impl ClusterModel {
                 }
             })
             .collect();
-        all.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite"));
-        all.truncate(k);
+        // Total order: distance, then cluster index — deterministic under
+        // ties and consistent with `predict` (first minimum wins).
+        let by_distance = |a: &Prediction, b: &Prediction| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .expect("finite")
+                .then(a.cluster.cmp(&b.cluster))
+        };
+        if k < all.len() {
+            all.select_nth_unstable_by(k - 1, by_distance);
+            all.truncate(k);
+        }
+        all.sort_unstable_by(by_distance);
         Ok(all)
+    }
+
+    fn validate_query(&self, query: &[f64]) -> Result<(), ClusterError> {
+        if query.len() != self.dim {
+            return Err(ClusterError::QueryDimensionMismatch {
+                expected: self.dim,
+                found: query.len(),
+            });
+        }
+        if query.iter().any(|x| !x.is_finite()) {
+            return Err(ClusterError::NonFiniteInput);
+        }
+        Ok(())
     }
 }
 

@@ -39,15 +39,20 @@
 #![warn(missing_docs)]
 
 use grafics_cluster::{ClusterModel, ClusteringConfig, Linkage};
-use grafics_embed::{ElineTrainer, EmbedError, EmbeddingConfig, EmbeddingModel, Objective};
-use grafics_graph::{BipartiteGraph, NodeIdx, WeightFunction};
+use grafics_embed::{
+    ElineTrainer, EmbedError, EmbeddingConfig, EmbeddingModel, Objective, OnlineScratch,
+};
+use grafics_graph::{BipartiteGraph, NegativeSampler, NodeIdx, WeightFunction};
 use grafics_types::{Dataset, FloorId, RecordId, SignalRecord};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+mod server;
+
 pub use grafics_cluster::ClusterError;
 pub use grafics_cluster::Prediction;
+pub use server::GraficsServer;
 
 /// Flat hyper-parameter set for the whole pipeline. Defaults follow §VI-A
 /// of the paper: dimension 8, four labels per floor (a dataset-side
@@ -110,6 +115,22 @@ impl GraficsConfig {
         GraficsConfig {
             epochs: 30,
             online_samples_per_edge: 120,
+            ..Default::default()
+        }
+    }
+
+    /// A throughput-tuned configuration for online serving: full offline
+    /// training, but a lighter per-query refinement budget. One new node's
+    /// 2×dim coordinates converge long before the default budget is spent:
+    /// sweeping `online_samples_per_edge` over {200, 120, 60, 40, 30, 20}
+    /// (see `grafics-bench`'s `spe_sweep`) leaves floor accuracy flat down
+    /// to 40 on both easy (office, 4 labels) and hard (5-floor mall,
+    /// 2 labels) corpora, with degradation only below ~30. At 40 a served
+    /// query costs roughly a third of [`GraficsConfig::fast`]'s.
+    #[must_use]
+    pub fn serving() -> Self {
+        GraficsConfig {
+            online_samples_per_edge: 40,
             ..Default::default()
         }
     }
@@ -195,9 +216,12 @@ impl From<ClusterError> for GraficsError {
 
 /// A trained GRAFICS model: graph + embeddings + labelled clusters.
 ///
-/// Inference is `&mut self` because the paper's online path *extends the
-/// graph* with each new record (and any new MACs it carries) before
-/// embedding it — the model keeps learning the building's signal map.
+/// [`Grafics::infer`] is `&mut self` because the paper's online path
+/// *extends the graph* with each new record (and any new MACs it carries)
+/// before embedding it — the model keeps learning the building's signal
+/// map. For serving concurrent traffic without mutating shared state, take
+/// a read-only [`GraficsServer`] view with [`Grafics::server`], or predict
+/// a whole batch in parallel with [`Grafics::serve_batch`].
 ///
 /// The model is `serde`-serialisable; see [`Grafics::save_json`] /
 /// [`Grafics::load_json`] for file persistence.
@@ -209,6 +233,12 @@ pub struct Grafics {
     embeddings: EmbeddingModel,
     clusters: ClusterModel,
     train_records: usize,
+    /// The Eq. (10) negative distribution, maintained incrementally in
+    /// O(deg · log n) per graph mutation so no query pays the O(n)
+    /// rebuild. Serialised with the model: its exact floating-point state
+    /// determines the online RNG stream, so a save/load roundtrip keeps
+    /// predictions bit-identical.
+    neg_sampler: NegativeSampler,
 }
 
 impl Grafics {
@@ -243,6 +273,7 @@ impl Grafics {
             labels.push(sample.floor);
         }
         let clusters = ClusterModel::fit(&points, &labels, &config.clustering())?;
+        let neg_sampler = NegativeSampler::from_graph(&graph, trainer.config().negative_exponent);
         Ok(Grafics {
             config: *config,
             trainer,
@@ -250,6 +281,7 @@ impl Grafics {
             embeddings,
             clusters,
             train_records: train.len(),
+            neg_sampler,
         })
     }
 
@@ -274,13 +306,23 @@ impl Grafics {
 
     /// Batch inference: predicts every record in order, mapping
     /// per-record failures (outside-building, isolated) to `None` rather
-    /// than aborting the batch.
+    /// than aborting the batch. One scratch is reused across the whole
+    /// batch, so the per-record hot loop is allocation-free like the
+    /// [`GraficsServer`] sessions.
     pub fn infer_batch<R: Rng + ?Sized>(
         &mut self,
         records: &[SignalRecord],
         rng: &mut R,
     ) -> Vec<Option<Prediction>> {
-        records.iter().map(|r| self.infer(r, rng).ok()).collect()
+        let mut scratch = OnlineScratch::new();
+        records
+            .iter()
+            .map(|r| {
+                let node = self.insert_record_with(r, &mut scratch, rng).ok()?;
+                let query = self.embeddings.ego_vec(node);
+                self.clusters.predict(&query).ok()
+            })
+            .collect()
     }
 
     /// Like [`Grafics::infer`], but returns the `k` nearest clusters
@@ -323,13 +365,39 @@ impl Grafics {
         record: &SignalRecord,
         rng: &mut R,
     ) -> Result<NodeIdx, GraficsError> {
+        self.insert_record_with(record, &mut OnlineScratch::new(), rng)
+    }
+
+    fn insert_record_with<R: Rng + ?Sized>(
+        &mut self,
+        record: &SignalRecord,
+        scratch: &mut OnlineScratch,
+        rng: &mut R,
+    ) -> Result<NodeIdx, GraficsError> {
         if !self.graph.overlaps(record) {
             return Err(GraficsError::OutsideBuilding);
         }
         let rid = self.graph.add_record(record);
         let node = self.graph.record_node(rid).expect("just inserted");
-        self.trainer
-            .embed_new_node(&self.graph, &mut self.embeddings, node, rng)?;
+        // Embed against the sampler state from *before* the insertion (the
+        // frozen background graph) — the same distribution the read-only
+        // [`GraficsServer`] sees, keeping both paths bit-identical per
+        // seed. Only then absorb the new node and its degree changes into
+        // the sampler, in O(deg · log n), for subsequent queries.
+        let embedded = self.trainer.embed_new_node_with(
+            &self.graph,
+            &mut self.embeddings,
+            node,
+            &self.neg_sampler,
+            scratch,
+            rng,
+        );
+        // The graph mutation above is already committed (a failed embed
+        // leaves the record in place, as it always has), so the sampler
+        // must absorb it even on the error path — otherwise the
+        // sampler ≡ fresh-sweep invariant would break for good.
+        self.neg_sampler.sync_inserted(&self.graph, node);
+        embedded?;
         Ok(node)
     }
 
@@ -373,19 +441,28 @@ impl Grafics {
     }
 
     /// Removes a previously inserted record from the graph (e.g. expiring
-    /// inference-time records to bound memory).
+    /// inference-time records to bound memory). The negative sampler is
+    /// resynced only for the touched nodes (O(deg · log n)).
     ///
     /// # Errors
     ///
     /// Propagates the graph's unknown-record error.
     pub fn forget_record(&mut self, rid: RecordId) -> Result<(), grafics_graph::GraphError> {
-        self.graph.remove_record(rid)
+        let node = self
+            .graph
+            .record_node(rid)
+            .ok_or(grafics_graph::GraphError::UnknownRecord(rid))?;
+        let former: Vec<NodeIdx> = self.graph.neighbors(node).iter().map(|&(n, _)| n).collect();
+        self.graph.remove_record(rid)?;
+        self.neg_sampler.sync_removed(&self.graph, node, &former);
+        Ok(())
     }
 
     /// Decommissions an access point: its MAC node and edges leave the
     /// graph (§III-A "installation and removal of APs"). Existing clusters
     /// are unaffected — record embeddings stay put — but future online
-    /// inferences no longer connect through the removed AP.
+    /// inferences no longer connect through the removed AP. The negative
+    /// sampler is resynced only for the touched nodes (O(deg · log n)).
     ///
     /// # Errors
     ///
@@ -394,7 +471,14 @@ impl Grafics {
         &mut self,
         mac: grafics_types::MacAddr,
     ) -> Result<(), grafics_graph::GraphError> {
-        self.graph.remove_mac(mac)
+        let node = self
+            .graph
+            .mac_node(mac)
+            .ok_or(grafics_graph::GraphError::UnknownMac(mac))?;
+        let former: Vec<NodeIdx> = self.graph.neighbors(node).iter().map(|&(n, _)| n).collect();
+        self.graph.remove_mac(mac)?;
+        self.neg_sampler.sync_removed(&self.graph, node, &former);
+        Ok(())
     }
 
     /// Serialises the whole model (graph, embeddings, clusters, config)
@@ -411,12 +495,45 @@ impl Grafics {
 
     /// Loads a model previously written by [`Grafics::save_json`].
     ///
+    /// Model files written before the serving engine carry no
+    /// `neg_sampler` field; they are migrated transparently — the sampler
+    /// is fully derivable from the graph, so the rebuild is lossless
+    /// (only the RNG draw stream of subsequent online inference differs
+    /// from a natively saved sampler state).
+    ///
     /// # Errors
     ///
     /// Returns the underlying IO/serde error as `std::io::Error`.
     pub fn load_json<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<Self> {
         let json = std::fs::read_to_string(path)?;
-        serde_json::from_str(&json).map_err(std::io::Error::other)
+        match serde_json::from_str(&json) {
+            Ok(model) => Ok(model),
+            Err(current_err) => {
+                // Pre-serving-engine format: everything but the sampler.
+                #[derive(Deserialize)]
+                struct GraficsV1 {
+                    config: GraficsConfig,
+                    trainer: ElineTrainer,
+                    graph: BipartiteGraph,
+                    embeddings: EmbeddingModel,
+                    clusters: ClusterModel,
+                    train_records: usize,
+                }
+                let v1: GraficsV1 =
+                    serde_json::from_str(&json).map_err(|_| std::io::Error::other(current_err))?;
+                let neg_sampler =
+                    NegativeSampler::from_graph(&v1.graph, v1.trainer.config().negative_exponent);
+                Ok(Grafics {
+                    config: v1.config,
+                    trainer: v1.trainer,
+                    graph: v1.graph,
+                    embeddings: v1.embeddings,
+                    clusters: v1.clusters,
+                    train_records: v1.train_records,
+                    neg_sampler,
+                })
+            }
+        }
     }
 
     /// Batch refresh (§V-A discusses keeping online inference cheap by
@@ -427,6 +544,14 @@ impl Grafics {
     ///
     /// Labels are taken from the first `train_record_count()` records
     /// (the offline corpus); records added online stay unlabelled.
+    ///
+    /// With [`GraficsConfig::threads`] `>= 2` (see also
+    /// [`Grafics::set_threads`]) both offline stages run their parallel
+    /// paths: the lock-free Hogwild embedding trainer and the parallel
+    /// dissimilarity matrix. `threads == 1` re-trains bit-identically to
+    /// the serial pipeline. The negative sampler is rebuilt from scratch
+    /// afterwards, clearing any accumulated floating-point drift — a
+    /// refresh is the natural epoch boundary for the serving state.
     ///
     /// # Errors
     ///
@@ -444,7 +569,29 @@ impl Grafics {
             point_labels.push(labels.get(rid.index()).copied().flatten());
         }
         self.clusters = ClusterModel::fit(&points, &point_labels, &self.config.clustering())?;
+        self.neg_sampler =
+            NegativeSampler::from_graph(&self.graph, self.trainer.config().negative_exponent);
         Ok(())
+    }
+
+    /// Changes the worker-thread budget of every offline stage — the
+    /// Hogwild embedding trainer and the parallel dissimilarity matrix
+    /// used by [`Grafics::refresh`] — e.g. to re-thread a model that was
+    /// trained on different hardware than it is served on. Clamped to at
+    /// least 1; `1` restores the exact serial pipeline. Online inference
+    /// is unaffected (it is already O(deg) per query and parallelised
+    /// across queries by [`Grafics::serve_batch`]).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.config.threads = threads.max(1);
+        self.trainer.set_threads(self.config.threads);
+    }
+
+    /// The incrementally maintained negative-sampling distribution — for
+    /// diagnostics and tests; `Grafics` keeps it in lockstep with the
+    /// graph through every mutation.
+    #[must_use]
+    pub fn negative_sampler(&self) -> &NegativeSampler {
+        &self.neg_sampler
     }
 }
 

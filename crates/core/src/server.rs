@@ -1,0 +1,190 @@
+//! Read-mostly serving: `&self` inference over a shared frozen model.
+//!
+//! The paper's online path (§V) freezes everything except the new
+//! record's embedding — so serving does not *need* to mutate the model at
+//! all. [`GraficsServer`] exploits that: it borrows a [`Grafics`]
+//! immutably, keeps the query node's rows (and fresh rows for never-seen
+//! MACs) in its own per-session scratch, and therefore lets one trained
+//! model answer queries from many threads concurrently.
+//! [`Grafics::serve_batch`] fans a batch out across the worker pool, one
+//! server session per worker, with deterministic per-record RNG streams —
+//! the same predictions at any thread count.
+
+use crate::{Grafics, GraficsError, Prediction};
+use grafics_types::SignalRecord;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A read-only serving session over a shared [`Grafics`] model.
+///
+/// Created by [`Grafics::server`]; cheap enough to create per thread (the
+/// scratch buffers warm up after the first query). `&mut self` on
+/// [`GraficsServer::infer`] only guards the session-local scratch — the
+/// underlying model is never written, so any number of sessions can serve
+/// the same model simultaneously.
+///
+/// At the same RNG seed and the same model state, a server prediction is
+/// bit-identical to what the graph-extending [`Grafics::infer`] would
+/// return for the same record.
+///
+/// # Examples
+///
+/// ```
+/// use grafics_core::{Grafics, GraficsConfig};
+/// use grafics_data::BuildingModel;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+/// let ds = BuildingModel::office("serve", 2).with_records_per_floor(40).simulate(&mut rng);
+/// let split = ds.split(0.7, &mut rng).unwrap();
+/// let train = split.train.with_label_budget(4, &mut rng);
+/// let model = Grafics::train(&train, &GraficsConfig::fast(), &mut rng).unwrap();
+///
+/// // `model` stays immutable: the session owns all mutable state.
+/// let mut server = model.server();
+/// let mut hits = 0;
+/// for s in split.test.samples() {
+///     if let Ok(pred) = server.infer(&s.record, &mut rng) {
+///         if pred.floor == s.ground_truth {
+///             hits += 1;
+///         }
+///     }
+/// }
+/// assert!(hits * 10 >= split.test.len() * 7);
+/// assert_eq!(model.graph().record_count(), train.len()); // nothing absorbed
+/// ```
+#[derive(Debug)]
+pub struct GraficsServer<'a> {
+    model: &'a Grafics,
+    scratch: grafics_embed::OnlineScratch,
+}
+
+impl Grafics {
+    /// Opens a read-only serving session over this model.
+    #[must_use]
+    pub fn server(&self) -> GraficsServer<'_> {
+        GraficsServer {
+            model: self,
+            scratch: grafics_embed::OnlineScratch::new(),
+        }
+    }
+
+    /// Predicts a whole batch against the frozen model on `threads`
+    /// workers (PR-1's worker pool), without mutating shared state.
+    ///
+    /// Record `i` is embedded with its own `ChaCha8Rng` derived from
+    /// `seed` and `i`, so the output is a pure function of `(model,
+    /// records, seed)` — **independent of `threads`** — and per-record
+    /// failures (outside building) map to `None` instead of aborting the
+    /// batch. Workers take contiguous chunks; each runs its own
+    /// [`GraficsServer`] session over `&self`.
+    #[must_use]
+    pub fn serve_batch(
+        &self,
+        records: &[SignalRecord],
+        seed: u64,
+        threads: usize,
+    ) -> Vec<Option<Prediction>> {
+        let mut out: Vec<Option<Prediction>> = vec![None; records.len()];
+        if records.is_empty() {
+            return out;
+        }
+        let workers = threads.clamp(1, records.len());
+        if workers == 1 {
+            let mut server = self.server();
+            for (i, (record, slot)) in records.iter().zip(&mut out).enumerate() {
+                let mut rng = record_rng(seed, i);
+                *slot = server.infer(record, &mut rng).ok();
+            }
+            return out;
+        }
+        let chunk = records.len().div_ceil(workers);
+        rayon::scope(|scope| {
+            for (c, (record_chunk, out_chunk)) in
+                records.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
+            {
+                scope.spawn(move |_| {
+                    let mut server = self.server();
+                    for (k, (record, slot)) in record_chunk.iter().zip(out_chunk).enumerate() {
+                        let mut rng = record_rng(seed, c * chunk + k);
+                        *slot = server.infer(record, &mut rng).ok();
+                    }
+                });
+            }
+        });
+        out
+    }
+}
+
+/// The per-record RNG of [`Grafics::serve_batch`]: a fixed mix of the
+/// batch seed and the record index, so any partitioning across workers
+/// reproduces the same streams.
+fn record_rng(seed: u64, index: usize) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+impl GraficsServer<'_> {
+    /// Predicts the floor of one record against the frozen model: the
+    /// record is embedded in session-local scratch (graph, embeddings,
+    /// clusters, and sampler are only read) and matched to the nearest
+    /// cluster centroid. Amortised O(deg · log n) per query.
+    ///
+    /// # Errors
+    ///
+    /// - [`GraficsError::OutsideBuilding`] if the record shares no MAC
+    ///   with the building graph;
+    /// - [`GraficsError::Embed`] on embedding failure.
+    pub fn infer<R: Rng + ?Sized>(
+        &mut self,
+        record: &SignalRecord,
+        rng: &mut R,
+    ) -> Result<Prediction, GraficsError> {
+        let model = self.model;
+        let query = embed(model, &mut self.scratch, record, rng)?;
+        Ok(model.clusters.predict(query)?)
+    }
+
+    /// Like [`GraficsServer::infer`], but returns the `k` nearest
+    /// clusters ascending by centroid distance (see
+    /// [`Grafics::infer_topk`]).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`GraficsServer::infer`].
+    pub fn infer_topk<R: Rng + ?Sized>(
+        &mut self,
+        record: &SignalRecord,
+        k: usize,
+        rng: &mut R,
+    ) -> Result<Vec<Prediction>, GraficsError> {
+        let model = self.model;
+        let query = embed(model, &mut self.scratch, record, rng)?;
+        Ok(model.clusters.predict_topk(query, k)?)
+    }
+
+    /// The shared model this session serves.
+    #[must_use]
+    pub fn model(&self) -> &Grafics {
+        self.model
+    }
+}
+
+/// Embeds one record into `scratch` against the frozen `model`.
+fn embed<'s, R: Rng + ?Sized>(
+    model: &Grafics,
+    scratch: &'s mut grafics_embed::OnlineScratch,
+    record: &SignalRecord,
+    rng: &mut R,
+) -> Result<&'s [f64], GraficsError> {
+    if !model.graph.overlaps(record) {
+        return Err(GraficsError::OutsideBuilding);
+    }
+    Ok(model.trainer.embed_query(
+        &model.graph,
+        &model.embeddings,
+        record,
+        &model.neg_sampler,
+        scratch,
+        rng,
+    )?)
+}

@@ -1,0 +1,310 @@
+//! The serving engine's contracts: read-only inference is bit-identical
+//! to the graph-extending path, batches are thread-count-invariant, the
+//! incremental negative sampler never drifts from a from-scratch rebuild,
+//! and `refresh` honours the thread budget.
+
+use grafics_core::{Grafics, GraficsConfig, GraficsError};
+use grafics_data::BuildingModel;
+use grafics_graph::NegativeSampler;
+use grafics_types::{FloorId, MacAddr, Reading, Rssi, SignalRecord};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn trained(seed: u64) -> (Grafics, grafics_types::Dataset) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let ds = BuildingModel::office("serving-test", 3)
+        .with_records_per_floor(50)
+        .simulate(&mut rng);
+    let split = ds.split(0.7, &mut rng).unwrap();
+    let train = split.train.with_label_budget(4, &mut rng);
+    let model = Grafics::train(&train, &GraficsConfig::fast(), &mut rng).unwrap();
+    (model, split.test)
+}
+
+/// Satellite (b): at the same RNG seed and the same model state, the
+/// read-only server returns exactly the prediction the mutable `infer`
+/// would — floor, winning cluster, and distance, bit for bit.
+#[test]
+fn server_is_bit_identical_to_mutable_infer() {
+    let (model, test) = trained(31);
+    let mut server = model.server();
+    for (i, s) in test.samples().iter().take(8).enumerate() {
+        let seed = 1000 + i as u64;
+        let mut rng_server = ChaCha8Rng::seed_from_u64(seed);
+        let from_server = server.infer(&s.record, &mut rng_server).unwrap();
+
+        // Fresh mutable clone in the same starting state.
+        let mut mutable = model.clone();
+        let mut rng_mut = ChaCha8Rng::seed_from_u64(seed);
+        let from_mutable = mutable.infer(&s.record, &mut rng_mut).unwrap();
+
+        assert_eq!(from_server, from_mutable, "record {i}");
+        assert_eq!(
+            from_server.distance.to_bits(),
+            from_mutable.distance.to_bits(),
+            "record {i}: distances must match bitwise"
+        );
+    }
+}
+
+#[test]
+fn server_never_mutates_the_model() {
+    let (model, test) = trained(32);
+    let records_before = model.graph().record_count();
+    let capacity_before = model.graph().node_capacity();
+    let rows_before = model.embeddings().rows();
+    let mut server = model.server();
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let mut served = 0;
+    for s in test.samples() {
+        if server.infer(&s.record, &mut rng).is_ok() {
+            served += 1;
+        }
+        if server.infer_topk(&s.record, 3, &mut rng).is_ok() {
+            served += 1;
+        }
+    }
+    assert!(served > 0);
+    assert_eq!(model.graph().record_count(), records_before);
+    assert_eq!(model.graph().node_capacity(), capacity_before);
+    assert_eq!(model.embeddings().rows(), rows_before);
+}
+
+/// Acceptance: a parallel `serve_batch` returns the same predictions as
+/// the sequential path, and per-record failures map to `None`.
+#[test]
+fn serve_batch_is_thread_count_invariant() {
+    let (model, test) = trained(33);
+    let mut records: Vec<SignalRecord> = test.samples().iter().map(|s| s.record.clone()).collect();
+    // Splice in an outside-building record: it must become `None` without
+    // disturbing its neighbors.
+    let foreign = SignalRecord::new(vec![Reading::new(
+        MacAddr::from_u64(0xdead_beef),
+        Rssi::new(-50.0).unwrap(),
+    )])
+    .unwrap();
+    let foreign_at = records.len() / 2;
+    records.insert(foreign_at, foreign);
+
+    let serial = model.serve_batch(&records, 99, 1);
+    let parallel = model.serve_batch(&records, 99, 4);
+    assert_eq!(serial.len(), records.len());
+    assert_eq!(serial, parallel);
+    assert_eq!(serial[foreign_at], None);
+    assert!(serial.iter().filter(|p| p.is_some()).count() > records.len() / 2);
+
+    // And an uneven thread count / tiny batch still lines up.
+    let tiny = &records[..3];
+    assert_eq!(model.serve_batch(tiny, 7, 8), model.serve_batch(tiny, 7, 1));
+}
+
+#[test]
+fn server_rejects_outside_building() {
+    let (model, _) = trained(34);
+    let mut server = model.server();
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let foreign = SignalRecord::new(vec![Reading::new(
+        MacAddr::from_u64(0xfeed_f00d),
+        Rssi::new(-40.0).unwrap(),
+    )])
+    .unwrap();
+    assert_eq!(
+        server.infer(&foreign, &mut rng),
+        Err(GraficsError::OutsideBuilding)
+    );
+}
+
+/// The incrementally synced sampler equals a from-scratch rebuild after
+/// any mix of online insertions, record expiry, and AP removal driven
+/// through the public `Grafics` API.
+#[test]
+fn incremental_sampler_matches_rebuild_after_mixed_mutations() {
+    let (mut model, test) = trained(35);
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    let mut tracked = Vec::new();
+    for (i, s) in test.samples().iter().take(30).enumerate() {
+        if i % 3 == 0 {
+            if let Ok((rid, _)) = model.infer_tracked(&s.record, &mut rng) {
+                tracked.push(rid);
+            }
+        } else {
+            let _ = model.infer(&s.record, &mut rng);
+        }
+    }
+    for rid in tracked.into_iter().step_by(2) {
+        model.forget_record(rid).unwrap();
+    }
+    // Decommission one live AP.
+    let mac = (0..model.graph().node_capacity())
+        .find_map(|i| {
+            let idx = grafics_graph::NodeIdx(i as u32);
+            match model.graph().kind(idx) {
+                grafics_graph::NodeKind::Mac(m) if !model.graph().is_removed(idx) => Some(m),
+                _ => None,
+            }
+        })
+        .unwrap();
+    model.remove_ap(mac).unwrap();
+
+    let exponent = model.negative_sampler().exponent();
+    let rebuilt = NegativeSampler::from_graph(model.graph(), exponent);
+    assert_eq!(model.negative_sampler().weights(), rebuilt.weights());
+}
+
+/// Satellite (c): `refresh` at `threads == 1` is bit-identical to the
+/// serial refresh, and the Hogwild refresh (threads >= 2) still serves
+/// accurate predictions.
+#[test]
+fn refresh_thread_budget() {
+    let (model, test) = trained(36);
+    let mut rng = ChaCha8Rng::seed_from_u64(21);
+    let mut absorbing = model.clone();
+    for s in test.samples().iter().take(15) {
+        let _ = absorbing.infer(&s.record, &mut rng);
+    }
+    // The true label assignment of the offline corpus: replay the
+    // dataset construction of `trained(36)`.
+    let mut rng_ds = ChaCha8Rng::seed_from_u64(36);
+    let ds = BuildingModel::office("serving-test", 3)
+        .with_records_per_floor(50)
+        .simulate(&mut rng_ds);
+    let split = ds.split(0.7, &mut rng_ds).unwrap();
+    let train = split.train.with_label_budget(4, &mut rng_ds);
+    let labels: Vec<Option<FloorId>> = train.samples().iter().map(|s| s.floor).collect();
+
+    // threads == 1 through set_threads re-trains bit-identically to the
+    // untouched serial configuration.
+    let mut serial = absorbing.clone();
+    let mut explicit = absorbing.clone();
+    explicit.set_threads(1);
+    assert_eq!(explicit.config().threads, 1);
+    let mut rng_a = ChaCha8Rng::seed_from_u64(3);
+    let mut rng_b = ChaCha8Rng::seed_from_u64(3);
+    serial.refresh(&labels, &mut rng_a).unwrap();
+    explicit.refresh(&labels, &mut rng_b).unwrap();
+    for i in 0..serial.graph().node_capacity() {
+        let idx = grafics_graph::NodeIdx(i as u32);
+        assert_eq!(
+            serial.embeddings().ego(idx),
+            explicit.embeddings().ego(idx),
+            "row {i}"
+        );
+    }
+
+    // Hogwild refresh: different floating-point interleavings, but the
+    // refreshed model keeps predicting sanely.
+    let mut hogwild = absorbing.clone();
+    hogwild.set_threads(4);
+    assert_eq!(hogwild.config().threads, 4);
+    let mut rng_c = ChaCha8Rng::seed_from_u64(3);
+    hogwild.refresh(&labels, &mut rng_c).unwrap();
+    let mut rng_eval = ChaCha8Rng::seed_from_u64(9);
+    let mut server = hogwild.server();
+    let mut hits = 0;
+    let mut total = 0;
+    for s in test.samples().iter().skip(15) {
+        if let Ok(p) = server.infer(&s.record, &mut rng_eval) {
+            total += 1;
+            if p.floor == s.ground_truth {
+                hits += 1;
+            }
+        }
+    }
+    assert!(
+        total > 0 && hits * 10 >= total * 6,
+        "hogwild-refreshed model should stay usable: {hits}/{total}"
+    );
+}
+
+/// The throughput-tuned serving preset keeps floor accuracy on the easy
+/// office corpus — the lighter per-query refinement budget is enough for
+/// one frozen node's 2×dim coordinates.
+#[test]
+fn serving_preset_stays_accurate() {
+    let mut rng = ChaCha8Rng::seed_from_u64(41);
+    let ds = BuildingModel::office("serving-preset", 3)
+        .with_records_per_floor(50)
+        .simulate(&mut rng);
+    let split = ds.split(0.7, &mut rng).unwrap();
+    let train = split.train.with_label_budget(4, &mut rng);
+    let cfg = GraficsConfig {
+        epochs: 30,
+        ..GraficsConfig::serving()
+    };
+    let model = Grafics::train(&train, &cfg, &mut rng).unwrap();
+    let mut server = model.server();
+    let mut rng2 = ChaCha8Rng::seed_from_u64(7);
+    let (mut hits, mut total) = (0usize, 0usize);
+    for s in split.test.samples() {
+        if let Ok(p) = server.infer(&s.record, &mut rng2) {
+            total += 1;
+            hits += usize::from(p.floor == s.ground_truth);
+        }
+    }
+    assert!(
+        total > 0 && hits * 10 >= total * 8,
+        "serving preset accuracy: {hits}/{total}"
+    );
+}
+
+/// Model JSON written before the serving engine (no `neg_sampler` field)
+/// still loads: the sampler is rebuilt losslessly from the graph.
+#[test]
+fn loads_pre_serving_engine_model_json() {
+    let (model, test) = trained(38);
+    let dir = std::env::temp_dir().join("grafics-serving-migration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("old-model.json");
+    model.save_json(&path).unwrap();
+
+    // Rewrite the file in the pre-PR format: drop the trailing
+    // `neg_sampler` field (it is the last field of the struct).
+    let json = std::fs::read_to_string(&path).unwrap();
+    let cut = json.rfind(",\"neg_sampler\":").expect("field present");
+    let old_format = format!("{}}}", &json[..cut]);
+    assert!(!old_format.contains("neg_sampler"));
+    std::fs::write(&path, old_format).unwrap();
+
+    let migrated = Grafics::load_json(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(
+        migrated.negative_sampler().weights(),
+        NegativeSampler::from_graph(migrated.graph(), migrated.negative_sampler().exponent())
+            .weights()
+    );
+    let mut server = migrated.server();
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let mut served = 0;
+    for s in test.samples().iter().take(10) {
+        served += usize::from(server.infer(&s.record, &mut rng).is_ok());
+    }
+    assert!(served > 0, "migrated model must serve");
+}
+
+/// A save/load roundtrip preserves the sampler's exact state, so served
+/// predictions stay bit-identical across processes.
+#[test]
+fn save_load_preserves_serving_stream() {
+    let (model, test) = trained(37);
+    let dir = std::env::temp_dir().join("grafics-serving-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.json");
+    model.save_json(&path).unwrap();
+    let loaded = Grafics::load_json(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(
+        model.negative_sampler().weights(),
+        loaded.negative_sampler().weights()
+    );
+    let mut a = model.server();
+    let mut b = loaded.server();
+    for (i, s) in test.samples().iter().take(5).enumerate() {
+        let mut rng_a = ChaCha8Rng::seed_from_u64(i as u64);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(i as u64);
+        assert_eq!(
+            a.infer(&s.record, &mut rng_a).unwrap(),
+            b.infer(&s.record, &mut rng_b).unwrap()
+        );
+    }
+}

@@ -96,6 +96,22 @@ impl Default for EmbeddingConfig {
 }
 
 impl EmbeddingConfig {
+    /// Learning rate at sample `t` of `total`: linear decay to
+    /// `1e-4 × initial` when [`EmbeddingConfig::lr_decay`] is set,
+    /// constant otherwise. Shared by the offline trainer and the online
+    /// serving path so both decay identically.
+    #[inline]
+    #[must_use]
+    pub(crate) fn lr_at(&self, t: usize, total: usize) -> f32 {
+        let lr0 = self.initial_lr as f32;
+        if self.lr_decay {
+            let frac = 1.0 - t as f32 / total as f32;
+            lr0 * frac.max(1e-4)
+        } else {
+            lr0
+        }
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors

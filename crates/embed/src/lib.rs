@@ -65,10 +65,16 @@
 
 mod config;
 mod model;
+mod online;
 mod parallel;
 mod sgd;
 mod trainer;
 
 pub use config::{EmbedError, EmbeddingConfig, Objective};
 pub use model::EmbeddingModel;
+pub use online::OnlineScratch;
 pub use trainer::{ElineTrainer, TrainingStats};
+
+// The serving path's negative distribution lives with the graph; re-export
+// it so online callers need only this crate.
+pub use grafics_graph::NegativeSampler;

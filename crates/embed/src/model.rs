@@ -85,24 +85,62 @@ impl EmbeddingModel {
     /// initialising new rows like [`EmbeddingModel::init`]. Used when new
     /// records/MACs are appended to the graph online (§V-A).
     pub fn grow<R: Rng + ?Sized>(&mut self, rows: usize, rng: &mut R) {
-        let bound = 0.5 / self.dim as f32;
         let target = rows * self.dim;
         if self.ego.len() >= target {
             return;
         }
-        // One sized allocation per matrix instead of per-element `push`es
-        // (which re-check capacity on every coordinate and can reallocate
-        // repeatedly while a long online session grows the model). The
-        // draws land in a single interleaved scratch first because the
-        // historical element order was (ego, context) per coordinate —
-        // keeping it preserves every seeded online-inference stream.
         let add = target - self.ego.len();
-        let mut draws: Vec<f32> = Vec::new();
-        draws.resize_with(2 * add, || rng.gen_range(-bound..=bound));
+        let (ego, context) = Self::draw_rows(self.dim, add, rng);
         self.ego.reserve(add);
         self.context.reserve(add);
-        self.ego.extend(draws.iter().step_by(2));
-        self.context.extend(draws.iter().skip(1).step_by(2));
+        self.ego.extend(ego);
+        self.context.extend(context);
+    }
+
+    /// Draws initial values for `elements` fresh coordinates of each
+    /// matrix, in the historical interleaved `(ego, context)` element
+    /// order — one sized allocation per matrix instead of per-element
+    /// `push`es. [`EmbeddingModel::grow`] and the read-only serving path
+    /// both initialise new rows through this function, so a query embedded
+    /// against a frozen model consumes the caller's RNG exactly like the
+    /// graph-extending path at the same seed.
+    pub(crate) fn draw_rows<R: Rng + ?Sized>(
+        dim: usize,
+        elements: usize,
+        rng: &mut R,
+    ) -> (Vec<f32>, Vec<f32>) {
+        let bound = 0.5 / dim as f32;
+        let mut draws: Vec<f32> = Vec::new();
+        draws.resize_with(2 * elements, || rng.gen_range(-bound..=bound));
+        let ego = draws.iter().copied().step_by(2).collect();
+        let context = draws.iter().copied().skip(1).step_by(2).collect();
+        (ego, context)
+    }
+
+    /// Splits both matrices three ways around `node`: the frozen prefix
+    /// (rows `< node`), the node's own mutable rows, and the read-only
+    /// tail (rows `> node` — the fresh rows of MACs first seen together
+    /// with the node). The online SGD writes only the middle part.
+    pub(crate) fn split_at_node(&mut self, node: NodeIdx) -> SplitRows<'_> {
+        let dim = self.dim;
+        let start = node.index() * dim;
+        let (frozen_ego, rest) = self.ego.split_at_mut(start);
+        let (node_ego, tail_ego) = rest.split_at_mut(dim);
+        let (frozen_context, rest) = self.context.split_at_mut(start);
+        let (node_context, tail_context) = rest.split_at_mut(dim);
+        SplitRows {
+            frozen_ego,
+            frozen_context,
+            node_ego,
+            node_context,
+            tail_ego,
+            tail_context,
+        }
+    }
+
+    /// Both full matrices, read-only — the serving path's frozen view.
+    pub(crate) fn matrices(&self) -> (&[f32], &[f32]) {
+        (&self.ego, &self.context)
     }
 
     /// Squared Euclidean distance between two ego embeddings.
@@ -165,6 +203,17 @@ impl EmbeddingModel {
 pub(crate) enum Space {
     Ego,
     Context,
+}
+
+/// The three-way split of both matrices produced by
+/// [`EmbeddingModel::split_at_node`].
+pub(crate) struct SplitRows<'a> {
+    pub frozen_ego: &'a [f32],
+    pub frozen_context: &'a [f32],
+    pub node_ego: &'a mut [f32],
+    pub node_context: &'a mut [f32],
+    pub tail_ego: &'a [f32],
+    pub tail_context: &'a [f32],
 }
 
 #[cfg(test)]

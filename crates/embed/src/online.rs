@@ -1,0 +1,665 @@
+//! The online serving path (§V-A): embedding one new record against a
+//! frozen model, allocation-free and shareable.
+//!
+//! Both entry points run the *same* SGD routine, so at equal RNG seeds and
+//! equal [`NegativeSampler`] state they produce bit-identical embeddings:
+//!
+//! - [`ElineTrainer::embed_new_node_with`] — the graph-extending path used
+//!   by `Grafics::infer`: the new node's rows live in the (grown)
+//!   [`EmbeddingModel`] and stay there.
+//! - [`ElineTrainer::embed_query`] — the read-only path used by
+//!   `GraficsServer`: the new node's rows (and the fresh rows of any
+//!   never-seen MAC) live in the caller's [`OnlineScratch`]; the shared
+//!   model, graph, and sampler are only read, so one model can serve many
+//!   threads concurrently.
+//!
+//! Per query the routine touches O(deg) neighbor rows and draws negatives
+//! in O(log n) from the incrementally maintained [`NegativeSampler`] —
+//! replacing the historical per-query O(n) rebuild (`d_z^{3/4}` sweep plus
+//! alias-table construction) that dominated serving cost on large graphs.
+//! The hot loop reuses the scratch buffers across calls and performs no
+//! allocation, and uses the same sigmoid lookup table and unrolled dot
+//! kernels as the Hogwild offline trainer.
+
+use crate::config::{EmbedError, EmbeddingConfig, Objective};
+use crate::model::{EmbeddingModel, Space};
+use crate::sgd::{axpy, dot_fixed, dot_unrolled, fast_sigmoid, sigmoid_table, SIGMOID_TABLE_SIZE};
+use grafics_graph::{BipartiteGraph, NegativeSampler, NodeIdx};
+use grafics_types::SignalRecord;
+use rand::Rng;
+
+use crate::trainer::ElineTrainer;
+
+/// Reusable buffers for the online embedding hot loop. Create one per
+/// serving thread (or one per [`super::ElineTrainer`] call site) and pass
+/// it to every call: after warm-up, a query performs no heap allocation.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineScratch {
+    /// Neighbor indices of the query node (graph nodes, or virtual
+    /// indices past the graph's capacity for never-seen MACs).
+    nbrs: Vec<u32>,
+    /// Cumulative edge weights parallel to `nbrs`.
+    cum: Vec<f64>,
+    /// Negative draws of the current step.
+    negatives: Vec<u32>,
+    /// Source-gradient accumulator.
+    grad: Vec<f32>,
+    /// Freshly initialised ego rows: the query node's row, then one row
+    /// per never-seen MAC (read-only serving path).
+    rows_ego: Vec<f32>,
+    /// Context counterpart of `rows_ego`.
+    rows_context: Vec<f32>,
+    /// The finished query embedding as `f64`, ready for the cluster model.
+    query: Vec<f64>,
+}
+
+impl OnlineScratch {
+    /// Creates empty scratch buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        OnlineScratch::default()
+    }
+
+    /// The ego embedding produced by the last
+    /// [`ElineTrainer::embed_query`] call, as `f64`.
+    #[must_use]
+    pub fn query(&self) -> &[f64] {
+        &self.query
+    }
+}
+
+/// Read-only row storage for one online embedding: the frozen matrices
+/// (row indices `< node`) plus the fresh rows of MACs first seen with the
+/// query (indices `> node`). The query node's own rows are held separately
+/// and mutably by the caller.
+struct FrozenRows<'a> {
+    dim: usize,
+    node: usize,
+    head_ego: &'a [f32],
+    head_context: &'a [f32],
+    tail_ego: &'a [f32],
+    tail_context: &'a [f32],
+}
+
+impl FrozenRows<'_> {
+    #[inline(always)]
+    fn row(&self, space: Space, idx: usize) -> &[f32] {
+        let (head, tail) = match space {
+            Space::Ego => (self.head_ego, self.tail_ego),
+            Space::Context => (self.head_context, self.tail_context),
+        };
+        let start = if idx < self.node {
+            return &head[idx * self.dim..(idx + 1) * self.dim];
+        } else {
+            (idx - self.node - 1) * self.dim
+        };
+        &tail[start..start + self.dim]
+    }
+}
+
+/// Draws `k` negatives from the incremental sampler (one 64-bit RNG draw
+/// each), rejecting the query node and the current positive `j` — the
+/// shared rejection policy of `sgd::fill_rejecting`. An exhausted sampler
+/// (no positive mass — impossible for an anchored query, whose known
+/// MACs all carry degree) yields no negatives and consumes no RNG.
+#[inline]
+fn draw_negatives<R: Rng + ?Sized>(
+    neg: &NegativeSampler,
+    node: usize,
+    j: usize,
+    k: usize,
+    out: &mut Vec<u32>,
+    rng: &mut R,
+) {
+    crate::sgd::fill_rejecting(k, out, || {
+        let z = neg.sample(rng)?;
+        (z.index() != node && z.index() != j).then_some(z.0)
+    });
+}
+
+/// Dot product monomorphised over the embedding dimension; `DIM == 0`
+/// selects the dynamic-length kernel (the branch is a compile-time
+/// constant and folds away).
+#[inline(always)]
+fn dot_k<const DIM: usize>(a: &[f32], b: &[f32]) -> f32 {
+    if DIM == 0 {
+        dot_unrolled(a, b)
+    } else {
+        let a: &[f32; DIM] = a.try_into().expect("row length equals DIM");
+        let b: &[f32; DIM] = b.try_into().expect("row length equals DIM");
+        dot_fixed::<DIM>(a, b)
+    }
+}
+
+/// `acc += g * v`, monomorphised like [`dot_k`]; the fixed form fully
+/// unrolls with fused multiply-adds and no bounds checks.
+#[inline(always)]
+fn axpy_k<const DIM: usize>(acc: &mut [f32], g: f32, v: &[f32]) {
+    if DIM == 0 {
+        axpy(acc, g, v);
+    } else {
+        let acc: &mut [f32; DIM] = acc.try_into().expect("row length equals DIM");
+        let v: &[f32; DIM] = v.try_into().expect("row length equals DIM");
+        for d in 0..DIM {
+            acc[d] = v[d].mul_add(g, acc[d]);
+        }
+    }
+}
+
+/// One positive-plus-negatives step updating only `src` (a row of the
+/// query node): the `update_targets = false` specialisation of the serial
+/// trainer's SGD step, on the fast kernels.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn pos_neg_step<const DIM: usize>(
+    table: &[f32; SIGMOID_TABLE_SIZE],
+    frozen: &FrozenRows<'_>,
+    src: &mut [f32],
+    tgt_row: &[f32],
+    neg_space: Space,
+    negatives: &[u32],
+    lr: f32,
+    grad: &mut [f32],
+) {
+    grad.fill(0.0);
+    let g = lr * (1.0 - fast_sigmoid(table, dot_k::<DIM>(src, tgt_row)));
+    axpy_k::<DIM>(grad, g, tgt_row);
+    for &z in negatives {
+        let zrow = frozen.row(neg_space, z as usize);
+        let g = lr * (0.0 - fast_sigmoid(table, dot_k::<DIM>(src, zrow)));
+        axpy_k::<DIM>(grad, g, zrow);
+    }
+    axpy_k::<DIM>(src, 1.0, grad);
+}
+
+/// A positive-only pull of `src` towards a frozen row — the online
+/// "node as target" update (`update_target_only` in the serial trainer).
+#[inline]
+fn pos_step<const DIM: usize>(
+    table: &[f32; SIGMOID_TABLE_SIZE],
+    src: &mut [f32],
+    tgt_row: &[f32],
+    lr: f32,
+) {
+    let g = lr * (1.0 - fast_sigmoid(table, dot_k::<DIM>(src, tgt_row)));
+    axpy_k::<DIM>(src, g, tgt_row);
+}
+
+/// Dispatches the online SGD loop to a kernel monomorphised for the
+/// common embedding dimensions (the paper's default is 8); other
+/// dimensions take the dynamic-length path.
+#[allow(clippy::too_many_arguments)]
+fn run_online_sgd<R: Rng + ?Sized>(
+    cfg: &EmbeddingConfig,
+    frozen: &FrozenRows<'_>,
+    node_ego: &mut [f32],
+    node_context: &mut [f32],
+    nbrs: &[u32],
+    cum: &[f64],
+    neg: &NegativeSampler,
+    negatives: &mut Vec<u32>,
+    grad: &mut Vec<f32>,
+    rng: &mut R,
+) {
+    match cfg.dim {
+        4 => run_online_sgd_k::<4, R>(
+            cfg,
+            frozen,
+            node_ego,
+            node_context,
+            nbrs,
+            cum,
+            neg,
+            negatives,
+            grad,
+            rng,
+        ),
+        8 => run_online_sgd_k::<8, R>(
+            cfg,
+            frozen,
+            node_ego,
+            node_context,
+            nbrs,
+            cum,
+            neg,
+            negatives,
+            grad,
+            rng,
+        ),
+        16 => run_online_sgd_k::<16, R>(
+            cfg,
+            frozen,
+            node_ego,
+            node_context,
+            nbrs,
+            cum,
+            neg,
+            negatives,
+            grad,
+            rng,
+        ),
+        _ => run_online_sgd_k::<0, R>(
+            cfg,
+            frozen,
+            node_ego,
+            node_context,
+            nbrs,
+            cum,
+            neg,
+            negatives,
+            grad,
+            rng,
+        ),
+    }
+}
+
+/// The shared online SGD loop. `nbrs`/`cum` list the query's neighbors
+/// with cumulative weights; `node_ego`/`node_context` are the only rows
+/// written.
+#[allow(clippy::too_many_arguments)]
+fn run_online_sgd_k<const DIM: usize, R: Rng + ?Sized>(
+    cfg: &EmbeddingConfig,
+    frozen: &FrozenRows<'_>,
+    node_ego: &mut [f32],
+    node_context: &mut [f32],
+    nbrs: &[u32],
+    cum: &[f64],
+    neg: &NegativeSampler,
+    negatives: &mut Vec<u32>,
+    grad: &mut Vec<f32>,
+    rng: &mut R,
+) {
+    let table = sigmoid_table();
+    grad.resize(cfg.dim, 0.0);
+    let total = cfg.online_samples_per_edge * nbrs.len();
+    let total_weight = *cum.last().expect("at least one neighbor");
+    for t in 0..total {
+        let lr = cfg.lr_at(t, total);
+        // Weighted neighbor pick: one uniform draw, binary search over the
+        // cumulative weights (O(log deg), allocation-free).
+        let u = rng.gen::<f64>() * total_weight;
+        let pick = cum.partition_point(|&c| c <= u).min(nbrs.len() - 1);
+        let j = nbrs[pick] as usize;
+        draw_negatives(neg, frozen.node, j, cfg.negatives, negatives, rng);
+
+        // Direction node → j: only the node's source vector moves.
+        // Direction j → node: only the node's target vector moves.
+        match cfg.objective {
+            Objective::LineFirst => {
+                pos_neg_step::<DIM>(
+                    table,
+                    frozen,
+                    node_ego,
+                    frozen.row(Space::Ego, j),
+                    Space::Ego,
+                    negatives,
+                    lr,
+                    grad,
+                );
+            }
+            Objective::LineSecond => {
+                pos_neg_step::<DIM>(
+                    table,
+                    frozen,
+                    node_ego,
+                    frozen.row(Space::Context, j),
+                    Space::Context,
+                    negatives,
+                    lr,
+                    grad,
+                );
+                pos_step::<DIM>(table, node_context, frozen.row(Space::Ego, j), lr);
+            }
+            Objective::LineBoth => {
+                pos_neg_step::<DIM>(
+                    table,
+                    frozen,
+                    node_ego,
+                    frozen.row(Space::Ego, j),
+                    Space::Ego,
+                    negatives,
+                    lr,
+                    grad,
+                );
+                pos_neg_step::<DIM>(
+                    table,
+                    frozen,
+                    node_ego,
+                    frozen.row(Space::Context, j),
+                    Space::Context,
+                    negatives,
+                    lr,
+                    grad,
+                );
+                pos_step::<DIM>(table, node_context, frozen.row(Space::Ego, j), lr);
+            }
+            Objective::ELine => {
+                // Node as source of both objective terms (Eqs. (5), (8)).
+                pos_neg_step::<DIM>(
+                    table,
+                    frozen,
+                    node_ego,
+                    frozen.row(Space::Context, j),
+                    Space::Context,
+                    negatives,
+                    lr,
+                    grad,
+                );
+                pos_neg_step::<DIM>(
+                    table,
+                    frozen,
+                    node_context,
+                    frozen.row(Space::Ego, j),
+                    Space::Ego,
+                    negatives,
+                    lr,
+                    grad,
+                );
+                // Node as target: u'_node from frozen u_j, u_node from
+                // frozen u'_j.
+                pos_step::<DIM>(table, node_context, frozen.row(Space::Ego, j), lr);
+                pos_step::<DIM>(table, node_ego, frozen.row(Space::Context, j), lr);
+            }
+        }
+    }
+}
+
+impl ElineTrainer {
+    /// Embeds one *new* graph node against the frozen model using the
+    /// incrementally maintained negative sampler and reusable scratch —
+    /// the serving-engine form of [`ElineTrainer::embed_new_node`].
+    ///
+    /// `neg` must represent the negative distribution the caller wants the
+    /// refinement to see; `Grafics` passes the sampler state from *before*
+    /// the node's insertion, so the graph-extending path and the read-only
+    /// [`ElineTrainer::embed_query`] path see identical distributions (the
+    /// frozen background graph) and stay bit-identical per seed.
+    ///
+    /// # Errors
+    ///
+    /// - [`EmbedError::InvalidConfig`] if the configuration is out of range.
+    /// - [`EmbedError::IsolatedNode`] if the node has no incident edges.
+    pub fn embed_new_node_with<R: Rng + ?Sized>(
+        &self,
+        graph: &BipartiteGraph,
+        model: &mut EmbeddingModel,
+        node: NodeIdx,
+        neg: &NegativeSampler,
+        scratch: &mut OnlineScratch,
+        rng: &mut R,
+    ) -> Result<(), EmbedError> {
+        let cfg = self.config();
+        cfg.validate()?;
+        let neighbors = graph.neighbors(node);
+        if neighbors.is_empty() {
+            return Err(EmbedError::IsolatedNode);
+        }
+        model.grow(graph.node_capacity(), rng);
+
+        scratch.nbrs.clear();
+        scratch.cum.clear();
+        let mut acc = 0.0;
+        for &(m, w) in neighbors {
+            scratch.nbrs.push(m.0);
+            acc += w;
+            scratch.cum.push(acc);
+        }
+
+        let split = model.split_at_node(node);
+        let frozen = FrozenRows {
+            dim: cfg.dim,
+            node: node.index(),
+            head_ego: split.frozen_ego,
+            head_context: split.frozen_context,
+            tail_ego: split.tail_ego,
+            tail_context: split.tail_context,
+        };
+        run_online_sgd(
+            cfg,
+            &frozen,
+            split.node_ego,
+            split.node_context,
+            &scratch.nbrs,
+            &scratch.cum,
+            neg,
+            &mut scratch.negatives,
+            &mut scratch.grad,
+            rng,
+        );
+        Ok(())
+    }
+
+    /// Embeds one query record against the frozen graph and model
+    /// **without mutating anything shared**: the query node's rows — and
+    /// fresh rows for any MAC the graph has never seen, initialised with
+    /// the same draws [`EmbeddingModel::grow`] would make — live entirely
+    /// in `scratch`. Returns the query's finished ego embedding.
+    ///
+    /// Given the same RNG seed and the same sampler state, the returned
+    /// embedding is bit-identical to what
+    /// [`ElineTrainer::embed_new_node_with`] would write for this record
+    /// after a graph insertion.
+    ///
+    /// # Errors
+    ///
+    /// - [`EmbedError::InvalidConfig`] if the configuration is out of range.
+    /// - [`EmbedError::IsolatedNode`] if no reading maps to a live MAC of
+    ///   `graph` — the record cannot be anchored to the frozen building
+    ///   graph (§V footnote 1: likely collected outside the building).
+    pub fn embed_query<'a, R: Rng + ?Sized>(
+        &self,
+        graph: &BipartiteGraph,
+        model: &EmbeddingModel,
+        record: &SignalRecord,
+        neg: &NegativeSampler,
+        scratch: &'a mut OnlineScratch,
+        rng: &mut R,
+    ) -> Result<&'a [f64], EmbedError> {
+        let cfg = self.config();
+        cfg.validate()?;
+        let dim = cfg.dim;
+        let cap = graph.node_capacity();
+
+        // Neighbor worklist in reading order (sorted by MAC — the same
+        // order `add_record` creates adjacency in). Never-seen MACs get
+        // virtual indices past the node's own, mirroring the indices
+        // `add_record` would allocate.
+        scratch.nbrs.clear();
+        scratch.cum.clear();
+        let mut acc = 0.0;
+        let mut fresh = 0u32;
+        let mut anchored = false;
+        for reading in record.readings() {
+            let idx = match graph.mac_node(reading.mac) {
+                Some(m) if !graph.is_removed(m) => {
+                    anchored = true;
+                    m.0
+                }
+                _ => {
+                    fresh += 1;
+                    cap as u32 + fresh
+                }
+            };
+            scratch.nbrs.push(idx);
+            acc += graph.weight_function().weight(reading.rssi);
+            scratch.cum.push(acc);
+        }
+        if !anchored {
+            return Err(EmbedError::IsolatedNode);
+        }
+
+        // Fresh rows: the query node first, then one row per never-seen
+        // MAC. The per-coordinate (ego, context) draw interleaving below
+        // replicates `EmbeddingModel::draw_rows` element for element, so
+        // this path consumes the RNG exactly like the `grow` call the
+        // graph-extending path makes after `add_record`.
+        let bound = 0.5 / dim as f32;
+        scratch.rows_ego.clear();
+        scratch.rows_context.clear();
+        for _ in 0..(1 + fresh as usize) * dim {
+            scratch.rows_ego.push(rng.gen_range(-bound..=bound));
+            scratch.rows_context.push(rng.gen_range(-bound..=bound));
+        }
+        let (node_ego, tail_ego) = scratch.rows_ego.split_at_mut(dim);
+        let (node_context, tail_context) = scratch.rows_context.split_at_mut(dim);
+
+        let (model_ego, model_context) = model.matrices();
+        let frozen = FrozenRows {
+            dim,
+            node: cap,
+            head_ego: model_ego,
+            head_context: model_context,
+            tail_ego,
+            tail_context,
+        };
+        run_online_sgd(
+            cfg,
+            &frozen,
+            node_ego,
+            node_context,
+            &scratch.nbrs,
+            &scratch.cum,
+            neg,
+            &mut scratch.negatives,
+            &mut scratch.grad,
+            rng,
+        );
+
+        scratch.query.clear();
+        scratch.query.extend(node_ego.iter().map(|&x| f64::from(x)));
+        Ok(&scratch.query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EmbeddingConfig;
+    use grafics_graph::WeightFunction;
+    use grafics_types::{MacAddr, Reading, Rssi};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rec(macs: &[u64]) -> SignalRecord {
+        SignalRecord::new(
+            macs.iter()
+                .map(|&m| Reading::new(MacAddr::from_u64(m), Rssi::new(-62.0).unwrap()))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn trained(seed: u64) -> (BipartiteGraph, EmbeddingModel, ElineTrainer) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut g = BipartiteGraph::new(WeightFunction::default());
+        for k in 0..16u64 {
+            g.add_record(&rec(&[k % 8, (k + 1) % 8, (k + 3) % 8]));
+        }
+        let trainer = ElineTrainer::new(EmbeddingConfig {
+            epochs: 15,
+            online_samples_per_edge: 40,
+            ..Default::default()
+        });
+        let model = trainer.train(&g, &mut rng).unwrap();
+        (g, model, trainer)
+    }
+
+    /// The read-only query path and the graph-extending path produce
+    /// bit-identical embeddings at the same seed and sampler state — also
+    /// when the record carries a MAC the graph has never seen (virtual
+    /// fresh rows).
+    #[test]
+    fn query_path_matches_insertion_path_bitwise() {
+        for (case, query) in [
+            rec(&[0, 2, 4]),          // all MACs known
+            rec(&[1, 3, 999]),        // one never-seen MAC
+            rec(&[5, 700, 800, 900]), // mostly never-seen MACs
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let (g, model, trainer) = trained(7);
+            let neg = NegativeSampler::from_graph(&g, trainer.config().negative_exponent);
+
+            // Read-only path against the frozen graph/model.
+            let mut scratch = OnlineScratch::new();
+            let mut rng_q = ChaCha8Rng::seed_from_u64(55);
+            let frozen_query = trainer
+                .embed_query(&g, &model, &query, &neg, &mut scratch, &mut rng_q)
+                .unwrap()
+                .to_vec();
+
+            // Graph-extending path with the pre-insertion sampler state.
+            let mut g2 = g.clone();
+            let mut model2 = model.clone();
+            let rid = g2.add_record(&query);
+            let node = g2.record_node(rid).unwrap();
+            let mut rng_m = ChaCha8Rng::seed_from_u64(55);
+            trainer
+                .embed_new_node_with(&g2, &mut model2, node, &neg, &mut scratch, &mut rng_m)
+                .unwrap();
+
+            assert_eq!(
+                frozen_query,
+                model2.ego_vec(node),
+                "case {case}: paths diverged"
+            );
+            // The two RNGs must also end in the same state.
+            assert_eq!(rng_q.gen::<u64>(), rng_m.gen::<u64>(), "case {case}");
+        }
+    }
+
+    #[test]
+    fn query_with_no_known_mac_is_rejected() {
+        let (g, model, trainer) = trained(3);
+        let neg = NegativeSampler::from_graph(&g, 0.75);
+        let mut scratch = OnlineScratch::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let err = trainer.embed_query(
+            &g,
+            &model,
+            &rec(&[4000, 4001]),
+            &neg,
+            &mut scratch,
+            &mut rng,
+        );
+        assert_eq!(err.unwrap_err(), EmbedError::IsolatedNode);
+    }
+
+    /// All four objectives run through both online paths and stay finite.
+    #[test]
+    fn every_objective_supported_online() {
+        for objective in [
+            Objective::LineFirst,
+            Objective::LineSecond,
+            Objective::LineBoth,
+            Objective::ELine,
+        ] {
+            let mut rng = ChaCha8Rng::seed_from_u64(4);
+            let mut g = BipartiteGraph::new(WeightFunction::default());
+            for k in 0..10u64 {
+                g.add_record(&rec(&[k % 5, (k + 1) % 5]));
+            }
+            let trainer = ElineTrainer::new(EmbeddingConfig {
+                epochs: 10,
+                online_samples_per_edge: 20,
+                objective,
+                ..Default::default()
+            });
+            let mut model = trainer.train(&g, &mut rng).unwrap();
+            let neg = NegativeSampler::from_graph(&g, 0.75);
+            let mut scratch = OnlineScratch::new();
+            let q = trainer
+                .embed_query(&g, &model, &rec(&[0, 2]), &neg, &mut scratch, &mut rng)
+                .unwrap();
+            assert!(q.iter().all(|x| x.is_finite()), "{objective}");
+
+            let rid = g.add_record(&rec(&[1, 3]));
+            let node = g.record_node(rid).unwrap();
+            trainer
+                .embed_new_node_with(&g, &mut model, node, &neg, &mut scratch, &mut rng)
+                .unwrap();
+            assert!(model.all_finite(), "{objective}");
+        }
+    }
+}

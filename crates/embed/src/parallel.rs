@@ -27,7 +27,7 @@
 
 use crate::config::{EmbedError, EmbeddingConfig, Objective};
 use crate::model::{EmbeddingModel, Space};
-use crate::sgd::{axpy, dot_unrolled, fast_sigmoid, sigmoid_table, SIGMOID_TABLE_SIZE};
+use crate::sgd::{axpy, dot_fixed, dot_unrolled, fast_sigmoid, sigmoid_table, SIGMOID_TABLE_SIZE};
 use grafics_graph::{AliasTable, BipartiteGraph, NodeIdx};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -132,8 +132,8 @@ impl RandPool {
 }
 
 /// Draws `k` negatives via single-word alias draws, rejecting the
-/// endpoints of the positive pair (same semantics as the serial
-/// `sample_negatives`).
+/// endpoints of the positive pair — the shared rejection policy of
+/// `sgd::fill_rejecting`, fed from the per-worker entropy pool.
 #[inline]
 fn sample_negatives_fast(
     alias: &AliasTable,
@@ -143,15 +143,10 @@ fn sample_negatives_fast(
     out: &mut Vec<NodeIdx>,
     pool: &mut RandPool,
 ) {
-    out.clear();
-    let mut guard = 0;
-    while out.len() < k && guard < 20 * k.max(1) {
+    crate::sgd::fill_rejecting(k, out, || {
         let z = NodeIdx(alias.sample_with(pool.next()) as u32);
-        if z != i && z != j {
-            out.push(z);
-        }
-        guard += 1;
-    }
+        (z != i && z != j).then_some(z)
+    });
 }
 
 /// Per-worker state plus the one directed SGD step; implemented once over
@@ -263,28 +258,6 @@ impl HogwildScratch for DynScratch {
 /// Stack-array scratch monomorphised over the embedding dimension.
 struct FixedScratch<const DIM: usize> {
     negatives: Vec<NodeIdx>,
-}
-
-/// Four-accumulator dot product over compile-time-sized rows. `mul_add`
-/// lets the backend emit fused multiply-adds (the Hogwild path makes no
-/// bit-stability promise, unlike `sgd::dot`).
-#[inline(always)]
-fn dot_fixed<const DIM: usize>(a: &[f32; DIM], b: &[f32; DIM]) -> f32 {
-    let mut acc = [0.0f32; 4];
-    let mut d = 0;
-    while d + 4 <= DIM {
-        acc[0] = a[d].mul_add(b[d], acc[0]);
-        acc[1] = a[d + 1].mul_add(b[d + 1], acc[1]);
-        acc[2] = a[d + 2].mul_add(b[d + 2], acc[2]);
-        acc[3] = a[d + 3].mul_add(b[d + 3], acc[3]);
-        d += 4;
-    }
-    let mut dot = (acc[0] + acc[2]) + (acc[1] + acc[3]);
-    while d < DIM {
-        dot = a[d].mul_add(b[d], dot);
-        d += 1;
-    }
-    dot
 }
 
 impl<const DIM: usize> HogwildScratch for FixedScratch<DIM> {

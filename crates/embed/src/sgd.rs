@@ -96,6 +96,46 @@ pub(crate) fn axpy(acc: &mut [f32], scale: f32, v: &[f32]) {
     }
 }
 
+/// Four-accumulator dot product over compile-time-sized rows. `mul_add`
+/// lets the backend emit fused multiply-adds; used by the Hogwild trainer
+/// and the online serving path, neither of which promises bit-stability
+/// against the sequential [`dot`].
+#[inline(always)]
+pub(crate) fn dot_fixed<const DIM: usize>(a: &[f32; DIM], b: &[f32; DIM]) -> f32 {
+    let mut acc = [0.0f32; 4];
+    let mut d = 0;
+    while d + 4 <= DIM {
+        acc[0] = a[d].mul_add(b[d], acc[0]);
+        acc[1] = a[d + 1].mul_add(b[d + 1], acc[1]);
+        acc[2] = a[d + 2].mul_add(b[d + 2], acc[2]);
+        acc[3] = a[d + 3].mul_add(b[d + 3], acc[3]);
+        d += 4;
+    }
+    let mut dot = (acc[0] + acc[2]) + (acc[1] + acc[3]);
+    while d < DIM {
+        dot = a[d].mul_add(b[d], dot);
+        d += 1;
+    }
+    dot
+}
+
+/// Fills `out` with up to `k` values accepted by `draw` (`None` =
+/// rejected/unavailable), giving up after `20 · max(k, 1)` attempts —
+/// the single rejection policy shared by the serial, Hogwild, and online
+/// negative samplers, so the guard bound and semantics can never drift
+/// apart between them.
+#[inline(always)]
+pub(crate) fn fill_rejecting<T>(k: usize, out: &mut Vec<T>, mut draw: impl FnMut() -> Option<T>) {
+    out.clear();
+    let mut guard = 0;
+    while out.len() < k && guard < 20 * k.max(1) {
+        if let Some(v) = draw() {
+            out.push(v);
+        }
+        guard += 1;
+    }
+}
+
 /// A row selector: which matrix, which node.
 pub(crate) type RowSel = (Space, NodeIdx);
 

@@ -3,7 +3,7 @@
 use crate::config::{EmbedError, EmbeddingConfig, Objective};
 use crate::model::{EmbeddingModel, Space};
 use crate::sgd::Sgd;
-use grafics_graph::{AliasTable, BipartiteGraph, NodeIdx};
+use grafics_graph::{AliasTable, BipartiteGraph, NegativeSampler, NodeIdx};
 use rand::Rng;
 
 /// Trains LINE / E-LINE embeddings over a [`BipartiteGraph`].
@@ -28,6 +28,15 @@ impl ElineTrainer {
     #[must_use]
     pub fn config(&self) -> &EmbeddingConfig {
         &self.config
+    }
+
+    /// Changes the worker-thread budget for subsequent
+    /// [`ElineTrainer::train`] calls (clamped to at least 1): `1` selects
+    /// the exact serial trainer, `>= 2` the Hogwild path. Lets a
+    /// deployment re-thread a deserialised model for the hardware it is
+    /// served on.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.config.threads = threads.max(1);
     }
 
     /// Learns embeddings for every node of `graph` from scratch.
@@ -219,6 +228,12 @@ impl ElineTrainer {
     /// The caller must already have inserted the node into `graph`;
     /// `model` is grown to the graph's current capacity automatically.
     ///
+    /// This convenience form builds a fresh [`NegativeSampler`] over the
+    /// whole graph (O(n)) per call. Serving-path callers should hold an
+    /// incrementally synced sampler and reusable [`crate::OnlineScratch`]
+    /// and call [`ElineTrainer::embed_new_node_with`] instead, which
+    /// costs O(deg · log n) per query.
+    ///
     /// # Errors
     ///
     /// - [`EmbedError::InvalidConfig`] if the configuration is out of range.
@@ -232,177 +247,15 @@ impl ElineTrainer {
         node: NodeIdx,
         rng: &mut R,
     ) -> Result<(), EmbedError> {
-        self.config.validate()?;
-        let neighbors = graph.neighbors(node);
-        if neighbors.is_empty() {
-            return Err(EmbedError::IsolatedNode);
-        }
-        model.grow(graph.node_capacity(), rng);
-
-        let cfg = &self.config;
-        let weights: Vec<f64> = neighbors.iter().map(|&(_, w)| w).collect();
-        let local_alias = AliasTable::new(&weights).expect("neighbor weights are positive");
-        let neg_alias = AliasTable::new(&graph.negative_sampling_weights(cfg.negative_exponent))
-            .ok_or(EmbedError::EmptyGraph)?;
-
-        let mut sgd = Sgd::new(cfg.dim);
-        let mut negatives = Vec::with_capacity(cfg.negatives);
-        let total = cfg.online_samples_per_edge * neighbors.len();
-        for t in 0..total {
-            let lr = self.lr_at(t, total);
-            let (j, _) = neighbors[local_alias.sample(rng)];
-            sample_negatives(&neg_alias, node, j, cfg.negatives, &mut negatives, rng);
-
-            // Direction node → j: only the node's source vector may move.
-            // Direction j → node: only the node's target vector may move.
-            match cfg.objective {
-                Objective::LineFirst => {
-                    sgd.step(
-                        model,
-                        (Space::Ego, node),
-                        (Space::Ego, j),
-                        Space::Ego,
-                        &negatives,
-                        lr,
-                        true,
-                        false,
-                        0.0,
-                        rng,
-                    );
-                }
-                Objective::LineSecond => {
-                    sgd.step(
-                        model,
-                        (Space::Ego, node),
-                        (Space::Context, j),
-                        Space::Context,
-                        &negatives,
-                        lr,
-                        true,
-                        false,
-                        0.0,
-                        rng,
-                    );
-                    update_target_only(
-                        &mut sgd,
-                        model,
-                        (Space::Ego, j),
-                        (Space::Context, node),
-                        lr,
-                        rng,
-                    );
-                }
-                Objective::LineBoth => {
-                    sgd.step(
-                        model,
-                        (Space::Ego, node),
-                        (Space::Ego, j),
-                        Space::Ego,
-                        &negatives,
-                        lr,
-                        true,
-                        false,
-                        0.0,
-                        rng,
-                    );
-                    sgd.step(
-                        model,
-                        (Space::Ego, node),
-                        (Space::Context, j),
-                        Space::Context,
-                        &negatives,
-                        lr,
-                        true,
-                        false,
-                        0.0,
-                        rng,
-                    );
-                    update_target_only(
-                        &mut sgd,
-                        model,
-                        (Space::Ego, j),
-                        (Space::Context, node),
-                        lr,
-                        rng,
-                    );
-                }
-                Objective::ELine => {
-                    // node as source of both objective terms.
-                    sgd.step(
-                        model,
-                        (Space::Ego, node),
-                        (Space::Context, j),
-                        Space::Context,
-                        &negatives,
-                        lr,
-                        true,
-                        false,
-                        0.0,
-                        rng,
-                    );
-                    sgd.step(
-                        model,
-                        (Space::Context, node),
-                        (Space::Ego, j),
-                        Space::Ego,
-                        &negatives,
-                        lr,
-                        true,
-                        false,
-                        0.0,
-                        rng,
-                    );
-                    // node as target: update u'_node from frozen u_j and
-                    // u_node from frozen u'_j.
-                    update_target_only(
-                        &mut sgd,
-                        model,
-                        (Space::Ego, j),
-                        (Space::Context, node),
-                        lr,
-                        rng,
-                    );
-                    update_target_only(
-                        &mut sgd,
-                        model,
-                        (Space::Context, j),
-                        (Space::Ego, node),
-                        lr,
-                        rng,
-                    );
-                }
-            }
-        }
-        Ok(())
+        let neg = NegativeSampler::from_graph(graph, self.config.negative_exponent);
+        let mut scratch = crate::OnlineScratch::new();
+        self.embed_new_node_with(graph, model, node, &neg, &mut scratch, rng)
     }
 
     #[inline]
     fn lr_at(&self, t: usize, total: usize) -> f32 {
-        let lr0 = self.config.initial_lr as f32;
-        if self.config.lr_decay {
-            let frac = 1.0 - t as f32 / total as f32;
-            lr0 * frac.max(1e-4)
-        } else {
-            lr0
-        }
+        self.config.lr_at(t, total)
     }
-}
-
-/// A positive-pair-only step where just the node's row is updated — used
-/// online when the new node appears on the *target* side of a direction
-/// (`src` frozen). Implemented by treating the node's row as the SGD
-/// "source" (which receives the gradient) against the frozen row; the
-/// positive-pair gradient is symmetric in the two vectors, and negative
-/// terms in this direction do not involve the new node at all.
-fn update_target_only<R: Rng + ?Sized>(
-    sgd: &mut Sgd,
-    model: &mut EmbeddingModel,
-    src: (Space, NodeIdx),
-    tgt: (Space, NodeIdx),
-    lr: f32,
-    rng: &mut R,
-) {
-    sgd.step(model, tgt, src, src.0, &[], lr, true, false, 0.0, rng);
 }
 
 /// A convergence trace: `(samples processed, probe loss)` pairs.
@@ -463,15 +316,10 @@ fn sample_negatives<R: Rng + ?Sized>(
     out: &mut Vec<NodeIdx>,
     rng: &mut R,
 ) {
-    out.clear();
-    let mut guard = 0;
-    while out.len() < k && guard < 20 * k.max(1) {
+    crate::sgd::fill_rejecting(k, out, || {
         let z = NodeIdx(alias.sample(rng) as u32);
-        if z != i && z != j {
-            out.push(z);
-        }
-        guard += 1;
-    }
+        (z != i && z != j).then_some(z)
+    });
 }
 
 #[cfg(test)]

@@ -23,7 +23,7 @@ use rand::Rng;
 /// // index 1 carries 75% of the mass
 /// assert!(counts[1] > 7_000 && counts[1] < 8_000);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct AliasTable {
     prob: Vec<f64>,
     alias: Vec<u32>,

@@ -324,6 +324,21 @@ impl BipartiteGraph {
             .collect()
     }
 
+    /// The single-node negative-sampling weight `d_z^{exponent}` — the
+    /// per-slot quantity of
+    /// [`BipartiteGraph::negative_sampling_weights`], used by the
+    /// incremental [`crate::NegativeSampler`] to resync only the nodes a
+    /// mutation touched.
+    #[must_use]
+    pub fn negative_sampling_weight(&self, idx: NodeIdx, exponent: f64) -> f64 {
+        let nbrs = &self.adj[idx.index()];
+        if self.removed[idx.index()] || nbrs.is_empty() {
+            0.0
+        } else {
+            (nbrs.len() as f64).powf(exponent)
+        }
+    }
+
     /// Collects live edges and their weights, for building an edge-sampling
     /// alias table. Each undirected edge appears once.
     #[must_use]

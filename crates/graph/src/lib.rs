@@ -34,8 +34,10 @@
 
 mod alias;
 mod bipartite;
+mod dynamic;
 mod weight;
 
 pub use alias::AliasTable;
 pub use bipartite::{BipartiteGraph, EdgeRef, GraphError, GraphStats, NodeIdx, NodeKind};
+pub use dynamic::{DynamicWeightedSampler, NegativeSampler};
 pub use weight::WeightFunction;

@@ -1,6 +1,6 @@
 //! Property-based tests for the bipartite graph and alias sampler.
 
-use grafics_graph::{AliasTable, BipartiteGraph, NodeIdx, WeightFunction};
+use grafics_graph::{AliasTable, BipartiteGraph, NegativeSampler, NodeIdx, WeightFunction};
 use grafics_types::{MacAddr, Reading, RecordId, Rssi, SignalRecord};
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -115,6 +115,93 @@ proptest! {
         for _ in 0..200 {
             let s = t.sample(&mut rng);
             prop_assert!(weights[s] > 0.0, "sampled zero-weight index {}", s);
+        }
+    }
+
+    /// The incrementally synced [`NegativeSampler`] represents exactly the
+    /// distribution of a from-scratch rebuild, under any interleaving of
+    /// record insertions, record removals, and AP removals: its weight
+    /// vector equals the `negative_sampling_weights` sweep an alias-table
+    /// rebuild would consume, and its empirical draw frequencies match the
+    /// rebuilt [`AliasTable`]'s.
+    #[test]
+    fn incremental_negative_sampler_matches_rebuilt_table(
+        records in prop::collection::vec(arb_record(), 1..20),
+        ops in prop::collection::vec((0u8..4, 0usize..64), 1..40),
+    ) {
+        let mut g = BipartiteGraph::new(WeightFunction::default());
+        let mut neg = NegativeSampler::from_graph(&g, 0.75);
+        let mut next_add = 0usize;
+        for &(kind, pick) in &ops {
+            match kind {
+                // Bias towards insertion so removal ops find targets.
+                0 | 1 => {
+                    let rid = g.add_record(&records[next_add % records.len()]);
+                    next_add += 1;
+                    let node = g.record_node(rid).unwrap();
+                    neg.sync_inserted(&g, node);
+                }
+                2 => {
+                    let live: Vec<RecordId> = g.record_ids().map(|(rid, _)| rid).collect();
+                    if let Some(&rid) = live.get(pick.checked_rem(live.len()).unwrap_or(0)) {
+                        let node = g.record_node(rid).unwrap();
+                        let former: Vec<NodeIdx> =
+                            g.neighbors(node).iter().map(|&(n, _)| n).collect();
+                        g.remove_record(rid).unwrap();
+                        neg.sync_removed(&g, node, &former);
+                    }
+                }
+                _ => {
+                    let macs: Vec<MacAddr> = (0..g.node_capacity())
+                        .filter_map(|i| {
+                            let idx = NodeIdx(i as u32);
+                            match g.kind(idx) {
+                                grafics_graph::NodeKind::Mac(m) if !g.is_removed(idx) => Some(m),
+                                _ => None,
+                            }
+                        })
+                        .collect();
+                    if let Some(&mac) = macs.get(pick.checked_rem(macs.len()).unwrap_or(0)) {
+                        let node = g.mac_node(mac).unwrap();
+                        let former: Vec<NodeIdx> =
+                            g.neighbors(node).iter().map(|&(n, _)| n).collect();
+                        g.remove_mac(mac).unwrap();
+                        neg.sync_removed(&g, node, &former);
+                    }
+                }
+            }
+        }
+
+        // The incremental weights are bit-equal to the from-scratch sweep.
+        let fresh = g.negative_sampling_weights(0.75);
+        prop_assert_eq!(neg.weights(), &fresh[..]);
+
+        // And at an epoch boundary the draw frequencies match the rebuilt
+        // alias table's (deterministic given the fixed seeds below).
+        neg.rebuild_snapshot();
+        if let Some(alias) = AliasTable::new(&fresh) {
+            let total: f64 = fresh.iter().sum();
+            let draws = 30_000;
+            let mut from_dynamic = vec![0usize; fresh.len()];
+            let mut from_alias = vec![0usize; fresh.len()];
+            let mut rng_d = ChaCha8Rng::seed_from_u64(42);
+            let mut rng_a = ChaCha8Rng::seed_from_u64(43);
+            for _ in 0..draws {
+                from_dynamic[neg.sample(&mut rng_d).unwrap().index()] += 1;
+                from_alias[alias.sample(&mut rng_a)] += 1;
+            }
+            for (i, &w) in fresh.iter().enumerate() {
+                let expected = w / total;
+                let got_d = from_dynamic[i] as f64 / draws as f64;
+                let got_a = from_alias[i] as f64 / draws as f64;
+                prop_assert!(
+                    (got_d - expected).abs() < 0.02 && (got_a - expected).abs() < 0.02,
+                    "slot {}: dynamic {:.4} alias {:.4} expected {:.4}",
+                    i, got_d, got_a, expected
+                );
+            }
+        } else {
+            prop_assert!(neg.is_exhausted());
         }
     }
 
