@@ -1,0 +1,184 @@
+//! Fleet-serving smoke: absorb+serve concurrency, per-query cost across
+//! fleet sizes, and retention-bounded memory, printed as JSON for
+//! BENCH_*.json trajectories.
+//!
+//! Three arms:
+//!
+//! - **concurrency** — one shard serves a fixed query set twice: idle,
+//!   and with the write side absorbing a crowdsourced stream between
+//!   queries. Reads go to the published snapshot, writes to the
+//!   double-buffered write model, so the two never contend; only the
+//!   per-query serve time is accumulated (absorbs are untimed), which
+//!   isolates contention from the single-core timesharing this container
+//!   would otherwise measure. The ratio should sit within noise of 1.
+//! - **scaling** — routed serving through 1/2/4-building fleets
+//!   ([`grafics_bench::run_fleet_serving`]): per-query cost should stay
+//!   flat in building count (routing is O(readings · buildings), dwarfed
+//!   by the O(deg · samples) embedding refinement).
+//! - **retention** — a `FifoBudget(B)` shard absorbs 2·B records; the
+//!   absorbed-resident count must end at exactly B, and the peak is
+//!   reported alongside.
+//!
+//! ```sh
+//! cargo run --release -p grafics-bench --bin fleet_smoke [-- --queries N --budget N]
+//! ```
+
+use grafics_bench::{run_fleet_serving, ExperimentConfig};
+use grafics_core::{Grafics, GraficsConfig, RetentionPolicy, Shard};
+use grafics_data::BuildingModel;
+use grafics_types::{BuildingId, SignalRecord};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+fn flag(args: &[String], name: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Serves every query on one session, accumulating only the serve time;
+/// `between` runs untimed between queries (e.g. absorbing the stream).
+fn timed_serve(
+    shard: &Shard,
+    queries: &[SignalRecord],
+    mut between: impl FnMut(usize),
+) -> (usize, f64) {
+    let mut session = shard.server();
+    let mut served = 0usize;
+    let mut secs = 0.0f64;
+    for (i, q) in queries.iter().enumerate() {
+        between(i);
+        let mut rng = ChaCha8Rng::seed_from_u64(i as u64);
+        let t = Instant::now();
+        served += usize::from(session.infer(q, &mut rng).is_ok());
+        secs += t.elapsed().as_secs_f64();
+    }
+    (served, secs)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let queries = flag(&args, "--queries", 150);
+    let budget = flag(&args, "--budget", 40);
+    let records_per_floor = flag(&args, "--records-per-floor", 40);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(2026);
+    let train = BuildingModel::office("fleet-smoke", 3)
+        .with_records_per_floor(60)
+        .simulate(&mut rng)
+        .with_label_budget(4, &mut rng);
+    let config = GraficsConfig {
+        epochs: 30,
+        ..GraficsConfig::serving()
+    };
+    let model = Grafics::train(&train, &config, &mut rng).unwrap();
+
+    let query_set: Vec<SignalRecord> = BuildingModel::office("fleet-smoke", 3)
+        .with_records_per_floor(queries.div_ceil(3).max(1))
+        .simulate(&mut rng)
+        .samples()
+        .iter()
+        .take(queries)
+        .map(|s| s.record.clone())
+        .collect();
+    let stream: Vec<SignalRecord> = BuildingModel::office("fleet-smoke", 3)
+        .with_records_per_floor((queries + 2 * budget).div_ceil(3) + 8)
+        .simulate(&mut rng)
+        .samples()
+        .iter()
+        .map(|s| s.record.clone())
+        .collect();
+
+    // Arm 1: absorb+serve concurrency on one double-buffered shard.
+    let shard = Shard::new(BuildingId(0), model.clone(), RetentionPolicy::KeepAll);
+    let (served_idle, idle_secs) = timed_serve(&shard, &query_set, |_| {});
+    let mut absorb_rng = ChaCha8Rng::seed_from_u64(7);
+    let mut absorbed = 0usize;
+    let (served_busy, busy_secs) = timed_serve(&shard, &query_set, |i| {
+        if let Some(r) = stream.get(i) {
+            absorbed += usize::from(shard.absorb(r, &mut absorb_rng).is_ok());
+        }
+    });
+    assert_eq!(
+        served_idle, served_busy,
+        "the frozen snapshot must serve the same set while absorbing"
+    );
+    let idle_qps = queries as f64 / idle_secs;
+    let absorbing_qps = queries as f64 / busy_secs;
+    let epoch = shard.publish();
+    let concurrency = serde_json::json!({
+        "queries": queries,
+        "served": served_idle,
+        "idle_qps": idle_qps,
+        "absorbing_qps": absorbing_qps,
+        "ratio": absorbing_qps / idle_qps,
+        "absorbed_during_serving": absorbed,
+        "published_epoch": epoch,
+        "method": "per-query serve time summed; interleaved absorbs untimed (write side is lock-disjoint from the published snapshot)",
+    });
+
+    // Arm 2: per-query cost across fleet sizes.
+    let mut scaling = Vec::new();
+    for n in [1usize, 2, 4] {
+        let fleet: Vec<BuildingModel> = (0..n)
+            .map(|i| {
+                BuildingModel::office(&format!("scale-{i}"), 3)
+                    .with_records_per_floor(records_per_floor)
+            })
+            .collect();
+        let cfg = ExperimentConfig {
+            threads: 1,
+            seed: 2022,
+            ..Default::default()
+        };
+        let summary = run_fleet_serving(&fleet, &cfg, Some(config));
+        scaling.push(serde_json::json!({
+            "buildings": summary.buildings,
+            "queries": summary.queries,
+            "served": summary.served,
+            "routed_home": summary.routed_home,
+            "floor_accuracy": summary.floor_accuracy,
+            "qps": summary.qps,
+            "us_per_query": summary.us_per_query,
+        }));
+    }
+
+    // Arm 3: retention bounds resident memory.
+    let shard = Shard::new(BuildingId(0), model, RetentionPolicy::FifoBudget(budget));
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let mut peak_resident = 0usize;
+    let mut absorbs = 0usize;
+    let mut i = 0usize;
+    while absorbs < 2 * budget {
+        let r = &stream[i % stream.len()];
+        i += 1;
+        absorbs += usize::from(shard.absorb(r, &mut rng).is_ok());
+        peak_resident = peak_resident.max(shard.stats().resident_records);
+    }
+    let stats = shard.stats();
+    assert!(
+        stats.absorbed_resident <= budget,
+        "retention violated: {} > {budget}",
+        stats.absorbed_resident
+    );
+    let retention = serde_json::json!({
+        "budget": budget,
+        "absorbs": absorbs,
+        "absorbed_resident": stats.absorbed_resident,
+        "peak_resident_records": peak_resident,
+        "train_records": train.len(),
+    });
+
+    let payload = serde_json::json!({
+        "benchmark": "fleet_smoke",
+        "corpus": "office-3f shards",
+        "threads": 1,
+        "concurrency": concurrency,
+        "scaling": scaling,
+        "retention": retention,
+    });
+    println!("{}", serde_json::to_string_pretty(&payload).unwrap());
+}

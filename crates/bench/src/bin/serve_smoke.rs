@@ -18,8 +18,13 @@
 //! The win is algorithmic, not parallelism: both paths run on one thread.
 //!
 //! ```sh
-//! cargo run --release -p grafics-bench --bin serve_smoke [-- --queries N --sizes 1000,5000,20000]
+//! cargo run --release -p grafics-bench --bin serve_smoke [-- --queries N --sizes 5000,20000]
 //! ```
+//!
+//! The default sizes are the two largest of the historical
+//! {1 000, 5 000, 20 000} sweep — the small point showed the same flat
+//! per-query cost while costing CI minutes next to `fleet_smoke`; pass
+//! `--sizes` explicitly to re-measure it.
 
 use grafics_core::{Grafics, GraficsConfig, Prediction};
 use grafics_graph::{AliasTable, BipartiteGraph, NodeIdx};
@@ -144,7 +149,7 @@ fn main() {
         .position(|a| a == "--sizes")
         .and_then(|i| args.get(i + 1))
         .map(|v| v.split(',').filter_map(|s| s.parse().ok()).collect())
-        .unwrap_or_else(|| vec![1_000, 5_000, 20_000]);
+        .unwrap_or_else(|| vec![5_000, 20_000]);
 
     // Train once on a small labelled corpus, with the serving preset
     // (accuracy-equivalent per-query budget; see `spe_sweep`).

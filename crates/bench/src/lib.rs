@@ -16,7 +16,8 @@ mod runner;
 pub use algo::{evaluate, train_and_score, Algo};
 pub use config::ExperimentConfig;
 pub use runner::{
-    mean_report, run_fleet, run_fleet_custom, write_json, AlgoSummary, BuildingResult, PrepareFn,
+    mean_report, run_fleet, run_fleet_custom, run_fleet_serving, train_serving_fleet, write_json,
+    AlgoSummary, BuildingResult, FleetServeSummary, PrepareFn,
 };
 
 /// Builds the two evaluation fleets (Microsoft-like sub-fleet + the five

@@ -1,15 +1,19 @@
-//! Fleet-parallel experiment execution and result aggregation.
+//! Fleet-parallel experiment execution and result aggregation — offline
+//! training sweeps ([`run_fleet`]) and the routed serving arm
+//! ([`run_fleet_serving`]).
 
 use crate::{train_and_score, Algo, ExperimentConfig};
-use grafics_core::GraficsConfig;
+use grafics_core::{Grafics, GraficsConfig, GraficsFleet, RetentionPolicy};
 use grafics_data::BuildingModel;
 use grafics_metrics::ClassificationReport;
+use grafics_types::{BuildingId, FloorId, SignalRecord};
 use parking_lot::Mutex;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// One (building, run, algorithm) evaluation outcome.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -166,6 +170,134 @@ pub fn mean_report(results: &[BuildingResult]) -> Vec<AlgoSummary> {
         .collect()
 }
 
+/// Outcome of serving a routed query stream through a trained
+/// [`GraficsFleet`] (see [`run_fleet_serving`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetServeSummary {
+    /// Shards in the fleet.
+    pub buildings: usize,
+    /// Held-out queries streamed through the router.
+    pub queries: usize,
+    /// Queries that routed somewhere and embedded successfully.
+    pub served: usize,
+    /// Served queries routed to the building they were collected in.
+    pub routed_home: usize,
+    /// Floor accuracy over the served queries.
+    pub floor_accuracy: f64,
+    /// Served queries per second (single worker, so points are
+    /// comparable across fleet sizes; the wall clock also covers routing
+    /// the unrouted remainder, which skips embedding).
+    pub qps: f64,
+    /// Mean microseconds per *served* query.
+    pub us_per_query: f64,
+}
+
+/// Trains one GRAFICS shard per building of `fleet` (parallel across
+/// `cfg.threads` workers, deterministic per-building seeds) and returns
+/// the assembled serving fleet plus every building's held-out queries
+/// tagged with their true building and floor.
+#[must_use]
+pub fn train_serving_fleet(
+    fleet: &[BuildingModel],
+    cfg: &ExperimentConfig,
+    grafics_override: Option<GraficsConfig>,
+    retention: RetentionPolicy,
+) -> (GraficsFleet, Vec<(BuildingId, FloorId, SignalRecord)>) {
+    /// One worker's output: (building index, shard model, held-out
+    /// `(floor, record)` queries).
+    type TrainedShard = (usize, Grafics, Vec<(FloorId, SignalRecord)>);
+    let config = grafics_override.unwrap_or_default();
+    let next = AtomicUsize::new(0);
+    let trained: Mutex<Vec<TrainedShard>> = Mutex::new(Vec::new());
+    let workers = cfg.threads.clamp(1, fleet.len().max(1));
+    rayon::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let b = next.fetch_add(1, Ordering::Relaxed);
+                let Some(building) = fleet.get(b) else { break };
+                // The same per-(building, run 0) seed stream as `run_fleet`.
+                let seed = cfg
+                    .seed
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add((b as u64) << 32);
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                let ds = building.simulate(&mut rng).filter_rare_macs(2);
+                let Ok(split) = ds.split(cfg.train_ratio, &mut rng) else {
+                    continue;
+                };
+                let train = split
+                    .train
+                    .with_label_budget(cfg.labels_per_floor, &mut rng);
+                let Ok(model) = Grafics::train(&train, &config, &mut rng) else {
+                    continue;
+                };
+                let queries = split
+                    .test
+                    .samples()
+                    .iter()
+                    .map(|s| (s.ground_truth, s.record.clone()))
+                    .collect();
+                trained.lock().push((b, model, queries));
+            });
+        }
+    });
+    let mut trained = trained.into_inner();
+    trained.sort_by_key(|&(b, _, _)| b);
+    let mut out = GraficsFleet::new();
+    let mut queries = Vec::new();
+    for (b, model, qs) in trained {
+        let id = BuildingId(b as u32);
+        out.add_shard(id, model, retention).expect("ids unique");
+        for (floor, record) in qs {
+            queries.push((id, floor, record));
+        }
+    }
+    (out, queries)
+}
+
+/// The serving arm of the fleet harness: trains a shard per building,
+/// then streams every building's held-out records through the routed
+/// fleet ([`GraficsFleet::serve_batch`], one worker so throughput points
+/// are comparable across fleet sizes) and scores routing and floor
+/// accuracy.
+#[must_use]
+pub fn run_fleet_serving(
+    fleet: &[BuildingModel],
+    cfg: &ExperimentConfig,
+    grafics_override: Option<GraficsConfig>,
+) -> FleetServeSummary {
+    let (serving, tagged) =
+        train_serving_fleet(fleet, cfg, grafics_override, RetentionPolicy::KeepAll);
+    let records: Vec<SignalRecord> = tagged.iter().map(|(_, _, r)| r.clone()).collect();
+    let t = Instant::now();
+    let predictions = serving.serve_batch(&records, cfg.seed, 1);
+    let secs = t.elapsed().as_secs_f64();
+    let (mut served, mut routed_home, mut hits) = (0usize, 0usize, 0usize);
+    for ((home, truth, _), pred) in tagged.iter().zip(&predictions) {
+        let Some(p) = pred else { continue };
+        served += 1;
+        routed_home += usize::from(p.building == *home);
+        hits += usize::from(p.floor == *truth);
+    }
+    FleetServeSummary {
+        buildings: serving.len(),
+        queries: records.len(),
+        served,
+        routed_home,
+        floor_accuracy: if served == 0 {
+            0.0
+        } else {
+            hits as f64 / served as f64
+        },
+        qps: if secs > 0.0 {
+            served as f64 / secs
+        } else {
+            0.0
+        },
+        us_per_query: 1e6 * secs / served.max(1) as f64,
+    }
+}
+
 /// Serialises any result payload as pretty JSON under `results/`.
 pub fn write_json<T: Serialize>(name: &str, payload: &T) {
     let dir = Path::new("results");
@@ -208,6 +340,34 @@ mod tests {
             assert_eq!(s.points, 2);
             assert!(s.micro.2 >= 0.0 && s.micro.2 <= 1.0);
         }
+    }
+
+    #[test]
+    fn serving_arm_routes_and_scores() {
+        let fleet = vec![
+            BuildingModel::office("serve-a", 2).with_records_per_floor(30),
+            BuildingModel::office("serve-b", 2).with_records_per_floor(30),
+        ];
+        let cfg = ExperimentConfig {
+            threads: 2,
+            ..Default::default()
+        };
+        let fast = GraficsConfig {
+            epochs: 20,
+            ..GraficsConfig::fast()
+        };
+        let summary = run_fleet_serving(&fleet, &cfg, Some(fast));
+        assert_eq!(summary.buildings, 2);
+        assert!(summary.queries > 0);
+        assert!(summary.served * 10 >= summary.queries * 9, "{summary:?}");
+        // MAC namespaces are disjoint up to noise: routing must be near
+        // perfect, and floor accuracy well above chance.
+        assert!(
+            summary.routed_home * 20 >= summary.served * 19,
+            "{summary:?}"
+        );
+        assert!(summary.floor_accuracy > 0.6, "{summary:?}");
+        assert!(summary.qps > 0.0 && summary.us_per_query > 0.0);
     }
 
     #[test]

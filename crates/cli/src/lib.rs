@@ -5,6 +5,10 @@
 //! grafics train    --input corpus.jsonl --labels 4 --out model.json
 //! grafics infer    --model model.json --input scans.jsonl [--threads N] [--save-model updated.json]
 //! grafics evaluate --model model.json --input test.jsonl [--threads N]
+//! grafics fleet simulate --preset microsoft --buildings 8 --out data-dir
+//! grafics fleet train    --data data-dir --labels 4 --out model-dir
+//! grafics fleet serve    --models model-dir --input scans.jsonl [--threads N]
+//! grafics fleet stat     --models model-dir
 //! ```
 //!
 //! All commands are deterministic given `--seed`. Corpora are JSONL (one
@@ -16,14 +20,22 @@
 //! per record, so `--threads` changes wall-clock but never the output.
 //! Passing `--save-model` to `infer` switches to the graph-absorbing path
 //! (§V-A): each scan extends the model, which is then written back out.
+//!
+//! The `fleet` family works over *directories*: one dataset per building
+//! in (`fleet simulate` reuses [`grafics_data::FleetPreset`]), one
+//! `shard-<id>.json` model per building out, and serving through a
+//! [`grafics_core::GraficsFleet`] that routes each scan to the shard
+//! whose AP inventory it overlaps. `fleet serve` output carries the
+//! routed building plus the different-floor distance margin, so routing
+//! confidence is observable per query.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use grafics_core::{Grafics, GraficsConfig};
-use grafics_data::{io as dio, BuildingModel};
+use grafics_core::{Grafics, GraficsConfig, GraficsFleet, RetentionPolicy};
+use grafics_data::{io as dio, BuildingModel, FleetPreset};
 use grafics_metrics::ConfusionMatrix;
-use grafics_types::Dataset;
+use grafics_types::{BuildingId, Dataset};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::fmt::Write as _;
@@ -39,6 +51,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some("train") => train(&args[1..]),
         Some("infer") => infer(&args[1..]),
         Some("evaluate") => evaluate(&args[1..]),
+        Some("fleet") => fleet(&args[1..]),
         Some("help") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
     }
@@ -55,12 +68,36 @@ commands:
   infer    --model model.json --input scans.jsonl [--seed N] [--threads N]
            [--save-model out.json]
   evaluate --model model.json --input test.jsonl [--seed N] [--threads N]
+  fleet simulate --preset microsoft|hongkong [--buildings N] [--records-per-floor N]
+           [--labels N] [--seed N] --out data-dir
+  fleet train    --data data-dir [--labels N] [--dim N] [--epochs N] [--seed N]
+           [--min-support N] [--threads N] --out model-dir
+  fleet serve    --models model-dir --input scans.jsonl [--seed N] [--threads N]
+  fleet stat     --models model-dir
   help
 
 infer/evaluate serve read-only on --threads workers (0 = all cores) with
 per-record RNG streams; --save-model switches infer to the model-absorbing
 path (scans extend the graph) and writes the grown model back out.
+
+fleet commands work over directories: simulate writes one corpus per
+building, train writes one shard-<id>.json per corpus (ids follow sorted
+file names), serve routes each scan to the shard whose APs it overlaps and
+prints record,building,floor,distance,margin — margin is the distance gap
+to the nearest different-floor cluster, the per-query confidence.
 ";
+
+fn fleet(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        Some("simulate") => fleet_simulate(&args[1..]),
+        Some("train") => fleet_train(&args[1..]),
+        Some("serve") => fleet_serve(&args[1..]),
+        Some("stat") => fleet_stat(&args[1..]),
+        other => Err(format!(
+            "fleet needs a subcommand (simulate|train|serve|stat), got {other:?}\n{USAGE}"
+        )),
+    }
+}
 
 /// `--threads 0` means "use every hardware thread".
 fn resolve_threads(threads: usize) -> usize {
@@ -257,6 +294,165 @@ fn evaluate(args: &[String]) -> Result<String, String> {
     ))
 }
 
+/// Writes one simulated corpus per building of the chosen
+/// [`FleetPreset`] population into `--out`.
+fn fleet_simulate(args: &[String]) -> Result<String, String> {
+    let flags = Flags::parse(args)?;
+    let preset = match flags.required("preset")? {
+        "microsoft" => FleetPreset::Microsoft,
+        "hongkong" => FleetPreset::HongKong,
+        other => {
+            return Err(format!(
+                "unknown fleet preset {other:?} (microsoft|hongkong)"
+            ))
+        }
+    };
+    let buildings: usize = flags.parse_or("buildings", 5)?;
+    let records: usize = flags.parse_or("records-per-floor", 100)?;
+    let labels: usize = flags.parse_or("labels", usize::MAX)?;
+    let seed: u64 = flags.parse_or("seed", 0)?;
+    let out = flags.required("out")?;
+    std::fs::create_dir_all(out).map_err(|e| e.to_string())?;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let fleet = preset.generate(buildings, records, &mut rng);
+    let mut summary = String::new();
+    for building in &fleet {
+        let mut ds = building.simulate(&mut rng);
+        if labels != usize::MAX {
+            ds = ds.with_label_budget(labels, &mut rng);
+        }
+        let path = std::path::Path::new(out).join(format!("{}.jsonl", building.name));
+        dio::save_jsonl(&ds, &path).map_err(|e| e.to_string())?;
+        let st = ds.stats();
+        let _ = writeln!(
+            summary,
+            "wrote {}: {} records, {} floors, {} labelled",
+            path.display(),
+            st.records,
+            st.floors,
+            st.labeled
+        );
+    }
+    let _ = writeln!(summary, "{} building corpora under {out}", fleet.len());
+    Ok(summary)
+}
+
+/// Trains one shard per `*.jsonl` under `--data` (building ids follow the
+/// sorted file names) and writes `shard-<id>.json` files to `--out`.
+fn fleet_train(args: &[String]) -> Result<String, String> {
+    let flags = Flags::parse(args)?;
+    let data = flags.required("data")?;
+    let out = flags.required("out")?;
+    let labels: usize = flags.parse_or("labels", usize::MAX)?;
+    let seed: u64 = flags.parse_or("seed", 0)?;
+    let min_support: usize = flags.parse_or("min-support", 2)?;
+    let threads = resolve_threads(flags.parse_or("threads", 1)?);
+    let config = GraficsConfig {
+        dim: flags.parse_or("dim", GraficsConfig::default().dim)?,
+        epochs: flags.parse_or("epochs", GraficsConfig::default().epochs)?,
+        threads,
+        ..GraficsConfig::default()
+    };
+
+    let mut corpora: Vec<std::path::PathBuf> = std::fs::read_dir(data)
+        .map_err(|e| format!("{data}: {e}"))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+        .collect();
+    corpora.sort();
+    if corpora.is_empty() {
+        return Err(format!("no *.jsonl building corpora under {data}"));
+    }
+
+    let mut fleet = GraficsFleet::new();
+    let mut summary = String::new();
+    for (i, path) in corpora.iter().enumerate() {
+        // Per-building stream: buildings train independently of how many
+        // siblings share the directory.
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut ds: Dataset = dio::load_jsonl(path).map_err(|e| e.to_string())?;
+        ds = ds.filter_rare_macs(min_support);
+        if labels != usize::MAX {
+            ds = ds.with_label_budget(labels, &mut rng);
+        }
+        let model = Grafics::train(&ds, &config, &mut rng)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let _ = writeln!(
+            summary,
+            "b{i} <- {}: {} records, {} clusters",
+            path.display(),
+            ds.len(),
+            model.clusters().clusters().len()
+        );
+        fleet
+            .add_shard(BuildingId(i as u32), model, RetentionPolicy::KeepAll)
+            .map_err(|e| e.to_string())?;
+    }
+    fleet.save_dir(out).map_err(|e| e.to_string())?;
+    let _ = writeln!(summary, "{} shard models written to {out}", fleet.len());
+    Ok(summary)
+}
+
+/// Serves a scan stream through the routed fleet, read-only.
+fn fleet_serve(args: &[String]) -> Result<String, String> {
+    let flags = Flags::parse(args)?;
+    let models = flags.required("models")?;
+    let input = flags.required("input")?;
+    let seed: u64 = flags.parse_or("seed", 0)?;
+    let threads = resolve_threads(flags.parse_or("threads", 1)?);
+
+    let fleet =
+        GraficsFleet::load_dir(models, RetentionPolicy::KeepAll).map_err(|e| e.to_string())?;
+    let ds: Dataset = dio::load_jsonl(input).map_err(|e| e.to_string())?;
+    let records: Vec<_> = ds.samples().iter().map(|s| s.record.clone()).collect();
+    let mut out = String::from("record,building,floor,distance,margin\n");
+    for (i, pred) in fleet
+        .serve_batch(&records, seed, threads)
+        .iter()
+        .enumerate()
+    {
+        match pred {
+            Some(p) => {
+                let _ = writeln!(
+                    out,
+                    "{i},{},{},{:.6},{:.6}",
+                    p.building, p.floor, p.distance, p.margin
+                );
+            }
+            None => {
+                let _ = writeln!(out, "{i},discarded,,,");
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Per-shard structural statistics of a saved fleet.
+fn fleet_stat(args: &[String]) -> Result<String, String> {
+    let flags = Flags::parse(args)?;
+    let models = flags.required("models")?;
+    let fleet =
+        GraficsFleet::load_dir(models, RetentionPolicy::KeepAll).map_err(|e| e.to_string())?;
+    let mut out = String::from("building,records,macs,edges,epoch,pending,absorbed\n");
+    for st in fleet.stats() {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{}",
+            st.building,
+            st.resident_records,
+            st.macs,
+            st.edges,
+            st.epoch,
+            st.pending,
+            st.absorbed_resident
+        );
+    }
+    let _ = writeln!(out, "shards: {}", fleet.len());
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -376,6 +572,96 @@ mod tests {
         assert_eq!(serial, parallel, "--threads must not change predictions");
         std::fs::remove_file(&corpus).ok();
         std::fs::remove_file(&model).ok();
+    }
+
+    #[test]
+    fn fleet_cli_workflow() {
+        let base = std::env::temp_dir().join("grafics-cli-fleet-test");
+        std::fs::remove_dir_all(&base).ok();
+        let data = base.join("data").to_string_lossy().into_owned();
+        let models = base.join("models").to_string_lossy().into_owned();
+
+        // Simulate a tiny Hong Kong-like fleet trimmed to 2 buildings by
+        // using the Microsoft preset with --buildings 2.
+        let msg = run(&s(&[
+            "fleet",
+            "simulate",
+            "--preset",
+            "microsoft",
+            "--buildings",
+            "2",
+            "--records-per-floor",
+            "30",
+            "--labels",
+            "4",
+            "--seed",
+            "5",
+            "--out",
+            &data,
+        ]))
+        .unwrap();
+        assert!(msg.contains("2 building corpora"), "{msg}");
+
+        // Train one shard per corpus.
+        let msg = run(&s(&[
+            "fleet", "train", "--data", &data, "--epochs", "20", "--seed", "1", "--out", &models,
+        ]))
+        .unwrap();
+        assert!(msg.contains("2 shard models"), "{msg}");
+
+        // Serve one of the corpora through the routed fleet; output must
+        // be thread-count invariant and carry the margin column.
+        let scans = std::fs::read_dir(&data)
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path()
+            .to_string_lossy()
+            .into_owned();
+        let serial = run(&s(&[
+            "fleet", "serve", "--models", &models, "--input", &scans,
+        ]))
+        .unwrap();
+        assert!(serial.starts_with("record,building,floor,distance,margin"));
+        let parallel = run(&s(&[
+            "fleet",
+            "serve",
+            "--models",
+            &models,
+            "--input",
+            &scans,
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(serial, parallel, "--threads must not change fleet output");
+        // Essentially all scans should route to one building (b0 or b1).
+        let routed: Vec<&str> = serial
+            .lines()
+            .skip(1)
+            .filter_map(|l| l.split(',').nth(1))
+            .collect();
+        assert!(routed.iter().filter(|b| b.starts_with('b')).count() * 10 >= routed.len() * 9);
+
+        // Stats cover both shards.
+        let stat = run(&s(&["fleet", "stat", "--models", &models])).unwrap();
+        assert!(stat.contains("shards: 2"), "{stat}");
+        assert!(stat.contains("b0,") && stat.contains("b1,"), "{stat}");
+
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn fleet_rejects_bad_usage() {
+        assert!(run(&s(&["fleet"])).is_err());
+        assert!(run(&s(&["fleet", "frobnicate"])).is_err());
+        let empty = std::env::temp_dir().join("grafics-cli-fleet-empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        let e = empty.to_string_lossy().into_owned();
+        assert!(run(&s(&["fleet", "train", "--data", &e, "--out", &e])).is_err());
+        assert!(run(&s(&["fleet", "stat", "--models", &e])).is_err());
+        std::fs::remove_dir_all(&empty).ok();
     }
 
     #[test]

@@ -236,15 +236,24 @@ impl ClusterModel {
         })
     }
 
-    /// The `k` nearest clusters, ascending by centroid distance — useful
-    /// for confidence estimation (a small gap between the best two
-    /// *different-floor* candidates signals an uncertain prediction, e.g.
-    /// near a staircase).
+    /// The `k` nearest clusters as `(floor, distance)` pairs, ascending by
+    /// centroid distance — the shape downstream confidence consumers want
+    /// (a small gap between the best two *different-floor* candidates
+    /// signals an uncertain prediction, e.g. near a staircase; the fleet
+    /// router surfaces that gap per served query).
+    ///
+    /// The first pair always equals [`ClusterModel::predict`]'s floor and
+    /// distance. Several clusters may carry the same floor, so a floor can
+    /// appear more than once in the result.
     ///
     /// # Errors
     ///
     /// Same validation as [`ClusterModel::predict`].
-    pub fn predict_topk(&self, query: &[f64], k: usize) -> Result<Vec<Prediction>, ClusterError> {
+    pub fn predict_topk(
+        &self,
+        query: &[f64],
+        k: usize,
+    ) -> Result<Vec<(FloorId, f64)>, ClusterError> {
         self.validate_query(query)?;
         if k == 0 {
             return Ok(Vec::new());
@@ -253,7 +262,7 @@ impl ClusterModel {
         // nearest in O(n) and sort only that prefix — O(n + k log k)
         // instead of the historical validate-via-predict pass (a second
         // full distance sweep) plus an O(n log n) sort of all clusters.
-        let mut all: Vec<Prediction> = self
+        let mut all: Vec<(usize, FloorId, f64)> = self
             .clusters
             .iter()
             .enumerate()
@@ -265,27 +274,81 @@ impl ClusterModel {
                     .map(|(&x, &y)| (x - y) * (x - y))
                     .sum::<f64>()
                     .sqrt();
-                Prediction {
-                    floor: c.floor,
-                    cluster,
-                    distance,
-                }
+                (cluster, c.floor, distance)
             })
             .collect();
         // Total order: distance, then cluster index — deterministic under
         // ties and consistent with `predict` (first minimum wins).
-        let by_distance = |a: &Prediction, b: &Prediction| {
-            a.distance
-                .partial_cmp(&b.distance)
-                .expect("finite")
-                .then(a.cluster.cmp(&b.cluster))
+        let by_distance = |a: &(usize, FloorId, f64), b: &(usize, FloorId, f64)| {
+            a.2.partial_cmp(&b.2).expect("finite").then(a.0.cmp(&b.0))
         };
         if k < all.len() {
             all.select_nth_unstable_by(k - 1, by_distance);
             all.truncate(k);
         }
         all.sort_unstable_by(by_distance);
-        Ok(all)
+        Ok(all.into_iter().map(|(_, floor, d)| (floor, d)).collect())
+    }
+
+    /// [`ClusterModel::predict`] plus the distance gap to the nearest
+    /// cluster of a *different* floor — the natural per-query confidence
+    /// signal (large mid-floor, small near stairwells) — in **one** sweep
+    /// over the centroids; the fleet serve path calls this per query.
+    /// The margin is `f64::INFINITY` when every cluster carries the
+    /// best prediction's floor.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`ClusterModel::predict`].
+    pub fn predict_with_margin(&self, query: &[f64]) -> Result<(Prediction, f64), ClusterError> {
+        self.validate_query(query)?;
+        let mut best: Option<(usize, FloorId, f64)> = None;
+        let mut rival = f64::INFINITY;
+        for (i, c) in self.clusters.iter().enumerate() {
+            let d: f64 = c
+                .centroid
+                .iter()
+                .zip(query)
+                .map(|(&x, &y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt();
+            match best {
+                None => best = Some((i, c.floor, d)),
+                Some((_, best_floor, best_d)) => {
+                    if d < best_d {
+                        // The demoted best is ≤ every distance seen so
+                        // far, so folding it in subsumes every earlier
+                        // rival candidate — rival stays the exact minimum
+                        // over clusters whose floor differs from the
+                        // (final) best floor.
+                        if best_floor != c.floor {
+                            rival = rival.min(best_d);
+                        }
+                        best = Some((i, c.floor, d));
+                    } else if c.floor != best_floor {
+                        rival = rival.min(d);
+                    }
+                }
+            }
+        }
+        let (cluster, floor, distance) = best.expect("model has >= 1 cluster");
+        Ok((
+            Prediction {
+                floor,
+                cluster,
+                distance,
+            },
+            rival - distance,
+        ))
+    }
+
+    /// The margin half of [`ClusterModel::predict_with_margin`].
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`ClusterModel::predict`].
+    pub fn floor_margin(&self, query: &[f64]) -> Result<f64, ClusterError> {
+        Ok(self.predict_with_margin(query)?.1)
     }
 
     fn validate_query(&self, query: &[f64]) -> Result<(), ClusterError> {
@@ -542,12 +605,57 @@ mod tests {
         let query = [0.3, 0.1];
         let top = model.predict_topk(&query, 3).unwrap();
         assert_eq!(top.len(), 3);
-        assert!(top.windows(2).all(|w| w[0].distance <= w[1].distance));
-        assert_eq!(top[0], model.predict(&query).unwrap());
+        assert!(top.windows(2).all(|w| w[0].1 <= w[1].1));
+        let best = model.predict(&query).unwrap();
+        assert_eq!(top[0], (best.floor, best.distance));
         // Asking for more than exists returns all clusters.
         let all = model.predict_topk(&query, 99).unwrap();
         assert_eq!(all.len(), model.clusters().len());
         assert!(model.predict_topk(&[0.0], 2).is_err());
+    }
+
+    #[test]
+    fn predict_with_margin_matches_two_pass_reference() {
+        let (points, labels) = three_floor_setup();
+        let model = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
+        for query in [
+            [0.2, -0.1],
+            [5.0, 0.3],
+            [9.8, 0.0],
+            [0.1, 9.9],
+            [4.9, 5.1],
+            [-3.0, -3.0],
+        ] {
+            let (pred, margin) = model.predict_with_margin(&query).unwrap();
+            assert_eq!(pred, model.predict(&query).unwrap(), "query {query:?}");
+            // Reference: full ranking, first different-floor candidate.
+            let ranked = model.predict_topk(&query, model.clusters().len()).unwrap();
+            let expected = ranked
+                .iter()
+                .find(|&&(f, _)| f != pred.floor)
+                .map_or(f64::INFINITY, |&(_, d)| d - pred.distance);
+            assert_eq!(margin.to_bits(), expected.to_bits(), "query {query:?}");
+        }
+    }
+
+    #[test]
+    fn floor_margin_reflects_ambiguity() {
+        let (points, labels) = three_floor_setup();
+        let model = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
+        // Mid-blob query: the nearest different-floor centroid is far.
+        let confident = model.floor_margin(&[0.0, 0.0]).unwrap();
+        // Halfway between floor 0 and floor 1 blobs: margin collapses.
+        let ambiguous = model.floor_margin(&[5.0, 0.0]).unwrap();
+        assert!(confident > ambiguous);
+        assert!(ambiguous >= 0.0);
+        // A single-floor model has no different-floor competitor.
+        let one = ClusterModel::fit(
+            &[vec![0.0, 0.0], vec![1.0, 1.0]],
+            &[Some(FloorId(4)), Some(FloorId(4))],
+            &ClusteringConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(one.floor_margin(&[0.5, 0.5]).unwrap(), f64::INFINITY);
     }
 
     #[test]

@@ -1,0 +1,799 @@
+//! Fleet-scale serving: one shard per building, concurrent absorb+serve.
+//!
+//! The paper's deployment story is city-scale floor identification —
+//! hundreds of buildings, each with its own crowdsourced signal map. A
+//! [`GraficsFleet`] holds one [`Shard`] per building (keyed by
+//! [`BuildingId`]) and routes each query to the shard whose AP inventory
+//! it overlaps, via a pluggable [`Router`].
+//!
+//! # Double-buffered shards
+//!
+//! Online traffic both *reads* (predict a floor) and *writes* (the graph
+//! absorbs every accepted record, §V-A). A monolithic [`Grafics`] forces
+//! the two through one `&mut` choke point. Each shard instead keeps two
+//! copies of the model:
+//!
+//! - a **published snapshot** (`Arc<Grafics>`) that serves reads with
+//!   `&self` — any number of threads, no locks held while embedding;
+//! - a **write side** (`Grafics` behind a mutex) that absorbs records and
+//!   applies the shard's [`RetentionPolicy`].
+//!
+//! [`Shard::publish`] swaps the snapshot pointer in O(1): readers that
+//! already hold the old `Arc` finish on the epoch they started, new
+//! sessions see the absorbed records. Preparing the next snapshot (one
+//! model clone) happens on the publisher's thread, never on the serve
+//! path. Absorb and serve therefore no longer contend — the fleet smoke
+//! benchmark pins served queries/sec during a concurrent absorb stream to
+//! the idle-shard rate.
+//!
+//! # Bounded memory
+//!
+//! A long-running shard cannot grow without bound: the write side's
+//! [`RetentionPolicy`] evicts absorbed records (never the offline
+//! training corpus) through [`Grafics::forget_record`], which keeps the
+//! incremental `NegativeSampler` in exact lockstep — a property test pins
+//! the sampler's weights against a from-scratch rebuild after arbitrary
+//! interleaved absorb/evict sequences.
+//!
+//! # Determinism
+//!
+//! Routing reads only published snapshots, absorption happens in call
+//! order under one lock, and publishes are explicit — so shard
+//! assignment, absorbed-graph state, and publish epochs are pure
+//! functions of (models, record stream, seed), independent of thread
+//! count. [`GraficsFleet::serve_batch`] gives record `i` the same
+//! [`record_rng`](crate::record_rng) stream as the single-building
+//! [`Grafics::serve_batch`], so fleet serving is bit-identical to serving
+//! each record on its shard serially.
+
+use crate::{record_rng, Grafics, GraficsError, GraficsServer, Prediction};
+use grafics_embed::OnlineScratch;
+use grafics_types::{BuildingId, FloorId, RecordId, SignalRecord};
+use parking_lot::{Mutex, RwLock};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How a shard bounds the memory of records absorbed online. The offline
+/// training corpus is never evicted; policies act only on records the
+/// shard absorbed after construction.
+///
+/// Eviction runs [`Grafics::forget_record`], so the graph, the embedding
+/// rows (tombstoned), and the incremental negative sampler stay in exact
+/// lockstep. MAC nodes are not evicted — they are the building's AP
+/// inventory, bounded by the physical installation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RetentionPolicy {
+    /// Absorb forever (the pre-fleet behaviour). Memory grows with
+    /// traffic; use only behind periodic [`Grafics::refresh`] + rebuild.
+    KeepAll,
+    /// Keep at most this many absorbed records, evicting the oldest
+    /// first. `FifoBudget(0)` absorbs-and-forgets: every record is
+    /// embedded and predicted against, then immediately evicted.
+    FifoBudget(usize),
+    /// Keep at most this many absorbed records *per predicted floor*,
+    /// evicting the oldest of the crowded floor — balanced coverage when
+    /// traffic skews to entrance floors.
+    PerFloorCap(usize),
+}
+
+impl RetentionPolicy {
+    /// `true` if this policy can ever evict.
+    #[must_use]
+    pub fn bounds_memory(&self) -> bool {
+        !matches!(self, RetentionPolicy::KeepAll)
+    }
+}
+
+/// Errors from the fleet layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FleetError {
+    /// No shard's AP inventory overlaps the record — per §V footnote 1 it
+    /// was likely collected outside every known building.
+    NoRoute,
+    /// The named building has no shard.
+    UnknownBuilding(BuildingId),
+    /// A shard with this id already exists.
+    DuplicateBuilding(BuildingId),
+    /// The routed shard's model failed on the record.
+    Model(GraficsError),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::NoRoute => {
+                write!(f, "record overlaps no building in the fleet; discarded")
+            }
+            FleetError::UnknownBuilding(b) => write!(f, "no shard for building {b}"),
+            FleetError::DuplicateBuilding(b) => write!(f, "shard {b} already exists"),
+            FleetError::Model(e) => write!(f, "shard model: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraficsError> for FleetError {
+    fn from(e: GraficsError) -> Self {
+        FleetError::Model(e)
+    }
+}
+
+/// Assigns records to shards. Implementations must be deterministic —
+/// routing is part of the fleet's reproducibility contract (same records
+/// + same snapshots ⇒ same assignment at any thread count).
+pub trait Router: Send + Sync {
+    /// Picks the shard for `record` from the published snapshots (sorted
+    /// ascending by [`BuildingId`]), or `None` to discard the record as
+    /// outside every building.
+    fn route(
+        &self,
+        snapshots: &[(BuildingId, Arc<Grafics>)],
+        record: &SignalRecord,
+    ) -> Option<BuildingId>;
+}
+
+/// The default router: the shard whose graph knows the most of the
+/// record's MACs wins (ties broken towards the lower [`BuildingId`]);
+/// zero overlap everywhere routes nowhere. Buildings have disjoint AP
+/// inventories up to stray hotspots, so the margin is usually the whole
+/// record.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OverlapRouter;
+
+impl Router for OverlapRouter {
+    fn route(
+        &self,
+        snapshots: &[(BuildingId, Arc<Grafics>)],
+        record: &SignalRecord,
+    ) -> Option<BuildingId> {
+        let mut best: Option<(usize, BuildingId)> = None;
+        for (id, model) in snapshots {
+            let overlap = record
+                .macs()
+                .filter(|&m| model.graph().mac_node(m).is_some())
+                .count();
+            // Strict > keeps the first (lowest-id) shard on ties.
+            if overlap > 0 && best.is_none_or(|(b, _)| overlap > b) {
+                best = Some((overlap, *id));
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+}
+
+/// One fleet prediction: where the record was routed and what that
+/// shard's published snapshot predicted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetPrediction {
+    /// The shard the router picked.
+    pub building: BuildingId,
+    /// Predicted floor `l_{i*}`.
+    pub floor: FloorId,
+    /// ℓ2 distance to the winning centroid.
+    pub distance: f64,
+    /// Distance gap to the nearest *different-floor* cluster — the
+    /// per-query confidence ([`f64::INFINITY`] on single-floor models).
+    pub margin: f64,
+}
+
+/// The write half of a shard: the absorbing model plus the retention
+/// bookkeeping, all guarded by one mutex so absorption is serialised in
+/// call order.
+struct WriteSide {
+    model: Grafics,
+    retention: RetentionPolicy,
+    /// Live absorbed records, oldest first (FIFO budget policy).
+    absorbed: VecDeque<RecordId>,
+    /// Live absorbed records bucketed by predicted floor (per-floor cap).
+    by_floor: BTreeMap<FloorId, VecDeque<RecordId>>,
+    /// Absorbs since the last publish (the pending queue depth).
+    pending: usize,
+    scratch: OnlineScratch,
+}
+
+impl WriteSide {
+    fn absorbed_resident(&self) -> usize {
+        self.model.graph().record_count() - self.model.train_record_count()
+    }
+
+    /// Applies the retention policy after `rid` was absorbed. Every
+    /// absorbed record is tracked even under [`RetentionPolicy::KeepAll`],
+    /// so a later [`Shard::set_retention`] switch can evict the full
+    /// backlog, not just records absorbed after the switch.
+    fn retain(&mut self, rid: RecordId) {
+        match self.retention {
+            RetentionPolicy::KeepAll => self.absorbed.push_back(rid),
+            RetentionPolicy::FifoBudget(budget) => {
+                self.absorbed.push_back(rid);
+                while self.absorbed.len() > budget {
+                    let old = self.absorbed.pop_front().expect("len > budget >= 0");
+                    let _ = self.model.forget_record(old);
+                }
+            }
+            RetentionPolicy::PerFloorCap(cap) => {
+                // A just-absorbed record always predicts (its embedding is
+                // live); fall back to the global FIFO if it somehow cannot.
+                let Some(p) = self.model.floor_of_record(rid) else {
+                    self.absorbed.push_back(rid);
+                    return;
+                };
+                let queue = self.by_floor.entry(p.floor).or_default();
+                queue.push_back(rid);
+                while queue.len() > cap {
+                    let old = queue.pop_front().expect("len > cap >= 0");
+                    let _ = self.model.forget_record(old);
+                }
+            }
+        }
+    }
+}
+
+/// One building's double-buffered model: a frozen published snapshot
+/// serving reads with `&self`, and a mutex-guarded write side absorbing
+/// records under a [`RetentionPolicy`]. See the [module docs](self).
+pub struct Shard {
+    id: BuildingId,
+    /// The published snapshot. The read lock is held only long enough to
+    /// clone the `Arc`; queries embed against the clone, lock-free.
+    snapshot: RwLock<Arc<Grafics>>,
+    /// Publish count since construction.
+    epoch: AtomicU64,
+    write: Mutex<WriteSide>,
+}
+
+impl fmt::Debug for Shard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Shard")
+            .field("id", &self.id)
+            .field("epoch", &self.epoch())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A point-in-time summary of one shard, for `grafics fleet stat` and
+/// the smoke benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Which building.
+    pub building: BuildingId,
+    /// Publishes since construction.
+    pub epoch: u64,
+    /// Absorbs not yet visible to readers (pending publish).
+    pub pending: usize,
+    /// Live records in the published snapshot.
+    pub published_records: usize,
+    /// Live records in the write side (offline corpus + absorbed).
+    pub resident_records: usize,
+    /// Absorbed records currently retained (excludes the offline corpus).
+    pub absorbed_resident: usize,
+    /// Live MAC nodes in the write side.
+    pub macs: usize,
+    /// Live edges in the write side.
+    pub edges: usize,
+}
+
+impl Shard {
+    /// Creates a shard from a trained model. The snapshot starts as a
+    /// copy of `model`; the write side absorbs under `retention`.
+    #[must_use]
+    pub fn new(id: BuildingId, model: Grafics, retention: RetentionPolicy) -> Self {
+        Shard {
+            id,
+            snapshot: RwLock::new(Arc::new(model.clone())),
+            epoch: AtomicU64::new(0),
+            write: Mutex::new(WriteSide {
+                model,
+                retention,
+                absorbed: VecDeque::new(),
+                by_floor: BTreeMap::new(),
+                pending: 0,
+                scratch: OnlineScratch::new(),
+            }),
+        }
+    }
+
+    /// The building this shard serves.
+    #[must_use]
+    pub fn id(&self) -> BuildingId {
+        self.id
+    }
+
+    /// The current published snapshot. In-flight sessions created from an
+    /// earlier snapshot keep serving that epoch.
+    #[must_use]
+    pub fn snapshot(&self) -> Arc<Grafics> {
+        self.snapshot.read().clone()
+    }
+
+    /// Publishes since construction.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Opens a read-only serving session over the current snapshot. The
+    /// session co-owns the snapshot: a concurrent [`Shard::publish`]
+    /// never invalidates it.
+    #[must_use]
+    pub fn server(&self) -> GraficsServer<Arc<Grafics>> {
+        GraficsServer::over(self.snapshot())
+    }
+
+    /// Serves one record against the published snapshot (one-shot
+    /// session; for streams, hold a [`Shard::server`] session instead).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`GraficsServer::infer`].
+    pub fn serve<R: Rng + ?Sized>(
+        &self,
+        record: &SignalRecord,
+        rng: &mut R,
+    ) -> Result<Prediction, GraficsError> {
+        self.server().infer(record, rng)
+    }
+
+    /// Absorbs one record into the write side (graph extend + frozen-
+    /// background embed + sampler sync, no prediction) and applies the
+    /// retention policy. Readers see nothing until [`Shard::publish`].
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Grafics::absorb_record`].
+    pub fn absorb<R: Rng + ?Sized>(
+        &self,
+        record: &SignalRecord,
+        rng: &mut R,
+    ) -> Result<RecordId, GraficsError> {
+        let mut guard = self.write.lock();
+        let w = &mut *guard;
+        let rid = w.model.absorb_record_with(record, &mut w.scratch, rng)?;
+        w.pending += 1;
+        w.retain(rid);
+        Ok(rid)
+    }
+
+    /// Publishes the write side: clones it into a fresh snapshot (on this
+    /// thread — the serve path never pays for it) and swaps the snapshot
+    /// pointer in O(1). Returns the new epoch. In-flight readers finish
+    /// on the snapshot they hold.
+    pub fn publish(&self) -> u64 {
+        let mut guard = self.write.lock();
+        let next = Arc::new(guard.model.clone());
+        guard.pending = 0;
+        // Swap and bump the epoch while still holding the write mutex so
+        // epoch, pending, and snapshot move together (concurrent
+        // publishers get strictly ordered epochs); readers only ever take
+        // the read lock for the pointer clone, so the critical section is
+        // O(1) for them.
+        *self.snapshot.write() = next;
+        let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        drop(guard);
+        epoch
+    }
+
+    /// Replaces the retention policy and immediately enforces the new
+    /// bound on the already-absorbed backlog.
+    pub fn set_retention(&self, retention: RetentionPolicy) {
+        let mut guard = self.write.lock();
+        guard.retention = retention;
+        match retention {
+            RetentionPolicy::KeepAll => {}
+            RetentionPolicy::FifoBudget(budget) => {
+                // Fold any per-floor buckets back into one FIFO (arrival
+                // order is lost across buckets; floor order is the
+                // deterministic stand-in).
+                let w = &mut *guard;
+                for (_, mut q) in std::mem::take(&mut w.by_floor) {
+                    while let Some(rid) = q.pop_front() {
+                        w.absorbed.push_back(rid);
+                    }
+                }
+                while w.absorbed.len() > budget {
+                    let old = w.absorbed.pop_front().expect("len > budget");
+                    let _ = w.model.forget_record(old);
+                }
+            }
+            RetentionPolicy::PerFloorCap(cap) => {
+                let w = &mut *guard;
+                let backlog: Vec<RecordId> = std::mem::take(&mut w.absorbed).into();
+                for rid in backlog {
+                    let Some(p) = w.model.floor_of_record(rid) else {
+                        continue;
+                    };
+                    w.by_floor.entry(p.floor).or_default().push_back(rid);
+                }
+                for (_, q) in w.by_floor.iter_mut() {
+                    while q.len() > cap {
+                        let old = q.pop_front().expect("len > cap");
+                        let _ = w.model.forget_record(old);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs `f` over the write-side model (e.g. a periodic
+    /// [`Grafics::refresh`]), holding the absorb lock for the duration.
+    pub fn with_write_model<T>(&self, f: impl FnOnce(&mut Grafics) -> T) -> T {
+        f(&mut self.write.lock().model)
+    }
+
+    /// Point-in-time statistics.
+    #[must_use]
+    pub fn stats(&self) -> ShardStats {
+        let published_records = self.snapshot().graph().record_count();
+        let guard = self.write.lock();
+        ShardStats {
+            building: self.id,
+            epoch: self.epoch(),
+            pending: guard.pending,
+            published_records,
+            resident_records: guard.model.graph().record_count(),
+            absorbed_resident: guard.absorbed_resident(),
+            macs: guard.model.graph().mac_count(),
+            edges: guard.model.graph().edge_count(),
+        }
+    }
+}
+
+/// A sharded serving fleet: one [`Shard`] per building plus a [`Router`].
+/// See the [module docs](self) for the architecture.
+///
+/// # Examples
+///
+/// ```
+/// use grafics_core::{Grafics, GraficsConfig, GraficsFleet, RetentionPolicy};
+/// use grafics_data::BuildingModel;
+/// use grafics_types::BuildingId;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+/// let mut fleet = GraficsFleet::new();
+/// for (i, name) in ["north", "south"].iter().enumerate() {
+///     let ds = BuildingModel::office(name, 2).with_records_per_floor(30).simulate(&mut rng);
+///     let train = ds.with_label_budget(4, &mut rng);
+///     let model = Grafics::train(&train, &GraficsConfig::fast(), &mut rng).unwrap();
+///     fleet.add_shard(BuildingId(i as u32), model, RetentionPolicy::FifoBudget(256)).unwrap();
+/// }
+/// // Records route to their building by AP overlap; absorb and serve
+/// // take &self and may run concurrently.
+/// let probe = BuildingModel::office("south", 2).with_records_per_floor(1)
+///     .simulate(&mut rng).samples()[0].record.clone();
+/// let pred = fleet.serve(&probe, &mut rng).unwrap();
+/// assert_eq!(pred.building, BuildingId(1));
+/// ```
+pub struct GraficsFleet {
+    /// Sorted ascending by id; ids unique.
+    shards: Vec<Arc<Shard>>,
+    router: Box<dyn Router>,
+}
+
+impl fmt::Debug for GraficsFleet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GraficsFleet")
+            .field("shards", &self.shards)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for GraficsFleet {
+    fn default() -> Self {
+        GraficsFleet::new()
+    }
+}
+
+impl GraficsFleet {
+    /// An empty fleet with the default [`OverlapRouter`].
+    #[must_use]
+    pub fn new() -> Self {
+        GraficsFleet::with_router(Box::new(OverlapRouter))
+    }
+
+    /// An empty fleet with a custom router.
+    #[must_use]
+    pub fn with_router(router: Box<dyn Router>) -> Self {
+        GraficsFleet {
+            shards: Vec::new(),
+            router,
+        }
+    }
+
+    /// Migrates a pre-fleet single-building model into a one-shard fleet
+    /// (building `b0`, [`RetentionPolicy::KeepAll`] — the monolith's
+    /// semantics, losslessly). Pair with [`Grafics::load_json`] to adopt
+    /// a model file written before the fleet engine existed.
+    #[must_use]
+    pub fn from_model(model: Grafics) -> Self {
+        let mut fleet = GraficsFleet::new();
+        fleet
+            .add_shard(BuildingId(0), model, RetentionPolicy::KeepAll)
+            .expect("empty fleet has no duplicate");
+        fleet
+    }
+
+    /// Adds a shard for `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::DuplicateBuilding`] if a shard with this id exists.
+    pub fn add_shard(
+        &mut self,
+        id: BuildingId,
+        model: Grafics,
+        retention: RetentionPolicy,
+    ) -> Result<&Arc<Shard>, FleetError> {
+        let at = match self.shards.binary_search_by_key(&id, |s| s.id()) {
+            Ok(_) => return Err(FleetError::DuplicateBuilding(id)),
+            Err(at) => at,
+        };
+        self.shards
+            .insert(at, Arc::new(Shard::new(id, model, retention)));
+        Ok(&self.shards[at])
+    }
+
+    /// The shards, sorted ascending by building id.
+    #[must_use]
+    pub fn shards(&self) -> &[Arc<Shard>] {
+        &self.shards
+    }
+
+    /// The shard for `id`, if present.
+    #[must_use]
+    pub fn shard(&self, id: BuildingId) -> Option<&Arc<Shard>> {
+        self.shards
+            .binary_search_by_key(&id, |s| s.id())
+            .ok()
+            .map(|i| &self.shards[i])
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// `true` if the fleet has no shards.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The current published snapshots, sorted ascending by building id —
+    /// a consistent view to route and serve a whole batch against.
+    #[must_use]
+    pub fn snapshots(&self) -> Vec<(BuildingId, Arc<Grafics>)> {
+        self.shards.iter().map(|s| (s.id(), s.snapshot())).collect()
+    }
+
+    /// Routes one record (no serving): which building would take it?
+    #[must_use]
+    pub fn route(&self, record: &SignalRecord) -> Option<BuildingId> {
+        self.router.route(&self.snapshots(), record)
+    }
+
+    /// Routes and serves one record against the published snapshots.
+    ///
+    /// # Errors
+    ///
+    /// - [`FleetError::NoRoute`] if no shard overlaps the record;
+    /// - [`FleetError::Model`] on embedding failure in the routed shard.
+    pub fn serve<R: Rng + ?Sized>(
+        &self,
+        record: &SignalRecord,
+        rng: &mut R,
+    ) -> Result<FleetPrediction, FleetError> {
+        let snapshots = self.snapshots();
+        let id = self
+            .router
+            .route(&snapshots, record)
+            .ok_or(FleetError::NoRoute)?;
+        let snap = snapshots
+            .into_iter()
+            .find(|(sid, _)| *sid == id)
+            .ok_or(FleetError::UnknownBuilding(id))?
+            .1;
+        let (pred, margin) = GraficsServer::over(snap).infer_with_margin(record, rng)?;
+        Ok(FleetPrediction {
+            building: id,
+            floor: pred.floor,
+            distance: pred.distance,
+            margin,
+        })
+    }
+
+    /// Routes and serves a whole batch on `threads` workers. Routing runs
+    /// once, serially, against one consistent snapshot view; record `i`
+    /// then embeds with the [`record_rng`](crate::record_rng) stream of
+    /// `(seed, i)` on its routed shard. The output is a pure function of
+    /// `(snapshots, records, seed)` — independent of `threads`, and
+    /// bit-identical to serving each record on its shard serially.
+    /// Unroutable or failing records map to `None`.
+    #[must_use]
+    pub fn serve_batch(
+        &self,
+        records: &[SignalRecord],
+        seed: u64,
+        threads: usize,
+    ) -> Vec<Option<FleetPrediction>> {
+        let mut out: Vec<Option<FleetPrediction>> = vec![None; records.len()];
+        if records.is_empty() || self.shards.is_empty() {
+            return out;
+        }
+        let snapshots = self.snapshots();
+        // Deterministic serial routing pass: shard index per record.
+        let routes: Vec<Option<usize>> = records
+            .iter()
+            .map(|r| {
+                let id = self.router.route(&snapshots, r)?;
+                snapshots.binary_search_by_key(&id, |(sid, _)| *sid).ok()
+            })
+            .collect();
+
+        let serve_chunk = |base: usize,
+                           record_chunk: &[SignalRecord],
+                           route_chunk: &[Option<usize>],
+                           out_chunk: &mut [Option<FleetPrediction>]| {
+            // One lazily-opened session per shard, reused across the
+            // chunk so scratch buffers stay warm.
+            let mut sessions: Vec<Option<GraficsServer<Arc<Grafics>>>> =
+                (0..snapshots.len()).map(|_| None).collect();
+            for (k, (record, (route, slot))) in record_chunk
+                .iter()
+                .zip(route_chunk.iter().zip(out_chunk))
+                .enumerate()
+            {
+                let Some(sidx) = *route else { continue };
+                let server = sessions[sidx]
+                    .get_or_insert_with(|| GraficsServer::over(snapshots[sidx].1.clone()));
+                let mut rng = record_rng(seed, base + k);
+                *slot = server
+                    .infer_with_margin(record, &mut rng)
+                    .ok()
+                    .map(|(pred, margin)| FleetPrediction {
+                        building: snapshots[sidx].0,
+                        floor: pred.floor,
+                        distance: pred.distance,
+                        margin,
+                    });
+            }
+        };
+
+        let workers = threads.clamp(1, records.len());
+        if workers == 1 {
+            serve_chunk(0, records, &routes, &mut out);
+            return out;
+        }
+        let chunk = records.len().div_ceil(workers);
+        rayon::scope(|scope| {
+            for (c, ((record_chunk, route_chunk), out_chunk)) in records
+                .chunks(chunk)
+                .zip(routes.chunks(chunk))
+                .zip(out.chunks_mut(chunk))
+                .enumerate()
+            {
+                let serve_chunk = &serve_chunk;
+                scope.spawn(move |_| serve_chunk(c * chunk, record_chunk, route_chunk, out_chunk));
+            }
+        });
+        out
+    }
+
+    /// Routes one record and absorbs it into that shard's write side.
+    ///
+    /// # Errors
+    ///
+    /// - [`FleetError::NoRoute`] if no shard overlaps the record;
+    /// - [`FleetError::Model`] on absorption failure in the routed shard.
+    pub fn absorb<R: Rng + ?Sized>(
+        &self,
+        record: &SignalRecord,
+        rng: &mut R,
+    ) -> Result<(BuildingId, RecordId), FleetError> {
+        let id = self.route(record).ok_or(FleetError::NoRoute)?;
+        let rid = self.absorb_to(id, record, rng)?;
+        Ok((id, rid))
+    }
+
+    /// Absorbs into a named shard, bypassing the router (the building is
+    /// known, e.g. from the client's coarse location).
+    ///
+    /// # Errors
+    ///
+    /// - [`FleetError::UnknownBuilding`];
+    /// - [`FleetError::Model`] on absorption failure.
+    pub fn absorb_to<R: Rng + ?Sized>(
+        &self,
+        id: BuildingId,
+        record: &SignalRecord,
+        rng: &mut R,
+    ) -> Result<RecordId, FleetError> {
+        let shard = self.shard(id).ok_or(FleetError::UnknownBuilding(id))?;
+        Ok(shard.absorb(record, rng)?)
+    }
+
+    /// Publishes every shard (see [`Shard::publish`]).
+    pub fn publish_all(&self) {
+        for shard in &self.shards {
+            shard.publish();
+        }
+    }
+
+    /// Per-shard statistics, sorted ascending by building id.
+    #[must_use]
+    pub fn stats(&self) -> Vec<ShardStats> {
+        self.shards.iter().map(|s| s.stats()).collect()
+    }
+
+    /// Saves every shard's **write-side** model (the most complete state,
+    /// including unpublished absorbs) as `shard-<id>.json` under `dir`.
+    /// Call [`GraficsFleet::publish_all`] first if the published and
+    /// saved states must coincide.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying IO/serde error.
+    pub fn save_dir<P: AsRef<Path>>(&self, dir: P) -> std::io::Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        for shard in &self.shards {
+            let path = dir.join(format!("shard-{}.json", shard.id().0));
+            shard.with_write_model(|m| m.save_json(&path))?;
+        }
+        Ok(())
+    }
+
+    /// Loads a fleet from a directory of `shard-<id>.json` files written
+    /// by [`GraficsFleet::save_dir`] (or assembled by `grafics fleet
+    /// train`). Every shard gets `retention`; the router is the default
+    /// [`OverlapRouter`].
+    ///
+    /// # Errors
+    ///
+    /// IO/serde errors, or `InvalidData` if `dir` holds no shard files.
+    pub fn load_dir<P: AsRef<Path>>(dir: P, retention: RetentionPolicy) -> std::io::Result<Self> {
+        let mut fleet = GraficsFleet::new();
+        let mut ids: Vec<(u32, std::path::PathBuf)> = Vec::new();
+        for entry in std::fs::read_dir(dir.as_ref())? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(id) = name
+                .to_str()
+                .and_then(|n| n.strip_prefix("shard-"))
+                .and_then(|n| n.strip_suffix(".json"))
+                .and_then(|n| n.parse::<u32>().ok())
+            else {
+                continue;
+            };
+            ids.push((id, entry.path()));
+        }
+        ids.sort_unstable_by_key(|&(id, _)| id);
+        for (id, path) in ids {
+            let model = Grafics::load_json(&path)?;
+            fleet
+                .add_shard(BuildingId(id), model, retention)
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+        }
+        if fleet.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("no shard-<id>.json files under {}", dir.as_ref().display()),
+            ));
+        }
+        Ok(fleet)
+    }
+}

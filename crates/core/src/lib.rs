@@ -48,11 +48,16 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+mod fleet;
 mod server;
 
+pub use fleet::{
+    FleetError, FleetPrediction, GraficsFleet, OverlapRouter, RetentionPolicy, Router, Shard,
+    ShardStats,
+};
 pub use grafics_cluster::ClusterError;
 pub use grafics_cluster::Prediction;
-pub use server::GraficsServer;
+pub use server::{record_rng, GraficsServer};
 
 /// Flat hyper-parameter set for the whole pipeline. Defaults follow §VI-A
 /// of the paper: dimension 8, four labels per floor (a dataset-side
@@ -219,9 +224,13 @@ impl From<ClusterError> for GraficsError {
 /// [`Grafics::infer`] is `&mut self` because the paper's online path
 /// *extends the graph* with each new record (and any new MACs it carries)
 /// before embedding it — the model keeps learning the building's signal
-/// map. For serving concurrent traffic without mutating shared state, take
-/// a read-only [`GraficsServer`] view with [`Grafics::server`], or predict
-/// a whole batch in parallel with [`Grafics::serve_batch`].
+/// map. The two halves are also available separately:
+/// [`Grafics::absorb_record`] mutates without predicting, and the
+/// read-only [`GraficsServer`] view ([`Grafics::server`],
+/// [`Grafics::serve_batch`]) predicts without mutating. A
+/// [`GraficsFleet`] shard runs both concurrently: a frozen snapshot
+/// serves while a write-side clone absorbs, swapped by
+/// [`Shard::publish`].
 ///
 /// The model is `serde`-serialisable; see [`Grafics::save_json`] /
 /// [`Grafics::load_json`] for file persistence.
@@ -325,10 +334,11 @@ impl Grafics {
             .collect()
     }
 
-    /// Like [`Grafics::infer`], but returns the `k` nearest clusters
-    /// (ascending by centroid distance). The gap between the best
-    /// prediction and the nearest *different-floor* candidate is a natural
-    /// confidence signal — small near stairwells, large mid-floor.
+    /// Like [`Grafics::infer`], but returns the `k` nearest clusters as
+    /// `(floor, distance)` pairs (ascending by centroid distance). The gap
+    /// between the best prediction and the nearest *different-floor*
+    /// candidate is a natural confidence signal — small near stairwells,
+    /// large mid-floor — and what fleet routing surfaces per query.
     ///
     /// # Errors
     ///
@@ -338,10 +348,63 @@ impl Grafics {
         record: &SignalRecord,
         k: usize,
         rng: &mut R,
-    ) -> Result<Vec<Prediction>, GraficsError> {
+    ) -> Result<Vec<(FloorId, f64)>, GraficsError> {
         let node = self.insert_record(record, rng)?;
         let query = self.embeddings.ego_vec(node);
         Ok(self.clusters.predict_topk(&query, k)?)
+    }
+
+    /// The absorb half of the online path (§V-A), split out of
+    /// [`Grafics::infer`]: extends the graph with `record` (and any new
+    /// MACs), embeds the new node against the frozen background, and syncs
+    /// the negative sampler — but computes **no floor prediction**. This is
+    /// what a fleet shard's write side runs while a frozen snapshot serves
+    /// reads; the returned id feeds [`Grafics::forget_record`]-based
+    /// retention.
+    ///
+    /// At equal seeds, `absorb_record` + a later prediction over the
+    /// absorbed node is exactly what [`Grafics::infer_tracked`] returns in
+    /// one call.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Grafics::infer`] (the record is *not* added
+    /// on [`GraficsError::OutsideBuilding`]).
+    pub fn absorb_record<R: Rng + ?Sized>(
+        &mut self,
+        record: &SignalRecord,
+        rng: &mut R,
+    ) -> Result<RecordId, GraficsError> {
+        self.absorb_record_with(record, &mut OnlineScratch::new(), rng)
+    }
+
+    /// [`Grafics::absorb_record`] with a caller-owned scratch, so a stream
+    /// of absorbs is allocation-free after warm-up.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Grafics::absorb_record`].
+    pub fn absorb_record_with<R: Rng + ?Sized>(
+        &mut self,
+        record: &SignalRecord,
+        scratch: &mut OnlineScratch,
+        rng: &mut R,
+    ) -> Result<RecordId, GraficsError> {
+        let node = self.insert_record_with(record, scratch, rng)?;
+        match self.graph.kind(node) {
+            grafics_graph::NodeKind::Record(rid) => Ok(rid),
+            grafics_graph::NodeKind::Mac(_) => unreachable!("inserted node is a record"),
+        }
+    }
+
+    /// The floor of a previously absorbed record, from its stored
+    /// embedding — no graph mutation, no RNG. `None` if `rid` is not live.
+    /// Used by retention policies that bucket absorbed records per floor.
+    #[must_use]
+    pub fn floor_of_record(&self, rid: RecordId) -> Option<Prediction> {
+        let node = self.graph.record_node(rid)?;
+        let query = self.embeddings.ego_vec(node);
+        self.clusters.predict(&query).ok()
     }
 
     /// Like [`Grafics::infer`], but also returns the new record's id and

@@ -2,26 +2,35 @@
 //!
 //! The paper's online path (§V) freezes everything except the new
 //! record's embedding — so serving does not *need* to mutate the model at
-//! all. [`GraficsServer`] exploits that: it borrows a [`Grafics`]
-//! immutably, keeps the query node's rows (and fresh rows for never-seen
-//! MACs) in its own per-session scratch, and therefore lets one trained
-//! model answer queries from many threads concurrently.
-//! [`Grafics::serve_batch`] fans a batch out across the worker pool, one
-//! server session per worker, with deterministic per-record RNG streams —
-//! the same predictions at any thread count.
+//! all. [`GraficsServer`] exploits that: it holds any read-only handle to
+//! a [`Grafics`] (a borrow for single-process serving, an `Arc` for a
+//! fleet shard's published snapshot), keeps the query node's rows (and
+//! fresh rows for never-seen MACs) in its own per-session scratch, and
+//! therefore lets one trained model answer queries from many threads
+//! concurrently. [`Grafics::serve_batch`] fans a batch out across the
+//! worker pool, one server session per worker, with deterministic
+//! per-record RNG streams — the same predictions at any thread count.
 
 use crate::{Grafics, GraficsError, Prediction};
-use grafics_types::SignalRecord;
+use grafics_types::{FloorId, SignalRecord};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::ops::Deref;
+use std::sync::Arc;
 
 /// A read-only serving session over a shared [`Grafics`] model.
 ///
-/// Created by [`Grafics::server`]; cheap enough to create per thread (the
-/// scratch buffers warm up after the first query). `&mut self` on
-/// [`GraficsServer::infer`] only guards the session-local scratch — the
-/// underlying model is never written, so any number of sessions can serve
-/// the same model simultaneously.
+/// Generic over how the model is held: `GraficsServer<&Grafics>` (from
+/// [`Grafics::server`]) borrows for the session's lifetime, while
+/// `GraficsServer<Arc<Grafics>>` (from [`GraficsServer::over`], used by
+/// fleet shards) co-owns a published snapshot so the session survives a
+/// concurrent [`crate::Shard::publish`] swap — in-flight queries keep
+/// serving the epoch they started on.
+///
+/// Cheap enough to create per thread (the scratch buffers warm up after
+/// the first query). `&mut self` on [`GraficsServer::infer`] only guards
+/// the session-local scratch — the underlying model is never written, so
+/// any number of sessions can serve the same model simultaneously.
 ///
 /// At the same RNG seed and the same model state, a server prediction is
 /// bit-identical to what the graph-extending [`Grafics::infer`] would
@@ -54,30 +63,27 @@ use rand_chacha::ChaCha8Rng;
 /// assert_eq!(model.graph().record_count(), train.len()); // nothing absorbed
 /// ```
 #[derive(Debug)]
-pub struct GraficsServer<'a> {
-    model: &'a Grafics,
+pub struct GraficsServer<M: Deref<Target = Grafics> = Arc<Grafics>> {
+    model: M,
     scratch: grafics_embed::OnlineScratch,
 }
 
 impl Grafics {
-    /// Opens a read-only serving session over this model.
+    /// Opens a read-only serving session borrowing this model.
     #[must_use]
-    pub fn server(&self) -> GraficsServer<'_> {
-        GraficsServer {
-            model: self,
-            scratch: grafics_embed::OnlineScratch::new(),
-        }
+    pub fn server(&self) -> GraficsServer<&Grafics> {
+        GraficsServer::over(self)
     }
 
     /// Predicts a whole batch against the frozen model on `threads`
     /// workers (PR-1's worker pool), without mutating shared state.
     ///
     /// Record `i` is embedded with its own `ChaCha8Rng` derived from
-    /// `seed` and `i`, so the output is a pure function of `(model,
-    /// records, seed)` — **independent of `threads`** — and per-record
-    /// failures (outside building) map to `None` instead of aborting the
-    /// batch. Workers take contiguous chunks; each runs its own
-    /// [`GraficsServer`] session over `&self`.
+    /// `seed` and `i` (see [`record_rng`]), so the output is a pure
+    /// function of `(model, records, seed)` — **independent of
+    /// `threads`** — and per-record failures (outside building) map to
+    /// `None` instead of aborting the batch. Workers take contiguous
+    /// chunks; each runs its own [`GraficsServer`] session over `&self`.
     #[must_use]
     pub fn serve_batch(
         &self,
@@ -116,14 +122,26 @@ impl Grafics {
     }
 }
 
-/// The per-record RNG of [`Grafics::serve_batch`]: a fixed mix of the
-/// batch seed and the record index, so any partitioning across workers
-/// reproduces the same streams.
-fn record_rng(seed: u64, index: usize) -> ChaCha8Rng {
+/// The per-record RNG stream of [`Grafics::serve_batch`] and the fleet's
+/// [`crate::GraficsFleet::serve_batch`]: a fixed mix of the batch seed
+/// and the record's index in the batch, so any partitioning across
+/// workers — or across fleet shards — reproduces the same streams.
+#[must_use]
+pub fn record_rng(seed: u64, index: usize) -> ChaCha8Rng {
     ChaCha8Rng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
 }
 
-impl GraficsServer<'_> {
+impl<M: Deref<Target = Grafics>> GraficsServer<M> {
+    /// Opens a session over any read-only handle to a model — a borrow, an
+    /// `Arc` snapshot, anything that derefs to [`Grafics`].
+    #[must_use]
+    pub fn over(model: M) -> Self {
+        GraficsServer {
+            model,
+            scratch: grafics_embed::OnlineScratch::new(),
+        }
+    }
+
     /// Predicts the floor of one record against the frozen model: the
     /// record is embedded in session-local scratch (graph, embeddings,
     /// clusters, and sampler are only read) and matched to the nearest
@@ -139,13 +157,13 @@ impl GraficsServer<'_> {
         record: &SignalRecord,
         rng: &mut R,
     ) -> Result<Prediction, GraficsError> {
-        let model = self.model;
+        let model = &*self.model;
         let query = embed(model, &mut self.scratch, record, rng)?;
         Ok(model.clusters.predict(query)?)
     }
 
-    /// Like [`GraficsServer::infer`], but returns the `k` nearest
-    /// clusters ascending by centroid distance (see
+    /// Like [`GraficsServer::infer`], but returns the `k` nearest clusters
+    /// as `(floor, distance)` pairs ascending by centroid distance (see
     /// [`Grafics::infer_topk`]).
     ///
     /// # Errors
@@ -156,16 +174,36 @@ impl GraficsServer<'_> {
         record: &SignalRecord,
         k: usize,
         rng: &mut R,
-    ) -> Result<Vec<Prediction>, GraficsError> {
-        let model = self.model;
+    ) -> Result<Vec<(FloorId, f64)>, GraficsError> {
+        let model = &*self.model;
         let query = embed(model, &mut self.scratch, record, rng)?;
         Ok(model.clusters.predict_topk(query, k)?)
+    }
+
+    /// Like [`GraficsServer::infer`], but also returns the distance gap to
+    /// the nearest *different-floor* cluster — the per-query confidence
+    /// signal (`f64::INFINITY` on single-floor models). Prediction and
+    /// margin come from one centroid sweep
+    /// ([`grafics_cluster::ClusterModel::predict_with_margin`]), so the
+    /// fleet serve path pays no more cluster matching than plain `infer`.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`GraficsServer::infer`].
+    pub fn infer_with_margin<R: Rng + ?Sized>(
+        &mut self,
+        record: &SignalRecord,
+        rng: &mut R,
+    ) -> Result<(Prediction, f64), GraficsError> {
+        let model = &*self.model;
+        let query = embed(model, &mut self.scratch, record, rng)?;
+        Ok(model.clusters.predict_with_margin(query)?)
     }
 
     /// The shared model this session serves.
     #[must_use]
     pub fn model(&self) -> &Grafics {
-        self.model
+        &self.model
     }
 }
 

@@ -1,0 +1,403 @@
+//! The fleet engine's contracts: deterministic routing, serve/absorb
+//! isolation across the snapshot swap, bounded retention that keeps the
+//! negative sampler exact, and lossless migration of pre-fleet models.
+
+use grafics_core::{record_rng, Grafics, GraficsConfig, GraficsFleet, RetentionPolicy, Shard};
+use grafics_data::BuildingModel;
+use grafics_types::{BuildingId, SignalRecord};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::OnceLock;
+
+/// Trains one small model per building name (deterministic per name/seed)
+/// and returns each building's held-out test records.
+fn trained_building(name: &str, seed: u64) -> (Grafics, Vec<SignalRecord>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let ds = BuildingModel::office(name, 2)
+        .with_records_per_floor(40)
+        .simulate(&mut rng);
+    let split = ds.split(0.7, &mut rng).unwrap();
+    let train = split.train.with_label_budget(4, &mut rng);
+    let model = Grafics::train(&train, &GraficsConfig::fast(), &mut rng).unwrap();
+    let records = split
+        .test
+        .samples()
+        .iter()
+        .map(|s| s.record.clone())
+        .collect();
+    (model, records)
+}
+
+/// Per-building trained shards and the tagged query stream.
+type Fixture = (Vec<(BuildingId, Grafics)>, Vec<(BuildingId, SignalRecord)>);
+
+/// A 3-building fleet plus an interleaved query stream tagged with the
+/// building each record truly came from. Built once (training is the
+/// expensive part) and cloned per test.
+fn fleet_fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut models = Vec::new();
+        let mut stream = Vec::new();
+        for (i, name) in ["fleet-a", "fleet-b", "fleet-c"].iter().enumerate() {
+            let id = BuildingId(i as u32);
+            let (model, records) = trained_building(name, 100 + i as u64);
+            models.push((id, model));
+            for r in records {
+                stream.push((id, r));
+            }
+        }
+        // Interleave the three buildings' traffic deterministically.
+        stream.sort_by_key(|(id, r)| (r.len(), id.0, r.strongest().mac));
+        (models, stream)
+    })
+}
+
+fn build_fleet(retention: RetentionPolicy) -> GraficsFleet {
+    let (models, _) = fleet_fixture();
+    let mut fleet = GraficsFleet::new();
+    for (id, model) in models {
+        fleet.add_shard(*id, model.clone(), retention).unwrap();
+    }
+    fleet
+}
+
+/// Satellite (c): same records + same snapshots ⇒ identical shard
+/// assignment and bit-identical predictions regardless of `threads`.
+#[test]
+fn fleet_serving_is_thread_count_invariant() {
+    let fleet = build_fleet(RetentionPolicy::KeepAll);
+    let (_, stream) = fleet_fixture();
+    let records: Vec<SignalRecord> = stream.iter().map(|(_, r)| r.clone()).collect();
+
+    let serial = fleet.serve_batch(&records, 2024, 1);
+    for threads in [2, 4, 7] {
+        let parallel = fleet.serve_batch(&records, 2024, threads);
+        assert_eq!(serial.len(), parallel.len());
+        for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+            match (a, b) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.building, b.building, "record {i} routed differently");
+                    assert_eq!(a.floor, b.floor, "record {i}");
+                    assert_eq!(
+                        a.distance.to_bits(),
+                        b.distance.to_bits(),
+                        "record {i}: distances must match bitwise"
+                    );
+                }
+                (None, None) => {}
+                _ => panic!("record {i}: presence differs across thread counts"),
+            }
+        }
+    }
+}
+
+/// Satellite (c): the router sends essentially every record home (MAC
+/// namespaces are disjoint up to simulated noise hotspots), and fleet
+/// `serve_batch` is bit-identical to serving each record on its routed
+/// shard serially with the same per-record RNG stream.
+#[test]
+fn fleet_serve_batch_matches_per_shard_serial() {
+    let fleet = build_fleet(RetentionPolicy::KeepAll);
+    let (_, stream) = fleet_fixture();
+    let records: Vec<SignalRecord> = stream.iter().map(|(_, r)| r.clone()).collect();
+    let seed = 77u64;
+    let batch = fleet.serve_batch(&records, seed, 3);
+
+    let mut routed_home = 0usize;
+    for (i, ((truth, record), out)) in stream.iter().zip(&batch).enumerate() {
+        let Some(pred) = out else {
+            continue; // noise-only record overlapping nothing
+        };
+        routed_home += usize::from(pred.building == *truth);
+        // Per-shard serial reference: a fresh session on the routed
+        // shard with the same (seed, index) stream.
+        let shard = fleet.shard(pred.building).unwrap();
+        let mut rng = record_rng(seed, i);
+        let reference = shard.server().infer(record, &mut rng).unwrap();
+        assert_eq!(pred.floor, reference.floor, "record {i}");
+        assert_eq!(
+            pred.distance.to_bits(),
+            reference.distance.to_bits(),
+            "record {i}"
+        );
+        assert!(pred.margin >= 0.0, "record {i}");
+    }
+    let served = batch.iter().flatten().count();
+    assert!(served * 10 >= records.len() * 9, "served {served}");
+    assert!(
+        routed_home * 20 >= served * 19,
+        "router must send records home: {routed_home}/{served}"
+    );
+}
+
+/// Absorbed records stay invisible to readers until `publish`, the epoch
+/// counts publishes, and in-flight sessions keep their snapshot.
+#[test]
+fn absorb_is_invisible_until_publish() {
+    let (models, stream) = fleet_fixture();
+    let shard = Shard::new(BuildingId(9), models[0].1.clone(), RetentionPolicy::KeepAll);
+    let own: Vec<&SignalRecord> = stream
+        .iter()
+        .filter(|(id, _)| *id == BuildingId(0))
+        .map(|(_, r)| r)
+        .collect();
+    let baseline = shard.snapshot().graph().record_count();
+    assert_eq!(shard.epoch(), 0);
+
+    // A session opened before any absorb/publish.
+    let pinned = shard.server();
+
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let mut absorbed = 0;
+    for r in own.iter().take(12) {
+        absorbed += usize::from(shard.absorb(r, &mut rng).is_ok());
+    }
+    assert!(absorbed > 0);
+    assert_eq!(
+        shard.snapshot().graph().record_count(),
+        baseline,
+        "readers must not see unpublished absorbs"
+    );
+    assert_eq!(shard.stats().pending, absorbed);
+
+    let epoch = shard.publish();
+    assert_eq!(epoch, 1);
+    assert_eq!(shard.epoch(), 1);
+    assert_eq!(
+        shard.snapshot().graph().record_count(),
+        baseline + absorbed,
+        "publish exposes the absorbed records"
+    );
+    assert_eq!(shard.stats().pending, 0);
+    // The pre-publish session still serves its original epoch.
+    assert_eq!(pinned.model().graph().record_count(), baseline);
+}
+
+/// Acceptance: a retention-bounded shard holds at most `budget` absorbed
+/// records after absorbing 2× budget.
+#[test]
+fn fifo_budget_bounds_resident_records() {
+    let (models, stream) = fleet_fixture();
+    let budget = 10usize;
+    let shard = Shard::new(
+        BuildingId(0),
+        models[0].1.clone(),
+        RetentionPolicy::FifoBudget(budget),
+    );
+    let own: Vec<&SignalRecord> = stream
+        .iter()
+        .filter(|(id, _)| *id == BuildingId(0))
+        .map(|(_, r)| r)
+        .collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let mut absorbed = 0;
+    let mut i = 0;
+    while absorbed < 2 * budget {
+        let r = own[i % own.len()];
+        i += 1;
+        absorbed += usize::from(shard.absorb(r, &mut rng).is_ok());
+    }
+    let stats = shard.stats();
+    assert!(
+        stats.absorbed_resident <= budget,
+        "resident {} > budget {budget}",
+        stats.absorbed_resident
+    );
+    assert_eq!(stats.absorbed_resident, budget); // exactly full, not off by one
+}
+
+/// Switching retention from `KeepAll` to a budget evicts the whole
+/// backlog — including records absorbed while `KeepAll` was in force —
+/// and keeps enforcing it afterwards.
+#[test]
+fn set_retention_enforces_bound_on_keepall_backlog() {
+    let (models, stream) = fleet_fixture();
+    let shard = Shard::new(BuildingId(0), models[0].1.clone(), RetentionPolicy::KeepAll);
+    let own: Vec<&SignalRecord> = stream
+        .iter()
+        .filter(|(id, _)| *id == BuildingId(0))
+        .map(|(_, r)| r)
+        .collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(8);
+    let mut absorbed = 0;
+    for r in own.iter().take(14) {
+        absorbed += usize::from(shard.absorb(r, &mut rng).is_ok());
+    }
+    assert!(absorbed > 6);
+    assert_eq!(shard.stats().absorbed_resident, absorbed);
+
+    shard.set_retention(RetentionPolicy::FifoBudget(5));
+    assert_eq!(
+        shard.stats().absorbed_resident,
+        5,
+        "the KeepAll-era backlog must shrink to the new budget"
+    );
+    for r in own.iter().skip(14).take(4) {
+        let _ = shard.absorb(r, &mut rng);
+    }
+    assert!(shard.stats().absorbed_resident <= 5);
+    // The evictions kept the sampler exact.
+    let (live, rebuilt) = shard.with_write_model(|m| {
+        let rebuilt =
+            grafics_graph::NegativeSampler::from_graph(m.graph(), m.negative_sampler().exponent());
+        (
+            m.negative_sampler().weights().to_vec(),
+            rebuilt.weights().to_vec(),
+        )
+    });
+    assert_eq!(live, rebuilt);
+}
+
+/// Per-floor caps bound every floor's bucket independently.
+#[test]
+fn per_floor_cap_bounds_each_floor() {
+    let (models, stream) = fleet_fixture();
+    let cap = 4usize;
+    let shard = Shard::new(
+        BuildingId(0),
+        models[0].1.clone(),
+        RetentionPolicy::PerFloorCap(cap),
+    );
+    let own: Vec<&SignalRecord> = stream
+        .iter()
+        .filter(|(id, _)| *id == BuildingId(0))
+        .map(|(_, r)| r)
+        .collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    for r in own.iter().take(30) {
+        let _ = shard.absorb(r, &mut rng);
+    }
+    // The building has 2 floors: at most 2 × cap absorbed residents.
+    assert!(shard.stats().absorbed_resident <= 2 * cap);
+}
+
+/// Satellite (b): a pre-fleet single-building model (`Grafics::load_json`)
+/// migrates losslessly into a one-shard fleet — identical predictions —
+/// and survives a fleet save/load round trip.
+#[test]
+fn single_model_migrates_into_one_shard_fleet() {
+    let (models, stream) = fleet_fixture();
+    let model = &models[0].1;
+    let records: Vec<SignalRecord> = stream
+        .iter()
+        .filter(|(id, _)| *id == BuildingId(0))
+        .map(|(_, r)| r.clone())
+        .take(10)
+        .collect();
+
+    let dir = std::env::temp_dir().join("grafics-fleet-migration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let single = dir.join("pre-fleet-model.json");
+    model.save_json(&single).unwrap();
+
+    // Migrate: pre-fleet file → one-shard fleet.
+    let fleet = GraficsFleet::from_model(Grafics::load_json(&single).unwrap());
+    assert_eq!(fleet.len(), 1);
+    assert_eq!(fleet.shards()[0].id(), BuildingId(0));
+
+    // Round trip the fleet itself.
+    let fleet_dir = dir.join("fleet");
+    fleet.save_dir(&fleet_dir).unwrap();
+    let reloaded = GraficsFleet::load_dir(&fleet_dir, RetentionPolicy::KeepAll).unwrap();
+    assert_eq!(reloaded.len(), 1);
+
+    // All three serve bit-identically to the original monolith.
+    let seed = 11u64;
+    let direct = model.serve_batch(&records, seed, 1);
+    for f in [&fleet, &reloaded] {
+        let via_fleet = f.serve_batch(&records, seed, 1);
+        for (i, (a, b)) in direct.iter().zip(&via_fleet).enumerate() {
+            match (a, b) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.floor, b.floor, "record {i}");
+                    assert_eq!(a.distance.to_bits(), b.distance.to_bits(), "record {i}");
+                    assert_eq!(b.building, BuildingId(0));
+                }
+                (None, None) => {}
+                _ => panic!("record {i}: migration changed the served set"),
+            }
+        }
+    }
+    std::fs::remove_file(&single).ok();
+    std::fs::remove_dir_all(&fleet_dir).ok();
+}
+
+/// `infer_topk` (now `(floor, distance)` pairs) heads with `infer`'s
+/// prediction through the fleet's shard servers.
+#[test]
+fn topk_pairs_head_with_infer() {
+    let fleet = build_fleet(RetentionPolicy::KeepAll);
+    let (_, stream) = fleet_fixture();
+    let (_, record) = &stream[0];
+    let shard = fleet.shard(fleet.route(record).unwrap()).unwrap();
+    let mut rng_a = ChaCha8Rng::seed_from_u64(4);
+    let mut rng_b = ChaCha8Rng::seed_from_u64(4);
+    let top = shard.server().infer_topk(record, 3, &mut rng_a).unwrap();
+    let best = shard.server().infer(record, &mut rng_b).unwrap();
+    assert_eq!(top[0], (best.floor, best.distance));
+    assert!(top.windows(2).all(|w| w[0].1 <= w[1].1));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Satellite (a): after any interleaved absorb/evict sequence under
+    /// `FifoBudget` (including budget 0 and an empty shard that never
+    /// absorbs), the incrementally synced `NegativeSampler` weights equal
+    /// a from-scratch rebuild over the write-side graph, and the resident
+    /// count respects the budget exactly — no off-by-one at the boundary.
+    #[test]
+    fn retention_keeps_sampler_exact_under_interleaving(
+        budget in 0usize..6,
+        picks in prop::collection::vec(0usize..24, 0..32),
+        publish_every in 1usize..8,
+    ) {
+        let (models, stream) = fleet_fixture();
+        let own: Vec<&SignalRecord> = stream
+            .iter()
+            .filter(|(id, _)| *id == BuildingId(0))
+            .map(|(_, r)| r)
+            .collect();
+        let shard = Shard::new(
+            BuildingId(0),
+            models[0].1.clone(),
+            RetentionPolicy::FifoBudget(budget),
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut absorbed = 0usize;
+        for (step, &p) in picks.iter().enumerate() {
+            if shard.absorb(own[p % own.len()], &mut rng).is_ok() {
+                absorbed += 1;
+            }
+            if step % publish_every == publish_every - 1 {
+                shard.publish();
+            }
+            let stats = shard.stats();
+            prop_assert!(
+                stats.absorbed_resident <= budget,
+                "step {step}: resident {} > budget {budget}",
+                stats.absorbed_resident
+            );
+            prop_assert_eq!(stats.absorbed_resident, absorbed.min(budget));
+        }
+        // The write-side sampler must equal a from-scratch table after
+        // the whole interleaving.
+        let (live, rebuilt) = shard.with_write_model(|m| {
+            let rebuilt = grafics_graph::NegativeSampler::from_graph(
+                m.graph(),
+                m.negative_sampler().exponent(),
+            );
+            (
+                m.negative_sampler().weights().to_vec(),
+                rebuilt.weights().to_vec(),
+            )
+        });
+        prop_assert_eq!(live, rebuilt);
+        // An empty-shard sequence holds nothing.
+        if picks.is_empty() {
+            prop_assert_eq!(shard.stats().absorbed_resident, 0);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Building identity for fleet-scale deployments.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Opaque identifier of one building within a serving fleet.
+///
+/// City-scale deployments (the paper evaluates 204 Hangzhou buildings and
+/// five Hong Kong facilities) shard the model per building; a
+/// `BuildingId` names one shard. Ids are dense indices assigned by the
+/// fleet layer — like [`crate::RecordId`] they are *not* globally stable,
+/// only stable within one fleet.
+///
+/// # Examples
+///
+/// ```
+/// use grafics_types::BuildingId;
+///
+/// assert!(BuildingId(2) > BuildingId(0));
+/// assert_eq!(BuildingId(7).to_string(), "b7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct BuildingId(pub u32);
+
+impl BuildingId {
+    /// Returns the id as a `usize` index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BuildingId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(BuildingId(0) < BuildingId(1));
+        assert_eq!(BuildingId(12).to_string(), "b12");
+        assert_eq!(BuildingId(3).index(), 3);
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let json = serde_json::to_string(&BuildingId(9)).unwrap();
+        assert_eq!(json, "9");
+        let back: BuildingId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, BuildingId(9));
+    }
+}

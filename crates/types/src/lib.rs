@@ -15,16 +15,19 @@
 //! - [`FloorId`] — a floor number (basements are negative).
 //! - [`Sample`] — a record plus an *optional* floor label.
 //! - [`Dataset`] — an owned collection of samples with split/label helpers.
+//! - [`BuildingId`] — a building (= fleet shard) identifier.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod building_id;
 mod dataset;
 mod error;
 mod mac;
 mod record;
 mod rssi;
 
+pub use building_id::BuildingId;
 pub use dataset::{Dataset, DatasetStats, Split};
 pub use error::TypesError;
 pub use mac::MacAddr;

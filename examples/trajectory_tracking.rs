@@ -52,19 +52,19 @@ fn main() {
         let Ok(ranked) = model.infer_topk(scan, usize::MAX, &mut rng) else {
             continue;
         };
-        let best = ranked[0];
+        let (best_floor, best_distance) = ranked[0];
         // Margin to the nearest candidate on a DIFFERENT floor.
-        let rival = ranked.iter().find(|p| p.floor != best.floor);
-        let margin = rival.map_or(f64::INFINITY, |r| r.distance - best.distance);
+        let rival = ranked.iter().find(|&&(floor, _)| floor != best_floor);
+        let margin = rival.map_or(f64::INFINITY, |&(_, d)| d - best_distance);
         let confident = margin > 0.3;
         if !confident {
             uncertain += 1;
         }
         scored += 1;
-        if best.floor == point.floor {
+        if best_floor == point.floor {
             correct += 1;
         }
-        let status = match (best.floor == point.floor, confident) {
+        let status = match (best_floor == point.floor, confident) {
             (true, true) => "ok",
             (true, false) => "ok (low)",
             (false, false) => "MISS (low)",
@@ -72,7 +72,7 @@ fn main() {
         };
         println!(
             "{i:>4} {:>6} {:>10} {:>8.3} {:>10}",
-            point.floor, best.floor, margin, status
+            point.floor, best_floor, margin, status
         );
     }
     println!(

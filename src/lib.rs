@@ -57,12 +57,15 @@ pub use grafics_viz as viz;
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
     pub use grafics_cluster::{ClusterModel, ClusteringConfig};
-    pub use grafics_core::{Grafics, GraficsConfig, GraficsServer, Prediction};
+    pub use grafics_core::{
+        Grafics, GraficsConfig, GraficsFleet, GraficsServer, Prediction, RetentionPolicy, Router,
+        Shard,
+    };
     pub use grafics_data::{BuildingModel, FleetPreset};
     pub use grafics_embed::{ElineTrainer, EmbeddingConfig, EmbeddingModel, Objective};
     pub use grafics_graph::{BipartiteGraph, NegativeSampler, WeightFunction};
     pub use grafics_metrics::{ClassificationReport, ConfusionMatrix};
     pub use grafics_types::{
-        Dataset, FloorId, MacAddr, Reading, RecordId, Rssi, Sample, SignalRecord, Split,
+        BuildingId, Dataset, FloorId, MacAddr, Reading, RecordId, Rssi, Sample, SignalRecord, Split,
     };
 }
