@@ -1,0 +1,224 @@
+//! HTTP-serving smoke: the network front end vs the in-process engine on
+//! the same workload, printed as JSON for BENCH_*.json trajectories.
+//!
+//! Three arms over one trained fleet and one fixed query set:
+//!
+//! - **in-process** — `GraficsFleet::serve_batch(queries, seed, 1)`, the
+//!   engine the server wraps; its qps is the ceiling.
+//! - **http-single** — K client threads, each holding one keep-alive
+//!   connection, partition the query set and POST one `/v1/infer` per
+//!   record; per-request latency is recorded for p50/p99. Every request
+//!   pays JSON parse + embed + JSON print + a loopback round trip.
+//! - **http-batch** — one `/v1/infer_batch` call carrying the whole set:
+//!   the amortised cost of the HTTP hop.
+//!
+//! All three arms serve the same record set (asserted). The batch arm is
+//! bit-identical to the in-process predictions (spot-checked here, fully
+//! pinned in `crates/serve/tests/http.rs` and `tests/network_serving.rs`);
+//! the single arm sends every record with the same batch seed — one
+//! `record_rng(seed, 0)` stream per request — so it measures the same
+//! workload without reproducing record `i`'s batch stream. The
+//! acceptance bar is HTTP within 2× of in-process qps on this 1-core
+//! container; the soft asserts trip well below that so CI noise (±15%)
+//! cannot flake the job.
+//!
+//! ```sh
+//! cargo run --release -p grafics-bench --bin http_smoke [-- --queries N --clients K --workers W]
+//! ```
+
+use grafics_bench::{train_serving_fleet, ExperimentConfig};
+use grafics_core::{GraficsConfig, RetentionPolicy};
+use grafics_data::BuildingModel;
+use grafics_serve::{BatchBody, HttpClient, HttpServer, PredictionBody, ServeConfig};
+use grafics_types::SignalRecord;
+use std::time::Instant;
+
+fn flag(args: &[String], name: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let queries = flag(&args, "--queries", 200);
+    let clients = flag(&args, "--clients", 2);
+    let workers = flag(&args, "--workers", 2);
+    let buildings = flag(&args, "--buildings", 2);
+    let records_per_floor = flag(&args, "--records-per-floor", 40);
+    let seed = 2026u64;
+
+    // One small fleet, serving-tuned, shared by every arm.
+    let fleet_models: Vec<BuildingModel> = (0..buildings)
+        .map(|i| {
+            BuildingModel::office(&format!("http-{i}"), 3).with_records_per_floor(records_per_floor)
+        })
+        .collect();
+    let cfg = ExperimentConfig {
+        threads: 1,
+        seed,
+        ..Default::default()
+    };
+    let grafics = GraficsConfig {
+        epochs: 30,
+        ..GraficsConfig::serving()
+    };
+    let (fleet, tagged) =
+        train_serving_fleet(&fleet_models, &cfg, Some(grafics), RetentionPolicy::KeepAll);
+    let records: Vec<SignalRecord> = tagged
+        .iter()
+        .map(|(_, _, r)| r.clone())
+        .cycle()
+        .take(queries)
+        .collect();
+
+    // Arm 1: the in-process ceiling.
+    let t = Instant::now();
+    let reference = fleet.serve_batch(&records, seed, 1);
+    let inproc_secs = t.elapsed().as_secs_f64();
+    let served_inproc = reference.iter().flatten().count();
+    let qps_inproc = served_inproc as f64 / inproc_secs;
+
+    // Hand the same fleet to the server: arm 1 is done, serving is
+    // read-only, and this bench never absorbs — no need to pay for a
+    // second offline training run.
+    let server = HttpServer::bind(
+        fleet,
+        "127.0.0.1:0",
+        ServeConfig {
+            workers,
+            seed,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind ephemeral port")
+    .spawn()
+    .expect("spawn server");
+    let addr = server.addr();
+
+    // Pre-serialized request bodies: the arm measures serving, not the
+    // client's JSON encoder.
+    let single_bodies: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"record\":{},\"seed\":{seed}}}",
+                serde_json::to_string(r).expect("record serializes")
+            )
+        })
+        .collect();
+
+    // Arm 2: K keep-alive clients, one /v1/infer per record.
+    let t = Instant::now();
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(queries);
+    let mut served_single = 0usize;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..clients.max(1) {
+            let bodies = &single_bodies;
+            handles.push(scope.spawn(move || {
+                let mut client = HttpClient::connect(addr).expect("connect");
+                let mut lat = Vec::new();
+                let mut served = 0usize;
+                let mut i = c;
+                while i < bodies.len() {
+                    let t = Instant::now();
+                    let (status, response) = client.post("/v1/infer", &bodies[i]).expect("request");
+                    lat.push(1e6 * t.elapsed().as_secs_f64());
+                    assert!(
+                        status == 200 || status == 422,
+                        "unexpected status {status}: {response}"
+                    );
+                    served += usize::from(status == 200);
+                    i += clients.max(1);
+                }
+                (lat, served)
+            }));
+        }
+        for handle in handles {
+            let (lat, served) = handle.join().expect("client thread");
+            latencies_us.extend(lat);
+            served_single += served;
+        }
+    });
+    let single_secs = t.elapsed().as_secs_f64();
+    let qps_single = served_single as f64 / single_secs;
+    latencies_us.sort_by(f64::total_cmp);
+
+    // Arm 3: the whole set in one /v1/infer_batch call.
+    let mut client = HttpClient::connect(addr).expect("connect");
+    let batch_body = format!(
+        "{{\"records\":{},\"seed\":{seed}}}",
+        serde_json::to_string(&records).expect("records serialize")
+    );
+    let t = Instant::now();
+    let (status, response) = client.post("/v1/infer_batch", &batch_body).expect("batch");
+    let batch_secs = t.elapsed().as_secs_f64();
+    assert_eq!(status, 200, "{response}");
+    let batch: BatchBody = serde_json::from_str(&response).expect("batch body");
+    let qps_batch = batch.served as f64 / batch_secs;
+
+    // All arms serve the same record set; spot-check bit-identity here
+    // too (the full pin lives in the test suites).
+    assert_eq!(served_single, served_inproc, "single arm served set");
+    assert_eq!(batch.served, served_inproc, "batch arm served set");
+    for (wire, local) in batch.predictions.iter().zip(&reference) {
+        if let (Some(w), Some(l)) = (wire, local) {
+            assert_eq!(w.distance.to_bits(), l.distance.to_bits());
+        }
+    }
+    let _: Option<&PredictionBody> = batch.predictions[0].as_ref();
+
+    let ratio_single = qps_single / qps_inproc;
+    let ratio_batch = qps_batch / qps_inproc;
+    // Soft floors: the acceptance bar is 0.5 (within 2×); tripping at
+    // 0.25/0.4 catches a real regression without flaking on box noise.
+    assert!(
+        ratio_single > 0.25,
+        "HTTP single-record qps collapsed: {ratio_single:.2} of in-process"
+    );
+    assert!(
+        ratio_batch > 0.4,
+        "HTTP batch qps collapsed: {ratio_batch:.2} of in-process"
+    );
+
+    let report = server.shutdown().expect("server exits cleanly");
+    let in_process = serde_json::json!({
+        "qps": qps_inproc,
+        "us_per_query": 1e6 * inproc_secs / served_inproc.max(1) as f64,
+    });
+    let http_single = serde_json::json!({
+        "qps": qps_single,
+        "ratio_vs_in_process": ratio_single,
+        "p50_us": percentile(&latencies_us, 0.50),
+        "p99_us": percentile(&latencies_us, 0.99),
+    });
+    let http_batch = serde_json::json!({
+        "qps": qps_batch,
+        "ratio_vs_in_process": ratio_batch,
+    });
+    let payload = serde_json::json!({
+        "benchmark": "http_smoke",
+        "corpus": format!("{buildings}x office-3f, {records_per_floor}/floor"),
+        "queries": queries,
+        "served": served_inproc,
+        "clients": clients,
+        "workers": workers,
+        "in_process": in_process,
+        "http_single": http_single,
+        "http_batch": http_batch,
+        "server_requests": report.requests,
+        "method": "same fleet + seed streams in every arm; responses bit-identical to serve_batch (pinned in tests); single-record arm pays one JSON+loopback round trip per query",
+    });
+    println!("{}", serde_json::to_string_pretty(&payload).unwrap());
+}

@@ -244,10 +244,11 @@ pub fn train_serving_fleet(
     let mut trained = trained.into_inner();
     trained.sort_by_key(|&(b, _, _)| b);
     let mut out = GraficsFleet::new();
+    out.set_retention(retention);
     let mut queries = Vec::new();
     for (b, model, qs) in trained {
         let id = BuildingId(b as u32);
-        out.add_shard(id, model, retention).expect("ids unique");
+        out.add_shard(id, model).expect("ids unique");
         for (floor, record) in qs {
             queries.push((id, floor, record));
         }

@@ -23,18 +23,26 @@
 //!
 //! The `fleet` family works over *directories*: one dataset per building
 //! in (`fleet simulate` reuses [`grafics_data::FleetPreset`]), one
-//! `shard-<id>.json` model per building out, and serving through a
-//! [`grafics_core::GraficsFleet`] that routes each scan to the shard
-//! whose AP inventory it overlaps. `fleet serve` output carries the
-//! routed building plus the different-floor distance margin, so routing
-//! confidence is observable per query.
+//! `shard-<id>.json` model per building out plus a `fleet.json` manifest
+//! (router choice, retention policy, maintenance cadence — set at
+//! `fleet train` time, reloaded without runtime flags), and serving
+//! through a [`grafics_core::GraficsFleet`] that routes each scan to the
+//! shard whose AP inventory it overlaps. `fleet serve` output carries
+//! the routed building plus the different-floor distance margin, so
+//! routing confidence is observable per query. With `--http ADDR`,
+//! `fleet serve` starts the [`grafics_serve`] network front end instead:
+//! a threaded HTTP/1.1 server plus the background maintenance daemon,
+//! draining gracefully on Ctrl-C.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use grafics_core::{Grafics, GraficsConfig, GraficsFleet, RetentionPolicy};
+use grafics_core::{
+    Grafics, GraficsConfig, GraficsFleet, MaintenancePolicy, RetentionPolicy, RouterKind,
+};
 use grafics_data::{io as dio, BuildingModel, FleetPreset};
 use grafics_metrics::ConfusionMatrix;
+use grafics_serve::{HttpServer, ServeConfig};
 use grafics_types::{BuildingId, Dataset};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -71,8 +79,11 @@ commands:
   fleet simulate --preset microsoft|hongkong [--buildings N] [--records-per-floor N]
            [--labels N] [--seed N] --out data-dir
   fleet train    --data data-dir [--labels N] [--dim N] [--epochs N] [--seed N]
-           [--min-support N] [--threads N] --out model-dir
+           [--min-support N] [--threads N] [--retention keepall|fifo:N|perfloor:N]
+           [--router overlap|weighted] [--publish-after-absorbs N]
+           [--publish-after-secs T] [--refresh-every K] --out model-dir
   fleet serve    --models model-dir --input scans.jsonl [--seed N] [--threads N]
+  fleet serve    --models model-dir --http ADDR [--workers N] [--seed N]
   fleet stat     --models model-dir
   help
 
@@ -82,9 +93,14 @@ path (scans extend the graph) and writes the grown model back out.
 
 fleet commands work over directories: simulate writes one corpus per
 building, train writes one shard-<id>.json per corpus (ids follow sorted
-file names), serve routes each scan to the shard whose APs it overlaps and
-prints record,building,floor,distance,margin — margin is the distance gap
-to the nearest different-floor cluster, the per-query confidence.
+file names) plus a fleet.json manifest persisting the router, retention,
+and maintenance-cadence flags, serve routes each scan to the shard whose
+APs it overlaps and prints record,building,floor,distance,margin — margin
+is the distance gap to the nearest different-floor cluster, the per-query
+confidence. fleet serve --http ADDR starts the HTTP front end over the
+fleet instead (POST /v1/infer, /v1/infer_batch, /v1/absorb, /v1/publish;
+GET /v1/stat, /healthz), with the manifest's maintenance cadence enforced
+by a background daemon; Ctrl-C drains in-flight requests and exits.
 ";
 
 fn fleet(args: &[String]) -> Result<String, String> {
@@ -147,6 +163,40 @@ impl<'a> Flags<'a> {
                 .parse()
                 .map_err(|_| format!("--{key}: cannot parse {v:?}")),
         }
+    }
+
+    fn parse_opt<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        self.get(key)
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("--{key}: cannot parse {v:?}"))
+            })
+            .transpose()
+    }
+}
+
+/// `keepall`, `fifo:N`, or `perfloor:N`.
+fn parse_retention(v: &str) -> Result<RetentionPolicy, String> {
+    let bad = || format!("--retention: expected keepall|fifo:N|perfloor:N, got {v:?}");
+    if v == "keepall" {
+        return Ok(RetentionPolicy::KeepAll);
+    }
+    let (kind, n) = v.split_once(':').ok_or_else(bad)?;
+    let n: usize = n.parse().map_err(|_| bad())?;
+    match kind {
+        "fifo" => Ok(RetentionPolicy::FifoBudget(n)),
+        "perfloor" => Ok(RetentionPolicy::PerFloorCap(n)),
+        _ => Err(bad()),
+    }
+}
+
+fn parse_router(v: &str) -> Result<RouterKind, String> {
+    match v {
+        "overlap" => Ok(RouterKind::Overlap),
+        "weighted" => Ok(RouterKind::WeightedOverlap),
+        other => Err(format!(
+            "--router: expected overlap|weighted, got {other:?}"
+        )),
     }
 }
 
@@ -387,24 +437,54 @@ fn fleet_train(args: &[String]) -> Result<String, String> {
             model.clusters().clusters().len()
         );
         fleet
-            .add_shard(BuildingId(i as u32), model, RetentionPolicy::KeepAll)
+            .add_shard(BuildingId(i as u32), model)
             .map_err(|e| e.to_string())?;
+    }
+    // Persist the serving configuration alongside the shards: the
+    // manifest makes the directory self-describing, so `fleet serve`
+    // needs no runtime flags to reproduce this deployment.
+    if let Some(r) = flags.get("retention") {
+        fleet.set_retention(parse_retention(r)?);
+    }
+    if let Some(r) = flags.get("router") {
+        fleet.set_router(parse_router(r)?);
+    }
+    let maintenance = MaintenancePolicy {
+        publish_after_absorbs: flags.parse_opt("publish-after-absorbs")?,
+        publish_after_secs: flags.parse_opt("publish-after-secs")?,
+        refresh_every_publishes: flags.parse_opt("refresh-every")?,
+    };
+    if maintenance.publish_after_absorbs == Some(0)
+        || maintenance.refresh_every_publishes == Some(0)
+    {
+        return Err(
+            "--publish-after-absorbs/--refresh-every must be >= 1 (omit to disable)".into(),
+        );
+    }
+    if maintenance.publish_after_secs.is_some_and(|t| t <= 0.0) {
+        return Err("--publish-after-secs must be > 0 (omit to disable)".into());
+    }
+    if !maintenance.is_noop() {
+        fleet.set_maintenance(maintenance);
     }
     fleet.save_dir(out).map_err(|e| e.to_string())?;
     let _ = writeln!(summary, "{} shard models written to {out}", fleet.len());
     Ok(summary)
 }
 
-/// Serves a scan stream through the routed fleet, read-only.
+/// Serves a scan stream through the routed fleet (read-only), or — with
+/// `--http ADDR` — starts the network front end over it.
 fn fleet_serve(args: &[String]) -> Result<String, String> {
     let flags = Flags::parse(args)?;
     let models = flags.required("models")?;
+    if let Some(addr) = flags.get("http") {
+        return fleet_serve_http(&flags, models, addr);
+    }
     let input = flags.required("input")?;
     let seed: u64 = flags.parse_or("seed", 0)?;
     let threads = resolve_threads(flags.parse_or("threads", 1)?);
 
-    let fleet =
-        GraficsFleet::load_dir(models, RetentionPolicy::KeepAll).map_err(|e| e.to_string())?;
+    let fleet = GraficsFleet::load_dir(models).map_err(|e| e.to_string())?;
     let ds: Dataset = dio::load_jsonl(input).map_err(|e| e.to_string())?;
     let records: Vec<_> = ds.samples().iter().map(|s| s.record.clone()).collect();
     let mut out = String::from("record,building,floor,distance,margin\n");
@@ -429,27 +509,48 @@ fn fleet_serve(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+/// Blocks serving the fleet over HTTP until SIGINT/SIGTERM drains it.
+fn fleet_serve_http(flags: &Flags, models: &str, addr: &str) -> Result<String, String> {
+    let workers = resolve_threads(flags.parse_or("workers", 2)?);
+    let seed: u64 = flags.parse_or("seed", 0)?;
+    let fleet = GraficsFleet::load_dir(models).map_err(|e| e.to_string())?;
+    let shards = fleet.len();
+    let maintenance = fleet.maintenance();
+    let config = ServeConfig {
+        workers,
+        seed,
+        handle_signals: true,
+        ..ServeConfig::default()
+    };
+    let server = HttpServer::bind(fleet, addr, config).map_err(|e| format!("{addr}: {e}"))?;
+    let local = server.local_addr().map_err(|e| e.to_string())?;
+    eprintln!(
+        "serving {shards} shard(s) on http://{local} ({workers} workers; \
+         publish after {:?} absorbs / {:?} s, refresh every {:?} publishes); \
+         Ctrl-C drains and exits",
+        maintenance.publish_after_absorbs,
+        maintenance.publish_after_secs,
+        maintenance.refresh_every_publishes,
+    );
+    let report = server.run().map_err(|e| e.to_string())?;
+    Ok(format!(
+        "served {} requests: {} absorbs, {} auto-publishes, {} background refreshes\n",
+        report.requests, report.absorbs, report.maintenance_publishes, report.maintenance_refreshes
+    ))
+}
+
 /// Per-shard structural statistics of a saved fleet.
 fn fleet_stat(args: &[String]) -> Result<String, String> {
     let flags = Flags::parse(args)?;
     let models = flags.required("models")?;
-    let fleet =
-        GraficsFleet::load_dir(models, RetentionPolicy::KeepAll).map_err(|e| e.to_string())?;
-    let mut out = String::from("building,records,macs,edges,epoch,pending,absorbed\n");
-    for st in fleet.stats() {
-        let _ = writeln!(
-            out,
-            "{},{},{},{},{},{},{}",
-            st.building,
-            st.resident_records,
-            st.macs,
-            st.edges,
-            st.epoch,
-            st.pending,
-            st.absorbed_resident
-        );
-    }
-    let _ = writeln!(out, "shards: {}", fleet.len());
+    let fleet = GraficsFleet::load_dir(models).map_err(|e| e.to_string())?;
+    let manifest = fleet.manifest();
+    let mut out = fleet.stats().to_string();
+    let _ = writeln!(
+        out,
+        "manifest: router={:?} retention={:?} maintenance={:?}",
+        manifest.router, manifest.retention, manifest.maintenance
+    );
     Ok(out)
 }
 
@@ -602,9 +703,25 @@ mod tests {
         .unwrap();
         assert!(msg.contains("2 building corpora"), "{msg}");
 
-        // Train one shard per corpus.
+        // Train one shard per corpus, persisting a serving configuration
+        // in the directory manifest.
         let msg = run(&s(&[
-            "fleet", "train", "--data", &data, "--epochs", "20", "--seed", "1", "--out", &models,
+            "fleet",
+            "train",
+            "--data",
+            &data,
+            "--epochs",
+            "20",
+            "--seed",
+            "1",
+            "--retention",
+            "fifo:64",
+            "--router",
+            "weighted",
+            "--publish-after-absorbs",
+            "8",
+            "--out",
+            &models,
         ]))
         .unwrap();
         assert!(msg.contains("2 shard models"), "{msg}");
@@ -644,10 +761,14 @@ mod tests {
             .collect();
         assert!(routed.iter().filter(|b| b.starts_with('b')).count() * 10 >= routed.len() * 9);
 
-        // Stats cover both shards.
+        // Stats cover both shards, and the manifest written at train
+        // time is reloaded without runtime flags.
         let stat = run(&s(&["fleet", "stat", "--models", &models])).unwrap();
         assert!(stat.contains("shards: 2"), "{stat}");
         assert!(stat.contains("b0,") && stat.contains("b1,"), "{stat}");
+        assert!(stat.contains("WeightedOverlap"), "{stat}");
+        assert!(stat.contains("FifoBudget(64)"), "{stat}");
+        assert!(stat.contains("publish_after_absorbs: Some(8)"), "{stat}");
 
         std::fs::remove_dir_all(&base).ok();
     }

@@ -45,6 +45,24 @@
 //! [`record_rng`](crate::record_rng) stream as the single-building
 //! [`Grafics::serve_batch`], so fleet serving is bit-identical to serving
 //! each record on its shard serially.
+//!
+//! # Persistence
+//!
+//! A fleet directory is self-describing: [`GraficsFleet::save_dir`]
+//! writes a `fleet.json` [`FleetManifest`] (router choice, retention
+//! policy, maintenance cadence) next to the `shard-<id>.json` models,
+//! and [`GraficsFleet::load_dir`] restores all three without runtime
+//! flags. Pre-manifest directories load with [`FleetManifest::default`],
+//! which reproduces the old hard-wired behaviour losslessly.
+//!
+//! # Cross-shard fallback
+//!
+//! A record the router declines (e.g. collected on a podium floor whose
+//! APs straddle buildings) can still be served:
+//! [`GraficsFleet::serve_with_fallback`] /
+//! [`GraficsFleet::serve_batch_with_fallback`] broadcast it to every
+//! shard and keep the best-distance answer, flagged
+//! [`FleetPrediction::fallback`].
 
 use crate::{record_rng, Grafics, GraficsError, GraficsServer, Prediction};
 use grafics_embed::OnlineScratch;
@@ -88,6 +106,99 @@ impl RetentionPolicy {
         !matches!(self, RetentionPolicy::KeepAll)
     }
 }
+
+/// Which built-in [`Router`] a fleet uses — the *persistable* router
+/// choice, stored in the fleet directory manifest so a reloaded fleet
+/// routes exactly like the one that saved it. Custom `Box<dyn Router>`
+/// implementations (via [`GraficsFleet::with_router`]) are runtime-only
+/// and round-trip as [`RouterKind::Overlap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouterKind {
+    /// [`OverlapRouter`]: most known MACs wins.
+    Overlap,
+    /// [`WeightedOverlapRouter`]: largest summed edge weight over known
+    /// MACs wins — favours strong in-building readings over stray
+    /// hotspots heard through a wall.
+    WeightedOverlap,
+}
+
+impl RouterKind {
+    /// Instantiates the router this kind names.
+    #[must_use]
+    pub fn build(self) -> Box<dyn Router> {
+        match self {
+            RouterKind::Overlap => Box::new(OverlapRouter),
+            RouterKind::WeightedOverlap => Box::new(WeightedOverlapRouter),
+        }
+    }
+}
+
+/// Background maintenance cadence for a served fleet, persisted in the
+/// fleet directory manifest and enforced by `grafics-serve`'s
+/// `MaintenanceDaemon`. All knobs are optional; the default policy does
+/// nothing (publish stays fully manual, the pre-daemon behaviour).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct MaintenancePolicy {
+    /// Auto-publish a shard once this many absorbs are pending.
+    /// `Some(0)` is treated as disabled (enforcing "publish with
+    /// nothing pending, forever" is never intended).
+    pub publish_after_absorbs: Option<usize>,
+    /// Auto-publish a shard with pending absorbs after this many seconds
+    /// since its last publish.
+    pub publish_after_secs: Option<f64>,
+    /// Re-train a shard's write side ([`Shard::refresh_write_side`])
+    /// after every this-many publishes, then publish the refreshed
+    /// model. `Some(0)` is treated as disabled.
+    pub refresh_every_publishes: Option<u32>,
+}
+
+impl MaintenancePolicy {
+    /// `true` if no knob is set — a daemon over this policy would never
+    /// act.
+    #[must_use]
+    pub fn is_noop(&self) -> bool {
+        self.publish_after_absorbs.is_none()
+            && self.publish_after_secs.is_none()
+            && self.refresh_every_publishes.is_none()
+    }
+}
+
+/// The fleet directory manifest (`fleet.json`): everything about a fleet
+/// that is not a shard model — router choice, retention policy, and
+/// maintenance cadence. Written by [`GraficsFleet::save_dir`], read back
+/// by [`GraficsFleet::load_dir`]. Directories written before the manifest
+/// existed (PR-3 era) load losslessly with [`FleetManifest::default`],
+/// which reproduces the old hard-wired behaviour exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetManifest {
+    /// Manifest format version (currently 1).
+    pub version: u32,
+    /// Which built-in router the fleet uses.
+    pub router: RouterKind,
+    /// The retention policy applied to every shard.
+    pub retention: RetentionPolicy,
+    /// Background publish/refresh cadence.
+    pub maintenance: MaintenancePolicy,
+}
+
+impl Default for FleetManifest {
+    /// The PR-3-era semantics: overlap routing, absorb forever, no
+    /// background maintenance.
+    fn default() -> Self {
+        FleetManifest {
+            version: FLEET_MANIFEST_VERSION,
+            router: RouterKind::Overlap,
+            retention: RetentionPolicy::KeepAll,
+            maintenance: MaintenancePolicy::default(),
+        }
+    }
+}
+
+/// Current [`FleetManifest::version`].
+pub const FLEET_MANIFEST_VERSION: u32 = 1;
+
+/// File name of the manifest inside a fleet directory.
+const FLEET_MANIFEST_FILE: &str = "fleet.json";
 
 /// Errors from the fleet layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -175,6 +286,41 @@ impl Router for OverlapRouter {
     }
 }
 
+/// Routes to the shard with the largest **summed edge weight** over the
+/// record's known MACs (each shard's own [`WeightFunction`] applied to
+/// the reading's RSS), rather than the raw overlap count. A strong
+/// in-building reading then outvotes several faint readings of a
+/// neighbour's APs bleeding through a shared wall or podium. Ties break
+/// towards the lower [`BuildingId`]; zero overlap routes nowhere.
+///
+/// [`WeightFunction`]: grafics_graph::WeightFunction
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WeightedOverlapRouter;
+
+impl Router for WeightedOverlapRouter {
+    fn route(
+        &self,
+        snapshots: &[(BuildingId, Arc<Grafics>)],
+        record: &SignalRecord,
+    ) -> Option<BuildingId> {
+        let mut best: Option<(f64, BuildingId)> = None;
+        for (id, model) in snapshots {
+            let graph = model.graph();
+            let weight: f64 = record
+                .readings()
+                .iter()
+                .filter(|r| graph.mac_node(r.mac).is_some())
+                .map(|r| graph.weight_function().weight(r.rssi))
+                .sum();
+            // Strict > keeps the first (lowest-id) shard on ties.
+            if weight > 0.0 && best.is_none_or(|(b, _)| weight > b) {
+                best = Some((weight, *id));
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+}
+
 /// One fleet prediction: where the record was routed and what that
 /// shard's published snapshot predicted.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -188,6 +334,11 @@ pub struct FleetPrediction {
     /// Distance gap to the nearest *different-floor* cluster — the
     /// per-query confidence ([`f64::INFINITY`] on single-floor models).
     pub margin: f64,
+    /// `true` if the router declined the record and the answer came from
+    /// the cross-shard broadcast fallback (see
+    /// [`GraficsFleet::serve_with_fallback`]) — the best-distance shard
+    /// answered, not a routed one.
+    pub fallback: bool,
 }
 
 /// The write half of a shard: the absorbing model plus the retention
@@ -284,6 +435,62 @@ pub struct ShardStats {
     pub macs: usize,
     /// Live edges in the write side.
     pub edges: usize,
+}
+
+/// A point-in-time summary of a whole fleet — the one serializable shape
+/// shared by `grafics fleet stat`, the HTTP `/v1/stat` endpoint, and the
+/// smoke benchmarks. [`fmt::Display`] renders the CSV table the CLI
+/// prints; `serde` renders the JSON the network front end returns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetStats {
+    /// Per-shard statistics, sorted ascending by building id.
+    pub shards: Vec<ShardStats>,
+}
+
+impl FleetStats {
+    /// Absorbs pending publish, summed over all shards.
+    #[must_use]
+    pub fn total_pending(&self) -> usize {
+        self.shards.iter().map(|s| s.pending).sum()
+    }
+
+    /// Live records resident across all write sides.
+    #[must_use]
+    pub fn total_resident_records(&self) -> usize {
+        self.shards.iter().map(|s| s.resident_records).sum()
+    }
+
+    /// Publishes since construction, summed over all shards.
+    #[must_use]
+    pub fn total_epochs(&self) -> u64 {
+        self.shards.iter().map(|s| s.epoch).sum()
+    }
+
+    /// The stats row for `building`, if that shard exists.
+    #[must_use]
+    pub fn shard(&self, building: BuildingId) -> Option<&ShardStats> {
+        self.shards.iter().find(|s| s.building == building)
+    }
+}
+
+impl fmt::Display for FleetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "building,records,macs,edges,epoch,pending,absorbed")?;
+        for st in &self.shards {
+            writeln!(
+                f,
+                "{},{},{},{},{},{},{}",
+                st.building,
+                st.resident_records,
+                st.macs,
+                st.edges,
+                st.epoch,
+                st.pending,
+                st.absorbed_resident
+            )?;
+        }
+        writeln!(f, "shards: {}", self.shards.len())
+    }
 }
 
 impl Shard {
@@ -433,6 +640,42 @@ impl Shard {
         f(&mut self.write.lock().model)
     }
 
+    /// Re-trains the write side over everything absorbed so far
+    /// ([`Grafics::refresh`]), seeding the cluster refit with **one
+    /// label per existing cluster** — each cluster's lowest-id
+    /// offline-corpus member stands in for its original labelled sample
+    /// (the model does not store which sample that was). This preserves
+    /// the paper's few-labelled-seeds regime: the refit produces the
+    /// same cluster count as the live model, instead of one cluster per
+    /// training record. Records absorbed online stay unlabelled.
+    ///
+    /// The label vector is indexed by record id; offline-corpus ids
+    /// (`0..train_record_count`) are never evicted and the graph
+    /// iterates records in ascending id order, so cluster member
+    /// positions below `train_record_count` are those same ids at every
+    /// refresh — eviction gaps in the absorbed id range can never shift
+    /// a label onto the wrong record.
+    ///
+    /// Holds the absorb lock for the duration — concurrent absorbs block,
+    /// but readers keep serving the published snapshot untouched. Publish
+    /// afterwards to expose the refreshed model; the serve daemon's
+    /// `refresh_every_publishes` cadence does exactly that.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Grafics::refresh`].
+    pub fn refresh_write_side<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<(), GraficsError> {
+        let mut guard = self.write.lock();
+        let train = guard.model.train_record_count();
+        let mut labels: Vec<Option<FloorId>> = vec![None; train];
+        for cluster in guard.model.clusters().clusters() {
+            if let Some(&member) = cluster.members.iter().filter(|&&m| m < train).min() {
+                labels[member] = Some(cluster.floor);
+            }
+        }
+        guard.model.refresh(&labels, rng)
+    }
+
     /// Point-in-time statistics.
     #[must_use]
     pub fn stats(&self) -> ShardStats {
@@ -464,11 +707,12 @@ impl Shard {
 ///
 /// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
 /// let mut fleet = GraficsFleet::new();
+/// fleet.set_retention(RetentionPolicy::FifoBudget(256));
 /// for (i, name) in ["north", "south"].iter().enumerate() {
 ///     let ds = BuildingModel::office(name, 2).with_records_per_floor(30).simulate(&mut rng);
 ///     let train = ds.with_label_budget(4, &mut rng);
 ///     let model = Grafics::train(&train, &GraficsConfig::fast(), &mut rng).unwrap();
-///     fleet.add_shard(BuildingId(i as u32), model, RetentionPolicy::FifoBudget(256)).unwrap();
+///     fleet.add_shard(BuildingId(i as u32), model).unwrap();
 /// }
 /// // Records route to their building by AP overlap; absorb and serve
 /// // take &self and may run concurrently.
@@ -481,6 +725,15 @@ pub struct GraficsFleet {
     /// Sorted ascending by id; ids unique.
     shards: Vec<Arc<Shard>>,
     router: Box<dyn Router>,
+    /// `None` for custom boxed routers (runtime-only; persisted as the
+    /// default [`RouterKind::Overlap`]).
+    router_kind: Option<RouterKind>,
+    /// Applied to every shard ([`GraficsFleet::add_shard`] and
+    /// [`GraficsFleet::set_retention`]); persisted in the manifest.
+    retention: RetentionPolicy,
+    /// Background cadence for a serving daemon; persisted in the
+    /// manifest. The fleet itself never acts on it.
+    maintenance: MaintenancePolicy,
 }
 
 impl fmt::Debug for GraficsFleet {
@@ -498,19 +751,86 @@ impl Default for GraficsFleet {
 }
 
 impl GraficsFleet {
-    /// An empty fleet with the default [`OverlapRouter`].
+    /// An empty fleet with the [`FleetManifest::default`] configuration:
+    /// [`OverlapRouter`], [`RetentionPolicy::KeepAll`], no maintenance.
     #[must_use]
     pub fn new() -> Self {
-        GraficsFleet::with_router(Box::new(OverlapRouter))
+        GraficsFleet::with_manifest(FleetManifest::default())
     }
 
-    /// An empty fleet with a custom router.
+    /// An empty fleet configured by `manifest` (router built from its
+    /// [`RouterKind`]).
+    #[must_use]
+    pub fn with_manifest(manifest: FleetManifest) -> Self {
+        GraficsFleet {
+            shards: Vec::new(),
+            router: manifest.router.build(),
+            router_kind: Some(manifest.router),
+            retention: manifest.retention,
+            maintenance: manifest.maintenance,
+        }
+    }
+
+    /// An empty fleet with a custom router. Custom routers are not
+    /// persistable: [`GraficsFleet::save_dir`] records the default
+    /// [`RouterKind::Overlap`] in the manifest.
     #[must_use]
     pub fn with_router(router: Box<dyn Router>) -> Self {
         GraficsFleet {
             shards: Vec::new(),
             router,
+            router_kind: None,
+            retention: RetentionPolicy::KeepAll,
+            maintenance: MaintenancePolicy::default(),
         }
+    }
+
+    /// The manifest describing this fleet's configuration — what
+    /// [`GraficsFleet::save_dir`] writes to `fleet.json`.
+    #[must_use]
+    pub fn manifest(&self) -> FleetManifest {
+        FleetManifest {
+            version: FLEET_MANIFEST_VERSION,
+            router: self.router_kind.unwrap_or(RouterKind::Overlap),
+            retention: self.retention,
+            maintenance: self.maintenance,
+        }
+    }
+
+    /// The retention policy applied to the fleet's shards.
+    #[must_use]
+    pub fn retention(&self) -> RetentionPolicy {
+        self.retention
+    }
+
+    /// Replaces the fleet-wide retention policy: future shards are
+    /// created with it, and every existing shard enforces the new bound
+    /// on its backlog immediately ([`Shard::set_retention`]).
+    pub fn set_retention(&mut self, retention: RetentionPolicy) {
+        self.retention = retention;
+        for shard in &self.shards {
+            shard.set_retention(retention);
+        }
+    }
+
+    /// The background maintenance cadence (consumed by a serving daemon;
+    /// the fleet itself never acts on it).
+    #[must_use]
+    pub fn maintenance(&self) -> MaintenancePolicy {
+        self.maintenance
+    }
+
+    /// Replaces the maintenance cadence recorded (and persisted) with
+    /// this fleet.
+    pub fn set_maintenance(&mut self, maintenance: MaintenancePolicy) {
+        self.maintenance = maintenance;
+    }
+
+    /// Replaces the router with a built-in kind (persisted in the
+    /// manifest).
+    pub fn set_router(&mut self, kind: RouterKind) {
+        self.router = kind.build();
+        self.router_kind = Some(kind);
     }
 
     /// Migrates a pre-fleet single-building model into a one-shard fleet
@@ -521,28 +841,24 @@ impl GraficsFleet {
     pub fn from_model(model: Grafics) -> Self {
         let mut fleet = GraficsFleet::new();
         fleet
-            .add_shard(BuildingId(0), model, RetentionPolicy::KeepAll)
+            .add_shard(BuildingId(0), model)
             .expect("empty fleet has no duplicate");
         fleet
     }
 
-    /// Adds a shard for `id`.
+    /// Adds a shard for `id` under the fleet-wide retention policy
+    /// ([`GraficsFleet::retention`]).
     ///
     /// # Errors
     ///
     /// [`FleetError::DuplicateBuilding`] if a shard with this id exists.
-    pub fn add_shard(
-        &mut self,
-        id: BuildingId,
-        model: Grafics,
-        retention: RetentionPolicy,
-    ) -> Result<&Arc<Shard>, FleetError> {
+    pub fn add_shard(&mut self, id: BuildingId, model: Grafics) -> Result<&Arc<Shard>, FleetError> {
         let at = match self.shards.binary_search_by_key(&id, |s| s.id()) {
             Ok(_) => return Err(FleetError::DuplicateBuilding(id)),
             Err(at) => at,
         };
         self.shards
-            .insert(at, Arc::new(Shard::new(id, model, retention)));
+            .insert(at, Arc::new(Shard::new(id, model, self.retention)));
         Ok(&self.shards[at])
     }
 
@@ -613,7 +929,48 @@ impl GraficsFleet {
             floor: pred.floor,
             distance: pred.distance,
             margin,
+            fallback: false,
         })
+    }
+
+    /// Like [`GraficsFleet::serve`], but a record the router declines is
+    /// **broadcast** to every shard instead of being discarded: each
+    /// shard serves it with an identical clone of `rng` (so the answer
+    /// per shard equals what direct routing there would have produced),
+    /// and the best-distance answer wins, ties towards the lower
+    /// building id, flagged [`FleetPrediction::fallback`]. This closes
+    /// the "records straddling buildings" gap — e.g. malls sharing
+    /// podium APs, where a strict router refuses to guess.
+    ///
+    /// # Errors
+    ///
+    /// - [`FleetError::NoRoute`] if no shard at all can serve the record
+    ///   (it overlaps no building's published AP inventory);
+    /// - [`FleetError::Model`] on embedding failure in the routed shard.
+    pub fn serve_with_fallback<R: Rng + Clone>(
+        &self,
+        record: &SignalRecord,
+        rng: &mut R,
+    ) -> Result<FleetPrediction, FleetError> {
+        let snapshots = self.snapshots();
+        match self.router.route(&snapshots, record) {
+            Some(id) => {
+                let snap = snapshots
+                    .into_iter()
+                    .find(|(sid, _)| *sid == id)
+                    .ok_or(FleetError::UnknownBuilding(id))?
+                    .1;
+                let (pred, margin) = GraficsServer::over(snap).infer_with_margin(record, rng)?;
+                Ok(FleetPrediction {
+                    building: id,
+                    floor: pred.floor,
+                    distance: pred.distance,
+                    margin,
+                    fallback: false,
+                })
+            }
+            None => broadcast_best(&snapshots, record, |_| rng.clone()).ok_or(FleetError::NoRoute),
+        }
     }
 
     /// Routes and serves a whole batch on `threads` workers. Routing runs
@@ -629,6 +986,34 @@ impl GraficsFleet {
         records: &[SignalRecord],
         seed: u64,
         threads: usize,
+    ) -> Vec<Option<FleetPrediction>> {
+        self.serve_batch_impl(records, seed, threads, false)
+    }
+
+    /// [`GraficsFleet::serve_batch`] with the cross-shard broadcast
+    /// fallback of [`GraficsFleet::serve_with_fallback`]: records the
+    /// router declines are answered by the best-distance shard (each
+    /// shard sees the record's own [`record_rng`](crate::record_rng)
+    /// stream, so a fallback answer from shard `S` is bit-identical to
+    /// what routing the record to `S` directly would have produced) and
+    /// flagged [`FleetPrediction::fallback`]. Routed records are served
+    /// exactly as by `serve_batch`. Still thread-count invariant.
+    #[must_use]
+    pub fn serve_batch_with_fallback(
+        &self,
+        records: &[SignalRecord],
+        seed: u64,
+        threads: usize,
+    ) -> Vec<Option<FleetPrediction>> {
+        self.serve_batch_impl(records, seed, threads, true)
+    }
+
+    fn serve_batch_impl(
+        &self,
+        records: &[SignalRecord],
+        seed: u64,
+        threads: usize,
+        fallback: bool,
     ) -> Vec<Option<FleetPrediction>> {
         let mut out: Vec<Option<FleetPrediction>> = vec![None; records.len()];
         if records.is_empty() || self.shards.is_empty() {
@@ -657,7 +1042,15 @@ impl GraficsFleet {
                 .zip(route_chunk.iter().zip(out_chunk))
                 .enumerate()
             {
-                let Some(sidx) = *route else { continue };
+                let Some(sidx) = *route else {
+                    if fallback {
+                        // Unroutable: broadcast, every shard on the same
+                        // per-record stream. Rare, so fresh sessions are
+                        // fine.
+                        *slot = broadcast_best(&snapshots, record, |_| record_rng(seed, base + k));
+                    }
+                    continue;
+                };
                 let server = sessions[sidx]
                     .get_or_insert_with(|| GraficsServer::over(snapshots[sidx].1.clone()));
                 let mut rng = record_rng(seed, base + k);
@@ -669,6 +1062,7 @@ impl GraficsFleet {
                         floor: pred.floor,
                         distance: pred.distance,
                         margin,
+                        fallback: false,
                     });
             }
         };
@@ -733,16 +1127,22 @@ impl GraficsFleet {
         }
     }
 
-    /// Per-shard statistics, sorted ascending by building id.
+    /// Fleet-wide statistics (per shard, sorted ascending by building
+    /// id) — the shared serializable shape behind `grafics fleet stat`
+    /// and the HTTP `/v1/stat` endpoint.
     #[must_use]
-    pub fn stats(&self) -> Vec<ShardStats> {
-        self.shards.iter().map(|s| s.stats()).collect()
+    pub fn stats(&self) -> FleetStats {
+        FleetStats {
+            shards: self.shards.iter().map(|s| s.stats()).collect(),
+        }
     }
 
-    /// Saves every shard's **write-side** model (the most complete state,
-    /// including unpublished absorbs) as `shard-<id>.json` under `dir`.
-    /// Call [`GraficsFleet::publish_all`] first if the published and
-    /// saved states must coincide.
+    /// Saves the fleet under `dir`: a `fleet.json` manifest (router
+    /// choice, retention policy, maintenance cadence — see
+    /// [`FleetManifest`]) plus every shard's **write-side** model (the
+    /// most complete state, including unpublished absorbs) as
+    /// `shard-<id>.json`. Call [`GraficsFleet::publish_all`] first if the
+    /// published and saved states must coincide.
     ///
     /// # Errors
     ///
@@ -750,6 +1150,9 @@ impl GraficsFleet {
     pub fn save_dir<P: AsRef<Path>>(&self, dir: P) -> std::io::Result<()> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
+        let manifest =
+            serde_json::to_string_pretty(&self.manifest()).map_err(std::io::Error::other)?;
+        std::fs::write(dir.join(FLEET_MANIFEST_FILE), manifest)?;
         for shard in &self.shards {
             let path = dir.join(format!("shard-{}.json", shard.id().0));
             shard.with_write_model(|m| m.save_json(&path))?;
@@ -757,18 +1160,33 @@ impl GraficsFleet {
         Ok(())
     }
 
-    /// Loads a fleet from a directory of `shard-<id>.json` files written
-    /// by [`GraficsFleet::save_dir`] (or assembled by `grafics fleet
-    /// train`). Every shard gets `retention`; the router is the default
-    /// [`OverlapRouter`].
+    /// Loads a fleet from a directory written by
+    /// [`GraficsFleet::save_dir`] (or assembled by `grafics fleet
+    /// train`): router, retention, and maintenance cadence come from the
+    /// `fleet.json` manifest, with no runtime flags needed. A PR-3-era
+    /// directory carrying only `shard-<id>.json` files migrates
+    /// losslessly: it loads with [`FleetManifest::default`], exactly the
+    /// configuration the old loader hard-wired.
     ///
     /// # Errors
     ///
-    /// IO/serde errors, or `InvalidData` if `dir` holds no shard files.
-    pub fn load_dir<P: AsRef<Path>>(dir: P, retention: RetentionPolicy) -> std::io::Result<Self> {
-        let mut fleet = GraficsFleet::new();
+    /// IO/serde errors (including a malformed manifest), or
+    /// `InvalidData` if `dir` holds no shard files.
+    pub fn load_dir<P: AsRef<Path>>(dir: P) -> std::io::Result<Self> {
+        let dir = dir.as_ref();
+        let manifest = match std::fs::read_to_string(dir.join(FLEET_MANIFEST_FILE)) {
+            Ok(json) => serde_json::from_str::<FleetManifest>(&json).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("{}: {e}", dir.join(FLEET_MANIFEST_FILE).display()),
+                )
+            })?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => FleetManifest::default(),
+            Err(e) => return Err(e),
+        };
+        let mut fleet = GraficsFleet::with_manifest(manifest);
         let mut ids: Vec<(u32, std::path::PathBuf)> = Vec::new();
-        for entry in std::fs::read_dir(dir.as_ref())? {
+        for entry in std::fs::read_dir(dir)? {
             let entry = entry?;
             let name = entry.file_name();
             let Some(id) = name
@@ -785,15 +1203,46 @@ impl GraficsFleet {
         for (id, path) in ids {
             let model = Grafics::load_json(&path)?;
             fleet
-                .add_shard(BuildingId(id), model, retention)
+                .add_shard(BuildingId(id), model)
                 .map_err(|e| std::io::Error::other(e.to_string()))?;
         }
         if fleet.is_empty() {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
-                format!("no shard-<id>.json files under {}", dir.as_ref().display()),
+                format!("no shard-<id>.json files under {}", dir.display()),
             ));
         }
         Ok(fleet)
     }
+}
+
+/// Serves `record` on **every** snapshot — shard `i` drawing from the
+/// fresh stream `rng_for_shard(i)` — and returns the best-distance
+/// answer, ties towards the lower building id, flagged as a fallback.
+/// `None` if no shard can serve the record at all.
+fn broadcast_best<R: Rng>(
+    snapshots: &[(BuildingId, Arc<Grafics>)],
+    record: &SignalRecord,
+    mut rng_for_shard: impl FnMut(usize) -> R,
+) -> Option<FleetPrediction> {
+    let mut best: Option<FleetPrediction> = None;
+    for (i, (id, snap)) in snapshots.iter().enumerate() {
+        let mut rng = rng_for_shard(i);
+        let Ok((pred, margin)) =
+            GraficsServer::over(snap.clone()).infer_with_margin(record, &mut rng)
+        else {
+            continue;
+        };
+        // Strict < keeps the first (lowest-id) shard on ties.
+        if best.as_ref().is_none_or(|b| pred.distance < b.distance) {
+            best = Some(FleetPrediction {
+                building: *id,
+                floor: pred.floor,
+                distance: pred.distance,
+                margin,
+                fallback: true,
+            });
+        }
+    }
+    best
 }

@@ -52,8 +52,9 @@ mod fleet;
 mod server;
 
 pub use fleet::{
-    FleetError, FleetPrediction, GraficsFleet, OverlapRouter, RetentionPolicy, Router, Shard,
-    ShardStats,
+    FleetError, FleetManifest, FleetPrediction, FleetStats, GraficsFleet, MaintenancePolicy,
+    OverlapRouter, RetentionPolicy, Router, RouterKind, Shard, ShardStats, WeightedOverlapRouter,
+    FLEET_MANIFEST_VERSION,
 };
 pub use grafics_cluster::ClusterError;
 pub use grafics_cluster::Prediction;

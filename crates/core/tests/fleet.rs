@@ -2,7 +2,10 @@
 //! isolation across the snapshot swap, bounded retention that keeps the
 //! negative sampler exact, and lossless migration of pre-fleet models.
 
-use grafics_core::{record_rng, Grafics, GraficsConfig, GraficsFleet, RetentionPolicy, Shard};
+use grafics_core::{
+    record_rng, FleetManifest, Grafics, GraficsConfig, GraficsFleet, GraficsServer,
+    MaintenancePolicy, RetentionPolicy, Router, RouterKind, Shard,
+};
 use grafics_data::BuildingModel;
 use grafics_types::{BuildingId, SignalRecord};
 use proptest::prelude::*;
@@ -57,8 +60,9 @@ fn fleet_fixture() -> &'static Fixture {
 fn build_fleet(retention: RetentionPolicy) -> GraficsFleet {
     let (models, _) = fleet_fixture();
     let mut fleet = GraficsFleet::new();
+    fleet.set_retention(retention);
     for (id, model) in models {
-        fleet.add_shard(*id, model.clone(), retention).unwrap();
+        fleet.add_shard(*id, model.clone()).unwrap();
     }
     fleet
 }
@@ -300,7 +304,7 @@ fn single_model_migrates_into_one_shard_fleet() {
     // Round trip the fleet itself.
     let fleet_dir = dir.join("fleet");
     fleet.save_dir(&fleet_dir).unwrap();
-    let reloaded = GraficsFleet::load_dir(&fleet_dir, RetentionPolicy::KeepAll).unwrap();
+    let reloaded = GraficsFleet::load_dir(&fleet_dir).unwrap();
     assert_eq!(reloaded.len(), 1);
 
     // All three serve bit-identically to the original monolith.
@@ -322,6 +326,197 @@ fn single_model_migrates_into_one_shard_fleet() {
     }
     std::fs::remove_file(&single).ok();
     std::fs::remove_dir_all(&fleet_dir).ok();
+}
+
+/// Satellite (manifest): save_dir writes `fleet.json`; load_dir restores
+/// router, retention, and maintenance cadence without runtime flags; and
+/// a PR-3-era directory (shards only, no manifest) migrates losslessly
+/// to the default manifest — the behaviour the old loader hard-wired.
+#[test]
+fn manifest_round_trips_and_pre_manifest_dirs_migrate() {
+    let dir = std::env::temp_dir().join("grafics-fleet-manifest");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut fleet = build_fleet(RetentionPolicy::KeepAll);
+    fleet.set_retention(RetentionPolicy::PerFloorCap(7));
+    fleet.set_router(RouterKind::WeightedOverlap);
+    fleet.set_maintenance(MaintenancePolicy {
+        publish_after_absorbs: Some(32),
+        publish_after_secs: Some(1.5),
+        refresh_every_publishes: Some(4),
+    });
+    let saved = fleet.manifest();
+    fleet.save_dir(&dir).unwrap();
+
+    let reloaded = GraficsFleet::load_dir(&dir).unwrap();
+    assert_eq!(reloaded.manifest(), saved);
+    assert_eq!(reloaded.retention(), RetentionPolicy::PerFloorCap(7));
+    assert_eq!(reloaded.len(), 3);
+
+    // PR-3-era directory: the same shards without the manifest file.
+    std::fs::remove_file(dir.join("fleet.json")).unwrap();
+    let migrated = GraficsFleet::load_dir(&dir).unwrap();
+    assert_eq!(migrated.manifest(), FleetManifest::default());
+    assert_eq!(migrated.len(), 3);
+    // And the default manifest reproduces the old behaviour: KeepAll +
+    // overlap routing.
+    let (_, stream) = fleet_fixture();
+    let records: Vec<SignalRecord> = stream.iter().map(|(_, r)| r.clone()).take(20).collect();
+    let old_style = build_fleet(RetentionPolicy::KeepAll).serve_batch(&records, 3, 1);
+    let migrated_out = migrated.serve_batch(&records, 3, 1);
+    for (a, b) in old_style.iter().zip(&migrated_out) {
+        match (a, b) {
+            (Some(a), Some(b)) => {
+                assert_eq!(a.floor, b.floor);
+                assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+            }
+            (None, None) => {}
+            _ => panic!("migration changed the served set"),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The weighted router agrees with the overlap router on essentially the
+/// whole home-building stream (disjoint AP namespaces), while remaining
+/// deterministic and persistable.
+#[test]
+fn weighted_router_sends_records_home() {
+    let mut fleet = build_fleet(RetentionPolicy::KeepAll);
+    fleet.set_router(RouterKind::WeightedOverlap);
+    let (_, stream) = fleet_fixture();
+    let mut routed_home = 0usize;
+    let mut routed = 0usize;
+    for (truth, record) in stream {
+        if let Some(id) = fleet.route(record) {
+            routed += 1;
+            routed_home += usize::from(id == *truth);
+        }
+    }
+    assert!(routed * 10 >= stream.len() * 9, "routed {routed}");
+    assert!(
+        routed_home * 20 >= routed * 19,
+        "weighted router must send records home: {routed_home}/{routed}"
+    );
+}
+
+/// A router that always declines, forcing the broadcast fallback.
+struct NeverRoute;
+
+impl Router for NeverRoute {
+    fn route(
+        &self,
+        _snapshots: &[(BuildingId, std::sync::Arc<Grafics>)],
+        _record: &SignalRecord,
+    ) -> Option<BuildingId> {
+        None
+    }
+}
+
+/// Satellite (fallback): a record the router declines is served by
+/// broadcasting to all shards — the winner is the best-distance shard,
+/// its answer bit-identical to routing there directly with the same
+/// stream — and flagged; `serve_batch` (no fallback) still yields `None`.
+#[test]
+fn noroute_broadcast_takes_best_distance_and_flags_it() {
+    let (models, stream) = fleet_fixture();
+    let mut fleet = GraficsFleet::with_router(Box::new(NeverRoute));
+    for (id, model) in models {
+        fleet.add_shard(*id, model.clone()).unwrap();
+    }
+    let records: Vec<SignalRecord> = stream.iter().map(|(_, r)| r.clone()).take(15).collect();
+    let seed = 2025u64;
+
+    assert!(
+        fleet
+            .serve_batch(&records, seed, 1)
+            .iter()
+            .all(Option::is_none),
+        "without fallback, a declining router serves nothing"
+    );
+
+    let served = fleet.serve_batch_with_fallback(&records, seed, 2);
+    let mut answered = 0usize;
+    for (i, out) in served.iter().enumerate() {
+        let Some(pred) = out else { continue };
+        answered += 1;
+        assert!(pred.fallback, "record {i} must be flagged as fallback");
+        // Reference: every shard serves the record on the same stream;
+        // the best distance (ties → lowest id) must be the answer.
+        let mut best: Option<(f64, BuildingId, i16)> = None;
+        for shard in fleet.shards() {
+            let mut rng = record_rng(seed, i);
+            let Ok(r) = GraficsServer::over(shard.snapshot()).infer(&records[i], &mut rng) else {
+                continue;
+            };
+            if best.is_none_or(|(d, _, _)| r.distance < d) {
+                best = Some((r.distance, shard.id(), r.floor.0));
+            }
+        }
+        let (distance, building, floor) = best.expect("served record has a serving shard");
+        assert_eq!(pred.building, building, "record {i}");
+        assert_eq!(pred.floor.0, floor, "record {i}");
+        assert_eq!(pred.distance.to_bits(), distance.to_bits(), "record {i}");
+    }
+    assert!(answered * 10 >= records.len() * 9, "answered {answered}");
+
+    // The single-record path agrees with the batch path.
+    let mut rng = record_rng(seed, 0);
+    let single = fleet.serve_with_fallback(&records[0], &mut rng).unwrap();
+    let batch0 = served[0].unwrap();
+    assert_eq!(single.building, batch0.building);
+    assert_eq!(single.distance.to_bits(), batch0.distance.to_bits());
+    assert!(single.fallback);
+}
+
+/// `Shard::refresh_write_side` keeps the few-labelled-seeds regime (one
+/// seed per existing cluster, so the cluster count is stable) and is
+/// indexed by record id — retention eviction gaps plus repeated
+/// refreshes never shift a seed label onto the wrong record, and the
+/// refreshed shard still serves.
+#[test]
+fn refresh_write_side_survives_eviction_gaps() {
+    let (models, stream) = fleet_fixture();
+    let shard = Shard::new(
+        BuildingId(0),
+        models[0].1.clone(),
+        RetentionPolicy::FifoBudget(5),
+    );
+    let clusters_before = shard.with_write_model(|m| m.clusters().clusters().len());
+    let own: Vec<&SignalRecord> = stream
+        .iter()
+        .filter(|(id, _)| *id == BuildingId(0))
+        .map(|(_, r)| r)
+        .collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    // 12 absorbs against a budget of 5: evictions punch id gaps into the
+    // absorbed range.
+    for r in own.iter().take(12) {
+        let _ = shard.absorb(r, &mut rng);
+    }
+    shard.refresh_write_side(&mut rng).unwrap();
+    // More absorbs and a second refresh — the historical failure mode
+    // was the refit *after* positions and record ids diverged.
+    for r in own.iter().skip(12).take(8) {
+        let _ = shard.absorb(r, &mut rng);
+    }
+    shard.refresh_write_side(&mut rng).unwrap();
+    let clusters_after = shard.with_write_model(|m| m.clusters().clusters().len());
+    assert_eq!(
+        clusters_after, clusters_before,
+        "refresh must reseed one label per cluster, not per record"
+    );
+    shard.publish();
+    let mut session = shard.server();
+    let mut served = 0usize;
+    for (i, r) in own.iter().take(10).enumerate() {
+        let mut qrng = record_rng(7, i);
+        if let Ok(pred) = session.infer(r, &mut qrng) {
+            assert!(pred.distance.is_finite());
+            served += 1;
+        }
+    }
+    assert!(served >= 8, "refreshed shard must keep serving: {served}");
 }
 
 /// `infer_topk` (now `(floor, distance)` pairs) heads with `infer`'s

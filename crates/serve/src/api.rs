@@ -1,0 +1,308 @@
+//! The JSON API over a [`FleetState`]: request/response bodies and the
+//! endpoint dispatcher. Wire shapes reuse the workspace's `serde` models
+//! (a record is the same `{"readings":[{"mac":…,"rssi":…}]}` JSON that
+//! JSONL corpora carry), and the serving endpoints are *bit-identical*
+//! to the in-process paths: `/v1/infer_batch` with seed `s` returns
+//! exactly [`GraficsFleet::serve_batch`]`(records, s, threads)`, and
+//! `/v1/infer` is the one-record batch (`record_rng(seed, 0)` stream).
+//!
+//! [`GraficsFleet::serve_batch`]: grafics_core::GraficsFleet::serve_batch
+
+use crate::state::FleetState;
+use grafics_core::{record_rng, FleetError, FleetPrediction};
+use grafics_types::{BuildingId, SignalRecord};
+use serde::{Deserialize, Serialize};
+
+/// One served prediction on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictionBody {
+    /// The shard that answered.
+    pub building: u32,
+    /// Predicted floor number (ground floor 0, basements negative).
+    pub floor: i16,
+    /// Human-readable floor name (`"GF"`, `"2F"`, `"B1"`).
+    pub floor_name: String,
+    /// ℓ2 distance to the winning centroid.
+    pub distance: f64,
+    /// Distance gap to the nearest different-floor cluster — `None` on
+    /// single-floor shards, where the in-process margin is `+∞` (JSON
+    /// has no infinities; `null` keeps the typed body deserializable).
+    pub margin: Option<f64>,
+    /// `true` if the answer came from the cross-shard broadcast
+    /// fallback rather than the router.
+    pub fallback: bool,
+}
+
+impl From<&FleetPrediction> for PredictionBody {
+    fn from(p: &FleetPrediction) -> Self {
+        PredictionBody {
+            building: p.building.0,
+            floor: p.floor.0,
+            floor_name: p.floor.to_string(),
+            distance: p.distance,
+            margin: p.margin.is_finite().then_some(p.margin),
+            fallback: p.fallback,
+        }
+    }
+}
+
+/// `POST /v1/infer_batch` response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchBody {
+    /// One slot per input record, in order; `null` where the record
+    /// could not be routed or embedded.
+    pub predictions: Vec<Option<PredictionBody>>,
+    /// Count of non-null predictions.
+    pub served: usize,
+}
+
+/// `POST /v1/absorb` response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AbsorbBody {
+    /// The shard that absorbed the record.
+    pub building: u32,
+    /// The record's id inside that shard (feeds retention bookkeeping).
+    pub record_id: u32,
+    /// Zero-based process-wide absorb sequence number (the RNG stream
+    /// index of this absorb).
+    pub seq: u64,
+    /// Absorbs pending publish on that shard, after this one.
+    pub pending: usize,
+}
+
+/// One `(building, epoch)` pair in a `POST /v1/publish` response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochBody {
+    /// The published shard.
+    pub building: u32,
+    /// Its publish epoch after the call.
+    pub epoch: u64,
+}
+
+/// `POST /v1/publish` response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PublishBody {
+    /// The shards published by this call, ascending by building id.
+    pub epochs: Vec<EpochBody>,
+}
+
+/// `GET /healthz` response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthBody {
+    /// Always `true` when the server answers at all.
+    pub ok: bool,
+    /// Shards in the served fleet.
+    pub shards: usize,
+    /// Seconds since the server started.
+    pub uptime_secs: f64,
+    /// Requests handled so far.
+    pub requests: u64,
+    /// Records absorbed so far.
+    pub absorbs: u64,
+}
+
+#[derive(Deserialize)]
+struct InferRequest {
+    record: SignalRecord,
+    seed: Option<u64>,
+    fallback: Option<bool>,
+}
+
+#[derive(Deserialize)]
+struct InferBatchRequest {
+    records: Vec<SignalRecord>,
+    seed: Option<u64>,
+    threads: Option<usize>,
+    fallback: Option<bool>,
+}
+
+#[derive(Deserialize)]
+struct AbsorbRequest {
+    record: SignalRecord,
+    building: Option<u32>,
+}
+
+#[derive(Deserialize)]
+struct PublishRequest {
+    building: Option<u32>,
+}
+
+/// An HTTP `(status, JSON body)` pair.
+pub type ApiResult = (u16, String);
+
+fn json_body<T: Serialize>(value: &T) -> String {
+    serde_json::to_string(value).unwrap_or_else(|_| "{}".to_owned())
+}
+
+fn error_body(status: u16, message: &str) -> ApiResult {
+    (status, json_body(&serde_json::json!({ "error": message })))
+}
+
+fn parse_json<T: serde::Deserialize>(body: &[u8]) -> Result<T, ApiResult> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| error_body(400, "request body is not UTF-8"))?;
+    serde_json::from_str(text).map_err(|e| error_body(400, &format!("invalid JSON: {e}")))
+}
+
+/// Re-validates a record that arrived over the wire (derived `serde`
+/// bypasses [`SignalRecord::new`]'s sort/dedup/non-empty invariants).
+fn sanitize(record: &SignalRecord) -> Result<SignalRecord, ApiResult> {
+    SignalRecord::new(record.readings().to_vec())
+        .map_err(|e| error_body(400, &format!("invalid record: {e}")))
+}
+
+/// Routes one request to its handler. Unknown paths get 404; known paths
+/// with the wrong method get 405.
+#[must_use]
+pub fn dispatch(state: &FleetState, method: &str, path: &str, body: &[u8]) -> ApiResult {
+    match (method, path) {
+        ("GET", "/healthz") => healthz(state),
+        ("GET", "/v1/stat") => (200, json_body(&state.fleet().stats())),
+        ("POST", "/v1/infer") => infer(state, body).unwrap_or_else(|e| e),
+        ("POST", "/v1/infer_batch") => infer_batch(state, body).unwrap_or_else(|e| e),
+        ("POST", "/v1/absorb") => absorb(state, body).unwrap_or_else(|e| e),
+        ("POST", "/v1/publish") => publish(state, body).unwrap_or_else(|e| e),
+        (
+            _,
+            "/healthz" | "/v1/stat" | "/v1/infer" | "/v1/infer_batch" | "/v1/absorb"
+            | "/v1/publish",
+        ) => error_body(405, &format!("{method} not allowed here")),
+        _ => error_body(404, &format!("no route for {path}")),
+    }
+}
+
+fn healthz(state: &FleetState) -> ApiResult {
+    (
+        200,
+        json_body(&HealthBody {
+            ok: true,
+            shards: state.fleet().len(),
+            uptime_secs: state.uptime_secs(),
+            requests: state.request_count(),
+            absorbs: state.absorb_count(),
+        }),
+    )
+}
+
+fn infer(state: &FleetState, body: &[u8]) -> Result<ApiResult, ApiResult> {
+    let req: InferRequest = parse_json(body)?;
+    let record = sanitize(&req.record)?;
+    let seed = req.seed.unwrap_or(0);
+    let records = [record];
+    let preds = if req.fallback.unwrap_or(false) {
+        state.fleet().serve_batch_with_fallback(&records, seed, 1)
+    } else {
+        state.fleet().serve_batch(&records, seed, 1)
+    };
+    match &preds[0] {
+        Some(p) => Ok((200, json_body(&PredictionBody::from(p)))),
+        None => Err(error_body(
+            422,
+            "record overlaps no building in the fleet; discarded",
+        )),
+    }
+}
+
+fn infer_batch(state: &FleetState, body: &[u8]) -> Result<ApiResult, ApiResult> {
+    let req: InferBatchRequest = parse_json(body)?;
+    let mut records = Vec::with_capacity(req.records.len());
+    for r in &req.records {
+        records.push(sanitize(r)?);
+    }
+    let seed = req.seed.unwrap_or(0);
+    // The worker thread answering this request fans the batch out on the
+    // shared rayon pool; the cap keeps one request from claiming an
+    // unbounded number of workers.
+    let threads = req.threads.unwrap_or(1).clamp(1, 16);
+    let preds = if req.fallback.unwrap_or(false) {
+        state
+            .fleet()
+            .serve_batch_with_fallback(&records, seed, threads)
+    } else {
+        state.fleet().serve_batch(&records, seed, threads)
+    };
+    let predictions: Vec<Option<PredictionBody>> = preds
+        .iter()
+        .map(|p| p.as_ref().map(PredictionBody::from))
+        .collect();
+    let served = predictions.iter().flatten().count();
+    Ok((
+        200,
+        json_body(&BatchBody {
+            predictions,
+            served,
+        }),
+    ))
+}
+
+fn absorb(state: &FleetState, body: &[u8]) -> Result<ApiResult, ApiResult> {
+    let req: AbsorbRequest = parse_json(body)?;
+    let record = sanitize(&req.record)?;
+    let seq = state.next_absorb_seq();
+    let mut rng = record_rng(state.seed(), usize::try_from(seq).unwrap_or(usize::MAX));
+    let outcome = match req.building {
+        Some(b) => state
+            .fleet()
+            .absorb_to(BuildingId(b), &record, &mut rng)
+            .map(|rid| (BuildingId(b), rid)),
+        None => state.fleet().absorb(&record, &mut rng),
+    };
+    let (building, rid) = outcome.map_err(|e| match e {
+        FleetError::UnknownBuilding(_) => error_body(404, &e.to_string()),
+        _ => error_body(422, &e.to_string()),
+    })?;
+    state.count_absorb_accepted();
+    let pending = state
+        .fleet()
+        .shard(building)
+        .map_or(0, |s| s.stats().pending);
+    // Wake the maintenance daemon as soon as a publish threshold is
+    // crossed, instead of waiting out its poll tick.
+    if state
+        .fleet()
+        .maintenance()
+        .publish_after_absorbs
+        .is_some_and(|n| n > 0 && pending >= n)
+    {
+        state.cadence().notify();
+    }
+    Ok((
+        200,
+        json_body(&AbsorbBody {
+            building: building.0,
+            record_id: rid.0,
+            seq,
+            pending,
+        }),
+    ))
+}
+
+fn publish(state: &FleetState, body: &[u8]) -> Result<ApiResult, ApiResult> {
+    let req: PublishRequest = if body.is_empty() {
+        PublishRequest { building: None }
+    } else {
+        parse_json(body)?
+    };
+    let mut epochs = Vec::new();
+    match req.building {
+        Some(b) => {
+            let shard = state
+                .fleet()
+                .shard(BuildingId(b))
+                .ok_or_else(|| error_body(404, &format!("no shard for building b{b}")))?;
+            epochs.push(EpochBody {
+                building: b,
+                epoch: shard.publish(),
+            });
+        }
+        None => {
+            for shard in state.fleet().shards() {
+                epochs.push(EpochBody {
+                    building: shard.id().0,
+                    epoch: shard.publish(),
+                });
+            }
+        }
+    }
+    Ok((200, json_body(&PublishBody { epochs })))
+}

@@ -1,0 +1,114 @@
+//! A minimal blocking HTTP/1.1 client over one keep-alive connection —
+//! enough to drive the server from tests, the `http_smoke` benchmark,
+//! and operator scripts without any external dependency. Not a general
+//! client: no redirects, no TLS, no chunked responses (the server never
+//! sends them).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One keep-alive connection to a `grafics-serve` endpoint.
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl HttpClient {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect error.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(HttpClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Sends one request and reads the response; returns
+    /// `(status, body)`. The connection stays open for the next call.
+    ///
+    /// # Errors
+    ///
+    /// IO errors, or `InvalidData` on a malformed response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
+        let body = body.unwrap_or("");
+        write!(
+            self.writer,
+            "{method} {path} HTTP/1.1\r\nHost: grafics\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+            body.len(),
+        )?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Convenience: `POST` with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HttpClient::request`].
+    pub fn post(&mut self, path: &str, json: &str) -> std::io::Result<(u16, String)> {
+        self.request("POST", path, Some(json))
+    }
+
+    /// Convenience: `GET`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HttpClient::request`].
+    pub fn get(&mut self, path: &str) -> std::io::Result<(u16, String)> {
+        self.request("GET", path, None)
+    }
+
+    fn read_response(&mut self) -> std::io::Result<(u16, String)> {
+        let malformed =
+            |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_owned());
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        // Skip any interim 1xx responses (the server sends 100 Continue
+        // only when asked; tolerate it anyway).
+        loop {
+            let status: u16 = line
+                .split(' ')
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| malformed(&format!("bad status line {line:?}")))?;
+            let mut content_length = 0usize;
+            loop {
+                let mut header = String::new();
+                self.reader.read_line(&mut header)?;
+                let header = header.trim_end();
+                if header.is_empty() {
+                    break;
+                }
+                if let Some((name, value)) = header.split_once(':') {
+                    if name.trim().eq_ignore_ascii_case("content-length") {
+                        content_length = value
+                            .trim()
+                            .parse()
+                            .map_err(|_| malformed("bad content-length"))?;
+                    }
+                }
+            }
+            if (100..200).contains(&status) {
+                line.clear();
+                self.reader.read_line(&mut line)?;
+                continue;
+            }
+            let mut body = vec![0u8; content_length];
+            self.reader.read_exact(&mut body)?;
+            let body = String::from_utf8(body).map_err(|_| malformed("body not UTF-8"))?;
+            return Ok((status, body));
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Background maintenance over a served fleet: auto-publish after N
+//! absorbs or T seconds, and periodic write-side refresh — the cadence a
+//! `MaintenancePolicy` describes and a long-running deployment needs so
+//! that no client ever has to call `/v1/publish` by hand.
+
+use crate::state::FleetState;
+use grafics_core::MaintenancePolicy;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// What the daemon did over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceReport {
+    /// Shard publishes triggered by the absorb-count or elapsed-time
+    /// thresholds.
+    pub publishes: u64,
+    /// Write-side refreshes (each immediately followed by a publish).
+    pub refreshes: u64,
+}
+
+/// A background thread enforcing a [`MaintenancePolicy`] over the
+/// served fleet:
+///
+/// - **publish after N absorbs** — a shard whose pending-absorb count
+///   reaches `publish_after_absorbs` is published; the absorb handler
+///   nudges the daemon's [`CadenceSignal`](crate::state::CadenceSignal)
+///   so the publish happens promptly, not at the next poll tick;
+/// - **publish after T seconds** — a shard with *any* pending absorbs is
+///   published once `publish_after_secs` have elapsed since its last
+///   daemon publish, bounding staleness under a trickle of traffic;
+/// - **refresh every K publishes** — before its K-th publish, a shard's
+///   write side is re-trained ([`Shard::refresh_write_side`]) so the
+///   published snapshot sheds the drift of frozen-background online
+///   embedding.
+///
+/// Publishing and refreshing run on this thread — the serve path never
+/// pays for a model clone or a re-train. Refresh draws from the daemon's
+/// own deterministic RNG stream (`seed`).
+///
+/// [`Shard::refresh_write_side`]: grafics_core::Shard::refresh_write_side
+pub struct MaintenanceDaemon {
+    stop: Arc<AtomicBool>,
+    state: Arc<FleetState>,
+    thread: JoinHandle<MaintenanceReport>,
+}
+
+impl MaintenanceDaemon {
+    /// Spawns the daemon. `tick` is the poll interval for the timed
+    /// knobs (the absorb-count knob is also signal-driven). A no-op
+    /// policy ([`MaintenancePolicy::is_noop`]) spawns a thread that only
+    /// waits for [`MaintenanceDaemon::stop`].
+    #[must_use]
+    pub fn spawn(
+        state: Arc<FleetState>,
+        policy: MaintenancePolicy,
+        tick: Duration,
+        seed: u64,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || run(&state, policy, tick, seed, &stop))
+        };
+        MaintenanceDaemon {
+            stop,
+            state,
+            thread,
+        }
+    }
+
+    /// Stops the daemon after at most one more tick and returns what it
+    /// did. Pending work is not flushed — publish explicitly if the
+    /// final state must be visible.
+    #[must_use]
+    pub fn stop(self) -> MaintenanceReport {
+        self.stop.store(true, Ordering::SeqCst);
+        self.state.cadence().notify();
+        self.thread.join().unwrap_or_default()
+    }
+}
+
+fn run(
+    state: &FleetState,
+    policy: MaintenancePolicy,
+    tick: Duration,
+    seed: u64,
+    stop: &AtomicBool,
+) -> MaintenanceReport {
+    let mut report = MaintenanceReport::default();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x6d61_696e_7464_6165); // "maintdae"
+    let shards = state.fleet().shards();
+    let mut last_publish: Vec<Instant> = shards.iter().map(|_| Instant::now()).collect();
+    let mut publishes_since_refresh: Vec<u32> = vec![0; shards.len()];
+
+    while !stop.load(Ordering::SeqCst) {
+        state.cadence().wait_timeout(tick);
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        if policy.is_noop() {
+            continue;
+        }
+        for (i, shard) in shards.iter().enumerate() {
+            let pending = shard.stats().pending;
+            // `Some(0)` thresholds are treated as disabled — otherwise
+            // they would publish (a full model clone under the absorb
+            // lock) on every tick with nothing pending.
+            let due_count = policy
+                .publish_after_absorbs
+                .is_some_and(|n| n > 0 && pending >= n);
+            let due_time = policy
+                .publish_after_secs
+                .is_some_and(|t| pending > 0 && last_publish[i].elapsed().as_secs_f64() >= t);
+            if !(due_count || due_time) {
+                continue;
+            }
+            publishes_since_refresh[i] += 1;
+            if policy
+                .refresh_every_publishes
+                .is_some_and(|k| k > 0 && publishes_since_refresh[i] >= k)
+            {
+                // Refresh feeds the publish below: the new snapshot is
+                // the re-trained model. A failed refresh (should not
+                // happen on a trained shard) still publishes the
+                // un-refreshed write side.
+                if shard.refresh_write_side(&mut rng).is_ok() {
+                    report.refreshes += 1;
+                }
+                publishes_since_refresh[i] = 0;
+            }
+            shard.publish();
+            last_publish[i] = Instant::now();
+            report.publishes += 1;
+        }
+    }
+    report
+}

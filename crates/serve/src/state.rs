@@ -1,0 +1,123 @@
+//! The shared serving state: the fleet plus the counters and signals the
+//! HTTP handlers and the maintenance daemon coordinate through.
+
+use grafics_core::GraficsFleet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Everything the request handlers and the [`crate::MaintenanceDaemon`]
+/// share: the fleet (absorb and serve take `&self`), the deterministic
+/// absorb sequence, request counters, and the daemon wake-up signal.
+pub struct FleetState {
+    fleet: GraficsFleet,
+    /// Base seed of the absorb RNG streams: absorb `i` (zero-based,
+    /// process-wide) draws from `record_rng(seed, i)`, so an absorb
+    /// stream replayed in order reproduces the same write-side state as
+    /// the in-process path.
+    seed: u64,
+    absorb_attempts: AtomicU64,
+    absorbs_accepted: AtomicU64,
+    requests: AtomicU64,
+    started: Instant,
+    cadence: CadenceSignal,
+}
+
+impl FleetState {
+    /// Wraps a fleet for serving. `seed` anchors the absorb RNG streams.
+    #[must_use]
+    pub fn new(fleet: GraficsFleet, seed: u64) -> Self {
+        FleetState {
+            fleet,
+            seed,
+            absorb_attempts: AtomicU64::new(0),
+            absorbs_accepted: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            started: Instant::now(),
+            cadence: CadenceSignal::default(),
+        }
+    }
+
+    /// The served fleet.
+    #[must_use]
+    pub fn fleet(&self) -> &GraficsFleet {
+        &self.fleet
+    }
+
+    /// The absorb-stream base seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Claims the next absorb sequence number (zero-based). Every
+    /// *attempt* claims one — a rejected absorb wastes its RNG stream
+    /// index deterministically, so replaying a request log (including
+    /// the rejects) reproduces the same write-side state.
+    pub fn next_absorb_seq(&self) -> u64 {
+        self.absorb_attempts.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Records one accepted absorb.
+    pub fn count_absorb_accepted(&self) {
+        self.absorbs_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Absorbs accepted (routed + embedded) so far.
+    #[must_use]
+    pub fn absorb_count(&self) -> u64 {
+        self.absorbs_accepted.load(Ordering::Relaxed)
+    }
+
+    /// Counts one handled request; returns the running total.
+    pub fn count_request(&self) -> u64 {
+        self.requests.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Requests handled so far.
+    #[must_use]
+    pub fn request_count(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Seconds since the state was created.
+    #[must_use]
+    pub fn uptime_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// The daemon wake-up signal (notified by the absorb handler when a
+    /// publish threshold is crossed).
+    #[must_use]
+    pub fn cadence(&self) -> &CadenceSignal {
+        &self.cadence
+    }
+}
+
+/// A level-triggered wake-up: the absorb path [`CadenceSignal::notify`]s,
+/// the daemon [`CadenceSignal::wait_timeout`]s — returning early when
+/// something happened, on schedule otherwise.
+#[derive(Default)]
+pub struct CadenceSignal {
+    pending: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl CadenceSignal {
+    /// Wakes the waiter now (e.g. a shard crossed its publish threshold).
+    pub fn notify(&self) {
+        *self.pending.lock().expect("cadence mutex") = true;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until notified or `timeout` elapses, clearing the pending
+    /// flag. Returns `true` if woken by a notification.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        let guard = self.pending.lock().expect("cadence mutex");
+        let (mut guard, _) = self
+            .cv
+            .wait_timeout_while(guard, timeout, |pending| !*pending)
+            .expect("cadence mutex");
+        std::mem::take(&mut guard)
+    }
+}

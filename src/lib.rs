@@ -51,6 +51,7 @@ pub use grafics_data as data;
 pub use grafics_embed as embed;
 pub use grafics_graph as graph;
 pub use grafics_metrics as metrics;
+pub use grafics_serve as serve;
 pub use grafics_types as types;
 pub use grafics_viz as viz;
 
@@ -58,13 +59,14 @@ pub use grafics_viz as viz;
 pub mod prelude {
     pub use grafics_cluster::{ClusterModel, ClusteringConfig};
     pub use grafics_core::{
-        Grafics, GraficsConfig, GraficsFleet, GraficsServer, Prediction, RetentionPolicy, Router,
-        Shard,
+        FleetManifest, FleetStats, Grafics, GraficsConfig, GraficsFleet, GraficsServer,
+        MaintenancePolicy, Prediction, RetentionPolicy, Router, RouterKind, Shard,
     };
     pub use grafics_data::{BuildingModel, FleetPreset};
     pub use grafics_embed::{ElineTrainer, EmbeddingConfig, EmbeddingModel, Objective};
     pub use grafics_graph::{BipartiteGraph, NegativeSampler, WeightFunction};
     pub use grafics_metrics::{ClassificationReport, ConfusionMatrix};
+    pub use grafics_serve::{HttpClient, HttpServer, ServeConfig};
     pub use grafics_types::{
         BuildingId, Dataset, FloorId, MacAddr, Reading, RecordId, Rssi, Sample, SignalRecord, Split,
     };

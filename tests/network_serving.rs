@@ -1,0 +1,107 @@
+//! Tier-1 pin of the network front end: the HTTP server over a fleet
+//! answers bit-identically to the in-process serving engine at equal
+//! seeds, and the manifest's maintenance cadence publishes absorbed
+//! records without any manual `/v1/publish`.
+
+use grafics::prelude::*;
+use grafics::serve::BatchBody;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::{Duration, Instant};
+
+fn trained() -> (Grafics, Vec<SignalRecord>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(61);
+    let ds = BuildingModel::office("net", 2)
+        .with_records_per_floor(30)
+        .simulate(&mut rng);
+    let split = ds.split(0.7, &mut rng).unwrap();
+    let train = split.train.with_label_budget(4, &mut rng);
+    let model = Grafics::train(&train, &GraficsConfig::fast(), &mut rng).unwrap();
+    let queries = split
+        .test
+        .samples()
+        .iter()
+        .map(|s| s.record.clone())
+        .collect();
+    (model, queries)
+}
+
+#[test]
+fn http_serving_matches_in_process_and_auto_publishes() {
+    let (model, queries) = trained();
+
+    // In-process reference on an identical fleet.
+    let reference = GraficsFleet::from_model(model.clone()).serve_batch(&queries, 17, 1);
+
+    let mut fleet = GraficsFleet::from_model(model);
+    fleet.set_maintenance(MaintenancePolicy {
+        publish_after_absorbs: Some(2),
+        publish_after_secs: None,
+        refresh_every_publishes: None,
+    });
+    let config = ServeConfig {
+        maintenance_tick: Duration::from_millis(25),
+        ..ServeConfig::default()
+    };
+    let server = HttpServer::bind(fleet, "127.0.0.1:0", config)
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+
+    // Bit-identical serving across the wire.
+    let body = format!(
+        "{{\"records\":{},\"seed\":17}}",
+        serde_json::to_string(&queries).unwrap()
+    );
+    let (status, response) = client.post("/v1/infer_batch", &body).unwrap();
+    assert_eq!(status, 200, "{response}");
+    let batch: BatchBody = serde_json::from_str(&response).unwrap();
+    assert_eq!(batch.predictions.len(), reference.len());
+    for (i, (wire, local)) in batch.predictions.iter().zip(&reference).enumerate() {
+        match (wire, local) {
+            (Some(w), Some(l)) => {
+                assert_eq!(w.floor, l.floor.0, "record {i}");
+                assert_eq!(w.distance.to_bits(), l.distance.to_bits(), "record {i}");
+                assert_eq!(
+                    w.margin
+                        .expect("two-floor shard has a finite margin")
+                        .to_bits(),
+                    l.margin.to_bits(),
+                    "record {i}"
+                );
+            }
+            (None, None) => {}
+            _ => panic!("record {i}: HTTP and in-process disagree on serving"),
+        }
+    }
+
+    // Two absorbs cross the cadence threshold: the daemon publishes with
+    // no client publish call.
+    let mut accepted = 0;
+    for record in &queries {
+        let body = format!("{{\"record\":{}}}", serde_json::to_string(record).unwrap());
+        let (status, _) = client.post("/v1/absorb", &body).unwrap();
+        accepted += u32::from(status == 200);
+        if accepted == 2 {
+            break;
+        }
+    }
+    assert_eq!(accepted, 2);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (status, body) = client.get("/v1/stat").unwrap();
+        assert_eq!(status, 200);
+        let stats: FleetStats = serde_json::from_str(&body).unwrap();
+        if stats.shards[0].epoch >= 1 && stats.total_pending() == 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "auto-publish cadence never fired: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let report = server.shutdown().unwrap();
+    assert!(report.maintenance_publishes >= 1);
+}
