@@ -44,9 +44,7 @@ impl AutoencoderProx {
         }
 
         let code = net.forward_partial(&x, encoder_layers);
-        let embeddings: Vec<Vec<f64>> = (0..code.rows())
-            .map(|r| code.row(r).iter().map(|&v| f64::from(v)).collect())
-            .collect();
+        let embeddings = grafics_types::RowMatrix::widen(&code);
         let labels: Vec<Option<FloorId>> = train.samples().iter().map(|s| s.floor).collect();
         let clusters = fit_prox(&embeddings, &labels)?;
         Ok(AutoencoderProx {

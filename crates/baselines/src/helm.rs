@@ -100,9 +100,7 @@ impl Helm {
         let stages = vec![stage1, stage2];
 
         // Pseudo-labels in the HELM feature space.
-        let embeddings: Vec<Vec<f64>> = (0..features.rows())
-            .map(|r| features.row(r).iter().map(|&v| f64::from(v)).collect())
-            .collect();
+        let embeddings = grafics_types::RowMatrix::widen(&features);
         let labels: Vec<Option<FloorId>> = train.samples().iter().map(|s| s.floor).collect();
         let pl = pseudo_labels(&embeddings, &labels);
         let mut floors = pl.clone();

@@ -119,14 +119,19 @@ impl From<grafics_cluster::ClusterError> for BaselineError {
 
 /// Assigns every unlabelled embedding the floor of its nearest labelled
 /// embedding (ℓ2), the paper's pseudo-label protocol for training the
-/// supervised baselines. Returns one label per row.
+/// supervised baselines. Rows live in the workspace's flat
+/// [`grafics_types::RowMatrix`]; distances go through the shared
+/// squared-distance kernel. Returns one label per row.
 ///
 /// # Panics
 ///
 /// Panics if `embeddings` and `labels` lengths differ or no label is set.
 #[must_use]
-pub fn pseudo_labels(embeddings: &[Vec<f64>], labels: &[Option<FloorId>]) -> Vec<FloorId> {
-    assert_eq!(embeddings.len(), labels.len());
+pub fn pseudo_labels(
+    embeddings: &grafics_types::RowMatrix<f64>,
+    labels: &[Option<FloorId>],
+) -> Vec<FloorId> {
+    assert_eq!(embeddings.rows(), labels.len());
     let labeled: Vec<(usize, FloorId)> = labels
         .iter()
         .enumerate()
@@ -137,7 +142,7 @@ pub fn pseudo_labels(embeddings: &[Vec<f64>], labels: &[Option<FloorId>]) -> Vec
         "pseudo-labelling needs at least one labelled sample"
     );
     embeddings
-        .iter()
+        .iter_rows()
         .enumerate()
         .map(|(i, e)| {
             if let Some(f) = labels[i] {
@@ -145,14 +150,7 @@ pub fn pseudo_labels(embeddings: &[Vec<f64>], labels: &[Option<FloorId>]) -> Vec
             }
             labeled
                 .iter()
-                .map(|&(j, f)| {
-                    let d: f64 = e
-                        .iter()
-                        .zip(&embeddings[j])
-                        .map(|(&a, &b)| (a - b) * (a - b))
-                        .sum();
-                    (d, f)
-                })
+                .map(|&(j, f)| (grafics_types::kernels::sqdist_f64(e, embeddings.row(j)), f))
                 .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"))
                 .map(|(_, f)| f)
                 .expect("labeled set non-empty")
@@ -166,7 +164,8 @@ mod tests {
 
     #[test]
     fn pseudo_labels_respect_given_labels() {
-        let emb = vec![vec![0.0], vec![0.1], vec![10.0], vec![10.1]];
+        let emb =
+            grafics_types::RowMatrix::from_rows(&[vec![0.0], vec![0.1], vec![10.0], vec![10.1]]);
         let labels = vec![Some(FloorId(0)), None, Some(FloorId(1)), None];
         let pl = pseudo_labels(&emb, &labels);
         assert_eq!(pl, vec![FloorId(0), FloorId(0), FloorId(1), FloorId(1)]);
@@ -175,6 +174,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one labelled")]
     fn pseudo_labels_require_a_label() {
-        let _ = pseudo_labels(&[vec![0.0]], &[None]);
+        let _ = pseudo_labels(&grafics_types::RowMatrix::from_rows(&[vec![0.0]]), &[None]);
     }
 }

@@ -92,7 +92,7 @@ impl MdsProx {
         }
 
         let labels: Vec<Option<FloorId>> = train.samples().iter().map(|s| s.floor).collect();
-        let clusters = fit_prox(&coords, &labels)?;
+        let clusters = fit_prox(&grafics_types::RowMatrix::from_rows(&coords), &labels)?;
         Ok(MdsProx {
             encoder,
             rows,

@@ -3,11 +3,12 @@
 
 use crate::{BaselineError, FloorClassifier, MatrixEncoder};
 use grafics_cluster::{ClusterModel, ClusteringConfig};
-use grafics_types::{Dataset, FloorId, SignalRecord};
+use grafics_types::{Dataset, FloorId, RowMatrix, SignalRecord};
 
-/// Fits the paper's proximity clustering over arbitrary embeddings.
+/// Fits the paper's proximity clustering over arbitrary embeddings
+/// (one flat row per sample).
 pub(crate) fn fit_prox(
-    embeddings: &[Vec<f64>],
+    embeddings: &RowMatrix<f64>,
     labels: &[Option<FloorId>],
 ) -> Result<ClusterModel, BaselineError> {
     if embeddings.is_empty() {
@@ -25,6 +26,16 @@ pub(crate) fn fit_prox(
 
 pub(crate) fn to_f64(row: &[f32]) -> Vec<f64> {
     row.iter().map(|&x| f64::from(x)).collect()
+}
+
+/// Widens nested `f32` rows into the flat `f64` matrix the cluster and
+/// pseudo-label layers consume (one allocation, exact conversion).
+pub(crate) fn widen_rows(rows: &[Vec<f32>]) -> RowMatrix<f64> {
+    let mut m = RowMatrix::with_capacity(rows.len(), rows.first().map_or(0, Vec::len));
+    for r in rows {
+        m.push_row_widen(r);
+    }
+    m
 }
 
 /// The Fig. 14 "Matrix" baseline: the fixed-vocabulary rows (−120 dBm
@@ -48,7 +59,7 @@ impl MatrixProx {
         }
         let encoder = MatrixEncoder::fit(train);
         let rows = encoder.encode_all_raw(train);
-        let embeddings: Vec<Vec<f64>> = rows.iter().map(|r| to_f64(r)).collect();
+        let embeddings = widen_rows(&rows);
         let labels: Vec<Option<FloorId>> = train.samples().iter().map(|s| s.floor).collect();
         let clusters = fit_prox(&embeddings, &labels)?;
         Ok(MatrixProx { encoder, clusters })

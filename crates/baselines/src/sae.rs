@@ -62,10 +62,7 @@ impl Sae {
         }
 
         // Pseudo-labels in the pretrained bottleneck space.
-        let code = &current;
-        let embeddings: Vec<Vec<f64>> = (0..code.rows())
-            .map(|r| code.row(r).iter().map(|&v| f64::from(v)).collect())
-            .collect();
+        let embeddings = grafics_types::RowMatrix::widen(&current);
         let labels: Vec<Option<FloorId>> = train.samples().iter().map(|s| s.floor).collect();
         let pl = pseudo_labels(&embeddings, &labels);
 

@@ -55,9 +55,7 @@ impl ScalableDnn {
             ae.train_epoch(&x, &x, Loss::Mse, config.lr, config.batch, rng);
         }
         let code = ae.forward_partial(&x, 4);
-        let embeddings: Vec<Vec<f64>> = (0..code.rows())
-            .map(|r| code.row(r).iter().map(|&v| f64::from(v)).collect())
-            .collect();
+        let embeddings = grafics_types::RowMatrix::widen(&code);
 
         // Stage 2: pseudo-labels + supervised classifier.
         let labels: Vec<Option<FloorId>> = train.samples().iter().map(|s| s.floor).collect();

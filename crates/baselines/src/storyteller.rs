@@ -72,10 +72,7 @@ impl StoryTeller {
         let x = Matrix::from_rows(&images);
 
         // Pseudo-labels in image space.
-        let embeddings: Vec<Vec<f64>> = images
-            .iter()
-            .map(|img| img.iter().map(|&v| f64::from(v)).collect())
-            .collect();
+        let embeddings = grafics_types::RowMatrix::widen(&x);
         let labels: Vec<Option<FloorId>> = train.samples().iter().map(|s| s.floor).collect();
         let pl = pseudo_labels(&embeddings, &labels);
         let mut floors = pl.clone();

@@ -44,10 +44,7 @@ impl SvmOvO {
 
         // Pseudo-labels computed directly in input space (the SVM has no
         // learned embedding of its own).
-        let embeddings: Vec<Vec<f64>> = rows
-            .iter()
-            .map(|r| r.iter().map(|&v| f64::from(v)).collect())
-            .collect();
+        let embeddings = crate::prox::widen_rows(&rows);
         let labels: Vec<Option<FloorId>> = train.samples().iter().map(|s| s.floor).collect();
         let pl = pseudo_labels(&embeddings, &labels);
         let mut floors = pl.clone();

@@ -1,0 +1,114 @@
+//! Criterion benches for the unified math-kernel layer
+//! (`grafics_types::kernels`): the f32 dot/axpy family across the
+//! monomorphised and lane-blocked variants, and the f64
+//! squared-distance kernels feeding the dissimilarity matrix — plus the
+//! flat cache-blocked dissimilarity build against an in-bench
+//! reproduction of the pre-backbone nested-`Vec` path.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use grafics_cluster::dissimilarity_matrix;
+use grafics_types::kernels::{dot_f32, dot_fixed_f32, dot_lanes_f32, sqdist4_f64, sqdist_f64};
+use grafics_types::RowMatrix;
+
+fn f32_pair(n: usize) -> (Vec<f32>, Vec<f32>) {
+    (
+        (0..n).map(|i| (i as f32 * 0.37).sin()).collect(),
+        (0..n).map(|i| (i as f32 * 0.91).cos()).collect(),
+    )
+}
+
+fn f64_points(n: usize, dim: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            (0..dim)
+                .map(|d| (((i * 31 + d * 17) % 97) as f64 * 0.37).sin() * 10.0)
+                .collect()
+        })
+        .collect()
+}
+
+/// Sequential vs lane-blocked vs fixed-dim f32 dot products.
+fn bench_dot_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/dot_f32");
+    for dim in [8usize, 16, 32, 64] {
+        let (a, b) = f32_pair(dim);
+        group.bench_with_input(BenchmarkId::new("sequential", dim), &dim, |bench, _| {
+            bench.iter(|| dot_f32(black_box(&a), black_box(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("lane_blocked", dim), &dim, |bench, _| {
+            bench.iter(|| dot_lanes_f32(black_box(&a), black_box(&b)));
+        });
+    }
+    let (a, b) = f32_pair(8);
+    let fa: &[f32; 8] = a.as_slice().try_into().unwrap();
+    let fb: &[f32; 8] = b.as_slice().try_into().unwrap();
+    group.bench_function("fixed_8", |bench| {
+        bench.iter(|| dot_fixed_f32::<8>(black_box(fa), black_box(fb)));
+    });
+    group.finish();
+}
+
+/// One-pair vs four-pair f64 squared distances (the dissimilarity
+/// matrix's inner kernel).
+fn bench_sqdist_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/sqdist_f64");
+    for dim in [8usize, 32, 64] {
+        let rows = f64_points(5, dim);
+        group.bench_with_input(BenchmarkId::new("one_pair", dim), &dim, |bench, _| {
+            bench.iter(|| sqdist_f64(black_box(&rows[0]), black_box(&rows[1])));
+        });
+        group.bench_with_input(BenchmarkId::new("four_pairs", dim), &dim, |bench, _| {
+            bench.iter(|| {
+                sqdist4_f64(
+                    black_box(&rows[0]),
+                    black_box(&rows[1]),
+                    black_box(&rows[2]),
+                    black_box(&rows[3]),
+                    black_box(&rows[4]),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Flat cache-blocked dissimilarity build vs the pre-backbone
+/// nested-`Vec` reference (bit-identical output, measured apart).
+fn bench_dissimilarity_layouts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/dissimilarity");
+    group.sample_size(10);
+    let n = 400;
+    for dim in [8usize, 32, 64] {
+        let nested = f64_points(n, dim);
+        let flat = RowMatrix::from_rows(&nested);
+        group.bench_with_input(BenchmarkId::new("flat_blocked", dim), &dim, |bench, _| {
+            bench.iter(|| dissimilarity_matrix(black_box(&flat), 1));
+        });
+        group.bench_with_input(BenchmarkId::new("nested_seed", dim), &dim, |bench, _| {
+            bench.iter(|| {
+                let nested = black_box(&nested);
+                let mut dm = Vec::with_capacity(n * (n - 1) / 2);
+                for a in 1..n {
+                    for b in 0..a {
+                        let sq: f64 = nested[a]
+                            .iter()
+                            .zip(&nested[b])
+                            .map(|(&x, &y)| (x - y) * (x - y))
+                            .sum();
+                        dm.push(sq.sqrt());
+                    }
+                }
+                dm
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dot_kernels,
+    bench_sqdist_kernels,
+    bench_dissimilarity_layouts
+);
+criterion_main!(benches);

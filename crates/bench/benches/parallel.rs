@@ -57,9 +57,10 @@ fn bench_dissimilarity_parallel(c: &mut Criterion) {
         ..Default::default()
     };
     let model = ElineTrainer::new(cfg).train(&graph, &mut rng).unwrap();
-    let points: Vec<Vec<f64>> = (0..graph.node_capacity())
-        .map(|i| model.ego_vec(NodeIdx(i as u32)))
-        .collect();
+    let mut points = grafics_types::RowMatrix::with_capacity(graph.node_capacity(), model.dim());
+    for i in 0..graph.node_capacity() {
+        points.push_row_widen(model.ego(NodeIdx(i as u32)));
+    }
 
     let mut group = c.benchmark_group("cluster/dissimilarity_parallel");
     group.sample_size(10);

@@ -80,6 +80,7 @@ fn bench_clustering(c: &mut Criterion) {
                     .collect()
             })
             .collect();
+        let points = grafics_types::RowMatrix::from_rows(&points);
         let labels: Vec<Option<FloorId>> = (0..n)
             .map(|i| {
                 if i < 12 {

@@ -23,9 +23,10 @@ fn main() {
     let model = ElineTrainer::new(EmbeddingConfig::default())
         .train(&graph, &mut rng)
         .expect("train");
-    let points: Vec<Vec<f64>> = (0..ds.len())
-        .map(|i| model.ego_vec(graph.record_node(RecordId(i as u32)).expect("live")))
-        .collect();
+    let mut points = grafics_types::RowMatrix::with_capacity(ds.len(), model.dim());
+    for i in 0..ds.len() {
+        points.push_row_widen(model.ego(graph.record_node(RecordId(i as u32)).expect("live")));
+    }
     let labels: Vec<_> = ds.samples().iter().map(|s| s.floor).collect();
 
     let cluster_cfg = ClusteringConfig {
@@ -46,14 +47,17 @@ fn main() {
         iterations: 300,
         ..Default::default()
     })
-    .run(&points, &mut rng)
+    .run(
+        &points.iter_rows().map(<[f64]>::to_vec).collect::<Vec<_>>(),
+        &mut rng,
+    )
     .expect("tsne");
 
     std::fs::create_dir_all("results").ok();
     for pct in [20usize, 40, 60, 80, 100] {
         let upto = history.len() * pct / 100;
         // Union-find replay of the first `upto` merges.
-        let mut parent: Vec<usize> = (0..points.len()).collect();
+        let mut parent: Vec<usize> = (0..points.rows()).collect();
         fn root(parent: &mut [usize], mut i: usize) -> usize {
             while parent[i] != i {
                 parent[i] = parent[parent[i]];
@@ -75,10 +79,10 @@ fn main() {
         let mut unmerged: Vec<(f64, f64)> = Vec::new();
         let floors = ds.floors();
         #[allow(clippy::needless_range_loop)]
-        for i in 0..points.len() {
+        for i in 0..points.rows() {
             let r = root(&mut parent, i);
             // Find a labelled member of this component.
-            let label = (0..points.len())
+            let label = (0..points.rows())
                 .find(|&j| root(&mut parent, j) == r && labels[j].is_some())
                 .and_then(|j| labels[j]);
             match label {

@@ -99,8 +99,9 @@ APs it overlaps and prints record,building,floor,distance,margin — margin
 is the distance gap to the nearest different-floor cluster, the per-query
 confidence. fleet serve --http ADDR starts the HTTP front end over the
 fleet instead (POST /v1/infer, /v1/infer_batch, /v1/absorb, /v1/publish;
-GET /v1/stat, /healthz), with the manifest's maintenance cadence enforced
-by a background daemon; Ctrl-C drains in-flight requests and exits.
+GET /v1/stat, /healthz, and plaintext Prometheus-style counters on
+GET /metrics), with the manifest's maintenance cadence enforced by a
+background daemon; Ctrl-C drains in-flight requests and exits.
 ";
 
 fn fleet(args: &[String]) -> Result<String, String> {

@@ -1,5 +1,6 @@
 //! The constrained agglomerative engine.
 
+use grafics_types::RowMatrix;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -120,11 +121,17 @@ impl fmt::Display for ClusterError {
 impl std::error::Error for ClusterError {}
 
 /// Heap entry: candidate merge of clusters rooted at `a` and `b`.
-/// Ordered so the *smallest* distance pops first.
+/// Ordered so the *smallest* distance pops first; exact distance ties
+/// break by `(a, b)` so the merge order is a deterministic function of
+/// the distance matrix, independent of how the heap was built
+/// (historically, tied pops followed the accidental heap layout).
+/// Indices and stamps are `u32` so the entry packs into 24 bytes — the
+/// heap holds O(n²) of these, and sift traffic is the agglomeration's
+/// main cost.
 struct Candidate {
     dist: f64,
-    a: usize,
-    b: usize,
+    a: u32,
+    b: u32,
     /// Merge-epoch stamps; a candidate is stale if either root has since
     /// participated in a merge.
     stamp_a: u32,
@@ -133,7 +140,7 @@ struct Candidate {
 
 impl PartialEq for Candidate {
     fn eq(&self, other: &Self) -> bool {
-        self.dist == other.dist
+        (self.dist, self.a, self.b) == (other.dist, other.a, other.b)
     }
 }
 impl Eq for Candidate {}
@@ -144,12 +151,14 @@ impl PartialOrd for Candidate {
 }
 impl Ord for Candidate {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: min-heap on distance. Distances are finite by input
-        // validation, so total order is safe.
+        // Reverse: min-heap on distance, lowest (a, b) first among exact
+        // ties. Distances are finite by input validation, so the order
+        // is total.
         other
             .dist
             .partial_cmp(&self.dist)
             .unwrap_or(Ordering::Equal)
+            .then_with(|| (other.a, other.b).cmp(&(self.a, self.b)))
     }
 }
 
@@ -180,25 +189,30 @@ pub(crate) fn agglomerate(
     let mut n_active = n;
     let mut history = Vec::new();
 
-    let mut heap = BinaryHeap::with_capacity(n * (n - 1) / 2);
+    // Seed every pair, then heapify in one O(n²) pass instead of n²/2
+    // sifting pushes — the initial build is a large share of the
+    // agglomeration's heap traffic.
+    let mut seed = Vec::with_capacity(n * (n - 1) / 2);
     for a in 0..n {
         for b in (a + 1)..n {
-            heap.push(Candidate {
+            seed.push(Candidate {
                 dist: dist.get(a, b),
-                a,
-                b,
+                a: a as u32,
+                b: b as u32,
                 stamp_a: 0,
                 stamp_b: 0,
             });
         }
     }
+    let mut heap = BinaryHeap::from(seed);
 
     while n_active > stop_at {
         let Some(c) = heap.pop() else { break };
-        if !active[c.a] || !active[c.b] || stamp[c.a] != c.stamp_a || stamp[c.b] != c.stamp_b {
+        let (a, b) = (c.a as usize, c.b as usize);
+        if !active[a] || !active[b] || stamp[a] != c.stamp_a || stamp[b] != c.stamp_b {
             continue; // stale
         }
-        if config.constrained && has_label[c.a] && has_label[c.b] {
+        if config.constrained && has_label[a] && has_label[b] {
             // Blocked pair: both sides already own a labelled sample. The
             // candidate is simply discarded; since stamps still match, it
             // would be re-pushed identical, so dropping it is permanent
@@ -206,7 +220,6 @@ pub(crate) fn agglomerate(
             continue;
         }
         // Merge b into a.
-        let (a, b) = (c.a, c.b);
         active[b] = false;
         parent[b] = a;
         has_label[a] = has_label[a] || has_label[b];
@@ -235,8 +248,8 @@ pub(crate) fn agglomerate(
             dist.set(k, a, new);
             heap.push(Candidate {
                 dist: new,
-                a: a.min(k),
-                b: a.max(k),
+                a: a.min(k) as u32,
+                b: a.max(k) as u32,
                 stamp_a: stamp[a.min(k)],
                 stamp_b: stamp[a.max(k)],
             });
@@ -263,42 +276,79 @@ pub(crate) fn agglomerate(
     Agglomeration { roots, history }
 }
 
+/// Offset of row `a`'s first entry in the condensed matrix.
 #[inline]
-fn euclidean(a: &[f64], b: &[f64]) -> f64 {
-    a.iter()
-        .zip(b)
-        .map(|(&x, &y)| (x - y) * (x - y))
-        .sum::<f64>()
-        .sqrt()
+fn condensed_offset(a: usize) -> usize {
+    a * (a - 1) / 2
 }
 
-/// Fills rows `row_range` of the condensed lower-triangular matrix.
+/// Rows of the b-axis kept resident per tile: 64 rows × 64 dims × 8 B =
+/// 32 KiB at the largest benched dimension — sized so one transposed
+/// b-tile stays L1-hot while every a-row above it streams past once.
+const TILE_B: usize = 64;
+
+/// Fills rows `row_range` of the condensed lower-triangular matrix,
+/// cache-blocked and lane-parallel: the b-axis is processed in
+/// [`TILE_B`]-row tiles that are **transposed to coordinate-major**
+/// scratch once per tile, so the inner loop updates `width` independent
+/// per-pair accumulators from *contiguous* memory — the form the
+/// autovectorizer turns into packed `f64` FMA/sqrt lanes. Per-pair math
+/// is exactly the historical sequential `Σ (x−y)²` (ascending `d`)
+/// followed by one `sqrt` — the lanes are different *pairs*, never a
+/// reassociated reduction — so every entry is bit-identical to the
+/// row-by-row build (and to any thread count).
 /// `chunk` must start at the condensed offset of `row_range.start`.
-fn fill_rows(points: &[Vec<f64>], row_range: std::ops::Range<usize>, chunk: &mut [f64]) {
-    let mut idx = 0;
-    for a in row_range {
-        for b in 0..a {
-            chunk[idx] = euclidean(&points[a], &points[b]);
-            idx += 1;
+fn fill_rows(points: &RowMatrix<f64>, row_range: std::ops::Range<usize>, chunk: &mut [f64]) {
+    let dim = points.cols();
+    let base = condensed_offset(row_range.start);
+    // Transposed tile: trans[d * w + j] = points[b0 + j][d].
+    let mut trans = vec![0.0f64; TILE_B * dim];
+    let mut acc = [0.0f64; TILE_B];
+    let mut b0 = 0;
+    // Entries (a, b) require b < a <= row_range.end - 1.
+    while b0 < row_range.end - 1 {
+        let w = TILE_B.min(row_range.end - 1 - b0);
+        let a_start = row_range.start.max(b0 + 1);
+        for (j, b) in (b0..b0 + w).enumerate() {
+            let row = points.row(b);
+            for d in 0..dim {
+                trans[d * w + j] = row[d];
+            }
         }
+        for a in a_start..row_range.end {
+            let width = (b0 + w).min(a) - b0;
+            let row_a = points.row(a);
+            acc[..width].fill(0.0);
+            for (d, &x) in row_a.iter().enumerate() {
+                let lane = &trans[d * w..d * w + width];
+                for (slot, &t) in acc[..width].iter_mut().zip(lane) {
+                    let diff = x - t;
+                    *slot += diff * diff;
+                }
+            }
+            let start = condensed_offset(a) - base + b0;
+            for (slot, &sq) in chunk[start..start + width].iter_mut().zip(&acc[..width]) {
+                *slot = sq.sqrt();
+            }
+        }
+        b0 += w;
     }
 }
 
 /// The condensed (lower-triangular, row-major) pairwise ℓ2 dissimilarity
 /// matrix of Eq. (11): entry `a*(a-1)/2 + b` holds `‖points[a] −
-/// points[b]‖₂` for `b < a`.
+/// points[b]‖₂` for `b < a`. The input is the workspace's contiguous
+/// [`RowMatrix`] (one flat buffer, no per-row pointer chasing), and the
+/// build is cache-blocked (see [`fill_rows`]) — per-pair math unchanged,
+/// so entries are bit-identical to the historical row-by-row build.
 ///
 /// With `threads >= 2` the rows are partitioned into contiguous bands of
 /// roughly equal entry counts and computed on a scoped worker pool. Every
 /// entry is a pure function of its two points, so the output is identical
 /// for any thread count.
-///
-/// # Panics
-///
-/// Panics on ragged input (all points must share one dimension).
 #[must_use]
-pub fn dissimilarity_matrix(points: &[Vec<f64>], threads: usize) -> Vec<f64> {
-    let n = points.len();
+pub fn dissimilarity_matrix(points: &RowMatrix<f64>, threads: usize) -> Vec<f64> {
+    let n = points.rows();
     if n < 2 {
         return Vec::new();
     }
@@ -353,9 +403,9 @@ pub(crate) struct DistanceMatrix {
 
 impl DistanceMatrix {
     /// Computes all pairwise Euclidean distances on `threads` workers.
-    pub(crate) fn from_points(points: &[Vec<f64>], threads: usize) -> Self {
+    pub(crate) fn from_points(points: &RowMatrix<f64>, threads: usize) -> Self {
         DistanceMatrix {
-            n: points.len(),
+            n: points.rows(),
             data: dissimilarity_matrix(points, threads),
         }
     }
@@ -382,9 +432,14 @@ impl DistanceMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use grafics_types::kernels::euclidean_f64;
 
-    fn pts(coords: &[(f64, f64)]) -> Vec<Vec<f64>> {
-        coords.iter().map(|&(x, y)| vec![x, y]).collect()
+    fn pts(coords: &[(f64, f64)]) -> RowMatrix<f64> {
+        let mut m = RowMatrix::with_cols(2);
+        for &(x, y) in coords {
+            m.push_row(&[x, y]);
+        }
+        m
     }
 
     #[test]
@@ -471,13 +526,15 @@ mod tests {
     fn parallel_dissimilarity_matches_serial_exactly() {
         // Deterministic pseudo-random points, enough to cross the n >= 128
         // parallel threshold.
-        let points: Vec<Vec<f64>> = (0..200)
-            .map(|i| {
-                (0..8)
-                    .map(|d| (((i * 31 + d * 17) % 97) as f64).sin() * 10.0)
-                    .collect()
-            })
-            .collect();
+        let points = RowMatrix::from_rows(
+            &(0..200)
+                .map(|i| {
+                    (0..8)
+                        .map(|d| (((i * 31 + d * 17) % 97) as f64).sin() * 10.0)
+                        .collect()
+                })
+                .collect::<Vec<Vec<f64>>>(),
+        );
         let serial = dissimilarity_matrix(&points, 1);
         for threads in [2, 3, 4, 7] {
             let parallel = dissimilarity_matrix(&points, threads);
@@ -486,11 +543,46 @@ mod tests {
         assert_eq!(serial.len(), 200 * 199 / 2);
     }
 
+    /// The cache-blocked build must be bit-identical to the plain
+    /// row-by-row reference at every size that exercises tile
+    /// boundaries (partial tiles, exact multiples, and the 4-pair tail).
+    #[test]
+    fn blocked_build_matches_rowwise_reference_bitwise() {
+        for (n, dim) in [
+            (3usize, 2usize),
+            (17, 3),
+            (64, 8),
+            (65, 8),
+            (130, 33),
+            (200, 5),
+        ] {
+            let points = RowMatrix::from_rows(
+                &(0..n)
+                    .map(|i| {
+                        (0..dim)
+                            .map(|d| (((i * 29 + d * 13) % 89) as f64 * 0.37).sin() * 4.0)
+                            .collect()
+                    })
+                    .collect::<Vec<Vec<f64>>>(),
+            );
+            let blocked = dissimilarity_matrix(&points, 1);
+            let mut reference = vec![0.0; n * (n - 1) / 2];
+            let mut idx = 0;
+            for a in 1..n {
+                for b in 0..a {
+                    reference[idx] = euclidean_f64(points.row(a), points.row(b));
+                    idx += 1;
+                }
+            }
+            assert_eq!(blocked, reference, "n={n} dim={dim}");
+        }
+    }
+
     #[test]
     fn dissimilarity_degenerate_inputs() {
-        assert!(dissimilarity_matrix(&[], 4).is_empty());
-        assert!(dissimilarity_matrix(&[vec![1.0, 2.0]], 4).is_empty());
-        let two = dissimilarity_matrix(&[vec![0.0, 0.0], vec![3.0, 4.0]], 4);
+        assert!(dissimilarity_matrix(&RowMatrix::from_rows(&[]), 4).is_empty());
+        assert!(dissimilarity_matrix(&RowMatrix::from_rows(&[vec![1.0, 2.0]]), 4).is_empty());
+        let two = dissimilarity_matrix(&RowMatrix::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0]]), 4);
         assert_eq!(two, vec![5.0]);
     }
 

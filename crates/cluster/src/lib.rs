@@ -11,22 +11,26 @@
 //! recurrence, giving O(n² log n) total time.
 //!
 //! The O(n²·d) *initial* dissimilarity matrix — the dominant cost at the
-//! embedding dimensions the paper uses — can be built on a worker pool via
-//! [`ClusteringConfig::threads`] (or directly through
-//! [`dissimilarity_matrix`]); the fitted model is bit-identical for any
-//! thread count.
+//! embedding dimensions the paper uses — runs over the workspace's flat
+//! [`grafics_types::RowMatrix`] with cache-blocked tiling, and can be
+//! built on a worker pool via [`ClusteringConfig::threads`] (or directly
+//! through [`dissimilarity_matrix`]); the fitted model is bit-identical
+//! for any thread count and to the historical nested-`Vec` build.
+//! Prediction compares squared distances and pays the `sqrt` only for
+//! winners; [`MatchScratch`] lets serving sessions reuse the candidate
+//! buffers across a batch.
 //!
 //! # Examples
 //!
 //! ```
 //! use grafics_cluster::{ClusteringConfig, ClusterModel};
-//! use grafics_types::FloorId;
+//! use grafics_types::{FloorId, RowMatrix};
 //!
 //! // Two well-separated blobs; one labelled point in each.
-//! let points = vec![
+//! let points = RowMatrix::from_rows(&[
 //!     vec![0.0, 0.0], vec![0.1, 0.0], vec![0.0, 0.1],   // floor 0
 //!     vec![5.0, 5.0], vec![5.1, 5.0], vec![5.0, 5.1],   // floor 1
-//! ];
+//! ]);
 //! let labels = vec![
 //!     Some(FloorId(0)), None, None,
 //!     Some(FloorId(1)), None, None,
@@ -44,4 +48,4 @@ mod agglomerative;
 mod model;
 
 pub use agglomerative::{dissimilarity_matrix, ClusterError, ClusteringConfig, Linkage, MergeStep};
-pub use model::{Cluster, ClusterModel, Prediction};
+pub use model::{Cluster, ClusterModel, MatchScratch, Prediction};

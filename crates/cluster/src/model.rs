@@ -3,7 +3,8 @@
 use crate::agglomerative::{
     agglomerate, Agglomeration, ClusterError, ClusteringConfig, DistanceMatrix, MergeStep,
 };
-use grafics_types::FloorId;
+use grafics_types::kernels::sqdist_f64;
+use grafics_types::{FloorId, RowMatrix};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -29,29 +30,103 @@ pub struct Prediction {
     pub distance: f64,
 }
 
+/// Reusable buffers for [`ClusterModel::predict_topk_with`]: a serving
+/// session (one per fleet/batch worker) holds one of these across a
+/// whole batch, so per-query matching allocates only the returned
+/// top-`k` pairs, never the full candidate sweep.
+#[derive(Debug, Clone, Default)]
+pub struct MatchScratch {
+    cand: Vec<(usize, FloorId, f64)>,
+}
+
+impl MatchScratch {
+    /// Creates empty scratch buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        MatchScratch::default()
+    }
+}
+
 /// A fitted proximity-based hierarchical clustering (§IV-C).
 ///
 /// See the [crate docs](crate) for the algorithm and an example.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Deserialize)]
+#[serde(try_from = "ClusterModelRepr")]
 pub struct ClusterModel {
+    dim: usize,
+    clusters: Vec<Cluster>,
+    assignment: Vec<usize>,
+    history: Vec<MergeStep>,
+    /// Flat row-major copy of every cluster centroid: the matching hot
+    /// paths sweep this one contiguous buffer instead of pointer-chasing
+    /// per-cluster `Vec`s. Derived from `clusters` (rebuilt on
+    /// deserialize), so the wire format is unchanged.
+    centroids: RowMatrix<f64>,
+}
+
+/// The persisted shape of [`ClusterModel`] — exactly the historical
+/// field set, so model files round-trip across this refactor; the flat
+/// centroid matrix is rebuilt on load.
+#[derive(Deserialize)]
+struct ClusterModelRepr {
     dim: usize,
     clusters: Vec<Cluster>,
     assignment: Vec<usize>,
     history: Vec<MergeStep>,
 }
 
+// Manual (not via `#[serde(into)]`, which would deep-clone the whole
+// model per save): writes the historical four fields by reference, in
+// the same order and shape the pre-backbone derived impl produced.
+impl Serialize for ClusterModel {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            (String::from("dim"), self.dim.to_value()),
+            (String::from("clusters"), self.clusters.to_value()),
+            (String::from("assignment"), self.assignment.to_value()),
+            (String::from("history"), self.history.to_value()),
+        ])
+    }
+}
+
+// Infallible by design, but `TryFrom` (not `From`) because the vendored
+// serde derive only supports the `try_from` container attribute.
+#[allow(clippy::infallible_try_from)]
+impl TryFrom<ClusterModelRepr> for ClusterModel {
+    type Error = std::convert::Infallible;
+
+    fn try_from(r: ClusterModelRepr) -> Result<Self, Self::Error> {
+        let mut centroids = RowMatrix::with_capacity(r.clusters.len(), r.dim);
+        for c in &r.clusters {
+            centroids.push_row(&c.centroid);
+        }
+        Ok(ClusterModel {
+            dim: r.dim,
+            clusters: r.clusters,
+            assignment: r.assignment,
+            history: r.history,
+            centroids,
+        })
+    }
+}
+
 impl ClusterModel {
-    /// Fits the clustering to `points` (one embedding per sample) with
+    /// Fits the clustering to `points` (one embedding per row) with
     /// `labels[i]` carrying the floor of the few labelled samples.
+    /// Callers holding legacy nested rows can use
+    /// [`ClusterModel::fit_rows`].
     ///
     /// # Errors
     ///
-    /// - [`ClusterError::Empty`] if `points` is empty;
-    /// - [`ClusterError::DimensionMismatch`] on ragged input;
+    /// - [`ClusterError::Empty`] if `points` has no rows;
     /// - [`ClusterError::NonFiniteInput`] on NaN/∞ coordinates;
     /// - [`ClusterError::NoLabeledSamples`] if every label is `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points.rows() != labels.len()`.
     pub fn fit(
-        points: &[Vec<f64>],
+        points: &RowMatrix<f64>,
         labels: &[Option<FloorId>],
         config: &ClusteringConfig,
     ) -> Result<Self, ClusterError> {
@@ -59,21 +134,13 @@ impl ClusterModel {
             return Err(ClusterError::Empty);
         }
         assert_eq!(
-            points.len(),
+            points.rows(),
             labels.len(),
             "points and labels must be parallel"
         );
-        let dim = points[0].len();
-        for p in points {
-            if p.len() != dim {
-                return Err(ClusterError::DimensionMismatch {
-                    expected: dim,
-                    found: p.len(),
-                });
-            }
-            if p.iter().any(|x| !x.is_finite()) {
-                return Err(ClusterError::NonFiniteInput);
-            }
+        let dim = points.cols();
+        if points.data().iter().any(|x| !x.is_finite()) {
+            return Err(ClusterError::NonFiniteInput);
         }
         let n_labeled = labels.iter().filter(|l| l.is_some()).count();
         if n_labeled == 0 {
@@ -82,7 +149,7 @@ impl ClusterModel {
 
         let labeled_mask: Vec<bool> = labels.iter().map(|l| l.is_some()).collect();
         let mut dist = DistanceMatrix::from_points(points, config.threads);
-        let agg: Agglomeration = if points.len() == 1 {
+        let agg: Agglomeration = if points.rows() == 1 {
             Agglomeration {
                 roots: vec![0],
                 history: Vec::new(),
@@ -101,7 +168,8 @@ impl ClusterModel {
 
         // Label each cluster.
         let mut clusters = Vec::with_capacity(roots.len());
-        let mut assignment = vec![usize::MAX; points.len()];
+        let mut centroids = RowMatrix::with_capacity(roots.len(), dim);
+        let mut assignment = vec![usize::MAX; points.rows()];
         let mut unlabeled_clusters: Vec<(usize, Vec<usize>)> = Vec::new();
         for &root in &roots {
             let members = by_root.remove(&root).expect("root exists");
@@ -113,6 +181,7 @@ impl ClusterModel {
                     for &m in &members {
                         assignment[m] = idx;
                     }
+                    centroids.push_row(&centroid);
                     clusters.push(Cluster {
                         floor,
                         centroid,
@@ -127,12 +196,13 @@ impl ClusterModel {
         for (_, members) in unlabeled_clusters {
             let centroid = centroid_of(points, &members, dim);
             let (best, _) =
-                nearest_centroid(&clusters, &centroid).ok_or(ClusterError::NoLabeledSamples)?;
+                nearest_centroid_sq(&centroids, &centroid).ok_or(ClusterError::NoLabeledSamples)?;
             let floor = clusters[best].floor;
             let idx = clusters.len();
             for &m in &members {
                 assignment[m] = idx;
             }
+            centroids.push_row(&centroid);
             clusters.push(Cluster {
                 floor,
                 centroid,
@@ -145,7 +215,27 @@ impl ClusterModel {
             clusters,
             assignment,
             history: agg.history,
+            centroids,
         })
+    }
+
+    /// [`ClusterModel::fit`] over legacy nested rows: validates shape
+    /// (so ragged input still reports
+    /// [`ClusterError::DimensionMismatch`]) and converts to the flat
+    /// [`RowMatrix`] the fitting pipeline runs on.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::DimensionMismatch`] on ragged input, plus every
+    /// [`ClusterModel::fit`] failure mode.
+    pub fn fit_rows(
+        points: &[Vec<f64>],
+        labels: &[Option<FloorId>],
+        config: &ClusteringConfig,
+    ) -> Result<Self, ClusterError> {
+        let matrix = RowMatrix::try_from_rows(points)
+            .map_err(|(expected, found)| ClusterError::DimensionMismatch { expected, found })?;
+        Self::fit(&matrix, labels, config)
     }
 
     /// Embedding dimensionality the model was fitted on.
@@ -219,7 +309,14 @@ impl ClusterModel {
     }
 
     /// Predicts the floor of a new ego embedding as the label of the
-    /// nearest cluster centroid (§V-B).
+    /// nearest cluster centroid (§V-B). Candidates are compared by
+    /// *squared* distance and only the winner pays the `sqrt`; the
+    /// reported distance is bit-identical to the historical
+    /// per-candidate-`sqrt` sweep. The comparison is monotone-equivalent
+    /// and strictly finer: exact ties still go to the first (lowest)
+    /// cluster index, and in the measure-zero case where two *distinct*
+    /// squared distances round to the same `sqrt`, the truly nearer
+    /// centroid now wins (historically the lower index did).
     ///
     /// # Errors
     ///
@@ -227,12 +324,12 @@ impl ClusterModel {
     /// dimension, [`ClusterError::NonFiniteInput`] if it is not finite.
     pub fn predict(&self, query: &[f64]) -> Result<Prediction, ClusterError> {
         self.validate_query(query)?;
-        let (cluster, distance) =
-            nearest_centroid(&self.clusters, query).expect("model has >= 1 cluster");
+        let (cluster, sq) =
+            nearest_centroid_sq(&self.centroids, query).expect("model has >= 1 cluster");
         Ok(Prediction {
             floor: self.clusters[cluster].floor,
             cluster,
-            distance,
+            distance: sq.sqrt(),
         })
     }
 
@@ -254,29 +351,41 @@ impl ClusterModel {
         query: &[f64],
         k: usize,
     ) -> Result<Vec<(FloorId, f64)>, ClusterError> {
+        self.predict_topk_with(query, k, &mut MatchScratch::new())
+    }
+
+    /// [`ClusterModel::predict_topk`] with caller-owned scratch: the
+    /// full candidate sweep reuses `scratch` across calls, so a serving
+    /// session matching a whole batch allocates only the `k`-pair
+    /// results. Candidates carry *squared* distances through selection
+    /// and sorting (monotone-equivalent ordering, ties still broken by
+    /// cluster index); only the `k` winners pay a `sqrt`.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`ClusterModel::predict`].
+    pub fn predict_topk_with(
+        &self,
+        query: &[f64],
+        k: usize,
+        scratch: &mut MatchScratch,
+    ) -> Result<Vec<(FloorId, f64)>, ClusterError> {
         self.validate_query(query)?;
         if k == 0 {
             return Ok(Vec::new());
         }
-        // Compute every distance exactly once, then partially select the k
-        // nearest in O(n) and sort only that prefix — O(n + k log k)
-        // instead of the historical validate-via-predict pass (a second
-        // full distance sweep) plus an O(n log n) sort of all clusters.
-        let mut all: Vec<(usize, FloorId, f64)> = self
-            .clusters
-            .iter()
-            .enumerate()
-            .map(|(cluster, c)| {
-                let distance: f64 = c
-                    .centroid
-                    .iter()
-                    .zip(query)
-                    .map(|(&x, &y)| (x - y) * (x - y))
-                    .sum::<f64>()
-                    .sqrt();
-                (cluster, c.floor, distance)
-            })
-            .collect();
+        // Compute every squared distance exactly once, then partially
+        // select the k nearest in O(n) and sort only that prefix —
+        // O(n + k log k), with n − k candidates never paying a sqrt.
+        let all = &mut scratch.cand;
+        all.clear();
+        all.extend(self.clusters.iter().enumerate().map(|(cluster, c)| {
+            (
+                cluster,
+                c.floor,
+                sqdist_f64(self.centroids.row(cluster), query),
+            )
+        }));
         // Total order: distance, then cluster index — deterministic under
         // ties and consistent with `predict` (first minimum wins).
         let by_distance = |a: &(usize, FloorId, f64), b: &(usize, FloorId, f64)| {
@@ -287,7 +396,10 @@ impl ClusterModel {
             all.truncate(k);
         }
         all.sort_unstable_by(by_distance);
-        Ok(all.into_iter().map(|(_, floor, d)| (floor, d)).collect())
+        Ok(all
+            .iter()
+            .map(|&(_, floor, sq)| (floor, sq.sqrt()))
+            .collect())
     }
 
     /// [`ClusterModel::predict`] plus the distance gap to the nearest
@@ -302,16 +414,15 @@ impl ClusterModel {
     /// Same validation as [`ClusterModel::predict`].
     pub fn predict_with_margin(&self, query: &[f64]) -> Result<(Prediction, f64), ClusterError> {
         self.validate_query(query)?;
+        // The sweep tracks *squared* distances (monotone-equivalent, so
+        // best/rival winners are unchanged) and defers the sqrt to the
+        // two survivors: `sqrt(min(d²))` equals `min(sqrt(d²))` bit for
+        // bit, so prediction distance and margin match the historical
+        // per-candidate-sqrt sweep exactly.
         let mut best: Option<(usize, FloorId, f64)> = None;
         let mut rival = f64::INFINITY;
         for (i, c) in self.clusters.iter().enumerate() {
-            let d: f64 = c
-                .centroid
-                .iter()
-                .zip(query)
-                .map(|(&x, &y)| (x - y) * (x - y))
-                .sum::<f64>()
-                .sqrt();
+            let d = sqdist_f64(self.centroids.row(i), query);
             match best {
                 None => best = Some((i, c.floor, d)),
                 Some((_, best_floor, best_d)) => {
@@ -331,14 +442,15 @@ impl ClusterModel {
                 }
             }
         }
-        let (cluster, floor, distance) = best.expect("model has >= 1 cluster");
+        let (cluster, floor, sq) = best.expect("model has >= 1 cluster");
+        let distance = sq.sqrt();
         Ok((
             Prediction {
                 floor,
                 cluster,
                 distance,
             },
-            rival - distance,
+            rival.sqrt() - distance,
         ))
     }
 
@@ -388,10 +500,10 @@ fn cluster_floor(
     }
 }
 
-fn centroid_of(points: &[Vec<f64>], members: &[usize], dim: usize) -> Vec<f64> {
+fn centroid_of(points: &RowMatrix<f64>, members: &[usize], dim: usize) -> Vec<f64> {
     let mut c = vec![0.0; dim];
     for &m in members {
-        for (d, &x) in points[m].iter().enumerate() {
+        for (d, &x) in points.row(m).iter().enumerate() {
             c[d] += x;
         }
     }
@@ -401,21 +513,18 @@ fn centroid_of(points: &[Vec<f64>], members: &[usize], dim: usize) -> Vec<f64> {
     c
 }
 
-fn nearest_centroid(clusters: &[Cluster], query: &[f64]) -> Option<(usize, f64)> {
-    clusters
-        .iter()
-        .enumerate()
-        .map(|(i, c)| {
-            let d: f64 = c
-                .centroid
-                .iter()
-                .zip(query)
-                .map(|(&x, &y)| (x - y) * (x - y))
-                .sum::<f64>()
-                .sqrt();
-            (i, d)
-        })
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"))
+/// The nearest centroid by *squared* ℓ2 distance over the flat centroid
+/// matrix — strict-`<` tracking keeps first-minimum-wins tie semantics,
+/// matching the historical `min_by` over sqrt'd distances.
+fn nearest_centroid_sq(centroids: &RowMatrix<f64>, query: &[f64]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for i in 0..centroids.rows() {
+        let d = sqdist_f64(centroids.row(i), query);
+        if best.is_none_or(|(_, b)| d < b) {
+            best = Some((i, d));
+        }
+    }
+    best
 }
 
 #[cfg(test)]
@@ -449,7 +558,7 @@ mod tests {
     #[test]
     fn one_cluster_per_labeled_sample() {
         let (points, labels) = three_floor_setup();
-        let model = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
+        let model = ClusterModel::fit_rows(&points, &labels, &ClusteringConfig::default()).unwrap();
         assert_eq!(model.clusters().len(), 6); // 2 labels × 3 floors
                                                // every cluster has exactly one labelled member
         for c in model.clusters() {
@@ -461,7 +570,7 @@ mod tests {
     #[test]
     fn partition_covers_all_points_exactly_once() {
         let (points, labels) = three_floor_setup();
-        let model = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
+        let model = ClusterModel::fit_rows(&points, &labels, &ClusteringConfig::default()).unwrap();
         let mut seen = vec![false; points.len()];
         for c in model.clusters() {
             for &m in &c.members {
@@ -479,7 +588,7 @@ mod tests {
     #[test]
     fn virtual_labels_match_ground_truth_on_separated_blobs() {
         let (points, labels) = three_floor_setup();
-        let model = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
+        let model = ClusterModel::fit_rows(&points, &labels, &ClusteringConfig::default()).unwrap();
         let virt = model.virtual_labels();
         for (i, v) in virt.iter().enumerate() {
             let truth = FloorId((i / 16) as i16);
@@ -490,7 +599,7 @@ mod tests {
     #[test]
     fn predict_nearest_centroid() {
         let (points, labels) = three_floor_setup();
-        let model = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
+        let model = ClusterModel::fit_rows(&points, &labels, &ClusteringConfig::default()).unwrap();
         assert_eq!(model.predict(&[0.2, -0.1]).unwrap().floor, FloorId(0));
         assert_eq!(model.predict(&[9.5, 0.4]).unwrap().floor, FloorId(1));
         assert_eq!(model.predict(&[-0.3, 10.2]).unwrap().floor, FloorId(2));
@@ -499,7 +608,7 @@ mod tests {
     #[test]
     fn predict_validates_query() {
         let (points, labels) = three_floor_setup();
-        let model = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
+        let model = ClusterModel::fit_rows(&points, &labels, &ClusteringConfig::default()).unwrap();
         assert!(matches!(
             model.predict(&[1.0]),
             Err(ClusterError::QueryDimensionMismatch {
@@ -516,12 +625,12 @@ mod tests {
     #[test]
     fn fit_validates_input() {
         assert!(matches!(
-            ClusterModel::fit(&[], &[], &ClusteringConfig::default()),
+            ClusterModel::fit_rows(&[], &[], &ClusteringConfig::default()),
             Err(ClusterError::Empty)
         ));
         let ragged = vec![vec![0.0, 0.0], vec![1.0]];
         assert!(matches!(
-            ClusterModel::fit(
+            ClusterModel::fit_rows(
                 &ragged,
                 &[Some(FloorId(0)), None],
                 &ClusteringConfig::default()
@@ -530,19 +639,19 @@ mod tests {
         ));
         let nan = vec![vec![f64::NAN, 0.0]];
         assert!(matches!(
-            ClusterModel::fit(&nan, &[Some(FloorId(0))], &ClusteringConfig::default()),
+            ClusterModel::fit_rows(&nan, &[Some(FloorId(0))], &ClusteringConfig::default()),
             Err(ClusterError::NonFiniteInput)
         ));
         let unlabeled = vec![vec![0.0], vec![1.0]];
         assert!(matches!(
-            ClusterModel::fit(&unlabeled, &[None, None], &ClusteringConfig::default()),
+            ClusterModel::fit_rows(&unlabeled, &[None, None], &ClusteringConfig::default()),
             Err(ClusterError::NoLabeledSamples)
         ));
     }
 
     #[test]
     fn single_point_dataset() {
-        let model = ClusterModel::fit(
+        let model = ClusterModel::fit_rows(
             &[vec![1.0, 2.0]],
             &[Some(FloorId(5))],
             &ClusteringConfig::default(),
@@ -561,7 +670,7 @@ mod tests {
         let mut labels = vec![None; 16];
         labels[0] = Some(FloorId(3));
         labels[8] = Some(FloorId(3));
-        let model = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
+        let model = ClusterModel::fit_rows(&points, &labels, &ClusteringConfig::default()).unwrap();
         assert_eq!(model.clusters().len(), 2);
         assert!(model.clusters().iter().all(|c| c.floor == FloorId(3)));
     }
@@ -573,7 +682,7 @@ mod tests {
             constrained: false,
             ..Default::default()
         };
-        let model = ClusterModel::fit(&points, &labels, &cfg).unwrap();
+        let model = ClusterModel::fit_rows(&points, &labels, &cfg).unwrap();
         // 6 labelled samples → stops at 6 clusters; every cluster gets a
         // floor from vote or nearest-centroid adoption.
         assert_eq!(model.clusters().len(), 6);
@@ -593,7 +702,7 @@ mod tests {
     fn centroid_is_member_mean() {
         let points = vec![vec![0.0, 0.0], vec![2.0, 4.0]];
         let labels = vec![Some(FloorId(0)), None];
-        let model = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
+        let model = ClusterModel::fit_rows(&points, &labels, &ClusteringConfig::default()).unwrap();
         assert_eq!(model.clusters().len(), 1);
         assert_eq!(model.clusters()[0].centroid, vec![1.0, 2.0]);
     }
@@ -601,7 +710,7 @@ mod tests {
     #[test]
     fn topk_sorted_and_consistent_with_predict() {
         let (points, labels) = three_floor_setup();
-        let model = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
+        let model = ClusterModel::fit_rows(&points, &labels, &ClusteringConfig::default()).unwrap();
         let query = [0.3, 0.1];
         let top = model.predict_topk(&query, 3).unwrap();
         assert_eq!(top.len(), 3);
@@ -617,7 +726,7 @@ mod tests {
     #[test]
     fn predict_with_margin_matches_two_pass_reference() {
         let (points, labels) = three_floor_setup();
-        let model = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
+        let model = ClusterModel::fit_rows(&points, &labels, &ClusteringConfig::default()).unwrap();
         for query in [
             [0.2, -0.1],
             [5.0, 0.3],
@@ -641,7 +750,7 @@ mod tests {
     #[test]
     fn floor_margin_reflects_ambiguity() {
         let (points, labels) = three_floor_setup();
-        let model = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
+        let model = ClusterModel::fit_rows(&points, &labels, &ClusteringConfig::default()).unwrap();
         // Mid-blob query: the nearest different-floor centroid is far.
         let confident = model.floor_margin(&[0.0, 0.0]).unwrap();
         // Halfway between floor 0 and floor 1 blobs: margin collapses.
@@ -649,7 +758,7 @@ mod tests {
         assert!(confident > ambiguous);
         assert!(ambiguous >= 0.0);
         // A single-floor model has no different-floor competitor.
-        let one = ClusterModel::fit(
+        let one = ClusterModel::fit_rows(
             &[vec![0.0, 0.0], vec![1.0, 1.0]],
             &[Some(FloorId(4)), Some(FloorId(4))],
             &ClusteringConfig::default(),
@@ -658,15 +767,49 @@ mod tests {
         assert_eq!(one.floor_margin(&[0.5, 0.5]).unwrap(), f64::INFINITY);
     }
 
+    /// The flat-matrix entry point and the nested-rows compatibility
+    /// wrapper fit identical models (same distances, same merge
+    /// decisions, same centroids — the wrapper only converts storage).
+    #[test]
+    fn fit_rows_equals_flat_fit() {
+        let (points, labels) = three_floor_setup();
+        let nested =
+            ClusterModel::fit_rows(&points, &labels, &ClusteringConfig::default()).unwrap();
+        let flat = ClusterModel::fit(
+            &RowMatrix::from_rows(&points),
+            &labels,
+            &ClusteringConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(nested, flat);
+    }
+
+    /// A serde round trip rebuilds the derived flat centroid matrix, so
+    /// loaded models predict bit-identically.
+    #[test]
+    fn serde_roundtrip_rebuilds_centroids() {
+        let (points, labels) = three_floor_setup();
+        let model = ClusterModel::fit_rows(&points, &labels, &ClusteringConfig::default()).unwrap();
+        let json = serde_json::to_string(&model).unwrap();
+        let back: ClusterModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(model, back);
+        let q = [4.9, 5.1];
+        let (a, am) = model.predict_with_margin(&q).unwrap();
+        let (b, bm) = back.predict_with_margin(&q).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(am.to_bits(), bm.to_bits());
+    }
+
     #[test]
     fn parallel_fit_is_identical_to_serial() {
         let (points, labels) = three_floor_setup();
-        let serial = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
+        let serial =
+            ClusterModel::fit_rows(&points, &labels, &ClusteringConfig::default()).unwrap();
         let cfg = ClusteringConfig {
             threads: 4,
             ..Default::default()
         };
-        let parallel = ClusterModel::fit(&points, &labels, &cfg).unwrap();
+        let parallel = ClusterModel::fit_rows(&points, &labels, &cfg).unwrap();
         assert_eq!(serial.clusters(), parallel.clusters());
         assert_eq!(serial.assignment(), parallel.assignment());
     }
@@ -678,7 +821,7 @@ mod tests {
             record_history: true,
             ..Default::default()
         };
-        let model = ClusterModel::fit(&points, &labels, &cfg).unwrap();
+        let model = ClusterModel::fit_rows(&points, &labels, &cfg).unwrap();
         assert_eq!(model.history().len(), points.len() - model.clusters().len());
     }
 
@@ -689,7 +832,7 @@ mod tests {
             record_history: true,
             ..Default::default()
         };
-        let model = ClusterModel::fit(&points, &labels, &cfg).unwrap();
+        let model = ClusterModel::fit_rows(&points, &labels, &cfg).unwrap();
         let newick = model.dendrogram_newick().unwrap();
         assert!(newick.ends_with(");"));
         let open = newick.matches('(').count();
@@ -707,7 +850,7 @@ mod tests {
     #[test]
     fn newick_requires_history() {
         let (points, labels) = three_floor_setup();
-        let model = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
+        let model = ClusterModel::fit_rows(&points, &labels, &ClusteringConfig::default()).unwrap();
         assert_eq!(model.dendrogram_newick(), None);
     }
 }

@@ -1,8 +1,10 @@
 //! Property-based tests of the clustering invariants the paper's
-//! algorithm guarantees (§IV-C).
+//! algorithm guarantees (§IV-C), plus parity proofs that the flat-matrix
+//! math backbone reproduces the historical nested-`Vec` / per-candidate
+//! `sqrt` paths bit for bit.
 
-use grafics_cluster::{ClusterModel, ClusteringConfig};
-use grafics_types::FloorId;
+use grafics_cluster::{dissimilarity_matrix, ClusterModel, ClusteringConfig};
+use grafics_types::{FloorId, RowMatrix};
 use proptest::prelude::*;
 
 /// Points in 3-D with a handful of labels sprinkled in.
@@ -28,7 +30,7 @@ proptest! {
     /// The result is a partition: every point in exactly one cluster.
     #[test]
     fn clustering_is_a_partition((points, labels) in arb_problem()) {
-        let model = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
+        let model = ClusterModel::fit_rows(&points, &labels, &ClusteringConfig::default()).unwrap();
         let mut seen = vec![false; points.len()];
         for c in model.clusters() {
             for &m in &c.members {
@@ -43,7 +45,7 @@ proptest! {
     /// number of labelled samples; each cluster carries its sample's floor.
     #[test]
     fn one_label_per_cluster((points, labels) in arb_problem()) {
-        let model = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
+        let model = ClusterModel::fit_rows(&points, &labels, &ClusteringConfig::default()).unwrap();
         let n_labeled = labels.iter().filter(|l| l.is_some()).count();
         prop_assert_eq!(model.clusters().len(), n_labeled);
         for c in model.clusters() {
@@ -58,7 +60,7 @@ proptest! {
     /// box.
     #[test]
     fn centroids_are_means((points, labels) in arb_problem()) {
-        let model = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
+        let model = ClusterModel::fit_rows(&points, &labels, &ClusteringConfig::default()).unwrap();
         for c in model.clusters() {
             #[allow(clippy::needless_range_loop)]
             for d in 0..3 {
@@ -79,7 +81,7 @@ proptest! {
         (points, labels) in arb_problem(),
         query in prop::collection::vec(-100.0f64..100.0, 3),
     ) {
-        let model = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
+        let model = ClusterModel::fit_rows(&points, &labels, &ClusteringConfig::default()).unwrap();
         let pred = model.predict(&query).unwrap();
         prop_assert!(labels.iter().flatten().any(|&f| f == pred.floor));
         prop_assert!(pred.distance >= 0.0 && pred.distance.is_finite());
@@ -89,10 +91,98 @@ proptest! {
     /// Virtual labels agree with cluster floors.
     #[test]
     fn virtual_labels_consistent((points, labels) in arb_problem()) {
-        let model = ClusterModel::fit(&points, &labels, &ClusteringConfig::default()).unwrap();
+        let model = ClusterModel::fit_rows(&points, &labels, &ClusteringConfig::default()).unwrap();
         let virt = model.virtual_labels();
         for (i, &cluster_idx) in model.assignment().iter().enumerate() {
             prop_assert_eq!(virt[i], model.clusters()[cluster_idx].floor);
         }
+    }
+
+    /// The flat-matrix, cache-blocked dissimilarity build is bit-identical
+    /// to the seed's nested-`Vec` row-by-row reference on random inputs of
+    /// random dimension (the tiling only reorders *which pair* is computed
+    /// when, never the per-pair arithmetic).
+    #[test]
+    fn flat_dissimilarity_bit_identical_to_nested_seed_path(
+        (dim, points) in (1usize..40).prop_flat_map(|dim| {
+            (Just(dim),
+             prop::collection::vec(prop::collection::vec(-100.0f64..100.0, dim), 2..150))
+        }),
+    ) {
+        let _ = dim;
+        let flat = dissimilarity_matrix(&RowMatrix::from_rows(&points), 1);
+        // The pre-backbone reference: pointer-chased rows, sequential
+        // Σ(x−y)² then sqrt, row-major condensed order.
+        let mut reference = Vec::with_capacity(points.len() * (points.len() - 1) / 2);
+        for a in 1..points.len() {
+            for b in 0..a {
+                let sq: f64 = points[a]
+                    .iter()
+                    .zip(&points[b])
+                    .map(|(&x, &y)| (x - y) * (x - y))
+                    .sum();
+                reference.push(sq.sqrt());
+            }
+        }
+        prop_assert_eq!(flat.len(), reference.len());
+        for (i, (f, r)) in flat.iter().zip(&reference).enumerate() {
+            prop_assert_eq!(f.to_bits(), r.to_bits(), "entry {} diverged", i);
+        }
+    }
+
+    /// The sqrt-free matching paths (squared-distance sweeps, winners-only
+    /// sqrt) agree bit for bit with a two-pass reference that pays a sqrt
+    /// per candidate, across predict / predict_topk / predict_with_margin.
+    #[test]
+    fn sqrt_free_matching_matches_two_pass_sqrt_reference(
+        (points, labels) in arb_problem(),
+        query in prop::collection::vec(-100.0f64..100.0, 3),
+        k in 1usize..6,
+    ) {
+        let model = ClusterModel::fit_rows(&points, &labels, &ClusteringConfig::default()).unwrap();
+        // Reference: the historical per-candidate sqrt sweep.
+        let dists: Vec<f64> = model
+            .clusters()
+            .iter()
+            .map(|c| {
+                c.centroid
+                    .iter()
+                    .zip(&query)
+                    .map(|(&x, &y)| (x - y) * (x - y))
+                    .sum::<f64>()
+                    .sqrt()
+            })
+            .collect();
+        let best = dists
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+
+        let pred = model.predict(&query).unwrap();
+        prop_assert_eq!(pred.cluster, best);
+        prop_assert_eq!(pred.distance.to_bits(), dists[best].to_bits());
+
+        // Top-k: full (distance, index) ranking with per-candidate sqrt.
+        let mut ranked: Vec<(usize, f64)> = dists.iter().copied().enumerate().collect();
+        ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        let top = model.predict_topk(&query, k).unwrap();
+        prop_assert_eq!(top.len(), k.min(dists.len()));
+        for (got, want) in top.iter().zip(&ranked) {
+            prop_assert_eq!(got.0, model.clusters()[want.0].floor);
+            prop_assert_eq!(got.1.to_bits(), want.1.to_bits());
+        }
+
+        // Margin: nearest different-floor distance minus best distance.
+        let rival = dists
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| model.clusters()[i].floor != pred.floor)
+            .map(|(_, &d)| d)
+            .fold(f64::INFINITY, f64::min);
+        let (mpred, margin) = model.predict_with_margin(&query).unwrap();
+        prop_assert_eq!(mpred, pred);
+        prop_assert_eq!(margin.to_bits(), (rival - pred.distance).to_bits());
     }
 }

@@ -273,13 +273,15 @@ impl Grafics {
         let trainer = ElineTrainer::new(config.embedding());
         let embeddings = trainer.train(&graph, rng)?;
 
-        let mut points = Vec::with_capacity(train.len());
+        // Ego embeddings land directly in the flat point matrix the
+        // clustering stage consumes — no per-record Vec<f64> detour.
+        let mut points = grafics_types::RowMatrix::with_capacity(train.len(), config.dim);
         let mut labels = Vec::with_capacity(train.len());
         for (i, sample) in train.samples().iter().enumerate() {
             let node = graph
                 .record_node(RecordId(i as u32))
                 .expect("training records are live");
-            points.push(embeddings.ego_vec(node));
+            points.push_row_widen(embeddings.ego(node));
             labels.push(sample.floor);
         }
         let clusters = ClusterModel::fit(&points, &labels, &config.clustering())?;
@@ -626,10 +628,10 @@ impl Grafics {
         rng: &mut R,
     ) -> Result<(), GraficsError> {
         self.embeddings = self.trainer.train(&self.graph, rng)?;
-        let mut points = Vec::new();
+        let mut points = grafics_types::RowMatrix::with_cols(self.config.dim);
         let mut point_labels = Vec::new();
         for (rid, node) in self.graph.record_ids() {
-            points.push(self.embeddings.ego_vec(node));
+            points.push_row_widen(self.embeddings.ego(node));
             point_labels.push(labels.get(rid.index()).copied().flatten());
         }
         self.clusters = ClusterModel::fit(&points, &point_labels, &self.config.clustering())?;

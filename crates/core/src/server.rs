@@ -66,6 +66,10 @@ use std::sync::Arc;
 pub struct GraficsServer<M: Deref<Target = Grafics> = Arc<Grafics>> {
     model: M,
     scratch: grafics_embed::OnlineScratch,
+    /// Cluster-matching scratch shared across every query of the
+    /// session — one per batch worker, so a whole `serve_batch` chunk
+    /// reuses a single candidate buffer.
+    matching: grafics_cluster::MatchScratch,
 }
 
 impl Grafics {
@@ -139,6 +143,7 @@ impl<M: Deref<Target = Grafics>> GraficsServer<M> {
         GraficsServer {
             model,
             scratch: grafics_embed::OnlineScratch::new(),
+            matching: grafics_cluster::MatchScratch::new(),
         }
     }
 
@@ -177,7 +182,9 @@ impl<M: Deref<Target = Grafics>> GraficsServer<M> {
     ) -> Result<Vec<(FloorId, f64)>, GraficsError> {
         let model = &*self.model;
         let query = embed(model, &mut self.scratch, record, rng)?;
-        Ok(model.clusters.predict_topk(query, k)?)
+        Ok(model
+            .clusters
+            .predict_topk_with(query, k, &mut self.matching)?)
     }
 
     /// Like [`GraficsServer::infer`], but also returns the distance gap to

@@ -23,8 +23,11 @@
 
 use crate::config::{EmbedError, EmbeddingConfig, Objective};
 use crate::model::{EmbeddingModel, Space};
-use crate::sgd::{axpy, dot_fixed, dot_unrolled, fast_sigmoid, sigmoid_table, SIGMOID_TABLE_SIZE};
+use crate::sgd::{
+    axpy_lanes, dot_fixed, dot_lanes, fast_sigmoid, sigmoid_table, SIGMOID_TABLE_SIZE,
+};
 use grafics_graph::{BipartiteGraph, NegativeSampler, NodeIdx};
+use grafics_types::kernels::axpy_fixed_f32;
 use grafics_types::SignalRecord;
 use rand::Rng;
 
@@ -118,12 +121,14 @@ fn draw_negatives<R: Rng + ?Sized>(
 }
 
 /// Dot product monomorphised over the embedding dimension; `DIM == 0`
-/// selects the dynamic-length kernel (the branch is a compile-time
-/// constant and folds away).
+/// selects the lane-blocked runtime-length kernel (bit-identical to the
+/// fixed one at equal lengths — the branch is a compile-time constant
+/// and folds away), so `d > 16` serves on the same 4-accumulator FMA
+/// scheme as the paper's default dimensions.
 #[inline(always)]
 fn dot_k<const DIM: usize>(a: &[f32], b: &[f32]) -> f32 {
     if DIM == 0 {
-        dot_unrolled(a, b)
+        dot_lanes(a, b)
     } else {
         let a: &[f32; DIM] = a.try_into().expect("row length equals DIM");
         let b: &[f32; DIM] = b.try_into().expect("row length equals DIM");
@@ -131,18 +136,16 @@ fn dot_k<const DIM: usize>(a: &[f32], b: &[f32]) -> f32 {
     }
 }
 
-/// `acc += g * v`, monomorphised like [`dot_k`]; the fixed form fully
-/// unrolls with fused multiply-adds and no bounds checks.
+/// `acc += g * v`, monomorphised like [`dot_k`]; both forms emit fused
+/// multiply-adds, the fixed one with no bounds checks.
 #[inline(always)]
 fn axpy_k<const DIM: usize>(acc: &mut [f32], g: f32, v: &[f32]) {
     if DIM == 0 {
-        axpy(acc, g, v);
+        axpy_lanes(acc, g, v);
     } else {
         let acc: &mut [f32; DIM] = acc.try_into().expect("row length equals DIM");
         let v: &[f32; DIM] = v.try_into().expect("row length equals DIM");
-        for d in 0..DIM {
-            acc[d] = v[d].mul_add(g, acc[d]);
-        }
+        axpy_fixed_f32::<DIM>(acc, g, v);
     }
 }
 
@@ -607,6 +610,44 @@ mod tests {
             // The two RNGs must also end in the same state.
             assert_eq!(rng_q.gen::<u64>(), rng_m.gen::<u64>(), "case {case}");
         }
+    }
+
+    /// The lane-blocked `d > 16` kernels keep the two online paths
+    /// bit-identical too (the dims outside the 4/8/16 monomorphisations
+    /// now run 4-accumulator FMA instead of the old non-FMA unroll).
+    #[test]
+    fn query_path_matches_insertion_path_bitwise_at_dim_32() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut g = BipartiteGraph::new(WeightFunction::default());
+        for k in 0..16u64 {
+            g.add_record(&rec(&[k % 8, (k + 1) % 8, (k + 3) % 8]));
+        }
+        let trainer = ElineTrainer::new(EmbeddingConfig {
+            dim: 32,
+            epochs: 10,
+            online_samples_per_edge: 30,
+            ..Default::default()
+        });
+        let model = trainer.train(&g, &mut rng).unwrap();
+        let neg = NegativeSampler::from_graph(&g, trainer.config().negative_exponent);
+        let query = rec(&[0, 3, 999]);
+
+        let mut scratch = OnlineScratch::new();
+        let mut rng_q = ChaCha8Rng::seed_from_u64(21);
+        let frozen_query = trainer
+            .embed_query(&g, &model, &query, &neg, &mut scratch, &mut rng_q)
+            .unwrap()
+            .to_vec();
+
+        let mut g2 = g.clone();
+        let mut model2 = model.clone();
+        let rid = g2.add_record(&query);
+        let node = g2.record_node(rid).unwrap();
+        let mut rng_m = ChaCha8Rng::seed_from_u64(21);
+        trainer
+            .embed_new_node_with(&g2, &mut model2, node, &neg, &mut scratch, &mut rng_m)
+            .unwrap();
+        assert_eq!(frozen_query, model2.ego_vec(node));
     }
 
     #[test]

@@ -27,7 +27,9 @@
 
 use crate::config::{EmbedError, EmbeddingConfig, Objective};
 use crate::model::{EmbeddingModel, Space};
-use crate::sgd::{axpy, dot_fixed, dot_unrolled, fast_sigmoid, sigmoid_table, SIGMOID_TABLE_SIZE};
+use crate::sgd::{
+    axpy_lanes, dot_fixed, dot_lanes, fast_sigmoid, sigmoid_table, SIGMOID_TABLE_SIZE,
+};
 use grafics_graph::{AliasTable, BipartiteGraph, NodeIdx};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -239,12 +241,12 @@ impl HogwildScratch for DynScratch {
             for (slot, cell) in self.tgt_copy.iter_mut().zip(row) {
                 *slot = load(cell);
             }
-            let g =
-                lr * (label - fast_sigmoid(table, dot_unrolled(&self.src_copy, &self.tgt_copy)));
-            // Elementwise passes over the local copies vectorize; only the
-            // final per-coordinate atomic stores stay scalar.
-            axpy(&mut self.src_grad, g, &self.tgt_copy);
-            axpy(&mut self.tgt_copy, g, &self.src_copy);
+            let g = lr * (label - fast_sigmoid(table, dot_lanes(&self.src_copy, &self.tgt_copy)));
+            // Elementwise passes over the local copies vectorize (the
+            // lane-blocked kernels match the fixed-dimension scratch's FMA
+            // scheme); only the per-coordinate atomic stores stay scalar.
+            axpy_lanes(&mut self.src_grad, g, &self.tgt_copy);
+            axpy_lanes(&mut self.tgt_copy, g, &self.src_copy);
             for (cell, &v) in row.iter().zip(&self.tgt_copy) {
                 store(cell, v);
             }

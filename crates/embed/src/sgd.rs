@@ -1,13 +1,29 @@
 //! Low-level SGD primitives shared by offline training and online
 //! embedding: one skip-gram-with-negative-sampling step over a directed
-//! (source → target) pair, plus the math kernels (dot product, axpy,
-//! sigmoid lookup table) reused by both the serial and the Hogwild
-//! trainers.
+//! (source → target) pair, plus the sigmoid lookup table reused by both
+//! the serial and the Hogwild trainers.
+//!
+//! The dot / axpy kernels themselves live in the workspace-wide
+//! [`grafics_types::kernels`] layer (one copy shared with the cluster
+//! and `nn` crates); this module re-exports them under the historical
+//! names so the trainers keep reading naturally:
+//!
+//! - [`dot`] / [`axpy`] — sequential-exact, pinned by the serial
+//!   trainer's bit-stability guarantee;
+//! - [`dot_fixed`] — fixed-lane FMA for the monomorphised 4/8/16 paths;
+//! - [`dot_lanes`] / [`axpy_lanes`] — the lane-blocked FMA path for
+//!   every other dimension (bit-identical to the fixed kernels at equal
+//!   lengths), which is what `d > 16` models now train and serve on.
 
 use crate::model::{EmbeddingModel, Space};
 use grafics_graph::NodeIdx;
 use rand::Rng;
 use std::sync::OnceLock;
+
+pub(crate) use grafics_types::kernels::{
+    axpy_f32 as axpy, axpy_lanes_f32 as axpy_lanes, dot_f32 as dot, dot_fixed_f32 as dot_fixed,
+    dot_lanes_f32 as dot_lanes,
+};
 
 /// Numerically safe logistic function.
 #[inline]
@@ -49,74 +65,6 @@ pub(crate) fn fast_sigmoid(table: &[f32; SIGMOID_TABLE_SIZE], x: f32) -> f32 {
     // Saturated values behave like the clamp in `sigmoid`.
     let idx = (scaled as i32).clamp(0, SIGMOID_TABLE_SIZE as i32 - 1) as usize;
     table[idx]
-}
-
-/// Sequential dot product — accumulation order matches the historical
-/// per-coordinate loop exactly, keeping the serial trainer bit-for-bit
-/// stable.
-#[inline(always)]
-pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = 0.0f32;
-    for d in 0..a.len() {
-        acc += a[d] * b[d];
-    }
-    acc
-}
-
-/// Four-accumulator unrolled dot product for the Hogwild path, where
-/// bit-stability against the serial trainer is not required and breaking
-/// the dependency chain lets the core issue independent FMAs.
-#[inline(always)]
-pub(crate) fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = [0.0f32; 4];
-    let chunks = a.len() / 4;
-    for c in 0..chunks {
-        let base = c * 4;
-        acc[0] += a[base] * b[base];
-        acc[1] += a[base + 1] * b[base + 1];
-        acc[2] += a[base + 2] * b[base + 2];
-        acc[3] += a[base + 3] * b[base + 3];
-    }
-    let mut tail = (acc[0] + acc[2]) + (acc[1] + acc[3]);
-    for d in chunks * 4..a.len() {
-        tail += a[d] * b[d];
-    }
-    tail
-}
-
-/// `acc[d] += scale * v[d]` — the shared update kernel. Element order is
-/// sequential, so substituting it for the historical loops is exact.
-#[inline(always)]
-pub(crate) fn axpy(acc: &mut [f32], scale: f32, v: &[f32]) {
-    debug_assert_eq!(acc.len(), v.len());
-    for d in 0..acc.len() {
-        acc[d] += scale * v[d];
-    }
-}
-
-/// Four-accumulator dot product over compile-time-sized rows. `mul_add`
-/// lets the backend emit fused multiply-adds; used by the Hogwild trainer
-/// and the online serving path, neither of which promises bit-stability
-/// against the sequential [`dot`].
-#[inline(always)]
-pub(crate) fn dot_fixed<const DIM: usize>(a: &[f32; DIM], b: &[f32; DIM]) -> f32 {
-    let mut acc = [0.0f32; 4];
-    let mut d = 0;
-    while d + 4 <= DIM {
-        acc[0] = a[d].mul_add(b[d], acc[0]);
-        acc[1] = a[d + 1].mul_add(b[d + 1], acc[1]);
-        acc[2] = a[d + 2].mul_add(b[d + 2], acc[2]);
-        acc[3] = a[d + 3].mul_add(b[d + 3], acc[3]);
-        d += 4;
-    }
-    let mut dot = (acc[0] + acc[2]) + (acc[1] + acc[3]);
-    while d < DIM {
-        dot = a[d].mul_add(b[d], dot);
-        d += 1;
-    }
-    dot
 }
 
 /// Fills `out` with up to `k` values accepted by `draw` (`None` =
@@ -251,10 +199,10 @@ mod tests {
         let a: Vec<f32> = (0..13).map(|i| (i as f32).sin()).collect();
         let b: Vec<f32> = (0..13).map(|i| (i as f32 * 0.7).cos()).collect();
         let seq = dot(&a, &b);
-        let unrolled = dot_unrolled(&a, &b);
-        assert!((seq - unrolled).abs() < 1e-5, "{seq} vs {unrolled}");
+        let lanes = dot_lanes(&a, &b);
+        assert!((seq - lanes).abs() < 1e-5, "{seq} vs {lanes}");
         assert_eq!(dot(&[], &[]), 0.0);
-        assert_eq!(dot_unrolled(&[], &[]), 0.0);
+        assert_eq!(dot_lanes(&[], &[]), 0.0);
     }
 
     #[test]

@@ -1,221 +1,18 @@
-//! Row-major `f32` matrices with the operations backprop needs.
+//! The `nn` substrate's matrix type: the workspace's contiguous
+//! row-major [`RowMatrix`] instantiated at `f32`.
+//!
+//! Historically this module owned its own flat matrix struct; it now
+//! aliases the shared backbone type from `grafics-types`, whose `f32`
+//! impl carries the forward/backward operations (`matmul`, `t_matmul`,
+//! `matmul_t`, `add_row_broadcast`, `col_sums`, `glorot`) on the shared
+//! kernel layer — same loops, same sequential-exact numerics, one copy
+//! for the whole workspace. The serialized shape (`{rows, cols, data}`)
+//! is unchanged, so persisted nets keep loading.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+pub use grafics_types::RowMatrix;
 
-/// A dense row-major matrix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Matrix {
-    rows: usize,
-    cols: usize,
-    data: Vec<f32>,
-}
-
-impl Matrix {
-    /// All-zero matrix.
-    #[must_use]
-    pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix {
-            rows,
-            cols,
-            data: vec![0.0; rows * cols],
-        }
-    }
-
-    /// He/Xavier-style uniform init in `±sqrt(6/(fan_in+fan_out))`.
-    #[must_use]
-    pub fn glorot<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
-        let bound = (6.0 / (rows + cols) as f32).sqrt();
-        Matrix {
-            rows,
-            cols,
-            data: (0..rows * cols)
-                .map(|_| rng.gen_range(-bound..=bound))
-                .collect(),
-        }
-    }
-
-    /// Builds from row vectors.
-    ///
-    /// # Panics
-    ///
-    /// Panics on ragged input or zero rows.
-    #[must_use]
-    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
-        assert!(!rows.is_empty(), "need at least one row");
-        let cols = rows[0].len();
-        let mut data = Vec::with_capacity(rows.len() * cols);
-        for r in rows {
-            assert_eq!(r.len(), cols, "ragged rows");
-            data.extend_from_slice(r);
-        }
-        Matrix {
-            rows: rows.len(),
-            cols,
-            data,
-        }
-    }
-
-    /// Builds from a flat row-major buffer.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `data.len() != rows * cols`.
-    #[must_use]
-    pub fn from_flat(rows: usize, cols: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), rows * cols);
-        Matrix { rows, cols, data }
-    }
-
-    /// Number of rows.
-    #[must_use]
-    pub fn rows(&self) -> usize {
-        self.rows
-    }
-
-    /// Number of columns.
-    #[must_use]
-    pub fn cols(&self) -> usize {
-        self.cols
-    }
-
-    /// Element accessor.
-    #[must_use]
-    pub fn get(&self, r: usize, c: usize) -> f32 {
-        self.data[r * self.cols + c]
-    }
-
-    /// Mutable element accessor.
-    pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        self.data[r * self.cols + c] = v;
-    }
-
-    /// Row slice.
-    #[must_use]
-    pub fn row(&self, r: usize) -> &[f32] {
-        &self.data[r * self.cols..(r + 1) * self.cols]
-    }
-
-    /// Mutable row slice.
-    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
-        &mut self.data[r * self.cols..(r + 1) * self.cols]
-    }
-
-    /// Flat data.
-    #[must_use]
-    pub fn data(&self) -> &[f32] {
-        &self.data
-    }
-
-    /// Flat mutable data.
-    pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
-    }
-
-    /// `self × other`.
-    ///
-    /// # Panics
-    ///
-    /// Panics on inner-dimension mismatch.
-    #[must_use]
-    pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.rows, "matmul inner dims");
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(i, k);
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = other.row(k);
-                let out_row = out.row_mut(i);
-                for (j, &b) in orow.iter().enumerate() {
-                    out_row[j] += a * b;
-                }
-            }
-        }
-        out
-    }
-
-    /// `selfᵀ × other` without materialising the transpose.
-    #[must_use]
-    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.rows, other.rows, "t_matmul outer dims");
-        let mut out = Matrix::zeros(self.cols, other.cols);
-        for r in 0..self.rows {
-            let arow = self.row(r);
-            let brow = other.row(r);
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = out.row_mut(i);
-                for (j, &b) in brow.iter().enumerate() {
-                    out_row[j] += a * b;
-                }
-            }
-        }
-        out
-    }
-
-    /// `self × otherᵀ` without materialising the transpose.
-    #[must_use]
-    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.cols, "matmul_t inner dims");
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            for j in 0..other.rows {
-                let brow = other.row(j);
-                let mut acc = 0.0;
-                for k in 0..self.cols {
-                    acc += arow[k] * brow[k];
-                }
-                out.set(i, j, acc);
-            }
-        }
-        out
-    }
-
-    /// Adds `bias` (length = cols) to every row.
-    pub fn add_row_broadcast(&mut self, bias: &[f32]) {
-        assert_eq!(bias.len(), self.cols);
-        for r in 0..self.rows {
-            for (x, &b) in self.row_mut(r).iter_mut().zip(bias) {
-                *x += b;
-            }
-        }
-    }
-
-    /// Column sums (used for bias gradients).
-    #[must_use]
-    pub fn col_sums(&self) -> Vec<f32> {
-        let mut sums = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            for (s, &x) in sums.iter_mut().zip(self.row(r)) {
-                *s += x;
-            }
-        }
-        sums
-    }
-
-    /// Returns a sub-matrix of the given row range (copies).
-    #[must_use]
-    pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
-        assert!(start <= end && end <= self.rows);
-        Matrix {
-            rows: end - start,
-            cols: self.cols,
-            data: self.data[start * self.cols..end * self.cols].to_vec(),
-        }
-    }
-
-    /// `true` when every entry is finite.
-    #[must_use]
-    pub fn all_finite(&self) -> bool {
-        self.data.iter().all(|x| x.is_finite())
-    }
-}
+/// A dense row-major `f32` matrix (see [`RowMatrix`]).
+pub type Matrix = RowMatrix<f32>;
 
 #[cfg(test)]
 mod tests {

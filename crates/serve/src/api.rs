@@ -130,12 +130,33 @@ struct PublishRequest {
 /// An HTTP `(status, JSON body)` pair.
 pub type ApiResult = (u16, String);
 
+/// JSON responses (every endpoint except `/metrics`).
+pub const CONTENT_TYPE_JSON: &str = "application/json";
+/// The `/metrics` plaintext exposition format.
+pub const CONTENT_TYPE_TEXT: &str = "text/plain; version=0.0.4";
+
 fn json_body<T: Serialize>(value: &T) -> String {
     serde_json::to_string(value).unwrap_or_else(|_| "{}".to_owned())
 }
 
+/// Serializes into the reused response buffer; returns the status.
+fn json_into<T: Serialize>(status: u16, value: &T, out: &mut String) -> u16 {
+    if serde_json::to_string_into(value, out).is_err() {
+        out.clear();
+        out.push_str("{}");
+    }
+    status
+}
+
 fn error_body(status: u16, message: &str) -> ApiResult {
     (status, json_body(&serde_json::json!({ "error": message })))
+}
+
+/// Copies a cold-path error result into the reused buffer.
+fn fill((status, body): ApiResult, out: &mut String) -> u16 {
+    out.clear();
+    out.push_str(&body);
+    status
 }
 
 fn parse_json<T: serde::Deserialize>(body: &[u8]) -> Result<T, ApiResult> {
@@ -155,36 +176,118 @@ fn sanitize(record: &SignalRecord) -> Result<SignalRecord, ApiResult> {
 /// with the wrong method get 405.
 #[must_use]
 pub fn dispatch(state: &FleetState, method: &str, path: &str, body: &[u8]) -> ApiResult {
-    match (method, path) {
-        ("GET", "/healthz") => healthz(state),
-        ("GET", "/v1/stat") => (200, json_body(&state.fleet().stats())),
-        ("POST", "/v1/infer") => infer(state, body).unwrap_or_else(|e| e),
-        ("POST", "/v1/infer_batch") => infer_batch(state, body).unwrap_or_else(|e| e),
-        ("POST", "/v1/absorb") => absorb(state, body).unwrap_or_else(|e| e),
-        ("POST", "/v1/publish") => publish(state, body).unwrap_or_else(|e| e),
-        (
-            _,
-            "/healthz" | "/v1/stat" | "/v1/infer" | "/v1/infer_batch" | "/v1/absorb"
-            | "/v1/publish",
-        ) => error_body(405, &format!("{method} not allowed here")),
-        _ => error_body(404, &format!("no route for {path}")),
-    }
+    let mut out = String::new();
+    let (status, _content_type) = dispatch_into(state, method, path, body, &mut out);
+    (status, out)
 }
 
-fn healthz(state: &FleetState) -> ApiResult {
-    (
+/// [`dispatch`] into a caller-owned response buffer (cleared first): a
+/// worker reuses one buffer across every request of a keep-alive
+/// connection, so the hot serving endpoints allocate no response string
+/// per request. Returns `(status, content type)`. Also feeds the
+/// per-endpoint counters behind `/metrics`.
+#[must_use]
+pub fn dispatch_into(
+    state: &FleetState,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    out: &mut String,
+) -> (u16, &'static str) {
+    out.clear();
+    state.endpoints().count(path);
+    let status = match (method, path) {
+        ("GET", "/healthz") => healthz(state, out),
+        ("GET", "/metrics") => return (metrics(state, out), CONTENT_TYPE_TEXT),
+        ("GET", "/v1/stat") => json_into(200, &state.fleet().stats(), out),
+        ("POST", "/v1/infer") => infer(state, body, out).unwrap_or_else(|e| fill(e, out)),
+        ("POST", "/v1/infer_batch") => {
+            infer_batch(state, body, out).unwrap_or_else(|e| fill(e, out))
+        }
+        ("POST", "/v1/absorb") => absorb(state, body, out).unwrap_or_else(|e| fill(e, out)),
+        ("POST", "/v1/publish") => publish(state, body, out).unwrap_or_else(|e| fill(e, out)),
+        (
+            _,
+            "/healthz" | "/metrics" | "/v1/stat" | "/v1/infer" | "/v1/infer_batch" | "/v1/absorb"
+            | "/v1/publish",
+        ) => fill(error_body(405, &format!("{method} not allowed here")), out),
+        _ => fill(error_body(404, &format!("no route for {path}")), out),
+    };
+    (status, CONTENT_TYPE_JSON)
+}
+
+fn healthz(state: &FleetState, out: &mut String) -> u16 {
+    json_into(
         200,
-        json_body(&HealthBody {
+        &HealthBody {
             ok: true,
             shards: state.fleet().len(),
             uptime_secs: state.uptime_secs(),
             requests: state.request_count(),
             absorbs: state.absorb_count(),
-        }),
+        },
+        out,
     )
 }
 
-fn infer(state: &FleetState, body: &[u8]) -> Result<ApiResult, ApiResult> {
+/// `GET /metrics`: the Prometheus-style plaintext exposition of the
+/// serving counters, sharing [`FleetStats`](grafics_core::FleetStats)
+/// with `/v1/stat` and `grafics fleet stat` — requests served, absorbs,
+/// publish epochs, per-endpoint request counters, and per-shard gauges.
+fn metrics(state: &FleetState, out: &mut String) -> u16 {
+    use std::fmt::Write as _;
+    let stats = state.fleet().stats();
+    let w = |out: &mut String, name: &str, kind: &str, value: &dyn std::fmt::Display| {
+        let _ = writeln!(out, "# TYPE {name} {kind}\n{name} {value}");
+    };
+    w(
+        out,
+        "grafics_requests_total",
+        "counter",
+        &state.request_count(),
+    );
+    w(
+        out,
+        "grafics_absorbs_total",
+        "counter",
+        &state.absorb_count(),
+    );
+    w(
+        out,
+        "grafics_publish_epochs_total",
+        "counter",
+        &stats.total_epochs(),
+    );
+    w(out, "grafics_uptime_seconds", "gauge", &state.uptime_secs());
+    w(out, "grafics_shards", "gauge", &stats.shards.len());
+    w(
+        out,
+        "grafics_resident_records",
+        "gauge",
+        &stats.total_resident_records(),
+    );
+    w(
+        out,
+        "grafics_pending_absorbs",
+        "gauge",
+        &stats.total_pending(),
+    );
+    let _ = writeln!(out, "# TYPE grafics_requests counter");
+    for (endpoint, count) in state.endpoints().snapshot() {
+        let _ = writeln!(out, "grafics_requests{{endpoint=\"{endpoint}\"}} {count}");
+    }
+    let _ = writeln!(out, "# TYPE grafics_shard_records gauge");
+    for shard in &stats.shards {
+        let _ = writeln!(
+            out,
+            "grafics_shard_records{{building=\"{}\"}} {}",
+            shard.building, shard.resident_records
+        );
+    }
+    200
+}
+
+fn infer(state: &FleetState, body: &[u8], out: &mut String) -> Result<u16, ApiResult> {
     let req: InferRequest = parse_json(body)?;
     let record = sanitize(&req.record)?;
     let seed = req.seed.unwrap_or(0);
@@ -195,7 +298,7 @@ fn infer(state: &FleetState, body: &[u8]) -> Result<ApiResult, ApiResult> {
         state.fleet().serve_batch(&records, seed, 1)
     };
     match &preds[0] {
-        Some(p) => Ok((200, json_body(&PredictionBody::from(p)))),
+        Some(p) => Ok(json_into(200, &PredictionBody::from(p), out)),
         None => Err(error_body(
             422,
             "record overlaps no building in the fleet; discarded",
@@ -203,7 +306,7 @@ fn infer(state: &FleetState, body: &[u8]) -> Result<ApiResult, ApiResult> {
     }
 }
 
-fn infer_batch(state: &FleetState, body: &[u8]) -> Result<ApiResult, ApiResult> {
+fn infer_batch(state: &FleetState, body: &[u8], out: &mut String) -> Result<u16, ApiResult> {
     let req: InferBatchRequest = parse_json(body)?;
     let mut records = Vec::with_capacity(req.records.len());
     for r in &req.records {
@@ -226,16 +329,17 @@ fn infer_batch(state: &FleetState, body: &[u8]) -> Result<ApiResult, ApiResult> 
         .map(|p| p.as_ref().map(PredictionBody::from))
         .collect();
     let served = predictions.iter().flatten().count();
-    Ok((
+    Ok(json_into(
         200,
-        json_body(&BatchBody {
+        &BatchBody {
             predictions,
             served,
-        }),
+        },
+        out,
     ))
 }
 
-fn absorb(state: &FleetState, body: &[u8]) -> Result<ApiResult, ApiResult> {
+fn absorb(state: &FleetState, body: &[u8], out: &mut String) -> Result<u16, ApiResult> {
     let req: AbsorbRequest = parse_json(body)?;
     let record = sanitize(&req.record)?;
     let seq = state.next_absorb_seq();
@@ -266,18 +370,19 @@ fn absorb(state: &FleetState, body: &[u8]) -> Result<ApiResult, ApiResult> {
     {
         state.cadence().notify();
     }
-    Ok((
+    Ok(json_into(
         200,
-        json_body(&AbsorbBody {
+        &AbsorbBody {
             building: building.0,
             record_id: rid.0,
             seq,
             pending,
-        }),
+        },
+        out,
     ))
 }
 
-fn publish(state: &FleetState, body: &[u8]) -> Result<ApiResult, ApiResult> {
+fn publish(state: &FleetState, body: &[u8], out: &mut String) -> Result<u16, ApiResult> {
     let req: PublishRequest = if body.is_empty() {
         PublishRequest { building: None }
     } else {
@@ -304,5 +409,5 @@ fn publish(state: &FleetState, body: &[u8]) -> Result<ApiResult, ApiResult> {
             }
         }
     }
-    Ok((200, json_body(&PublishBody { epochs })))
+    Ok(json_into(200, &PublishBody { epochs }, out))
 }

@@ -20,8 +20,11 @@ pub struct Limits {
     pub max_body_bytes: usize,
 }
 
-/// One parsed HTTP request.
-#[derive(Debug)]
+/// One parsed HTTP request. Designed for reuse: a worker keeps one
+/// `Request` per connection and refills it via [`read_request_into`],
+/// so the head, method, path, and body buffers are allocated once per
+/// connection instead of once per request.
+#[derive(Debug, Default)]
 pub struct Request {
     /// Upper-cased method (`GET`, `POST`, …).
     pub method: String,
@@ -32,6 +35,16 @@ pub struct Request {
     pub body: Vec<u8>,
     /// Whether the client asked to keep the connection open.
     pub keep_alive: bool,
+    /// Reused buffer for the raw request line + headers.
+    head: Vec<u8>,
+}
+
+impl Request {
+    /// Fresh reusable buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        Request::default()
+    }
 }
 
 /// Why a request could not be parsed.
@@ -83,10 +96,44 @@ pub fn read_request<R: BufRead, W: Write>(
     writer: &mut W,
     limits: &Limits,
 ) -> Result<Option<Request>, RequestError> {
-    let Some(head) = read_head(reader, limits.max_head_bytes)? else {
-        return Ok(None);
-    };
-    let head = std::str::from_utf8(&head)
+    let mut req = Request::new();
+    Ok(read_request_into(reader, writer, limits, &mut req)?.then_some(req))
+}
+
+/// [`read_request`] into caller-owned buffers: `req`'s head, method,
+/// path, and body are cleared and refilled, so a keep-alive connection
+/// parses every request into the same allocations. Returns `Ok(false)`
+/// on a clean close between requests (the `Ok(None)` of
+/// [`read_request`]).
+///
+/// # Errors
+///
+/// See [`RequestError`].
+pub fn read_request_into<R: BufRead, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+    limits: &Limits,
+    req: &mut Request,
+) -> Result<bool, RequestError> {
+    let mut head = std::mem::take(&mut req.head);
+    if !read_head(reader, limits.max_head_bytes, &mut head)? {
+        req.head = head;
+        return Ok(false);
+    }
+    let result = parse_into(&head, reader, writer, limits, req);
+    req.head = head;
+    result.map(|()| true)
+}
+
+/// Parses one raw head (+ streams the body) into `req`'s reused fields.
+fn parse_into<R: BufRead, W: Write>(
+    head: &[u8],
+    reader: &mut R,
+    writer: &mut W,
+    limits: &Limits,
+    req: &mut Request,
+) -> Result<(), RequestError> {
+    let head = std::str::from_utf8(head)
         .map_err(|_| RequestError::Malformed("head is not UTF-8".to_owned()))?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or_default();
@@ -148,34 +195,40 @@ pub fn read_request<R: BufRead, W: Write>(
         return Err(RequestError::BodyTooLarge(limits.max_body_bytes));
     }
 
-    let mut body = vec![0u8; content_length];
+    req.body.clear();
+    req.body.resize(content_length, 0);
     if content_length > 0 {
         if expect_continue {
             let _ = writer.write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
             let _ = writer.flush();
         }
         reader
-            .read_exact(&mut body)
+            .read_exact(&mut req.body)
             .map_err(|_| RequestError::Closed)?;
     }
-    Ok(Some(Request {
-        method: method.to_owned(),
-        path: path.to_owned(),
-        body,
-        keep_alive,
-    }))
+    req.method.clear();
+    req.method.push_str(method);
+    req.path.clear();
+    req.path.push_str(path);
+    req.keep_alive = keep_alive;
+    Ok(())
 }
 
-/// Reads bytes up to and including the `\r\n\r\n` head terminator.
-/// `Ok(None)` on EOF/timeout before the first byte.
-fn read_head<R: BufRead>(reader: &mut R, max: usize) -> Result<Option<Vec<u8>>, RequestError> {
-    let mut head = Vec::with_capacity(256);
+/// Reads bytes up to and including the `\r\n\r\n` head terminator into
+/// the reused `head` buffer (cleared first). `Ok(false)` on EOF/timeout
+/// before the first byte.
+fn read_head<R: BufRead>(
+    reader: &mut R,
+    max: usize,
+    head: &mut Vec<u8>,
+) -> Result<bool, RequestError> {
+    head.clear();
     let mut byte = [0u8; 1];
     loop {
         match reader.read(&mut byte) {
             Ok(0) => {
                 return if head.is_empty() {
-                    Ok(None)
+                    Ok(false)
                 } else {
                     Err(RequestError::Closed)
                 };
@@ -186,7 +239,7 @@ fn read_head<R: BufRead>(reader: &mut R, max: usize) -> Result<Option<Vec<u8>>, 
                 }
                 head.push(byte[0]);
                 if head.ends_with(b"\r\n\r\n") {
-                    return Ok(Some(head));
+                    return Ok(true);
                 }
             }
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
@@ -195,7 +248,7 @@ fn read_head<R: BufRead>(reader: &mut R, max: usize) -> Result<Option<Vec<u8>>, 
                     && matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) =>
             {
                 // Idle keep-alive connection hit the read timeout.
-                return Ok(None);
+                return Ok(false);
             }
             Err(_) => return Err(RequestError::Closed),
         }
@@ -231,9 +284,25 @@ pub fn write_response<W: Write>(
     body: &str,
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    write_response_typed(writer, status, "application/json", body, keep_alive)
+}
+
+/// [`write_response`] with an explicit `Content-Type` (the `/metrics`
+/// endpoint answers plaintext).
+///
+/// # Errors
+///
+/// Propagates the underlying IO error (the connection is then dropped).
+pub fn write_response_typed<W: Write>(
+    writer: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
     write!(
         writer,
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         reason(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
@@ -315,6 +384,30 @@ mod tests {
     #[test]
     fn clean_eof_is_none() {
         assert!(parse("").unwrap().is_none());
+    }
+
+    /// Two keep-alive requests parse into the same reused `Request`
+    /// without leaking state from the first into the second.
+    #[test]
+    fn request_buffers_are_reused_across_requests() {
+        let raw = "POST /v1/absorb HTTP/1.1\r\nContent-Length: 9\r\n\r\nfirstbody\
+                   GET /healthz HTTP/1.1\r\n\r\n";
+        let mut reader = Cursor::new(raw.as_bytes().to_vec());
+        let mut sink = Vec::new();
+        let mut req = Request::new();
+        assert!(read_request_into(&mut reader, &mut sink, &LIMITS, &mut req).unwrap());
+        assert_eq!(
+            (req.method.as_str(), req.path.as_str()),
+            ("POST", "/v1/absorb")
+        );
+        assert_eq!(req.body, b"firstbody");
+        assert!(read_request_into(&mut reader, &mut sink, &LIMITS, &mut req).unwrap());
+        assert_eq!(
+            (req.method.as_str(), req.path.as_str()),
+            ("GET", "/healthz")
+        );
+        assert!(req.body.is_empty(), "body cleared between requests");
+        assert!(!read_request_into(&mut reader, &mut sink, &LIMITS, &mut req).unwrap());
     }
 
     #[test]

@@ -304,14 +304,22 @@ fn handle_connection(
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
+    // Per-connection reusable buffers: every keep-alive request on this
+    // worker parses into and answers out of the same allocations.
+    let mut req = http::Request::new();
+    let mut response = String::new();
     loop {
-        match http::read_request(&mut reader, &mut writer, &limits) {
-            Ok(None) => break,
-            Ok(Some(req)) => {
+        match http::read_request_into(&mut reader, &mut writer, &limits, &mut req) {
+            Ok(false) => break,
+            Ok(true) => {
                 state.count_request();
-                let (status, body) = api::dispatch(state, &req.method, &req.path, &req.body);
+                let (status, content_type) =
+                    api::dispatch_into(state, &req.method, &req.path, &req.body, &mut response);
                 let keep = req.keep_alive && !shutdown.load(Ordering::SeqCst);
-                if http::write_response(&mut writer, status, &body, keep).is_err() || !keep {
+                if http::write_response_typed(&mut writer, status, content_type, &response, keep)
+                    .is_err()
+                    || !keep
+                {
                     break;
                 }
             }

@@ -21,6 +21,7 @@ pub struct FleetState {
     requests: AtomicU64,
     started: Instant,
     cadence: CadenceSignal,
+    endpoints: EndpointCounters,
 }
 
 impl FleetState {
@@ -35,6 +36,7 @@ impl FleetState {
             requests: AtomicU64::new(0),
             started: Instant::now(),
             cadence: CadenceSignal::default(),
+            endpoints: EndpointCounters::default(),
         }
     }
 
@@ -91,6 +93,62 @@ impl FleetState {
     #[must_use]
     pub fn cadence(&self) -> &CadenceSignal {
         &self.cadence
+    }
+
+    /// Per-endpoint request counters (fed by the dispatcher, drained by
+    /// `/metrics`).
+    #[must_use]
+    pub fn endpoints(&self) -> &EndpointCounters {
+        &self.endpoints
+    }
+}
+
+/// One monotonically increasing counter per API endpoint, for the
+/// `/metrics` observability endpoint. Relaxed atomics — the counters
+/// order nothing, they are only read for reporting.
+#[derive(Default)]
+pub struct EndpointCounters {
+    infer: AtomicU64,
+    infer_batch: AtomicU64,
+    absorb: AtomicU64,
+    publish: AtomicU64,
+    stat: AtomicU64,
+    healthz: AtomicU64,
+    metrics: AtomicU64,
+    other: AtomicU64,
+}
+
+impl EndpointCounters {
+    /// Counts one request routed to `path` (unknown paths land in
+    /// `other`).
+    pub fn count(&self, path: &str) {
+        let counter = match path {
+            "/v1/infer" => &self.infer,
+            "/v1/infer_batch" => &self.infer_batch,
+            "/v1/absorb" => &self.absorb,
+            "/v1/publish" => &self.publish,
+            "/v1/stat" => &self.stat,
+            "/healthz" => &self.healthz,
+            "/metrics" => &self.metrics,
+            _ => &self.other,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `(endpoint label, count)` snapshot in stable order.
+    #[must_use]
+    pub fn snapshot(&self) -> [(&'static str, u64); 8] {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        [
+            ("infer", get(&self.infer)),
+            ("infer_batch", get(&self.infer_batch)),
+            ("absorb", get(&self.absorb)),
+            ("publish", get(&self.publish)),
+            ("stat", get(&self.stat)),
+            ("healthz", get(&self.healthz)),
+            ("metrics", get(&self.metrics)),
+            ("other", get(&self.other)),
+        ]
     }
 }
 

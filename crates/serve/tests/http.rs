@@ -279,6 +279,61 @@ fn absorb_publish_stat_round_trip() {
     server.shutdown().unwrap();
 }
 
+/// `GET /metrics` answers the Prometheus-style plaintext counters,
+/// consistent with the same run's request/absorb/publish activity and
+/// broken down per endpoint.
+#[test]
+fn metrics_exposes_counters_in_plaintext() {
+    let (_, queries) = fixture();
+    let server = spawn(build_fleet(), ServeConfig::default());
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+
+    // Drive some traffic: 3 infers (one per seed), 1 absorb, 1 publish.
+    for seed in 0..3 {
+        let body = format!(
+            "{{\"record\":{},\"seed\":{seed}}}",
+            serde_json::to_string(&queries[0]).unwrap()
+        );
+        let (status, _) = client.post("/v1/infer", &body).unwrap();
+        assert_eq!(status, 200);
+    }
+    let body = format!(
+        "{{\"record\":{}}}",
+        serde_json::to_string(&queries[0]).unwrap()
+    );
+    let (status, _) = client.post("/v1/absorb", &body).unwrap();
+    assert_eq!(status, 200);
+    let (status, _) = client.post("/v1/publish", "").unwrap();
+    assert_eq!(status, 200);
+
+    let (status, text) = client.get("/metrics").unwrap();
+    assert_eq!(status, 200, "{text}");
+    // Plaintext exposition, not JSON.
+    assert!(!text.trim_start().starts_with('{'), "{text}");
+    let gauge = |name: &str| -> f64 {
+        text.lines()
+            .find(|l| l.starts_with(name) && !l.starts_with('#'))
+            .unwrap_or_else(|| panic!("{name} missing from:\n{text}"))
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    // 3 infers + 1 absorb + 1 publish handled before this scrape.
+    assert!(gauge("grafics_requests_total") >= 5.0);
+    assert_eq!(gauge("grafics_absorbs_total"), 1.0);
+    assert_eq!(gauge("grafics_publish_epochs_total"), 2.0); // 2 shards × epoch 1
+    assert_eq!(gauge("grafics_shards"), 2.0);
+    assert_eq!(gauge("grafics_requests{endpoint=\"infer\"}"), 3.0);
+    assert_eq!(gauge("grafics_requests{endpoint=\"absorb\"}"), 1.0);
+    assert_eq!(gauge("grafics_requests{endpoint=\"publish\"}"), 1.0);
+    // Wrong method on /metrics is a 405, like every known route.
+    let (status, _) = client.post("/metrics", "{}").unwrap();
+    assert_eq!(status, 405);
+    server.shutdown().unwrap();
+}
+
 /// Acceptance: absorbs past the configured N trigger a publish without
 /// any client calling `/v1/publish` — the maintenance daemon acts on the
 /// manifest's cadence.

@@ -1,0 +1,280 @@
+//! The workspace's single SIMD-friendly math kernel layer.
+//!
+//! Every dense-math hot loop — E-LINE SGD over `f32` rows (offline
+//! Hogwild training and online serving), the O(n²·d) pairwise
+//! dissimilarity matrix over `f64` points, nearest-centroid matching,
+//! and the `nn` forward/backward passes — funnels through this module,
+//! so there is exactly one copy of each kernel to keep fast and correct.
+//!
+//! Three numeric contracts coexist here; pick the right one:
+//!
+//! 1. **Sequential-exact** ([`dot_f32`], [`axpy_f32`], [`sqdist_f64`],
+//!    [`euclidean_f64`]): one accumulator, ascending coordinate order —
+//!    bit-for-bit the historical scalar loops. The serial E-LINE trainer,
+//!    the dissimilarity matrix, and cluster matching are pinned to these
+//!    (fixed-seed tests depend on their exact rounding).
+//! 2. **Fixed-lane FMA** ([`dot_fixed_f32`], [`axpy_fixed_f32`]):
+//!    monomorphised over the compile-time dimension (4/8/16 cover the
+//!    paper's defaults); four independent accumulators + `mul_add` let
+//!    the backend emit fused multiply-adds with no bounds checks.
+//! 3. **Lane-blocked FMA** ([`dot_lanes_f32`], [`axpy_lanes_f32`]):
+//!    the runtime-length twin of contract 2, **bit-identical to the
+//!    fixed kernels at every length** (same 4-accumulator chunking, same
+//!    tail, same reduction order). This is the `d > 16` path the fixed
+//!    monomorphisations cannot cover — stable Rust, written to
+//!    autovectorize, no nightly `std::simd` needed.
+//!
+//! [`sqdist4_f64`] is the multi-pair companion of [`sqdist_f64`]: it
+//! computes four *pairs* at once with four independent sequential
+//! chains — per-pair rounding is untouched (each pair's accumulation is
+//! still strictly sequential in the coordinate), but the independent
+//! chains break the add-latency dependency that bounds the one-pair
+//! loop. The cache-blocked dissimilarity build in `grafics-cluster`
+//! applies this same pairs-as-lanes contract in widened form (up to 64
+//! accumulators over a transposed tile); the 4-pair kernel is its
+//! minimal, testable statement, pinned bit-identical to four
+//! [`sqdist_f64`] calls.
+
+/// Sequential dot product — accumulation order matches the historical
+/// per-coordinate loop exactly, keeping the serial E-LINE trainer (and
+/// everything else pinned to contract 1) bit-for-bit stable.
+#[inline(always)]
+#[must_use]
+pub fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for d in 0..a.len() {
+        acc += a[d] * b[d];
+    }
+    acc
+}
+
+/// `acc[d] += scale * v[d]` in ascending coordinate order — the
+/// sequential-exact update kernel (contract 1).
+#[inline(always)]
+pub fn axpy_f32(acc: &mut [f32], scale: f32, v: &[f32]) {
+    debug_assert_eq!(acc.len(), v.len());
+    for d in 0..acc.len() {
+        acc[d] += scale * v[d];
+    }
+}
+
+/// Four-accumulator dot product over compile-time-sized rows (contract
+/// 2). `mul_add` lets the backend emit fused multiply-adds; used by the
+/// Hogwild trainer and the online serving path, neither of which
+/// promises bit-stability against the sequential [`dot_f32`].
+#[inline(always)]
+#[must_use]
+pub fn dot_fixed_f32<const DIM: usize>(a: &[f32; DIM], b: &[f32; DIM]) -> f32 {
+    let mut acc = [0.0f32; 4];
+    let mut d = 0;
+    while d + 4 <= DIM {
+        acc[0] = a[d].mul_add(b[d], acc[0]);
+        acc[1] = a[d + 1].mul_add(b[d + 1], acc[1]);
+        acc[2] = a[d + 2].mul_add(b[d + 2], acc[2]);
+        acc[3] = a[d + 3].mul_add(b[d + 3], acc[3]);
+        d += 4;
+    }
+    let mut dot = (acc[0] + acc[2]) + (acc[1] + acc[3]);
+    while d < DIM {
+        dot = a[d].mul_add(b[d], dot);
+        d += 1;
+    }
+    dot
+}
+
+/// `acc[d] = v[d].mul_add(g, acc[d])` over compile-time-sized rows
+/// (contract 2): fully unrolls with fused multiply-adds, no bounds
+/// checks.
+#[inline(always)]
+pub fn axpy_fixed_f32<const DIM: usize>(acc: &mut [f32; DIM], g: f32, v: &[f32; DIM]) {
+    for d in 0..DIM {
+        acc[d] = v[d].mul_add(g, acc[d]);
+    }
+}
+
+/// Lane-blocked dot product for runtime lengths (contract 3):
+/// bit-identical to [`dot_fixed_f32`] at every length — same four
+/// `mul_add` accumulator chains over chunks of 4, same
+/// `(acc0+acc2)+(acc1+acc3)` reduction, same sequential `mul_add` tail.
+/// This is the `d > 16` fast path that closes the gap the fixed
+/// monomorphisations (4/8/16) leave open.
+#[inline(always)]
+#[must_use]
+pub fn dot_lanes_f32(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let mut acc = [0.0f32; 4];
+    let mut d = 0;
+    while d + 4 <= n {
+        acc[0] = a[d].mul_add(b[d], acc[0]);
+        acc[1] = a[d + 1].mul_add(b[d + 1], acc[1]);
+        acc[2] = a[d + 2].mul_add(b[d + 2], acc[2]);
+        acc[3] = a[d + 3].mul_add(b[d + 3], acc[3]);
+        d += 4;
+    }
+    let mut dot = (acc[0] + acc[2]) + (acc[1] + acc[3]);
+    while d < n {
+        dot = a[d].mul_add(b[d], dot);
+        d += 1;
+    }
+    dot
+}
+
+/// Lane-blocked `acc[d] = v[d].mul_add(g, acc[d])` for runtime lengths
+/// (contract 3) — bit-identical to [`axpy_fixed_f32`] at every length
+/// (the update is per-coordinate, so there is no reduction order to
+/// preserve; the compiler vectorizes the independent FMAs freely).
+#[inline(always)]
+pub fn axpy_lanes_f32(acc: &mut [f32], g: f32, v: &[f32]) {
+    debug_assert_eq!(acc.len(), v.len());
+    for d in 0..acc.len() {
+        acc[d] = v[d].mul_add(g, acc[d]);
+    }
+}
+
+/// Sequential squared ℓ2 distance (contract 1): `Σ (a[d]-b[d])²` in
+/// ascending coordinate order — exactly the accumulation the historical
+/// `euclidean` performed before its `sqrt`, so dissimilarity entries,
+/// merge histories, and nearest-centroid winners derived from it are
+/// bit-for-bit stable.
+#[inline(always)]
+#[must_use]
+pub fn sqdist_f64(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f64;
+    for d in 0..a.len() {
+        let diff = a[d] - b[d];
+        acc += diff * diff;
+    }
+    acc
+}
+
+/// Sequential ℓ2 distance: `sqdist_f64(a, b).sqrt()`.
+#[inline(always)]
+#[must_use]
+pub fn euclidean_f64(a: &[f64], b: &[f64]) -> f64 {
+    sqdist_f64(a, b).sqrt()
+}
+
+/// Four squared ℓ2 distances `‖a − bK‖²` at once. Each pair's
+/// accumulation is strictly sequential in the coordinate — bit-identical
+/// to four [`sqdist_f64`] calls — but the four chains are independent,
+/// so the core overlaps their FP-add latencies instead of stalling on
+/// one chain. The minimal statement of the pairs-as-lanes contract the
+/// cache-blocked dissimilarity build widens to a full transposed tile.
+#[inline(always)]
+#[must_use]
+pub fn sqdist4_f64(a: &[f64], b0: &[f64], b1: &[f64], b2: &[f64], b3: &[f64]) -> [f64; 4] {
+    debug_assert!(
+        a.len() == b0.len() && a.len() == b1.len() && a.len() == b2.len() && a.len() == b3.len()
+    );
+    let mut acc = [0.0f64; 4];
+    for d in 0..a.len() {
+        let x = a[d];
+        let d0 = x - b0[d];
+        let d1 = x - b1[d];
+        let d2 = x - b2[d];
+        let d3 = x - b3[d];
+        acc[0] += d0 * d0;
+        acc[1] += d1 * d1;
+        acc[2] += d2 * d2;
+        acc[3] += d3 * d3;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs(n: usize) -> (Vec<f32>, Vec<f32>) {
+        let a = (0..n).map(|i| (i as f32 * 0.37).sin()).collect();
+        let b = (0..n).map(|i| (i as f32 * 0.91).cos()).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn sequential_kernels_match_naive() {
+        let (a, b) = vecs(13);
+        let naive: f32 = a.iter().zip(&b).map(|(&x, &y)| x * y).sum();
+        assert!((dot_f32(&a, &b) - naive).abs() < 1e-5);
+        assert_eq!(dot_f32(&[], &[]), 0.0);
+
+        let mut acc = vec![1.0f32, 2.0, 3.0];
+        axpy_f32(&mut acc, 2.0, &[10.0, 20.0, 30.0]);
+        assert_eq!(acc, vec![21.0, 42.0, 63.0]);
+    }
+
+    /// The lane-blocked runtime kernels must be bit-identical to the
+    /// fixed monomorphisations at the dimensions those cover.
+    #[test]
+    fn lane_blocked_matches_fixed_bitwise() {
+        macro_rules! check {
+            ($dim:literal) => {{
+                let (a, b) = vecs($dim);
+                let fa: &[f32; $dim] = a.as_slice().try_into().unwrap();
+                let fb: &[f32; $dim] = b.as_slice().try_into().unwrap();
+                assert_eq!(
+                    dot_lanes_f32(&a, &b).to_bits(),
+                    dot_fixed_f32(fa, fb).to_bits(),
+                    "dot dim {}",
+                    $dim
+                );
+                let mut acc_l: Vec<f32> = b.clone();
+                axpy_lanes_f32(&mut acc_l, 0.625, &a);
+                let mut acc_f: [f32; $dim] = *fb;
+                axpy_fixed_f32(&mut acc_f, 0.625, fa);
+                assert_eq!(&acc_l[..], &acc_f[..], "axpy dim {}", $dim);
+            }};
+        }
+        check!(4);
+        check!(8);
+        check!(16);
+        // Odd and large lengths exercise the tail path.
+        for n in [1usize, 3, 5, 17, 32, 33, 64, 100] {
+            let (a, b) = vecs(n);
+            let naive: f64 = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| f64::from(x) * f64::from(y))
+                .sum();
+            assert!(
+                (f64::from(dot_lanes_f32(&a, &b)) - naive).abs() < 1e-4,
+                "dim {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn sqdist_matches_euclidean_squared() {
+        let a = [0.0f64, 3.0, 1.0];
+        let b = [4.0f64, 0.0, 1.0];
+        assert_eq!(sqdist_f64(&a, &b), 25.0);
+        assert_eq!(euclidean_f64(&a, &b), 5.0);
+    }
+
+    /// The 4-pair kernel must match four independent sequential calls
+    /// bit for bit — that is what keeps the cache-blocked dissimilarity
+    /// matrix byte-identical to the row-by-row build.
+    #[test]
+    fn sqdist4_bit_identical_to_four_singles() {
+        for d in [1usize, 2, 7, 8, 16, 33, 64] {
+            let mk = |s: usize| -> Vec<f64> {
+                (0..d)
+                    .map(|i| ((i * 31 + s * 17) as f64 * 0.123).sin() * 10.0)
+                    .collect()
+            };
+            let a = mk(0);
+            let bs: Vec<Vec<f64>> = (1..5).map(mk).collect();
+            let quad = sqdist4_f64(&a, &bs[0], &bs[1], &bs[2], &bs[3]);
+            for k in 0..4 {
+                assert_eq!(
+                    quad[k].to_bits(),
+                    sqdist_f64(&a, &bs[k]).to_bits(),
+                    "dim {d} pair {k}"
+                );
+            }
+        }
+    }
+}

@@ -16,6 +16,16 @@
 //! - [`Sample`] — a record plus an *optional* floor label.
 //! - [`Dataset`] — an owned collection of samples with split/label helpers.
 //! - [`BuildingId`] — a building (= fleet shard) identifier.
+//!
+//! It also hosts the workspace's **math backbone** — shared by the
+//! embedding, clustering, and neural-network crates so there is exactly
+//! one copy of each dense-math kernel:
+//!
+//! - [`RowMatrix`] — a contiguous row-major matrix (`f32` for the `nn`
+//!   substrate, `f64` for cluster points/centroids).
+//! - [`kernels`] — the SIMD-friendly dot / axpy / squared-distance
+//!   kernels (sequential-exact, fixed-lane FMA, and lane-blocked FMA
+//!   variants; see the module docs for which contract to pick).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,7 +33,9 @@
 mod building_id;
 mod dataset;
 mod error;
+pub mod kernels;
 mod mac;
+mod matrix;
 mod record;
 mod rssi;
 
@@ -31,5 +43,6 @@ pub use building_id::BuildingId;
 pub use dataset::{Dataset, DatasetStats, Split};
 pub use error::TypesError;
 pub use mac::MacAddr;
+pub use matrix::RowMatrix;
 pub use record::{FloorId, Reading, RecordId, Sample, SignalRecord};
 pub use rssi::Rssi;

@@ -1,0 +1,437 @@
+//! [`RowMatrix`]: the workspace's contiguous row-major matrix.
+//!
+//! One flat allocation, rows at stride `cols` — every row access is a
+//! slice into the same buffer, so sweeping rows streams memory linearly
+//! (hardware prefetch, cache-line reuse) instead of pointer-chasing one
+//! heap allocation per row the way `Vec<Vec<T>>` does. `RowMatrix<f64>`
+//! carries cluster points and centroids and the dissimilarity-matrix
+//! input; `RowMatrix<f32>` is the `nn` substrate's matrix type (the
+//! forward/backward ops live in the `f32` impl below, on the shared
+//! [`crate::kernels`] layer).
+
+use crate::kernels::{axpy_f32, dot_f32};
+use rand::Rng;
+use serde::{map_get, DeError, Deserialize, Serialize, Value};
+
+/// A dense row-major matrix over one contiguous buffer.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RowMatrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy> RowMatrix<T> {
+    /// An empty matrix whose column count is fixed up front; rows are
+    /// appended with [`RowMatrix::push_row`]. The natural way to build
+    /// point sets incrementally without intermediate per-row `Vec`s.
+    #[must_use]
+    pub fn with_cols(cols: usize) -> Self {
+        RowMatrix {
+            rows: 0,
+            cols,
+            data: Vec::new(),
+        }
+    }
+
+    /// [`RowMatrix::with_cols`] with capacity for `rows` rows.
+    #[must_use]
+    pub fn with_capacity(rows: usize, cols: usize) -> Self {
+        RowMatrix {
+            rows: 0,
+            cols,
+            data: Vec::with_capacity(rows * cols),
+        }
+    }
+
+    /// Builds from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    #[must_use]
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), rows * cols);
+        RowMatrix { rows, cols, data }
+    }
+
+    /// Builds from row vectors. An empty slice yields the `0 × 0` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on ragged input.
+    #[must_use]
+    pub fn from_rows(rows: &[Vec<T>]) -> Self {
+        let cols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        RowMatrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Fallible [`RowMatrix::from_rows`]: ragged input returns
+    /// `Err((expected, found))` instead of panicking — the shape
+    /// validation callers converting legacy nested-`Vec` inputs need.
+    ///
+    /// # Errors
+    ///
+    /// `Err((expected, found))` on the first row whose length differs
+    /// from the first row's.
+    pub fn try_from_rows(rows: &[Vec<T>]) -> Result<Self, (usize, usize)> {
+        let cols = rows.first().map_or(0, Vec::len);
+        for r in rows {
+            if r.len() != cols {
+                return Err((cols, r.len()));
+            }
+        }
+        Ok(Self::from_rows(rows))
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.cols()`.
+    pub fn push_row(&mut self, row: &[T]) {
+        assert_eq!(row.len(), self.cols, "row length mismatch");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` when the matrix holds no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Element accessor.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> T {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    pub fn set(&mut self, r: usize, c: usize, v: T) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row slice.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[T] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [T] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterates the rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[T]> {
+        (0..self.rows).map(move |r| self.row(r))
+    }
+
+    /// Flat data.
+    #[must_use]
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Flat mutable data.
+    pub fn data_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Returns a sub-matrix of the given row range (copies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.rows()`.
+    #[must_use]
+    pub fn slice_rows(&self, start: usize, end: usize) -> Self {
+        assert!(start <= end && end <= self.rows);
+        RowMatrix {
+            rows: end - start,
+            cols: self.cols,
+            data: self.data[start * self.cols..end * self.cols].to_vec(),
+        }
+    }
+}
+
+impl<T: Copy + Default> RowMatrix<T> {
+    /// All-default (zero, for the numeric instantiations) matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        RowMatrix {
+            rows,
+            cols,
+            data: vec![T::default(); rows * cols],
+        }
+    }
+}
+
+impl RowMatrix<f64> {
+    /// Widens an `f32` matrix to `f64` (one pass over the flat buffer;
+    /// `f32 → f64` is exact). How baseline embeddings reach the cluster
+    /// layer without a nested-`Vec` detour.
+    #[must_use]
+    pub fn widen(m: &RowMatrix<f32>) -> Self {
+        RowMatrix {
+            rows: m.rows,
+            cols: m.cols,
+            data: m.data.iter().map(|&x| f64::from(x)).collect(),
+        }
+    }
+
+    /// Appends one row widened from `f32` coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.cols()`.
+    pub fn push_row_widen(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.cols, "row length mismatch");
+        self.data.extend(row.iter().map(|&x| f64::from(x)));
+        self.rows += 1;
+    }
+
+    /// `true` when every entry is finite.
+    #[must_use]
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+/// The `nn` substrate's forward/backward operations, on the shared
+/// kernel layer ([`crate::kernels`], sequential-exact contract — the
+/// loops are bit-for-bit the historical per-coordinate versions).
+impl RowMatrix<f32> {
+    /// He/Xavier-style uniform init in `±sqrt(6/(fan_in+fan_out))`.
+    #[must_use]
+    pub fn glorot<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        RowMatrix {
+            rows,
+            cols,
+            data: (0..rows * cols)
+                .map(|_| rng.gen_range(-bound..=bound))
+                .collect(),
+        }
+    }
+
+    /// `self × other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    #[must_use]
+    pub fn matmul(&self, other: &Self) -> Self {
+        assert_eq!(self.cols, other.rows, "matmul inner dims");
+        let mut out = Self::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                axpy_f32(out.row_mut(i), a, other.row(k));
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ × other` without materialising the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics on outer-dimension mismatch.
+    #[must_use]
+    pub fn t_matmul(&self, other: &Self) -> Self {
+        assert_eq!(self.rows, other.rows, "t_matmul outer dims");
+        let mut out = Self::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            for i in 0..self.cols {
+                let a = self.get(r, i);
+                if a == 0.0 {
+                    continue;
+                }
+                axpy_f32(out.row_mut(i), a, other.row(r));
+            }
+        }
+        out
+    }
+
+    /// `self × otherᵀ` without materialising the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    #[must_use]
+    pub fn matmul_t(&self, other: &Self) -> Self {
+        assert_eq!(self.cols, other.cols, "matmul_t inner dims");
+        let mut out = Self::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            let out_row = &mut out.data[i * other.rows..(i + 1) * other.rows];
+            for (j, slot) in out_row.iter_mut().enumerate() {
+                *slot = dot_f32(arow, other.row(j));
+            }
+        }
+        out
+    }
+
+    /// Adds `bias` (length = cols) to every row.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn add_row_broadcast(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols);
+        for r in 0..self.rows {
+            for (x, &b) in self.row_mut(r).iter_mut().zip(bias) {
+                *x += b;
+            }
+        }
+    }
+
+    /// Column sums (used for bias gradients).
+    #[must_use]
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut sums = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            axpy_f32(&mut sums, 1.0, self.row(r));
+        }
+        sums
+    }
+
+    /// `true` when every entry is finite.
+    #[must_use]
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+// Manual serde impls (the vendored derive does not handle generics).
+// The wire shape `{rows, cols, data}` matches what the historical
+// derived `nn::Matrix` emitted, so persisted models keep loading.
+impl<T: Serialize> Serialize for RowMatrix<T> {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            (String::from("rows"), self.rows.to_value()),
+            (String::from("cols"), self.cols.to_value()),
+            (String::from("data"), self.data.to_value()),
+        ])
+    }
+}
+
+impl<T: Deserialize> Deserialize for RowMatrix<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let map = value
+            .as_map()
+            .ok_or_else(|| DeError::custom(&"RowMatrix expects an object"))?;
+        let rows: usize = Deserialize::from_value(map_get(map, "rows"))?;
+        let cols: usize = Deserialize::from_value(map_get(map, "cols"))?;
+        let data: Vec<T> = Deserialize::from_value(map_get(map, "data"))?;
+        if data.len() != rows * cols {
+            return Err(DeError::custom(&format!(
+                "RowMatrix shape mismatch: {rows}x{cols} with {} entries",
+                data.len()
+            )));
+        }
+        Ok(RowMatrix { rows, cols, data })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn construction_and_access() {
+        let m = RowMatrix::from_rows(&[vec![1.0f64, 2.0], vec![3.0, 4.0]]);
+        assert_eq!((m.rows(), m.cols()), (2, 2));
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.get(0, 1), 2.0);
+        let mut grown = RowMatrix::with_cols(2);
+        grown.push_row(&[5.0f64, 6.0]);
+        grown.push_row_widen(&[7.0f32, 8.0]);
+        assert_eq!(grown.rows(), 2);
+        assert_eq!(grown.row(1), &[7.0, 8.0]);
+        assert!(RowMatrix::<f64>::from_rows(&[]).is_empty());
+        assert_eq!(
+            RowMatrix::try_from_rows(&[vec![0.0f64; 2], vec![0.0]]),
+            Err((2, 1))
+        );
+    }
+
+    #[test]
+    fn widen_is_exact() {
+        let f = RowMatrix::from_rows(&[vec![1.5f32, -0.25], vec![3.0, 0.1]]);
+        let d = RowMatrix::widen(&f);
+        for r in 0..2 {
+            for c in 0..2 {
+                assert_eq!(d.get(r, c), f64::from(f.get(r, c)));
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = RowMatrix::from_rows(&[vec![1.0f32, 2.0], vec![3.0, 4.0]]);
+        let b = RowMatrix::from_rows(&[vec![5.0f32, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn transposed_products_agree_with_naive() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let a = RowMatrix::glorot(4, 3, &mut rng);
+        let b = RowMatrix::glorot(4, 5, &mut rng);
+        let t = a.t_matmul(&b); // aᵀ b : 3×5
+        for i in 0..3 {
+            for j in 0..5 {
+                let naive: f32 = (0..4).map(|k| a.get(k, i) * b.get(k, j)).sum();
+                assert!((t.get(i, j) - naive).abs() < 1e-5);
+            }
+        }
+        let c = RowMatrix::glorot(5, 3, &mut rng);
+        let m = a.matmul_t(&c); // a cᵀ : 4×5
+        for i in 0..4 {
+            for j in 0..5 {
+                let naive: f32 = (0..3).map(|k| a.get(i, k) * c.get(j, k)).sum();
+                assert!((m.get(i, j) - naive).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_and_shape_validation() {
+        let m = RowMatrix::from_rows(&[vec![1.0f64, 2.0], vec![3.0, 4.0]]);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: RowMatrix<f64> = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+        let bad = r#"{"rows":3,"cols":2,"data":[1.0,2.0]}"#;
+        assert!(serde_json::from_str::<RowMatrix<f64>>(bad).is_err());
+    }
+}

@@ -68,6 +68,7 @@ pub mod prelude {
     pub use grafics_metrics::{ClassificationReport, ConfusionMatrix};
     pub use grafics_serve::{HttpClient, HttpServer, ServeConfig};
     pub use grafics_types::{
-        BuildingId, Dataset, FloorId, MacAddr, Reading, RecordId, Rssi, Sample, SignalRecord, Split,
+        BuildingId, Dataset, FloorId, MacAddr, Reading, RecordId, RowMatrix, Rssi, Sample,
+        SignalRecord, Split,
     };
 }

@@ -46,6 +46,18 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     Ok(out)
 }
 
+/// Serializes `value` as compact JSON into a caller-owned buffer
+/// (cleared first), so hot paths can reuse one allocation across calls.
+///
+/// # Errors
+///
+/// Never fails in this stand-in; the `Result` mirrors the real API.
+pub fn to_string_into<T: Serialize + ?Sized>(value: &T, out: &mut String) -> Result<(), Error> {
+    out.clear();
+    write_compact(&value.to_value(), out);
+    Ok(())
+}
+
 /// Serializes `value` as 2-space-indented JSON.
 ///
 /// # Errors
