@@ -64,15 +64,19 @@
 //! shard and keep the best-distance answer, flagged
 //! [`FleetPrediction::fallback`].
 
+use crate::wal::{
+    self, checkpoint_file_name, encode_header, wal_file_name, FloorBucket, StdWalFs, WalEntry,
+    WalFs, WalStats, WalWriter,
+};
 use crate::{record_rng, Grafics, GraficsError, GraficsServer, Prediction};
 use grafics_embed::OnlineScratch;
-use grafics_types::{BuildingId, FloorId, RecordId, SignalRecord};
+use grafics_types::{BuildingId, DurabilityPolicy, FloorId, RecordId, SignalRecord};
 use parking_lot::{Mutex, RwLock};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -171,7 +175,7 @@ impl MaintenancePolicy {
 /// which reproduces the old hard-wired behaviour exactly.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FleetManifest {
-    /// Manifest format version (currently 1).
+    /// Manifest format version (currently 2).
     pub version: u32,
     /// Which built-in router the fleet uses.
     pub router: RouterKind,
@@ -179,23 +183,27 @@ pub struct FleetManifest {
     pub retention: RetentionPolicy,
     /// Background publish/refresh cadence.
     pub maintenance: MaintenancePolicy,
+    /// Absorb write-ahead-log durability (see the [`wal`] module).
+    pub durability: DurabilityPolicy,
 }
 
 impl Default for FleetManifest {
     /// The PR-3-era semantics: overlap routing, absorb forever, no
-    /// background maintenance.
+    /// background maintenance, no WAL.
     fn default() -> Self {
         FleetManifest {
             version: FLEET_MANIFEST_VERSION,
             router: RouterKind::Overlap,
             retention: RetentionPolicy::KeepAll,
             maintenance: MaintenancePolicy::default(),
+            durability: DurabilityPolicy::Off,
         }
     }
 }
 
-/// Current [`FleetManifest::version`].
-pub const FLEET_MANIFEST_VERSION: u32 = 1;
+/// Current [`FleetManifest::version`]. Version 2 added the `durability`
+/// field; version-1 manifests load with [`DurabilityPolicy::Off`].
+pub const FLEET_MANIFEST_VERSION: u32 = 2;
 
 /// File name of the manifest inside a fleet directory.
 const FLEET_MANIFEST_FILE: &str = "fleet.json";
@@ -213,6 +221,11 @@ pub enum FleetError {
     DuplicateBuilding(BuildingId),
     /// The routed shard's model failed on the record.
     Model(GraficsError),
+    /// The shard's write-ahead log is poisoned (an fs append, fsync, or
+    /// checkpoint failed). Durable absorbs fail fast rather than
+    /// silently diverging from disk; run `grafics fleet recover` after
+    /// fixing the underlying fault.
+    Durability(String),
 }
 
 impl fmt::Display for FleetError {
@@ -224,6 +237,7 @@ impl fmt::Display for FleetError {
             FleetError::UnknownBuilding(b) => write!(f, "no shard for building {b}"),
             FleetError::DuplicateBuilding(b) => write!(f, "shard {b} already exists"),
             FleetError::Model(e) => write!(f, "shard model: {e}"),
+            FleetError::Durability(e) => write!(f, "write-ahead log: {e}"),
         }
     }
 }
@@ -354,6 +368,23 @@ struct WriteSide {
     /// Absorbs since the last publish (the pending queue depth).
     pending: usize,
     scratch: OnlineScratch,
+    /// The durability attachment, if this shard journals its absorbs
+    /// (see [`GraficsFleet::recover`]). Living inside the write mutex
+    /// means WAL append order always equals model mutation order.
+    wal: Option<ShardWal>,
+}
+
+/// A shard's WAL attachment: the group-commit writer plus the cursors
+/// the checkpoint needs.
+struct ShardWal {
+    writer: WalWriter,
+    fs: Arc<dyn WalFs>,
+    dir: PathBuf,
+    /// The next shard-local append index (== entries ever logged).
+    next_seq: u64,
+    /// One past the highest process-wide absorb index seen — persisted in
+    /// checkpoints so a resumed server never reuses an RNG stream.
+    next_rng: u64,
 }
 
 impl WriteSide {
@@ -391,6 +422,57 @@ impl WriteSide {
             }
         }
     }
+}
+
+/// Writes one checkpoint for `w`: flush+fsync the WAL, atomically
+/// replace `checkpoint-<id>.json` (model + watermark + retention queues
+/// in **one** file, so they can never disagree after a crash), then
+/// truncate the WAL and rewrite its header. Ordering matters: the
+/// checkpoint is durable before the truncation, and a crash between the
+/// two merely leaves sub-watermark entries that replay skips.
+///
+/// `model` is the model to persist (the publish path hands the snapshot
+/// clone it just made; recovery hands `w.model` itself).
+fn checkpoint_write_side(id: BuildingId, w: &WriteSide, model: &Grafics) -> Result<(), String> {
+    let Some(shard_wal) = &w.wal else {
+        return Ok(());
+    };
+    shard_wal.writer.flush_sync()?;
+    let absorbed: Vec<RecordId> = w.absorbed.iter().copied().collect();
+    let by_floor: Vec<FloorBucket> = w
+        .by_floor
+        .iter()
+        .map(|(floor, queue)| FloorBucket {
+            floor: *floor,
+            records: queue.iter().copied().collect(),
+        })
+        .collect();
+    let doc = wal::encode_checkpoint(
+        id.0,
+        shard_wal.next_seq,
+        shard_wal.next_rng,
+        w.pending,
+        &absorbed,
+        &by_floor,
+        model,
+    )?;
+    let as_io = |e: std::io::Error| e.to_string();
+    shard_wal
+        .fs
+        .write_atomic(
+            &shard_wal.dir.join(checkpoint_file_name(id.0)),
+            doc.as_bytes(),
+        )
+        .map_err(as_io)?;
+    let wal_path = shard_wal.dir.join(wal_file_name(id.0));
+    shard_wal.fs.truncate(&wal_path).map_err(as_io)?;
+    let header = encode_header(id.0);
+    shard_wal
+        .fs
+        .append(&wal_path, header.as_bytes())
+        .map_err(as_io)?;
+    shard_wal.writer.reset_tail(header.len() as u64);
+    Ok(())
 }
 
 /// One building's double-buffered model: a frozen published snapshot
@@ -509,6 +591,35 @@ impl Shard {
                 by_floor: BTreeMap::new(),
                 pending: 0,
                 scratch: OnlineScratch::new(),
+                wal: None,
+            }),
+        }
+    }
+
+    /// Rebuilds a shard from recovered state: the snapshot starts as a
+    /// copy of `model` (the recovered write side), and the retention
+    /// queues are restored exactly so post-recovery evictions happen in
+    /// the same order as on the never-crashed shard.
+    pub(crate) fn restore(
+        id: BuildingId,
+        model: Grafics,
+        retention: RetentionPolicy,
+        absorbed: VecDeque<RecordId>,
+        by_floor: BTreeMap<FloorId, VecDeque<RecordId>>,
+        pending: usize,
+    ) -> Self {
+        Shard {
+            id,
+            snapshot: RwLock::new(Arc::new(model.clone())),
+            epoch: AtomicU64::new(0),
+            write: Mutex::new(WriteSide {
+                model,
+                retention,
+                absorbed,
+                by_floor,
+                pending,
+                scratch: OnlineScratch::new(),
+                wal: None,
             }),
         }
     }
@@ -574,14 +685,151 @@ impl Shard {
         Ok(rid)
     }
 
+    /// Absorbs one record on the deterministic stream
+    /// [`record_rng`](crate::record_rng)`(seed, rng_index)` and, if a WAL
+    /// is attached, journals `(seq, rng_index, seed, record)` through the
+    /// group-commit buffer — the call never blocks on disk. Without an
+    /// attached WAL this is exactly [`Shard::absorb`] on that stream.
+    ///
+    /// If the journal append fails *after* the model mutated, the write
+    /// side is ahead of disk; the writer is poisoned so every later
+    /// durable absorb fails fast, and recovery restores the durable
+    /// prefix.
+    ///
+    /// # Errors
+    ///
+    /// - [`FleetError::Model`] on absorption failure (nothing is logged —
+    ///   a rejected absorb burns its RNG index but changes no state);
+    /// - [`FleetError::Durability`] if the WAL is poisoned.
+    pub fn absorb_durable(
+        &self,
+        record: &SignalRecord,
+        seed: u64,
+        rng_index: u64,
+    ) -> Result<RecordId, FleetError> {
+        let mut guard = self.write.lock();
+        let w = &mut *guard;
+        if let Some(shard_wal) = &w.wal {
+            if let Some(e) = shard_wal.writer.sticky_error() {
+                return Err(FleetError::Durability(e));
+            }
+        }
+        let mut rng = record_rng(seed, usize::try_from(rng_index).unwrap_or(usize::MAX));
+        let rid = w
+            .model
+            .absorb_record_with(record, &mut w.scratch, &mut rng)
+            .map_err(FleetError::Model)?;
+        w.pending += 1;
+        w.retain(rid);
+        if let Some(shard_wal) = &mut w.wal {
+            let entry = WalEntry {
+                seq: shard_wal.next_seq,
+                rng: rng_index,
+                seed,
+                record: record.clone(),
+            };
+            shard_wal.next_seq += 1;
+            shard_wal.next_rng = shard_wal.next_rng.max(rng_index + 1);
+            shard_wal
+                .writer
+                .append(&entry)
+                .map_err(FleetError::Durability)?;
+        }
+        Ok(rid)
+    }
+
+    /// Attaches a WAL writer to this shard (crate-internal: reached via
+    /// [`GraficsFleet::recover`], which knows the right cursors).
+    pub(crate) fn attach_wal(
+        &self,
+        fs: Arc<dyn WalFs>,
+        dir: &Path,
+        policy: DurabilityPolicy,
+        next_seq: u64,
+        next_rng: u64,
+    ) -> std::io::Result<()> {
+        let writer = WalWriter::open(Arc::clone(&fs), dir, self.id.0, policy)?;
+        self.write.lock().wal = Some(ShardWal {
+            writer,
+            fs,
+            dir: dir.to_path_buf(),
+            next_seq,
+            next_rng,
+        });
+        Ok(())
+    }
+
+    /// `true` if a WAL is attached.
+    #[must_use]
+    pub fn wal_attached(&self) -> bool {
+        self.write.lock().wal.is_some()
+    }
+
+    /// WAL counters, if a WAL is attached.
+    #[must_use]
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.write
+            .lock()
+            .wal
+            .as_ref()
+            .map(|w| w.writer.metrics().stats())
+    }
+
+    /// The sticky WAL error, if the shard's durability pipeline died.
+    #[must_use]
+    pub fn wal_error(&self) -> Option<String> {
+        self.write
+            .lock()
+            .wal
+            .as_ref()
+            .and_then(|w| w.writer.sticky_error())
+    }
+
+    /// Blocks until every journalled absorb is appended **and fsynced**
+    /// — the graceful-shutdown barrier. A no-op without a WAL.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Durability`] if the writer is poisoned.
+    pub fn drain_wal(&self) -> Result<(), FleetError> {
+        let guard = self.write.lock();
+        if let Some(shard_wal) = &guard.wal {
+            shard_wal
+                .writer
+                .flush_sync()
+                .map_err(FleetError::Durability)?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoints the current write side immediately (without
+    /// publishing): used by recovery to compact a replayed log.
+    pub(crate) fn checkpoint_now(&self) -> Result<(), String> {
+        let guard = self.write.lock();
+        checkpoint_write_side(self.id, &guard, &guard.model)
+    }
+
     /// Publishes the write side: clones it into a fresh snapshot (on this
     /// thread — the serve path never pays for it) and swaps the snapshot
     /// pointer in O(1). Returns the new epoch. In-flight readers finish
     /// on the snapshot they hold.
+    ///
+    /// With a WAL attached, publish is also the **checkpoint**: the
+    /// frozen model plus the WAL watermark are written atomically to
+    /// `checkpoint-<id>.json` and the replayed WAL prefix is truncated.
+    /// A checkpoint failure poisons the writer (later durable absorbs
+    /// fail fast) but never blocks the in-memory publish.
     pub fn publish(&self) -> u64 {
         let mut guard = self.write.lock();
         let next = Arc::new(guard.model.clone());
         guard.pending = 0;
+        if guard.wal.is_some() {
+            if let Err(e) = checkpoint_write_side(self.id, &guard, &next) {
+                if let Some(shard_wal) = &guard.wal {
+                    shard_wal.writer.poison(&e);
+                }
+            }
+        }
         // Swap and bump the epoch while still holding the write mutex so
         // epoch, pending, and snapshot move together (concurrent
         // publishers get strictly ordered epochs); readers only ever take
@@ -734,6 +982,9 @@ pub struct GraficsFleet {
     /// Background cadence for a serving daemon; persisted in the
     /// manifest. The fleet itself never acts on it.
     maintenance: MaintenancePolicy,
+    /// WAL durability; persisted in the manifest and enacted by
+    /// [`GraficsFleet::recover`], which attaches the writers.
+    durability: DurabilityPolicy,
 }
 
 impl fmt::Debug for GraficsFleet {
@@ -768,6 +1019,7 @@ impl GraficsFleet {
             router_kind: Some(manifest.router),
             retention: manifest.retention,
             maintenance: manifest.maintenance,
+            durability: manifest.durability,
         }
     }
 
@@ -782,6 +1034,7 @@ impl GraficsFleet {
             router_kind: None,
             retention: RetentionPolicy::KeepAll,
             maintenance: MaintenancePolicy::default(),
+            durability: DurabilityPolicy::Off,
         }
     }
 
@@ -794,6 +1047,7 @@ impl GraficsFleet {
             router: self.router_kind.unwrap_or(RouterKind::Overlap),
             retention: self.retention,
             maintenance: self.maintenance,
+            durability: self.durability,
         }
     }
 
@@ -824,6 +1078,62 @@ impl GraficsFleet {
     /// this fleet.
     pub fn set_maintenance(&mut self, maintenance: MaintenancePolicy) {
         self.maintenance = maintenance;
+    }
+
+    /// The WAL durability policy recorded (and persisted) with this
+    /// fleet.
+    #[must_use]
+    pub fn durability(&self) -> DurabilityPolicy {
+        self.durability
+    }
+
+    /// Replaces the durability policy recorded in the manifest. Takes
+    /// effect on the next [`GraficsFleet::recover`] (which attaches the
+    /// writers) — an already-attached WAL keeps its policy.
+    pub fn set_durability(&mut self, durability: DurabilityPolicy) {
+        self.durability = durability;
+    }
+
+    /// `true` if every shard has a WAL attached (a recovered fleet with
+    /// a non-[`DurabilityPolicy::Off`] manifest).
+    #[must_use]
+    pub fn wal_attached(&self) -> bool {
+        !self.shards.is_empty() && self.shards.iter().all(|s| s.wal_attached())
+    }
+
+    /// WAL counters summed over all shards (zeros when no WAL is
+    /// attached).
+    #[must_use]
+    pub fn wal_stats(&self) -> WalStats {
+        let mut total = WalStats::default();
+        for shard in &self.shards {
+            if let Some(s) = shard.wal_stats() {
+                total.appends += s.appends;
+                total.fsyncs += s.fsyncs;
+                total.tail_bytes += s.tail_bytes;
+            }
+        }
+        total
+    }
+
+    /// The first sticky WAL error across shards, if any durability
+    /// pipeline died.
+    #[must_use]
+    pub fn wal_error(&self) -> Option<String> {
+        self.shards.iter().find_map(|s| s.wal_error())
+    }
+
+    /// Flushes and fsyncs every shard's WAL tail — the graceful-shutdown
+    /// barrier ([`Shard::drain_wal`] per shard).
+    ///
+    /// # Errors
+    ///
+    /// The first [`FleetError::Durability`] encountered.
+    pub fn drain_wal(&self) -> Result<(), FleetError> {
+        for shard in &self.shards {
+            shard.drain_wal()?;
+        }
+        Ok(())
     }
 
     /// Replaces the router with a built-in kind (persisted in the
@@ -1120,6 +1430,47 @@ impl GraficsFleet {
         Ok(shard.absorb(record, rng)?)
     }
 
+    /// Routes one record and absorbs it durably on the deterministic
+    /// stream `record_rng(seed, rng_index)` (see
+    /// [`Shard::absorb_durable`]). Without an attached WAL this is
+    /// exactly [`GraficsFleet::absorb`] on that stream.
+    ///
+    /// # Errors
+    ///
+    /// - [`FleetError::NoRoute`] if no shard overlaps the record;
+    /// - [`FleetError::Model`] on absorption failure;
+    /// - [`FleetError::Durability`] if the shard's WAL is poisoned.
+    pub fn absorb_durable(
+        &self,
+        record: &SignalRecord,
+        seed: u64,
+        rng_index: u64,
+    ) -> Result<(BuildingId, RecordId), FleetError> {
+        let id = self.route(record).ok_or(FleetError::NoRoute)?;
+        let rid = self.absorb_to_durable(id, record, seed, rng_index)?;
+        Ok((id, rid))
+    }
+
+    /// Durable [`GraficsFleet::absorb_to`]: absorbs into a named shard on
+    /// the deterministic stream `record_rng(seed, rng_index)`, journaling
+    /// the absorb if a WAL is attached.
+    ///
+    /// # Errors
+    ///
+    /// - [`FleetError::UnknownBuilding`];
+    /// - [`FleetError::Model`] on absorption failure;
+    /// - [`FleetError::Durability`] if the shard's WAL is poisoned.
+    pub fn absorb_to_durable(
+        &self,
+        id: BuildingId,
+        record: &SignalRecord,
+        seed: u64,
+        rng_index: u64,
+    ) -> Result<RecordId, FleetError> {
+        let shard = self.shard(id).ok_or(FleetError::UnknownBuilding(id))?;
+        shard.absorb_durable(record, seed, rng_index)
+    }
+
     /// Publishes every shard (see [`Shard::publish`]).
     pub fn publish_all(&self) {
         for shard in &self.shards {
@@ -1174,16 +1525,7 @@ impl GraficsFleet {
     /// `InvalidData` if `dir` holds no shard files.
     pub fn load_dir<P: AsRef<Path>>(dir: P) -> std::io::Result<Self> {
         let dir = dir.as_ref();
-        let manifest = match std::fs::read_to_string(dir.join(FLEET_MANIFEST_FILE)) {
-            Ok(json) => serde_json::from_str::<FleetManifest>(&json).map_err(|e| {
-                std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("{}: {e}", dir.join(FLEET_MANIFEST_FILE).display()),
-                )
-            })?,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => FleetManifest::default(),
-            Err(e) => return Err(e),
-        };
+        let manifest = read_manifest(dir)?;
         let mut fleet = GraficsFleet::with_manifest(manifest);
         let mut ids: Vec<(u32, std::path::PathBuf)> = Vec::new();
         for entry in std::fs::read_dir(dir)? {
@@ -1213,6 +1555,275 @@ impl GraficsFleet {
             ));
         }
         Ok(fleet)
+    }
+
+    /// Crash recovery: loads each shard's last checkpoint (falling back
+    /// to its `shard-<id>.json` model for pre-WAL directories), replays
+    /// the WAL tail on the deterministic per-entry RNG streams
+    /// (tolerating a torn final line and skipping entries below the
+    /// checkpoint watermark), and returns the fleet together with a
+    /// [`RecoveryReport`].
+    ///
+    /// Because absorption is a pure function of `(model, record, rng
+    /// stream)`, the recovered write side is **bit-identical** to a
+    /// never-crashed fleet that absorbed the same durable prefix — the
+    /// property the `wal` integration tests pin with the sampler-parity
+    /// machinery.
+    ///
+    /// When the manifest's [`DurabilityPolicy`] is not `Off`, every
+    /// shard comes back with a WAL attached and freshly compacted
+    /// (checkpointed + truncated), so serving can resume immediately;
+    /// resume the absorb sequence at
+    /// [`RecoveryReport::next_rng_index`] so RNG streams are never
+    /// reused.
+    ///
+    /// # Errors
+    ///
+    /// IO errors; `InvalidData` for a corrupt checkpoint, a WAL with a
+    /// sequence gap, or a replay failure that cannot have happened
+    /// pre-crash.
+    pub fn recover<P: AsRef<Path>>(dir: P) -> std::io::Result<(Self, RecoveryReport)> {
+        GraficsFleet::recover_with(Arc::new(StdWalFs), dir)
+    }
+
+    /// [`GraficsFleet::recover`] with an injectable [`WalFs`] for the
+    /// re-attached writers (fault-injection tests crash recovery's own
+    /// compaction through this).
+    pub fn recover_with<P: AsRef<Path>>(
+        fs: Arc<dyn WalFs>,
+        dir: P,
+    ) -> std::io::Result<(Self, RecoveryReport)> {
+        let dir = dir.as_ref();
+        let manifest = read_manifest(dir)?;
+        let mut fleet = GraficsFleet::with_manifest(manifest);
+        let mut report = RecoveryReport::default();
+
+        let mut ids: BTreeSet<u32> = BTreeSet::new();
+        for entry in std::fs::read_dir(dir)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let id = name
+                .strip_prefix("shard-")
+                .and_then(|n| n.strip_suffix(".json"))
+                .or_else(|| {
+                    name.strip_prefix("checkpoint-")
+                        .and_then(|n| n.strip_suffix(".json"))
+                })
+                .and_then(|n| n.parse::<u32>().ok());
+            if let Some(id) = id {
+                ids.insert(id);
+            }
+        }
+        if ids.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("no shard or checkpoint files under {}", dir.display()),
+            ));
+        }
+
+        for id in ids {
+            let building = BuildingId(id);
+            let (shard, watermark, mut next_rng, from_checkpoint) =
+                match wal::read_checkpoint(dir, id)? {
+                    Some(doc) => {
+                        let by_floor: BTreeMap<FloorId, VecDeque<RecordId>> = doc
+                            .by_floor
+                            .into_iter()
+                            .map(|b| (b.floor, VecDeque::from(b.records)))
+                            .collect();
+                        let shard = Shard::restore(
+                            building,
+                            doc.model,
+                            manifest.retention,
+                            VecDeque::from(doc.absorbed),
+                            by_floor,
+                            doc.pending,
+                        );
+                        (shard, doc.watermark, doc.next_rng, true)
+                    }
+                    None => {
+                        let model = Grafics::load_json(dir.join(format!("shard-{id}.json")))?;
+                        let shard = Shard::restore(
+                            building,
+                            model,
+                            manifest.retention,
+                            VecDeque::new(),
+                            BTreeMap::new(),
+                            0,
+                        );
+                        (shard, 0, 0, false)
+                    }
+                };
+
+            let parsed = wal::read_wal(dir, id);
+            let mut expected = watermark;
+            let mut replayed = 0u64;
+            let mut skipped = 0u64;
+            for entry in &parsed.entries {
+                if entry.seq < expected {
+                    // The post-checkpoint truncation never ran; these
+                    // entries are already inside the checkpoint model.
+                    skipped += 1;
+                    continue;
+                }
+                if entry.seq > expected {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!(
+                            "wal-{id}.jsonl: sequence gap (entry {}, expected {expected})",
+                            entry.seq
+                        ),
+                    ));
+                }
+                let mut rng =
+                    record_rng(entry.seed, usize::try_from(entry.rng).unwrap_or(usize::MAX));
+                shard.absorb(&entry.record, &mut rng).map_err(|e| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("wal-{id}.jsonl: replaying entry {}: {e}", entry.seq),
+                    )
+                })?;
+                expected += 1;
+                replayed += 1;
+                next_rng = next_rng.max(entry.rng + 1);
+            }
+
+            if !manifest.durability.is_off() {
+                shard.attach_wal(
+                    Arc::clone(&fs),
+                    dir,
+                    manifest.durability,
+                    expected,
+                    next_rng,
+                )?;
+                // Compact immediately: the checkpoint absorbs the replay
+                // and the truncation clears torn bytes and stale
+                // entries, leaving a clean appendable log.
+                shard
+                    .checkpoint_now()
+                    .map_err(|e| std::io::Error::other(format!("shard {id}: compaction: {e}")))?;
+            }
+
+            report.next_rng_index = report.next_rng_index.max(next_rng);
+            report.shards.push(ShardRecovery {
+                building,
+                from_checkpoint,
+                watermark,
+                replayed,
+                skipped,
+                torn: parsed.torn,
+            });
+            fleet.push_shard(Arc::new(shard))?;
+        }
+        Ok((fleet, report))
+    }
+
+    /// Inserts an already-built shard, keeping the id ordering invariant.
+    fn push_shard(&mut self, shard: Arc<Shard>) -> std::io::Result<()> {
+        let at = match self.shards.binary_search_by_key(&shard.id(), |s| s.id()) {
+            Ok(_) => {
+                return Err(std::io::Error::other(
+                    FleetError::DuplicateBuilding(shard.id()).to_string(),
+                ))
+            }
+            Err(at) => at,
+        };
+        self.shards.insert(at, shard);
+        Ok(())
+    }
+}
+
+/// Reads `fleet.json`, falling back to the version-1 shape (no
+/// `durability` field — loads as [`DurabilityPolicy::Off`]) and to
+/// [`FleetManifest::default`] when the file is absent. The vendored
+/// serde derive has no `#[serde(default)]`, so backward compatibility is
+/// explicit, mirroring `Grafics::load_json`'s legacy fallback.
+///
+/// Public so front ends can decide between [`GraficsFleet::load_dir`]
+/// and [`GraficsFleet::recover`] without loading every shard first.
+///
+/// # Errors
+///
+/// Propagates the read error; a malformed manifest is `InvalidData`.
+pub fn read_manifest<P: AsRef<Path>>(dir: P) -> std::io::Result<FleetManifest> {
+    read_manifest_at(dir.as_ref())
+}
+
+fn read_manifest_at(dir: &Path) -> std::io::Result<FleetManifest> {
+    let path = dir.join(FLEET_MANIFEST_FILE);
+    let json = match std::fs::read_to_string(&path) {
+        Ok(json) => json,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(FleetManifest::default()),
+        Err(e) => return Err(e),
+    };
+    match serde_json::from_str::<FleetManifest>(&json) {
+        Ok(manifest) => Ok(manifest),
+        Err(e) => {
+            #[derive(Deserialize)]
+            struct FleetManifestV1 {
+                version: u32,
+                router: RouterKind,
+                retention: RetentionPolicy,
+                maintenance: MaintenancePolicy,
+            }
+            let v1 = serde_json::from_str::<FleetManifestV1>(&json).map_err(|_| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("{}: {e}", path.display()),
+                )
+            })?;
+            Ok(FleetManifest {
+                version: v1.version,
+                router: v1.router,
+                retention: v1.retention,
+                maintenance: v1.maintenance,
+                durability: DurabilityPolicy::Off,
+            })
+        }
+    }
+}
+
+/// What [`GraficsFleet::recover`] did for one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRecovery {
+    /// Which building.
+    pub building: BuildingId,
+    /// `true` if a checkpoint was found (`false`: legacy `shard-<id>.json`
+    /// model, empty retention queues).
+    pub from_checkpoint: bool,
+    /// The checkpoint's WAL watermark (entries already in the model).
+    pub watermark: u64,
+    /// WAL entries replayed on top of the checkpoint.
+    pub replayed: u64,
+    /// Stale sub-watermark entries skipped (a crash between checkpoint
+    /// and truncation leaves these behind).
+    pub skipped: u64,
+    /// `true` if the WAL ended in a torn line (dropped).
+    pub torn: bool,
+}
+
+/// The outcome of [`GraficsFleet::recover`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Per-shard details, ascending by building id.
+    pub shards: Vec<ShardRecovery>,
+    /// One past the highest process-wide absorb index ever journalled —
+    /// resume the serve tier's absorb sequence here so no RNG stream is
+    /// reused.
+    pub next_rng_index: u64,
+}
+
+impl RecoveryReport {
+    /// Total WAL entries replayed across shards.
+    #[must_use]
+    pub fn total_replayed(&self) -> u64 {
+        self.shards.iter().map(|s| s.replayed).sum()
+    }
+
+    /// `true` if any shard's WAL ended in a torn line.
+    #[must_use]
+    pub fn any_torn(&self) -> bool {
+        self.shards.iter().any(|s| s.torn)
     }
 }
 

@@ -50,15 +50,18 @@ use std::fmt;
 
 mod fleet;
 mod server;
+pub mod wal;
 
 pub use fleet::{
-    FleetError, FleetManifest, FleetPrediction, FleetStats, GraficsFleet, MaintenancePolicy,
-    OverlapRouter, RetentionPolicy, Router, RouterKind, Shard, ShardStats, WeightedOverlapRouter,
-    FLEET_MANIFEST_VERSION,
+    read_manifest, FleetError, FleetManifest, FleetPrediction, FleetStats, GraficsFleet,
+    MaintenancePolicy, OverlapRouter, RecoveryReport, RetentionPolicy, Router, RouterKind, Shard,
+    ShardRecovery, ShardStats, WeightedOverlapRouter, FLEET_MANIFEST_VERSION,
 };
 pub use grafics_cluster::ClusterError;
 pub use grafics_cluster::Prediction;
+pub use grafics_types::DurabilityPolicy;
 pub use server::{record_rng, GraficsServer};
+pub use wal::{CrashPoint, FailpointFs, StdWalFs, WalFs, WalStats};
 
 /// Flat hyper-parameter set for the whole pipeline. Defaults follow §VI-A
 /// of the paper: dimension 8, four labels per floor (a dataset-side

@@ -1,0 +1,456 @@
+//! Fault-injected proof of the durability contract: recovery after a
+//! crash at *any* injected crash point restores write-side state
+//! bit-identical to a never-crashed fleet that absorbed the same durable
+//! prefix — never a corrupted or divergent model.
+//!
+//! "Bit-identical" is checked two ways, mirroring the fleet suite's
+//! sampler-parity machinery: the full write-side model compared as a
+//! `serde_json::Value` (key-order-insensitive, so the graph's MAC lookup
+//! map cannot produce false negatives), and the incrementally-synced
+//! `NegativeSampler` weights against a from-scratch rebuild.
+
+use grafics_core::wal::ALL_CRASH_POINTS;
+use grafics_core::{
+    record_rng, CrashPoint, DurabilityPolicy, FailpointFs, Grafics, GraficsConfig, GraficsFleet,
+    WalFs,
+};
+use grafics_data::BuildingModel;
+use grafics_types::{BuildingId, SignalRecord};
+use proptest::prelude::*;
+use proptest::Strategy;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde_json::JsonValue;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+const B0: BuildingId = BuildingId(0);
+/// The serve tier's absorb seed, fixed across crashes like `--seed`.
+const SEED: u64 = 4242;
+
+/// One trained building plus its held-out records (the absorb stream).
+fn fixture() -> &'static (Grafics, Vec<SignalRecord>) {
+    static FIX: OnceLock<(Grafics, Vec<SignalRecord>)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let ds = BuildingModel::office("wal-hq", 2)
+            .with_records_per_floor(40)
+            .simulate(&mut rng);
+        let split = ds.split(0.7, &mut rng).unwrap();
+        let train = split.train.with_label_budget(4, &mut rng);
+        let model = Grafics::train(&train, &GraficsConfig::fast(), &mut rng).unwrap();
+        let records = split
+            .test
+            .samples()
+            .iter()
+            .map(|s| s.record.clone())
+            .collect();
+        (model, records)
+    })
+}
+
+/// A fresh on-disk fleet directory with the given durability policy in
+/// its manifest, ready for `GraficsFleet::recover` to attach a WAL.
+fn durable_dir(name: &str, policy: DurabilityPolicy) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("grafics-wal-it-{}-{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (model, _) = fixture();
+    let mut fleet = GraficsFleet::new();
+    fleet.add_shard(B0, model.clone()).unwrap();
+    fleet.set_durability(policy);
+    fleet.save_dir(&dir).unwrap();
+    dir
+}
+
+/// The shard's write-side model as a canonical JSON value. The graph's
+/// MAC lookup is a `HashMap`, so raw serialization order is unstable;
+/// sorting every object's keys recursively makes equality exact without
+/// being order-sensitive.
+fn write_value(fleet: &GraficsFleet) -> JsonValue {
+    fleet.shard(B0).unwrap().with_write_model(|m| {
+        let mut v = serde_json::value_of(m);
+        canonicalize(&mut v);
+        v
+    })
+}
+
+fn canonicalize(v: &mut JsonValue) {
+    match v {
+        JsonValue::Seq(items) => items.iter_mut().for_each(canonicalize),
+        JsonValue::Map(entries) => {
+            entries.iter_mut().for_each(|(_, v)| canonicalize(v));
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        _ => {}
+    }
+}
+
+/// The never-crashed reference: a fresh fleet absorbing each `(record
+/// index, rng index)` pair on the same deterministic streams.
+fn oracle_value(absorbed: &[(usize, u64)]) -> JsonValue {
+    let (model, records) = fixture();
+    let mut fleet = GraficsFleet::new();
+    fleet.add_shard(B0, model.clone()).unwrap();
+    for &(idx, rng_i) in absorbed {
+        let mut rng = record_rng(SEED, usize::try_from(rng_i).unwrap());
+        fleet.absorb_to(B0, &records[idx], &mut rng).unwrap();
+    }
+    write_value(&fleet)
+}
+
+/// The first `k` absorbs of the sequential stream (record `i` on rng
+/// index `i`), as the matrix and sweep tests issue them.
+fn sequential_prefix(k: u64) -> Vec<(usize, u64)> {
+    (0..k).map(|i| (usize::try_from(i).unwrap(), i)).collect()
+}
+
+/// The write-side sampler must equal a from-scratch rebuild — absorb
+/// replay kept the incremental weight sync exact.
+fn assert_sampler_parity(fleet: &GraficsFleet) {
+    let (live, rebuilt) = fleet.shard(B0).unwrap().with_write_model(|m| {
+        let rebuilt =
+            grafics_graph::NegativeSampler::from_graph(m.graph(), m.negative_sampler().exponent());
+        (
+            m.negative_sampler().weights().to_vec(),
+            rebuilt.weights().to_vec(),
+        )
+    });
+    assert_eq!(live, rebuilt, "recovered sampler diverged from rebuild");
+}
+
+/// Graceful restart: recover → absorb → drop (drain-on-drop) → recover
+/// replays to the exact never-crashed state, and a third recovery off
+/// the compacted checkpoint is idempotent.
+#[test]
+fn graceful_restart_replays_to_bit_identical_state() {
+    let dir = durable_dir("graceful", DurabilityPolicy::FsyncEveryN(1));
+    let (_, records) = fixture();
+
+    let (fleet, report) = GraficsFleet::recover(&dir).unwrap();
+    assert!(fleet.wal_attached());
+    assert_eq!(report.total_replayed(), 0);
+    for i in 0..6u64 {
+        fleet
+            .absorb_to_durable(B0, &records[usize::try_from(i).unwrap()], SEED, i)
+            .unwrap();
+    }
+    assert!(fleet.wal_error().is_none());
+    drop(fleet); // graceful shutdown: drains + fsyncs the WAL tail
+
+    let (back, report) = GraficsFleet::recover(&dir).unwrap();
+    let s = report.shards[0];
+    assert_eq!(s.watermark + s.replayed, 6);
+    assert!(!report.any_torn());
+    assert_eq!(report.next_rng_index, 6);
+
+    let expect = oracle_value(&sequential_prefix(6));
+    assert_eq!(write_value(&back), expect);
+    assert_sampler_parity(&back);
+    drop(back);
+
+    // Recovery compacted: the checkpoint now owns all six absorbs and a
+    // third recovery replays nothing yet lands on the same state.
+    let (again, report) = GraficsFleet::recover(&dir).unwrap();
+    assert_eq!(report.shards[0].watermark, 6);
+    assert_eq!(report.shards[0].replayed, 0);
+    assert_eq!(write_value(&again), expect);
+}
+
+/// The tentpole's crash matrix: kill at every injected crash point, under
+/// both reboot outcomes (page cache lost / page cache survived), and
+/// prove recovery restores exactly the durable prefix.
+#[test]
+fn crash_matrix_recovery_restores_exact_durable_prefix() {
+    let (_, records) = fixture();
+    for point in ALL_CRASH_POINTS {
+        for keep_unsynced in [false, true] {
+            let dir = durable_dir(
+                &format!("matrix-{point:?}-{keep_unsynced}"),
+                DurabilityPolicy::FsyncEveryN(1),
+            );
+            let fs = Arc::new(FailpointFs::new());
+            let (fleet, _) =
+                GraficsFleet::recover_with(Arc::clone(&fs) as Arc<dyn WalFs>, &dir).unwrap();
+
+            // Baseline: four absorbs, drained — durable whatever happens.
+            for i in 0..4u64 {
+                fleet
+                    .absorb_to_durable(B0, &records[usize::try_from(i).unwrap()], SEED, i)
+                    .unwrap();
+            }
+            fleet.drain_wal().unwrap();
+
+            // Provoke the armed crash. The append/fsync points fire on
+            // the flusher's next batch; the checkpoint points fire inside
+            // publish's snapshot-on-publish checkpoint.
+            match point {
+                CrashPoint::MidAppend | CrashPoint::PreFsync => {
+                    fs.arm(point, 0);
+                    for i in 4..7u64 {
+                        let r = fleet.absorb_to_durable(
+                            B0,
+                            &records[usize::try_from(i).unwrap()],
+                            SEED,
+                            i,
+                        );
+                        if r.is_err() {
+                            break; // WAL already poisoned — a real server would 503 here
+                        }
+                    }
+                    assert!(fleet.drain_wal().is_err(), "{point:?}: drain must surface");
+                }
+                CrashPoint::MidCheckpoint | CrashPoint::MidTruncate => {
+                    for i in 4..6u64 {
+                        fleet
+                            .absorb_to_durable(B0, &records[usize::try_from(i).unwrap()], SEED, i)
+                            .unwrap();
+                    }
+                    fleet.drain_wal().unwrap();
+                    fs.arm(point, 0);
+                    fleet.shard(B0).unwrap().publish();
+                    assert!(
+                        fleet.wal_error().is_some(),
+                        "{point:?}: publish must poison"
+                    );
+                }
+            }
+            assert!(fs.crashed(), "{point:?}: the armed crash never fired");
+
+            // The process dies mid-flight (every fs op now fails, so the
+            // drop cannot quietly drain), the machine reboots, and plain
+            // recovery runs over whatever survived.
+            drop(fleet);
+            fs.apply_power_loss(keep_unsynced);
+            let (back, report) = GraficsFleet::recover(&dir).unwrap();
+            let s = report.shards[0];
+            let k = s.watermark + s.replayed;
+
+            // What each cell may legitimately have kept. The flusher
+            // batches, so the acknowledged-but-volatile points have a
+            // small honest range; the checkpoint points are exact.
+            let (lo, hi) = match point {
+                // Half a torn batch can contain one complete line.
+                CrashPoint::MidAppend => (4, if keep_unsynced { 5 } else { 4 }),
+                CrashPoint::PreFsync => {
+                    if keep_unsynced {
+                        (5, 7) // appended to page cache, never fsynced
+                    } else {
+                        (4, 4)
+                    }
+                }
+                CrashPoint::MidCheckpoint | CrashPoint::MidTruncate => (6, 6),
+            };
+            assert!(
+                (lo..=hi).contains(&k),
+                "{point:?} keep={keep_unsynced}: recovered {k} absorbs, expected {lo}..={hi}"
+            );
+            match point {
+                // The half-written tmp never renamed: the old checkpoint
+                // survives and the whole tail replays.
+                CrashPoint::MidCheckpoint => {
+                    assert_eq!((s.watermark, s.replayed), (0, 6));
+                }
+                // The new checkpoint landed but truncation didn't: all
+                // six entries are stale, skipped below the watermark.
+                CrashPoint::MidTruncate => {
+                    assert_eq!((s.watermark, s.skipped), (6, 6));
+                }
+                _ => {}
+            }
+
+            assert_eq!(
+                write_value(&back),
+                oracle_value(&sequential_prefix(k)),
+                "{point:?} keep={keep_unsynced}: recovered state diverged from reference"
+            );
+            assert_sampler_parity(&back);
+        }
+    }
+}
+
+/// Satellite (d): cutting the WAL at **every byte offset** of its final
+/// record recovers exactly the longest valid prefix — 2 entries while
+/// the last line is incomplete, all 3 once its JSON is whole.
+#[test]
+fn torn_tail_truncation_sweep_recovers_longest_valid_prefix() {
+    let dir = durable_dir("sweep", DurabilityPolicy::FsyncEveryN(1));
+    let (_, records) = fixture();
+    {
+        let (fleet, _) = GraficsFleet::recover(&dir).unwrap();
+        for i in 0..3u64 {
+            fleet
+                .absorb_to_durable(B0, &records[usize::try_from(i).unwrap()], SEED, i)
+                .unwrap();
+        }
+    } // drain-on-drop: header + 3 entry lines on disk
+
+    let wal = std::fs::read(dir.join("wal-0.jsonl")).unwrap();
+    let newlines: Vec<usize> = wal
+        .iter()
+        .enumerate()
+        .filter_map(|(i, b)| (*b == b'\n').then_some(i))
+        .collect();
+    assert_eq!(newlines.len(), 4, "header + 3 entries");
+    let last_start = newlines[2] + 1;
+
+    let expect2 = oracle_value(&sequential_prefix(2));
+    let expect3 = oracle_value(&sequential_prefix(3));
+    let sweep_root = std::env::temp_dir().join(format!("grafics-wal-sweep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&sweep_root);
+    std::fs::create_dir_all(&sweep_root).unwrap();
+
+    for cut in last_start..=wal.len() {
+        let case = sweep_root.join(format!("cut-{cut}"));
+        copy_with_truncated_wal(&dir, &case, &wal[..cut]);
+        let (back, report) = GraficsFleet::recover(&case).unwrap();
+        let s = report.shards[0];
+        // A complete final JSON line counts even without its newline.
+        let whole = cut >= wal.len() - 1;
+        assert_eq!(
+            s.watermark + s.replayed,
+            if whole { 3 } else { 2 },
+            "cut at byte {cut}"
+        );
+        assert_eq!(s.torn, !whole && cut > last_start, "cut at byte {cut}");
+        // The full model comparison is the expensive part: spot-check a
+        // stride plus every boundary byte.
+        if cut % 13 == 0 || cut <= last_start + 1 || cut >= wal.len() - 2 {
+            let expect = if whole { &expect3 } else { &expect2 };
+            assert_eq!(&write_value(&back), expect, "cut at byte {cut}");
+        }
+        drop(back);
+        let _ = std::fs::remove_dir_all(&case);
+    }
+}
+
+/// Copies a fleet directory with the WAL replaced by a truncated prefix
+/// and durability forced off, so each swept recovery replays without
+/// paying for re-attach + compaction (replay is policy-independent).
+fn copy_with_truncated_wal(from: &Path, to: &Path, wal: &[u8]) {
+    std::fs::create_dir_all(to).unwrap();
+    for name in ["checkpoint-0.json", "shard-0.json"] {
+        if from.join(name).exists() {
+            std::fs::copy(from.join(name), to.join(name)).unwrap();
+        }
+    }
+    let mut manifest: JsonValue =
+        serde_json::from_str(&std::fs::read_to_string(from.join("fleet.json")).unwrap()).unwrap();
+    if let JsonValue::Map(entries) = &mut manifest {
+        for (key, value) in entries.iter_mut() {
+            if key == "durability" {
+                *value = serde_json::value_of(&DurabilityPolicy::Off);
+            }
+        }
+    }
+    std::fs::write(
+        to.join("fleet.json"),
+        serde_json::to_string(&manifest).unwrap(),
+    )
+    .unwrap();
+    std::fs::write(to.join("wal-0.jsonl"), wal).unwrap();
+}
+
+/// One step of the interleaving proptest.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Absorb,
+    Publish,
+    Drain,
+    /// Instant power cut (`keep_unsynced`: did the page cache survive?),
+    /// then reboot + recover, continuing on the recovered fleet.
+    Crash {
+        keep_unsynced: bool,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..9).prop_map(|n| match n {
+        0..=4 => Op::Absorb,
+        5 => Op::Publish,
+        6 => Op::Drain,
+        7 => Op::Crash {
+            keep_unsynced: false,
+        },
+        _ => Op::Crash {
+            keep_unsynced: true,
+        },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any interleaving of absorb / publish / drain / crash+recover
+    /// stays bit-identical to the in-memory oracle replay of whatever
+    /// prefix proved durable, and never loses an absorb the API promised
+    /// durable (drained or checkpointed).
+    #[test]
+    fn interleaved_crashes_never_lose_promised_absorbs(
+        ops in proptest::collection::vec(op_strategy(), 1..14),
+    ) {
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let case = CASE.fetch_add(1, Ordering::Relaxed);
+        let dir = durable_dir(&format!("prop-{case}"), DurabilityPolicy::FsyncEveryN(1));
+        let (_, records) = fixture();
+
+        let fs = Arc::new(FailpointFs::new());
+        let (mut fleet, _) =
+            GraficsFleet::recover_with(Arc::clone(&fs) as Arc<dyn WalFs>, &dir).unwrap();
+        // (record index, rng index) per acknowledged absorb, in order.
+        let mut accepted: Vec<(usize, u64)> = Vec::new();
+        let mut durable_floor = 0usize; // absorbs the API promised durable
+        let mut next_rng = 0u64;
+
+        for op in &ops {
+            match op {
+                Op::Absorb => {
+                    let idx = accepted.len() % records.len();
+                    fleet.absorb_to_durable(B0, &records[idx], SEED, next_rng).unwrap();
+                    accepted.push((idx, next_rng));
+                    next_rng += 1;
+                }
+                Op::Publish => {
+                    // Snapshot-on-publish checkpoints the write side.
+                    fleet.shard(B0).unwrap().publish();
+                    prop_assert!(fleet.wal_error().is_none());
+                    durable_floor = accepted.len();
+                }
+                Op::Drain => {
+                    fleet.drain_wal().unwrap();
+                    durable_floor = accepted.len();
+                }
+                Op::Crash { keep_unsynced } => {
+                    fs.crash_now();
+                    drop(fleet); // the poisoned fs blocks the drain-on-drop
+                    fs.apply_power_loss(*keep_unsynced);
+                    let (back, report) =
+                        GraficsFleet::recover_with(Arc::clone(&fs) as Arc<dyn WalFs>, &dir)
+                            .unwrap();
+                    let s = report.shards[0];
+                    let k = usize::try_from(s.watermark + s.replayed).unwrap();
+                    prop_assert!(
+                        k >= durable_floor,
+                        "lost a promised-durable absorb: recovered {k} < floor {durable_floor}"
+                    );
+                    prop_assert!(k <= accepted.len());
+                    accepted.truncate(k);
+                    durable_floor = k; // recovery compacts into a checkpoint
+                    next_rng = next_rng.max(report.next_rng_index);
+                    prop_assert_eq!(write_value(&back), oracle_value(&accepted));
+                    fleet = back;
+                }
+            }
+        }
+
+        // Final graceful shutdown: everything acknowledged is durable.
+        drop(fleet);
+        let (back, report) = GraficsFleet::recover(&dir).unwrap();
+        let s = report.shards[0];
+        prop_assert_eq!(usize::try_from(s.watermark + s.replayed).unwrap(), accepted.len());
+        prop_assert_eq!(write_value(&back), oracle_value(&accepted));
+        assert_sampler_parity(&back);
+        drop(back);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

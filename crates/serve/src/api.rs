@@ -9,7 +9,7 @@
 //! [`GraficsFleet::serve_batch`]: grafics_core::GraficsFleet::serve_batch
 
 use crate::state::FleetState;
-use grafics_core::{record_rng, FleetError, FleetPrediction};
+use grafics_core::{FleetError, FleetPrediction};
 use grafics_types::{BuildingId, SignalRecord};
 use serde::{Deserialize, Serialize};
 
@@ -89,8 +89,11 @@ pub struct PublishBody {
 /// `GET /healthz` response.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HealthBody {
-    /// Always `true` when the server answers at all.
+    /// `true` when the server is fully up; `false` (with a 503) while
+    /// crash-recovery replay is still in progress.
     pub ok: bool,
+    /// `"ok"`, or `"degraded"` during recovery replay.
+    pub status: String,
     /// Shards in the served fleet.
     pub shards: usize,
     /// Seconds since the server started.
@@ -172,6 +175,17 @@ fn sanitize(record: &SignalRecord) -> Result<SignalRecord, ApiResult> {
         .map_err(|e| error_body(400, &format!("invalid record: {e}")))
 }
 
+/// What a handled request touched, for the structured access log: the
+/// shard that answered (when one did) and whether the answer came from
+/// the cross-shard broadcast fallback.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestMeta {
+    /// The shard that answered/absorbed, if the endpoint resolved one.
+    pub shard: Option<u32>,
+    /// `true` if a serving answer came from the broadcast fallback.
+    pub fallback: bool,
+}
+
 /// Routes one request to its handler. Unknown paths get 404; known paths
 /// with the wrong method get 405.
 #[must_use]
@@ -194,17 +208,33 @@ pub fn dispatch_into(
     body: &[u8],
     out: &mut String,
 ) -> (u16, &'static str) {
+    let mut meta = RequestMeta::default();
+    dispatch_meta(state, method, path, body, out, &mut meta)
+}
+
+/// [`dispatch_into`] that also reports [`RequestMeta`] — what the access
+/// log wants to know beyond the status.
+#[must_use]
+pub fn dispatch_meta(
+    state: &FleetState,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    out: &mut String,
+    meta: &mut RequestMeta,
+) -> (u16, &'static str) {
     out.clear();
+    *meta = RequestMeta::default();
     state.endpoints().count(path);
     let status = match (method, path) {
         ("GET", "/healthz") => healthz(state, out),
         ("GET", "/metrics") => return (metrics(state, out), CONTENT_TYPE_TEXT),
         ("GET", "/v1/stat") => json_into(200, &state.fleet().stats(), out),
-        ("POST", "/v1/infer") => infer(state, body, out).unwrap_or_else(|e| fill(e, out)),
+        ("POST", "/v1/infer") => infer(state, body, out, meta).unwrap_or_else(|e| fill(e, out)),
         ("POST", "/v1/infer_batch") => {
             infer_batch(state, body, out).unwrap_or_else(|e| fill(e, out))
         }
-        ("POST", "/v1/absorb") => absorb(state, body, out).unwrap_or_else(|e| fill(e, out)),
+        ("POST", "/v1/absorb") => absorb(state, body, out, meta).unwrap_or_else(|e| fill(e, out)),
         ("POST", "/v1/publish") => publish(state, body, out).unwrap_or_else(|e| fill(e, out)),
         (
             _,
@@ -217,10 +247,14 @@ pub fn dispatch_into(
 }
 
 fn healthz(state: &FleetState, out: &mut String) -> u16 {
+    // Degraded while recovery replay is still running: load balancers
+    // should hold traffic until the durable state is fully restored.
+    let recovering = state.is_recovering();
     json_into(
-        200,
+        if recovering { 503 } else { 200 },
         &HealthBody {
-            ok: true,
+            ok: !recovering,
+            status: if recovering { "degraded" } else { "ok" }.to_owned(),
             shards: state.fleet().len(),
             uptime_secs: state.uptime_secs(),
             requests: state.request_count(),
@@ -272,6 +306,16 @@ fn metrics(state: &FleetState, out: &mut String) -> u16 {
         "gauge",
         &stats.total_pending(),
     );
+    let wal = state.fleet().wal_stats();
+    w(out, "grafics_wal_appends_total", "counter", &wal.appends);
+    w(out, "grafics_wal_fsyncs_total", "counter", &wal.fsyncs);
+    w(out, "grafics_wal_tail_bytes", "gauge", &wal.tail_bytes);
+    w(
+        out,
+        "grafics_recoveries_total",
+        "counter",
+        &state.recovery_count(),
+    );
     let _ = writeln!(out, "# TYPE grafics_requests counter");
     for (endpoint, count) in state.endpoints().snapshot() {
         let _ = writeln!(out, "grafics_requests{{endpoint=\"{endpoint}\"}} {count}");
@@ -287,7 +331,12 @@ fn metrics(state: &FleetState, out: &mut String) -> u16 {
     200
 }
 
-fn infer(state: &FleetState, body: &[u8], out: &mut String) -> Result<u16, ApiResult> {
+fn infer(
+    state: &FleetState,
+    body: &[u8],
+    out: &mut String,
+    meta: &mut RequestMeta,
+) -> Result<u16, ApiResult> {
     let req: InferRequest = parse_json(body)?;
     let record = sanitize(&req.record)?;
     let seed = req.seed.unwrap_or(0);
@@ -298,7 +347,11 @@ fn infer(state: &FleetState, body: &[u8], out: &mut String) -> Result<u16, ApiRe
         state.fleet().serve_batch(&records, seed, 1)
     };
     match &preds[0] {
-        Some(p) => Ok(json_into(200, &PredictionBody::from(p), out)),
+        Some(p) => {
+            meta.shard = Some(p.building.0);
+            meta.fallback = p.fallback;
+            Ok(json_into(200, &PredictionBody::from(p), out))
+        }
         None => Err(error_body(
             422,
             "record overlaps no building in the fleet; discarded",
@@ -339,22 +392,32 @@ fn infer_batch(state: &FleetState, body: &[u8], out: &mut String) -> Result<u16,
     ))
 }
 
-fn absorb(state: &FleetState, body: &[u8], out: &mut String) -> Result<u16, ApiResult> {
+fn absorb(
+    state: &FleetState,
+    body: &[u8],
+    out: &mut String,
+    meta: &mut RequestMeta,
+) -> Result<u16, ApiResult> {
     let req: AbsorbRequest = parse_json(body)?;
     let record = sanitize(&req.record)?;
     let seq = state.next_absorb_seq();
-    let mut rng = record_rng(state.seed(), usize::try_from(seq).unwrap_or(usize::MAX));
+    // The durable path: journals the absorb before acknowledging when
+    // the fleet has a WAL attached, and *is* the plain deterministic
+    // absorb (same `record_rng(seed, seq)` stream) when it does not.
     let outcome = match req.building {
         Some(b) => state
             .fleet()
-            .absorb_to(BuildingId(b), &record, &mut rng)
+            .absorb_to_durable(BuildingId(b), &record, state.seed(), seq)
             .map(|rid| (BuildingId(b), rid)),
-        None => state.fleet().absorb(&record, &mut rng),
+        None => state.fleet().absorb_durable(&record, state.seed(), seq),
     };
     let (building, rid) = outcome.map_err(|e| match e {
         FleetError::UnknownBuilding(_) => error_body(404, &e.to_string()),
+        // A poisoned WAL must not acknowledge absorbs it cannot journal.
+        FleetError::Durability(_) => error_body(503, &e.to_string()),
         _ => error_body(422, &e.to_string()),
     })?;
+    meta.shard = Some(building.0);
     state.count_absorb_accepted();
     let pending = state
         .fleet()

@@ -1,42 +1,187 @@
 //! A minimal blocking HTTP/1.1 client over one keep-alive connection —
-//! enough to drive the server from tests, the `http_smoke` benchmark,
-//! and operator scripts without any external dependency. Not a general
-//! client: no redirects, no TLS, no chunked responses (the server never
-//! sends them).
+//! enough to drive the server from tests, the `http_smoke`/`wal_smoke`
+//! benchmarks, and operator scripts without any external dependency. Not
+//! a general client: no redirects, no TLS, no chunked responses (the
+//! server never sends them).
+//!
+//! The client is hardened for flaky links: every socket carries read
+//! *and* write timeouts, and **idempotent** requests (`GET` anything,
+//! `POST /v1/infer*`, `/v1/stat`, `/healthz`, `/metrics`) that die on a
+//! transport error are retried over a fresh connection with exponential
+//! backoff plus jitter. `/v1/absorb` and `/v1/publish` are **never**
+//! retried — a response lost after the server processed the request
+//! would make a blind resend absorb the record twice.
 
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, SystemTime};
 
-/// One keep-alive connection to a `grafics-serve` endpoint.
+/// One keep-alive connection to a `grafics-serve` endpoint, with
+/// reconnect-and-retry on idempotent requests.
 pub struct HttpClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    addr: SocketAddr,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    /// Retry attempts allowed per idempotent request (0 disables).
+    max_retries: u32,
+    /// Base of the exponential backoff between retries.
+    backoff_base: Duration,
+    /// Reconnect-and-retry attempts actually performed (for tests and
+    /// diagnostics).
+    retries_performed: u64,
 }
 
 impl HttpClient {
-    /// Connects to `addr`.
+    /// Connects to `addr` with the default hardening: 30 s read timeout,
+    /// 10 s write timeout, up to 3 retries on idempotent requests with
+    /// 25 ms base backoff.
     ///
     /// # Errors
     ///
-    /// Propagates the connect error.
+    /// Propagates the resolve/connect error.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            )
+        })?;
+        let read_timeout = Duration::from_secs(30);
+        let write_timeout = Duration::from_secs(10);
+        let stream = Self::open(addr, read_timeout, write_timeout)?;
         Ok(HttpClient {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
+            addr,
+            read_timeout,
+            write_timeout,
+            max_retries: 3,
+            backoff_base: Duration::from_millis(25),
+            retries_performed: 0,
         })
+    }
+
+    /// Adjusts the socket timeouts (applied to the live connection and
+    /// every reconnect).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket error.
+    pub fn set_timeouts(&mut self, read: Duration, write: Duration) -> std::io::Result<()> {
+        self.read_timeout = read;
+        self.write_timeout = write;
+        self.writer.set_read_timeout(Some(read))?;
+        self.writer.set_write_timeout(Some(write))
+    }
+
+    /// Adjusts the retry policy for idempotent requests: up to
+    /// `max_retries` reconnect-and-resend attempts, exponentially backed
+    /// off from `base` (plus jitter). `max_retries == 0` disables
+    /// retrying entirely.
+    pub fn set_retry_policy(&mut self, max_retries: u32, base: Duration) {
+        self.max_retries = max_retries;
+        self.backoff_base = base;
+    }
+
+    /// Reconnect-and-retry attempts this client has performed.
+    #[must_use]
+    pub fn retries_performed(&self) -> u64 {
+        self.retries_performed
+    }
+
+    fn open(
+        addr: SocketAddr,
+        read_timeout: Duration,
+        write_timeout: Duration,
+    ) -> std::io::Result<TcpStream> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(read_timeout))?;
+        stream.set_write_timeout(Some(write_timeout))?;
+        Ok(stream)
+    }
+
+    fn reconnect(&mut self) -> std::io::Result<()> {
+        let stream = Self::open(self.addr, self.read_timeout, self.write_timeout)?;
+        self.reader = BufReader::new(stream.try_clone()?);
+        self.writer = stream;
+        Ok(())
+    }
+
+    /// `true` if a transport failure may be blindly resent: the request
+    /// cannot have mutated fleet state. Absorb/publish are excluded — a
+    /// lost *response* does not mean an unprocessed *request*.
+    fn idempotent(method: &str, path: &str) -> bool {
+        method == "GET" || path.starts_with("/v1/infer")
+    }
+
+    /// Exponential backoff with jitter: `base << attempt`, capped, plus
+    /// up to ~25% random skew so a fleet of clients does not retry in
+    /// lockstep. Jitter is seeded from the subsecond clock — no RNG
+    /// dependency for the client.
+    fn backoff(&self, attempt: u32) -> Duration {
+        let base = self.backoff_base.max(Duration::from_millis(1));
+        let exp = base.saturating_mul(1u32 << attempt.min(10));
+        let capped = exp.min(Duration::from_secs(2));
+        let nanos = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .unwrap_or_default()
+            .subsec_nanos();
+        let jitter = capped.as_micros() as u64 / 4;
+        let skew = if jitter == 0 {
+            0
+        } else {
+            u64::from(nanos) % jitter
+        };
+        capped + Duration::from_micros(skew)
     }
 
     /// Sends one request and reads the response; returns
     /// `(status, body)`. The connection stays open for the next call.
+    /// Idempotent requests that die on a transport error are retried on
+    /// a fresh connection (bounded, backed off); everything else fails
+    /// fast.
     ///
     /// # Errors
     ///
-    /// IO errors, or `InvalidData` on a malformed response.
+    /// IO errors (after retries, where allowed), or `InvalidData` on a
+    /// malformed response.
     pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
+        let retries = if Self::idempotent(method, path) {
+            self.max_retries
+        } else {
+            0
+        };
+        let mut attempt = 0u32;
+        loop {
+            match self.request_once(method, path, body) {
+                Ok(resp) => return Ok(resp),
+                // A malformed-but-received response is a server bug, not
+                // a transport flake: resending cannot help.
+                Err(e) if e.kind() == std::io::ErrorKind::InvalidData => return Err(e),
+                Err(e) => {
+                    if attempt >= retries {
+                        return Err(e);
+                    }
+                    std::thread::sleep(self.backoff(attempt));
+                    attempt += 1;
+                    self.retries_performed += 1;
+                    // A dead reconnect target still counts down the
+                    // attempts; keep trying until the budget runs out.
+                    let _ = self.reconnect();
+                }
+            }
+        }
+    }
+
+    fn request_once(
         &mut self,
         method: &str,
         path: &str,
@@ -74,7 +219,14 @@ impl HttpClient {
         let malformed =
             |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_owned());
         let mut line = String::new();
-        self.reader.read_line(&mut line)?;
+        if self.reader.read_line(&mut line)? == 0 {
+            // Clean EOF before a status line: the server closed the
+            // keep-alive connection (idle timeout, drain). Retryable.
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionAborted,
+                "connection closed before response",
+            ));
+        }
         // Skip any interim 1xx responses (the server sends 100 Continue
         // only when asked; tolerate it anyway).
         loop {

@@ -14,7 +14,17 @@
 //! | `POST` | `/v1/absorb` | `{"record": {...}, "building"?}` | routed building, record id, pending |
 //! | `POST` | `/v1/publish` | `{"building"?}` or empty | new epochs |
 //! | `GET` | `/v1/stat` | — | [`FleetStats`](grafics_core::FleetStats) |
-//! | `GET` | `/healthz` | — | liveness + counters |
+//! | `GET` | `/healthz` | — | liveness + counters (503 `degraded` during recovery) |
+//! | `GET` | `/metrics` | — | Prometheus-style counters, incl. `wal_*` and `recoveries_total` |
+//!
+//! When the fleet manifest carries a non-`Off`
+//! [`DurabilityPolicy`](grafics_core::DurabilityPolicy), `/v1/absorb`
+//! journals every accepted record to the per-shard write-ahead log
+//! before acknowledging it, and a poisoned WAL turns absorbs into 503s
+//! rather than acknowledging records it cannot make durable. Graceful
+//! shutdown drains and fsyncs the WAL tail before `run` returns. With
+//! `ServeConfig::access_log` set, every request appends one JSON line
+//! (endpoint, method, status, latency µs, shard, fallback flag).
 //!
 //! Serving is **bit-identical to the in-process engine**: an
 //! `/v1/infer_batch` call with seed `s` returns exactly
@@ -77,7 +87,9 @@ pub mod http;
 mod server;
 mod state;
 
-pub use api::{AbsorbBody, BatchBody, EpochBody, HealthBody, PredictionBody, PublishBody};
+pub use api::{
+    AbsorbBody, BatchBody, EpochBody, HealthBody, PredictionBody, PublishBody, RequestMeta,
+};
 pub use client::HttpClient;
 pub use daemon::{MaintenanceDaemon, MaintenanceReport};
 pub use server::{HttpServer, RunningServer, ServeConfig, ServeReport, ServerHandle};

@@ -14,13 +14,14 @@ use grafics_core::GraficsFleet;
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufReader, BufWriter, ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server tuning knobs. The defaults suit a small deployment (and the
 /// tests/benches); the CLI maps flags onto them.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Worker threads handling connections. Each worker owns one
     /// connection at a time (keep-alive), so this is also the concurrent
@@ -46,6 +47,10 @@ pub struct ServeConfig {
     /// Install a SIGINT/SIGTERM handler that drains and exits (the CLI
     /// sets this; tests shut down via [`ServerHandle`] instead).
     pub handle_signals: bool,
+    /// Structured access log: one JSON line per request (endpoint,
+    /// method, status, latency µs, answering shard, fallback flag)
+    /// appended to this file. `None` disables logging entirely.
+    pub access_log: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +64,7 @@ impl Default for ServeConfig {
             seed: 0,
             maintenance_tick: Duration::from_millis(100),
             handle_signals: false,
+            access_log: None,
         }
     }
 }
@@ -159,6 +165,10 @@ impl HttpServer {
         // Before any thread spawns: an error here can still early-return
         // without leaking workers or the daemon.
         self.listener.set_nonblocking(true)?;
+        let access_log = match &self.config.access_log {
+            Some(path) => Some(Arc::new(AccessLog::open(path)?)),
+            None => None,
+        };
         let queue = Arc::new(ConnQueue::new(self.config.queue_depth));
         let registry = Arc::new(ConnRegistry::default());
         let daemon = MaintenanceDaemon::spawn(
@@ -173,12 +183,13 @@ impl HttpServer {
             let queue = Arc::clone(&queue);
             let registry = Arc::clone(&registry);
             let state = Arc::clone(&self.state);
-            let config = self.config;
+            let config = self.config.clone();
             let shutdown = Arc::clone(&self.shutdown);
+            let access_log = access_log.clone();
             workers.push(std::thread::spawn(move || {
                 while let Some(conn) = queue.pop() {
                     let id = registry.register(&conn);
-                    handle_connection(conn, &state, &config, &shutdown);
+                    handle_connection(conn, &state, &config, &shutdown, access_log.as_deref());
                     if let Some(id) = id {
                         registry.deregister(id);
                     }
@@ -227,6 +238,16 @@ impl HttpServer {
             let _ = worker.join();
         }
         let maintenance = daemon.stop();
+        if let Some(log) = &access_log {
+            log.flush();
+        }
+        // The durability contract's last step: every acknowledged absorb
+        // is on disk before the process exits. A failure here is loud —
+        // exiting quietly would silently demote acknowledged durability.
+        self.state
+            .fleet()
+            .drain_wal()
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
         Ok(ServeReport {
             requests: self.state.request_count(),
             absorbs: self.state.absorb_count(),
@@ -294,6 +315,7 @@ fn handle_connection(
     state: &FleetState,
     config: &ServeConfig,
     shutdown: &AtomicBool,
+    access_log: Option<&AccessLog>,
 ) {
     let limits = Limits {
         max_head_bytes: config.max_head_bytes,
@@ -313,8 +335,19 @@ fn handle_connection(
             Ok(false) => break,
             Ok(true) => {
                 state.count_request();
-                let (status, content_type) =
-                    api::dispatch_into(state, &req.method, &req.path, &req.body, &mut response);
+                let started = Instant::now();
+                let mut meta = api::RequestMeta::default();
+                let (status, content_type) = api::dispatch_meta(
+                    state,
+                    &req.method,
+                    &req.path,
+                    &req.body,
+                    &mut response,
+                    &mut meta,
+                );
+                if let Some(log) = access_log {
+                    log.record(&req.method, &req.path, status, started.elapsed(), meta);
+                }
                 let keep = req.keep_alive && !shutdown.load(Ordering::SeqCst);
                 if http::write_response_typed(&mut writer, status, content_type, &response, keep)
                     .is_err()
@@ -353,6 +386,53 @@ fn handle_connection(
         }
     }
     let _ = writer.flush();
+}
+
+/// The structured access log: one JSON line per handled request,
+/// appended through a shared buffered writer. Logging is off the
+/// durability path — a failed write drops the line rather than failing
+/// the request.
+struct AccessLog {
+    writer: Mutex<BufWriter<std::fs::File>>,
+}
+
+impl AccessLog {
+    fn open(path: &std::path::Path) -> std::io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(AccessLog {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    fn record(
+        &self,
+        method: &str,
+        path: &str,
+        status: u16,
+        latency: Duration,
+        meta: api::RequestMeta,
+    ) {
+        let line = serde_json::json!({
+            "method": method,
+            "endpoint": path,
+            "status": status,
+            "latency_us": u64::try_from(latency.as_micros()).unwrap_or(u64::MAX),
+            "shard": meta.shard,
+            "fallback": meta.fallback,
+        });
+        let Ok(text) = serde_json::to_string(&line) else {
+            return;
+        };
+        let mut w = self.writer.lock().expect("access log");
+        let _ = writeln!(w, "{text}");
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("access log").flush();
+    }
 }
 
 /// Tracks live connections so a drain can half-close their read sides,

@@ -2,7 +2,7 @@
 //! HTTP handlers and the maintenance daemon coordinate through.
 
 use grafics_core::GraficsFleet;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -22,6 +22,11 @@ pub struct FleetState {
     started: Instant,
     cadence: CadenceSignal,
     endpoints: EndpointCounters,
+    /// `true` while crash-recovery replay/finalization is in progress —
+    /// `/healthz` answers 503 `degraded` until it clears.
+    recovering: AtomicBool,
+    /// Crash recoveries this fleet has been through (`recoveries_total`).
+    recoveries: AtomicU64,
 }
 
 impl FleetState {
@@ -37,7 +42,43 @@ impl FleetState {
             started: Instant::now(),
             cadence: CadenceSignal::default(),
             endpoints: EndpointCounters::default(),
+            recovering: AtomicBool::new(false),
+            recoveries: AtomicU64::new(0),
         }
+    }
+
+    /// Resumes the absorb sequence at `next` (from
+    /// [`RecoveryReport::next_rng_index`]) so no RNG stream index is ever
+    /// reused across a crash — reuse would make the replayed state
+    /// diverge from the never-crashed one.
+    ///
+    /// [`RecoveryReport::next_rng_index`]:
+    /// grafics_core::RecoveryReport::next_rng_index
+    pub fn resume_absorb_seq(&self, next: u64) {
+        self.absorb_attempts.fetch_max(next, Ordering::Relaxed);
+    }
+
+    /// Flags recovery replay/finalization as in progress (`/healthz`
+    /// reports `degraded` with a 503 until cleared).
+    pub fn set_recovering(&self, recovering: bool) {
+        self.recovering.store(recovering, Ordering::SeqCst);
+    }
+
+    /// `true` while recovery is in progress.
+    #[must_use]
+    pub fn is_recovering(&self) -> bool {
+        self.recovering.load(Ordering::SeqCst)
+    }
+
+    /// Records one completed crash recovery.
+    pub fn count_recovery(&self) {
+        self.recoveries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Crash recoveries recorded so far.
+    #[must_use]
+    pub fn recovery_count(&self) -> u64 {
+        self.recoveries.load(Ordering::Relaxed)
     }
 
     /// The served fleet.

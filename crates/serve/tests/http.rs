@@ -6,13 +6,13 @@
 //! `/v1/publish`.
 
 use grafics_core::{
-    FleetManifest, Grafics, GraficsConfig, GraficsFleet, MaintenancePolicy, RetentionPolicy,
-    Router, RouterKind,
+    DurabilityPolicy, FleetManifest, Grafics, GraficsConfig, GraficsFleet, MaintenancePolicy,
+    RetentionPolicy, Router, RouterKind,
 };
 use grafics_data::BuildingModel;
 use grafics_serve::{
-    AbsorbBody, BatchBody, HttpClient, HttpServer, PredictionBody, PublishBody, RunningServer,
-    ServeConfig,
+    AbsorbBody, BatchBody, HealthBody, HttpClient, HttpServer, PredictionBody, PublishBody,
+    RunningServer, ServeConfig,
 };
 use grafics_types::{BuildingId, SignalRecord};
 use rand::SeedableRng;
@@ -510,6 +510,7 @@ fn saved_manifest_drives_the_server() {
                 publish_after_secs: None,
                 refresh_every_publishes: None,
             },
+            durability: DurabilityPolicy::Off,
         }
     );
 
@@ -549,4 +550,231 @@ fn saved_manifest_drives_the_server() {
     }
     server.shutdown().unwrap();
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Acceptance: absorbs acknowledged over HTTP against a durable fleet
+/// are journalled, survive a restart (graceful shutdown drains the WAL
+/// tail), and a recovery of the directory replays exactly the
+/// acknowledged records — still pending, none lost, none torn.
+#[test]
+fn durable_absorbs_survive_server_restart() {
+    let dir = std::env::temp_dir().join("grafics-serve-durable-test");
+    std::fs::remove_dir_all(&dir).ok();
+    {
+        let mut fleet = build_fleet();
+        fleet.set_durability(DurabilityPolicy::FsyncEveryN(2));
+        fleet.save_dir(&dir).unwrap();
+    }
+    let (fleet, report) = GraficsFleet::recover(&dir).unwrap();
+    assert_eq!(report.total_replayed(), 0);
+
+    let (_, queries) = fixture();
+    let server = spawn(
+        fleet,
+        ServeConfig {
+            seed: 99,
+            ..ServeConfig::default()
+        },
+    );
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+    let mut accepted = 0u64;
+    for record in queries.iter() {
+        let body = format!(
+            "{{\"record\":{},\"building\":0}}",
+            serde_json::to_string(record).unwrap()
+        );
+        let (status, _) = client.post("/v1/absorb", &body).unwrap();
+        accepted += u64::from(status == 200);
+        if accepted == 4 {
+            break;
+        }
+    }
+    assert_eq!(accepted, 4);
+    server.shutdown().unwrap(); // drains and fsyncs the WAL tail
+
+    let (recovered, report) = GraficsFleet::recover(&dir).unwrap();
+    assert!(!report.any_torn());
+    let shard0 = report
+        .shards
+        .iter()
+        .find(|s| s.building == BuildingId(0))
+        .unwrap();
+    assert_eq!(
+        shard0.watermark + shard0.replayed,
+        accepted,
+        "every acknowledged absorb is durable: {report:?}"
+    );
+    // The replayed records are back on the write side, still unpublished.
+    let stats = recovered.stats();
+    assert_eq!(stats.shard(BuildingId(0)).unwrap().pending as u64, accepted);
+    assert_eq!(stats.shard(BuildingId(0)).unwrap().epoch, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `/healthz` flips to 503 `degraded` while recovery is flagged in
+/// progress and back to 200 `ok` once it clears.
+#[test]
+fn healthz_reports_degraded_during_recovery() {
+    let server = HttpServer::bind(build_fleet(), "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let state = std::sync::Arc::clone(server.state());
+    let running = server.spawn().unwrap();
+    let mut client = HttpClient::connect(running.addr()).unwrap();
+
+    let (status, body) = client.get("/healthz").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let health: HealthBody = serde_json::from_str(&body).unwrap();
+    assert!(health.ok);
+    assert_eq!(health.status, "ok");
+
+    state.set_recovering(true);
+    let (status, body) = client.get("/healthz").unwrap();
+    assert_eq!(status, 503, "{body}");
+    let health: HealthBody = serde_json::from_str(&body).unwrap();
+    assert!(!health.ok);
+    assert_eq!(health.status, "degraded");
+
+    state.set_recovering(false);
+    let (status, _) = client.get("/healthz").unwrap();
+    assert_eq!(status, 200);
+    running.shutdown().unwrap();
+}
+
+/// `/metrics` exposes the WAL counters (appends, fsyncs, tail bytes) and
+/// the recovery counter alongside the request counters.
+#[test]
+fn metrics_exposes_wal_and_recovery_counters() {
+    let dir = std::env::temp_dir().join("grafics-serve-wal-metrics-test");
+    std::fs::remove_dir_all(&dir).ok();
+    {
+        let mut fleet = build_fleet();
+        fleet.set_durability(DurabilityPolicy::FsyncEveryN(1));
+        fleet.save_dir(&dir).unwrap();
+    }
+    let (fleet, _) = GraficsFleet::recover(&dir).unwrap();
+    let server = HttpServer::bind(fleet, "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let state = std::sync::Arc::clone(server.state());
+    state.count_recovery();
+    let running = server.spawn().unwrap();
+    let mut client = HttpClient::connect(running.addr()).unwrap();
+
+    let (_, queries) = fixture();
+    let mut accepted = 0u64;
+    for record in queries.iter().take(4) {
+        let body = format!(
+            "{{\"record\":{},\"building\":0}}",
+            serde_json::to_string(record).unwrap()
+        );
+        let (status, _) = client.post("/v1/absorb", &body).unwrap();
+        accepted += u64::from(status == 200);
+    }
+    assert!(accepted >= 2, "{accepted}");
+    // Group commit is asynchronous: barrier on the flusher before the
+    // scrape so the counters are settled.
+    state.fleet().drain_wal().unwrap();
+
+    let (status, text) = client.get("/metrics").unwrap();
+    assert_eq!(status, 200, "{text}");
+    let gauge = |name: &str| -> f64 {
+        text.lines()
+            .find(|l| l.starts_with(name) && !l.starts_with('#'))
+            .unwrap_or_else(|| panic!("{name} missing from:\n{text}"))
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    assert_eq!(gauge("grafics_wal_appends_total"), accepted as f64);
+    assert!(gauge("grafics_wal_fsyncs_total") >= 1.0);
+    assert!(gauge("grafics_wal_tail_bytes") > 0.0);
+    assert_eq!(gauge("grafics_recoveries_total"), 1.0);
+    running.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Idempotent requests ride out an idle-timeout disconnect via
+/// reconnect-and-retry; `/v1/absorb` on the same dead connection fails
+/// fast without a single retry.
+#[test]
+fn idempotent_requests_retry_but_absorb_fails_fast() {
+    let server = spawn(
+        build_fleet(),
+        ServeConfig {
+            read_timeout: Duration::from_millis(100),
+            ..ServeConfig::default()
+        },
+    );
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+    client.set_retry_policy(2, Duration::from_millis(1));
+    let (status, _) = client.get("/healthz").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(client.retries_performed(), 0);
+
+    // Let the server's idle timeout close the keep-alive connection,
+    // then a GET transparently reconnects and retries.
+    std::thread::sleep(Duration::from_millis(300));
+    let (status, _) = client.get("/healthz").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        client.retries_performed(),
+        1,
+        "the idle close costs exactly one retry"
+    );
+
+    // Same dead-connection scenario, but absorb must NOT be resent: the
+    // request fails with the transport error and the retry counter does
+    // not move.
+    std::thread::sleep(Duration::from_millis(300));
+    let (_, queries) = fixture();
+    let body = format!(
+        "{{\"record\":{}}}",
+        serde_json::to_string(&queries[0]).unwrap()
+    );
+    let err = client.post("/v1/absorb", &body).unwrap_err();
+    assert_ne!(err.kind(), std::io::ErrorKind::InvalidData, "{err}");
+    assert_eq!(client.retries_performed(), 1, "absorb never retries");
+    server.shutdown().unwrap();
+}
+
+/// With `access_log` configured, every handled request appends one JSON
+/// line carrying endpoint, status, latency, and the answering shard.
+#[test]
+fn access_log_records_one_line_per_request() {
+    let path = std::env::temp_dir().join("grafics-serve-access-log-test.jsonl");
+    std::fs::remove_file(&path).ok();
+    let server = spawn(
+        build_fleet(),
+        ServeConfig {
+            access_log: Some(path.clone()),
+            ..ServeConfig::default()
+        },
+    );
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+    let (status, _) = client.get("/healthz").unwrap();
+    assert_eq!(status, 200);
+    let (_, queries) = fixture();
+    let body = format!(
+        "{{\"record\":{},\"seed\":7}}",
+        serde_json::to_string(&queries[0]).unwrap()
+    );
+    let (status, _) = client.post("/v1/infer", &body).unwrap();
+    assert_eq!(status, 200);
+    server.shutdown().unwrap(); // flushes the log
+
+    let log = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = log.lines().collect();
+    assert_eq!(lines.len(), 2, "{log}");
+    assert!(lines[0].contains("\"endpoint\":\"/healthz\""), "{log}");
+    assert!(lines[0].contains("\"status\":200"), "{log}");
+    assert!(lines[0].contains("\"latency_us\":"), "{log}");
+    assert!(lines[0].contains("\"shard\":null"), "{log}");
+    assert!(lines[1].contains("\"endpoint\":\"/v1/infer\""), "{log}");
+    assert!(lines[1].contains("\"method\":\"POST\""), "{log}");
+    assert!(lines[1].contains("\"fallback\":false"), "{log}");
+    // The infer line names the shard that answered.
+    assert!(
+        lines[1].contains("\"shard\":0") || lines[1].contains("\"shard\":1"),
+        "{log}"
+    );
+    std::fs::remove_file(&path).ok();
 }

@@ -1,0 +1,129 @@
+//! Durability policy for the serving tier's absorb write-ahead log.
+//!
+//! The WAL itself lives in `grafics-core`; this crate only owns the
+//! *policy* vocabulary so that the manifest (`fleet.json`), the CLI and
+//! the serve tier all speak the same type without a dependency cycle.
+
+use serde::{Deserialize, Serialize};
+
+/// How aggressively the absorb write-ahead log is forced to disk.
+///
+/// Appends always reach the OS write path immediately (the group-commit
+/// buffer is drained by a dedicated flusher thread); the policy decides
+/// when `fsync` is called, i.e. how many acknowledged absorbs a power
+/// loss may take back:
+///
+/// - [`DurabilityPolicy::Off`] — no WAL at all. Crash loses everything
+///   since the last explicit save. This is the historical behaviour.
+/// - [`DurabilityPolicy::FsyncEveryN`] — fsync after every `n` appended
+///   records (and on publish/shutdown). `FsyncEveryN(1)` is
+///   fsync-per-append, the strongest setting.
+/// - [`DurabilityPolicy::FsyncEveryMs`] — fsync whenever dirty appends
+///   are at least `ms` milliseconds old (and on publish/shutdown),
+///   bounding the loss window in time instead of record count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DurabilityPolicy {
+    /// No write-ahead logging.
+    #[default]
+    Off,
+    /// Fsync after every `n` appended records (`n == 0` is treated as 1).
+    FsyncEveryN(u32),
+    /// Fsync once dirty appends are at least `ms` milliseconds old
+    /// (`ms == 0` is treated as fsync-per-append).
+    FsyncEveryMs(u64),
+}
+
+impl DurabilityPolicy {
+    /// `true` when no WAL is kept at all.
+    #[must_use]
+    pub fn is_off(&self) -> bool {
+        matches!(self, DurabilityPolicy::Off)
+    }
+
+    /// The fsync batch size in records, if the policy is count-based.
+    /// Clamps the degenerate `FsyncEveryN(0)` to 1.
+    #[must_use]
+    pub fn fsync_every_n(&self) -> Option<u32> {
+        match self {
+            DurabilityPolicy::FsyncEveryN(n) => Some((*n).max(1)),
+            _ => None,
+        }
+    }
+
+    /// The fsync interval in milliseconds, if the policy is time-based.
+    #[must_use]
+    pub fn fsync_every_ms(&self) -> Option<u64> {
+        match self {
+            DurabilityPolicy::FsyncEveryMs(ms) => Some(*ms),
+            _ => None,
+        }
+    }
+
+    /// Parses the CLI spelling: `off`, `fsync:N` (count-based) or
+    /// `fsync_ms:T` (time-based).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown spellings.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let spec = spec.trim();
+        if spec.eq_ignore_ascii_case("off") {
+            return Ok(DurabilityPolicy::Off);
+        }
+        if let Some(n) = spec.strip_prefix("fsync:") {
+            return n
+                .parse::<u32>()
+                .map(DurabilityPolicy::FsyncEveryN)
+                .map_err(|_| format!("bad fsync count in durability policy {spec:?}"));
+        }
+        if let Some(ms) = spec.strip_prefix("fsync_ms:") {
+            return ms
+                .parse::<u64>()
+                .map(DurabilityPolicy::FsyncEveryMs)
+                .map_err(|_| format!("bad fsync interval in durability policy {spec:?}"));
+        }
+        Err(format!(
+            "unknown durability policy {spec:?} (expected off | fsync:N | fsync_ms:T)"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trip() {
+        assert_eq!(DurabilityPolicy::parse("off"), Ok(DurabilityPolicy::Off));
+        assert_eq!(
+            DurabilityPolicy::parse("fsync:64"),
+            Ok(DurabilityPolicy::FsyncEveryN(64))
+        );
+        assert_eq!(
+            DurabilityPolicy::parse("fsync_ms:250"),
+            Ok(DurabilityPolicy::FsyncEveryMs(250))
+        );
+        assert!(DurabilityPolicy::parse("sometimes").is_err());
+        assert!(DurabilityPolicy::parse("fsync:lots").is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for policy in [
+            DurabilityPolicy::Off,
+            DurabilityPolicy::FsyncEveryN(8),
+            DurabilityPolicy::FsyncEveryMs(100),
+        ] {
+            let json = serde_json::to_string(&policy).unwrap();
+            let back: DurabilityPolicy = serde_json::from_str(&json).unwrap();
+            assert_eq!(policy, back);
+        }
+    }
+
+    #[test]
+    fn degenerate_knobs_clamp() {
+        assert_eq!(DurabilityPolicy::FsyncEveryN(0).fsync_every_n(), Some(1));
+        assert_eq!(DurabilityPolicy::Off.fsync_every_n(), None);
+        assert_eq!(DurabilityPolicy::FsyncEveryMs(0).fsync_every_ms(), Some(0));
+    }
+}

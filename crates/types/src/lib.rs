@@ -32,6 +32,7 @@
 
 mod building_id;
 mod dataset;
+mod durability;
 mod error;
 pub mod kernels;
 mod mac;
@@ -41,6 +42,7 @@ mod rssi;
 
 pub use building_id::BuildingId;
 pub use dataset::{Dataset, DatasetStats, Split};
+pub use durability::DurabilityPolicy;
 pub use error::TypesError;
 pub use mac::MacAddr;
 pub use matrix::RowMatrix;
