@@ -1,0 +1,371 @@
+//! Router-tier smoke: the fault-tolerant proxy vs direct single-process
+//! serving on the same workload, printed as JSON for BENCH_*.json
+//! trajectories.
+//!
+//! Arms over one trained fleet and one fixed query set:
+//!
+//! - **direct** — a single `HttpServer` holding every shard; K keep-alive
+//!   clients POST one `/v1/infer` per record. This is the PR 6 serving
+//!   path and the qps ceiling for the router.
+//! - **routed** — the same shards split into one backend process per
+//!   building behind a `RouterServer`; the identical client workload hits
+//!   the router, which pays route-table lookup + one extra loopback hop
+//!   per request.
+//! - **bit-identity** — one `/v1/infer_batch` through the router vs
+//!   `GraficsFleet::serve_batch` in process: every populated slot must
+//!   match to the float bit (the full matrix lives in
+//!   `crates/serve/tests/router.rs`; this is the cheap CI spot check).
+//! - **streaming ingestion** — a producer thread appends signal records
+//!   to a live JSONL feed while a tailer follows the file and POSTs each
+//!   complete line to the router's `/v1/absorb`; every ack lands on the
+//!   owning backend exactly once (absorbs are never retried), verified
+//!   against the merged `/v1/stat` pending counts.
+//!
+//! The acceptance bar is the router within 2× of direct qps on this
+//! shared CI box; the soft assert trips at 0.25 so noise cannot flake
+//! the job while a real collapse (breaker misfire, probe storm, lost
+//! keep-alive) still fails loudly.
+//!
+//! ```sh
+//! cargo run --release -p grafics-bench --bin router_smoke \
+//!     [-- --queries N --clients K --workers W --stream-records S]
+//! ```
+
+use grafics_bench::{train_serving_fleet, ExperimentConfig};
+use grafics_core::{
+    BackendSpec, FleetStats, GraficsConfig, GraficsFleet, RetentionPolicy, RouterManifest,
+};
+use grafics_data::BuildingModel;
+use grafics_serve::{BatchBody, HttpClient, HttpServer, RouterConfig, RouterServer, ServeConfig};
+use grafics_types::{HealthPolicy, SignalRecord};
+use std::io::Write as _;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+fn flag(args: &[String], name: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx]
+}
+
+/// K keep-alive clients partition `bodies` and POST one `/v1/infer`
+/// each; returns (elapsed secs, served count, sorted per-request µs).
+fn run_single_arm(addr: SocketAddr, bodies: &[String], clients: usize) -> (f64, usize, Vec<f64>) {
+    let t = Instant::now();
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(bodies.len());
+    let mut served = 0usize;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..clients.max(1) {
+            handles.push(scope.spawn(move || {
+                let mut client = HttpClient::connect(addr).expect("connect");
+                let mut lat = Vec::new();
+                let mut ok = 0usize;
+                let mut i = c;
+                while i < bodies.len() {
+                    let t = Instant::now();
+                    let (status, response) = client.post("/v1/infer", &bodies[i]).expect("request");
+                    lat.push(1e6 * t.elapsed().as_secs_f64());
+                    assert!(
+                        status == 200 || status == 422,
+                        "unexpected status {status}: {response}"
+                    );
+                    ok += usize::from(status == 200);
+                    i += clients.max(1);
+                }
+                (lat, ok)
+            }));
+        }
+        for handle in handles {
+            let (lat, ok) = handle.join().expect("client thread");
+            latencies_us.extend(lat);
+            served += ok;
+        }
+    });
+    let secs = t.elapsed().as_secs_f64();
+    latencies_us.sort_by(f64::total_cmp);
+    (secs, served, latencies_us)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let queries = flag(&args, "--queries", 200);
+    let clients = flag(&args, "--clients", 2);
+    let workers = flag(&args, "--workers", 2);
+    let buildings = flag(&args, "--buildings", 2);
+    let records_per_floor = flag(&args, "--records-per-floor", 40);
+    let stream_records = flag(&args, "--stream-records", 40);
+    let seed = 2027u64;
+
+    // One trained fleet; the direct arm serves it whole, the routed arm
+    // serves the same shard models split across per-building backends —
+    // identical bits by construction, which the batch check pins.
+    let fleet_models: Vec<BuildingModel> = (0..buildings)
+        .map(|i| {
+            BuildingModel::office(&format!("route-{i}"), 3)
+                .with_records_per_floor(records_per_floor)
+        })
+        .collect();
+    let cfg = ExperimentConfig {
+        threads: 1,
+        seed,
+        ..Default::default()
+    };
+    let grafics = GraficsConfig {
+        epochs: 30,
+        ..GraficsConfig::serving()
+    };
+    let (fleet, tagged) =
+        train_serving_fleet(&fleet_models, &cfg, Some(grafics), RetentionPolicy::KeepAll);
+    let records: Vec<SignalRecord> = tagged
+        .iter()
+        .map(|(_, _, r)| r.clone())
+        .cycle()
+        .take(queries)
+        .collect();
+    let reference = fleet.serve_batch(&records, seed, 1);
+
+    // One backend fleet per building, rebuilt from the published
+    // snapshots so router and direct arms serve the same models.
+    let shard_fleets: Vec<GraficsFleet> = fleet
+        .shards()
+        .iter()
+        .map(|shard| {
+            let mut single = GraficsFleet::new();
+            single
+                .add_shard(shard.id(), (*shard.snapshot()).clone())
+                .expect("assemble backend shard");
+            single
+        })
+        .collect();
+
+    let direct = HttpServer::bind(
+        fleet,
+        "127.0.0.1:0",
+        ServeConfig {
+            workers,
+            seed,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind direct server")
+    .spawn()
+    .expect("spawn direct server");
+
+    let backends: Vec<_> = shard_fleets
+        .into_iter()
+        .map(|single| {
+            HttpServer::bind(
+                single,
+                "127.0.0.1:0",
+                ServeConfig {
+                    workers,
+                    seed,
+                    ..ServeConfig::default()
+                },
+            )
+            .expect("bind backend")
+            .spawn()
+            .expect("spawn backend")
+        })
+        .collect();
+
+    let mut manifest = RouterManifest::default();
+    for (i, backend) in backends.iter().enumerate() {
+        manifest.backends.push(BackendSpec {
+            name: format!("b{i}"),
+            addr: backend.addr().to_string(),
+        });
+    }
+    manifest.health = HealthPolicy {
+        probe_interval_ms: 200,
+        probe_timeout_ms: 1000,
+        fail_threshold: 3,
+        recover_threshold: 1,
+    };
+    let router = RouterServer::bind(
+        RouterConfig {
+            manifest,
+            backend_timeout: Duration::from_secs(5),
+            ..RouterConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind router")
+    .spawn()
+    .expect("spawn router");
+    assert!(
+        router.wait_for_buildings(buildings, Duration::from_secs(10)),
+        "route table never filled"
+    );
+
+    let single_bodies: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"record\":{},\"seed\":{seed}}}",
+                serde_json::to_string(r).expect("record serializes")
+            )
+        })
+        .collect();
+
+    // Arm 1: direct single-process serving (the ceiling).
+    let (direct_secs, served_direct, direct_lat) =
+        run_single_arm(direct.addr(), &single_bodies, clients);
+    let qps_direct = served_direct as f64 / direct_secs;
+
+    // Arm 2: the same workload through the router.
+    let (routed_secs, served_routed, routed_lat) =
+        run_single_arm(router.addr(), &single_bodies, clients);
+    let qps_routed = served_routed as f64 / routed_secs;
+    assert_eq!(served_routed, served_direct, "arms served the same set");
+
+    // Arm 3: bit-identity spot check — the proxied batch answers exactly
+    // what the in-process engine answered.
+    let mut client = HttpClient::connect(router.addr()).expect("connect router");
+    let batch_body = format!(
+        "{{\"records\":{},\"seed\":{seed}}}",
+        serde_json::to_string(&records).expect("records serialize")
+    );
+    let (status, response) = client.post("/v1/infer_batch", &batch_body).expect("batch");
+    assert_eq!(status, 200, "{response}");
+    let batch: BatchBody = serde_json::from_str(&response).expect("batch body");
+    assert_eq!(batch.predictions.len(), reference.len());
+    let mut pinned = 0usize;
+    for (wire, local) in batch.predictions.iter().zip(&reference) {
+        if let (Some(w), Some(l)) = (wire, local) {
+            assert_eq!(w.building, l.building.0, "routed building diverged");
+            assert_eq!(
+                w.distance.to_bits(),
+                l.distance.to_bits(),
+                "router hop must be bit-invisible"
+            );
+            pinned += 1;
+        }
+    }
+    assert_eq!(pinned, served_direct, "every served slot pinned");
+
+    // Arm 4: streaming ingestion — tail a live JSONL feed into the
+    // router'd fleet. The producer appends one record per line (with
+    // explicit building tags: held-out records share MACs with their own
+    // building's graph, so every absorb is accepted); the tailer follows
+    // the file, posting each *complete* line as it lands.
+    let feed_path = std::env::temp_dir().join(format!("grafics-router-smoke-feed-{seed}.jsonl"));
+    let _ = std::fs::remove_file(&feed_path);
+    let stream_lines: Vec<String> = tagged
+        .iter()
+        .cycle()
+        .take(stream_records)
+        .map(|(building, _, r)| {
+            format!(
+                "{{\"record\":{},\"building\":{}}}",
+                serde_json::to_string(r).expect("record serializes"),
+                building.0
+            )
+        })
+        .collect();
+    let t = Instant::now();
+    let producer_path = feed_path.clone();
+    let producer_lines = stream_lines.clone();
+    let producer = std::thread::spawn(move || {
+        let mut feed = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&producer_path)
+            .expect("open feed");
+        for line in &producer_lines {
+            writeln!(feed, "{line}").expect("append feed line");
+            feed.flush().expect("flush feed");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    });
+    let mut ingest = HttpClient::connect(router.addr()).expect("connect router");
+    let mut offset = 0usize;
+    let mut absorbed = 0usize;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while absorbed < stream_records {
+        assert!(Instant::now() < deadline, "feed tail stalled");
+        let text = std::fs::read_to_string(&feed_path).unwrap_or_default();
+        let fresh = &text[offset.min(text.len())..];
+        let Some(complete) = fresh.rfind('\n') else {
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        };
+        for line in fresh[..complete].lines().filter(|l| !l.is_empty()) {
+            let (status, response) = ingest.post("/v1/absorb", line).expect("absorb");
+            assert_eq!(status, 200, "streamed absorb rejected: {response}");
+            absorbed += 1;
+        }
+        offset += complete + 1;
+    }
+    producer.join().expect("producer thread");
+    let stream_secs = t.elapsed().as_secs_f64();
+    let _ = std::fs::remove_file(&feed_path);
+
+    // Every streamed record is pending on exactly one backend — the
+    // router's merged stat view agrees with the ack count (absorbs are
+    // single-shot: no retry can double-apply one).
+    let (status, response) = ingest.get("/v1/stat").expect("stat");
+    assert_eq!(status, 200, "{response}");
+    let stats: FleetStats = serde_json::from_str(&response).expect("merged stats");
+    let pending: usize = stats.shards.iter().map(|s| s.pending).sum();
+    assert_eq!(pending, absorbed, "acks must equal pending absorbs");
+
+    let ratio = qps_routed / qps_direct;
+    // Soft floor: acceptance bar 0.5 (within 2×); tripping at 0.25
+    // catches a real regression without flaking on CI box noise.
+    assert!(
+        ratio > 0.25,
+        "router qps collapsed: {ratio:.2} of direct serving"
+    );
+
+    let router_report = router.shutdown().expect("router exits cleanly");
+    let direct_report = direct.shutdown().expect("direct server exits cleanly");
+    for backend in backends {
+        backend.shutdown().expect("backend exits cleanly");
+    }
+
+    let direct_arm = serde_json::json!({
+        "qps": qps_direct,
+        "p50_us": percentile(&direct_lat, 0.50),
+        "p99_us": percentile(&direct_lat, 0.99),
+    });
+    let routed_arm = serde_json::json!({
+        "qps": qps_routed,
+        "ratio_vs_direct": ratio,
+        "p50_us": percentile(&routed_lat, 0.50),
+        "p99_us": percentile(&routed_lat, 0.99),
+    });
+    let bit_identity = serde_json::json!({ "pinned_slots": pinned });
+    let streaming = serde_json::json!({
+        "records": absorbed,
+        "ingest_qps": absorbed as f64 / stream_secs,
+        "pending_after": pending,
+    });
+    let payload = serde_json::json!({
+        "benchmark": "router_smoke",
+        "corpus": format!("{buildings}x office-3f, {records_per_floor}/floor"),
+        "queries": queries,
+        "served": served_direct,
+        "clients": clients,
+        "workers": workers,
+        "direct": direct_arm,
+        "routed": routed_arm,
+        "bit_identity": bit_identity,
+        "streaming": streaming,
+        "router_requests": router_report.requests,
+        "direct_requests": direct_report.requests,
+        "method": "same shard models in both arms (backends rebuilt from published snapshots); routed batch pinned bit-identical to in-process serve_batch; streaming arm tails a live JSONL feed into /v1/absorb through the router",
+    });
+    println!("{}", serde_json::to_string_pretty(&payload).unwrap());
+}

@@ -38,13 +38,13 @@
 #![warn(missing_docs)]
 
 use grafics_core::{
-    DurabilityPolicy, Grafics, GraficsConfig, GraficsFleet, MaintenancePolicy, RecoveryReport,
-    RetentionPolicy, RouterKind,
+    BackendSpec, DurabilityPolicy, Grafics, GraficsConfig, GraficsFleet, MaintenancePolicy,
+    RecoveryReport, RetentionPolicy, RouterKind, RouterManifest,
 };
 use grafics_data::{io as dio, BuildingModel, FleetPreset};
 use grafics_metrics::ConfusionMatrix;
-use grafics_serve::{HttpServer, ServeConfig};
-use grafics_types::{BuildingId, Dataset};
+use grafics_serve::{HttpServer, RouterConfig, RouterServer, ServeConfig};
+use grafics_types::{BreakerPolicy, BuildingId, Dataset, HealthPolicy, RateLimitPolicy};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::fmt::Write as _;
@@ -86,7 +86,11 @@ commands:
            [--durability off|fsync:N|fsync_ms:T] --out model-dir
   fleet serve    --models model-dir --input scans.jsonl [--seed N] [--threads N]
   fleet serve    --models model-dir --http ADDR [--workers N] [--seed N]
-           [--access-log PATH]
+           [--access-log PATH] [--auth-token TOKEN]
+  fleet route    --http ADDR --backends [name=]host:port[,...] | --manifest DIR
+           [--health I_MS/T_MS/FAIL/RECOVER] [--breaker TRIP/COOLDOWN_MS]
+           [--rate-limit RATE/BURST|off] [--auth-token TOKEN]
+           [--deadline-ms N] [--retries N]
   fleet recover  --models model-dir
   fleet stat     --models model-dir
   help
@@ -114,6 +118,18 @@ fleet serve --http replays the WAL on startup so acknowledged absorbs
 survive a crash. fleet recover replays and compacts a durable directory
 by hand, printing what each shard recovered. --access-log PATH appends
 one JSON line per HTTP request (endpoint, status, latency, shard).
+
+fleet route starts the model-free router tier over per-building backend
+processes (each a fleet serve --http): it mirrors their /v1/route_table
+inventories to route bit-identically to a single process, probes
+/healthz every I_MS ms (Down after FAIL failures, Up after RECOVER
+successes), trips a per-backend circuit breaker after TRIP consecutive
+request failures (half-open after COOLDOWN_MS), answers fallback
+requests by scatter-gather over live backends with a degraded marker,
+throttles per client IP at RATE req/s (burst BURST) with 429 +
+Retry-After, and — with --auth-token, here or on the backends — requires
+a bearer token on /v1/absorb and /v1/publish. --manifest DIR reads
+router.json from DIR instead of flags; explicit flags override it.
 ";
 
 fn fleet(args: &[String]) -> Result<String, String> {
@@ -121,10 +137,11 @@ fn fleet(args: &[String]) -> Result<String, String> {
         Some("simulate") => fleet_simulate(&args[1..]),
         Some("train") => fleet_train(&args[1..]),
         Some("serve") => fleet_serve(&args[1..]),
+        Some("route") => fleet_route(&args[1..]),
         Some("recover") => fleet_recover(&args[1..]),
         Some("stat") => fleet_stat(&args[1..]),
         other => Err(format!(
-            "fleet needs a subcommand (simulate|train|serve|recover|stat), got {other:?}\n{USAGE}"
+            "fleet needs a subcommand (simulate|train|serve|route|recover|stat), got {other:?}\n{USAGE}"
         )),
     }
 }
@@ -552,6 +569,7 @@ fn fleet_serve_http(flags: &Flags, models: &str, addr: &str) -> Result<String, S
         seed,
         handle_signals: true,
         access_log: flags.get("access-log").map(std::path::PathBuf::from),
+        auth_token: flags.get("auth-token").map(str::to_owned),
         ..ServeConfig::default()
     };
     let server = HttpServer::bind(fleet, addr, config).map_err(|e| format!("{addr}: {e}"))?;
@@ -595,6 +613,74 @@ fn fleet_serve_http(flags: &Flags, models: &str, addr: &str) -> Result<String, S
         "served {} requests: {} absorbs, {} auto-publishes, {} background refreshes\n",
         report.requests, report.absorbs, report.maintenance_publishes, report.maintenance_refreshes
     ))
+}
+
+/// `--backends [name=]host:port[,...]` → backend specs; bare addresses
+/// get positional names `backend-0`, `backend-1`, ….
+fn parse_backends(spec: &str) -> Result<Vec<BackendSpec>, String> {
+    let mut backends = Vec::new();
+    for (i, part) in spec.split(',').enumerate() {
+        let part = part.trim();
+        if part.is_empty() {
+            return Err(format!("--backends: empty entry in {spec:?}"));
+        }
+        let (name, addr) = match part.split_once('=') {
+            Some((name, addr)) if !name.is_empty() && !addr.is_empty() => {
+                (name.to_owned(), addr.to_owned())
+            }
+            Some(_) => return Err(format!("--backends: bad entry {part:?}")),
+            None => (format!("backend-{i}"), part.to_owned()),
+        };
+        backends.push(BackendSpec { name, addr });
+    }
+    Ok(backends)
+}
+
+/// Starts the model-free router tier: health-probed, breaker-guarded
+/// proxying of `/v1/*` to per-building `fleet serve --http` backends.
+/// Blocks until killed.
+fn fleet_route(args: &[String]) -> Result<String, String> {
+    let flags = Flags::parse(args)?;
+    let addr = flags.required("http")?;
+    let mut manifest = match flags.get("manifest") {
+        Some(dir) => grafics_core::read_router_manifest(dir).map_err(|e| format!("{dir}: {e}"))?,
+        None => RouterManifest::default(),
+    };
+    if let Some(spec) = flags.get("backends") {
+        manifest.backends = parse_backends(spec)?;
+    }
+    if manifest.backends.is_empty() {
+        return Err(
+            "router needs --backends [name=]host:port[,...] or a --manifest DIR whose \
+             router.json lists backends"
+                .to_owned(),
+        );
+    }
+    if let Some(spec) = flags.get("health") {
+        manifest.health = HealthPolicy::parse(spec).map_err(|e| format!("--health: {e}"))?;
+    }
+    if let Some(spec) = flags.get("breaker") {
+        manifest.breaker = BreakerPolicy::parse(spec).map_err(|e| format!("--breaker: {e}"))?;
+    }
+    if let Some(spec) = flags.get("rate-limit") {
+        manifest.rate_limit =
+            RateLimitPolicy::parse(spec).map_err(|e| format!("--rate-limit: {e}"))?;
+    }
+    if let Some(token) = flags.get("auth-token") {
+        manifest.auth_token = Some(token.to_owned());
+    }
+    let backends = manifest.backends.len();
+    let config = RouterConfig {
+        manifest,
+        backend_timeout: std::time::Duration::from_millis(flags.parse_or("deadline-ms", 2000)?),
+        retries: flags.parse_or("retries", 2)?,
+        ..RouterConfig::default()
+    };
+    let server = RouterServer::bind(config, addr).map_err(|e| format!("{addr}: {e}"))?;
+    let local = server.local_addr();
+    eprintln!("routing {backends} backend(s) on http://{local}");
+    let report = server.run().map_err(|e| e.to_string())?;
+    Ok(format!("routed {} request(s)\n", report.requests))
 }
 
 /// Replays and compacts a durable fleet directory by hand, printing what
@@ -681,6 +767,50 @@ mod tests {
         assert!(f.required("c").is_err());
         assert_eq!(f.parse_or("a", 0usize).unwrap(), 1);
         assert!(f.parse_or("b", 0usize).is_err());
+    }
+
+    #[test]
+    fn backends_parse_named_and_positional() {
+        let specs = parse_backends("a=127.0.0.1:1,127.0.0.1:2").unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(
+            (specs[0].name.as_str(), specs[0].addr.as_str()),
+            ("a", "127.0.0.1:1")
+        );
+        assert_eq!(specs[1].name, "backend-1");
+        assert!(parse_backends("").is_err());
+        assert!(parse_backends("a,=x").is_err());
+        assert!(parse_backends("=127.0.0.1:1").is_err());
+    }
+
+    #[test]
+    fn route_requires_backends_and_validates_policies() {
+        let err = run(&s(&["fleet", "route", "--http", "127.0.0.1:0"])).unwrap_err();
+        assert!(err.contains("--backends"), "{err}");
+        let err = run(&s(&[
+            "fleet",
+            "route",
+            "--http",
+            "127.0.0.1:0",
+            "--backends",
+            "127.0.0.1:1",
+            "--health",
+            "nope",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--health"), "{err}");
+        let err = run(&s(&[
+            "fleet",
+            "route",
+            "--http",
+            "127.0.0.1:0",
+            "--backends",
+            "127.0.0.1:1",
+            "--rate-limit",
+            "fast",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--rate-limit"), "{err}");
     }
 
     #[test]

@@ -70,7 +70,10 @@ use crate::wal::{
 };
 use crate::{record_rng, Grafics, GraficsError, GraficsServer, Prediction};
 use grafics_embed::OnlineScratch;
-use grafics_types::{BuildingId, DurabilityPolicy, FloorId, RecordId, SignalRecord};
+use grafics_types::{
+    BreakerPolicy, BuildingId, DurabilityPolicy, FloorId, HealthPolicy, RateLimitPolicy, RecordId,
+    SignalRecord,
+};
 use parking_lot::{Mutex, RwLock};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -1297,7 +1300,7 @@ impl GraficsFleet {
         seed: u64,
         threads: usize,
     ) -> Vec<Option<FleetPrediction>> {
-        self.serve_batch_impl(records, seed, threads, false)
+        self.serve_batch_impl(records, seed, threads, false, None)
     }
 
     /// [`GraficsFleet::serve_batch`] with the cross-shard broadcast
@@ -1315,7 +1318,59 @@ impl GraficsFleet {
         seed: u64,
         threads: usize,
     ) -> Vec<Option<FleetPrediction>> {
-        self.serve_batch_impl(records, seed, threads, true)
+        self.serve_batch_impl(records, seed, threads, true, None)
+    }
+
+    /// [`GraficsFleet::serve_batch`] with *explicit* per-record stream
+    /// indices: record `k` embeds with `record_rng(seed, indices[k])`
+    /// instead of `record_rng(seed, k)`. This lets a router tier split
+    /// one logical batch across backend processes and still reproduce
+    /// the single-process answer bit-for-bit — each backend serves its
+    /// sub-batch with the records' *original* positions.
+    /// `serve_batch(records, s, t)` equals
+    /// `serve_batch_indexed(records, &[0, 1, ..], s, t)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices.len() != records.len()`.
+    #[must_use]
+    pub fn serve_batch_indexed(
+        &self,
+        records: &[SignalRecord],
+        indices: &[u64],
+        seed: u64,
+        threads: usize,
+    ) -> Vec<Option<FleetPrediction>> {
+        assert_eq!(
+            indices.len(),
+            records.len(),
+            "one stream index per record required"
+        );
+        self.serve_batch_impl(records, seed, threads, false, Some(indices))
+    }
+
+    /// [`GraficsFleet::serve_batch_indexed`] with the cross-shard
+    /// broadcast fallback of [`GraficsFleet::serve_batch_with_fallback`]
+    /// (the fallback broadcast also uses the record's explicit stream
+    /// index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices.len() != records.len()`.
+    #[must_use]
+    pub fn serve_batch_indexed_with_fallback(
+        &self,
+        records: &[SignalRecord],
+        indices: &[u64],
+        seed: u64,
+        threads: usize,
+    ) -> Vec<Option<FleetPrediction>> {
+        assert_eq!(
+            indices.len(),
+            records.len(),
+            "one stream index per record required"
+        );
+        self.serve_batch_impl(records, seed, threads, true, Some(indices))
     }
 
     fn serve_batch_impl(
@@ -1324,12 +1379,22 @@ impl GraficsFleet {
         seed: u64,
         threads: usize,
         fallback: bool,
+        indices: Option<&[u64]>,
     ) -> Vec<Option<FleetPrediction>> {
         let mut out: Vec<Option<FleetPrediction>> = vec![None; records.len()];
         if records.is_empty() || self.shards.is_empty() {
             return out;
         }
         let snapshots = self.snapshots();
+        // Per-record RNG stream indices: positional by default, caller
+        // supplied for router-tier sub-batches.
+        let streams: Vec<usize> = match indices {
+            Some(idx) => idx
+                .iter()
+                .map(|i| usize::try_from(*i).unwrap_or(usize::MAX))
+                .collect(),
+            None => (0..records.len()).collect(),
+        };
         // Deterministic serial routing pass: shard index per record.
         let routes: Vec<Option<usize>> = records
             .iter()
@@ -1339,8 +1404,8 @@ impl GraficsFleet {
             })
             .collect();
 
-        let serve_chunk = |base: usize,
-                           record_chunk: &[SignalRecord],
+        let serve_chunk = |record_chunk: &[SignalRecord],
+                           stream_chunk: &[usize],
                            route_chunk: &[Option<usize>],
                            out_chunk: &mut [Option<FleetPrediction>]| {
             // One lazily-opened session per shard, reused across the
@@ -1352,18 +1417,19 @@ impl GraficsFleet {
                 .zip(route_chunk.iter().zip(out_chunk))
                 .enumerate()
             {
+                let stream = stream_chunk[k];
                 let Some(sidx) = *route else {
                     if fallback {
                         // Unroutable: broadcast, every shard on the same
                         // per-record stream. Rare, so fresh sessions are
                         // fine.
-                        *slot = broadcast_best(&snapshots, record, |_| record_rng(seed, base + k));
+                        *slot = broadcast_best(&snapshots, record, |_| record_rng(seed, stream));
                     }
                     continue;
                 };
                 let server = sessions[sidx]
                     .get_or_insert_with(|| GraficsServer::over(snapshots[sidx].1.clone()));
-                let mut rng = record_rng(seed, base + k);
+                let mut rng = record_rng(seed, stream);
                 *slot = server
                     .infer_with_margin(record, &mut rng)
                     .ok()
@@ -1379,19 +1445,21 @@ impl GraficsFleet {
 
         let workers = threads.clamp(1, records.len());
         if workers == 1 {
-            serve_chunk(0, records, &routes, &mut out);
+            serve_chunk(records, &streams, &routes, &mut out);
             return out;
         }
         let chunk = records.len().div_ceil(workers);
         rayon::scope(|scope| {
-            for (c, ((record_chunk, route_chunk), out_chunk)) in records
+            for (((record_chunk, stream_chunk), route_chunk), out_chunk) in records
                 .chunks(chunk)
+                .zip(streams.chunks(chunk))
                 .zip(routes.chunks(chunk))
                 .zip(out.chunks_mut(chunk))
-                .enumerate()
             {
                 let serve_chunk = &serve_chunk;
-                scope.spawn(move |_| serve_chunk(c * chunk, record_chunk, route_chunk, out_chunk));
+                scope.spawn(move |_| {
+                    serve_chunk(record_chunk, stream_chunk, route_chunk, out_chunk);
+                });
             }
         });
         out
@@ -1781,6 +1849,98 @@ fn read_manifest_at(dir: &Path) -> std::io::Result<FleetManifest> {
             })
         }
     }
+}
+
+/// One backend process in a routed fleet: a human-readable name plus the
+/// `host:port` its `grafics fleet serve --http` listener answers on.
+/// Which buildings it owns is *not* declared here — the router discovers
+/// (and re-discovers) that from the backend's own `/v1/route_table`, so
+/// the manifest cannot drift from reality.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackendSpec {
+    /// Stable backend name, used in `/metrics` labels and `/v1/stat`.
+    pub name: String,
+    /// `host:port` of the backend's HTTP listener.
+    pub addr: String,
+}
+
+/// The router-tier manifest (`router.json`): the backend registry plus
+/// the health/breaker/admission policies. Lives next to `fleet.json` in
+/// a fleet directory, or anywhere the operator points
+/// `grafics fleet route --manifest` at.
+///
+/// `auth_token` is optional; absent means the write endpoints are open
+/// (the vendored serde treats a missing field as `null`, and `Option`
+/// deserializes `null` as `None`, so older manifests load unchanged).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterManifest {
+    /// Manifest format version (currently 1).
+    pub version: u32,
+    /// The backend registry.
+    pub backends: Vec<BackendSpec>,
+    /// Active health-probe policy.
+    pub health: HealthPolicy,
+    /// Per-backend circuit-breaker policy.
+    pub breaker: BreakerPolicy,
+    /// Per-client admission control.
+    pub rate_limit: RateLimitPolicy,
+    /// Bearer token required on `/v1/absorb` and `/v1/publish`
+    /// (router *and* backends); `None` leaves writes open.
+    pub auth_token: Option<String>,
+}
+
+impl Default for RouterManifest {
+    fn default() -> Self {
+        RouterManifest {
+            version: ROUTER_MANIFEST_VERSION,
+            backends: Vec::new(),
+            health: HealthPolicy::default(),
+            breaker: BreakerPolicy::default(),
+            rate_limit: RateLimitPolicy::Off,
+            auth_token: None,
+        }
+    }
+}
+
+/// Current [`RouterManifest::version`].
+pub const ROUTER_MANIFEST_VERSION: u32 = 1;
+
+/// File name of the router manifest inside a fleet directory.
+const ROUTER_MANIFEST_FILE: &str = "router.json";
+
+/// Reads `router.json` from `dir`.
+///
+/// # Errors
+///
+/// Propagates the read error (including `NotFound` — unlike
+/// [`read_manifest`] there is no useful default: a router with zero
+/// backends serves nothing); a malformed manifest is `InvalidData`.
+pub fn read_router_manifest<P: AsRef<Path>>(dir: P) -> std::io::Result<RouterManifest> {
+    let path = dir.as_ref().join(ROUTER_MANIFEST_FILE);
+    let json = std::fs::read_to_string(&path)?;
+    serde_json::from_str::<RouterManifest>(&json).map_err(|e| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("{}: {e}", path.display()),
+        )
+    })
+}
+
+/// Writes `router.json` into `dir` (pretty-printed, atomic via
+/// write-then-rename so a crashed write never leaves a torn manifest).
+///
+/// # Errors
+///
+/// Propagates the write/rename error.
+pub fn write_router_manifest<P: AsRef<Path>>(
+    dir: P,
+    manifest: &RouterManifest,
+) -> std::io::Result<()> {
+    let dir = dir.as_ref();
+    let json = serde_json::to_string_pretty(manifest).map_err(std::io::Error::other)?;
+    let tmp = dir.join(format!("{ROUTER_MANIFEST_FILE}.tmp"));
+    std::fs::write(&tmp, json)?;
+    std::fs::rename(&tmp, dir.join(ROUTER_MANIFEST_FILE))
 }
 
 /// What [`GraficsFleet::recover`] did for one shard.

@@ -42,7 +42,8 @@ use grafics_cluster::{ClusterModel, ClusteringConfig, Linkage};
 use grafics_embed::{
     ElineTrainer, EmbedError, EmbeddingConfig, EmbeddingModel, Objective, OnlineScratch,
 };
-use grafics_graph::{BipartiteGraph, NegativeSampler, NodeIdx, WeightFunction};
+pub use grafics_graph::WeightFunction;
+use grafics_graph::{BipartiteGraph, NegativeSampler, NodeIdx};
 use grafics_types::{Dataset, FloorId, RecordId, SignalRecord};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -53,9 +54,10 @@ mod server;
 pub mod wal;
 
 pub use fleet::{
-    read_manifest, FleetError, FleetManifest, FleetPrediction, FleetStats, GraficsFleet,
-    MaintenancePolicy, OverlapRouter, RecoveryReport, RetentionPolicy, Router, RouterKind, Shard,
-    ShardRecovery, ShardStats, WeightedOverlapRouter, FLEET_MANIFEST_VERSION,
+    read_manifest, read_router_manifest, write_router_manifest, BackendSpec, FleetError,
+    FleetManifest, FleetPrediction, FleetStats, GraficsFleet, MaintenancePolicy, OverlapRouter,
+    RecoveryReport, RetentionPolicy, Router, RouterKind, RouterManifest, Shard, ShardRecovery,
+    ShardStats, WeightedOverlapRouter, FLEET_MANIFEST_VERSION, ROUTER_MANIFEST_VERSION,
 };
 pub use grafics_cluster::ClusterError;
 pub use grafics_cluster::Prediction;

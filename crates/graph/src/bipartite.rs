@@ -254,6 +254,14 @@ impl BipartiteGraph {
         self.mac_lookup.get(&mac).copied()
     }
 
+    /// Iterates over the MAC inventory: exactly the MACs
+    /// [`BipartiteGraph::mac_node`] resolves (what the fleet routers
+    /// consult), in unspecified order. Lets a router tier mirror a
+    /// building's AP inventory without holding the model.
+    pub fn macs(&self) -> impl Iterator<Item = MacAddr> + '_ {
+        self.mac_lookup.keys().copied()
+    }
+
     /// The node for a record, if present.
     #[must_use]
     pub fn record_node(&self, rid: RecordId) -> Option<NodeIdx> {

@@ -9,7 +9,7 @@
 //! [`GraficsFleet::serve_batch`]: grafics_core::GraficsFleet::serve_batch
 
 use crate::state::FleetState;
-use grafics_core::{FleetError, FleetPrediction};
+use grafics_core::{FleetError, FleetPrediction, RouterKind, WeightFunction};
 use grafics_types::{BuildingId, SignalRecord};
 use serde::{Deserialize, Serialize};
 
@@ -54,6 +54,38 @@ pub struct BatchBody {
     pub predictions: Vec<Option<PredictionBody>>,
     /// Count of non-null predictions.
     pub served: usize,
+    /// `true` when part of the fleet was unreachable while answering —
+    /// a router with Down backends excluded their shards, so `null`
+    /// slots may be transient. A single process always has the full
+    /// fleet in view and answers `false`.
+    pub degraded: bool,
+}
+
+/// One shard's routing inventory in a `GET /v1/route_table` response:
+/// enough for a router tier to reproduce this fleet's routing decision
+/// bit-for-bit without holding any model state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouteTableEntry {
+    /// The building this inventory belongs to.
+    pub building: u32,
+    /// The shard's publish epoch when the table was taken (a router can
+    /// poll `/v1/stat` epochs to notice staleness).
+    pub epoch: u64,
+    /// The published AP inventory: every MAC the fleet router would
+    /// count as an overlap, as raw 48-bit values, ascending.
+    pub macs: Vec<u64>,
+    /// The weight function of the shard's graph — what
+    /// `WeightedOverlap` routing scores with.
+    pub weight: WeightFunction,
+}
+
+/// `GET /v1/route_table` response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouteTableBody {
+    /// Which routing rule this fleet applies.
+    pub router: RouterKind,
+    /// Per-shard inventories, ascending by building id.
+    pub shards: Vec<RouteTableEntry>,
 }
 
 /// `POST /v1/absorb` response.
@@ -104,30 +136,51 @@ pub struct HealthBody {
     pub absorbs: u64,
 }
 
+/// `POST /v1/infer` request.
 #[derive(Deserialize)]
-struct InferRequest {
-    record: SignalRecord,
-    seed: Option<u64>,
-    fallback: Option<bool>,
+pub struct InferRequest {
+    /// The scan to serve.
+    pub record: SignalRecord,
+    /// RNG stream base seed (default 0).
+    pub seed: Option<u64>,
+    /// Broadcast to every shard when the router declines the record.
+    pub fallback: Option<bool>,
+    /// RNG stream index for the record (default 0). A router forwarding
+    /// record `i` of a batch sets `i` so the answer is bit-identical to
+    /// the single-process batch.
+    pub index: Option<u64>,
 }
 
+/// `POST /v1/infer_batch` request.
 #[derive(Deserialize)]
-struct InferBatchRequest {
-    records: Vec<SignalRecord>,
-    seed: Option<u64>,
-    threads: Option<usize>,
-    fallback: Option<bool>,
+pub struct InferBatchRequest {
+    /// The scans to serve, answered in order.
+    pub records: Vec<SignalRecord>,
+    /// RNG stream base seed (default 0).
+    pub seed: Option<u64>,
+    /// Worker threads for this batch (clamped to 1..=16).
+    pub threads: Option<usize>,
+    /// Broadcast unroutable records to every shard.
+    pub fallback: Option<bool>,
+    /// Per-record RNG stream indices (default `0..records.len()`). Set
+    /// by a router splitting one logical batch across backends.
+    pub indices: Option<Vec<u64>>,
 }
 
+/// `POST /v1/absorb` request.
 #[derive(Deserialize)]
-struct AbsorbRequest {
-    record: SignalRecord,
-    building: Option<u32>,
+pub struct AbsorbRequest {
+    /// The scan to absorb.
+    pub record: SignalRecord,
+    /// Absorb into this building, bypassing the router.
+    pub building: Option<u32>,
 }
 
+/// `POST /v1/publish` request.
 #[derive(Deserialize)]
-struct PublishRequest {
-    building: Option<u32>,
+pub struct PublishRequest {
+    /// Publish only this building (default: every shard).
+    pub building: Option<u32>,
 }
 
 /// An HTTP `(status, JSON body)` pair.
@@ -151,7 +204,7 @@ fn json_into<T: Serialize>(status: u16, value: &T, out: &mut String) -> u16 {
     status
 }
 
-fn error_body(status: u16, message: &str) -> ApiResult {
+pub(crate) fn error_body(status: u16, message: &str) -> ApiResult {
     (status, json_body(&serde_json::json!({ "error": message })))
 }
 
@@ -162,7 +215,7 @@ fn fill((status, body): ApiResult, out: &mut String) -> u16 {
     status
 }
 
-fn parse_json<T: serde::Deserialize>(body: &[u8]) -> Result<T, ApiResult> {
+pub(crate) fn parse_json<T: serde::Deserialize>(body: &[u8]) -> Result<T, ApiResult> {
     let text =
         std::str::from_utf8(body).map_err(|_| error_body(400, "request body is not UTF-8"))?;
     serde_json::from_str(text).map_err(|e| error_body(400, &format!("invalid JSON: {e}")))
@@ -170,7 +223,7 @@ fn parse_json<T: serde::Deserialize>(body: &[u8]) -> Result<T, ApiResult> {
 
 /// Re-validates a record that arrived over the wire (derived `serde`
 /// bypasses [`SignalRecord::new`]'s sort/dedup/non-empty invariants).
-fn sanitize(record: &SignalRecord) -> Result<SignalRecord, ApiResult> {
+pub(crate) fn sanitize(record: &SignalRecord) -> Result<SignalRecord, ApiResult> {
     SignalRecord::new(record.readings().to_vec())
         .map_err(|e| error_body(400, &format!("invalid record: {e}")))
 }
@@ -184,6 +237,24 @@ pub struct RequestMeta {
     pub shard: Option<u32>,
     /// `true` if a serving answer came from the broadcast fallback.
     pub fallback: bool,
+}
+
+/// Constant-time bearer-token check: `authorization` must be exactly
+/// `Bearer <token>`. The comparison XOR-folds over every byte of both
+/// strings (padded to the longer length) so a mismatch at byte 0 and a
+/// mismatch at byte N take the same time — no prefix oracle.
+#[must_use]
+pub fn bearer_token_matches(authorization: &str, token: &str) -> bool {
+    let presented = authorization.strip_prefix("Bearer ").unwrap_or("");
+    let a = presented.as_bytes();
+    let b = token.as_bytes();
+    let mut diff = a.len() ^ b.len();
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= usize::from(x ^ y);
+    }
+    diff == 0
 }
 
 /// Routes one request to its handler. Unknown paths get 404; known paths
@@ -209,27 +280,45 @@ pub fn dispatch_into(
     out: &mut String,
 ) -> (u16, &'static str) {
     let mut meta = RequestMeta::default();
-    dispatch_meta(state, method, path, body, out, &mut meta)
+    dispatch_meta(state, method, path, body, "", out, &mut meta)
 }
 
 /// [`dispatch_into`] that also reports [`RequestMeta`] — what the access
-/// log wants to know beyond the status.
+/// log wants to know beyond the status — and enforces bearer-token auth
+/// on the write endpoints when the state carries a token
+/// (`authorization` is the request's `Authorization` header verbatim,
+/// `""` when absent).
 #[must_use]
 pub fn dispatch_meta(
     state: &FleetState,
     method: &str,
     path: &str,
     body: &[u8],
+    authorization: &str,
     out: &mut String,
     meta: &mut RequestMeta,
 ) -> (u16, &'static str) {
     out.clear();
     *meta = RequestMeta::default();
     state.endpoints().count(path);
+    // Writes mutate fleet state; when a token is configured they must
+    // present it. Reads stay open — probers and dashboards keep working.
+    if matches!(path, "/v1/absorb" | "/v1/publish")
+        && state
+            .auth_token()
+            .is_some_and(|token| !bearer_token_matches(authorization, token))
+    {
+        let status = fill(
+            error_body(401, "missing or invalid bearer token on a write endpoint"),
+            out,
+        );
+        return (status, CONTENT_TYPE_JSON);
+    }
     let status = match (method, path) {
         ("GET", "/healthz") => healthz(state, out),
         ("GET", "/metrics") => return (metrics(state, out), CONTENT_TYPE_TEXT),
         ("GET", "/v1/stat") => json_into(200, &state.fleet().stats(), out),
+        ("GET", "/v1/route_table") => route_table(state, out),
         ("POST", "/v1/infer") => infer(state, body, out, meta).unwrap_or_else(|e| fill(e, out)),
         ("POST", "/v1/infer_batch") => {
             infer_batch(state, body, out).unwrap_or_else(|e| fill(e, out))
@@ -238,12 +327,33 @@ pub fn dispatch_meta(
         ("POST", "/v1/publish") => publish(state, body, out).unwrap_or_else(|e| fill(e, out)),
         (
             _,
-            "/healthz" | "/metrics" | "/v1/stat" | "/v1/infer" | "/v1/infer_batch" | "/v1/absorb"
-            | "/v1/publish",
+            "/healthz" | "/metrics" | "/v1/stat" | "/v1/route_table" | "/v1/infer"
+            | "/v1/infer_batch" | "/v1/absorb" | "/v1/publish",
         ) => fill(error_body(405, &format!("{method} not allowed here")), out),
         _ => fill(error_body(404, &format!("no route for {path}")), out),
     };
     (status, CONTENT_TYPE_JSON)
+}
+
+/// `GET /v1/route_table`: the fleet's routing rule plus each shard's
+/// published AP inventory — what a router tier mirrors to route without
+/// models.
+fn route_table(state: &FleetState, out: &mut String) -> u16 {
+    let fleet = state.fleet();
+    let router = fleet.manifest().router;
+    let mut shards = Vec::with_capacity(fleet.len());
+    for (id, snap) in fleet.snapshots() {
+        let graph = snap.graph();
+        let mut macs: Vec<u64> = graph.macs().map(grafics_types::MacAddr::as_u64).collect();
+        macs.sort_unstable();
+        shards.push(RouteTableEntry {
+            building: id.0,
+            epoch: fleet.shard(id).map_or(0, |s| s.epoch()),
+            macs,
+            weight: graph.weight_function(),
+        });
+    }
+    json_into(200, &RouteTableBody { router, shards }, out)
 }
 
 fn healthz(state: &FleetState, out: &mut String) -> u16 {
@@ -341,10 +451,15 @@ fn infer(
     let record = sanitize(&req.record)?;
     let seed = req.seed.unwrap_or(0);
     let records = [record];
+    let indices = [req.index.unwrap_or(0)];
     let preds = if req.fallback.unwrap_or(false) {
-        state.fleet().serve_batch_with_fallback(&records, seed, 1)
+        state
+            .fleet()
+            .serve_batch_indexed_with_fallback(&records, &indices, seed, 1)
     } else {
-        state.fleet().serve_batch(&records, seed, 1)
+        state
+            .fleet()
+            .serve_batch_indexed(&records, &indices, seed, 1)
     };
     match &preds[0] {
         Some(p) => {
@@ -370,12 +485,20 @@ fn infer_batch(state: &FleetState, body: &[u8], out: &mut String) -> Result<u16,
     // shared rayon pool; the cap keeps one request from claiming an
     // unbounded number of workers.
     let threads = req.threads.unwrap_or(1).clamp(1, 16);
-    let preds = if req.fallback.unwrap_or(false) {
-        state
-            .fleet()
-            .serve_batch_with_fallback(&records, seed, threads)
-    } else {
-        state.fleet().serve_batch(&records, seed, threads)
+    if req
+        .indices
+        .as_ref()
+        .is_some_and(|idx| idx.len() != records.len())
+    {
+        return Err(error_body(400, "indices length must match records length"));
+    }
+    let fallback = req.fallback.unwrap_or(false);
+    let fleet = state.fleet();
+    let preds = match (&req.indices, fallback) {
+        (Some(idx), true) => fleet.serve_batch_indexed_with_fallback(&records, idx, seed, threads),
+        (Some(idx), false) => fleet.serve_batch_indexed(&records, idx, seed, threads),
+        (None, true) => fleet.serve_batch_with_fallback(&records, seed, threads),
+        (None, false) => fleet.serve_batch(&records, seed, threads),
     };
     let predictions: Vec<Option<PredictionBody>> = preds
         .iter()
@@ -387,6 +510,7 @@ fn infer_batch(state: &FleetState, body: &[u8], out: &mut String) -> Result<u16,
         &BatchBody {
             predictions,
             served,
+            degraded: false,
         },
         out,
     ))

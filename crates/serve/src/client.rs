@@ -31,6 +31,9 @@ pub struct HttpClient {
     /// Reconnect-and-retry attempts actually performed (for tests and
     /// diagnostics).
     retries_performed: u64,
+    /// Bearer token attached to every request (write endpoints require
+    /// it when the server is token-protected).
+    auth_token: Option<String>,
 }
 
 impl HttpClient {
@@ -60,7 +63,14 @@ impl HttpClient {
             max_retries: 3,
             backoff_base: Duration::from_millis(25),
             retries_performed: 0,
+            auth_token: None,
         })
+    }
+
+    /// Attaches `Authorization: Bearer <token>` to every request
+    /// (`None` stops sending the header).
+    pub fn set_auth_token(&mut self, token: Option<String>) {
+        self.auth_token = token;
     }
 
     /// Adjusts the socket timeouts (applied to the live connection and
@@ -190,9 +200,13 @@ impl HttpClient {
         let body = body.unwrap_or("");
         write!(
             self.writer,
-            "{method} {path} HTTP/1.1\r\nHost: grafics\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+            "{method} {path} HTTP/1.1\r\nHost: grafics\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n",
             body.len(),
         )?;
+        if let Some(token) = &self.auth_token {
+            write!(self.writer, "Authorization: Bearer {token}\r\n")?;
+        }
+        write!(self.writer, "\r\n{body}")?;
         self.writer.flush()?;
         self.read_response()
     }
@@ -227,6 +241,16 @@ impl HttpClient {
                 "connection closed before response",
             ));
         }
+        if !line.ends_with('\n') {
+            // Bytes arrived but the line never terminated: the response
+            // was torn mid-status-line. Without this check a tear after
+            // `HTTP/1.1 200` would parse as a bodyless 200 — a phantom
+            // ack for a write whose outcome is actually unknown.
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "response torn mid-status-line",
+            ));
+        }
         // Skip any interim 1xx responses (the server sends 100 Continue
         // only when asked; tolerate it anyway).
         loop {
@@ -238,7 +262,14 @@ impl HttpClient {
             let mut content_length = 0usize;
             loop {
                 let mut header = String::new();
-                self.reader.read_line(&mut header)?;
+                if self.reader.read_line(&mut header)? == 0 || !header.ends_with('\n') {
+                    // EOF inside the header block is a tear, not an
+                    // end-of-headers: the blank separator line never came.
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "response torn mid-headers",
+                    ));
+                }
                 let header = header.trim_end();
                 if header.is_empty() {
                     break;

@@ -35,6 +35,9 @@ pub struct Request {
     pub body: Vec<u8>,
     /// Whether the client asked to keep the connection open.
     pub keep_alive: bool,
+    /// The `Authorization` header verbatim, if the client sent one
+    /// (empty = absent; reused like the other buffers).
+    pub authorization: String,
     /// Reused buffer for the raw request line + headers.
     head: Vec<u8>,
 }
@@ -160,6 +163,7 @@ fn parse_into<R: BufRead, W: Write>(
     let mut content_length = 0usize;
     let mut keep_alive = http11;
     let mut expect_continue = false;
+    req.authorization.clear();
     for line in lines {
         if line.is_empty() {
             continue; // the blank terminator
@@ -188,6 +192,7 @@ fn parse_into<R: BufRead, W: Write>(
                 }
             }
             "expect" => expect_continue = value.eq_ignore_ascii_case("100-continue"),
+            "authorization" => req.authorization.push_str(value),
             _ => {}
         }
     }
@@ -261,14 +266,18 @@ pub fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
+        401 => "Unauthorized",
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "",
     }
 }
@@ -300,13 +309,34 @@ pub fn write_response_typed<W: Write>(
     body: &str,
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    write_response_extra(writer, status, content_type, &[], body, keep_alive)
+}
+
+/// [`write_response_typed`] with extra response headers, each a
+/// `(name, value)` pair — e.g. the `Retry-After` hint on a 429.
+///
+/// # Errors
+///
+/// Propagates the underlying IO error (the connection is then dropped).
+pub fn write_response_extra<W: Write>(
+    writer: &mut W,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
     write!(
         writer,
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         reason(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     )?;
+    for (name, value) in extra_headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    writer.write_all(b"\r\n")?;
     writer.write_all(body.as_bytes())?;
     writer.flush()
 }
@@ -379,6 +409,37 @@ mod tests {
             parse("POST /x HTTP/1.1\r\nContent-Length: many\r\n\r\n"),
             Err(RequestError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn captures_authorization_header() {
+        let req = parse("GET /v1/stat HTTP/1.1\r\nAuthorization: Bearer sesame\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.authorization, "Bearer sesame");
+        let req = parse("GET /v1/stat HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert!(req.authorization.is_empty());
+    }
+
+    #[test]
+    fn extra_headers_are_emitted() {
+        let mut out = Vec::new();
+        write_response_extra(
+            &mut out,
+            429,
+            "application/json",
+            &[("Retry-After", "1")],
+            "{}",
+            true,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
     }
 
     #[test]

@@ -81,16 +81,25 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod chaos;
 mod client;
 mod daemon;
+pub mod health;
 pub mod http;
+pub mod router;
 mod server;
 mod state;
 
 pub use api::{
     AbsorbBody, BatchBody, EpochBody, HealthBody, PredictionBody, PublishBody, RequestMeta,
+    RouteTableBody, RouteTableEntry,
 };
+pub use chaos::{ChaosProxy, Fault};
 pub use client::HttpClient;
 pub use daemon::{MaintenanceDaemon, MaintenanceReport};
+pub use health::{BackendStatus, Breaker, ProbeOutcome};
+pub use router::{
+    RouterConfig, RouterHandle, RouterReport, RouterRunning, RouterServer, RouterState,
+};
 pub use server::{HttpServer, RunningServer, ServeConfig, ServeReport, ServerHandle};
 pub use state::{CadenceSignal, FleetState};

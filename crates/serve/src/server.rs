@@ -51,6 +51,9 @@ pub struct ServeConfig {
     /// method, status, latency µs, answering shard, fallback flag)
     /// appended to this file. `None` disables logging entirely.
     pub access_log: Option<PathBuf>,
+    /// Bearer token required on `/v1/absorb` and `/v1/publish` (401
+    /// without it, constant-time compare). `None` leaves writes open.
+    pub auth_token: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +68,7 @@ impl Default for ServeConfig {
             maintenance_tick: Duration::from_millis(100),
             handle_signals: false,
             access_log: None,
+            auth_token: None,
         }
     }
 }
@@ -119,9 +123,11 @@ impl HttpServer {
         config: ServeConfig,
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
+        let mut state = FleetState::new(fleet, config.seed);
+        state.set_auth_token(config.auth_token.clone());
         Ok(HttpServer {
             listener,
-            state: Arc::new(FleetState::new(fleet, config.seed)),
+            state: Arc::new(state),
             config,
             shutdown: Arc::new(AtomicBool::new(false)),
         })
@@ -342,6 +348,7 @@ fn handle_connection(
                     &req.method,
                     &req.path,
                     &req.body,
+                    &req.authorization,
                     &mut response,
                     &mut meta,
                 );

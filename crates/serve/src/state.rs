@@ -27,6 +27,8 @@ pub struct FleetState {
     recovering: AtomicBool,
     /// Crash recoveries this fleet has been through (`recoveries_total`).
     recoveries: AtomicU64,
+    /// Bearer token required on the write endpoints; `None` = open.
+    auth_token: Option<String>,
 }
 
 impl FleetState {
@@ -44,7 +46,20 @@ impl FleetState {
             endpoints: EndpointCounters::default(),
             recovering: AtomicBool::new(false),
             recoveries: AtomicU64::new(0),
+            auth_token: None,
         }
+    }
+
+    /// Requires `Bearer <token>` on `/v1/absorb` and `/v1/publish`
+    /// (`None` leaves writes open). Set before the state is shared.
+    pub fn set_auth_token(&mut self, token: Option<String>) {
+        self.auth_token = token;
+    }
+
+    /// The configured write-endpoint bearer token, if any.
+    #[must_use]
+    pub fn auth_token(&self) -> Option<&str> {
+        self.auth_token.as_deref()
     }
 
     /// Resumes the absorb sequence at `next` (from
@@ -154,6 +169,7 @@ pub struct EndpointCounters {
     absorb: AtomicU64,
     publish: AtomicU64,
     stat: AtomicU64,
+    route_table: AtomicU64,
     healthz: AtomicU64,
     metrics: AtomicU64,
     other: AtomicU64,
@@ -169,6 +185,7 @@ impl EndpointCounters {
             "/v1/absorb" => &self.absorb,
             "/v1/publish" => &self.publish,
             "/v1/stat" => &self.stat,
+            "/v1/route_table" => &self.route_table,
             "/healthz" => &self.healthz,
             "/metrics" => &self.metrics,
             _ => &self.other,
@@ -178,7 +195,7 @@ impl EndpointCounters {
 
     /// `(endpoint label, count)` snapshot in stable order.
     #[must_use]
-    pub fn snapshot(&self) -> [(&'static str, u64); 8] {
+    pub fn snapshot(&self) -> [(&'static str, u64); 9] {
         let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
         [
             ("infer", get(&self.infer)),
@@ -186,6 +203,7 @@ impl EndpointCounters {
             ("absorb", get(&self.absorb)),
             ("publish", get(&self.publish)),
             ("stat", get(&self.stat)),
+            ("route_table", get(&self.route_table)),
             ("healthz", get(&self.healthz)),
             ("metrics", get(&self.metrics)),
             ("other", get(&self.other)),

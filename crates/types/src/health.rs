@@ -1,0 +1,351 @@
+//! Health, failover, and admission-control policy types for the router
+//! tier.
+//!
+//! The router itself lives in `grafics-serve`; this crate only owns the
+//! *policy* vocabulary so that the manifest (`router.json`), the CLI and
+//! the serve tier all speak the same types without a dependency cycle —
+//! the same split used for [`crate::DurabilityPolicy`].
+
+use serde::{Deserialize, Serialize};
+
+/// Liveness of one backend process as seen by the router's prober.
+///
+/// Transitions are driven by active `/healthz` probes (see
+/// [`HealthPolicy`]): `fail_threshold` consecutive probe failures demote
+/// a backend to [`BackendState::Down`]; `recover_threshold` consecutive
+/// successes promote it back to [`BackendState::Up`]. A backend that
+/// answers probes but reports itself busy (HTTP 503, e.g. during WAL
+/// replay) is [`BackendState::Degraded`]: alive, excluded from routing,
+/// re-admitted without the full recover ladder once it reports healthy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackendState {
+    /// Probes succeed; the backend receives traffic.
+    #[default]
+    Up,
+    /// The backend answers probes but reports itself not ready (503
+    /// healthz, e.g. recovering its WAL). No traffic is routed to it,
+    /// but its shards count as *transiently* missing, not lost.
+    Degraded,
+    /// Probes fail outright (connect refused, timeout). Its shards are
+    /// excluded and responses touching them carry a `degraded` marker.
+    Down,
+}
+
+impl BackendState {
+    /// Stable lower-case name, used in `/metrics` labels and `/v1/stat`.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BackendState::Up => "up",
+            BackendState::Degraded => "degraded",
+            BackendState::Down => "down",
+        }
+    }
+
+    /// `true` when the router may send this backend traffic.
+    #[must_use]
+    pub fn is_routable(&self) -> bool {
+        matches!(self, BackendState::Up)
+    }
+}
+
+/// Active health-checking policy: how often the router probes each
+/// backend's `/healthz`, how long one probe may take, and how many
+/// consecutive results flip the backend's [`BackendState`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthPolicy {
+    /// Milliseconds between probe rounds (`0` is clamped to 1).
+    pub probe_interval_ms: u64,
+    /// Per-probe timeout in milliseconds (`0` is clamped to 1).
+    pub probe_timeout_ms: u64,
+    /// Consecutive probe failures before a backend is marked Down
+    /// (`0` is clamped to 1).
+    pub fail_threshold: u32,
+    /// Consecutive probe successes before a Down backend is marked Up
+    /// (`0` is clamped to 1).
+    pub recover_threshold: u32,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            probe_interval_ms: 500,
+            probe_timeout_ms: 250,
+            fail_threshold: 3,
+            recover_threshold: 2,
+        }
+    }
+}
+
+impl HealthPolicy {
+    /// Probe interval with the degenerate `0` clamped to 1 ms.
+    #[must_use]
+    pub fn interval_ms(&self) -> u64 {
+        self.probe_interval_ms.max(1)
+    }
+
+    /// Probe timeout with the degenerate `0` clamped to 1 ms.
+    #[must_use]
+    pub fn timeout_ms(&self) -> u64 {
+        self.probe_timeout_ms.max(1)
+    }
+
+    /// Failure threshold with the degenerate `0` clamped to 1.
+    #[must_use]
+    pub fn failures_to_down(&self) -> u32 {
+        self.fail_threshold.max(1)
+    }
+
+    /// Recovery threshold with the degenerate `0` clamped to 1.
+    #[must_use]
+    pub fn successes_to_up(&self) -> u32 {
+        self.recover_threshold.max(1)
+    }
+
+    /// Parses the CLI spelling `INTERVAL_MS/TIMEOUT_MS/FAIL/RECOVER`
+    /// (e.g. `500/250/3/2`), or `default`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown spellings.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let spec = spec.trim();
+        if spec.eq_ignore_ascii_case("default") {
+            return Ok(HealthPolicy::default());
+        }
+        let bad = || {
+            format!("bad health policy {spec:?} (expected INTERVAL_MS/TIMEOUT_MS/FAIL/RECOVER or default)")
+        };
+        let mut parts = spec.split('/');
+        let next_u64 = |parts: &mut std::str::Split<'_, char>| {
+            parts
+                .next()
+                .and_then(|p| p.trim().parse::<u64>().ok())
+                .ok_or_else(bad)
+        };
+        let interval = next_u64(&mut parts)?;
+        let timeout = next_u64(&mut parts)?;
+        let fail = next_u64(&mut parts)?;
+        let recover = next_u64(&mut parts)?;
+        if parts.next().is_some() {
+            return Err(bad());
+        }
+        Ok(HealthPolicy {
+            probe_interval_ms: interval,
+            probe_timeout_ms: timeout,
+            fail_threshold: u32::try_from(fail).map_err(|_| bad())?,
+            recover_threshold: u32::try_from(recover).map_err(|_| bad())?,
+        })
+    }
+}
+
+/// Per-backend circuit-breaker policy. Independent of the prober: the
+/// breaker reacts to *request* failures on the hot path, so a backend
+/// that dies between probe rounds stops costing connect timeouts after
+/// `trip_threshold` consecutive request failures. After `cooldown_ms`
+/// the breaker goes half-open: exactly one trial request is let through,
+/// and its outcome closes or re-trips the breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakerPolicy {
+    /// Consecutive request failures that trip the breaker open
+    /// (`0` is clamped to 1).
+    pub trip_threshold: u32,
+    /// Milliseconds the breaker stays open before allowing a half-open
+    /// trial request.
+    pub cooldown_ms: u64,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        BreakerPolicy {
+            trip_threshold: 3,
+            cooldown_ms: 500,
+        }
+    }
+}
+
+impl BreakerPolicy {
+    /// Trip threshold with the degenerate `0` clamped to 1.
+    #[must_use]
+    pub fn failures_to_trip(&self) -> u32 {
+        self.trip_threshold.max(1)
+    }
+
+    /// Parses the CLI spelling `TRIP/COOLDOWN_MS` (e.g. `3/500`), or
+    /// `default`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown spellings.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let spec = spec.trim();
+        if spec.eq_ignore_ascii_case("default") {
+            return Ok(BreakerPolicy::default());
+        }
+        let bad = || format!("bad breaker policy {spec:?} (expected TRIP/COOLDOWN_MS or default)");
+        let (trip, cooldown) = spec.split_once('/').ok_or_else(bad)?;
+        Ok(BreakerPolicy {
+            trip_threshold: trip.trim().parse().map_err(|_| bad())?,
+            cooldown_ms: cooldown.trim().parse().map_err(|_| bad())?,
+        })
+    }
+}
+
+/// Per-client admission control on the router: a token bucket keyed by
+/// peer IP. Each client earns `rate_per_sec` tokens per second up to a
+/// burst capacity of `burst`; a request costs one token, and an empty
+/// bucket yields HTTP 429 with a `Retry-After` hint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RateLimitPolicy {
+    /// No admission control (the historical behaviour).
+    #[default]
+    Off,
+    /// Token bucket per peer IP.
+    PerClient {
+        /// Sustained requests per second each client may issue
+        /// (`0` is clamped to 1).
+        rate_per_sec: u32,
+        /// Bucket capacity: how far above the sustained rate a client
+        /// may burst (`0` is clamped to 1).
+        burst: u32,
+    },
+}
+
+impl RateLimitPolicy {
+    /// `true` when no admission control is applied.
+    #[must_use]
+    pub fn is_off(&self) -> bool {
+        matches!(self, RateLimitPolicy::Off)
+    }
+
+    /// `(rate_per_sec, burst)` with degenerate zeros clamped to 1, if
+    /// the policy is active.
+    #[must_use]
+    pub fn per_client(&self) -> Option<(u32, u32)> {
+        match self {
+            RateLimitPolicy::Off => None,
+            RateLimitPolicy::PerClient {
+                rate_per_sec,
+                burst,
+            } => Some(((*rate_per_sec).max(1), (*burst).max(1))),
+        }
+    }
+
+    /// Parses the CLI spelling: `off` or `RATE/BURST` (e.g. `50/100`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown spellings.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let spec = spec.trim();
+        if spec.eq_ignore_ascii_case("off") {
+            return Ok(RateLimitPolicy::Off);
+        }
+        let bad = || format!("bad rate-limit policy {spec:?} (expected off | RATE/BURST)");
+        let (rate, burst) = spec.split_once('/').ok_or_else(bad)?;
+        Ok(RateLimitPolicy::PerClient {
+            rate_per_sec: rate.trim().parse().map_err(|_| bad())?,
+            burst: burst.trim().parse().map_err(|_| bad())?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn health_parse_round_trip() {
+        assert_eq!(HealthPolicy::parse("default"), Ok(HealthPolicy::default()));
+        assert_eq!(
+            HealthPolicy::parse("100/50/5/1"),
+            Ok(HealthPolicy {
+                probe_interval_ms: 100,
+                probe_timeout_ms: 50,
+                fail_threshold: 5,
+                recover_threshold: 1,
+            })
+        );
+        assert!(HealthPolicy::parse("100/50/5").is_err());
+        assert!(HealthPolicy::parse("100/50/5/1/9").is_err());
+        assert!(HealthPolicy::parse("fast").is_err());
+    }
+
+    #[test]
+    fn breaker_and_rate_limit_parse() {
+        assert_eq!(
+            BreakerPolicy::parse("5/250"),
+            Ok(BreakerPolicy {
+                trip_threshold: 5,
+                cooldown_ms: 250,
+            })
+        );
+        assert!(BreakerPolicy::parse("5").is_err());
+        assert_eq!(RateLimitPolicy::parse("off"), Ok(RateLimitPolicy::Off));
+        assert_eq!(
+            RateLimitPolicy::parse("50/100"),
+            Ok(RateLimitPolicy::PerClient {
+                rate_per_sec: 50,
+                burst: 100,
+            })
+        );
+        assert!(RateLimitPolicy::parse("many").is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let json = serde_json::to_string(&HealthPolicy::default()).unwrap();
+        let back: HealthPolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, HealthPolicy::default());
+
+        for state in [BackendState::Up, BackendState::Degraded, BackendState::Down] {
+            let json = serde_json::to_string(&state).unwrap();
+            let back: BackendState = serde_json::from_str(&json).unwrap();
+            assert_eq!(state, back);
+        }
+
+        for policy in [
+            RateLimitPolicy::Off,
+            RateLimitPolicy::PerClient {
+                rate_per_sec: 10,
+                burst: 20,
+            },
+        ] {
+            let json = serde_json::to_string(&policy).unwrap();
+            let back: RateLimitPolicy = serde_json::from_str(&json).unwrap();
+            assert_eq!(policy, back);
+        }
+    }
+
+    #[test]
+    fn degenerate_knobs_clamp() {
+        let zero = HealthPolicy {
+            probe_interval_ms: 0,
+            probe_timeout_ms: 0,
+            fail_threshold: 0,
+            recover_threshold: 0,
+        };
+        assert_eq!(zero.interval_ms(), 1);
+        assert_eq!(zero.timeout_ms(), 1);
+        assert_eq!(zero.failures_to_down(), 1);
+        assert_eq!(zero.successes_to_up(), 1);
+        assert_eq!(
+            BreakerPolicy {
+                trip_threshold: 0,
+                cooldown_ms: 0,
+            }
+            .failures_to_trip(),
+            1
+        );
+        assert_eq!(
+            RateLimitPolicy::PerClient {
+                rate_per_sec: 0,
+                burst: 0,
+            }
+            .per_client(),
+            Some((1, 1))
+        );
+        assert!(BackendState::Up.is_routable());
+        assert!(!BackendState::Degraded.is_routable());
+    }
+}

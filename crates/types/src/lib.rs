@@ -34,6 +34,7 @@ mod building_id;
 mod dataset;
 mod durability;
 mod error;
+mod health;
 pub mod kernels;
 mod mac;
 mod matrix;
@@ -44,6 +45,7 @@ pub use building_id::BuildingId;
 pub use dataset::{Dataset, DatasetStats, Split};
 pub use durability::DurabilityPolicy;
 pub use error::TypesError;
+pub use health::{BackendState, BreakerPolicy, HealthPolicy, RateLimitPolicy};
 pub use mac::MacAddr;
 pub use matrix::RowMatrix;
 pub use record::{FloorId, Reading, RecordId, Sample, SignalRecord};
