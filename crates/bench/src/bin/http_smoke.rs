@@ -201,6 +201,7 @@ fn main() {
         "qps": qps_single,
         "ratio_vs_in_process": ratio_single,
         "p50_us": percentile(&latencies_us, 0.50),
+        "p95_us": percentile(&latencies_us, 0.95),
         "p99_us": percentile(&latencies_us, 0.99),
     });
     let http_batch = serde_json::json!({

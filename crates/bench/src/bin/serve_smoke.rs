@@ -9,13 +9,18 @@
 //!
 //! - **incremental** — [`grafics_core::GraficsServer`] over the model's
 //!   incrementally maintained sampler: O(deg + log n) per query;
+//! - **adaptive** — the same engine under the deployment-tunable fast
+//!   policy (adaptive refinement budget stopping on a decisive top-2
+//!   centroid margin, f32 centroid sweep with f64 re-score), with
+//!   p50/p95/p99 per-query latency, the early-stop rate, and the floor
+//!   agreement against the incremental arm;
 //! - **rebuild** — a faithful reference reproduction of the pre-PR
 //!   per-query procedure: the O(n) `d_z^{3/4}` sweep + alias-table
 //!   construction *and* the historical serial embedding kernels
 //!   (exact-`exp` sigmoid, two-RNG-draw alias sampling, per-query
 //!   allocations), as `Grafics::infer` ran before the serving engine.
 //!
-//! The win is algorithmic, not parallelism: both paths run on one thread.
+//! The win is algorithmic, not parallelism: every path runs one thread.
 //!
 //! ```sh
 //! cargo run --release -p grafics-bench --bin serve_smoke [-- --queries N --sizes 5000,20000]
@@ -26,7 +31,9 @@
 //! per-query cost while costing CI minutes next to `fleet_smoke`; pass
 //! `--sizes` explicitly to re-measure it.
 
-use grafics_core::{Grafics, GraficsConfig, Prediction};
+use grafics_core::{
+    Grafics, GraficsConfig, GraficsServer, MatchPrecision, OnlineBudget, Prediction, ServingPolicy,
+};
 use grafics_graph::{AliasTable, BipartiteGraph, NodeIdx};
 use grafics_types::SignalRecord;
 
@@ -141,6 +148,14 @@ fn flag(args: &[String], name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx]
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let queries = flag(&args, "--queries", 200);
@@ -188,15 +203,60 @@ fn main() {
         }
         let nodes = model.graph().node_capacity();
 
-        // Incremental path: shared sampler, session scratch.
+        // Incremental path: shared sampler, session scratch, historical
+        // fixed budget + f64 matching.
         let mut server = model.server();
         let t = Instant::now();
         let mut served = 0usize;
+        let mut inc_lat_us: Vec<f64> = Vec::with_capacity(query_set.len());
+        let mut inc_floors = Vec::with_capacity(query_set.len());
         for (i, q) in query_set.iter().enumerate() {
             let mut qrng = ChaCha8Rng::seed_from_u64(i as u64);
-            served += usize::from(server.infer(q, &mut qrng).is_ok());
+            let tq = Instant::now();
+            let pred = server.infer(q, &mut qrng).ok();
+            inc_lat_us.push(1e6 * tq.elapsed().as_secs_f64());
+            served += usize::from(pred.is_some());
+            inc_floors.push(pred.map(|p| p.floor));
         }
         let incremental_secs = t.elapsed().as_secs_f64();
+        inc_lat_us.sort_by(f64::total_cmp);
+
+        // Adaptive + f32 path: the deployment-tunable fast configuration —
+        // refinement stops once the top-2 centroid margin is decisive,
+        // matching sweeps in f32 with an f64 re-score of the shortlist.
+        let policy = ServingPolicy {
+            budget: Some(OnlineBudget::Adaptive {
+                max_spe: 40,
+                min_spe: 10,
+                margin_ratio: 0.25,
+            }),
+            precision: Some(MatchPrecision::F32Refined),
+        };
+        let mut adaptive_server = GraficsServer::with_policy(&model, policy);
+        let t = Instant::now();
+        let mut served_adaptive = 0usize;
+        let mut agree = 0usize;
+        let mut ada_lat_us: Vec<f64> = Vec::with_capacity(query_set.len());
+        for (i, q) in query_set.iter().enumerate() {
+            let mut qrng = ChaCha8Rng::seed_from_u64(i as u64);
+            let tq = Instant::now();
+            let floor = adaptive_server.infer(q, &mut qrng).ok().map(|p| p.floor);
+            ada_lat_us.push(1e6 * tq.elapsed().as_secs_f64());
+            served_adaptive += usize::from(floor.is_some());
+            agree += usize::from(floor.is_some() && floor == inc_floors[i]);
+        }
+        let adaptive_secs = t.elapsed().as_secs_f64();
+        ada_lat_us.sort_by(f64::total_cmp);
+        let counters = adaptive_server.counters();
+        assert_eq!(
+            served, served_adaptive,
+            "adaptive arm must serve the same record set"
+        );
+        let agreement = agree as f64 / served.max(1) as f64;
+        assert!(
+            agreement >= 0.9,
+            "adaptive+f32 floors must track the fixed path: {agreement:.3}"
+        );
 
         // Historical rebuild-per-query path (see `legacy_infer`).
         let t = Instant::now();
@@ -210,6 +270,7 @@ fn main() {
         assert_eq!(served, served_rebuild, "paths must serve the same set");
         let qps_incremental = queries as f64 / incremental_secs;
         let qps_rebuild = queries as f64 / rebuild_secs;
+        let early_stop_rate = counters.early_stops as f64 / served.max(1) as f64;
         points.push(serde_json::json!({
             "nodes": nodes,
             "edges": model.graph().edge_count(),
@@ -218,6 +279,16 @@ fn main() {
             "qps_incremental": qps_incremental,
             "qps_rebuild_per_query": qps_rebuild,
             "us_per_query_incremental": 1e6 * incremental_secs / queries as f64,
+            "incremental_p50_us": percentile(&inc_lat_us, 0.50),
+            "incremental_p95_us": percentile(&inc_lat_us, 0.95),
+            "incremental_p99_us": percentile(&inc_lat_us, 0.99),
+            "us_per_query_adaptive": 1e6 * adaptive_secs / queries as f64,
+            "adaptive_p50_us": percentile(&ada_lat_us, 0.50),
+            "adaptive_p95_us": percentile(&ada_lat_us, 0.95),
+            "adaptive_p99_us": percentile(&ada_lat_us, 0.99),
+            "adaptive_early_stop_rate": early_stop_rate,
+            "adaptive_floor_agreement": agreement,
+            "speedup_adaptive_vs_incremental": incremental_secs / adaptive_secs,
             "us_per_query_rebuild": 1e6 * rebuild_secs / queries as f64,
             "speedup": qps_incremental / qps_rebuild,
         }));

@@ -1,13 +1,53 @@
-//! Accuracy of online inference vs `online_samples_per_edge` — the
-//! evidence behind `GraficsConfig::serving()`'s per-query budget (40):
-//! floor accuracy stays flat from 200 down to ~40 and only degrades
-//! below ~30, on both an easy corpus (3-floor office, 4 labels/floor)
-//! and a hard one (5-floor mall, 2 labels/floor).
+//! Accuracy of online inference vs the per-query refinement budget — the
+//! evidence behind `GraficsConfig::serving()`'s fixed budget (40) and the
+//! adaptive early-stop policy riding on top of it.
+//!
+//! Two sweeps over each corpus (easy 3-floor office with 4 labels/floor,
+//! hard 5-floor mall with 2 labels/floor), printed as JSON:
+//!
+//! - **fixed** — the historical `online_samples_per_edge` grid
+//!   {200, 120, 60, 40, 30, 20, 10}: accuracy stays flat down to ~40 and
+//!   only degrades below ~30.
+//! - **adaptive** — the `margin_ratio × min_spe` grid at the serving
+//!   ceiling (`max_spe = 40`): each cell reports mean/min accuracy, the
+//!   early-stop rate, and the mean refinement samples actually run per
+//!   served query. Every cell reports an `in_envelope` flag (within 5
+//!   points of the fixed-40 baseline it short-circuits); the flag is
+//!   *asserted* only for the recommended region `min_spe >= 10` — the
+//!   sweep's point is that probing the margin after just 5 samples/edge
+//!   is too eager on hard corpora (mall drops ~9 points there), while
+//!   every `min_spe >= 10` cell holds on both corpora.
+//!
+//! Models are trained once per (corpus, seed) — the budget knobs are pure
+//! serving-session state ([`ServingPolicy`]), so every cell reuses the
+//! same trained model.
 
-use grafics_core::{Grafics, GraficsConfig};
+use grafics_core::{Grafics, GraficsConfig, GraficsServer, OnlineBudget, ServingPolicy};
 use grafics_data::BuildingModel;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+
+const SEEDS: [u64; 5] = [1, 2, 3, 4, 5];
+const MAX_SPE: usize = 40;
+
+/// Accuracy of one serving policy over one trained model's held-out set,
+/// plus the session counters behind the adaptive cells.
+fn evaluate(
+    model: &Grafics,
+    test: &grafics_types::Dataset,
+    policy: ServingPolicy,
+) -> (f64, grafics_core::ServeCounters, usize) {
+    let mut server = GraficsServer::with_policy(model, policy);
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let (mut hits, mut total) = (0usize, 0usize);
+    for s in test.samples() {
+        if let Ok(p) = server.infer(&s.record, &mut rng) {
+            total += 1;
+            hits += usize::from(p.floor == s.ground_truth);
+        }
+    }
+    (hits as f64 / total.max(1) as f64, server.counters(), total)
+}
 
 fn main() {
     let corpora: [(&str, BuildingModel, usize); 2] = [
@@ -22,34 +62,106 @@ fn main() {
             2,
         ),
     ];
+    let mut corpus_reports = Vec::new();
     for (name, building, labels) in &corpora {
-        println!("# corpus {name}");
-        for spe in [200, 120, 60, 40, 30, 20, 10] {
-            let mut accs = Vec::new();
-            for seed in [1u64, 2, 3, 4, 5] {
+        // One trained model + held-out set per seed; every cell below is
+        // a read-only serving pass over these.
+        let trained: Vec<(Grafics, grafics_types::Dataset)> = SEEDS
+            .iter()
+            .map(|&seed| {
                 let mut rng = ChaCha8Rng::seed_from_u64(seed);
                 let ds = building.simulate(&mut rng);
                 let split = ds.split(0.7, &mut rng).unwrap();
                 let train = split.train.with_label_budget(*labels, &mut rng);
-                let cfg = GraficsConfig {
-                    online_samples_per_edge: spe,
-                    ..GraficsConfig::fast()
-                };
-                let model = Grafics::train(&train, &cfg, &mut rng).unwrap();
-                let mut server = model.server();
-                let mut rng2 = ChaCha8Rng::seed_from_u64(99);
-                let (mut hits, mut total) = (0usize, 0usize);
-                for s in split.test.samples() {
-                    if let Ok(p) = server.infer(&s.record, &mut rng2) {
-                        total += 1;
-                        hits += usize::from(p.floor == s.ground_truth);
-                    }
-                }
-                accs.push(hits as f64 / total.max(1) as f64);
-            }
+                let model = Grafics::train(&train, &GraficsConfig::fast(), &mut rng).unwrap();
+                (model, split.test)
+            })
+            .collect();
+
+        let sweep_fixed = |spe: usize| -> (f64, f64) {
+            let accs: Vec<f64> = trained
+                .iter()
+                .map(|(model, test)| {
+                    let policy = ServingPolicy {
+                        budget: Some(OnlineBudget::Fixed(spe)),
+                        precision: None,
+                    };
+                    evaluate(model, test, policy).0
+                })
+                .collect();
             let mean = accs.iter().sum::<f64>() / accs.len() as f64;
-            let min = accs.iter().cloned().fold(f64::INFINITY, f64::min);
-            println!("spe={spe:3}  mean={mean:.3}  min={min:.3}  {accs:?}");
+            (mean, accs.iter().copied().fold(f64::INFINITY, f64::min))
+        };
+
+        let mut fixed_cells = Vec::new();
+        let mut fixed_40_mean = 0.0;
+        for spe in [200, 120, 60, MAX_SPE, 30, 20, 10] {
+            let (mean, min) = sweep_fixed(spe);
+            if spe == MAX_SPE {
+                fixed_40_mean = mean;
+            }
+            fixed_cells.push(serde_json::json!({
+                "spe": spe, "mean": mean, "min": min,
+            }));
         }
+
+        let mut adaptive_cells = Vec::new();
+        for margin_ratio in [0.1, 0.25, 0.5] {
+            for min_spe in [5, 10, 20] {
+                let mut accs = Vec::new();
+                let (mut stops, mut samples, mut served) = (0u64, 0u64, 0usize);
+                for (model, test) in &trained {
+                    let policy = ServingPolicy {
+                        budget: Some(OnlineBudget::Adaptive {
+                            max_spe: MAX_SPE,
+                            min_spe,
+                            margin_ratio,
+                        }),
+                        precision: None,
+                    };
+                    let (acc, counters, total) = evaluate(model, test, policy);
+                    accs.push(acc);
+                    stops += counters.early_stops;
+                    samples += counters.refine_samples;
+                    served += total;
+                }
+                let mean = accs.iter().sum::<f64>() / accs.len() as f64;
+                let min = accs.iter().copied().fold(f64::INFINITY, f64::min);
+                // Envelope: early stopping may not cost real accuracy
+                // against the fixed ceiling it short-circuits. Hard-assert
+                // only the recommended region (min_spe >= 10): probing
+                // after 5 samples/edge stops on noise for hard corpora,
+                // and the sweep exists to document exactly that edge.
+                let in_envelope = mean >= fixed_40_mean - 0.05;
+                assert!(
+                    in_envelope || min_spe < 10,
+                    "{name}: adaptive cell (ratio={margin_ratio}, min={min_spe}) \
+                     fell out of the fixed-{MAX_SPE} envelope: {mean:.3} vs {fixed_40_mean:.3}"
+                );
+                adaptive_cells.push(serde_json::json!({
+                    "max_spe": MAX_SPE,
+                    "min_spe": min_spe,
+                    "margin_ratio": margin_ratio,
+                    "mean": mean,
+                    "min": min,
+                    "in_envelope": in_envelope,
+                    "early_stop_rate": stops as f64 / served.max(1) as f64,
+                    "refine_samples_per_query": samples as f64 / served.max(1) as f64,
+                }));
+            }
+        }
+        corpus_reports.push(serde_json::json!({
+            "corpus": name,
+            "labels_per_floor": labels,
+            "fixed": fixed_cells,
+            "adaptive": adaptive_cells,
+        }));
     }
+    let payload = serde_json::json!({
+        "benchmark": "spe_sweep",
+        "seeds": SEEDS.len(),
+        "corpora": corpus_reports,
+        "method": "one model per (corpus, seed); every cell is a read-only serving pass under a ServingPolicy over the same trained models",
+    });
+    println!("{}", serde_json::to_string_pretty(&payload).unwrap());
 }

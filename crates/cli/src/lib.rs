@@ -39,7 +39,8 @@
 
 use grafics_core::{
     BackendSpec, DurabilityPolicy, Grafics, GraficsConfig, GraficsFleet, MaintenancePolicy,
-    RecoveryReport, RetentionPolicy, RouterKind, RouterManifest,
+    MatchPrecision, OnlineBudget, RecoveryReport, RetentionPolicy, RouterKind, RouterManifest,
+    ServingPolicy,
 };
 use grafics_data::{io as dio, BuildingModel, FleetPreset};
 use grafics_metrics::ConfusionMatrix;
@@ -85,8 +86,10 @@ commands:
            [--publish-after-secs T] [--refresh-every K]
            [--durability off|fsync:N|fsync_ms:T] --out model-dir
   fleet serve    --models model-dir --input scans.jsonl [--seed N] [--threads N]
+           [--budget fixed:N|adaptive:MAX:MIN:RATIO] [--precision f64|f32]
   fleet serve    --models model-dir --http ADDR [--workers N] [--seed N]
            [--access-log PATH] [--auth-token TOKEN]
+           [--budget fixed:N|adaptive:MAX:MIN:RATIO] [--precision f64|f32]
   fleet route    --http ADDR --backends [name=]host:port[,...] | --manifest DIR
            [--health I_MS/T_MS/FAIL/RECOVER] [--breaker TRIP/COOLDOWN_MS]
            [--rate-limit RATE/BURST|off] [--auth-token TOKEN]
@@ -110,6 +113,14 @@ fleet instead (POST /v1/infer, /v1/infer_batch, /v1/absorb, /v1/publish;
 GET /v1/stat, /healthz, and plaintext Prometheus-style counters on
 GET /metrics), with the manifest's maintenance cadence enforced by a
 background daemon; Ctrl-C drains in-flight requests and exits.
+
+--budget and --precision override the serving path per deployment
+without touching the trained models: adaptive:MAX:MIN:RATIO refines a
+query with up to MAX samples per edge but probes the top-2 centroid
+margin every MIN and stops early once decisive (RATIO, e.g. 0.25, is
+the required relative gap); f32 sweeps centroids in single precision
+and re-scores the shortlist in f64, falling back to the full f64 sweep
+when ranks are too close to trust f32. Both leave absorbs untouched.
 
 With --durability set at fleet train time, every absorb is journalled to
 a per-shard write-ahead log before it is acknowledged (fsync:N groups N
@@ -506,6 +517,57 @@ fn fleet_train(args: &[String]) -> Result<String, String> {
     Ok(summary)
 }
 
+/// `--budget fixed:N | adaptive:MAX:MIN:RATIO` and `--precision f64|f32`
+/// → the deployment-level [`ServingPolicy`] (`None` when neither flag is
+/// given, deferring to the models' own configs).
+fn parse_serving_policy(flags: &Flags) -> Result<Option<ServingPolicy>, String> {
+    let budget = match flags.get("budget") {
+        None => None,
+        Some(spec) => Some(match spec.split_once(':') {
+            Some(("fixed", n)) => OnlineBudget::Fixed(
+                n.parse()
+                    .map_err(|_| format!("--budget fixed:N: bad N in {spec:?}"))?,
+            ),
+            Some(("adaptive", rest)) => {
+                let parts: Vec<&str> = rest.split(':').collect();
+                let [max, min, ratio] = parts[..] else {
+                    return Err(format!("--budget adaptive:MAX:MIN:RATIO, got {spec:?}"));
+                };
+                OnlineBudget::Adaptive {
+                    max_spe: max
+                        .parse()
+                        .map_err(|_| format!("--budget: bad MAX in {spec:?}"))?,
+                    min_spe: min
+                        .parse()
+                        .map_err(|_| format!("--budget: bad MIN in {spec:?}"))?,
+                    margin_ratio: ratio
+                        .parse()
+                        .map_err(|_| format!("--budget: bad RATIO in {spec:?}"))?,
+                }
+            }
+            _ => {
+                return Err(format!(
+                    "--budget fixed:N|adaptive:MAX:MIN:RATIO, got {spec:?}"
+                ))
+            }
+        }),
+    };
+    if let Some(b) = budget {
+        b.validate()
+            .map_err(|e| format!("--budget {:?}: {e}", flags.get("budget").unwrap_or("")))?;
+    }
+    let precision = match flags.get("precision") {
+        None => None,
+        Some("f64") => Some(MatchPrecision::F64),
+        Some("f32") => Some(MatchPrecision::F32Refined),
+        Some(other) => return Err(format!("--precision f64|f32, got {other:?}")),
+    };
+    if budget.is_none() && precision.is_none() {
+        return Ok(None);
+    }
+    Ok(Some(ServingPolicy { budget, precision }))
+}
+
 /// Serves a scan stream through the routed fleet (read-only), or — with
 /// `--http ADDR` — starts the network front end over it.
 fn fleet_serve(args: &[String]) -> Result<String, String> {
@@ -518,7 +580,10 @@ fn fleet_serve(args: &[String]) -> Result<String, String> {
     let seed: u64 = flags.parse_or("seed", 0)?;
     let threads = resolve_threads(flags.parse_or("threads", 1)?);
 
-    let fleet = GraficsFleet::load_dir(models).map_err(|e| e.to_string())?;
+    let mut fleet = GraficsFleet::load_dir(models).map_err(|e| e.to_string())?;
+    if let Some(policy) = parse_serving_policy(&flags)? {
+        fleet.set_serving(policy);
+    }
     let ds: Dataset = dio::load_jsonl(input).map_err(|e| e.to_string())?;
     let records: Vec<_> = ds.samples().iter().map(|s| s.record.clone()).collect();
     let mut out = String::from("record,building,floor,distance,margin\n");
@@ -554,7 +619,7 @@ fn fleet_serve_http(flags: &Flags, models: &str, addr: &str) -> Result<String, S
     let workers = resolve_threads(flags.parse_or("workers", 2)?);
     let seed: u64 = flags.parse_or("seed", 0)?;
     let manifest = grafics_core::read_manifest(models).map_err(|e| e.to_string())?;
-    let (fleet, recovery) = if manifest.durability.is_off() {
+    let (mut fleet, recovery) = if manifest.durability.is_off() {
         (
             GraficsFleet::load_dir(models).map_err(|e| e.to_string())?,
             RecoveryReport::default(),
@@ -562,6 +627,9 @@ fn fleet_serve_http(flags: &Flags, models: &str, addr: &str) -> Result<String, S
     } else {
         GraficsFleet::recover(models).map_err(|e| e.to_string())?
     };
+    if let Some(policy) = parse_serving_policy(flags)? {
+        fleet.set_serving(policy);
+    }
     let shards = fleet.len();
     let maintenance = fleet.maintenance();
     let config = ServeConfig {

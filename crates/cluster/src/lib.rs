@@ -48,4 +48,4 @@ mod agglomerative;
 mod model;
 
 pub use agglomerative::{dissimilarity_matrix, ClusterError, ClusteringConfig, Linkage, MergeStep};
-pub use model::{Cluster, ClusterModel, MatchScratch, Prediction};
+pub use model::{Cluster, ClusterModel, MatchPrecision, MatchScratch, Prediction};

@@ -3,10 +3,28 @@
 use crate::agglomerative::{
     agglomerate, Agglomeration, ClusterError, ClusteringConfig, DistanceMatrix, MergeStep,
 };
-use grafics_types::kernels::sqdist_f64;
+use grafics_types::kernels::{sqdist_f64, sqdist_lanes_f32};
 use grafics_types::{FloorId, RowMatrix};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+
+/// Numeric precision of the nearest-centroid sweep.
+///
+/// [`MatchPrecision::F32Refined`] sweeps the single-precision shadow
+/// centroids (half the memory bandwidth), then re-scores the
+/// within-tolerance candidates in `f64` — so the returned floor,
+/// distance, and margin are bit-identical to [`MatchPrecision::F64`]
+/// whenever the `f32` ranking is unambiguous, and an ambiguous ranking
+/// (more near-ties than the re-score bound) falls back to the full
+/// `f64` sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MatchPrecision {
+    /// The historical double-precision sweep.
+    #[default]
+    F64,
+    /// `f32` sweep + `f64` re-score of the top candidates.
+    F32Refined,
+}
 
 /// One floor-labelled cluster of embeddings.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -37,6 +55,14 @@ pub struct Prediction {
 #[derive(Debug, Clone, Default)]
 pub struct MatchScratch {
     cand: Vec<(usize, FloorId, f64)>,
+    /// The query narrowed to `f32` for the shadow-centroid sweep.
+    q32: Vec<f32>,
+    /// Per-cluster `f32` squared distances of the current query.
+    d32: Vec<f32>,
+    /// Cluster indices surviving the `f32` tolerance cut.
+    cand_idx: Vec<usize>,
+    /// An `f32` ego row widened to `f64` for the margin probe.
+    wide: Vec<f64>,
 }
 
 impl MatchScratch {
@@ -62,6 +88,10 @@ pub struct ClusterModel {
     /// per-cluster `Vec`s. Derived from `clusters` (rebuilt on
     /// deserialize), so the wire format is unchanged.
     centroids: RowMatrix<f64>,
+    /// Single-precision shadow of `centroids` for the
+    /// [`MatchPrecision::F32Refined`] sweep. Derived (deterministic
+    /// narrowing of `centroids`), never serialized.
+    centroids_f32: RowMatrix<f32>,
 }
 
 /// The persisted shape of [`ClusterModel`] — exactly the historical
@@ -100,12 +130,14 @@ impl TryFrom<ClusterModelRepr> for ClusterModel {
         for c in &r.clusters {
             centroids.push_row(&c.centroid);
         }
+        let centroids_f32 = narrow_centroids(&centroids);
         Ok(ClusterModel {
             dim: r.dim,
             clusters: r.clusters,
             assignment: r.assignment,
             history: r.history,
             centroids,
+            centroids_f32,
         })
     }
 }
@@ -210,12 +242,14 @@ impl ClusterModel {
             });
         }
 
+        let centroids_f32 = narrow_centroids(&centroids);
         Ok(ClusterModel {
             dim,
             clusters,
             assignment,
             history: agg.history,
             centroids,
+            centroids_f32,
         })
     }
 
@@ -463,6 +497,151 @@ impl ClusterModel {
         Ok(self.predict_with_margin(query)?.1)
     }
 
+    /// [`ClusterModel::predict_with_margin`] on the
+    /// [`MatchPrecision::F32Refined`] path: sweeps the `f32` shadow
+    /// centroids, then re-scores the candidates within the `f32`
+    /// rounding tolerance in `f64` — the winning cluster, its distance,
+    /// and the margin are computed from the **same** [`sqdist_f64`]
+    /// values the full `f64` sweep uses, so the result is bit-identical
+    /// to [`ClusterModel::predict_with_margin`] whenever the tolerance
+    /// cut keeps the true winners (it does by construction: the cut is
+    /// orders of magnitude wider than the worst-case `f32` narrowing
+    /// error on embedding-scale coordinates). If more clusters survive a
+    /// cut than the re-score bound, the ranking is genuinely ambiguous
+    /// at `f32` precision and the full `f64` sweep answers instead; the
+    /// returned flag reports that fallback so serving tiers can count
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`ClusterModel::predict`].
+    pub fn predict_with_margin_f32(
+        &self,
+        query: &[f64],
+        scratch: &mut MatchScratch,
+    ) -> Result<(Prediction, f64, bool), ClusterError> {
+        self.validate_query(query)?;
+        scratch.q32.clear();
+        scratch.q32.extend(query.iter().map(|&x| x as f32));
+        let n = self.centroids_f32.rows();
+        scratch.d32.clear();
+        for i in 0..n {
+            scratch
+                .d32
+                .push(sqdist_lanes_f32(self.centroids_f32.row(i), &scratch.q32));
+        }
+        let d32 = &scratch.d32;
+        let best32 = d32.iter().copied().fold(f32::INFINITY, f32::min);
+
+        // Tolerance cut: everything whose f32 squared distance is within
+        // rounding slack of the f32 minimum could be the f64 winner.
+        let cut = |anchor: f32| anchor.mul_add(F32_REL_TOL, F32_ABS_TOL) + anchor;
+        let best_cut = cut(best32);
+        scratch.cand_idx.clear();
+        for (i, &d) in d32.iter().enumerate() {
+            if d <= best_cut {
+                scratch.cand_idx.push(i);
+            }
+        }
+        if scratch.cand_idx.len() > F32_MAX_CANDIDATES {
+            let (pred, margin) = self.predict_with_margin(query)?;
+            return Ok((pred, margin, true));
+        }
+        // f64 re-score, ascending cluster index: strict `<` keeps the
+        // first minimum, the same tie rule as the full sweep.
+        let mut best: Option<(usize, f64)> = None;
+        for &i in &scratch.cand_idx {
+            let d = sqdist_f64(self.centroids.row(i), query);
+            if best.is_none_or(|(_, b)| d < b) {
+                best = Some((i, d));
+            }
+        }
+        let (cluster, sq) = best.expect("model has >= 1 cluster");
+        let floor = self.clusters[cluster].floor;
+        let distance = sq.sqrt();
+        let prediction = Prediction {
+            floor,
+            cluster,
+            distance,
+        };
+
+        // Rival: the nearest cluster of a *different* floor, found the
+        // same way — f32 minimum, tolerance cut, f64 re-score.
+        let mut rival32 = f32::INFINITY;
+        for (i, c) in self.clusters.iter().enumerate() {
+            if c.floor != floor && d32[i] < rival32 {
+                rival32 = d32[i];
+            }
+        }
+        if rival32.is_infinite() {
+            return Ok((prediction, f64::INFINITY, false));
+        }
+        let rival_cut = cut(rival32);
+        scratch.cand_idx.clear();
+        for (i, c) in self.clusters.iter().enumerate() {
+            if c.floor != floor && d32[i] <= rival_cut {
+                scratch.cand_idx.push(i);
+            }
+        }
+        if scratch.cand_idx.len() > F32_MAX_CANDIDATES {
+            let (pred, margin) = self.predict_with_margin(query)?;
+            return Ok((pred, margin, true));
+        }
+        let mut rival = f64::INFINITY;
+        for &i in &scratch.cand_idx {
+            rival = rival.min(sqdist_f64(self.centroids.row(i), query));
+        }
+        Ok((prediction, rival.sqrt() - distance, false))
+    }
+
+    /// The adaptive-budget early-stop probe: `true` when the runner-up
+    /// centroid of a *different* floor is at least
+    /// `(1 + margin_ratio)×` the best squared distance away from the
+    /// (partially refined, still-`f32`) ego row — refining further
+    /// cannot plausibly flip the floor, so the serving path may stop.
+    /// A model whose clusters all share one floor is always decisive;
+    /// `margin_ratio <= 0` (or a row of the wrong dimension, or a
+    /// non-finite row mid-refinement) never is. Consumes no RNG by
+    /// construction — it only reads.
+    #[must_use]
+    pub fn margin_decisive(
+        &self,
+        ego: &[f32],
+        margin_ratio: f64,
+        scratch: &mut MatchScratch,
+    ) -> bool {
+        if margin_ratio <= 0.0 || ego.len() != self.dim {
+            return false;
+        }
+        scratch.wide.clear();
+        scratch.wide.extend(ego.iter().map(|&x| f64::from(x)));
+        let mut best: Option<(FloorId, f64)> = None;
+        let mut rival = f64::INFINITY;
+        for (i, c) in self.clusters.iter().enumerate() {
+            let d = sqdist_f64(self.centroids.row(i), &scratch.wide);
+            match best {
+                None => best = Some((c.floor, d)),
+                Some((best_floor, best_d)) => {
+                    if d < best_d {
+                        if best_floor != c.floor {
+                            rival = rival.min(best_d);
+                        }
+                        best = Some((c.floor, d));
+                    } else if c.floor != best_floor {
+                        rival = rival.min(d);
+                    }
+                }
+            }
+        }
+        let Some((_, best_sq)) = best else {
+            return false;
+        };
+        // `>=` on non-finite terms is false, so a NaN mid-refinement row
+        // simply keeps refining; an all-one-floor model (rival = ∞) is
+        // decisive outright.
+        rival - best_sq >= margin_ratio * best_sq
+    }
+
     fn validate_query(&self, query: &[f64]) -> Result<(), ClusterError> {
         if query.len() != self.dim {
             return Err(ClusterError::QueryDimensionMismatch {
@@ -475,6 +654,27 @@ impl ClusterModel {
         }
         Ok(())
     }
+}
+
+/// Relative tolerance of the `F32Refined` candidate cut. The worst-case
+/// relative gap between an `f32` shadow squared distance and its `f64`
+/// value on embedding-scale coordinates is a few ULPs (~1e-6); 1e-3
+/// gives three orders of magnitude of headroom while still cutting all
+/// but near-tied clusters.
+const F32_REL_TOL: f32 = 1e-3;
+/// Absolute companion of [`F32_REL_TOL`], covering distances near zero
+/// where relative error is unbounded (narrowing error is ~1e-6 absolute
+/// there).
+const F32_ABS_TOL: f32 = 1e-4;
+/// Re-score bound: more near-tied candidates than this means the `f32`
+/// ranking is genuinely ambiguous and the full `f64` sweep answers.
+const F32_MAX_CANDIDATES: usize = 8;
+
+/// Deterministic `f64 → f32` narrowing of the flat centroid matrix —
+/// the derived shadow the `F32Refined` sweep reads.
+fn narrow_centroids(centroids: &RowMatrix<f64>) -> RowMatrix<f32> {
+    let data: Vec<f32> = centroids.data().iter().map(|&x| x as f32).collect();
+    RowMatrix::from_flat(centroids.rows(), centroids.cols(), data)
 }
 
 fn cluster_floor(
@@ -765,6 +965,101 @@ mod tests {
         )
         .unwrap();
         assert_eq!(one.floor_margin(&[0.5, 0.5]).unwrap(), f64::INFINITY);
+    }
+
+    /// The `F32Refined` sweep must return bit-identical floor, cluster,
+    /// distance, and margin to the full `f64` sweep on well-separated
+    /// real-shaped queries (unambiguous f32 ranking → no fallback).
+    #[test]
+    fn f32_refined_bit_identical_to_f64_when_unambiguous() {
+        let (points, labels) = three_floor_setup();
+        let model = ClusterModel::fit_rows(&points, &labels, &ClusteringConfig::default()).unwrap();
+        let mut scratch = MatchScratch::new();
+        for query in [
+            [0.2, -0.1],
+            [5.0, 0.3],
+            [9.8, 0.0],
+            [0.1, 9.9],
+            [4.9, 5.1],
+            [-3.0, -3.0],
+            [7.3, 2.2],
+        ] {
+            let (p64, m64) = model.predict_with_margin(&query).unwrap();
+            let (p32, m32, fell_back) =
+                model.predict_with_margin_f32(&query, &mut scratch).unwrap();
+            assert_eq!(p64, p32, "query {query:?}");
+            assert_eq!(m64.to_bits(), m32.to_bits(), "query {query:?}");
+            assert!(!fell_back, "query {query:?}");
+        }
+        // Single-floor model: infinite margin on both paths.
+        let one = ClusterModel::fit_rows(
+            &[vec![0.0, 0.0], vec![1.0, 1.0]],
+            &[Some(FloorId(4)), Some(FloorId(4))],
+            &ClusteringConfig::default(),
+        )
+        .unwrap();
+        let (_, m, fell_back) = one
+            .predict_with_margin_f32(&[0.5, 0.5], &mut scratch)
+            .unwrap();
+        assert_eq!(m, f64::INFINITY);
+        assert!(!fell_back);
+    }
+
+    /// When every centroid ties at f32 precision the candidate cut keeps
+    /// them all, the re-score bound trips, and the full f64 sweep
+    /// answers — still bit-identical, flagged as a fallback.
+    #[test]
+    fn f32_refined_falls_back_on_ambiguous_ranking() {
+        // 10 points on a tiny ring around the origin, each its own
+        // labelled cluster, alternating floors: every centroid is
+        // within the f32 tolerance of the best for a query at the
+        // centre.
+        let n = 10;
+        let points: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let a = i as f64 / n as f64 * std::f64::consts::TAU;
+                vec![1e-4 * a.cos(), 1e-4 * a.sin()]
+            })
+            .collect();
+        // Every point labelled + the merge constraint → 10 singleton
+        // clusters.
+        let labels: Vec<Option<FloorId>> = (0..n).map(|i| Some(FloorId((i % 2) as i16))).collect();
+        let model = ClusterModel::fit_rows(&points, &labels, &ClusteringConfig::default()).unwrap();
+        assert_eq!(model.clusters().len(), n);
+        let mut scratch = MatchScratch::new();
+        let query = [0.0, 0.0];
+        let (p64, m64) = model.predict_with_margin(&query).unwrap();
+        let (p32, m32, fell_back) = model.predict_with_margin_f32(&query, &mut scratch).unwrap();
+        assert!(fell_back, "all-tied ranking must fall back");
+        assert_eq!(p64, p32);
+        assert_eq!(m64.to_bits(), m32.to_bits());
+    }
+
+    /// The margin probe: decisive exactly when the different-floor
+    /// runner-up is `(1 + ratio)×` the best squared distance away;
+    /// `ratio <= 0` never decisive; single-floor models always.
+    #[test]
+    fn margin_decisive_thresholds() {
+        let (points, labels) = three_floor_setup();
+        let model = ClusterModel::fit_rows(&points, &labels, &ClusteringConfig::default()).unwrap();
+        let mut scratch = MatchScratch::new();
+        // Mid-blob: huge margin — decisive at any reasonable ratio.
+        assert!(model.margin_decisive(&[0.0, 0.0], 1.0, &mut scratch));
+        // Equidistant between two floors: never decisive.
+        assert!(!model.margin_decisive(&[5.0, 0.0], 0.5, &mut scratch));
+        // ratio 0 is the never-decisive guard even mid-blob.
+        assert!(!model.margin_decisive(&[0.0, 0.0], 0.0, &mut scratch));
+        // Wrong dimension and non-finite rows are never decisive.
+        assert!(!model.margin_decisive(&[0.0], 1.0, &mut scratch));
+        assert!(!model.margin_decisive(&[f32::NAN, 0.0], 1.0, &mut scratch));
+        // Single-floor model: always decisive at positive ratio.
+        let one = ClusterModel::fit_rows(
+            &[vec![0.0, 0.0]],
+            &[Some(FloorId(1))],
+            &ClusteringConfig::default(),
+        )
+        .unwrap();
+        assert!(one.margin_decisive(&[9.0, 9.0], 10.0, &mut scratch));
     }
 
     /// The flat-matrix entry point and the nested-rows compatibility

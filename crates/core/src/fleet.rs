@@ -64,11 +64,15 @@
 //! shard and keep the best-distance answer, flagged
 //! [`FleetPrediction::fallback`].
 
+use crate::server::serve_with_margin_scratch;
 use crate::wal::{
     self, checkpoint_file_name, encode_header, wal_file_name, FloorBucket, StdWalFs, WalEntry,
     WalFs, WalStats, WalWriter,
 };
-use crate::{record_rng, Grafics, GraficsError, GraficsServer, Prediction};
+use crate::{
+    record_rng, Grafics, GraficsError, GraficsServer, Prediction, ServeCounters, ServingPolicy,
+};
+use grafics_cluster::MatchScratch;
 use grafics_embed::OnlineScratch;
 use grafics_types::{
     BreakerPolicy, BuildingId, DurabilityPolicy, FloorId, HealthPolicy, RateLimitPolicy, RecordId,
@@ -178,7 +182,7 @@ impl MaintenancePolicy {
 /// which reproduces the old hard-wired behaviour exactly.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FleetManifest {
-    /// Manifest format version (currently 2).
+    /// Manifest format version (currently 3).
     pub version: u32,
     /// Which built-in router the fleet uses.
     pub router: RouterKind,
@@ -188,6 +192,11 @@ pub struct FleetManifest {
     pub maintenance: MaintenancePolicy,
     /// Absorb write-ahead-log durability (see the [`wal`] module).
     pub durability: DurabilityPolicy,
+    /// Deployment-level serving overrides (refinement budget, matching
+    /// precision) applied to every serving session the fleet opens.
+    /// `None` — what every pre-version-3 manifest loads as — keeps the
+    /// historical per-model defaults.
+    pub serving: Option<ServingPolicy>,
 }
 
 impl Default for FleetManifest {
@@ -200,13 +209,16 @@ impl Default for FleetManifest {
             retention: RetentionPolicy::KeepAll,
             maintenance: MaintenancePolicy::default(),
             durability: DurabilityPolicy::Off,
+            serving: None,
         }
     }
 }
 
 /// Current [`FleetManifest::version`]. Version 2 added the `durability`
 /// field; version-1 manifests load with [`DurabilityPolicy::Off`].
-pub const FLEET_MANIFEST_VERSION: u32 = 2;
+/// Version 3 added the optional `serving` policy; earlier manifests load
+/// with `None` (per-model defaults).
+pub const FLEET_MANIFEST_VERSION: u32 = 3;
 
 /// File name of the manifest inside a fleet directory.
 const FLEET_MANIFEST_FILE: &str = "fleet.json";
@@ -988,6 +1000,46 @@ pub struct GraficsFleet {
     /// WAL durability; persisted in the manifest and enacted by
     /// [`GraficsFleet::recover`], which attaches the writers.
     durability: DurabilityPolicy,
+    /// Deployment-level serving overrides, applied to every session the
+    /// fleet opens; persisted in the manifest.
+    serving: ServingPolicy,
+    /// Process-wide serving counters, drained from every session the
+    /// fleet opens (`&self` serve paths bump them atomically).
+    metrics: FleetServeMetrics,
+}
+
+/// Atomic accumulator behind [`GraficsFleet::serve_counters`]: serve
+/// paths take `&self` and may run on many threads, so sessions drain
+/// their local [`ServeCounters`] here with relaxed adds.
+#[derive(Debug, Default)]
+struct FleetServeMetrics {
+    refine_samples: AtomicU64,
+    early_stops: AtomicU64,
+    f32_fallbacks: AtomicU64,
+}
+
+impl FleetServeMetrics {
+    fn flush(&self, c: ServeCounters) {
+        if c.refine_samples != 0 {
+            self.refine_samples
+                .fetch_add(c.refine_samples, Ordering::Relaxed);
+        }
+        if c.early_stops != 0 {
+            self.early_stops.fetch_add(c.early_stops, Ordering::Relaxed);
+        }
+        if c.f32_fallbacks != 0 {
+            self.f32_fallbacks
+                .fetch_add(c.f32_fallbacks, Ordering::Relaxed);
+        }
+    }
+
+    fn snapshot(&self) -> ServeCounters {
+        ServeCounters {
+            refine_samples: self.refine_samples.load(Ordering::Relaxed),
+            early_stops: self.early_stops.load(Ordering::Relaxed),
+            f32_fallbacks: self.f32_fallbacks.load(Ordering::Relaxed),
+        }
+    }
 }
 
 impl fmt::Debug for GraficsFleet {
@@ -1023,6 +1075,8 @@ impl GraficsFleet {
             retention: manifest.retention,
             maintenance: manifest.maintenance,
             durability: manifest.durability,
+            serving: manifest.serving.unwrap_or_default(),
+            metrics: FleetServeMetrics::default(),
         }
     }
 
@@ -1038,6 +1092,8 @@ impl GraficsFleet {
             retention: RetentionPolicy::KeepAll,
             maintenance: MaintenancePolicy::default(),
             durability: DurabilityPolicy::Off,
+            serving: ServingPolicy::default(),
+            metrics: FleetServeMetrics::default(),
         }
     }
 
@@ -1051,6 +1107,7 @@ impl GraficsFleet {
             retention: self.retention,
             maintenance: self.maintenance,
             durability: self.durability,
+            serving: (self.serving != ServingPolicy::default()).then_some(self.serving),
         }
     }
 
@@ -1081,6 +1138,28 @@ impl GraficsFleet {
     /// this fleet.
     pub fn set_maintenance(&mut self, maintenance: MaintenancePolicy) {
         self.maintenance = maintenance;
+    }
+
+    /// The deployment-level serving policy (refinement budget, matching
+    /// precision) applied to every session this fleet opens.
+    #[must_use]
+    pub fn serving(&self) -> ServingPolicy {
+        self.serving
+    }
+
+    /// Replaces the serving policy. Takes effect on the next serve call;
+    /// absorb paths are unaffected (they always run the fixed budget so
+    /// WAL replay streams never re-roll).
+    pub fn set_serving(&mut self, serving: ServingPolicy) {
+        self.serving = serving;
+    }
+
+    /// A snapshot of the process-wide serving counters, aggregated from
+    /// every session this fleet has opened (single serves, batch
+    /// workers, and broadcast fallbacks alike).
+    #[must_use]
+    pub fn serve_counters(&self) -> ServeCounters {
+        self.metrics.snapshot()
     }
 
     /// The WAL durability policy recorded (and persisted) with this
@@ -1236,7 +1315,10 @@ impl GraficsFleet {
             .find(|(sid, _)| *sid == id)
             .ok_or(FleetError::UnknownBuilding(id))?
             .1;
-        let (pred, margin) = GraficsServer::over(snap).infer_with_margin(record, rng)?;
+        let mut server = GraficsServer::with_policy(snap, self.serving);
+        let result = server.infer_with_margin(record, rng);
+        self.metrics.flush(server.take_counters());
+        let (pred, margin) = result?;
         Ok(FleetPrediction {
             building: id,
             floor: pred.floor,
@@ -1273,7 +1355,10 @@ impl GraficsFleet {
                     .find(|(sid, _)| *sid == id)
                     .ok_or(FleetError::UnknownBuilding(id))?
                     .1;
-                let (pred, margin) = GraficsServer::over(snap).infer_with_margin(record, rng)?;
+                let mut server = GraficsServer::with_policy(snap, self.serving);
+                let result = server.infer_with_margin(record, rng);
+                self.metrics.flush(server.take_counters());
+                let (pred, margin) = result?;
                 Ok(FleetPrediction {
                     building: id,
                     floor: pred.floor,
@@ -1282,7 +1367,14 @@ impl GraficsFleet {
                     fallback: false,
                 })
             }
-            None => broadcast_best(&snapshots, record, |_| rng.clone()).ok_or(FleetError::NoRoute),
+            None => {
+                let mut counters = ServeCounters::default();
+                let best = broadcast_best(&snapshots, record, self.serving, &mut counters, |_| {
+                    rng.clone()
+                });
+                self.metrics.flush(counters);
+                best.ok_or(FleetError::NoRoute)
+            }
         }
     }
 
@@ -1409,9 +1501,15 @@ impl GraficsFleet {
                            route_chunk: &[Option<usize>],
                            out_chunk: &mut [Option<FleetPrediction>]| {
             // One lazily-opened session per shard, reused across the
-            // chunk so scratch buffers stay warm.
-            let mut sessions: Vec<Option<GraficsServer<Arc<Grafics>>>> =
+            // chunk so scratch buffers stay warm. Sessions *borrow* the
+            // batch's snapshot vector (it outlives the worker scope) —
+            // no per-worker `Arc` clone, and every worker serves the
+            // same frozen epoch by construction.
+            let mut sessions: Vec<Option<GraficsServer<&Grafics>>> =
                 (0..snapshots.len()).map(|_| None).collect();
+            // Broadcast fallbacks share one scratch pair across the
+            // chunk too, instead of a fresh session per shard.
+            let mut counters = ServeCounters::default();
             for (k, (record, (route, slot))) in record_chunk
                 .iter()
                 .zip(route_chunk.iter().zip(out_chunk))
@@ -1421,14 +1519,17 @@ impl GraficsFleet {
                 let Some(sidx) = *route else {
                     if fallback {
                         // Unroutable: broadcast, every shard on the same
-                        // per-record stream. Rare, so fresh sessions are
-                        // fine.
-                        *slot = broadcast_best(&snapshots, record, |_| record_rng(seed, stream));
+                        // per-record stream.
+                        *slot =
+                            broadcast_best(&snapshots, record, self.serving, &mut counters, |_| {
+                                record_rng(seed, stream)
+                            });
                     }
                     continue;
                 };
-                let server = sessions[sidx]
-                    .get_or_insert_with(|| GraficsServer::over(snapshots[sidx].1.clone()));
+                let server = sessions[sidx].get_or_insert_with(|| {
+                    GraficsServer::with_policy(&*snapshots[sidx].1, self.serving)
+                });
                 let mut rng = record_rng(seed, stream);
                 *slot = server
                     .infer_with_margin(record, &mut rng)
@@ -1441,6 +1542,10 @@ impl GraficsFleet {
                         fallback: false,
                     });
             }
+            for server in sessions.iter_mut().flatten() {
+                counters.merge(server.take_counters());
+            }
+            self.metrics.flush(counters);
         };
 
         let workers = threads.clamp(1, records.len());
@@ -1846,6 +1951,7 @@ fn read_manifest_at(dir: &Path) -> std::io::Result<FleetManifest> {
                 retention: v1.retention,
                 maintenance: v1.maintenance,
                 durability: DurabilityPolicy::Off,
+                serving: None,
             })
         }
     }
@@ -1991,17 +2097,34 @@ impl RecoveryReport {
 /// fresh stream `rng_for_shard(i)` — and returns the best-distance
 /// answer, ties towards the lower building id, flagged as a fallback.
 /// `None` if no shard can serve the record at all.
+///
+/// The whole scatter reuses **one** embedding/matching scratch pair
+/// (instead of a fresh per-shard session), and resolves `policy` against
+/// each shard's own model config. Session counters accumulate into
+/// `counters` for the caller to flush.
 fn broadcast_best<R: Rng>(
     snapshots: &[(BuildingId, Arc<Grafics>)],
     record: &SignalRecord,
+    policy: ServingPolicy,
+    counters: &mut ServeCounters,
     mut rng_for_shard: impl FnMut(usize) -> R,
 ) -> Option<FleetPrediction> {
+    let mut scratch = OnlineScratch::new();
+    let mut matching = MatchScratch::new();
     let mut best: Option<FleetPrediction> = None;
     for (i, (id, snap)) in snapshots.iter().enumerate() {
+        let (budget, precision) = policy.resolve(snap.config());
         let mut rng = rng_for_shard(i);
-        let Ok((pred, margin)) =
-            GraficsServer::over(snap.clone()).infer_with_margin(record, &mut rng)
-        else {
+        let Ok((pred, margin)) = serve_with_margin_scratch(
+            snap,
+            &mut scratch,
+            &mut matching,
+            budget,
+            precision,
+            counters,
+            record,
+            &mut rng,
+        ) else {
             continue;
         };
         // Strict < keeps the first (lowest-id) shard on ties.

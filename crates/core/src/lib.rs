@@ -59,10 +59,13 @@ pub use fleet::{
     RecoveryReport, RetentionPolicy, Router, RouterKind, RouterManifest, Shard, ShardRecovery,
     ShardStats, WeightedOverlapRouter, FLEET_MANIFEST_VERSION, ROUTER_MANIFEST_VERSION,
 };
-pub use grafics_cluster::ClusterError;
-pub use grafics_cluster::Prediction;
+pub use grafics_cluster::{ClusterError, Prediction};
 pub use grafics_types::DurabilityPolicy;
-pub use server::{record_rng, GraficsServer};
+pub use server::{record_rng, GraficsServer, ServeCounters};
+// The serving knobs live with their stages; re-export so serving tiers
+// need only this crate.
+pub use grafics_cluster::MatchPrecision;
+pub use grafics_embed::{OnlineBudget, RefineOutcome};
 pub use wal::{CrashPoint, FailpointFs, StdWalFs, WalFs, WalStats};
 
 /// Flat hyper-parameter set for the whole pipeline. Defaults follow §VI-A
@@ -92,6 +95,17 @@ pub struct GraficsConfig {
     pub constrained_clustering: bool,
     /// SGD samples per incident edge when embedding a new record online.
     pub online_samples_per_edge: usize,
+    /// Optional adaptive override of the read-only serving refinement
+    /// budget (see [`OnlineBudget`]). `None` — the default, and what
+    /// every pre-existing saved config deserialises to — keeps the
+    /// historical `Fixed(online_samples_per_edge)` behaviour. Honoured
+    /// by [`GraficsServer`] sessions only; the mutable absorb path
+    /// always runs the fixed budget so WAL replay streams never
+    /// re-roll.
+    pub online_budget: Option<OnlineBudget>,
+    /// Optional precision of the serving centroid sweep (see
+    /// [`MatchPrecision`]). `None` defaults to the historical `F64`.
+    pub match_precision: Option<MatchPrecision>,
     /// Worker threads for the offline stages: `>= 2` enables the Hogwild
     /// embedding trainer and the parallel dissimilarity matrix. `1` (the
     /// default) keeps offline training fully deterministic. Online
@@ -112,6 +126,8 @@ impl Default for GraficsConfig {
             linkage: Linkage::Average,
             constrained_clustering: true,
             online_samples_per_edge: 200,
+            online_budget: None,
+            match_precision: None,
             threads: 1,
         }
     }
@@ -159,6 +175,7 @@ impl GraficsConfig {
             dropout: self.dropout,
             negative_exponent: 0.75,
             online_samples_per_edge: self.online_samples_per_edge,
+            online_budget: self.online_budget,
             threads: self.threads,
         }
     }
@@ -172,6 +189,38 @@ impl GraficsConfig {
             record_history: false,
             threads: self.threads,
         }
+    }
+}
+
+/// Per-deployment overrides for the read-only serving path.
+///
+/// A serving tier (the fleet, the HTTP server) can carry one of these and
+/// apply it to every session it opens, without mutating the model's own
+/// [`GraficsConfig`] — the config stays exactly what training saved, so
+/// model files round-trip bit-identically. `None` fields defer to the
+/// model config's `online_budget` / `match_precision`, which in turn
+/// default to the historical `Fixed(online_samples_per_edge)` + `F64`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServingPolicy {
+    /// Refinement-budget override; `None` defers to the model config.
+    pub budget: Option<OnlineBudget>,
+    /// Matching-precision override; `None` defers to the model config.
+    pub precision: Option<MatchPrecision>,
+}
+
+impl ServingPolicy {
+    /// Resolve the effective serving knobs against a model's config.
+    #[must_use]
+    pub fn resolve(&self, config: &GraficsConfig) -> (OnlineBudget, MatchPrecision) {
+        let budget = self
+            .budget
+            .or(config.online_budget)
+            .unwrap_or(OnlineBudget::Fixed(config.online_samples_per_edge));
+        let precision = self
+            .precision
+            .or(config.match_precision)
+            .unwrap_or_default();
+        (budget, precision)
     }
 }
 

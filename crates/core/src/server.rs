@@ -11,12 +11,35 @@
 //! worker pool, one server session per worker, with deterministic
 //! per-record RNG streams — the same predictions at any thread count.
 
-use crate::{Grafics, GraficsError, Prediction};
+use crate::{Grafics, GraficsError, MatchPrecision, OnlineBudget, Prediction, ServingPolicy};
 use grafics_types::{FloorId, SignalRecord};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::ops::Deref;
 use std::sync::Arc;
+
+/// Monotonic per-session serving counters, cheap enough to bump on every
+/// query. Serving tiers drain them (see [`GraficsServer::take_counters`])
+/// into process-wide metrics after each batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeCounters {
+    /// Online SGD samples actually run across all served queries.
+    pub refine_samples: u64,
+    /// Queries whose adaptive refinement stopped before the full budget.
+    pub early_stops: u64,
+    /// `F32Refined` sweeps that fell back to the full f64 sweep because
+    /// the f32 candidate set was too wide to re-score.
+    pub f32_fallbacks: u64,
+}
+
+impl ServeCounters {
+    /// Folds another session's counters into this one.
+    pub fn merge(&mut self, other: ServeCounters) {
+        self.refine_samples += other.refine_samples;
+        self.early_stops += other.early_stops;
+        self.f32_fallbacks += other.f32_fallbacks;
+    }
+}
 
 /// A read-only serving session over a shared [`Grafics`] model.
 ///
@@ -70,6 +93,12 @@ pub struct GraficsServer<M: Deref<Target = Grafics> = Arc<Grafics>> {
     /// session — one per batch worker, so a whole `serve_batch` chunk
     /// reuses a single candidate buffer.
     matching: grafics_cluster::MatchScratch,
+    /// Effective refinement budget, resolved at session open from the
+    /// model config and the caller's [`ServingPolicy`].
+    budget: OnlineBudget,
+    /// Effective centroid-sweep precision, resolved like `budget`.
+    precision: MatchPrecision,
+    counters: ServeCounters,
 }
 
 impl Grafics {
@@ -137,13 +166,25 @@ pub fn record_rng(seed: u64, index: usize) -> ChaCha8Rng {
 
 impl<M: Deref<Target = Grafics>> GraficsServer<M> {
     /// Opens a session over any read-only handle to a model — a borrow, an
-    /// `Arc` snapshot, anything that derefs to [`Grafics`].
+    /// `Arc` snapshot, anything that derefs to [`Grafics`]. Serving knobs
+    /// come from the model's own config (historically `Fixed` + `F64`).
     #[must_use]
     pub fn over(model: M) -> Self {
+        Self::with_policy(model, ServingPolicy::default())
+    }
+
+    /// Opens a session with deployment-level overrides of the serving
+    /// knobs; `None` fields of `policy` defer to the model's config.
+    #[must_use]
+    pub fn with_policy(model: M, policy: ServingPolicy) -> Self {
+        let (budget, precision) = policy.resolve(model.config());
         GraficsServer {
             model,
             scratch: grafics_embed::OnlineScratch::new(),
             matching: grafics_cluster::MatchScratch::new(),
+            budget,
+            precision,
+            counters: ServeCounters::default(),
         }
     }
 
@@ -162,9 +203,7 @@ impl<M: Deref<Target = Grafics>> GraficsServer<M> {
         record: &SignalRecord,
         rng: &mut R,
     ) -> Result<Prediction, GraficsError> {
-        let model = &*self.model;
-        let query = embed(model, &mut self.scratch, record, rng)?;
-        Ok(model.clusters.predict(query)?)
+        self.infer_with_margin(record, rng).map(|(pred, _)| pred)
     }
 
     /// Like [`GraficsServer::infer`], but returns the `k` nearest clusters
@@ -181,7 +220,17 @@ impl<M: Deref<Target = Grafics>> GraficsServer<M> {
         rng: &mut R,
     ) -> Result<Vec<(FloorId, f64)>, GraficsError> {
         let model = &*self.model;
-        let query = embed(model, &mut self.scratch, record, rng)?;
+        let query = embed_with_budget(
+            model,
+            &mut self.scratch,
+            &mut self.matching,
+            self.budget,
+            &mut self.counters,
+            record,
+            rng,
+        )?;
+        // Top-k ranks *every* candidate, so the f32 pre-sweep has no
+        // work to skip — the full list always runs in f64.
         Ok(model
             .clusters
             .predict_topk_with(query, k, &mut self.matching)?)
@@ -202,9 +251,16 @@ impl<M: Deref<Target = Grafics>> GraficsServer<M> {
         record: &SignalRecord,
         rng: &mut R,
     ) -> Result<(Prediction, f64), GraficsError> {
-        let model = &*self.model;
-        let query = embed(model, &mut self.scratch, record, rng)?;
-        Ok(model.clusters.predict_with_margin(query)?)
+        serve_with_margin_scratch(
+            &self.model,
+            &mut self.scratch,
+            &mut self.matching,
+            self.budget,
+            self.precision,
+            &mut self.counters,
+            record,
+            rng,
+        )
     }
 
     /// The shared model this session serves.
@@ -212,24 +268,86 @@ impl<M: Deref<Target = Grafics>> GraficsServer<M> {
     pub fn model(&self) -> &Grafics {
         &self.model
     }
+
+    /// The session's serving counters so far.
+    #[must_use]
+    pub fn counters(&self) -> ServeCounters {
+        self.counters
+    }
+
+    /// Drains the session's counters, resetting them to zero — how batch
+    /// workers flush into process-wide metrics without double counting.
+    pub fn take_counters(&mut self) -> ServeCounters {
+        std::mem::take(&mut self.counters)
+    }
 }
 
-/// Embeds one record into `scratch` against the frozen `model`.
-fn embed<'s, R: Rng + ?Sized>(
+/// One serving query over caller-owned scratch: embed under `budget`,
+/// match under `precision`. Backs both [`GraficsServer::infer_with_margin`]
+/// and the fleet's broadcast fallback, which sweeps many shards with a
+/// single scratch pair instead of a fresh session per shard.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn serve_with_margin_scratch<R: Rng + ?Sized>(
+    model: &Grafics,
+    scratch: &mut grafics_embed::OnlineScratch,
+    matching: &mut grafics_cluster::MatchScratch,
+    budget: OnlineBudget,
+    precision: MatchPrecision,
+    counters: &mut ServeCounters,
+    record: &SignalRecord,
+    rng: &mut R,
+) -> Result<(Prediction, f64), GraficsError> {
+    let query = embed_with_budget(model, scratch, matching, budget, counters, record, rng)?;
+    match precision {
+        MatchPrecision::F64 => Ok(model.clusters.predict_with_margin(query)?),
+        MatchPrecision::F32Refined => {
+            let (pred, margin, fell_back) =
+                model.clusters.predict_with_margin_f32(query, matching)?;
+            if fell_back {
+                counters.f32_fallbacks += 1;
+            }
+            Ok((pred, margin))
+        }
+    }
+}
+
+/// Embeds one record into `scratch` against the frozen `model`, under the
+/// session's refinement budget. Under `OnlineBudget::Adaptive`, the
+/// decisive-margin probe sweeps the *current* ego estimate against the
+/// cluster centroids (reusing the session's `matching` scratch) every
+/// `min_spe` chunk; the probe consumes no RNG, so a never-stopped adaptive
+/// run is bit-identical to `Fixed(max_spe)`.
+fn embed_with_budget<'s, R: Rng + ?Sized>(
     model: &Grafics,
     scratch: &'s mut grafics_embed::OnlineScratch,
+    matching: &mut grafics_cluster::MatchScratch,
+    budget: OnlineBudget,
+    counters: &mut ServeCounters,
     record: &SignalRecord,
     rng: &mut R,
 ) -> Result<&'s [f64], GraficsError> {
     if !model.graph.overlaps(record) {
         return Err(GraficsError::OutsideBuilding);
     }
-    Ok(model.trainer.embed_query(
+    let margin_ratio = match budget {
+        OnlineBudget::Fixed(_) => 0.0,
+        OnlineBudget::Adaptive { margin_ratio, .. } => margin_ratio,
+    };
+    let clusters = &model.clusters;
+    let mut decisive = |ego: &[f32]| clusters.margin_decisive(ego, margin_ratio, matching);
+    let (query, outcome) = model.trainer.embed_query_budgeted(
         &model.graph,
         &model.embeddings,
         record,
         &model.neg_sampler,
+        budget,
+        &mut decisive,
         scratch,
         rng,
-    )?)
+    )?;
+    counters.refine_samples += outcome.samples as u64;
+    if outcome.early_stop() {
+        counters.early_stops += 1;
+    }
+    Ok(query)
 }

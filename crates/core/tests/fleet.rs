@@ -97,6 +97,89 @@ fn fleet_serving_is_thread_count_invariant() {
     }
 }
 
+/// The sub-50 µs serving path — adaptive refinement budget + f32-refined
+/// matching, served through the shared-snapshot batch workers — keeps
+/// the thread-count-invariance contract bit for bit, and the fleet's
+/// process-wide counters record the refinement work.
+#[test]
+fn adaptive_f32_serving_is_thread_count_invariant() {
+    use grafics_core::{MatchPrecision, OnlineBudget, ServingPolicy};
+    let mut fleet = build_fleet(RetentionPolicy::KeepAll);
+    fleet.set_serving(ServingPolicy {
+        budget: Some(OnlineBudget::Adaptive {
+            max_spe: 120,
+            min_spe: 10,
+            margin_ratio: 0.25,
+        }),
+        precision: Some(MatchPrecision::F32Refined),
+    });
+    let (_, stream) = fleet_fixture();
+    let records: Vec<SignalRecord> = stream.iter().map(|(_, r)| r.clone()).collect();
+
+    let serial = fleet.serve_batch(&records, 4096, 1);
+    assert!(serial.iter().flatten().count() * 10 >= records.len() * 9);
+    for threads in [2, 4, 7] {
+        let parallel = fleet.serve_batch(&records, 4096, threads);
+        for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+            match (a, b) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.building, b.building, "record {i}");
+                    assert_eq!(a.floor, b.floor, "record {i}");
+                    assert_eq!(
+                        a.distance.to_bits(),
+                        b.distance.to_bits(),
+                        "record {i}: adaptive serving must stay thread-count invariant"
+                    );
+                    assert_eq!(a.margin.to_bits(), b.margin.to_bits(), "record {i}");
+                }
+                (None, None) => {}
+                _ => panic!("record {i}: presence differs across thread counts"),
+            }
+        }
+    }
+    let counters = fleet.serve_counters();
+    assert!(counters.refine_samples > 0);
+    assert!(
+        counters.early_stops > 0,
+        "well-separated offices must early-stop some queries: {counters:?}"
+    );
+}
+
+/// A never-stopping adaptive budget (`margin_ratio: 0`) with the model's
+/// own ceiling is bit-identical to the historical fixed path — the probe
+/// consumes no RNG and the LR schedule spans the full budget.
+#[test]
+fn adaptive_zero_ratio_is_bit_identical_to_fixed_default() {
+    use grafics_core::{OnlineBudget, ServingPolicy};
+    let baseline = build_fleet(RetentionPolicy::KeepAll);
+    let mut adaptive = build_fleet(RetentionPolicy::KeepAll);
+    adaptive.set_serving(ServingPolicy {
+        // `fast()` models embed queries at 120 samples per edge.
+        budget: Some(OnlineBudget::Adaptive {
+            max_spe: 120,
+            min_spe: 10,
+            margin_ratio: 0.0,
+        }),
+        precision: None,
+    });
+    let (_, stream) = fleet_fixture();
+    let records: Vec<SignalRecord> = stream.iter().map(|(_, r)| r.clone()).collect();
+    let expect = baseline.serve_batch(&records, 31, 2);
+    let got = adaptive.serve_batch(&records, 31, 2);
+    for (i, (a, b)) in expect.iter().zip(&got).enumerate() {
+        match (a, b) {
+            (Some(a), Some(b)) => {
+                assert_eq!(a.floor, b.floor, "record {i}");
+                assert_eq!(a.distance.to_bits(), b.distance.to_bits(), "record {i}");
+                assert_eq!(a.margin.to_bits(), b.margin.to_bits(), "record {i}");
+            }
+            (None, None) => {}
+            _ => panic!("record {i}: presence differs"),
+        }
+    }
+    assert_eq!(adaptive.serve_counters().early_stops, 0);
+}
+
 /// Satellite (c): the router sends essentially every record home (MAC
 /// namespaces are disjoint up to simulated noise hotspots), and fleet
 /// `serve_batch` is bit-identical to serving each record on its routed

@@ -3,12 +3,17 @@
 //! incremental negative sampler never drifts from a from-scratch rebuild,
 //! and `refresh` honours the thread budget.
 
-use grafics_core::{Grafics, GraficsConfig, GraficsError};
+use grafics_core::{
+    Grafics, GraficsConfig, GraficsError, GraficsServer, MatchPrecision, OnlineBudget,
+    ServingPolicy,
+};
 use grafics_data::BuildingModel;
 use grafics_graph::NegativeSampler;
 use grafics_types::{FloorId, MacAddr, Reading, Rssi, SignalRecord};
+use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::sync::OnceLock;
 
 fn trained(seed: u64) -> (Grafics, grafics_types::Dataset) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -245,6 +250,58 @@ fn serving_preset_stays_accurate() {
         total > 0 && hits * 10 >= total * 8,
         "serving preset accuracy: {hits}/{total}"
     );
+}
+
+/// One trained model shared by the precision/budget property tests —
+/// training once is the expensive part.
+fn policy_fixture() -> &'static (Grafics, grafics_types::Dataset) {
+    static FIXTURE: OnceLock<(Grafics, grafics_types::Dataset)> = OnceLock::new();
+    FIXTURE.get_or_init(|| trained(71))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Pin: `F32Refined` matching is bit-identical to the historical
+    /// `F64` sweep on real-shaped corpora — floor, winning cluster,
+    /// distance, and margin, at any query/seed/budget combination. The
+    /// f32 pre-sweep only prunes candidates; every returned number is
+    /// computed in f64.
+    #[test]
+    fn f32_refined_serving_matches_f64_bitwise(
+        pick in 0usize..1000,
+        seed in 0u64..1 << 40,
+        adaptive in 0u8..2,
+    ) {
+        let (model, test) = policy_fixture();
+        let record = &test.samples()[pick % test.len()].record;
+        let budget = if adaptive == 1 {
+            Some(OnlineBudget::Adaptive { max_spe: 120, min_spe: 10, margin_ratio: 0.3 })
+        } else {
+            None
+        };
+        let mut f64_session = GraficsServer::with_policy(
+            model,
+            ServingPolicy { budget, precision: Some(MatchPrecision::F64) },
+        );
+        let mut f32_session = GraficsServer::with_policy(
+            model,
+            ServingPolicy { budget, precision: Some(MatchPrecision::F32Refined) },
+        );
+        let mut rng_a = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(seed);
+        let a = f64_session.infer_with_margin(record, &mut rng_a);
+        let b = f32_session.infer_with_margin(record, &mut rng_b);
+        match (a, b) {
+            (Ok((pa, ma)), Ok((pb, mb))) => {
+                prop_assert_eq!(&pa, &pb);
+                prop_assert_eq!(pa.distance.to_bits(), pb.distance.to_bits());
+                prop_assert_eq!(ma.to_bits(), mb.to_bits());
+            }
+            (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+            (a, b) => prop_assert!(false, "outcomes diverged: {:?} vs {:?}", a, b),
+        }
+    }
 }
 
 /// Model JSON written before the serving engine (no `neg_sampler` field)

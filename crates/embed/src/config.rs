@@ -39,6 +39,86 @@ impl fmt::Display for Objective {
     }
 }
 
+/// How many SGD samples the *online* refinement of one query spends.
+///
+/// The historical behaviour is [`OnlineBudget::Fixed`]: every query runs
+/// exactly `spe × deg` samples. [`OnlineBudget::Adaptive`] lets the
+/// serving path stop refining early once the top-1/top-2 centroid margin
+/// is already decisive — the embedding has stopped changing the answer,
+/// so the remaining samples are pure latency. Adaptive budgets are only
+/// honoured on the read-only query path ([`crate::ElineTrainer`]'s
+/// `embed_query_budgeted`); the mutable absorb path always runs its
+/// configured fixed budget so WAL replay streams never re-roll.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OnlineBudget {
+    /// Exactly `spe` samples per incident edge — bit-identical to the
+    /// historical path when `spe == online_samples_per_edge`.
+    Fixed(usize),
+    /// Up to `max_spe` samples per edge, probing for a decisive margin
+    /// every `min_spe` samples per edge.
+    Adaptive {
+        /// Samples per edge when no probe is ever decisive. With
+        /// `margin_ratio <= 0` (never decisive) the refinement is
+        /// bit-identical to `Fixed(max_spe)`.
+        max_spe: usize,
+        /// Probe cadence: the margin is checked every `min_spe` samples
+        /// per edge, so at least `min_spe × deg` samples always run.
+        min_spe: usize,
+        /// A probe is decisive when the runner-up centroid (on a
+        /// different floor) is at least `(1 + margin_ratio)×` the best
+        /// squared distance away. `<= 0` disables early stopping.
+        margin_ratio: f64,
+    },
+}
+
+impl OnlineBudget {
+    /// The samples-per-edge ceiling: `spe` for fixed budgets, `max_spe`
+    /// for adaptive ones.
+    #[must_use]
+    pub fn max_spe(&self) -> usize {
+        match *self {
+            OnlineBudget::Fixed(spe) => spe,
+            OnlineBudget::Adaptive { max_spe, .. } => max_spe,
+        }
+    }
+
+    /// Validates the budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbedError::InvalidConfig`] if any field is out of range.
+    pub fn validate(&self) -> Result<(), EmbedError> {
+        let bad = |what: &str| {
+            Err(EmbedError::InvalidConfig {
+                what: what.to_owned(),
+            })
+        };
+        match *self {
+            OnlineBudget::Fixed(spe) => {
+                if spe == 0 {
+                    return bad("online budget: fixed spe must be >= 1");
+                }
+            }
+            OnlineBudget::Adaptive {
+                max_spe,
+                min_spe,
+                margin_ratio,
+            } => {
+                if min_spe == 0 {
+                    return bad("online budget: min_spe must be >= 1");
+                }
+                if max_spe < min_spe {
+                    return bad("online budget: max_spe must be >= min_spe");
+                }
+                if !margin_ratio.is_finite() {
+                    return bad("online budget: margin_ratio must be finite");
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Hyper-parameters for offline training and online node embedding.
 ///
 /// Defaults follow §VI-A of the paper where stated (embedding dimension 8,
@@ -68,6 +148,11 @@ pub struct EmbeddingConfig {
     /// SGD samples used when embedding a *new* node online, per incident
     /// edge of the new node.
     pub online_samples_per_edge: usize,
+    /// Optional override of the online refinement budget. `None` (the
+    /// default, and what every pre-existing saved config deserialises
+    /// to) keeps the historical behaviour:
+    /// `Fixed(online_samples_per_edge)`.
+    pub online_budget: Option<OnlineBudget>,
     /// Worker threads for offline training. `1` (the default) runs the
     /// exact serial trainer; `>= 2` switches [`crate::ElineTrainer::train`]
     /// to the lock-free Hogwild path, whose floating-point results are
@@ -90,6 +175,7 @@ impl Default for EmbeddingConfig {
             dropout: 0.1,
             negative_exponent: 0.75,
             online_samples_per_edge: 200,
+            online_budget: None,
             threads: 1,
         }
     }
@@ -141,10 +227,22 @@ impl EmbeddingConfig {
         if self.online_samples_per_edge == 0 {
             return bad("online_samples_per_edge must be >= 1");
         }
+        if let Some(budget) = self.online_budget {
+            budget.validate()?;
+        }
         if self.threads == 0 {
             return bad("threads must be >= 1");
         }
         Ok(())
+    }
+
+    /// The effective online refinement budget:
+    /// [`EmbeddingConfig::online_budget`] when set, otherwise the
+    /// historical `Fixed(online_samples_per_edge)`.
+    #[must_use]
+    pub fn resolved_budget(&self) -> OnlineBudget {
+        self.online_budget
+            .unwrap_or(OnlineBudget::Fixed(self.online_samples_per_edge))
     }
 }
 
@@ -265,6 +363,47 @@ mod tests {
         ] {
             assert!(patch.validate().is_err());
         }
+    }
+
+    #[test]
+    fn online_budget_validation_and_resolution() {
+        assert!(OnlineBudget::Fixed(40).validate().is_ok());
+        assert!(OnlineBudget::Fixed(0).validate().is_err());
+        let good = OnlineBudget::Adaptive {
+            max_spe: 200,
+            min_spe: 20,
+            margin_ratio: 0.5,
+        };
+        assert!(good.validate().is_ok());
+        assert_eq!(good.max_spe(), 200);
+        for bad in [
+            OnlineBudget::Adaptive {
+                max_spe: 10,
+                min_spe: 20,
+                margin_ratio: 0.5,
+            },
+            OnlineBudget::Adaptive {
+                max_spe: 200,
+                min_spe: 0,
+                margin_ratio: 0.5,
+            },
+            OnlineBudget::Adaptive {
+                max_spe: 200,
+                min_spe: 20,
+                margin_ratio: f64::NAN,
+            },
+        ] {
+            assert!(bad.validate().is_err());
+        }
+        let cfg = EmbeddingConfig {
+            online_budget: Some(OnlineBudget::Fixed(0)),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+        assert_eq!(
+            EmbeddingConfig::default().resolved_budget(),
+            OnlineBudget::Fixed(200)
+        );
     }
 
     #[test]

@@ -70,9 +70,9 @@ mod parallel;
 mod sgd;
 mod trainer;
 
-pub use config::{EmbedError, EmbeddingConfig, Objective};
+pub use config::{EmbedError, EmbeddingConfig, Objective, OnlineBudget};
 pub use model::EmbeddingModel;
-pub use online::OnlineScratch;
+pub use online::{OnlineScratch, RefineOutcome};
 pub use trainer::{ElineTrainer, TrainingStats};
 
 // The serving path's negative distribution lives with the graph; re-export

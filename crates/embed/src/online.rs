@@ -21,7 +21,7 @@
 //! allocation, and uses the same sigmoid lookup table and unrolled dot
 //! kernels as the Hogwild offline trainer.
 
-use crate::config::{EmbedError, EmbeddingConfig, Objective};
+use crate::config::{EmbedError, EmbeddingConfig, Objective, OnlineBudget};
 use crate::model::{EmbeddingModel, Space};
 use crate::sgd::{
     axpy_lanes, dot_fixed, dot_lanes, fast_sigmoid, sigmoid_table, SIGMOID_TABLE_SIZE,
@@ -69,6 +69,34 @@ impl OnlineScratch {
     pub fn query(&self) -> &[f64] {
         &self.query
     }
+}
+
+/// What one budgeted online refinement actually spent — returned by
+/// `ElineTrainer::embed_query_budgeted` so serving tiers can report
+/// early-stop rates and total refinement work on `/metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefineOutcome {
+    /// SGD samples executed.
+    pub samples: usize,
+    /// The ceiling the budget allowed (`max_spe × deg`).
+    pub budget: usize,
+}
+
+impl RefineOutcome {
+    /// `true` if the refinement stopped before exhausting its budget.
+    #[must_use]
+    pub fn early_stop(&self) -> bool {
+        self.samples < self.budget
+    }
+}
+
+/// The adaptive budget's early-stop probe: `decisive` is called with the
+/// current (partially refined) ego row every `chunk` samples — strictly
+/// inside the loop, never at sample 0 or after the last sample — and a
+/// `true` return ends the refinement. The probe must not consume RNG.
+struct Probe<'p> {
+    chunk: usize,
+    decisive: &'p mut dyn FnMut(&[f32]) -> bool,
 }
 
 /// Read-only row storage for one online embedding: the frozen matrices
@@ -190,10 +218,14 @@ fn pos_step<const DIM: usize>(
 
 /// Dispatches the online SGD loop to a kernel monomorphised for the
 /// common embedding dimensions (the paper's default is 8); other
-/// dimensions take the dynamic-length path.
+/// dimensions take the dynamic-length path. `spe` is the
+/// samples-per-edge ceiling; a [`Probe`] can end the loop early.
+/// Returns the number of samples executed.
 #[allow(clippy::too_many_arguments)]
 fn run_online_sgd<R: Rng + ?Sized>(
     cfg: &EmbeddingConfig,
+    spe: usize,
+    probe: Option<Probe<'_>>,
     frozen: &FrozenRows<'_>,
     node_ego: &mut [f32],
     node_context: &mut [f32],
@@ -203,10 +235,12 @@ fn run_online_sgd<R: Rng + ?Sized>(
     negatives: &mut Vec<u32>,
     grad: &mut Vec<f32>,
     rng: &mut R,
-) {
+) -> usize {
     match cfg.dim {
         4 => run_online_sgd_k::<4, R>(
             cfg,
+            spe,
+            probe,
             frozen,
             node_ego,
             node_context,
@@ -219,6 +253,8 @@ fn run_online_sgd<R: Rng + ?Sized>(
         ),
         8 => run_online_sgd_k::<8, R>(
             cfg,
+            spe,
+            probe,
             frozen,
             node_ego,
             node_context,
@@ -231,6 +267,8 @@ fn run_online_sgd<R: Rng + ?Sized>(
         ),
         16 => run_online_sgd_k::<16, R>(
             cfg,
+            spe,
+            probe,
             frozen,
             node_ego,
             node_context,
@@ -243,6 +281,8 @@ fn run_online_sgd<R: Rng + ?Sized>(
         ),
         _ => run_online_sgd_k::<0, R>(
             cfg,
+            spe,
+            probe,
             frozen,
             node_ego,
             node_context,
@@ -258,10 +298,15 @@ fn run_online_sgd<R: Rng + ?Sized>(
 
 /// The shared online SGD loop. `nbrs`/`cum` list the query's neighbors
 /// with cumulative weights; `node_ego`/`node_context` are the only rows
-/// written.
+/// written. The learning-rate schedule always spans the full
+/// `spe × deg` budget, so an early-stopped refinement is a strict
+/// prefix — bit-identical as far as it ran — of the never-stopped one,
+/// and a probe that is never decisive changes nothing at all.
 #[allow(clippy::too_many_arguments)]
 fn run_online_sgd_k<const DIM: usize, R: Rng + ?Sized>(
     cfg: &EmbeddingConfig,
+    spe: usize,
+    mut probe: Option<Probe<'_>>,
     frozen: &FrozenRows<'_>,
     node_ego: &mut [f32],
     node_context: &mut [f32],
@@ -271,12 +316,21 @@ fn run_online_sgd_k<const DIM: usize, R: Rng + ?Sized>(
     negatives: &mut Vec<u32>,
     grad: &mut Vec<f32>,
     rng: &mut R,
-) {
+) -> usize {
     let table = sigmoid_table();
     grad.resize(cfg.dim, 0.0);
-    let total = cfg.online_samples_per_edge * nbrs.len();
+    let total = spe * nbrs.len();
     let total_weight = *cum.last().expect("at least one neighbor");
     for t in 0..total {
+        if let Some(p) = probe.as_mut() {
+            if t > 0 && t % p.chunk == 0 && (p.decisive)(node_ego) {
+                // Early stop: the RNG draws of the skipped samples are
+                // *not* burned, so the stream position depends on where
+                // the probe fired (read-only queries own their stream;
+                // the absorb path never probes).
+                return t;
+            }
+        }
         let lr = cfg.lr_at(t, total);
         // Weighted neighbor pick: one uniform draw, binary search over the
         // cumulative weights (O(log deg), allocation-free).
@@ -365,6 +419,7 @@ fn run_online_sgd_k<const DIM: usize, R: Rng + ?Sized>(
             }
         }
     }
+    total
 }
 
 impl ElineTrainer {
@@ -417,8 +472,13 @@ impl ElineTrainer {
             tail_ego: split.tail_ego,
             tail_context: split.tail_context,
         };
+        // The absorb path always runs its full fixed budget: adaptive
+        // early stopping here would shift the RNG stream that WAL replay
+        // and the journalled absorb sequence depend on.
         run_online_sgd(
             cfg,
+            cfg.online_samples_per_edge,
+            None,
             &frozen,
             split.node_ego,
             split.node_context,
@@ -458,8 +518,54 @@ impl ElineTrainer {
         scratch: &'a mut OnlineScratch,
         rng: &mut R,
     ) -> Result<&'a [f64], EmbedError> {
+        let spe = self.config().online_samples_per_edge;
+        let (query, _) = self.embed_query_budgeted(
+            graph,
+            model,
+            record,
+            neg,
+            OnlineBudget::Fixed(spe),
+            &mut |_| false,
+            scratch,
+            rng,
+        )?;
+        Ok(query)
+    }
+
+    /// [`ElineTrainer::embed_query`] with an explicit [`OnlineBudget`]:
+    /// an [`OnlineBudget::Adaptive`] budget probes `decisive` with the
+    /// current ego row every `min_spe` samples per edge and stops
+    /// refining on a `true` return, reporting what it spent in the
+    /// returned [`RefineOutcome`].
+    ///
+    /// Determinism contract: the learning-rate schedule spans the full
+    /// `max_spe` budget and the probe consumes no RNG, so a refinement
+    /// whose probe never fires — including any `Adaptive` budget with
+    /// `margin_ratio <= 0` — is bit-identical to `Fixed(max_spe)`,
+    /// ending with the RNG in the same state. An early stop leaves the
+    /// RNG wherever the probe fired; that is safe here because the
+    /// read-only query path owns its per-record stream, and is exactly
+    /// why the mutable absorb path never probes.
+    ///
+    /// # Errors
+    ///
+    /// As [`ElineTrainer::embed_query`], plus
+    /// [`EmbedError::InvalidConfig`] for an out-of-range `budget`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn embed_query_budgeted<'a, R: Rng + ?Sized>(
+        &self,
+        graph: &BipartiteGraph,
+        model: &EmbeddingModel,
+        record: &SignalRecord,
+        neg: &NegativeSampler,
+        budget: OnlineBudget,
+        decisive: &mut dyn FnMut(&[f32]) -> bool,
+        scratch: &'a mut OnlineScratch,
+        rng: &mut R,
+    ) -> Result<(&'a [f64], RefineOutcome), EmbedError> {
         let cfg = self.config();
         cfg.validate()?;
+        budget.validate()?;
         let dim = cfg.dim;
         let cap = graph.node_capacity();
 
@@ -515,8 +621,28 @@ impl ElineTrainer {
             tail_ego,
             tail_context,
         };
-        run_online_sgd(
+        let deg = scratch.nbrs.len();
+        let (spe, probe) = match budget {
+            OnlineBudget::Fixed(spe) => (spe, None),
+            OnlineBudget::Adaptive {
+                max_spe,
+                min_spe,
+                margin_ratio,
+            } => {
+                // `margin_ratio <= 0` can never be decisive — skip the
+                // probe machinery entirely (identical result either way;
+                // the probe consumes no RNG).
+                let probe = (margin_ratio > 0.0).then_some(Probe {
+                    chunk: min_spe * deg,
+                    decisive,
+                });
+                (max_spe, probe)
+            }
+        };
+        let samples = run_online_sgd(
             cfg,
+            spe,
+            probe,
             &frozen,
             node_ego,
             node_context,
@@ -530,7 +656,13 @@ impl ElineTrainer {
 
         scratch.query.clear();
         scratch.query.extend(node_ego.iter().map(|&x| f64::from(x)));
-        Ok(&scratch.query)
+        Ok((
+            &scratch.query,
+            RefineOutcome {
+                samples,
+                budget: spe * deg,
+            },
+        ))
     }
 }
 
@@ -648,6 +780,98 @@ mod tests {
             .embed_new_node_with(&g2, &mut model2, node, &neg, &mut scratch, &mut rng_m)
             .unwrap();
         assert_eq!(frozen_query, model2.ego_vec(node));
+    }
+
+    /// An adaptive budget whose probe never fires (here: `margin_ratio`
+    /// of 0, the never-decisive guard) is bit-identical to
+    /// `Fixed(max_spe)` — same embedding, same final RNG state, full
+    /// budget spent.
+    #[test]
+    fn never_decisive_adaptive_matches_fixed_bitwise() {
+        let (g, model, trainer) = trained(13);
+        let neg = NegativeSampler::from_graph(&g, trainer.config().negative_exponent);
+        let query = rec(&[0, 2, 999]);
+
+        let mut scratch = OnlineScratch::new();
+        let mut rng_f = ChaCha8Rng::seed_from_u64(9);
+        let (q_fixed, out_fixed) = trainer
+            .embed_query_budgeted(
+                &g,
+                &model,
+                &query,
+                &neg,
+                OnlineBudget::Fixed(40),
+                &mut |_| false,
+                &mut scratch,
+                &mut rng_f,
+            )
+            .map(|(q, o)| (q.to_vec(), o))
+            .unwrap();
+
+        let mut rng_a = ChaCha8Rng::seed_from_u64(9);
+        let mut probed = 0usize;
+        let (q_adaptive, out_adaptive) = trainer
+            .embed_query_budgeted(
+                &g,
+                &model,
+                &query,
+                &neg,
+                OnlineBudget::Adaptive {
+                    max_spe: 40,
+                    min_spe: 5,
+                    margin_ratio: 0.0,
+                },
+                &mut |_| {
+                    probed += 1;
+                    true // would stop if the guard ever let it run
+                },
+                &mut scratch,
+                &mut rng_a,
+            )
+            .map(|(q, o)| (q.to_vec(), o))
+            .unwrap();
+
+        assert_eq!(q_fixed, q_adaptive);
+        assert_eq!(out_fixed, out_adaptive);
+        assert_eq!(probed, 0, "margin_ratio = 0 must never probe");
+        assert!(!out_adaptive.early_stop());
+        assert_eq!(out_adaptive.samples, out_adaptive.budget);
+        assert_eq!(rng_f.gen::<u64>(), rng_a.gen::<u64>());
+    }
+
+    /// An always-decisive probe stops at the first chunk boundary:
+    /// exactly `min_spe × deg` samples, flagged as an early stop, and
+    /// the result equals the prefix a plain `Fixed(min_spe)` run of the
+    /// same schedule would *not* produce (the LR schedule still spans
+    /// `max_spe`), pinned instead against a manual prefix run.
+    #[test]
+    fn always_decisive_probe_stops_at_first_chunk() {
+        let (g, model, trainer) = trained(29);
+        let neg = NegativeSampler::from_graph(&g, trainer.config().negative_exponent);
+        let query = rec(&[1, 3, 5]);
+        let deg = query.readings().len();
+
+        let mut scratch = OnlineScratch::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let (_, out) = trainer
+            .embed_query_budgeted(
+                &g,
+                &model,
+                &query,
+                &neg,
+                OnlineBudget::Adaptive {
+                    max_spe: 40,
+                    min_spe: 5,
+                    margin_ratio: 1.0,
+                },
+                &mut |_| true,
+                &mut scratch,
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(out.samples, 5 * deg);
+        assert_eq!(out.budget, 40 * deg);
+        assert!(out.early_stop());
     }
 
     #[test]

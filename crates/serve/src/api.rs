@@ -420,6 +420,26 @@ fn metrics(state: &FleetState, out: &mut String) -> u16 {
     w(out, "grafics_wal_appends_total", "counter", &wal.appends);
     w(out, "grafics_wal_fsyncs_total", "counter", &wal.fsyncs);
     w(out, "grafics_wal_tail_bytes", "gauge", &wal.tail_bytes);
+    // Serving-path refinement counters (adaptive budget + f32 matching).
+    let serve = state.fleet().serve_counters();
+    w(
+        out,
+        "grafics_serve_refine_samples_total",
+        "counter",
+        &serve.refine_samples,
+    );
+    w(
+        out,
+        "grafics_serve_early_stops_total",
+        "counter",
+        &serve.early_stops,
+    );
+    w(
+        out,
+        "grafics_match_f32_fallbacks_total",
+        "counter",
+        &serve.f32_fallbacks,
+    );
     w(
         out,
         "grafics_recoveries_total",

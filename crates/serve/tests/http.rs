@@ -334,6 +334,76 @@ fn metrics_exposes_counters_in_plaintext() {
     server.shutdown().unwrap();
 }
 
+/// `/metrics` exposes the serving refinement counters
+/// (`grafics_serve_refine_samples_total`, `grafics_serve_early_stops_total`,
+/// `grafics_match_f32_fallbacks_total`); under an adaptive budget +
+/// f32-matching [`ServingPolicy`] they advance as queries flow, and the
+/// HTTP answers stay bit-identical to the in-process fleet under the
+/// same policy.
+#[test]
+fn metrics_exposes_serving_refinement_counters() {
+    use grafics_core::{MatchPrecision, OnlineBudget, ServingPolicy};
+    let policy = ServingPolicy {
+        budget: Some(OnlineBudget::Adaptive {
+            max_spe: 120,
+            min_spe: 10,
+            margin_ratio: 0.25,
+        }),
+        precision: Some(MatchPrecision::F32Refined),
+    };
+    let (_, queries) = fixture();
+    let mut reference_fleet = build_fleet();
+    reference_fleet.set_serving(policy);
+    let reference = reference_fleet.serve_batch(queries, 55, 1);
+
+    let mut fleet = build_fleet();
+    fleet.set_serving(policy);
+    let server = spawn(fleet, ServeConfig::default());
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+    let body = format!(
+        "{{\"records\":{},\"seed\":55,\"threads\":2}}",
+        records_json(queries)
+    );
+    let (status, response) = client.post("/v1/infer_batch", &body).unwrap();
+    assert_eq!(status, 200, "{response}");
+    let batch: BatchBody = serde_json::from_str(&response).unwrap();
+    for (i, (wire, local)) in batch.predictions.iter().zip(&reference).enumerate() {
+        match (wire, local) {
+            (Some(w), Some(l)) => {
+                assert_eq!(w.floor, l.floor.0, "record {i}");
+                assert_eq!(
+                    w.distance.to_bits(),
+                    l.distance.to_bits(),
+                    "record {i}: adaptive+f32 serving must survive the HTTP hop bit-exactly"
+                );
+            }
+            (None, None) => {}
+            _ => panic!("record {i}: presence differs between HTTP and in-process"),
+        }
+    }
+
+    let (status, text) = client.get("/metrics").unwrap();
+    assert_eq!(status, 200, "{text}");
+    let counter = |name: &str| -> u64 {
+        text.lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")))
+            .unwrap_or_else(|| panic!("{name} missing from:\n{text}"))
+            .parse()
+            .unwrap()
+    };
+    let refined = counter("grafics_serve_refine_samples_total");
+    let stops = counter("grafics_serve_early_stops_total");
+    // Presence is the contract for the fallback counter; office corpora
+    // rarely trip it.
+    let _ = counter("grafics_match_f32_fallbacks_total");
+    assert!(refined > 0, "served queries must account their SGD samples");
+    assert!(
+        stops > 0,
+        "well-separated office floors must early-stop some queries at ratio 0.25"
+    );
+    server.shutdown().unwrap();
+}
+
 /// Acceptance: absorbs past the configured N trigger a publish without
 /// any client calling `/v1/publish` — the maintenance daemon acts on the
 /// manifest's cadence.
@@ -511,6 +581,7 @@ fn saved_manifest_drives_the_server() {
                 refresh_every_publishes: None,
             },
             durability: DurabilityPolicy::Off,
+            serving: None,
         }
     );
 

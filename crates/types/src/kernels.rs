@@ -150,6 +150,57 @@ pub fn sqdist_f64(a: &[f64], b: &[f64]) -> f64 {
     acc
 }
 
+/// Sequential squared ℓ2 distance over `f32` rows (contract 1): the
+/// single-precision twin of [`sqdist_f64`], accumulated in ascending
+/// coordinate order. Used as the reference the lane-blocked
+/// [`sqdist_lanes_f32`] is tested against.
+#[inline(always)]
+#[must_use]
+pub fn sqdist_f32(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for d in 0..a.len() {
+        let diff = a[d] - b[d];
+        acc += diff * diff;
+    }
+    acc
+}
+
+/// Lane-blocked squared ℓ2 distance over `f32` rows (contract 3): four
+/// independent `mul_add` accumulator chains over chunks of 4, the
+/// `(acc0+acc2)+(acc1+acc3)` reduction, and a sequential FMA tail —
+/// the same scheme as [`dot_lanes_f32`], so it autovectorizes on the
+/// same backends. This is the single-precision centroid-sweep kernel:
+/// half the memory bandwidth of the `f64` sweep, used only to *rank*
+/// candidates that are then re-scored with [`sqdist_f64`], so its
+/// rounding never reaches a returned distance.
+#[inline(always)]
+#[must_use]
+pub fn sqdist_lanes_f32(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let mut acc = [0.0f32; 4];
+    let mut d = 0;
+    while d + 4 <= n {
+        let d0 = a[d] - b[d];
+        let d1 = a[d + 1] - b[d + 1];
+        let d2 = a[d + 2] - b[d + 2];
+        let d3 = a[d + 3] - b[d + 3];
+        acc[0] = d0.mul_add(d0, acc[0]);
+        acc[1] = d1.mul_add(d1, acc[1]);
+        acc[2] = d2.mul_add(d2, acc[2]);
+        acc[3] = d3.mul_add(d3, acc[3]);
+        d += 4;
+    }
+    let mut sum = (acc[0] + acc[2]) + (acc[1] + acc[3]);
+    while d < n {
+        let diff = a[d] - b[d];
+        sum = diff.mul_add(diff, sum);
+        d += 1;
+    }
+    sum
+}
+
 /// Sequential ℓ2 distance: `sqdist_f64(a, b).sqrt()`.
 #[inline(always)]
 #[must_use]
@@ -252,6 +303,34 @@ mod tests {
         let b = [4.0f64, 0.0, 1.0];
         assert_eq!(sqdist_f64(&a, &b), 25.0);
         assert_eq!(euclidean_f64(&a, &b), 5.0);
+    }
+
+    /// The lane-blocked f32 squared distance stays within lanes-rounding
+    /// tolerance of the sequential reference at every length, including
+    /// the tail path, and is exact on exactly-representable inputs.
+    #[test]
+    fn sqdist_f32_lanes_close_to_sequential() {
+        assert_eq!(sqdist_f32(&[0.0, 3.0], &[4.0, 0.0]), 25.0);
+        assert_eq!(sqdist_lanes_f32(&[0.0, 3.0], &[4.0, 0.0]), 25.0);
+        for n in [1usize, 3, 4, 5, 8, 16, 17, 33, 64] {
+            let (a, b) = vecs(n);
+            let exact: f64 = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| {
+                    let d = f64::from(x) - f64::from(y);
+                    d * d
+                })
+                .sum();
+            assert!(
+                (f64::from(sqdist_f32(&a, &b)) - exact).abs() < 1e-4,
+                "seq dim {n}"
+            );
+            assert!(
+                (f64::from(sqdist_lanes_f32(&a, &b)) - exact).abs() < 1e-4,
+                "lanes dim {n}"
+            );
+        }
     }
 
     /// The 4-pair kernel must match four independent sequential calls
