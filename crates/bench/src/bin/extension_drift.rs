@@ -1,20 +1,22 @@
 //! Extension experiment (motivated by §III-A, not quantified in the
 //! paper): robustness to *environment drift* between offline training and
 //! online inference. A model is trained on a building's corpus; the AP
-//! deployment then drifts (a fraction of BSSIDs removed, new APs added,
-//! surviving powers jittered); accuracy is measured on scans from the
-//! drifted deployment. GRAFICS's dynamic graph absorbs new MACs online;
-//! we also report the effect of decommissioning the removed MACs from the
-//! graph (`remove_ap`) versus leaving them stale.
+//! deployment then drifts — one scenario-engine epoch of
+//! [`Event::ApChurn`] plus a step [`Event::SignalDrift`], the same typed
+//! events the `scenario_smoke` timelines replay — and accuracy is
+//! measured on scans from the drifted deployment. GRAFICS's dynamic graph
+//! absorbs new MACs online; we also report the effect of decommissioning
+//! the removed MACs from the graph (`prune_removed_macs`) versus leaving
+//! them stale.
 
 use grafics_bench::{write_json, ExperimentConfig};
 use grafics_core::{Grafics, GraficsConfig};
 use grafics_data::BuildingModel;
 use grafics_metrics::ConfusionMatrix;
-use grafics_types::FloorId;
+use grafics_scenario::{prune_removed_macs, Event, ScenarioWorld, Schedule};
+use grafics_types::{FloorId, MacAddr};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::HashSet;
 
 fn main() {
     let cfg = ExperimentConfig::from_args();
@@ -30,35 +32,46 @@ fn main() {
             let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed + run as u64);
             let building =
                 BuildingModel::office("drift", 5).with_records_per_floor(cfg.records_per_floor);
-            let mut layout = building.layout(&mut rng);
-            let corpus = building
-                .simulate_with_layout(&layout, &mut rng)
+            let floors = building.floors;
+            let mut world = ScenarioWorld::from_models(vec![building], &mut rng);
+            let corpus = world
+                .model(0)
+                .simulate_with_layout(world.layout(0), &mut rng)
                 .filter_rare_macs(2)
                 .with_label_budget(cfg.labels_per_floor, &mut rng);
             let Ok(model) = Grafics::train(&corpus, &GraficsConfig::default(), &mut rng) else {
                 continue;
             };
 
-            // Drift the world.
-            let before: HashSet<_> = layout.macs().into_iter().collect();
-            building.drift_layout(&mut layout, severity, severity, 1.0, &mut rng);
-            let after: HashSet<_> = layout.macs().into_iter().collect();
+            // Drift the world: one renovation-style scenario epoch.
+            let changes = world.apply_epoch(
+                &[
+                    Event::ApChurn {
+                        replace_frac: severity,
+                        add_frac: severity,
+                    },
+                    Event::SignalDrift {
+                        power_jitter_db: 1.0,
+                        schedule: Schedule::Step,
+                    },
+                ],
+                1,
+                &mut rng,
+            );
+            let removed: Vec<MacAddr> = changes.removed.iter().map(|&(_, mac)| mac).collect();
 
             // Variant A: stale graph (removed APs still present as nodes).
             let mut stale = model.clone();
-            // Variant B: pruned graph (decommissioned APs removed).
+            // Variant B: pruned graph (decommissioned APs removed, except
+            // where removal would strand a record).
             let mut pruned = model;
-            for mac in before.difference(&after) {
-                if pruned.graph().mac_node(*mac).is_some() {
-                    pruned.remove_ap(*mac).expect("known MAC");
-                }
-            }
+            prune_removed_macs(&mut pruned, &removed);
 
             let mut cm_stale = ConfusionMatrix::new();
             let mut cm_pruned = ConfusionMatrix::new();
             for i in 0..200 {
-                let floor = (i % building.floors as usize) as i16;
-                let Some(scan) = building.scan(&layout, floor, &mut rng) else {
+                let floor = (i % floors as usize) as i16;
+                let Some(scan) = world.model(0).scan(world.layout(0), floor, &mut rng) else {
                     continue;
                 };
                 if let Ok(p) = stale.infer(&scan, &mut rng) {

@@ -39,11 +39,12 @@
 
 use grafics_core::{
     BackendSpec, DurabilityPolicy, Grafics, GraficsConfig, GraficsFleet, MaintenancePolicy,
-    MatchPrecision, OnlineBudget, RecoveryReport, RetentionPolicy, RouterKind, RouterManifest,
-    ServingPolicy,
+    MatchPrecision, OnlineBudget, RecoveryReport, RefreshTrigger, RetentionPolicy, RouterKind,
+    RouterManifest, ServingPolicy,
 };
 use grafics_data::{io as dio, BuildingModel, FleetPreset};
 use grafics_metrics::ConfusionMatrix;
+use grafics_scenario::{replay, RefreshMode, ReplayConfig, Scenario};
 use grafics_serve::{HttpServer, RouterConfig, RouterServer, ServeConfig};
 use grafics_types::{BreakerPolicy, BuildingId, Dataset, HealthPolicy, RateLimitPolicy};
 use rand::SeedableRng;
@@ -62,6 +63,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some("infer") => infer(&args[1..]),
         Some("evaluate") => evaluate(&args[1..]),
         Some("fleet") => fleet(&args[1..]),
+        Some("scenario") => scenario(&args[1..]),
         Some("help") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
     }
@@ -96,6 +98,12 @@ commands:
            [--deadline-ms N] [--retries N]
   fleet recover  --models model-dir
   fleet stat     --models model-dir
+  scenario list
+  scenario run   --preset NAME | --file scenario.json [--seed N] [--labels N]
+           [--threads N] [--retention keepall|fifo:N|perfloor:N]
+           [--refresh none|cadence:K|margin:W:R] [--epochs N] [--buildings N]
+           [--records-per-floor N] [--absorbs N] [--probes N]
+           [--save-scenario FILE] [--out report.json]
   help
 
 infer/evaluate serve read-only on --threads workers (0 = all cores) with
@@ -141,6 +149,20 @@ throttles per client IP at RATE req/s (burst BURST) with 429 +
 Retry-After, and — with --auth-token, here or on the backends — requires
 a bearer token on /v1/absorb and /v1/publish. --manifest DIR reads
 router.json from DIR instead of flags; explicit flags override it.
+
+scenario replays a drift-and-churn timeline (AP churn, transmit-power
+drift, device mixes, cross-building bleed) against a freshly trained
+fleet and prints the accuracy-over-time curve per epoch, plus margin
+quantiles, fallback rate, and refresh/publish counts. scenario list
+names the built-in presets; scenario run takes a preset or a scenario
+JSON file (--save-scenario writes the resolved timeline back out as a
+shareable artifact). --refresh picks the maintenance discipline the
+replay enacts: none, a blind fixed cadence (refresh every K-th epoch),
+or the drift-triggered margin:W:R (refresh a shard when the p10 of its
+last W served margins drops below R x its post-refresh baseline). The
+size overrides (--epochs, --buildings, --records-per-floor, --absorbs,
+--probes) shrink a preset for quick runs. Reports are deterministic
+given --seed; --out writes the full report as JSON.
 ";
 
 fn fleet(args: &[String]) -> Result<String, String> {
@@ -155,6 +177,155 @@ fn fleet(args: &[String]) -> Result<String, String> {
             "fleet needs a subcommand (simulate|train|serve|route|recover|stat), got {other:?}\n{USAGE}"
         )),
     }
+}
+
+fn scenario(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        Some("run") => scenario_run(&args[1..]),
+        Some("list") => Ok(scenario_list()),
+        other => Err(format!(
+            "scenario needs a subcommand (run|list), got {other:?}\n{USAGE}"
+        )),
+    }
+}
+
+fn scenario_list() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>16}  timeline", "preset");
+    for name in Scenario::preset_names() {
+        let s = Scenario::preset(name).expect("listed preset");
+        let events: usize = s.epochs.iter().map(|e| e.events.len()).sum();
+        let _ = writeln!(
+            out,
+            "{:>16}  {} buildings, {} epochs, {} events",
+            name,
+            s.buildings,
+            s.epochs.len(),
+            events
+        );
+    }
+    out
+}
+
+/// `none`, `cadence:K`, or `margin:W:R`.
+fn parse_refresh(v: &str) -> Result<RefreshMode, String> {
+    if v == "none" {
+        return Ok(RefreshMode::None);
+    }
+    if let Some(k) = v.strip_prefix("cadence:") {
+        let k: u32 = k
+            .parse()
+            .map_err(|_| format!("--refresh: cannot parse cadence {k:?}"))?;
+        if k == 0 {
+            return Err("--refresh cadence:K needs K >= 1".to_owned());
+        }
+        return Ok(RefreshMode::Cadence(k));
+    }
+    RefreshTrigger::parse(v)
+        .map(RefreshMode::MarginTrigger)
+        .map_err(|e| format!("--refresh: {e}"))
+}
+
+fn scenario_run(args: &[String]) -> Result<String, String> {
+    let flags = Flags::parse(args)?;
+    let mut scenario = match (flags.get("preset"), flags.get("file")) {
+        (Some(name), None) => Scenario::preset(name).ok_or_else(|| {
+            format!(
+                "unknown scenario preset {name:?} (try: {})",
+                Scenario::preset_names().join(", ")
+            )
+        })?,
+        (None, Some(path)) => {
+            Scenario::load(std::path::Path::new(path)).map_err(|e| format!("--file {path}: {e}"))?
+        }
+        _ => {
+            return Err(
+                "scenario run needs exactly one of --preset NAME or --file scenario.json"
+                    .to_owned(),
+            )
+        }
+    };
+
+    // Size overrides, for shrinking a preset to a quick run.
+    if let Some(epochs) = flags.parse_opt::<usize>("epochs")? {
+        scenario.epochs.truncate(epochs.max(1));
+    }
+    if let Some(buildings) = flags.parse_opt::<usize>("buildings")? {
+        scenario.buildings = buildings.max(1);
+    }
+    if let Some(rpf) = flags.parse_opt::<usize>("records-per-floor")? {
+        scenario.records_per_floor = rpf.max(1);
+    }
+    for epoch in &mut scenario.epochs {
+        if let Some(absorbs) = flags.parse_opt::<usize>("absorbs")? {
+            epoch.absorb_per_building = absorbs;
+        }
+        if let Some(probes) = flags.parse_opt::<usize>("probes")? {
+            epoch.probe_per_building = probes;
+        }
+    }
+    if let Some(path) = flags.get("save-scenario") {
+        scenario
+            .save(std::path::Path::new(path))
+            .map_err(|e| format!("--save-scenario {path}: {e}"))?;
+    }
+
+    let cfg = ReplayConfig {
+        seed: flags.parse_or("seed", 2022)?,
+        labels_per_floor: flags.parse_or("labels", 4)?,
+        threads: resolve_threads(flags.parse_or("threads", 1)?),
+        retention: flags
+            .get("retention")
+            .map(parse_retention)
+            .transpose()?
+            .unwrap_or(RetentionPolicy::KeepAll),
+        refresh: flags
+            .get("refresh")
+            .map(parse_refresh)
+            .transpose()?
+            .unwrap_or(RefreshMode::None),
+        grafics: None,
+    };
+    let report = replay(&scenario, &cfg)?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "scenario {} (seed {}, refresh {})",
+        report.scenario, report.seed, report.refresh
+    );
+    let _ = writeln!(
+        out,
+        "{:>20} {:>8} {:>9} {:>8} {:>8} {:>9} {:>9} {:>9}",
+        "epoch", "acc", "fallback", "p10", "p50", "refreshes", "pruned", "resident"
+    );
+    for e in &report.epochs {
+        let _ = writeln!(
+            out,
+            "{:>20} {:>8.3} {:>9.3} {:>8.2} {:>8.2} {:>9} {:>9} {:>9}",
+            e.label,
+            e.accuracy,
+            e.fallback_rate,
+            e.margin_p10,
+            e.margin_p50,
+            e.refreshes,
+            e.pruned_macs,
+            e.resident_records
+        );
+    }
+    let _ = writeln!(
+        out,
+        "mean accuracy {:.3}, min {:.3}, {} refreshes over {} epochs",
+        report.mean_accuracy(),
+        report.min_accuracy(),
+        report.total_refreshes(),
+        report.epochs.len()
+    );
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("--out {path}: {e}"))?;
+        let _ = writeln!(out, "wrote {path}");
+    }
+    Ok(out)
 }
 
 /// `--threads 0` means "use every hardware thread".
@@ -495,6 +666,10 @@ fn fleet_train(args: &[String]) -> Result<String, String> {
         publish_after_absorbs: flags.parse_opt("publish-after-absorbs")?,
         publish_after_secs: flags.parse_opt("publish-after-secs")?,
         refresh_every_publishes: flags.parse_opt("refresh-every")?,
+        refresh_trigger: flags
+            .get("refresh-trigger")
+            .map(|s| RefreshTrigger::parse(s).map_err(|e| format!("--refresh-trigger: {e}")))
+            .transpose()?,
     };
     if maintenance.publish_after_absorbs == Some(0)
         || maintenance.refresh_every_publishes == Some(0)
@@ -502,6 +677,9 @@ fn fleet_train(args: &[String]) -> Result<String, String> {
         return Err(
             "--publish-after-absorbs/--refresh-every must be >= 1 (omit to disable)".into(),
         );
+    }
+    if maintenance.refresh_trigger.is_some_and(|t| t.is_noop()) {
+        return Err("--refresh-trigger margin:W:R needs W >= 1 and R > 0".into());
     }
     if maintenance.publish_after_secs.is_some_and(|t| t <= 0.0) {
         return Err("--publish-after-secs must be > 0 (omit to disable)".into());

@@ -1,0 +1,80 @@
+//! CLI contracts for the scenario engine: `grafics scenario run
+//! --preset NAME --out report.json` writes a report that parses back
+//! and equals the library replay bit for bit, and `scenario list`
+//! names every built-in preset.
+
+use grafics_cli::run;
+use grafics_scenario::{replay, RefreshMode, ReplayConfig, Scenario, ScenarioReport};
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| (*s).to_owned()).collect()
+}
+
+#[test]
+fn scenario_list_names_every_preset() {
+    let text = run(&args(&["scenario", "list"])).unwrap();
+    for name in Scenario::preset_names() {
+        assert!(text.contains(name), "{name} missing from:\n{text}");
+    }
+}
+
+#[test]
+fn scenario_run_round_trips_report_json() {
+    let dir = std::env::temp_dir().join(format!("grafics-cli-scenario-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("report.json");
+    let saved = dir.join("scenario.json");
+
+    let text = run(&args(&[
+        "scenario",
+        "run",
+        "--preset",
+        "stable",
+        "--epochs",
+        "2",
+        "--buildings",
+        "2",
+        "--records-per-floor",
+        "25",
+        "--absorbs",
+        "5",
+        "--probes",
+        "10",
+        "--save-scenario",
+        saved.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+    ]))
+    .unwrap();
+    assert!(text.contains("mean accuracy"), "{text}");
+
+    // The written report parses back and equals the library replay of
+    // the saved (shrunk) scenario under the same defaults — the CLI adds
+    // no hidden knobs.
+    let report = ScenarioReport::from_json(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    assert_eq!(report.scenario, "stable");
+    assert_eq!(report.epochs.len(), 2);
+    let scenario = Scenario::load(&saved).unwrap();
+    let reference = replay(
+        &scenario,
+        &ReplayConfig {
+            seed: 2022,
+            refresh: RefreshMode::None,
+            ..ReplayConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        report, reference,
+        "CLI report must equal the library replay"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn scenario_run_rejects_unknown_preset() {
+    let err = run(&args(&["scenario", "run", "--preset", "no-such"])).unwrap_err();
+    assert!(err.contains("unknown scenario preset"), "{err}");
+    let err = run(&args(&["scenario", "run"])).unwrap_err();
+    assert!(err.contains("--preset"), "{err}");
+}

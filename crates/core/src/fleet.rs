@@ -76,7 +76,7 @@ use grafics_cluster::MatchScratch;
 use grafics_embed::OnlineScratch;
 use grafics_types::{
     BreakerPolicy, BuildingId, DurabilityPolicy, FloorId, HealthPolicy, RateLimitPolicy, RecordId,
-    SignalRecord,
+    RefreshTrigger, SignalRecord,
 };
 use parking_lot::{Mutex, RwLock};
 use rand::Rng;
@@ -161,6 +161,12 @@ pub struct MaintenancePolicy {
     /// after every this-many publishes, then publish the refreshed
     /// model. `Some(0)` is treated as disabled.
     pub refresh_every_publishes: Option<u32>,
+    /// Drift-triggered refresh: re-train a shard when its served
+    /// floor-margin distribution degrades ([`RefreshTrigger`],
+    /// evaluated by [`Shard::margin_refresh_due`]) instead of — or in
+    /// addition to — the blind publish-count cadence. Pre-version-4
+    /// manifests load as `None` (cadence only).
+    pub refresh_trigger: Option<RefreshTrigger>,
 }
 
 impl MaintenancePolicy {
@@ -171,6 +177,13 @@ impl MaintenancePolicy {
         self.publish_after_absorbs.is_none()
             && self.publish_after_secs.is_none()
             && self.refresh_every_publishes.is_none()
+            && self.effective_trigger().is_none()
+    }
+
+    /// The effective drift trigger, with degenerate knobs filtered out.
+    #[must_use]
+    pub fn effective_trigger(&self) -> Option<RefreshTrigger> {
+        self.refresh_trigger.filter(|t| !t.is_noop())
     }
 }
 
@@ -217,8 +230,11 @@ impl Default for FleetManifest {
 /// Current [`FleetManifest::version`]. Version 2 added the `durability`
 /// field; version-1 manifests load with [`DurabilityPolicy::Off`].
 /// Version 3 added the optional `serving` policy; earlier manifests load
-/// with `None` (per-model defaults).
-pub const FLEET_MANIFEST_VERSION: u32 = 3;
+/// with `None` (per-model defaults). Version 4 added the optional
+/// `maintenance.refresh_trigger`; earlier manifests load with `None`
+/// (cadence-only maintenance) — the vendored serde reads a missing field
+/// as `null`, so no fallback shape is needed.
+pub const FLEET_MANIFEST_VERSION: u32 = 4;
 
 /// File name of the manifest inside a fleet directory.
 const FLEET_MANIFEST_FILE: &str = "fleet.json";
@@ -490,6 +506,61 @@ fn checkpoint_write_side(id: BuildingId, w: &WriteSide, model: &Grafics) -> Resu
     Ok(())
 }
 
+/// Default sliding-window length for the margin gauges: what `/metrics`
+/// aggregates over when no [`RefreshTrigger`] names a window.
+pub const DEFAULT_MARGIN_WINDOW: usize = 256;
+
+/// Hard capacity of a shard's margin ring. A [`RefreshTrigger`] window
+/// larger than this is silently clamped — the gauge can only see what
+/// the ring retains.
+const MARGIN_WINDOW_CAP: usize = 4096;
+
+/// Sliding window of recently served floor margins plus the
+/// post-refresh baseline — the evidence behind
+/// [`RefreshTrigger::MarginDrop`]. Quantiles are order-insensitive over
+/// the retained multiset, so any serve interleaving that records the
+/// same margins reads the same gauges.
+#[derive(Debug, Default)]
+struct MarginWindow {
+    /// Finite margins, oldest first, capped at [`MARGIN_WINDOW_CAP`].
+    buf: VecDeque<f64>,
+    /// p10 captured when the window first filled after the last refresh;
+    /// the drop trigger compares against this.
+    baseline_p10: Option<f64>,
+}
+
+impl MarginWindow {
+    /// Records one served margin. Non-finite margins (single-floor
+    /// models report `+∞`) carry no drift signal and are skipped.
+    fn record(&mut self, margin: f64) {
+        if !margin.is_finite() {
+            return;
+        }
+        if self.buf.len() == MARGIN_WINDOW_CAP {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(margin);
+    }
+
+    /// Nearest-rank quantile over the most recent `window` margins;
+    /// `None` while the window is empty.
+    fn quantile(&self, window: usize, q: f64) -> Option<f64> {
+        let n = self.buf.len().min(window.max(1));
+        if n == 0 {
+            return None;
+        }
+        let mut recent: Vec<f64> = self.buf.iter().rev().take(n).copied().collect();
+        recent.sort_by(f64::total_cmp);
+        Some(recent[quantile_rank(n, q)])
+    }
+}
+
+/// Zero-based nearest-rank index of quantile `q` in a sorted slice of
+/// length `n > 0`.
+fn quantile_rank(n: usize, q: f64) -> usize {
+    ((q * n as f64).ceil() as usize).clamp(1, n) - 1
+}
+
 /// One building's double-buffered model: a frozen published snapshot
 /// serving reads with `&self`, and a mutex-guarded write side absorbing
 /// records under a [`RetentionPolicy`]. See the [module docs](self).
@@ -501,6 +572,10 @@ pub struct Shard {
     /// Publish count since construction.
     epoch: AtomicU64,
     write: Mutex<WriteSide>,
+    /// Served floor margins, feeding the drift gauges and
+    /// [`RefreshTrigger::MarginDrop`]. Its own lock so the serve path
+    /// never touches the absorb mutex.
+    margins: Mutex<MarginWindow>,
 }
 
 impl fmt::Debug for Shard {
@@ -608,6 +683,7 @@ impl Shard {
                 scratch: OnlineScratch::new(),
                 wal: None,
             }),
+            margins: Mutex::new(MarginWindow::default()),
         }
     }
 
@@ -636,6 +712,7 @@ impl Shard {
                 scratch: OnlineScratch::new(),
                 wal: None,
             }),
+            margins: Mutex::new(MarginWindow::default()),
         }
     }
 
@@ -936,7 +1013,75 @@ impl Shard {
                 labels[member] = Some(cluster.floor);
             }
         }
-        guard.model.refresh(&labels, rng)
+        guard.model.refresh(&labels, rng)?;
+        // A refresh re-draws the cluster geometry, so old margins no
+        // longer describe the serving model: restart the window and let
+        // the next full window set a fresh baseline. Taken while still
+        // holding the write lock so a trigger can't re-fire off stale
+        // evidence between refresh and reset.
+        *self.margins.lock() = MarginWindow::default();
+        Ok(())
+    }
+
+    /// Records one served floor margin into the shard's sliding window.
+    /// Called by every fleet serve path; cheap (a short mutex and a ring
+    /// push), and order-insensitive for the quantile gauges.
+    pub fn record_margin(&self, margin: f64) {
+        self.margins.lock().record(margin);
+    }
+
+    /// `(p10, p50)` of the most recent `window` served margins, or
+    /// `None` before anything was served. Nearest-rank quantiles.
+    #[must_use]
+    pub fn margin_quantiles(&self, window: usize) -> Option<(f64, f64)> {
+        let guard = self.margins.lock();
+        Some((guard.quantile(window, 0.10)?, guard.quantile(window, 0.50)?))
+    }
+
+    /// The most recent `window` served margins, newest last — the raw
+    /// evidence behind [`Shard::margin_quantiles`], exposed so the fleet
+    /// can pool shards into one distribution.
+    #[must_use]
+    pub fn recent_margins(&self, window: usize) -> Vec<f64> {
+        let guard = self.margins.lock();
+        let n = guard.buf.len().min(window);
+        let mut out: Vec<f64> = guard.buf.iter().rev().take(n).copied().collect();
+        out.reverse();
+        out
+    }
+
+    /// Evaluates `trigger` against the margin window: `true` when the
+    /// current window-p10 has dropped below `ratio` of the post-refresh
+    /// baseline. Needs a full window of evidence; the first full window
+    /// after a refresh *establishes* the baseline and never fires. The
+    /// serve daemon refreshes + publishes when this returns `true`.
+    #[must_use]
+    pub fn margin_refresh_due(&self, trigger: RefreshTrigger) -> bool {
+        if trigger.is_noop() {
+            return false;
+        }
+        match trigger {
+            RefreshTrigger::MarginDrop { window, ratio } => {
+                let mut guard = self.margins.lock();
+                if guard.buf.len() < window.min(MARGIN_WINDOW_CAP) {
+                    return false;
+                }
+                let Some(p10) = guard.quantile(window, 0.10) else {
+                    return false;
+                };
+                match guard.baseline_p10 {
+                    None => {
+                        guard.baseline_p10 = Some(p10);
+                        false
+                    }
+                    Some(baseline) => p10 < ratio * baseline,
+                }
+            }
+            // `RefreshTrigger` is non_exhaustive upstream; unknown future
+            // variants are conservatively never-due.
+            #[allow(unreachable_patterns)]
+            _ => false,
+        }
     }
 
     /// Point-in-time statistics.
@@ -1162,6 +1307,28 @@ impl GraficsFleet {
         self.metrics.snapshot()
     }
 
+    /// `(p10, p50)` of the most recent `window` served floor margins
+    /// **per shard**, pooled across the fleet into one distribution, or
+    /// `None` before anything was served. This is the fleet-wide drift
+    /// gauge exported as `grafics_margin_p10` / `grafics_margin_p50` on
+    /// the serve tier's `/metrics`.
+    #[must_use]
+    pub fn margin_quantiles(&self, window: usize) -> Option<(f64, f64)> {
+        let mut pooled: Vec<f64> = Vec::new();
+        for shard in &self.shards {
+            pooled.extend(shard.recent_margins(window));
+        }
+        if pooled.is_empty() {
+            return None;
+        }
+        pooled.sort_by(f64::total_cmp);
+        let n = pooled.len();
+        Some((
+            pooled[quantile_rank(n, 0.10)],
+            pooled[quantile_rank(n, 0.50)],
+        ))
+    }
+
     /// The WAL durability policy recorded (and persisted) with this
     /// fleet.
     #[must_use]
@@ -1319,6 +1486,9 @@ impl GraficsFleet {
         let result = server.infer_with_margin(record, rng);
         self.metrics.flush(server.take_counters());
         let (pred, margin) = result?;
+        if let Some(shard) = self.shard(id) {
+            shard.record_margin(margin);
+        }
         Ok(FleetPrediction {
             building: id,
             floor: pred.floor,
@@ -1359,6 +1529,9 @@ impl GraficsFleet {
                 let result = server.infer_with_margin(record, rng);
                 self.metrics.flush(server.take_counters());
                 let (pred, margin) = result?;
+                if let Some(shard) = self.shard(id) {
+                    shard.record_margin(margin);
+                }
                 Ok(FleetPrediction {
                     building: id,
                     floor: pred.floor,
@@ -1373,7 +1546,11 @@ impl GraficsFleet {
                     rng.clone()
                 });
                 self.metrics.flush(counters);
-                best.ok_or(FleetError::NoRoute)
+                let best = best.ok_or(FleetError::NoRoute)?;
+                if let Some(shard) = self.shard(best.building) {
+                    shard.record_margin(best.margin);
+                }
+                Ok(best)
             }
         }
     }
@@ -1524,6 +1701,11 @@ impl GraficsFleet {
                             broadcast_best(&snapshots, record, self.serving, &mut counters, |_| {
                                 record_rng(seed, stream)
                             });
+                        if let Some(p) = slot {
+                            if let Some(shard) = self.shard(p.building) {
+                                shard.record_margin(p.margin);
+                            }
+                        }
                     }
                     continue;
                 };
@@ -1534,12 +1716,17 @@ impl GraficsFleet {
                 *slot = server
                     .infer_with_margin(record, &mut rng)
                     .ok()
-                    .map(|(pred, margin)| FleetPrediction {
-                        building: snapshots[sidx].0,
-                        floor: pred.floor,
-                        distance: pred.distance,
-                        margin,
-                        fallback: false,
+                    .map(|(pred, margin)| {
+                        // `shards` and `snapshots` share the ascending-id
+                        // sort, so the route index addresses both.
+                        self.shards[sidx].record_margin(margin);
+                        FleetPrediction {
+                            building: snapshots[sidx].0,
+                            floor: pred.floor,
+                            distance: pred.distance,
+                            margin,
+                            fallback: false,
+                        }
                     });
             }
             for server in sessions.iter_mut().flatten() {

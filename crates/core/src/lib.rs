@@ -57,10 +57,11 @@ pub use fleet::{
     read_manifest, read_router_manifest, write_router_manifest, BackendSpec, FleetError,
     FleetManifest, FleetPrediction, FleetStats, GraficsFleet, MaintenancePolicy, OverlapRouter,
     RecoveryReport, RetentionPolicy, Router, RouterKind, RouterManifest, Shard, ShardRecovery,
-    ShardStats, WeightedOverlapRouter, FLEET_MANIFEST_VERSION, ROUTER_MANIFEST_VERSION,
+    ShardStats, WeightedOverlapRouter, DEFAULT_MARGIN_WINDOW, FLEET_MANIFEST_VERSION,
+    ROUTER_MANIFEST_VERSION,
 };
 pub use grafics_cluster::{ClusterError, Prediction};
-pub use grafics_types::DurabilityPolicy;
+pub use grafics_types::{DurabilityPolicy, RefreshTrigger};
 pub use server::{record_rng, GraficsServer, ServeCounters};
 // The serving knobs live with their stages; re-export so serving tiers
 // need only this crate.

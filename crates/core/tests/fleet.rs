@@ -427,6 +427,7 @@ fn manifest_round_trips_and_pre_manifest_dirs_migrate() {
         publish_after_absorbs: Some(32),
         publish_after_secs: Some(1.5),
         refresh_every_publishes: Some(4),
+        refresh_trigger: None,
     });
     let saved = fleet.manifest();
     fleet.save_dir(&dir).unwrap();

@@ -290,6 +290,20 @@ impl BuildingModel {
         self.scan_at(layout, x, y, floor, rng)
     }
 
+    /// [`BuildingModel::scan`] with an extra device-population RSS offset
+    /// (see [`BuildingModel::scan_at_with_offset`]).
+    pub fn scan_with_offset<R: Rng + ?Sized>(
+        &self,
+        layout: &BuildingLayout,
+        floor: i16,
+        extra_offset_db: f64,
+        rng: &mut R,
+    ) -> Option<SignalRecord> {
+        let x = rng.gen_range(0.0..self.width_m);
+        let y = rng.gen_range(0.0..self.depth_m);
+        self.scan_at_with_offset(layout, x, y, floor, extra_offset_db, rng)
+    }
+
     /// One scan at a fixed position (used by trajectory-style examples).
     pub fn scan_at<R: Rng + ?Sized>(
         &self,
@@ -299,7 +313,25 @@ impl BuildingModel {
         floor: i16,
         rng: &mut R,
     ) -> Option<SignalRecord> {
-        let device_offset = self.device_sigma_db * standard_normal(rng);
+        self.scan_at_with_offset(layout, x, y, floor, 0.0, rng)
+    }
+
+    /// [`BuildingModel::scan_at`] with an extra constant RSS offset added
+    /// on top of the per-scan device offset — how the scenario engine
+    /// models *device populations* (a cheap handset fleet reads every AP
+    /// a few dB weaker than the phones that built the corpus). The RNG
+    /// draw order is identical to `scan_at`, so
+    /// `scan_at_with_offset(.., 0.0, ..)` is bit-identical to `scan_at`.
+    pub fn scan_at_with_offset<R: Rng + ?Sized>(
+        &self,
+        layout: &BuildingLayout,
+        x: f64,
+        y: f64,
+        floor: i16,
+        extra_offset_db: f64,
+        rng: &mut R,
+    ) -> Option<SignalRecord> {
+        let device_offset = self.device_sigma_db * standard_normal(rng) + extra_offset_db;
         let scan_limit = rng.gen_range(
             self.min_macs_per_record..=self.max_macs_per_record.max(self.min_macs_per_record),
         );

@@ -1,0 +1,359 @@
+//! The mutable deployment state a scenario evolves: per-building models
+//! and layouts, the active device populations, pending drift ramps, and
+//! the cross-building bleed fraction.
+
+use crate::model::{Event, Scenario, Schedule};
+use crate::standard_normal;
+use grafics_data::{BuildingLayout, BuildingModel};
+use grafics_types::{FloorId, MacAddr, Reading, SignalRecord};
+use rand::Rng;
+use std::collections::BTreeSet;
+
+/// How many of a neighbouring building's strongest readings bleed into
+/// a straddling record — enough AP mass that the overlap router sees a
+/// genuinely ambiguous record instead of a near-miss.
+const BLEED_READINGS: usize = 8;
+
+/// One building's live deployment.
+struct BuildingState {
+    model: BuildingModel,
+    layout: BuildingLayout,
+}
+
+/// A pending [`Schedule::Linear`] power ramp: `per_epoch` dB of jitter
+/// at each remaining epoch boundary.
+struct Ramp {
+    per_epoch: f64,
+    left: usize,
+}
+
+/// What one epoch's events changed, beyond the in-place layout drift:
+/// the MACs removed from each building (by index), for the replay
+/// harness to prune from the shards' write models.
+#[derive(Debug, Clone, Default)]
+pub struct EpochChanges {
+    /// `(building index, MAC)` pairs removed by [`Event::ApChurn`].
+    pub removed: Vec<(usize, MacAddr)>,
+}
+
+/// The evolving world a [`Scenario`] replays against: generated once
+/// from the scenario's [`FleetPreset`](grafics_data::FleetPreset), then
+/// mutated in place by each epoch's events. All randomness comes from
+/// the RNG the caller threads through, so world evolution is a pure
+/// function of `(scenario, seed)`.
+pub struct ScenarioWorld {
+    buildings: Vec<BuildingState>,
+    populations: Vec<(f64, f64)>, // (weight, offset_db)
+    ramps: Vec<Ramp>,
+    bleed_frac: f64,
+}
+
+impl ScenarioWorld {
+    /// Generates the initial world: one model per
+    /// [`Scenario::preset`]-listed building, each with a concrete
+    /// sampled AP layout.
+    pub fn new<R: Rng + ?Sized>(scenario: &Scenario, rng: &mut R) -> Self {
+        Self::from_models(
+            scenario
+                .preset
+                .generate(scenario.buildings, scenario.records_per_floor, rng),
+            rng,
+        )
+    }
+
+    /// A world over explicit building models instead of a
+    /// [`FleetPreset`](grafics_data::FleetPreset)-generated population —
+    /// for benches that need a specific building but still want the
+    /// event machinery. Each model gets a concrete sampled layout.
+    pub fn from_models<R: Rng + ?Sized>(models: Vec<BuildingModel>, rng: &mut R) -> Self {
+        let buildings = models
+            .into_iter()
+            .map(|model| {
+                let layout = model.layout(rng);
+                BuildingState { model, layout }
+            })
+            .collect();
+        ScenarioWorld {
+            buildings,
+            populations: vec![(1.0, 0.0)],
+            ramps: Vec::new(),
+            bleed_frac: 0.0,
+        }
+    }
+
+    /// Buildings in the world.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buildings.len()
+    }
+
+    /// `true` when the preset generated no buildings.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buildings.is_empty()
+    }
+
+    /// Building `b`'s generative model.
+    #[must_use]
+    pub fn model(&self, b: usize) -> &BuildingModel {
+        &self.buildings[b].model
+    }
+
+    /// Building `b`'s current (possibly drifted) AP deployment.
+    #[must_use]
+    pub fn layout(&self, b: usize) -> &BuildingLayout {
+        &self.buildings[b].layout
+    }
+
+    /// Applies one epoch's events (plus any pending linear ramps).
+    /// `epochs_remaining` counts this epoch and everything after it —
+    /// what a [`Schedule::Linear`] drift spreads itself over.
+    pub fn apply_epoch<R: Rng + ?Sized>(
+        &mut self,
+        events: &[Event],
+        epochs_remaining: usize,
+        rng: &mut R,
+    ) -> EpochChanges {
+        let mut changes = EpochChanges::default();
+        // Pending ramps first: an epoch boundary is when gradual drift
+        // lands, whether or not this epoch has events of its own.
+        for r in 0..self.ramps.len() {
+            let per = self.ramps[r].per_epoch;
+            self.jitter_all(per, rng);
+            self.ramps[r].left -= 1;
+        }
+        self.ramps.retain(|r| r.left > 0);
+
+        for event in events {
+            match event {
+                Event::ApChurn {
+                    replace_frac,
+                    add_frac,
+                } => {
+                    for (b, st) in self.buildings.iter_mut().enumerate() {
+                        let before: BTreeSet<MacAddr> = st.layout.macs().into_iter().collect();
+                        st.model
+                            .drift_layout(&mut st.layout, *replace_frac, *add_frac, 0.0, rng);
+                        let after: BTreeSet<MacAddr> = st.layout.macs().into_iter().collect();
+                        changes
+                            .removed
+                            .extend(before.difference(&after).map(|&mac| (b, mac)));
+                    }
+                }
+                Event::SignalDrift {
+                    power_jitter_db,
+                    schedule,
+                } => match schedule {
+                    Schedule::Step => self.jitter_all(*power_jitter_db, rng),
+                    Schedule::Linear => {
+                        let per = power_jitter_db / epochs_remaining.max(1) as f64;
+                        self.jitter_all(per, rng);
+                        if epochs_remaining > 1 {
+                            self.ramps.push(Ramp {
+                                per_epoch: per,
+                                left: epochs_remaining - 1,
+                            });
+                        }
+                    }
+                },
+                Event::DeviceMix {
+                    sigma_db,
+                    pop_weights,
+                } => {
+                    self.populations = pop_weights
+                        .iter()
+                        .map(|&w| (w.max(0.0), sigma_db * standard_normal(rng)))
+                        .collect();
+                    if self.populations.is_empty() {
+                        self.populations = vec![(1.0, 0.0)];
+                    }
+                }
+                Event::CrossBuildingBleed { frac } => {
+                    self.bleed_frac = frac.clamp(0.0, 1.0);
+                }
+            }
+        }
+        changes
+    }
+
+    /// Transmit-power jitter on every deployed AP, all buildings.
+    fn jitter_all<R: Rng + ?Sized>(&mut self, jitter_db: f64, rng: &mut R) {
+        if jitter_db == 0.0 {
+            return;
+        }
+        for st in &mut self.buildings {
+            st.model
+                .drift_layout(&mut st.layout, 0.0, 0.0, jitter_db, rng);
+        }
+    }
+
+    /// Picks a device population by weight and returns its RSS offset.
+    fn population_offset<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.populations.len() == 1 {
+            return self.populations[0].1;
+        }
+        let total: f64 = self.populations.iter().map(|(w, _)| w).sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let mut pick = rng.gen::<f64>() * total;
+        for &(w, offset) in &self.populations {
+            pick -= w;
+            if pick <= 0.0 {
+                return offset;
+            }
+        }
+        self.populations[self.populations.len() - 1].1
+    }
+
+    /// One crowdsourced record from building `b` under the current
+    /// world state: device-population offset applied, and (at the
+    /// current bleed fraction) possibly straddling the next building.
+    /// The returned floor is ground truth *in building `b`*.
+    pub fn gen_sample<R: Rng + ?Sized>(
+        &self,
+        b: usize,
+        rng: &mut R,
+    ) -> Option<(SignalRecord, FloorId)> {
+        let st = &self.buildings[b];
+        let floor = rng.gen_range(0..st.model.floors.max(1));
+        let offset = self.population_offset(rng);
+        let record = st.model.scan_with_offset(&st.layout, floor, offset, rng)?;
+        if self.bleed_frac > 0.0 && self.buildings.len() > 1 && rng.gen::<f64>() < self.bleed_frac {
+            let nb = (b + 1) % self.buildings.len();
+            let ns = &self.buildings[nb];
+            let nfloor = rng.gen_range(0..ns.model.floors.max(1));
+            if let Some(neighbour) = ns.model.scan_with_offset(&ns.layout, nfloor, offset, rng) {
+                let mut bleed: Vec<Reading> = neighbour.readings().to_vec();
+                bleed.sort_by_key(|r| std::cmp::Reverse(r.rssi));
+                let mut readings = record.readings().to_vec();
+                readings.extend(bleed.into_iter().take(BLEED_READINGS));
+                if let Ok(merged) = SignalRecord::new(readings) {
+                    return Some((merged, FloorId(floor)));
+                }
+            }
+        }
+        Some((record, FloorId(floor)))
+    }
+
+    /// A deterministic record stream: `per_building` samples from each
+    /// building in index order, tagged `(building index, true floor,
+    /// record)`. Scans that hear no AP (vanishingly rare) are skipped.
+    pub fn gen_stream<R: Rng + ?Sized>(
+        &self,
+        per_building: usize,
+        rng: &mut R,
+    ) -> Vec<(usize, FloorId, SignalRecord)> {
+        let mut out = Vec::with_capacity(per_building * self.buildings.len());
+        for b in 0..self.buildings.len() {
+            for _ in 0..per_building {
+                if let Some((record, floor)) = self.gen_sample(b, rng) {
+                    out.push((b, floor, record));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scenario;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn tiny() -> Scenario {
+        let mut s = Scenario::preset("stable").unwrap();
+        s.buildings = 2;
+        s.records_per_floor = 20;
+        s
+    }
+
+    #[test]
+    fn churn_reports_exactly_the_removed_macs() {
+        let s = tiny();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut world = ScenarioWorld::new(&s, &mut rng);
+        let before: Vec<BTreeSet<MacAddr>> = (0..world.len())
+            .map(|b| world.layout(b).macs().into_iter().collect())
+            .collect();
+        let changes = world.apply_epoch(
+            &[Event::ApChurn {
+                replace_frac: 0.3,
+                add_frac: 0.1,
+            }],
+            3,
+            &mut rng,
+        );
+        assert!(!changes.removed.is_empty());
+        for (b, mac) in &changes.removed {
+            assert!(before[*b].contains(mac), "removed MAC was never deployed");
+            let after: BTreeSet<MacAddr> = world.layout(*b).macs().into_iter().collect();
+            assert!(!after.contains(mac), "removed MAC still deployed");
+        }
+    }
+
+    #[test]
+    fn linear_drift_keeps_ramping_on_quiet_epochs() {
+        let s = tiny();
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let mut world = ScenarioWorld::new(&s, &mut rng);
+        let power0: f64 = world.layout(0).aps[0].tx_power_dbm;
+        world.apply_epoch(
+            &[Event::SignalDrift {
+                power_jitter_db: 6.0,
+                schedule: Schedule::Linear,
+            }],
+            3,
+            &mut rng,
+        );
+        // Two more quiet epochs: the ramp keeps landing.
+        world.apply_epoch(&[], 2, &mut rng);
+        world.apply_epoch(&[], 1, &mut rng);
+        // And then it is exhausted — a further epoch drifts nothing.
+        let drifted: f64 = world.layout(0).aps[0].tx_power_dbm;
+        assert_ne!(power0, drifted);
+        let settled = world.layout(0).aps.clone();
+        world.apply_epoch(&[], 0, &mut rng);
+        assert_eq!(settled, world.layout(0).aps);
+    }
+
+    #[test]
+    fn bleed_produces_records_straddling_buildings() {
+        let s = tiny();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut world = ScenarioWorld::new(&s, &mut rng);
+        world.apply_epoch(&[Event::CrossBuildingBleed { frac: 1.0 }], 1, &mut rng);
+        let own: BTreeSet<MacAddr> = world.layout(0).macs().into_iter().collect();
+        let other: BTreeSet<MacAddr> = world.layout(1).macs().into_iter().collect();
+        let mut straddlers = 0;
+        for _ in 0..20 {
+            let (record, _) = world.gen_sample(0, &mut rng).unwrap();
+            let macs: BTreeSet<MacAddr> = record.macs().collect();
+            if macs.intersection(&own).count() > 0 && macs.intersection(&other).count() > 0 {
+                straddlers += 1;
+            }
+        }
+        assert!(straddlers > 10, "only {straddlers}/20 records straddle");
+    }
+
+    #[test]
+    fn same_seed_same_streams() {
+        let s = tiny();
+        let make = || {
+            let mut rng = ChaCha8Rng::seed_from_u64(11);
+            let mut world = ScenarioWorld::new(&s, &mut rng);
+            world.apply_epoch(
+                &[Event::DeviceMix {
+                    sigma_db: 3.0,
+                    pop_weights: vec![0.5, 0.5],
+                }],
+                2,
+                &mut rng,
+            );
+            world.gen_stream(10, &mut rng)
+        };
+        assert_eq!(make(), make());
+    }
+}

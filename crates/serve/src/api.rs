@@ -440,6 +440,18 @@ fn metrics(state: &FleetState, out: &mut String) -> u16 {
         "counter",
         &serve.f32_fallbacks,
     );
+    // Floor-margin drift gauges: low quantiles of the recently served
+    // margin distribution, the signal behind `RefreshTrigger::MarginDrop`.
+    // Window follows the configured trigger (default 256). Exported as 0
+    // until anything has been served so the names are always present.
+    let window = state
+        .fleet()
+        .maintenance()
+        .effective_trigger()
+        .map_or(grafics_core::DEFAULT_MARGIN_WINDOW, |t| t.window());
+    let (margin_p10, margin_p50) = state.fleet().margin_quantiles(window).unwrap_or((0.0, 0.0));
+    w(out, "grafics_margin_p10", "gauge", &margin_p10);
+    w(out, "grafics_margin_p50", "gauge", &margin_p50);
     w(
         out,
         "grafics_recoveries_total",

@@ -35,7 +35,13 @@ pub struct MaintenanceReport {
 /// - **refresh every K publishes** — before its K-th publish, a shard's
 ///   write side is re-trained ([`Shard::refresh_write_side`]) so the
 ///   published snapshot sheds the drift of frozen-background online
-///   embedding.
+///   embedding;
+/// - **drift-triggered refresh** — with a `refresh_trigger` set, a shard
+///   whose served floor-margin p10 drops below the trigger ratio of its
+///   post-refresh baseline ([`Shard::margin_refresh_due`]) is refreshed
+///   and published immediately, independent of the blind cadence.
+///
+/// [`Shard::margin_refresh_due`]: grafics_core::Shard::margin_refresh_due
 ///
 /// Publishing and refreshing run on this thread — the serve path never
 /// pays for a model clone or a re-train. Refresh draws from the daemon's
@@ -106,6 +112,23 @@ fn run(
             continue;
         }
         for (i, shard) in shards.iter().enumerate() {
+            // Drift trigger first: a shard whose served-margin p10 has
+            // collapsed below its post-refresh baseline is re-trained and
+            // published *now*, pending absorbs or not — the damage shows
+            // in what is already being served, so waiting for the next
+            // cadence publish only prolongs it.
+            if let Some(trigger) = policy.effective_trigger() {
+                if shard.margin_refresh_due(trigger) {
+                    if shard.refresh_write_side(&mut rng).is_ok() {
+                        report.refreshes += 1;
+                    }
+                    shard.publish();
+                    last_publish[i] = Instant::now();
+                    publishes_since_refresh[i] = 0;
+                    report.publishes += 1;
+                    continue;
+                }
+            }
             let pending = shard.stats().pending;
             // `Some(0)` thresholds are treated as disabled — otherwise
             // they would publish (a full model clone under the absorb

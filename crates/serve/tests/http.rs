@@ -404,6 +404,65 @@ fn metrics_exposes_serving_refinement_counters() {
     server.shutdown().unwrap();
 }
 
+/// One `/metrics` scrape pins the full gauge/counter surface the drift
+/// tooling consumes: the floor-margin quantile gauges
+/// (`grafics_margin_p10`/`grafics_margin_p50`, fed by every served
+/// query, windowed by the manifest's `RefreshTrigger`) alongside the
+/// existing serving refinement counters — one contract, one scrape.
+#[test]
+fn metrics_exposes_margin_gauges_alongside_serve_counters() {
+    use grafics_types::RefreshTrigger;
+    let (_, queries) = fixture();
+    let mut fleet = build_fleet();
+    fleet.set_maintenance(MaintenancePolicy {
+        refresh_trigger: Some(RefreshTrigger::MarginDrop {
+            window: 64,
+            ratio: 0.8,
+        }),
+        ..MaintenancePolicy::default()
+    });
+    let server = spawn(fleet, ServeConfig::default());
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+
+    let gauge = |text: &str, name: &str| -> f64 {
+        text.lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")))
+            .unwrap_or_else(|| panic!("{name} missing from:\n{text}"))
+            .parse()
+            .unwrap()
+    };
+
+    // Before any serving the gauges exist and read zero — dashboards can
+    // pin the names unconditionally.
+    let (status, text) = client.get("/metrics").unwrap();
+    assert_eq!(status, 200, "{text}");
+    assert_eq!(gauge(&text, "grafics_margin_p10"), 0.0);
+    assert_eq!(gauge(&text, "grafics_margin_p50"), 0.0);
+
+    let body = format!(
+        "{{\"records\":{},\"seed\":7,\"fallback\":true}}",
+        records_json(queries)
+    );
+    let (status, response) = client.post("/v1/infer_batch", &body).unwrap();
+    assert_eq!(status, 200, "{response}");
+
+    let (status, text) = client.get("/metrics").unwrap();
+    assert_eq!(status, 200, "{text}");
+    let p10 = gauge(&text, "grafics_margin_p10");
+    let p50 = gauge(&text, "grafics_margin_p50");
+    assert!(p50 > 0.0, "served queries must populate the margin window");
+    assert!(p10 <= p50, "p10 {p10} must not exceed p50 {p50}");
+    // The serving counters ride in the same scrape.
+    for name in [
+        "grafics_serve_refine_samples_total",
+        "grafics_serve_early_stops_total",
+        "grafics_match_f32_fallbacks_total",
+    ] {
+        let _ = gauge(&text, name);
+    }
+    server.shutdown().unwrap();
+}
+
 /// Acceptance: absorbs past the configured N trigger a publish without
 /// any client calling `/v1/publish` — the maintenance daemon acts on the
 /// manifest's cadence.
@@ -415,6 +474,7 @@ fn auto_publish_after_n_absorbs() {
         publish_after_absorbs: Some(3),
         publish_after_secs: None,
         refresh_every_publishes: None,
+        refresh_trigger: None,
     });
     let server = spawn(
         fleet,
@@ -565,6 +625,7 @@ fn saved_manifest_drives_the_server() {
             publish_after_absorbs: Some(2),
             publish_after_secs: None,
             refresh_every_publishes: None,
+            refresh_trigger: None,
         });
         fleet.save_dir(&dir).unwrap();
     }
@@ -579,6 +640,7 @@ fn saved_manifest_drives_the_server() {
                 publish_after_absorbs: Some(2),
                 publish_after_secs: None,
                 refresh_every_publishes: None,
+                refresh_trigger: None,
             },
             durability: DurabilityPolicy::Off,
             serving: None,

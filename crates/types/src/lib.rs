@@ -39,6 +39,7 @@ pub mod kernels;
 mod mac;
 mod matrix;
 mod record;
+mod refresh;
 mod rssi;
 
 pub use building_id::BuildingId;
@@ -49,4 +50,5 @@ pub use health::{BackendState, BreakerPolicy, HealthPolicy, RateLimitPolicy};
 pub use mac::MacAddr;
 pub use matrix::RowMatrix;
 pub use record::{FloorId, Reading, RecordId, Sample, SignalRecord};
+pub use refresh::RefreshTrigger;
 pub use rssi::Rssi;

@@ -1,0 +1,134 @@
+//! Drift-triggered refresh policy for the serving tier.
+//!
+//! The refresh machinery itself lives in `grafics-core` (the margin
+//! window on each shard and the daemon acting on it); this crate only
+//! owns the *policy* vocabulary so that the manifest (`fleet.json`), the
+//! CLI, the scenario engine and the serve tier all speak the same type
+//! without a dependency cycle — the same split as [`DurabilityPolicy`].
+//!
+//! [`DurabilityPolicy`]: crate::DurabilityPolicy
+
+use serde::{Deserialize, Serialize};
+
+/// When to re-train a shard's write side *because the fleet observed
+/// drift*, instead of (or in addition to) a blind publish-count cadence.
+///
+/// The signal is the shard's served **floor-margin distribution**: every
+/// successful serve records its distance gap to the nearest
+/// different-floor cluster into a sliding window, and the window's low
+/// quantile (p10) is a live confidence gauge. Environment drift — AP
+/// churn, transmit-power shifts, new device populations — pushes queries
+/// towards cluster boundaries and drags that quantile down long before
+/// accuracy visibly collapses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum RefreshTrigger {
+    /// Refresh when the sliding-window margin p10 drops below `ratio` of
+    /// its post-refresh baseline.
+    ///
+    /// `window` is the number of most-recent served margins considered
+    /// (and the minimum evidence before the trigger can act at all);
+    /// the first full window after a refresh establishes the baseline.
+    /// `window == 0` is treated as disabled, mirroring the other
+    /// maintenance knobs' `Some(0)` convention.
+    MarginDrop {
+        /// Sliding-window length in served queries (0 = disabled).
+        window: usize,
+        /// Trigger threshold as a fraction of the baseline p10, e.g.
+        /// `0.5` refreshes once confidence halves. Values `>= 1.0`
+        /// trigger on any decline; `<= 0.0` never triggers.
+        ratio: f64,
+    },
+}
+
+impl RefreshTrigger {
+    /// `true` if this trigger can never fire (degenerate knobs).
+    #[must_use]
+    pub fn is_noop(&self) -> bool {
+        match self {
+            RefreshTrigger::MarginDrop { window, ratio } => *window == 0 || *ratio <= 0.0,
+        }
+    }
+
+    /// The sliding-window length the trigger evaluates over.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        match self {
+            RefreshTrigger::MarginDrop { window, .. } => *window,
+        }
+    }
+
+    /// Parses the CLI spelling: `margin:WINDOW:RATIO`, e.g.
+    /// `margin:256:0.5`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown spellings.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let spec = spec.trim();
+        if let Some(rest) = spec.strip_prefix("margin:") {
+            let (window, ratio) = rest
+                .split_once(':')
+                .ok_or_else(|| format!("bad refresh trigger {spec:?} (expected margin:W:R)"))?;
+            let window = window
+                .parse::<usize>()
+                .map_err(|_| format!("bad window in refresh trigger {spec:?}"))?;
+            let ratio = ratio
+                .parse::<f64>()
+                .map_err(|_| format!("bad ratio in refresh trigger {spec:?}"))?;
+            return Ok(RefreshTrigger::MarginDrop { window, ratio });
+        }
+        Err(format!(
+            "unknown refresh trigger {spec:?} (expected margin:WINDOW:RATIO)"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trip() {
+        assert_eq!(
+            RefreshTrigger::parse("margin:256:0.5"),
+            Ok(RefreshTrigger::MarginDrop {
+                window: 256,
+                ratio: 0.5
+            })
+        );
+        assert!(RefreshTrigger::parse("margin:256").is_err());
+        assert!(RefreshTrigger::parse("margin:w:0.5").is_err());
+        assert!(RefreshTrigger::parse("cadence:3").is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = RefreshTrigger::MarginDrop {
+            window: 64,
+            ratio: 0.7,
+        };
+        let json = serde_json::to_string(&t).unwrap();
+        let back: RefreshTrigger = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn degenerate_knobs_are_noop() {
+        assert!(RefreshTrigger::MarginDrop {
+            window: 0,
+            ratio: 0.5
+        }
+        .is_noop());
+        assert!(RefreshTrigger::MarginDrop {
+            window: 8,
+            ratio: 0.0
+        }
+        .is_noop());
+        assert!(!RefreshTrigger::MarginDrop {
+            window: 8,
+            ratio: 0.5
+        }
+        .is_noop());
+    }
+}

@@ -51,6 +51,7 @@ pub use grafics_data as data;
 pub use grafics_embed as embed;
 pub use grafics_graph as graph;
 pub use grafics_metrics as metrics;
+pub use grafics_scenario as scenario;
 pub use grafics_serve as serve;
 pub use grafics_types as types;
 pub use grafics_viz as viz;

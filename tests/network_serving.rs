@@ -38,6 +38,7 @@ fn http_serving_matches_in_process_and_auto_publishes() {
         publish_after_absorbs: Some(2),
         publish_after_secs: None,
         refresh_every_publishes: None,
+        refresh_trigger: None,
     });
     let config = ServeConfig {
         maintenance_tick: Duration::from_millis(25),
